@@ -1,0 +1,72 @@
+// Ablation (§III-C1): why the depth >= 5 rule? Avoidance overhead as a
+// function of the outer-stack depth of planted signatures.
+//
+// The paper motivates the threshold qualitatively: "Signatures with outer
+// call stacks of depth 5 incur an acceptable performance overhead; for
+// depth 1, the overhead is considerable (> 100%)". This bench sweeps the
+// depth and prints the measured overhead curve on one contended workload,
+// showing the cliff below depth ~5: shallower stacks match more flows,
+// so threads serialize more often.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bytecode/synthetic.hpp"
+#include "sim/attacker.hpp"
+#include "sim/workload.hpp"
+#include "util/clock.hpp"
+
+int main() {
+  using namespace communix;
+  bench::PrintHeader("Ablation: avoidance overhead vs. outer-stack depth");
+
+  bytecode::SyntheticSpec spec = bytecode::MySqlJdbcProfile();
+  const auto app = bytecode::GenerateApp(spec);
+
+  sim::ContendedConfig cfg;
+  cfg.threads = 4;
+  cfg.iterations_per_thread = 800;
+  cfg.sites_used = 6;
+  // Same coarse grain as the Table II rows: per-acquisition bookkeeping
+  // must stay small relative to application work, as in real programs.
+  cfg.work_outside = 7'590;
+  cfg.work_inside = 2'730;
+  cfg.work_inner = 680;
+  sim::ContendedWorkload workload(app, cfg);
+
+  double vanilla = 1e100;
+  for (int rep = 0; rep < 3; ++rep) {
+    vanilla = std::min(vanilla, workload.RunVanilla());
+  }
+  std::printf("vanilla baseline: %.3f s\n", vanilla);
+  std::printf("%8s %12s %14s %16s\n", "depth", "seconds", "overhead",
+              "suspensions");
+  for (std::size_t depth : {1u, 2u, 3u, 4u, 5u, 6u, 8u, 10u, 12u}) {
+    const auto signatures =
+        sim::MakeCriticalPathBatch(app, workload.sites(), 20, depth);
+    double best = 1e100;
+    std::uint64_t suspensions = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+      VirtualClock clock;
+      dimmunix::DimmunixRuntime::Options opts;
+      opts.fp.instantiation_threshold = ~0ULL >> 1;  // raw avoidance
+      dimmunix::DimmunixRuntime runtime(clock, opts);
+      for (const auto& sig : signatures) {
+        runtime.AddSignature(sig, dimmunix::SignatureOrigin::kRemote);
+      }
+      const auto result = workload.Run(runtime);
+      if (result.seconds < best) {
+        best = result.seconds;
+        suspensions = result.stats.avoidance_suspensions;
+      }
+    }
+    std::printf("%8zu %11.3fs %13.1f%% %16llu\n", depth, best,
+                100.0 * (best / vanilla - 1.0),
+                static_cast<unsigned long long>(suspensions));
+  }
+  std::printf(
+      "\npaper: depth 1 => considerable (>100%% for some apps); depth 5 =>\n"
+      "acceptable (8-40%% worst case). Deeper stacks match fewer flows.\n"
+      "(At depth > canonical chain the signature still matches the single\n"
+      "canonical flow, so the curve flattens rather than reaching zero.)\n");
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// These binaries intentionally do not use google-benchmark's
+// microbenchmark loop: each reproduces one table/figure of the paper and
+// prints the same rows/series the paper reports. google-benchmark is
+// still linked for its utilities and to keep the target layout uniform.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "../tests/testutil.hpp"
+#include "dimmunix/signature.hpp"
+#include "util/rng.hpp"
+
+namespace communix::bench {
+
+/// A random but *well-formed* signature, as the paper's server bench uses
+/// ("adding new random signatures to the database"). Tops are unique per
+/// (user, index) so the adjacency check does not reject them.
+inline dimmunix::Signature RandomSignature(Rng& rng, std::uint32_t unique) {
+  const std::string cls_a = "load.C" + std::to_string(rng.NextBounded(4096));
+  const std::string cls_b = "load.D" + std::to_string(rng.NextBounded(4096));
+  return testutil::Sig2(
+      testutil::ChainStack(cls_a, 10,
+                           testutil::F(cls_a, "sync", 4u * unique + 1)),
+      testutil::ChainStack(cls_a, 11,
+                           testutil::F(cls_a, "wait", 4u * unique + 2)),
+      testutil::ChainStack(cls_b, 10,
+                           testutil::F(cls_b, "sync", 4u * unique + 3)),
+      testutil::ChainStack(cls_b, 11,
+                           testutil::F(cls_b, "wait", 4u * unique + 4)));
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace communix::bench

@@ -1,0 +1,111 @@
+// Figure 2: "The performance of the Communix server."
+//
+// Paper setup: the server's request-processing routines are invoked from
+// 1,000-100,000 simultaneous "ADD(sig),GET(0)" request sequences; the
+// y-axis is requests per second. The paper's curve rises to ~9,000 req/s
+// around 30k sequences, then degrades toward 100k as the database the
+// GET(0) must iterate keeps growing.
+//
+// Reproduction: we invoke CommunixServer::AddSignature and ::VisitSince
+// directly (no sockets), multiplexing N logical sessions over a bounded
+// worker pool — 100k OS threads are neither possible nor what the paper
+// measures (server computation). Each session performs one ADD of a
+// random valid signature followed by one GET(0) that iterates the whole
+// database, exactly the paper's worst case.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "communix/server.hpp"
+#include "util/clock.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using communix::CommunixServer;
+using communix::Rng;
+using communix::Stopwatch;
+using communix::UserId;
+using communix::UserToken;
+using communix::VirtualClock;
+
+struct Row {
+  std::size_t sessions;
+  double requests_per_second;
+  double seconds;
+  std::uint64_t db_size;
+};
+
+Row RunOnce(std::size_t sessions) {
+  VirtualClock clock;  // virtual day never ends: rate limits don't distort
+  CommunixServer::Options opts;
+  // The paper's bench streams random signatures from synthetic load
+  // generators; per-user daily quotas are not the measured effect. Use
+  // one user id per session and a high quota.
+  opts.per_user_daily_limit = 1'000'000;
+  CommunixServer server(clock, opts);
+
+  const std::size_t workers =
+      std::min<std::size_t>(std::thread::hardware_concurrency() * 4,
+                            std::max<std::size_t>(sessions, 1));
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::uint64_t> iterated{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+
+  Stopwatch watch;
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      Rng rng(0x9E37 + w);
+      for (;;) {
+        const std::size_t i = next.fetch_add(1);
+        if (i >= sessions) break;
+        const UserToken token =
+            server.IssueToken(static_cast<UserId>(i + 1));
+        // ADD(sig)
+        (void)server.AddSignature(
+            token, communix::bench::RandomSignature(
+                       rng, static_cast<std::uint32_t>(i + 1)));
+        // GET(0): iterate the entire database (paper's worst case).
+        std::uint64_t seen = 0;
+        server.VisitSince(0, [&](std::uint64_t,
+                                 const std::vector<std::uint8_t>& bytes) {
+          seen += bytes.size();
+        });
+        iterated.fetch_add(seen, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double seconds = watch.ElapsedSeconds();
+
+  Row row;
+  row.sessions = sessions;
+  row.seconds = seconds;
+  row.requests_per_second = (2.0 * static_cast<double>(sessions)) / seconds;
+  row.db_size = server.db_size();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  communix::bench::PrintHeader(
+      "Figure 2: Communix server throughput (ADD(sig),GET(0) sequences)");
+  std::printf("%12s %16s %10s %10s\n", "sessions(k)", "requests/sec",
+              "seconds", "db size");
+  // The paper sweeps 1k..100k; GET(0) iteration cost is O(db), i.e. the
+  // whole experiment is O(N^2) in the sweep point.
+  for (std::size_t thousands : {1, 5, 10, 20, 30, 40, 50, 75, 100}) {
+    const Row row = RunOnce(thousands * 1'000);
+    std::printf("%12zu %16.0f %10.2f %10llu\n", thousands,
+                row.requests_per_second, row.seconds,
+                static_cast<unsigned long long>(row.db_size));
+  }
+  std::printf(
+      "\npaper: scales to ~30k simultaneous sequences, peak ~9,000 req/s,\n"
+      "degrading toward 100k as GET(0) iterates an ever-larger database.\n");
+  return 0;
+}

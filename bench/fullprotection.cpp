@@ -1,0 +1,39 @@
+// §IV-C: "Time to achieve full protection against deadlocks."
+//
+// Paper estimate: with Nd deadlock manifestations and a mean of t days
+// per manifestation per user, Dimmunix alone reaches full protection in
+// ~t*Nd days; Communix with Nu users in ~t*Nd/Nu days. The paper could
+// not deploy in the field; we validate the estimate with the Monte-Carlo
+// community simulation.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/community.hpp"
+
+int main() {
+  using namespace communix;
+  bench::PrintHeader(
+      "§IV-C: time to full protection (Monte-Carlo, t=3 days, Nd=20)");
+
+  sim::CommunityParams params;
+  params.num_manifestations = 20;        // Nd
+  params.mean_days_per_manifestation = 3.0;  // t
+  params.trials = 60;
+
+  const double t_nd = params.mean_days_per_manifestation *
+                      params.num_manifestations;
+  std::printf("%8s %18s %16s %10s %18s\n", "users", "dimmunix alone(d)",
+              "communix(d)", "speedup", "paper est. t*Nd/Nu");
+  for (int users : {1, 2, 5, 10, 25, 50, 100, 250, 1000}) {
+    params.num_users = users;
+    const auto r = sim::SimulateCommunity(params);
+    std::printf("%8d %18.1f %16.2f %10.1fx %18.2f\n", users,
+                r.dimmunix_alone_days, r.communix_days, r.speedup,
+                t_nd / users);
+  }
+  std::printf(
+      "\npaper: Dimmunix alone ~t*Nd days; Communix ~t*Nd/Nu days — the\n"
+      "benefit grows linearly with the community (coupon-collector tails\n"
+      "soften the exact 1/Nu at large Nu).\n");
+  return 0;
+}

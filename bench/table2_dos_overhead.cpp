@@ -1,0 +1,97 @@
+// Table II: "Worst case overhead incurred while under a DoS attack."
+//
+// Paper setup: 20 deadlock signatures with outer call stacks of depth 5
+// are planted in the history; their outer calls are on the critical path
+// (>99% of nested synchronized blocks/methods execute under them). The
+// residual worst-case overhead is 8-40% depending on the application;
+// off the critical path it is <2%; at depth 1 it exceeds 100% for some
+// apps (which is why the agent rejects depth < 5).
+//
+// Reproduction: per Table II row, a contended workload over the profiled
+// synthetic app. Overhead = wall-clock with poisoned history / vanilla
+// (std::mutex) - 1. We print the on-critical-path depth-5 figure (the
+// table), plus the off-critical-path and depth-1 checks from the text.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sim/apps.hpp"
+#include "sim/attacker.hpp"
+#include "sim/workload.hpp"
+#include "util/clock.hpp"
+
+namespace {
+
+using communix::VirtualClock;
+using communix::dimmunix::DimmunixRuntime;
+using communix::dimmunix::SignatureOrigin;
+using communix::sim::ContendedWorkload;
+using communix::sim::MakeCriticalPathBatch;
+using communix::sim::TableIIProfile;
+
+constexpr std::size_t kSignatures = 20;  // paper: 20 signatures in history
+
+double MeasureOverheadPct(const TableIIProfile& row, std::size_t depth,
+                          bool on_critical_path) {
+  const auto app = communix::bytecode::GenerateApp(row.app_spec);
+  ContendedWorkload workload(app, row.workload);
+
+  std::vector<std::int32_t> target_sites = workload.sites();
+  if (!on_critical_path) {
+    // Signatures over nested sites the workload never touches.
+    target_sites.assign(
+        app.nested_sites.begin() +
+            static_cast<std::ptrdiff_t>(workload.sites().size()),
+        app.nested_sites.end());
+  }
+  const auto signatures =
+      MakeCriticalPathBatch(app, target_sites, kSignatures, depth);
+
+  // Vanilla: min of three (noise only inflates it). Attacked: median of
+  // three — the avoidance serialization itself is phase-dependent, so the
+  // median is the representative figure.
+  double vanilla = 1e100;
+  double attacked_runs[3];
+  for (int rep = 0; rep < 3; ++rep) {
+    vanilla = std::min(vanilla, workload.RunVanilla());
+
+    VirtualClock clock;
+    DimmunixRuntime::Options opts;
+    // The FP detector would (correctly!) neutralize the attack over
+    // time; Table II measures the raw worst case, so keep it out of the
+    // way.
+    opts.fp.instantiation_threshold = ~0ULL >> 1;
+    DimmunixRuntime runtime(clock, opts);
+    for (const auto& sig : signatures) {
+      runtime.AddSignature(sig, SignatureOrigin::kRemote);
+    }
+    attacked_runs[rep] = workload.Run(runtime).seconds;
+  }
+  std::sort(std::begin(attacked_runs), std::end(attacked_runs));
+  return 100.0 * (attacked_runs[1] / vanilla - 1.0);
+}
+
+}  // namespace
+
+int main() {
+  communix::bench::PrintHeader(
+      "Table II: worst-case overhead under DoS attack "
+      "(20 signatures, outer depth 5, critical path)");
+  std::printf("%-12s %-22s %14s %12s %18s %12s\n", "app", "benchmark",
+              "paper ovh", "depth5 ovh", "off-critical ovh", "depth1 ovh");
+  for (const auto& row : communix::sim::TableIIProfiles()) {
+    const double depth5 = MeasureOverheadPct(row, 5, true);
+    const double off = MeasureOverheadPct(row, 5, false);
+    const double depth1 = MeasureOverheadPct(row, 1, true);
+    std::printf("%-12s %-22s %13.0f%% %11.0f%% %17.1f%% %11.0f%%\n",
+                row.app_name.c_str(), row.benchmark_name.c_str(),
+                row.paper_overhead_pct, depth5, off, depth1);
+  }
+  std::printf(
+      "\npaper: 8-40%% on the critical path at depth 5; <2%% off the\n"
+      "critical path; >100%% at depth 1 for some applications. The\n"
+      "ordering (JBoss > MySQL JDBC > Eclipse > Limewire > Vuze) and the\n"
+      "depth-5 vs depth-1 vs off-path relationships are the reproduced\n"
+      "shape; absolute numbers depend on machine and substrate.\n");
+  return 0;
+}

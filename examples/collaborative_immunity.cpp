@@ -1,0 +1,162 @@
+// Collaborative immunity end-to-end (the paper's browser scenario, §I):
+// user A's application deadlocks while rendering a page; the signature is
+// uploaded to the Communix server; user B — who never saw the bug — polls
+// the server, validates the signature against their binary, and opens the
+// same page without deadlocking.
+//
+// Everything is real: Dimmunix detection/avoidance, plugin hash
+// attachment, the Communix server with full server-side validation, the
+// client daemon's incremental GET, and the agent's hash/depth/nesting
+// validation — over a real TCP loopback connection.
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "bytecode/program.hpp"
+#include "communix/agent.hpp"
+#include "communix/client.hpp"
+#include "communix/plugin.hpp"
+#include "communix/server.hpp"
+#include "dimmunix/runtime.hpp"
+#include "net/tcp.hpp"
+#include "util/clock.hpp"
+
+using namespace communix;
+
+namespace {
+
+/// The "browser": two worker classes with deep call chains that acquire
+/// two locks in opposite orders while rendering.
+bytecode::Program BuildBrowser() {
+  bytecode::Program p;
+  for (const char* cls : {"browser.Renderer", "browser.AppletRunner"}) {
+    const auto cid = p.AddClass(cls);
+    const auto run = p.AddMethod(cid, "run");
+    const auto load = p.AddMethod(cid, "loadPage");
+    const auto layout = p.AddMethod(cid, "layout");
+    const auto paint = p.AddMethod(cid, "paint");
+    const auto lock_step = p.AddMethod(cid, "withLocks");
+    p.Emit(run, {bytecode::Opcode::kInvoke, load, 10});
+    p.Emit(run, {bytecode::Opcode::kReturn, -1, 11});
+    p.Emit(load, {bytecode::Opcode::kInvoke, layout, 21});
+    p.Emit(load, {bytecode::Opcode::kReturn, -1, 22});
+    p.Emit(layout, {bytecode::Opcode::kInvoke, paint, 33});
+    p.Emit(layout, {bytecode::Opcode::kReturn, -1, 34});
+    p.Emit(paint, {bytecode::Opcode::kInvoke, lock_step, 47});
+    p.Emit(paint, {bytecode::Opcode::kReturn, -1, 48});
+    const auto outer = p.AddLockSite(cid, lock_step, 60);
+    const auto inner = p.AddLockSite(cid, lock_step, 70);
+    p.Emit(lock_step, {bytecode::Opcode::kMonitorEnter, outer, 60});
+    p.Emit(lock_step, {bytecode::Opcode::kCompute, -1, 65});
+    p.Emit(lock_step, {bytecode::Opcode::kMonitorEnter, inner, 70});
+    p.Emit(lock_step, {bytecode::Opcode::kMonitorExit, inner, 75});
+    p.Emit(lock_step, {bytecode::Opcode::kMonitorExit, outer, 80});
+    p.Emit(lock_step, {bytecode::Opcode::kReturn, -1, 81});
+  }
+  return p;
+}
+
+bool RenderPage(dimmunix::DimmunixRuntime& rt, int iterations) {
+  dimmunix::Monitor dom("DOM"), applet("AppletContext");
+  std::atomic<bool> a_ready{false}, b_ready{false};
+  std::atomic<bool> deadlocked{false};
+  std::atomic<int> round{0};
+
+  auto body = [&](bool renderer) {
+    auto& ctx = rt.AttachThread(renderer ? "renderer" : "applet");
+    const std::string cls =
+        renderer ? "browser.Renderer" : "browser.AppletRunner";
+    dimmunix::Monitor& mine = renderer ? dom : applet;
+    dimmunix::Monitor& theirs = renderer ? applet : dom;
+    auto& my_flag = renderer ? a_ready : b_ready;
+    auto& peer_flag = renderer ? b_ready : a_ready;
+    for (int i = 0; i < iterations; ++i) {
+      round.fetch_add(1);
+      while (round.load() < 2 * (i + 1)) std::this_thread::yield();
+      dimmunix::ScopedFrame f1(ctx, cls, "run", 10);
+      dimmunix::ScopedFrame f2(ctx, cls, "loadPage", 21);
+      dimmunix::ScopedFrame f3(ctx, cls, "layout", 33);
+      dimmunix::ScopedFrame f4(ctx, cls, "paint", 47);
+      dimmunix::ScopedFrame f5(ctx, cls, "withLocks", 60);
+      dimmunix::SyncRegion outer(rt, ctx, mine, 60);
+      if (!outer.ok()) continue;
+      my_flag.store(true);
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
+      while (!peer_flag.load() &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+      {
+        dimmunix::SyncRegion inner(rt, ctx, theirs, 70);
+        if (!inner.ok()) deadlocked.store(true);
+      }
+      my_flag.store(false);
+      ctx.SetLine(60);
+    }
+    rt.DetachThread(ctx);
+  };
+  std::thread t1(body, true), t2(body, false);
+  t1.join();
+  t2.join();
+  return deadlocked.load();
+}
+
+}  // namespace
+
+int main() {
+  SystemClock& clock = SystemClock::Instance();
+  const bytecode::Program browser = BuildBrowser();
+
+  // --- the Communix server, on a real TCP socket ---
+  CommunixServer server(clock);
+  net::TcpServer tcp(server);
+  if (!tcp.Start().ok()) {
+    std::printf("could not start server\n");
+    return 1;
+  }
+  std::printf("Communix server listening on 127.0.0.1:%u\n", tcp.port());
+
+  // --- user A: encounters the deadlock; plugin uploads the signature ---
+  std::printf("\n=== user A opens the page ===\n");
+  net::TcpClient a_conn;
+  if (!a_conn.Connect("127.0.0.1", tcp.port()).ok()) return 1;
+  dimmunix::DimmunixRuntime node_a(clock);
+  CommunixPlugin plugin(node_a, browser, a_conn, server.IssueToken(1));
+  plugin.Install();
+  const bool a_deadlocked = RenderPage(node_a, 8);
+  std::printf("user A deadlocked: %s; uploads accepted by server: %llu\n",
+              a_deadlocked ? "yes (browser hung once)" : "no",
+              static_cast<unsigned long long>(
+                  plugin.GetStats().uploads_accepted));
+
+  // --- user B: client daemon pulls, agent validates, page just works ---
+  std::printf("\n=== user B (never saw the bug) ===\n");
+  net::TcpClient b_conn;
+  if (!b_conn.Connect("127.0.0.1", tcp.port()).ok()) return 1;
+  LocalRepository repo;
+  CommunixClient daemon(clock, b_conn, repo);
+  auto poll = daemon.PollOnce();
+  std::printf("client daemon fetched %zu new signature(s)\n",
+              poll.ok() ? poll.value() : 0);
+
+  dimmunix::DimmunixRuntime node_b(clock);
+  CommunixAgent agent(node_b, browser, repo);
+  const auto report = agent.ProcessNewSignatures();
+  std::printf("agent: examined %zu, accepted %zu (hash/depth/nesting all "
+              "passed)\n",
+              report.examined, report.accepted);
+
+  const bool b_deadlocked = RenderPage(node_b, 8);
+  std::printf("user B deadlocked: %s; avoidance suspensions: %llu\n",
+              b_deadlocked ? "yes" : "no",
+              static_cast<unsigned long long>(
+                  node_b.GetStats().avoidance_suspensions));
+
+  tcp.Stop();
+  std::printf("\n%s\n", b_deadlocked
+                            ? "FAILURE: collaboration did not protect user B"
+                            : "user B was protected by user A's encounter — "
+                              "collaborative immunity works.");
+  return b_deadlocked ? 1 : 0;
+}

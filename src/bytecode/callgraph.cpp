@@ -1,0 +1,51 @@
+#include "bytecode/callgraph.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace communix::bytecode {
+
+CallGraph::CallGraph(const Program& program) {
+  const std::size_t n = program.num_methods();
+  callees_.resize(n);
+  may_sync_.assign(n, false);
+
+  // callers[m] = methods that invoke m; seeds = methods that synchronize
+  // directly (or are unanalyzable, handled conservatively).
+  std::vector<std::vector<MethodId>> callers(n);
+  std::deque<MethodId> worklist;
+
+  for (std::size_t m = 0; m < n; ++m) {
+    const Method& method = program.method(static_cast<MethodId>(m));
+    bool direct_sync = method.is_synchronized || !method.analyzable;
+    for (const Instruction& insn : method.body) {
+      if (insn.op == Opcode::kMonitorEnter) direct_sync = true;
+      if (insn.op == Opcode::kInvoke && insn.operand >= 0 &&
+          static_cast<std::size_t>(insn.operand) < n) {
+        callees_[m].push_back(insn.operand);
+        callers[insn.operand].push_back(static_cast<MethodId>(m));
+      }
+    }
+    auto& c = callees_[m];
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+    if (direct_sync) {
+      may_sync_[m] = true;
+      worklist.push_back(static_cast<MethodId>(m));
+    }
+  }
+
+  // Propagate backwards: a caller of a may-sync method may sync.
+  while (!worklist.empty()) {
+    const MethodId m = worklist.front();
+    worklist.pop_front();
+    for (MethodId caller : callers[m]) {
+      if (!may_sync_[caller]) {
+        may_sync_[caller] = true;
+        worklist.push_back(caller);
+      }
+    }
+  }
+}
+
+}  // namespace communix::bytecode

@@ -1,0 +1,40 @@
+// Call graph and "may execute synchronization" reachability.
+//
+// The nesting analysis needs, at every call site, whether any method
+// reachable (directly or indirectly) from the callee is synchronized or
+// contains a synchronized block (§III-C3). We build the static call graph
+// from kInvoke operands and precompute that predicate for every method
+// with one reverse-reachability pass.
+#pragma once
+
+#include <vector>
+
+#include "bytecode/program.hpp"
+
+namespace communix::bytecode {
+
+class CallGraph {
+ public:
+  explicit CallGraph(const Program& program);
+
+  /// Direct callees of `method` (deduplicated).
+  const std::vector<MethodId>& callees(MethodId method) const {
+    return callees_.at(method);
+  }
+
+  /// True iff `method` itself is synchronized, contains a monitorenter, or
+  /// can (transitively) call such a method. Unanalyzable callees are
+  /// conservatively assumed to synchronize: this only makes the nesting
+  /// check say "nested" more often, which is the safe direction for the
+  /// validation (it admits no fewer attacker signatures than the paper's
+  /// analysis, and Table I's "analyzed" count is reported separately).
+  bool MayExecuteSync(MethodId method) const {
+    return may_sync_.at(method);
+  }
+
+ private:
+  std::vector<std::vector<MethodId>> callees_;
+  std::vector<bool> may_sync_;
+};
+
+}  // namespace communix::bytecode

@@ -1,0 +1,34 @@
+#include "bytecode/cfg.hpp"
+
+namespace communix::bytecode {
+
+Cfg::Cfg(const Program& program, MethodId method) {
+  const auto& body = program.method(method).body;
+  const std::size_t n = body.size();
+  successors_.resize(n);
+
+  auto add_edge = [&](std::size_t from, std::int64_t to) {
+    if (to >= 0 && static_cast<std::size_t>(to) < n) {
+      successors_[from].push_back(static_cast<std::size_t>(to));
+    }
+  };
+
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (body[i].op) {
+      case Opcode::kReturn:
+        break;  // no successors
+      case Opcode::kGoto:
+        add_edge(i, body[i].operand);
+        break;
+      case Opcode::kBranch:
+        add_edge(i, static_cast<std::int64_t>(i) + 1);  // fall-through
+        add_edge(i, body[i].operand);
+        break;
+      default:
+        add_edge(i, static_cast<std::int64_t>(i) + 1);
+        break;
+    }
+  }
+}
+
+}  // namespace communix::bytecode

@@ -1,0 +1,32 @@
+// Control-flow graph over a method body.
+//
+// Nodes are instruction indices; edges follow fall-through, kBranch (both
+// the target and the fall-through), kGoto (target only) and kReturn (no
+// successors). The nesting analysis (§III-C3) walks this graph from the
+// successor of each monitorenter.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "bytecode/program.hpp"
+
+namespace communix::bytecode {
+
+class Cfg {
+ public:
+  /// Builds the CFG of `method`'s body. Out-of-range jump targets are
+  /// clamped out (treated as method exit), so malformed bodies cannot
+  /// cause out-of-bounds successors.
+  Cfg(const Program& program, MethodId method);
+
+  std::size_t size() const { return successors_.size(); }
+  const std::vector<std::size_t>& successors(std::size_t index) const {
+    return successors_.at(index);
+  }
+
+ private:
+  std::vector<std::vector<std::size_t>> successors_;
+};
+
+}  // namespace communix::bytecode

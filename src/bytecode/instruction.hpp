@@ -1,0 +1,36 @@
+// Instruction set of the bytecode substrate.
+//
+// The paper's client-side validation analyzes Java bytecode with Soot
+// (§III-C3): it builds CFGs, walks them from each `monitorenter`, and
+// classifies synchronized blocks as nested/non-nested. We reproduce the
+// minimum instruction vocabulary that analysis needs. `kCompute` stands
+// for any run of non-synchronization, non-call bytecode.
+#pragma once
+
+#include <cstdint>
+
+namespace communix::bytecode {
+
+enum class Opcode : std::uint8_t {
+  kCompute = 0,        // arbitrary straight-line work
+  kMonitorEnter = 1,   // begin synchronized block (operand = lock-site id)
+  kMonitorExit = 2,    // end synchronized block (operand = lock-site id)
+  kInvoke = 3,         // call (operand = callee MethodId)
+  kBranch = 4,         // conditional jump (operand = target index; falls through too)
+  kGoto = 5,           // unconditional jump (operand = target index)
+  kReturn = 6,         // method exit
+  kExplicitLock = 7,   // ReentrantLock.lock()  (ignored by Communix, §III-C1)
+  kExplicitUnlock = 8, // ReentrantLock.unlock()
+};
+
+/// One bytecode instruction. `line` is the source line, used to build
+/// call-stack frames (frames are class.method:line triples, §III-C3).
+struct Instruction {
+  Opcode op = Opcode::kCompute;
+  std::int32_t operand = -1;
+  std::uint32_t line = 0;
+
+  friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+}  // namespace communix::bytecode

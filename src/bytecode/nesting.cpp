@@ -1,0 +1,69 @@
+#include "bytecode/nesting.hpp"
+
+#include <deque>
+
+#include "bytecode/cfg.hpp"
+
+namespace communix::bytecode {
+
+bool NestingAnalysis::IsNested(MethodId method, std::size_t body_index) const {
+  const Method& m = program_.method(method);
+  const Cfg cfg(program_, method);
+  const auto& body = m.body;
+
+  // BFS from the successors of the monitorenter. Each path terminates at
+  // the first monitorenter (=> nested), monitorexit (=> that path is
+  // non-nested), or a call that may synchronize (=> nested). If *any*
+  // path proves nesting, the block is nested — the deadlock only needs
+  // one feasible path.
+  std::deque<std::size_t> worklist(cfg.successors(body_index).begin(),
+                                   cfg.successors(body_index).end());
+  std::vector<bool> visited(body.size(), false);
+
+  while (!worklist.empty()) {
+    const std::size_t i = worklist.front();
+    worklist.pop_front();
+    if (visited[i]) continue;
+    visited[i] = true;
+
+    switch (body[i].op) {
+      case Opcode::kMonitorEnter:
+        return true;
+      case Opcode::kMonitorExit:
+        continue;  // this path closes the block without nesting
+      case Opcode::kInvoke:
+        if (body[i].operand >= 0 &&
+            static_cast<std::size_t>(body[i].operand) <
+                program_.num_methods() &&
+            callgraph_.MayExecuteSync(body[i].operand)) {
+          return true;
+        }
+        break;
+      default:
+        break;
+    }
+    for (std::size_t succ : cfg.successors(i)) {
+      if (!visited[succ]) worklist.push_back(succ);
+    }
+  }
+  return false;
+}
+
+NestingReport NestingAnalysis::AnalyzeAll() const {
+  NestingReport report;
+  for (const Method& m : program_.methods()) {
+    for (std::size_t i = 0; i < m.body.size(); ++i) {
+      const Instruction& insn = m.body[i];
+      if (insn.op != Opcode::kMonitorEnter) continue;
+      ++report.total;
+      if (!m.analyzable) continue;  // Soot could not build this CFG
+      ++report.analyzed;
+      if (IsNested(m.id, i) && insn.operand >= 0) {
+        report.nested_sites.insert(insn.operand);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace communix::bytecode

@@ -1,0 +1,54 @@
+// Nesting analysis: which synchronized blocks are nested? (§III-C3)
+//
+// A lock site is *nested* if, while the monitor is held, another monitor
+// acquisition can happen: walking the CFG from the successor of the
+// monitorenter, the first synchronization event seen on some path is
+// another monitorenter (directly, or inside any method reachable from a
+// call site before the matching monitorexit).
+//
+// The client-side validation (§III-C1's third check) only accepts
+// signatures whose outer call stacks end in nested lock sites: a
+// two-thread deadlock requires each thread to block while holding a lock,
+// which is only possible at nested sites. This caps what an attacker can
+// inject at N = #nested sites.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "bytecode/callgraph.hpp"
+#include "bytecode/program.hpp"
+
+namespace communix::bytecode {
+
+/// Result of the whole-program nesting analysis.
+struct NestingReport {
+  /// Lock-site ids classified as nested.
+  std::unordered_set<std::int32_t> nested_sites;
+  /// Number of sync blocks/methods the analysis could process (the paper's
+  /// "(Analyzed)" column); the rest live in unanalyzable methods.
+  std::size_t analyzed = 0;
+  /// Total sync blocks/methods encountered.
+  std::size_t total = 0;
+};
+
+class NestingAnalysis {
+ public:
+  explicit NestingAnalysis(const Program& program)
+      : program_(program), callgraph_(program) {}
+
+  /// Classifies every lock site in the program.
+  NestingReport AnalyzeAll() const;
+
+  /// True iff the monitorenter at `body_index` of `method` is nested.
+  /// Precondition: the instruction is a kMonitorEnter in an analyzable
+  /// method.
+  bool IsNested(MethodId method, std::size_t body_index) const;
+
+ private:
+  const Program& program_;
+  CallGraph callgraph_;
+};
+
+}  // namespace communix::bytecode

@@ -1,0 +1,123 @@
+#include "bytecode/program.hpp"
+
+#include <algorithm>
+
+#include "util/serde.hpp"
+
+namespace communix::bytecode {
+
+ClassId Program::AddClass(std::string name) {
+  const ClassId id = static_cast<ClassId>(classes_.size());
+  class_by_name_.emplace(name, id);
+  classes_.push_back(Klass{id, std::move(name), {}});
+  hash_cache_.emplace_back();
+  return id;
+}
+
+MethodId Program::AddMethod(ClassId class_id, std::string name,
+                            bool is_synchronized) {
+  const MethodId id = static_cast<MethodId>(methods_.size());
+  Method m;
+  m.id = id;
+  m.class_id = class_id;
+  m.name = std::move(name);
+  m.is_synchronized = is_synchronized;
+  methods_.push_back(std::move(m));
+  classes_.at(class_id).methods.push_back(id);
+  return id;
+}
+
+std::size_t Program::Emit(MethodId method, Instruction insn) {
+  auto& body = methods_.at(method).body;
+  body.push_back(insn);
+  return body.size() - 1;
+}
+
+std::int32_t Program::AddLockSite(ClassId class_id, MethodId method_id,
+                                  std::uint32_t line) {
+  const std::int32_t id = static_cast<std::int32_t>(sites_.size());
+  sites_.push_back(LockSite{id, class_id, method_id, line});
+  return id;
+}
+
+std::optional<ClassId> Program::FindClass(const std::string& name) const {
+  auto it = class_by_name_.find(name);
+  if (it == class_by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<MethodId> Program::FindMethod(
+    const std::string& class_name, const std::string& method_name) const {
+  const auto cid = FindClass(class_name);
+  if (!cid) return std::nullopt;
+  for (MethodId mid : classes_.at(*cid).methods) {
+    if (methods_.at(mid).name == method_name) return mid;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::uint8_t> Program::SerializeClass(ClassId id) const {
+  const Klass& k = classes_.at(id);
+  BinaryWriter w;
+  w.WriteString(k.name);
+  w.WriteU32(static_cast<std::uint32_t>(k.methods.size()));
+  for (MethodId mid : k.methods) {
+    const Method& m = methods_.at(mid);
+    w.WriteString(m.name);
+    w.WriteU8(m.is_synchronized ? 1 : 0);
+    w.WriteU32(static_cast<std::uint32_t>(m.body.size()));
+    for (const Instruction& insn : m.body) {
+      w.WriteU8(static_cast<std::uint8_t>(insn.op));
+      w.WriteU32(static_cast<std::uint32_t>(insn.operand));
+      w.WriteU32(insn.line);
+    }
+  }
+  return w.take();
+}
+
+const Sha256Digest& Program::ClassHash(ClassId id) const {
+  auto& slot = hash_cache_.at(id);
+  if (!slot) {
+    const auto bytes = SerializeClass(id);
+    slot = Sha256::Hash(
+        std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  }
+  return *slot;
+}
+
+std::optional<Sha256Digest> Program::ClassHashByName(
+    const std::string& name) const {
+  const auto cid = FindClass(name);
+  if (!cid) return std::nullopt;
+  return ClassHash(*cid);
+}
+
+std::uint64_t Program::TotalLines() const {
+  std::uint64_t total = 0;
+  for (const Method& m : methods_) {
+    std::uint32_t max_line = 0;
+    for (const Instruction& insn : m.body) {
+      max_line = std::max(max_line, insn.line);
+    }
+    total += max_line;
+  }
+  return total;
+}
+
+Program::Stats Program::ComputeStats() const {
+  Stats s;
+  s.loc = TotalLines();
+  for (const Method& m : methods_) {
+    if (m.is_synchronized) ++s.sync_blocks_and_methods;
+    for (const Instruction& insn : m.body) {
+      if (insn.op == Opcode::kMonitorEnter) ++s.sync_blocks_and_methods;
+      if (insn.op == Opcode::kExplicitLock ||
+          insn.op == Opcode::kExplicitUnlock) {
+        ++s.explicit_sync_ops;
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace communix::bytecode

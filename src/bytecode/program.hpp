@@ -1,0 +1,120 @@
+// Class/method/program model — the "application bytecode" substrate.
+//
+// Stands in for the Java class files the paper analyzes with Soot and
+// hashes for signature validation (§III-C). A `Program` is a set of
+// classes; each class has methods; each method is a list of instructions.
+// The per-class *bytecode hash* is the SHA-256 of the class's canonical
+// serialization, exactly the role class-bytecode hashes play in Communix:
+// distinguishing versions of a class across application releases.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bytecode/instruction.hpp"
+#include "util/sha256.hpp"
+
+namespace communix::bytecode {
+
+using MethodId = std::int32_t;
+using ClassId = std::int32_t;
+constexpr MethodId kInvalidMethod = -1;
+
+/// A method: owning class, name, body, and analysis metadata.
+struct Method {
+  MethodId id = kInvalidMethod;
+  ClassId class_id = -1;
+  std::string name;
+  bool is_synchronized = false;  // Java `synchronized` method modifier
+  /// Soot cannot always reconstruct a CFG (Table I analyzes only 11-54% of
+  /// sync blocks). Unanalyzable methods are skipped by the nesting
+  /// analysis, reproducing that limitation.
+  bool analyzable = true;
+  std::vector<Instruction> body;
+};
+
+/// A class: name plus its methods (by id into Program::methods).
+struct Klass {
+  ClassId id = -1;
+  std::string name;
+  std::vector<MethodId> methods;
+};
+
+/// A lock site: the static location of a monitorenter (or of the implicit
+/// monitorenter of a synchronized method). Signature outer/inner stacks
+/// end in lock sites.
+struct LockSite {
+  std::int32_t id = -1;
+  ClassId class_id = -1;
+  MethodId method_id = kInvalidMethod;
+  std::uint32_t line = 0;
+};
+
+/// An application: classes + methods + lock sites, with per-class hashes.
+///
+/// `loaded_classes` models JVM class loading: the agent computes hashes
+/// lazily for loaded classes, and the nesting analysis is re-run when new
+/// classes load (§III-C3). Tests drive loading explicitly.
+class Program {
+ public:
+  /// Adds a class; returns its id.
+  ClassId AddClass(std::string name);
+  /// Adds a method to `class_id`; returns its id.
+  MethodId AddMethod(ClassId class_id, std::string name,
+                     bool is_synchronized = false);
+  /// Appends an instruction to a method's body; returns its index.
+  std::size_t Emit(MethodId method, Instruction insn);
+  /// Registers a lock site and returns its id.
+  std::int32_t AddLockSite(ClassId class_id, MethodId method_id,
+                           std::uint32_t line);
+
+  const Klass& klass(ClassId id) const { return classes_.at(id); }
+  const Method& method(MethodId id) const { return methods_.at(id); }
+  Method& mutable_method(MethodId id) { return methods_.at(id); }
+  const LockSite& lock_site(std::int32_t id) const { return sites_.at(id); }
+
+  std::size_t num_classes() const { return classes_.size(); }
+  std::size_t num_methods() const { return methods_.size(); }
+  std::size_t num_lock_sites() const { return sites_.size(); }
+  const std::vector<Klass>& classes() const { return classes_; }
+  const std::vector<Method>& methods() const { return methods_; }
+  const std::vector<LockSite>& lock_sites() const { return sites_; }
+
+  std::optional<ClassId> FindClass(const std::string& name) const;
+  std::optional<MethodId> FindMethod(const std::string& class_name,
+                                     const std::string& method_name) const;
+
+  /// Canonical byte serialization of one class (its "bytecode"). Any
+  /// change to a method body, name, or flag changes the serialization.
+  std::vector<std::uint8_t> SerializeClass(ClassId id) const;
+
+  /// SHA-256 of SerializeClass. Cached; invalidated by nothing (programs
+  /// are immutable once built — rebuild to model a new app version).
+  const Sha256Digest& ClassHash(ClassId id) const;
+
+  /// Hash of the class with the given name, if present.
+  std::optional<Sha256Digest> ClassHashByName(const std::string& name) const;
+
+  /// Total "lines of code": the max line emitted per method, summed.
+  std::uint64_t TotalLines() const;
+
+  /// Statistics matching Table I's columns.
+  struct Stats {
+    std::uint64_t loc = 0;
+    std::size_t sync_blocks_and_methods = 0;
+    std::size_t explicit_sync_ops = 0;
+  };
+  Stats ComputeStats() const;
+
+ private:
+  std::vector<Klass> classes_;
+  std::vector<Method> methods_;
+  std::vector<LockSite> sites_;
+  std::unordered_map<std::string, ClassId> class_by_name_;
+  mutable std::vector<std::optional<Sha256Digest>> hash_cache_;
+};
+
+}  // namespace communix::bytecode

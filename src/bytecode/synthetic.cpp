@@ -1,0 +1,291 @@
+#include "bytecode/synthetic.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace communix::bytecode {
+
+namespace {
+
+/// Emits a run of kCompute instructions, advancing the line counter.
+void EmitComputes(Program& p, MethodId m, std::uint32_t& line, int count,
+                  Rng& rng) {
+  for (int i = 0; i < count; ++i) {
+    line += static_cast<std::uint32_t>(rng.NextInt(1, 6));
+    p.Emit(m, Instruction{Opcode::kCompute, -1, line});
+  }
+}
+
+}  // namespace
+
+SyntheticApp GenerateApp(const SyntheticSpec& spec) {
+  if (spec.sync_blocks < spec.analyzable_sync_blocks) {
+    throw std::invalid_argument("analyzable_sync_blocks > sync_blocks");
+  }
+  if (spec.analyzable_sync_blocks <
+      spec.nested_sync_blocks + spec.sync_helpers) {
+    throw std::invalid_argument(
+        "analyzable_sync_blocks must cover nested hosts + helpers");
+  }
+  if (spec.classes == 0) throw std::invalid_argument("classes == 0");
+  if (spec.nested_sync_blocks > 0 && spec.sync_helpers == 0) {
+    throw std::invalid_argument("nested hosts require at least one helper");
+  }
+
+  SyntheticApp app;
+  app.spec = spec;
+  Program& p = app.program;
+  Rng rng(spec.seed);
+
+  const std::size_t hosts_total = spec.sync_blocks - spec.sync_helpers;
+  const std::size_t analyzable_hosts =
+      spec.analyzable_sync_blocks - spec.sync_helpers;
+  const std::size_t nested_hosts = spec.nested_sync_blocks;
+  const std::size_t unanalyzable_hosts = hosts_total - analyzable_hosts;
+
+  // --- Classes --------------------------------------------------------
+  std::vector<ClassId> classes;
+  classes.reserve(spec.classes);
+  for (std::size_t c = 0; c < spec.classes; ++c) {
+    classes.push_back(p.AddClass(spec.name + ".pkg" + std::to_string(c % 17) +
+                                 ".C" + std::to_string(c)));
+  }
+
+  // --- Synchronized helpers (the "synchronized method" population) -----
+  std::vector<MethodId> helpers;
+  for (std::size_t h = 0; h < spec.sync_helpers; ++h) {
+    const ClassId cid = classes[h % classes.size()];
+    const MethodId m = p.AddMethod(cid, "syncHelper" + std::to_string(h));
+    helpers.push_back(m);
+    std::uint32_t line = 1;
+    line += 1;
+    const std::int32_t site = p.AddLockSite(cid, m, line);
+    app.helper_sites.push_back(site);
+    p.Emit(m, Instruction{Opcode::kMonitorEnter, site, line});
+    EmitComputes(p, m, line, static_cast<int>(rng.NextInt(2, 6)), rng);
+    line += 1;
+    p.Emit(m, Instruction{Opcode::kMonitorExit, site, line});
+    p.Emit(m, Instruction{Opcode::kReturn, -1, line});
+  }
+
+  // --- Hosts ------------------------------------------------------------
+  // Order: nested (analyzable), non-nested (analyzable), unanalyzable.
+  struct HostPlan {
+    bool nested;
+    bool analyzable;
+  };
+  std::vector<HostPlan> plans;
+  plans.reserve(hosts_total);
+  for (std::size_t i = 0; i < nested_hosts; ++i)
+    plans.push_back({true, true});
+  for (std::size_t i = nested_hosts; i < analyzable_hosts; ++i)
+    plans.push_back({false, true});
+  for (std::size_t i = 0; i < unanalyzable_hosts; ++i)
+    plans.push_back({rng.NextBool(0.3), false});
+
+  std::vector<std::vector<MethodId>> hosts_in_class(classes.size());
+  app.chain_of_site.assign(hosts_total + spec.sync_helpers + 16, -1);
+
+  std::vector<MethodId> host_methods;
+  std::vector<std::int32_t> host_sites;
+  host_methods.reserve(hosts_total);
+  for (std::size_t i = 0; i < hosts_total; ++i) {
+    const std::size_t c = i % classes.size();
+    const ClassId cid = classes[c];
+    const MethodId m = p.AddMethod(cid, "host" + std::to_string(i));
+    p.mutable_method(m).analyzable = plans[i].analyzable;
+    hosts_in_class[c].push_back(m);
+    host_methods.push_back(m);
+
+    std::uint32_t line = 1;
+    EmitComputes(p, m, line, static_cast<int>(rng.NextInt(1, 4)), rng);
+    line += 1;
+    const std::int32_t site = p.AddLockSite(cid, m, line);
+    host_sites.push_back(site);
+    p.Emit(m, Instruction{Opcode::kMonitorEnter, site, line});
+    EmitComputes(p, m, line, static_cast<int>(rng.NextInt(1, 3)), rng);
+    if (plans[i].nested && !helpers.empty()) {
+      const MethodId callee =
+          helpers[rng.NextBounded(helpers.size())];
+      line += 1;
+      p.Emit(m, Instruction{Opcode::kInvoke, callee, line});
+      EmitComputes(p, m, line, 1, rng);
+    }
+    line += 1;
+    p.Emit(m, Instruction{Opcode::kMonitorExit, site, line});
+    EmitComputes(p, m, line, static_cast<int>(rng.NextInt(1, 3)), rng);
+    p.Emit(m, Instruction{Opcode::kReturn, -1, line});
+
+    if (plans[i].analyzable) {
+      if (plans[i].nested) {
+        app.nested_sites.push_back(site);
+      } else {
+        app.non_nested_sites.push_back(site);
+      }
+    } else {
+      app.unanalyzable_sites.push_back(site);
+    }
+  }
+
+  // --- Driver chains: one per class, last driver invokes that class's
+  // hosts. The chain provides the deep call stacks under which hosts run.
+  std::vector<std::vector<MethodId>> class_chain(classes.size());
+  const std::size_t chain_len = std::max<std::size_t>(spec.driver_chain_length, 1);
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    if (hosts_in_class[c].empty()) continue;
+    auto& chain = class_chain[c];
+    for (std::size_t d = 0; d < chain_len; ++d) {
+      chain.push_back(
+          p.AddMethod(classes[c], "drive" + std::to_string(d)));
+    }
+    for (std::size_t d = 0; d < chain_len; ++d) {
+      const MethodId m = chain[d];
+      std::uint32_t line = 1;
+      EmitComputes(p, m, line, 2, rng);
+      if (d + 1 < chain_len) {
+        line += 1;
+        p.Emit(m, Instruction{Opcode::kInvoke, chain[d + 1], line});
+      } else {
+        for (MethodId host : hosts_in_class[c]) {
+          line += 1;
+          p.Emit(m, Instruction{Opcode::kInvoke, host, line});
+        }
+      }
+      EmitComputes(p, m, line, 1, rng);
+      p.Emit(m, Instruction{Opcode::kReturn, -1, line});
+    }
+  }
+
+  // Record per-site driver chains for stack synthesis.
+  app.driver_chains.resize(host_sites.size());
+  if (app.chain_of_site.size() < p.num_lock_sites()) {
+    app.chain_of_site.resize(p.num_lock_sites(), -1);
+  }
+  for (std::size_t i = 0; i < host_sites.size(); ++i) {
+    const std::size_t c = i % classes.size();
+    app.driver_chains[i] = class_chain[c];
+    app.chain_of_site[host_sites[i]] = static_cast<std::int32_t>(i);
+  }
+
+  // --- Explicit lock/unlock population (ignored by Communix, §III-C1) --
+  std::size_t explicit_emitted = 0;
+  std::size_t plain_idx = 0;
+  while (explicit_emitted < spec.explicit_sync_ops) {
+    const ClassId cid = classes[plain_idx % classes.size()];
+    const MethodId m =
+        p.AddMethod(cid, "explicitLocker" + std::to_string(plain_idx));
+    ++plain_idx;
+    std::uint32_t line = 1;
+    EmitComputes(p, m, line, 2, rng);
+    line += 1;
+    p.Emit(m, Instruction{Opcode::kExplicitLock, -1, line});
+    ++explicit_emitted;
+    EmitComputes(p, m, line, 2, rng);
+    if (explicit_emitted < spec.explicit_sync_ops) {
+      line += 1;
+      p.Emit(m, Instruction{Opcode::kExplicitUnlock, -1, line});
+      ++explicit_emitted;
+    }
+    p.Emit(m, Instruction{Opcode::kReturn, -1, line});
+  }
+
+  // --- LOC padding ------------------------------------------------------
+  // Filler methods of ~2,000 lines each until the LOC target is reached.
+  const std::uint64_t have = p.TotalLines();
+  if (spec.target_loc > have) {
+    std::uint64_t deficit = spec.target_loc - have;
+    std::size_t filler_idx = 0;
+    while (deficit > 0) {
+      const std::uint64_t span = std::min<std::uint64_t>(deficit, 2'000);
+      const ClassId cid = classes[filler_idx % classes.size()];
+      const MethodId m =
+          p.AddMethod(cid, "filler" + std::to_string(filler_idx));
+      ++filler_idx;
+      std::uint32_t line = 0;
+      while (line < span) {
+        line += static_cast<std::uint32_t>(rng.NextInt(6, 10));
+        if (line > span) line = static_cast<std::uint32_t>(span);
+        p.Emit(m, Instruction{Opcode::kCompute, -1, line});
+      }
+      p.Emit(m, Instruction{Opcode::kReturn, -1, line});
+      deficit -= span;
+    }
+  }
+
+  return app;
+}
+
+SyntheticSpec JBossProfile() {
+  SyntheticSpec s;
+  s.name = "jboss";
+  s.target_loc = 636'895;
+  s.sync_blocks = 1'898;
+  s.analyzable_sync_blocks = 844;
+  s.nested_sync_blocks = 249;
+  s.explicit_sync_ops = 104;
+  s.classes = 300;
+  s.driver_chain_length = 12;
+  s.seed = 0xB055;
+  return s;
+}
+
+SyntheticSpec LimewireProfile() {
+  SyntheticSpec s;
+  s.name = "limewire";
+  s.target_loc = 595'623;
+  s.sync_blocks = 1'435;
+  s.analyzable_sync_blocks = 781;
+  s.nested_sync_blocks = 277;
+  s.explicit_sync_ops = 189;
+  s.classes = 280;
+  s.driver_chain_length = 12;
+  s.seed = 0x11ED;
+  return s;
+}
+
+SyntheticSpec VuzeProfile() {
+  SyntheticSpec s;
+  s.name = "vuze";
+  s.target_loc = 476'702;
+  s.sync_blocks = 3'653;
+  s.analyzable_sync_blocks = 432;
+  s.nested_sync_blocks = 120;
+  s.explicit_sync_ops = 14;
+  s.classes = 220;
+  s.driver_chain_length = 12;
+  s.seed = 0x0ACE;
+  return s;
+}
+
+SyntheticSpec EclipseProfile() {
+  // Eclipse appears in Table II only; Table I does not report its
+  // statistics. Plausible numbers for a large IDE codebase.
+  SyntheticSpec s;
+  s.name = "eclipse";
+  s.target_loc = 812'000;
+  s.sync_blocks = 2'410;
+  s.analyzable_sync_blocks = 980;
+  s.nested_sync_blocks = 301;
+  s.explicit_sync_ops = 131;
+  s.classes = 340;
+  s.driver_chain_length = 13;
+  s.seed = 0xEC11;
+  return s;
+}
+
+SyntheticSpec MySqlJdbcProfile() {
+  // MySQL Connector/J (Table II's "MySQL JDBC"): a mid-size driver.
+  SyntheticSpec s;
+  s.name = "mysql-jdbc";
+  s.target_loc = 68'500;
+  s.sync_blocks = 312;
+  s.analyzable_sync_blocks = 165;
+  s.nested_sync_blocks = 58;
+  s.explicit_sync_ops = 36;
+  s.classes = 60;
+  s.driver_chain_length = 11;
+  s.seed = 0x5DBC;
+  return s;
+}
+
+}  // namespace communix::bytecode

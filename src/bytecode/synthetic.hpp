@@ -1,0 +1,88 @@
+// Synthetic application generator.
+//
+// The paper evaluates on JBoss, Limewire, Vuze, Eclipse and MySQL-JDBC —
+// real Java applications we cannot ship. What the evaluation actually
+// depends on is their *structure*: lines of code, number of synchronized
+// blocks/methods, how many are nested, how many Soot could analyze
+// (Table I), and how deep the call stacks under locks are. This generator
+// produces programs with exactly those target statistics from a seed, so
+// every table/figure can be regenerated deterministically.
+//
+// Layout of a generated app:
+//  - `hosts`: methods containing one top-level synchronized block each.
+//    Nested hosts invoke a synchronized helper inside the block; the rest
+//    close the block without further synchronization.
+//  - `helpers`: small methods whose whole body is a synchronized block
+//    (the AspectJ view of a synchronized method, §III-C3).
+//  - `drivers`: call chains d0 -> d1 -> ... -> host, giving the deep call
+//    stacks (depth > 10, §III-C1) real applications exhibit.
+//  - plain compute methods pad the program to the LOC target; a subset
+//    carries ReentrantLock-style explicit lock/unlock ops, which Communix
+//    ignores by design (§III-C1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bytecode/program.hpp"
+#include "util/rng.hpp"
+
+namespace communix::bytecode {
+
+/// Target statistics for a generated application (Table I's columns).
+struct SyntheticSpec {
+  std::string name = "app";
+  std::uint64_t target_loc = 100'000;
+  /// Total synchronized blocks/methods ("Sync bl/meths").
+  std::size_t sync_blocks = 500;
+  /// How many of them live in methods Soot can analyze ("(Analyzed)").
+  std::size_t analyzable_sync_blocks = 250;
+  /// How many analyzable ones are nested ("Nested").
+  std::size_t nested_sync_blocks = 60;
+  /// Calls to ReentrantLock.lock/unlock ("Explicit sync ops").
+  std::size_t explicit_sync_ops = 50;
+  /// Number of synchronized helper methods shared by nested hosts.
+  std::size_t sync_helpers = 8;
+  /// Length of driver call chains feeding each host (call-stack depth).
+  std::size_t driver_chain_length = 10;
+  std::size_t classes = 100;
+  std::uint64_t seed = 1;
+};
+
+/// A generated application plus the metadata experiments need.
+struct SyntheticApp {
+  Program program;
+  SyntheticSpec spec;
+  /// Lock sites of nested (analyzable) hosts — the attacker's target set.
+  std::vector<std::int32_t> nested_sites;
+  /// Lock sites of non-nested analyzable hosts.
+  std::vector<std::int32_t> non_nested_sites;
+  /// Lock sites inside unanalyzable methods.
+  std::vector<std::int32_t> unanalyzable_sites;
+  /// Lock sites of the synchronized helpers.
+  std::vector<std::int32_t> helper_sites;
+  /// For each host lock site, the driver chain (outermost first) whose
+  /// last element invokes the host method. Used to synthesize realistic
+  /// call stacks that end at the site.
+  std::vector<std::vector<MethodId>> driver_chains;
+  /// host index by lock-site id (into driver_chains).
+  std::vector<std::int32_t> chain_of_site;
+
+  /// Method owning a given lock site.
+  MethodId SiteMethod(std::int32_t site) const {
+    return program.lock_site(site).method_id;
+  }
+};
+
+/// Generates an application matching `spec` (deterministic in spec.seed).
+SyntheticApp GenerateApp(const SyntheticSpec& spec);
+
+/// Named profiles matching Table I / Table II applications.
+SyntheticSpec JBossProfile();
+SyntheticSpec LimewireProfile();
+SyntheticSpec VuzeProfile();
+SyntheticSpec EclipseProfile();
+SyntheticSpec MySqlJdbcProfile();
+
+}  // namespace communix::bytecode

@@ -1,0 +1,58 @@
+// Communix client daemon (§III-B).
+//
+// A per-machine background process, decoupled from any application, that
+// periodically downloads new signatures from the Communix server into the
+// local repository. The paper uses a once-a-day period ("a high frequency
+// would overload the Communix server") and incremental GETs: only the
+// signatures not yet in the local repository are requested.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "communix/repository.hpp"
+#include "net/message.hpp"
+#include "util/clock.hpp"
+
+namespace communix {
+
+class CommunixClient {
+ public:
+  struct Options {
+    TimePoint poll_period = kNanosPerDay;  // "once a day"
+  };
+
+  CommunixClient(Clock& clock, net::ClientTransport& transport,
+                 LocalRepository& repo)
+      : CommunixClient(clock, transport, repo, Options{}) {}
+  CommunixClient(Clock& clock, net::ClientTransport& transport,
+                 LocalRepository& repo, Options options);
+  ~CommunixClient();
+
+  CommunixClient(const CommunixClient&) = delete;
+  CommunixClient& operator=(const CommunixClient&) = delete;
+
+  /// One incremental download: GET(next_server_index()), append results.
+  /// Returns the number of new signatures fetched (or error).
+  Result<std::size_t> PollOnce();
+
+  /// Starts the background daemon loop (sleep poll_period, PollOnce).
+  void Start();
+  void Stop();
+
+  std::uint64_t polls_completed() const { return polls_.load(); }
+
+ private:
+  void DaemonLoop();
+
+  Clock& clock_;
+  net::ClientTransport& transport_;
+  LocalRepository& repo_;
+  const Options options_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::uint64_t> polls_{0};
+  std::thread daemon_;
+};
+
+}  // namespace communix

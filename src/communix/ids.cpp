@@ -1,0 +1,54 @@
+#include "communix/ids.hpp"
+
+#include "util/fnv.hpp"
+
+namespace communix {
+
+namespace {
+constexpr std::uint32_t kTokenMagic = 0x434D4E58;  // "CMNX"
+
+std::uint32_t TokenChecksum(UserId user) {
+  // Truncated FNV over (user, magic): detects forged/corrupt blocks after
+  // decryption. AES itself provides the unforgeability.
+  return static_cast<std::uint32_t>(
+      Fnv1aU64(user, Fnv1aU64(kTokenMagic)));
+}
+}  // namespace
+
+IdAuthority::IdAuthority(const AesKey& key) : cipher_(key) {}
+
+UserToken IdAuthority::Issue(UserId user) const {
+  AesBlock plain{};
+  for (int i = 0; i < 4; ++i) {
+    plain[i] = static_cast<std::uint8_t>(kTokenMagic >> (i * 8));
+  }
+  for (int i = 0; i < 8; ++i) {
+    plain[4 + i] = static_cast<std::uint8_t>(user >> (i * 8));
+  }
+  const std::uint32_t checksum = TokenChecksum(user);
+  for (int i = 0; i < 4; ++i) {
+    plain[12 + i] = static_cast<std::uint8_t>(checksum >> (i * 8));
+  }
+  return cipher_.EncryptBlock(plain);
+}
+
+std::optional<UserId> IdAuthority::Decode(const UserToken& token) const {
+  const AesBlock plain = cipher_.DecryptBlock(token);
+  std::uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) {
+    magic |= static_cast<std::uint32_t>(plain[i]) << (i * 8);
+  }
+  if (magic != kTokenMagic) return std::nullopt;
+  UserId user = 0;
+  for (int i = 0; i < 8; ++i) {
+    user |= static_cast<UserId>(plain[4 + i]) << (i * 8);
+  }
+  std::uint32_t checksum = 0;
+  for (int i = 0; i < 4; ++i) {
+    checksum |= static_cast<std::uint32_t>(plain[12 + i]) << (i * 8);
+  }
+  if (checksum != TokenChecksum(user)) return std::nullopt;
+  return user;
+}
+
+}  // namespace communix

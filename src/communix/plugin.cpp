@@ -1,0 +1,78 @@
+#include "communix/plugin.hpp"
+
+#include "util/logging.hpp"
+
+namespace communix {
+
+using dimmunix::CallStack;
+using dimmunix::Frame;
+using dimmunix::Signature;
+using dimmunix::SignatureEntry;
+
+CommunixPlugin::CommunixPlugin(dimmunix::DimmunixRuntime& runtime,
+                               const bytecode::Program& app,
+                               net::ClientTransport& transport,
+                               UserToken token)
+    : runtime_(runtime), app_(app), transport_(transport), token_(token) {}
+
+void CommunixPlugin::Install() {
+  runtime_.SetNewSignatureCallback([this](const Signature& sig) {
+    const Status s = UploadSignature(sig);
+    if (!s.ok()) {
+      CX_LOG(kInfo, "plugin") << "upload rejected: " << s.ToString();
+    }
+  });
+}
+
+Signature CommunixPlugin::AttachHashes(const Signature& sig) const {
+  auto attach = [this](const CallStack& stack) {
+    std::vector<Frame> frames = stack.frames();
+    for (Frame& f : frames) {
+      f.class_hash = app_.ClassHashByName(f.class_name);
+    }
+    return CallStack(std::move(frames));
+  };
+  std::vector<SignatureEntry> entries;
+  entries.reserve(sig.num_threads());
+  for (const SignatureEntry& e : sig.entries()) {
+    entries.push_back(SignatureEntry{attach(e.outer), attach(e.inner)});
+  }
+  return Signature(std::move(entries));
+}
+
+Status CommunixPlugin::UploadSignature(const Signature& sig) {
+  attempted_.fetch_add(1, std::memory_order_relaxed);
+
+  const Signature hashed = AttachHashes(sig);
+  BinaryWriter w;
+  w.WriteRaw(std::span<const std::uint8_t>(token_.data(), token_.size()));
+  hashed.Serialize(w);
+
+  net::Request request;
+  request.type = net::MsgType::kAddSignature;
+  request.payload = w.take();
+
+  auto result = transport_.Call(request);
+  if (!result.ok()) {
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return result.status();
+  }
+  const net::Response& resp = result.value();
+  if (resp.ok()) {
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Ok();
+  }
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Error(resp.code, resp.error);
+}
+
+CommunixPlugin::Stats CommunixPlugin::GetStats() const {
+  Stats s;
+  s.uploads_attempted = attempted_.load(std::memory_order_relaxed);
+  s.uploads_accepted = accepted_.load(std::memory_order_relaxed);
+  s.uploads_rejected = rejected_.load(std::memory_order_relaxed);
+  s.transport_failures = failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace communix

@@ -1,0 +1,56 @@
+// Communix plugin (§III-A, §III-B).
+//
+// Runs on top of Dimmunix inside the application. When Dimmunix produces
+// a new deadlock signature, the plugin (1) attaches to every call-stack
+// frame the hash of the bytecode of the class containing that frame and
+// (2) uploads the signature to the Communix server with the user's
+// encrypted id.
+#pragma once
+
+#include <atomic>
+
+#include "bytecode/program.hpp"
+#include "communix/ids.hpp"
+#include "dimmunix/runtime.hpp"
+#include "net/message.hpp"
+
+namespace communix {
+
+class CommunixPlugin {
+ public:
+  CommunixPlugin(dimmunix::DimmunixRuntime& runtime,
+                 const bytecode::Program& app, net::ClientTransport& transport,
+                 UserToken token);
+
+  /// Registers the upload hook on the runtime's new-signature callback.
+  void Install();
+
+  /// Returns a copy of `sig` with per-frame class-bytecode hashes attached
+  /// (frames whose class is unknown to the app keep no hash; the
+  /// receiving agent will trim them during validation).
+  dimmunix::Signature AttachHashes(const dimmunix::Signature& sig) const;
+
+  /// Synchronous upload (hook calls this; also usable directly).
+  Status UploadSignature(const dimmunix::Signature& sig);
+
+  struct Stats {
+    std::uint64_t uploads_attempted = 0;
+    std::uint64_t uploads_accepted = 0;
+    std::uint64_t uploads_rejected = 0;
+    std::uint64_t transport_failures = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  dimmunix::DimmunixRuntime& runtime_;
+  const bytecode::Program& app_;
+  net::ClientTransport& transport_;
+  const UserToken token_;
+
+  std::atomic<std::uint64_t> attempted_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_{0};
+  std::atomic<std::uint64_t> failures_{0};
+};
+
+}  // namespace communix

@@ -1,0 +1,285 @@
+#include "communix/server.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+#include "util/logging.hpp"
+
+namespace communix {
+
+using dimmunix::Signature;
+
+CommunixServer::CommunixServer(Clock& clock, Options options)
+    : clock_(clock), options_(options), authority_(options.server_key) {}
+
+std::unordered_set<std::uint64_t> CommunixServer::TopFrameSet(
+    const Signature& sig) {
+  std::unordered_set<std::uint64_t> tops;
+  for (const auto& e : sig.entries()) {
+    if (!e.outer.empty()) tops.insert(e.outer.TopKey());
+    if (!e.inner.empty()) tops.insert(e.inner.TopKey());
+  }
+  return tops;
+}
+
+bool CommunixServer::Adjacent(const std::unordered_set<std::uint64_t>& a,
+                              const std::unordered_set<std::uint64_t>& b) {
+  // "some (but not all) top frames in common": nonempty intersection and
+  // the sets are not identical.
+  if (a == b) return false;
+  for (std::uint64_t k : a) {
+    if (b.count(k) > 0) return true;
+  }
+  return false;
+}
+
+Status CommunixServer::AddSignature(const UserToken& token,
+                                    const Signature& sig) {
+  const auto user = authority_.Decode(token);
+  if (!user) {
+    std::unique_lock lock(mu_);
+    ++stats_.rejected_bad_token;
+    return Status::Error(ErrorCode::kPermissionDenied, "invalid sender id");
+  }
+  if (sig.empty() || sig.num_threads() < 2) {
+    std::unique_lock lock(mu_);
+    ++stats_.rejected_malformed;
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         "signature must involve >= 2 threads");
+  }
+
+  const std::int64_t today = clock_.Now() / kNanosPerDay;
+  const auto tops = TopFrameSet(sig);
+
+  std::unique_lock lock(mu_);
+  UserState& state = users_[*user];
+  if (state.day != today) {
+    state.day = today;
+    state.processed_today = 0;
+  }
+  if (state.processed_today >= options_.per_user_daily_limit) {
+    ++stats_.rejected_rate_limited;
+    return Status::Error(ErrorCode::kResourceExhausted,
+                         "daily signature quota exceeded");
+  }
+  ++state.processed_today;
+
+  if (options_.adjacency_check_enabled) {
+    for (const auto& prior : state.accepted_top_sets) {
+      if (Adjacent(prior, tops)) {
+        ++stats_.rejected_adjacent;
+        return Status::Error(
+            ErrorCode::kPermissionDenied,
+            "adjacent to a signature previously sent by this user");
+      }
+    }
+  }
+
+  const std::uint64_t content = sig.ContentId();
+  if (content_ids_.count(content) > 0) {
+    ++stats_.adds_duplicate;
+    return Status::Error(ErrorCode::kAlreadyExists, "duplicate signature");
+  }
+
+  Stored stored;
+  stored.bytes = sig.ToBytes();
+  stored.content_id = content;
+  stored.sender = *user;
+  stored.added_at = clock_.Now();
+  db_.push_back(std::move(stored));
+  content_ids_.insert(content);
+  state.accepted_top_sets.push_back(tops);
+  ++stats_.adds_accepted;
+  return Status::Ok();
+}
+
+void CommunixServer::VisitSince(
+    std::uint64_t from,
+    const std::function<void(std::uint64_t,
+                             const std::vector<std::uint8_t>&)>& fn) const {
+  std::shared_lock lock(mu_);
+  for (std::uint64_t i = from; i < db_.size(); ++i) {
+    fn(i, db_[i].bytes);
+  }
+}
+
+std::vector<std::vector<std::uint8_t>> CommunixServer::GetSince(
+    std::uint64_t from) const {
+  std::vector<std::vector<std::uint8_t>> out;
+  VisitSince(from, [&](std::uint64_t, const std::vector<std::uint8_t>& bytes) {
+    out.push_back(bytes);
+  });
+  return out;
+}
+
+std::uint64_t CommunixServer::db_size() const {
+  std::shared_lock lock(mu_);
+  return db_.size();
+}
+
+net::Response CommunixServer::Handle(const net::Request& request) {
+  net::Response resp;
+  switch (request.type) {
+    case net::MsgType::kPing:
+      break;
+
+    case net::MsgType::kAddSignature: {
+      BinaryReader r(std::span<const std::uint8_t>(request.payload.data(),
+                                                   request.payload.size()));
+      const auto raw_token = r.ReadRaw(16);
+      auto sig = Signature::Deserialize(r);
+      if (raw_token.size() != 16 || !sig || !r.AtEnd()) {
+        std::unique_lock lock(mu_);
+        ++stats_.rejected_malformed;
+        resp.code = ErrorCode::kInvalidArgument;
+        resp.error = "malformed ADD payload";
+        break;
+      }
+      UserToken token;
+      std::copy(raw_token.begin(), raw_token.end(), token.begin());
+      const Status s = AddSignature(token, *sig);
+      resp.code = s.code();
+      resp.error = s.message();
+      break;
+    }
+
+    case net::MsgType::kGetSignatures: {
+      BinaryReader r(std::span<const std::uint8_t>(request.payload.data(),
+                                                   request.payload.size()));
+      const std::uint64_t from = r.ReadU64();
+      if (!r.AtEnd()) {
+        resp.code = ErrorCode::kInvalidArgument;
+        resp.error = "malformed GET payload";
+        break;
+      }
+      BinaryWriter w;
+      std::uint32_t count = 0;
+      // Two-pass: count then emit, so the count prefix is exact.
+      {
+        std::shared_lock lock(mu_);
+        count = static_cast<std::uint32_t>(
+            from >= db_.size() ? 0 : db_.size() - from);
+        w.WriteU32(count);
+        for (std::uint64_t i = from; i < db_.size(); ++i) {
+          w.WriteBytes(std::span<const std::uint8_t>(db_[i].bytes.data(),
+                                                     db_[i].bytes.size()));
+        }
+      }
+      gets_served_.fetch_add(1, std::memory_order_relaxed);
+      resp.payload = w.take();
+      break;
+    }
+
+    case net::MsgType::kIssueId: {
+      BinaryReader r(std::span<const std::uint8_t>(request.payload.data(),
+                                                   request.payload.size()));
+      const UserId user = r.ReadU64();
+      if (!r.AtEnd()) {
+        resp.code = ErrorCode::kInvalidArgument;
+        resp.error = "malformed ISSUE_ID payload";
+        break;
+      }
+      const UserToken token = authority_.Issue(user);
+      resp.payload.assign(token.begin(), token.end());
+      break;
+    }
+  }
+  return resp;
+}
+
+namespace {
+constexpr std::uint32_t kDbMagic = 0x434D5342;  // "CMSB"
+constexpr std::uint32_t kDbVersion = 1;
+}  // namespace
+
+Status CommunixServer::SaveToFile(const std::string& path) const {
+  BinaryWriter w;
+  {
+    std::shared_lock lock(mu_);
+    w.WriteU32(kDbMagic);
+    w.WriteU32(kDbVersion);
+    w.WriteU32(static_cast<std::uint32_t>(db_.size()));
+    for (const Stored& s : db_) {
+      w.WriteU64(s.sender);
+      w.WriteI64(s.added_at);
+      w.WriteBytes(std::span<const std::uint8_t>(s.bytes.data(),
+                                                 s.bytes.size()));
+    }
+  }
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Error(ErrorCode::kUnavailable, "cannot open " + tmp);
+    }
+    out.write(reinterpret_cast<const char*>(w.data().data()),
+              static_cast<std::streamsize>(w.size()));
+    if (!out) {
+      return Status::Error(ErrorCode::kUnavailable, "short write " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Error(ErrorCode::kUnavailable, "rename: " + ec.message());
+  }
+  return Status::Ok();
+}
+
+Status CommunixServer::LoadFromFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Error(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  BinaryReader r(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  if (r.ReadU32() != kDbMagic || r.ReadU32() != kDbVersion) {
+    return Status::Error(ErrorCode::kDataLoss, "bad server DB header");
+  }
+  const std::uint32_t count = r.ReadU32();
+
+  std::vector<Stored> db;
+  std::unordered_set<std::uint64_t> content_ids;
+  std::unordered_map<UserId, UserState> users;
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Stored s;
+    s.sender = r.ReadU64();
+    s.added_at = r.ReadI64();
+    s.bytes = r.ReadBytes();
+    if (!r.ok()) {
+      return Status::Error(ErrorCode::kDataLoss, "corrupt server DB record");
+    }
+    auto sig = Signature::FromBytes(
+        std::span<const std::uint8_t>(s.bytes.data(), s.bytes.size()));
+    if (!sig) {
+      return Status::Error(ErrorCode::kDataLoss,
+                           "stored signature fails to parse");
+    }
+    s.content_id = sig->ContentId();
+    content_ids.insert(s.content_id);
+    // Rebuild the adjacency state so the per-user restriction keeps
+    // holding across restarts. The daily quota intentionally resets.
+    users[s.sender].accepted_top_sets.push_back(TopFrameSet(*sig));
+    db.push_back(std::move(s));
+  }
+
+  std::unique_lock lock(mu_);
+  db_ = std::move(db);
+  content_ids_ = std::move(content_ids);
+  users_ = std::move(users);
+  return Status::Ok();
+}
+
+CommunixServer::Stats CommunixServer::GetStats() const {
+  Stats out;
+  {
+    std::shared_lock lock(mu_);
+    out = stats_;
+  }
+  out.gets_served = gets_served_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace communix

@@ -1,0 +1,41 @@
+#include "dimmunix/fp_detector.hpp"
+
+namespace communix::dimmunix {
+
+bool FpDetector::RecordInstantiation(std::uint64_t content_id, TimePoint now) {
+  PerSignature& s = sigs_[content_id];
+  ++s.count_since_tp;
+
+  s.recent.push_back(now);
+  while (!s.recent.empty() && s.recent.front() < now - options_.burst_window) {
+    s.recent.pop_front();
+  }
+  if (s.recent.size() > options_.burst_threshold) s.burst_seen = true;
+
+  if (!s.flagged && s.burst_seen &&
+      s.count_since_tp >= options_.instantiation_threshold) {
+    s.flagged = true;
+    return true;
+  }
+  return false;
+}
+
+void FpDetector::RecordTruePositive(std::uint64_t content_id) {
+  PerSignature& s = sigs_[content_id];
+  s.count_since_tp = 0;
+  s.burst_seen = false;
+  s.flagged = false;
+  s.recent.clear();
+}
+
+bool FpDetector::IsSuspected(std::uint64_t content_id) const {
+  auto it = sigs_.find(content_id);
+  return it != sigs_.end() && it->second.flagged;
+}
+
+std::uint64_t FpDetector::InstantiationCount(std::uint64_t content_id) const {
+  auto it = sigs_.find(content_id);
+  return it == sigs_.end() ? 0 : it->second.count_since_tp;
+}
+
+}  // namespace communix::dimmunix

@@ -1,0 +1,54 @@
+// False-positive detector (§III-C1).
+//
+// Avoidance can over-serialize: a signature that keeps firing but never
+// corresponds to a real deadlock ("no true positive") degrades
+// functionality and performance. The paper's rule: if a signature S has
+// seen >= 100 instantiations with no true positive, and there was at
+// least one 1-second interval with more than 10 instantiations, warn the
+// user about S. A *true positive* is recorded when deadlock detection
+// fires for S's bug (the avoidance evidently guards a real deadlock).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "util/clock.hpp"
+
+namespace communix::dimmunix {
+
+class FpDetector {
+ public:
+  struct Options {
+    std::uint64_t instantiation_threshold = 100;
+    std::uint64_t burst_threshold = 10;  // "> 10 instantiations"
+    TimePoint burst_window = kNanosPerSecond;
+  };
+
+  FpDetector() : FpDetector(Options{}) {}
+  explicit FpDetector(Options options) : options_(options) {}
+
+  /// Records one avoidance instantiation of the signature with the given
+  /// content id. Returns true iff this event *newly* flags the signature
+  /// as a suspected false positive.
+  bool RecordInstantiation(std::uint64_t content_id, TimePoint now);
+
+  /// Records a true positive for the signature (resets its suspicion).
+  void RecordTruePositive(std::uint64_t content_id);
+
+  bool IsSuspected(std::uint64_t content_id) const;
+  std::uint64_t InstantiationCount(std::uint64_t content_id) const;
+
+ private:
+  struct PerSignature {
+    std::uint64_t count_since_tp = 0;
+    bool burst_seen = false;
+    bool flagged = false;
+    std::deque<TimePoint> recent;  // events within the burst window
+  };
+
+  Options options_;
+  std::unordered_map<std::uint64_t, PerSignature> sigs_;
+};
+
+}  // namespace communix::dimmunix

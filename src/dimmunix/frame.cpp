@@ -1,0 +1,26 @@
+#include "dimmunix/frame.hpp"
+
+namespace communix::dimmunix {
+
+CallStack CallStack::LongestCommonSuffix(const CallStack& a,
+                                         const CallStack& b) {
+  const auto& fa = a.frames();
+  const auto& fb = b.frames();
+  std::size_t n = 0;
+  while (n < fa.size() && n < fb.size() &&
+         fa[fa.size() - 1 - n] == fb[fb.size() - 1 - n]) {
+    ++n;
+  }
+  std::vector<Frame> out(fa.end() - static_cast<std::ptrdiff_t>(n), fa.end());
+  return CallStack(std::move(out));
+}
+
+std::string CallStack::ToString() const {
+  std::string out;
+  for (std::size_t i = frames_.size(); i-- > 0;) {
+    out += "  at " + frames_[i].ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace communix::dimmunix

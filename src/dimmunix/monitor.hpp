@@ -1,0 +1,48 @@
+// Monitor: the lock abstraction Dimmunix interposes on.
+//
+// Stands in for a Java object monitor (synchronized block/method). All
+// mutable state is guarded by the owning DimmunixRuntime's lock; a Monitor
+// must only be acquired/released through the runtime, which is exactly the
+// interposition point the paper instruments with AspectJ.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "dimmunix/frame.hpp"
+
+namespace communix::dimmunix {
+
+class ThreadContext;
+class DimmunixRuntime;
+
+class Monitor {
+ public:
+  explicit Monitor(std::string name = "")
+      : id_(next_id_.fetch_add(1, std::memory_order_relaxed)),
+        name_(std::move(name)) {}
+
+  Monitor(const Monitor&) = delete;
+  Monitor& operator=(const Monitor&) = delete;
+
+  std::uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class DimmunixRuntime;
+
+  static std::atomic<std::uint64_t> next_id_;
+
+  const std::uint64_t id_;
+  const std::string name_;
+
+  // ---- guarded by DimmunixRuntime::mu_ ----
+  ThreadContext* owner_ = nullptr;
+  int recursion_ = 0;
+  /// Call stack the owner had when it acquired this monitor — the "outer"
+  /// stack if this monitor ends up in a deadlock cycle.
+  CallStack acq_stack_;
+};
+
+}  // namespace communix::dimmunix

@@ -1,0 +1,351 @@
+#include "dimmunix/runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+#include "util/logging.hpp"
+
+namespace communix::dimmunix {
+
+std::atomic<std::uint64_t> Monitor::next_id_{1};
+
+DimmunixRuntime::DimmunixRuntime(Clock& clock, Options options)
+    : clock_(clock), options_(options), fp_detector_(options.fp) {}
+
+DimmunixRuntime::~DimmunixRuntime() = default;
+
+ThreadContext& DimmunixRuntime::AttachThread(std::string name) {
+  std::lock_guard lock(mu_);
+  threads_.push_back(std::unique_ptr<ThreadContext>(
+      new ThreadContext(next_thread_id_++, std::move(name))));
+  return *threads_.back();
+}
+
+void DimmunixRuntime::DetachThread(ThreadContext& ctx) {
+  std::lock_guard lock(mu_);
+  assert(ctx.held_.empty() && "detaching thread still holds monitors");
+  assert(ctx.waiting_for_ == nullptr);
+  (void)ctx;  // asserts compile out under NDEBUG
+  // Tombstone rather than erase: other threads' yield_targets_ may still
+  // reference this context until their next recheck.
+  ctx.detached_ = true;
+}
+
+std::vector<ThreadContext*> DimmunixRuntime::FindImminentInstantiation(
+    const ThreadContext& ctx, const Monitor& m, const CallStack& stack,
+    std::uint64_t* matched_content_id) const {
+  const auto* cands = history_.CandidatesForTopFrame(stack.TopKey());
+  if (cands == nullptr) return {};
+
+  for (const auto& [sig_idx, pos] : *cands) {
+    const SignatureRecord& rec = history_.record(sig_idx);
+    if (rec.disabled) continue;
+    const auto& entries = rec.sig.entries();
+    const std::size_t n = entries.size();
+    if (n < 2) continue;
+    if (!entries[pos].outer.MatchesSuffixOf(stack)) continue;
+
+    // Candidate occupants for every other position.
+    std::vector<std::vector<Occupant>> options(n);
+    bool feasible = true;
+    for (std::size_t j = 0; j < n && feasible; ++j) {
+      if (j == pos) continue;
+      for (const auto& uptr : threads_) {
+        ThreadContext* u = uptr.get();
+        if (u == &ctx || u->detached_) continue;
+        for (Monitor* h : u->held_) {
+          if (h == &m) continue;
+          if (entries[j].outer.MatchesSuffixOf(h->acq_stack_)) {
+            options[j].push_back(Occupant{u, h});
+          }
+        }
+        if (u->waiting_for_ != nullptr && u->waiting_for_ != &m &&
+            entries[j].outer.MatchesSuffixOf(u->waiting_stack_)) {
+          options[j].push_back(Occupant{u, u->waiting_for_});
+        }
+      }
+      if (options[j].empty()) feasible = false;
+    }
+    if (!feasible) continue;
+
+    // Injective assignment: distinct threads on pairwise-distinct locks.
+    std::vector<std::size_t> fill;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j != pos) fill.push_back(j);
+    }
+    std::vector<ThreadContext*> chosen_threads;
+    std::vector<const Monitor*> chosen_locks = {&m};
+
+    auto assign = [&](auto&& self, std::size_t k) -> bool {
+      if (k == fill.size()) return true;
+      for (const Occupant& o : options[fill[k]]) {
+        if (std::find(chosen_threads.begin(), chosen_threads.end(),
+                      o.thread) != chosen_threads.end()) {
+          continue;
+        }
+        if (std::find(chosen_locks.begin(), chosen_locks.end(), o.lock) !=
+            chosen_locks.end()) {
+          continue;
+        }
+        chosen_threads.push_back(o.thread);
+        chosen_locks.push_back(o.lock);
+        if (self(self, k + 1)) return true;
+        chosen_threads.pop_back();
+        chosen_locks.pop_back();
+      }
+      return false;
+    };
+
+    if (assign(assign, 0)) {
+      if (matched_content_id != nullptr) {
+        *matched_content_id = rec.sig.ContentId();
+      }
+      return chosen_threads;
+    }
+  }
+  return {};
+}
+
+bool DimmunixRuntime::WouldCloseYieldCycle(
+    const ThreadContext& ctx,
+    const std::vector<ThreadContext*>& occupants) const {
+  // DFS over yield edges (suspended -> occupants) and lock-wait edges
+  // (blocked -> owner); if any occupant reaches ctx, suspending ctx would
+  // close a cycle in which nobody can make progress.
+  std::vector<const ThreadContext*> stack(occupants.begin(), occupants.end());
+  std::unordered_set<const ThreadContext*> visited;
+  while (!stack.empty()) {
+    const ThreadContext* u = stack.back();
+    stack.pop_back();
+    if (u == &ctx) return true;
+    if (!visited.insert(u).second) continue;
+    if (u->waiting_for_ != nullptr && u->waiting_for_->owner_ != nullptr) {
+      stack.push_back(u->waiting_for_->owner_);
+    }
+    if (u->in_avoidance_) {
+      for (const ThreadContext* t : u->yield_targets_) stack.push_back(t);
+    }
+  }
+  return false;
+}
+
+std::vector<DimmunixRuntime::CycleNode> DimmunixRuntime::FindLockCycle(
+    const ThreadContext& ctx, const Monitor& m) const {
+  std::vector<CycleNode> chain;
+  std::unordered_set<const ThreadContext*> visited;
+  ThreadContext* cur = m.owner_;
+  while (cur != nullptr) {
+    if (cur == &ctx) return chain;
+    if (!visited.insert(cur).second) return {};  // cycle not involving ctx
+    Monitor* w = cur->waiting_for_;
+    if (w == nullptr) return {};
+    chain.push_back(CycleNode{cur, w});
+    cur = w->owner_;
+  }
+  return {};
+}
+
+Signature DimmunixRuntime::ExtractSignature(
+    ThreadContext& /*ctx*/, Monitor& m, const CallStack& inner_of_ctx,
+    const std::vector<CycleNode>& chain) const {
+  std::vector<SignatureEntry> entries;
+  entries.reserve(chain.size() + 1);
+
+  // ctx holds the monitor the last chain thread waits for.
+  {
+    SignatureEntry e;
+    e.outer = chain.back().waits_for->acq_stack_;
+    e.inner = inner_of_ctx;
+    entries.push_back(std::move(e));
+  }
+  // chain[0] holds m (waited by ctx); chain[i>0] holds chain[i-1]'s
+  // waited monitor.
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    SignatureEntry e;
+    e.outer = (i == 0) ? m.acq_stack_ : chain[i - 1].waits_for->acq_stack_;
+    e.inner = chain[i].thread->waiting_stack_;
+    entries.push_back(std::move(e));
+  }
+  return Signature(std::move(entries));
+}
+
+Status DimmunixRuntime::Acquire(ThreadContext& ctx, Monitor& m) {
+  // Callbacks collected under the lock, invoked after unlocking.
+  std::vector<std::pair<SignatureCallback, Signature>> pending;
+  Status result = Status::Ok();
+
+  // Snapshot the shadow stack before taking the runtime lock: it belongs
+  // to the calling thread, and copying it is the most expensive part of
+  // an uncontended acquisition.
+  const CallStack stack = ctx.CaptureStack(options_.max_stack_depth);
+
+  {
+    std::unique_lock lock(mu_);
+    ++stats_.acquisitions;
+
+    if (m.owner_ == &ctx) {  // reentrant acquisition
+      ++m.recursion_;
+      return Status::Ok();
+    }
+
+    // ---- avoidance (§II-A) ----
+    if (options_.avoidance_enabled && !history_.empty()) {
+      std::unordered_set<std::uint64_t> counted;
+      for (;;) {
+        std::uint64_t matched = 0;
+        auto occupants = FindImminentInstantiation(ctx, m, stack, &matched);
+        if (occupants.empty()) break;
+        if (WouldCloseYieldCycle(ctx, occupants)) {
+          ++stats_.yield_cycle_overrides;
+          break;
+        }
+        if (counted.insert(matched).second) {
+          ++stats_.avoidance_suspensions;
+          if (fp_detector_.RecordInstantiation(matched, clock_.Now())) {
+            ++stats_.false_positives_flagged;
+            // Locate the flagged signature for the warning callback.
+            for (const SignatureRecord& r : history_.records()) {
+              if (r.sig.ContentId() == matched) {
+                if (false_positive_cb_) {
+                  pending.emplace_back(false_positive_cb_, r.sig);
+                }
+                break;
+              }
+            }
+            if (options_.auto_disable_false_positives) {
+              history_.Disable(matched);
+              NotifyStateChanged();
+              // The signature no longer gates anyone; recheck immediately.
+              continue;
+            }
+          }
+        }
+        ctx.in_avoidance_ = true;
+        ctx.yield_targets_ = std::move(occupants);
+        NotifyStateChanged();  // our state changed; others may recheck
+        WaitForStateChange(lock);
+        ctx.in_avoidance_ = false;
+        ctx.yield_targets_.clear();
+      }
+    }
+
+    // ---- blocking + detection (§II-A) ----
+    bool counted_contention = false;
+    while (m.owner_ != nullptr) {
+      if (!counted_contention) {
+        ++stats_.contended_acquisitions;
+        counted_contention = true;
+      }
+      if (options_.detection_enabled) {
+        const auto cycle = FindLockCycle(ctx, m);
+        if (!cycle.empty()) {
+          Signature sig = ExtractSignature(ctx, m, stack, cycle);
+          ++stats_.deadlocks_detected;
+          const bool novel_content =
+              !history_.ContainsContent(sig.ContentId());
+          // §III-D merge rule (1): two signatures produced on the local
+          // machine merge with no depth floor. A new manifestation of a
+          // locally-known bug generalizes the stored signature in place.
+          bool merged = false;
+          for (std::size_t i : history_.FindByBugKey(sig.BugKey())) {
+            const SignatureRecord& rec = history_.record(i);
+            if (rec.origin != SignatureOrigin::kLocal) continue;
+            if (auto m2 = Signature::Merge(rec.sig, sig, 0)) {
+              history_.Replace(i, std::move(*m2));
+              merged = true;
+              ++stats_.local_generalizations;
+              break;
+            }
+          }
+          if (!merged) {
+            const int idx =
+                history_.Add(sig, SignatureOrigin::kLocal, clock_.Now());
+            if (idx >= 0) ++stats_.signatures_learned;
+          }
+          // The plugin uploads every new manifestation (the server and
+          // other nodes generalize on their side too).
+          if (novel_content && new_signature_cb_) {
+            pending.emplace_back(new_signature_cb_, sig);
+          }
+          // Detection is the ground truth that this bug is real: reset FP
+          // suspicion for all signatures of this bug.
+          for (std::size_t i : history_.FindByBugKey(sig.BugKey())) {
+            fp_detector_.RecordTruePositive(
+                history_.record(i).sig.ContentId());
+          }
+          NotifyStateChanged();
+          result = Status::Error(ErrorCode::kDeadlock,
+                                 "deadlock detected; acquisition aborted");
+          break;
+        }
+      }
+      ctx.waiting_for_ = &m;
+      ctx.waiting_stack_ = stack;
+      NotifyStateChanged();  // blocking is a state change others must observe
+      WaitForStateChange(lock);
+      ctx.waiting_for_ = nullptr;
+    }
+
+    if (result.ok()) {
+      m.owner_ = &ctx;
+      m.recursion_ = 1;
+      m.acq_stack_ = stack;
+      ctx.held_.push_back(&m);
+      NotifyStateChanged();  // occupancy changed
+    }
+  }
+
+  for (auto& [cb, sig] : pending) cb(sig);
+  return result;
+}
+
+void DimmunixRuntime::Release(ThreadContext& ctx, Monitor& m) {
+  std::lock_guard lock(mu_);
+  assert(m.owner_ == &ctx && "release by non-owner");
+  if (--m.recursion_ > 0) return;
+  m.owner_ = nullptr;
+  m.acq_stack_ = CallStack();
+  auto it = std::find(ctx.held_.begin(), ctx.held_.end(), &m);
+  if (it != ctx.held_.end()) ctx.held_.erase(it);
+  NotifyStateChanged();
+}
+
+int DimmunixRuntime::AddSignature(Signature sig, SignatureOrigin origin) {
+  std::lock_guard lock(mu_);
+  const int idx = history_.Add(std::move(sig), origin, clock_.Now());
+  if (idx >= 0) ++stats_.signatures_learned;
+  return idx;
+}
+
+void DimmunixRuntime::ReplaceSignature(std::size_t index, Signature sig) {
+  std::lock_guard lock(mu_);
+  history_.Replace(index, std::move(sig));
+}
+
+History DimmunixRuntime::SnapshotHistory() const {
+  std::lock_guard lock(mu_);
+  return history_;
+}
+
+void DimmunixRuntime::WithHistory(const std::function<void(History&)>& fn) {
+  std::lock_guard lock(mu_);
+  fn(history_);
+}
+
+void DimmunixRuntime::SetNewSignatureCallback(SignatureCallback cb) {
+  std::lock_guard lock(mu_);
+  new_signature_cb_ = std::move(cb);
+}
+
+void DimmunixRuntime::SetFalsePositiveCallback(SignatureCallback cb) {
+  std::lock_guard lock(mu_);
+  false_positive_cb_ = std::move(cb);
+}
+
+DimmunixRuntime::Stats DimmunixRuntime::GetStats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+}  // namespace communix::dimmunix

@@ -1,0 +1,209 @@
+// DimmunixRuntime: deadlock detection, signature extraction, and
+// signature-based deadlock avoidance (§II-A).
+//
+// This is the deadlock-immunity substrate Communix builds on. The runtime
+// interposes on every monitor acquisition/release:
+//
+//  * Avoidance. Before an acquisition, it checks whether granting the
+//    lock would complete an *instantiation* of a history signature: for a
+//    signature with outer stacks CS1..CSn, there must exist distinct
+//    threads t1..tn holding or blocked at distinct locks with current
+//    stacks matching CS1..CSn. If the caller would complete such a
+//    pattern, it is suspended until the instantiation can no longer
+//    complete. Suspensions are reported to the false-positive detector.
+//    To never introduce stalls of its own, the runtime refuses to suspend
+//    when doing so would close a cycle of yields and lock waits (the
+//    yield-cycle override from the Dimmunix design).
+//
+//  * Detection. When a thread is about to block on a held monitor, the
+//    runtime walks the wait-for chain; a cycle back to the caller is a
+//    deadlock. The signature (outer stack of each involved lock at its
+//    acquisition + inner stacks at the block points) is extracted, added
+//    to the persistent history, and the caller's acquisition fails with
+//    kDeadlock — modelling the paper's "application deadlocks once, user
+//    restarts, and is immune afterwards" without killing the process.
+//
+// Concurrency: one runtime-wide mutex guards all monitor/thread state.
+// This mirrors the centralized avoidance decision of the original system
+// and keeps the instantiation check atomic with the lock grant.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <condition_variable>
+#include <string>
+#include <vector>
+
+#include "dimmunix/fp_detector.hpp"
+#include "dimmunix/history.hpp"
+#include "dimmunix/monitor.hpp"
+#include "dimmunix/signature.hpp"
+#include "dimmunix/thread_context.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace communix::dimmunix {
+
+class DimmunixRuntime {
+ public:
+  struct Options {
+    bool avoidance_enabled = true;
+    bool detection_enabled = true;
+    /// Stacks are truncated to this many top frames when captured.
+    std::size_t max_stack_depth = 64;
+    /// If true, signatures flagged by the FP detector are disabled
+    /// immediately (the paper instead warns the user and lets them
+    /// decide; tests exercise both policies).
+    bool auto_disable_false_positives = false;
+    FpDetector::Options fp;
+  };
+
+  explicit DimmunixRuntime(Clock& clock) : DimmunixRuntime(clock, Options{}) {}
+  DimmunixRuntime(Clock& clock, Options options);
+  ~DimmunixRuntime();
+
+  DimmunixRuntime(const DimmunixRuntime&) = delete;
+  DimmunixRuntime& operator=(const DimmunixRuntime&) = delete;
+
+  // ---- thread lifecycle -------------------------------------------------
+  /// Registers the calling thread; the returned context stays valid until
+  /// DetachThread. A thread must not hold monitors when detaching.
+  ThreadContext& AttachThread(std::string name);
+  void DetachThread(ThreadContext& ctx);
+
+  // ---- instrumented synchronization --------------------------------------
+  /// Acquires `m` for `ctx` (reentrant). Returns kDeadlock if this
+  /// acquisition would close a deadlock cycle: the signature has been
+  /// recorded and the caller must unwind (release its monitors).
+  Status Acquire(ThreadContext& ctx, Monitor& m);
+  void Release(ThreadContext& ctx, Monitor& m);
+
+  // ---- history management (plugin/agent side) ----------------------------
+  /// Adds a signature (e.g. a validated remote one). Returns history
+  /// index or -1 if duplicate.
+  int AddSignature(Signature sig, SignatureOrigin origin);
+  /// Replaces signature at `index` with its generalization.
+  void ReplaceSignature(std::size_t index, Signature sig);
+  /// Copies the history (for inspection/persistence without racing the
+  /// workload).
+  History SnapshotHistory() const;
+  /// Runs `fn` with exclusive access to the history.
+  void WithHistory(const std::function<void(History&)>& fn);
+
+  // ---- hooks --------------------------------------------------------------
+  using SignatureCallback = std::function<void(const Signature&)>;
+  /// Invoked (outside the runtime lock) when detection produces a *new*
+  /// signature — the Communix plugin's upload hook.
+  void SetNewSignatureCallback(SignatureCallback cb);
+  /// Invoked when the FP detector flags a signature (§III-C1 warning).
+  void SetFalsePositiveCallback(SignatureCallback cb);
+
+  // ---- introspection --------------------------------------------------
+  struct Stats {
+    std::uint64_t acquisitions = 0;
+    std::uint64_t contended_acquisitions = 0;
+    std::uint64_t avoidance_suspensions = 0;
+    std::uint64_t yield_cycle_overrides = 0;
+    std::uint64_t deadlocks_detected = 0;
+    std::uint64_t signatures_learned = 0;
+    /// Detections that generalized an existing local signature (§III-D
+    /// merge rule 1) instead of adding a new history entry.
+    std::uint64_t local_generalizations = 0;
+    std::uint64_t false_positives_flagged = 0;
+  };
+  Stats GetStats() const;
+  Clock& clock() { return clock_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Occupant {
+    ThreadContext* thread;
+    const Monitor* lock;
+  };
+
+  /// If granting (ctx, m, stack) completes an instantiation of an enabled
+  /// history signature, returns the other occupants (and the matched
+  /// signature's content id via `matched`); otherwise empty.
+  std::vector<ThreadContext*> FindImminentInstantiation(
+      const ThreadContext& ctx, const Monitor& m, const CallStack& stack,
+      std::uint64_t* matched_content_id) const;
+
+  /// True iff suspending `ctx` yielding to `occupants` would close a
+  /// cycle of yield + lock-wait edges.
+  bool WouldCloseYieldCycle(const ThreadContext& ctx,
+                            const std::vector<ThreadContext*>& occupants) const;
+
+  /// Walks the wait-for chain from `m`'s owner; returns the cycle as
+  /// (thread, monitor-it-waits-for) pairs if it reaches `ctx`.
+  struct CycleNode {
+    ThreadContext* thread;
+    Monitor* waits_for;
+  };
+  std::vector<CycleNode> FindLockCycle(const ThreadContext& ctx,
+                                       const Monitor& m) const;
+
+  Signature ExtractSignature(ThreadContext& ctx, Monitor& m,
+                             const CallStack& inner_of_ctx,
+                             const std::vector<CycleNode>& chain) const;
+
+  Clock& clock_;
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  /// Threads currently blocked in cv_.wait (guarded by mu_). Broadcasts
+  /// are skipped when nobody sleeps — on the uncontended fast path the
+  /// acquire/release pair then costs one mutex round-trip, no syscalls.
+  std::size_t sleepers_ = 0;
+
+  void NotifyStateChanged() {
+    if (sleepers_ > 0) cv_.notify_all();
+  }
+  void WaitForStateChange(std::unique_lock<std::mutex>& lock) {
+    ++sleepers_;
+    cv_.wait(lock);
+    --sleepers_;
+  }
+
+  std::vector<std::unique_ptr<ThreadContext>> threads_;  // guarded by mu_
+  std::uint64_t next_thread_id_ = 1;
+
+  History history_;        // guarded by mu_
+  FpDetector fp_detector_; // guarded by mu_
+  Stats stats_;            // guarded by mu_
+
+  SignatureCallback new_signature_cb_;   // guarded by mu_ (invoked unlocked)
+  SignatureCallback false_positive_cb_;  // guarded by mu_ (invoked unlocked)
+};
+
+/// RAII synchronized block: acquires in the constructor, releases in the
+/// destructor. Mirrors `synchronized (m) { ... }` — the `line` is the
+/// monitorenter's source line, recorded as the lock statement.
+class SyncRegion {
+ public:
+  SyncRegion(DimmunixRuntime& rt, ThreadContext& ctx, Monitor& m,
+             std::uint32_t line = 0)
+      : rt_(rt), ctx_(ctx), m_(m) {
+    if (line != 0) ctx_.SetLine(line);
+    status_ = rt_.Acquire(ctx_, m_);
+  }
+  ~SyncRegion() {
+    if (status_.ok()) rt_.Release(ctx_, m_);
+  }
+
+  SyncRegion(const SyncRegion&) = delete;
+  SyncRegion& operator=(const SyncRegion&) = delete;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+ private:
+  DimmunixRuntime& rt_;
+  ThreadContext& ctx_;
+  Monitor& m_;
+  Status status_;
+};
+
+}  // namespace communix::dimmunix

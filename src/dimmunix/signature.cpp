@@ -1,0 +1,168 @@
+#include "dimmunix/signature.hpp"
+
+#include <algorithm>
+
+#include "util/fnv.hpp"
+
+namespace communix::dimmunix {
+
+namespace {
+
+void SerializeStack(BinaryWriter& w, const CallStack& stack) {
+  w.WriteU32(static_cast<std::uint32_t>(stack.depth()));
+  for (const Frame& f : stack.frames()) {
+    w.WriteString(f.class_name);
+    w.WriteString(f.method);
+    w.WriteU32(f.line);
+    w.WriteU8(f.class_hash ? 1 : 0);
+    if (f.class_hash) {
+      w.WriteRaw(std::span<const std::uint8_t>(f.class_hash->data(),
+                                               f.class_hash->size()));
+    }
+  }
+}
+
+std::optional<CallStack> DeserializeStack(BinaryReader& r) {
+  const std::uint32_t depth = r.ReadU32();
+  // Defensive cap: a frame takes >= 10 bytes, so a huge depth in a corrupt
+  // buffer fails fast instead of allocating.
+  if (!r.ok() || depth > 4096) return std::nullopt;
+  std::vector<Frame> frames;
+  frames.reserve(depth);
+  for (std::uint32_t i = 0; i < depth; ++i) {
+    Frame f;
+    f.class_name = r.ReadString();
+    f.method = r.ReadString();
+    f.line = r.ReadU32();
+    const bool has_hash = r.ReadU8() != 0;
+    if (has_hash) {
+      const auto raw = r.ReadRaw(32);
+      if (raw.size() == 32) {
+        Sha256Digest d;
+        std::copy(raw.begin(), raw.end(), d.begin());
+        f.class_hash = d;
+      }
+    }
+    if (!r.ok()) return std::nullopt;
+    f.RecomputeKey();
+    frames.push_back(std::move(f));
+  }
+  return CallStack(std::move(frames));
+}
+
+}  // namespace
+
+Signature::Signature(std::vector<SignatureEntry> entries)
+    : entries_(std::move(entries)) {
+  Canonicalize();
+}
+
+void Signature::Canonicalize() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const SignatureEntry& a, const SignatureEntry& b) {
+              if (a.outer.TopKey() != b.outer.TopKey()) {
+                return a.outer.TopKey() < b.outer.TopKey();
+              }
+              if (a.inner.TopKey() != b.inner.TopKey()) {
+                return a.inner.TopKey() < b.inner.TopKey();
+              }
+              if (a.outer.StackKey() != b.outer.StackKey()) {
+                return a.outer.StackKey() < b.outer.StackKey();
+              }
+              return a.inner.StackKey() < b.inner.StackKey();
+            });
+  // Bug identity: fold of sorted (outer top, inner top) pairs.
+  std::uint64_t h = kFnvOffsetBasis;
+  for (const SignatureEntry& e : entries_) {
+    h = HashCombine(h, HashCombine(e.outer.TopKey(), e.inner.TopKey()));
+  }
+  bug_key_ = h;
+}
+
+std::uint64_t Signature::ContentId() const {
+  const auto bytes = ToBytes();
+  return Fnv1a(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+}
+
+std::size_t Signature::MinOuterDepth() const {
+  std::size_t d = SIZE_MAX;
+  for (const SignatureEntry& e : entries_) {
+    d = std::min(d, e.outer.depth());
+  }
+  return entries_.empty() ? 0 : d;
+}
+
+std::optional<Signature> Signature::Merge(const Signature& a,
+                                          const Signature& b,
+                                          std::size_t min_outer_depth) {
+  if (a.BugKey() != b.BugKey() || a.num_threads() != b.num_threads()) {
+    return std::nullopt;
+  }
+  // Entries are canonically ordered by top-frame keys, so positions align.
+  std::vector<SignatureEntry> merged;
+  merged.reserve(a.num_threads());
+  for (std::size_t i = 0; i < a.num_threads(); ++i) {
+    SignatureEntry e;
+    e.outer = CallStack::LongestCommonSuffix(a.entries_[i].outer,
+                                             b.entries_[i].outer);
+    e.inner = CallStack::LongestCommonSuffix(a.entries_[i].inner,
+                                             b.entries_[i].inner);
+    // The common suffix always contains at least the identical top frame.
+    if (e.outer.empty() || e.inner.empty()) return std::nullopt;
+    if (min_outer_depth > 0 && e.outer.depth() < min_outer_depth) {
+      return std::nullopt;
+    }
+    merged.push_back(std::move(e));
+  }
+  return Signature(std::move(merged));
+}
+
+void Signature::Serialize(BinaryWriter& w) const {
+  w.WriteU32(static_cast<std::uint32_t>(entries_.size()));
+  for (const SignatureEntry& e : entries_) {
+    SerializeStack(w, e.outer);
+    SerializeStack(w, e.inner);
+  }
+}
+
+std::optional<Signature> Signature::Deserialize(BinaryReader& r) {
+  const std::uint32_t n = r.ReadU32();
+  if (!r.ok() || n == 0 || n > 64) return std::nullopt;
+  std::vector<SignatureEntry> entries;
+  entries.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto outer = DeserializeStack(r);
+    auto inner = DeserializeStack(r);
+    if (!outer || !inner) return std::nullopt;
+    entries.push_back(SignatureEntry{std::move(*outer), std::move(*inner)});
+  }
+  return Signature(std::move(entries));
+}
+
+std::vector<std::uint8_t> Signature::ToBytes() const {
+  BinaryWriter w;
+  Serialize(w);
+  return w.take();
+}
+
+std::optional<Signature> Signature::FromBytes(
+    std::span<const std::uint8_t> bytes) {
+  BinaryReader r(bytes);
+  auto sig = Deserialize(r);
+  if (!sig || !r.AtEnd()) return std::nullopt;
+  return sig;
+}
+
+std::string Signature::ToString() const {
+  std::string out = "Signature{bug=" + std::to_string(bug_key_) + "\n";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    out += " thread " + std::to_string(i) + " outer:\n" +
+           entries_[i].outer.ToString();
+    out += " thread " + std::to_string(i) + " inner:\n" +
+           entries_[i].inner.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace communix::dimmunix

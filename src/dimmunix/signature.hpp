@@ -1,0 +1,80 @@
+// Deadlock signatures (§II-A, §III-D).
+//
+// A signature has one entry per deadlocked thread: the *outer* call stack
+// (where the thread acquired the lock involved in the deadlock) and the
+// *inner* call stack (where the thread was blocked when the deadlock
+// formed). The top frames of the outer/inner stacks are the outer/inner
+// lock statements; they uniquely delimit the deadlock *bug*, while the
+// full stacks identify one *manifestation* of it.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dimmunix/frame.hpp"
+#include "util/serde.hpp"
+
+namespace communix::dimmunix {
+
+struct SignatureEntry {
+  CallStack outer;
+  CallStack inner;
+
+  friend bool operator==(const SignatureEntry&, const SignatureEntry&) = default;
+};
+
+class Signature {
+ public:
+  Signature() = default;
+  /// Canonicalizes entry order so signatures compare independently of the
+  /// order threads were discovered in the cycle.
+  explicit Signature(std::vector<SignatureEntry> entries);
+
+  const std::vector<SignatureEntry>& entries() const { return entries_; }
+  std::size_t num_threads() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Identity of the deadlock *bug*: hash of the (sorted) outer+inner top
+  /// frames. Signatures of different manifestations of the same bug share
+  /// a BugKey; the merge precondition of §III-D is BugKey equality.
+  std::uint64_t BugKey() const { return bug_key_; }
+
+  /// Identity of this exact signature content (stacks + hash metadata);
+  /// used for de-duplication in the server DB, local repository, and
+  /// history.
+  std::uint64_t ContentId() const;
+
+  /// Depth of the shallowest outer stack. The client-side validation
+  /// rejects signatures with MinOuterDepth() < 5 (§III-C1).
+  std::size_t MinOuterDepth() const;
+
+  /// Merges two signatures of the same bug into their generalization: the
+  /// per-position longest common suffixes (§III-D). Returns nullopt if
+  /// the signatures have different BugKeys/sizes, or if `min_outer_depth`
+  /// > 0 and the merged outer stacks would be shallower than it (the
+  /// anti-DoS rule: remote merges must keep depth >= 5).
+  static std::optional<Signature> Merge(const Signature& a, const Signature& b,
+                                        std::size_t min_outer_depth);
+
+  void Serialize(BinaryWriter& w) const;
+  static std::optional<Signature> Deserialize(BinaryReader& r);
+  std::vector<std::uint8_t> ToBytes() const;
+  static std::optional<Signature> FromBytes(
+      std::span<const std::uint8_t> bytes);
+
+  std::string ToString() const;
+
+  friend bool operator==(const Signature& a, const Signature& b) {
+    return a.entries_ == b.entries_;
+  }
+
+ private:
+  void Canonicalize();
+
+  std::vector<SignatureEntry> entries_;
+  std::uint64_t bug_key_ = 0;
+};
+
+}  // namespace communix::dimmunix

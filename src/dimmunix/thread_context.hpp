@@ -1,0 +1,87 @@
+// Per-thread shadow call stack and scheduling state.
+//
+// The paper's Dimmunix obtains call stacks from the JVM at instrumentation
+// points. Our C++ substrate keeps an explicit shadow stack per thread,
+// maintained by RAII `ScopedFrame` guards that model method entry/exit;
+// `SetLine` models the program counter advancing within the top method.
+// This yields deterministic, portable stacks with the same matching
+// semantics as JVM stack traces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dimmunix/frame.hpp"
+
+namespace communix::dimmunix {
+
+class Monitor;
+class DimmunixRuntime;
+
+class ThreadContext {
+ public:
+  std::uint64_t id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  // ---- shadow stack: called only by the owning thread ----
+  void PushFrame(Frame frame) { stack_.push_back(std::move(frame)); }
+  void PopFrame() {
+    if (!stack_.empty()) stack_.pop_back();
+  }
+  /// Updates the line of the top frame (execution advanced within the
+  /// current method). No-op on an empty stack.
+  void SetLine(std::uint32_t line) {
+    if (!stack_.empty()) {
+      stack_.back().line = line;
+      stack_.back().RecomputeKey();
+    }
+  }
+  std::size_t stack_depth() const { return stack_.size(); }
+
+  /// Snapshot of the current stack, truncated to the top `max_depth`
+  /// frames.
+  CallStack CaptureStack(std::size_t max_depth) const {
+    if (stack_.size() <= max_depth) return CallStack(stack_);
+    return CallStack(std::vector<Frame>(
+        stack_.end() - static_cast<std::ptrdiff_t>(max_depth), stack_.end()));
+  }
+
+ private:
+  friend class DimmunixRuntime;
+
+  ThreadContext(std::uint64_t id, std::string name)
+      : id_(id), name_(std::move(name)) {}
+
+  const std::uint64_t id_;
+  const std::string name_;
+
+  std::vector<Frame> stack_;  // owning thread only
+
+  // ---- guarded by DimmunixRuntime::mu_ ----
+  Monitor* waiting_for_ = nullptr;  // blocked on this monitor's owner
+  CallStack waiting_stack_;         // stack snapshot at block time
+  bool in_avoidance_ = false;       // suspended by the avoidance module
+  std::vector<ThreadContext*> yield_targets_;  // occupants we yield to
+  std::vector<Monitor*> held_;                 // monitors currently owned
+  bool detached_ = false;
+};
+
+/// RAII method-entry guard: pushes a frame, pops it on scope exit.
+class ScopedFrame {
+ public:
+  ScopedFrame(ThreadContext& ctx, std::string class_name, std::string method,
+              std::uint32_t line)
+      : ctx_(ctx) {
+    ctx_.PushFrame(Frame(std::move(class_name), std::move(method), line));
+  }
+  ~ScopedFrame() { ctx_.PopFrame(); }
+
+  ScopedFrame(const ScopedFrame&) = delete;
+  ScopedFrame& operator=(const ScopedFrame&) = delete;
+
+ private:
+  ThreadContext& ctx_;
+};
+
+}  // namespace communix::dimmunix

@@ -1,0 +1,17 @@
+#include "net/inproc.hpp"
+
+namespace communix::net {
+
+Result<Response> InprocTransport::Call(const Request& request) {
+  // Round-trip through serialization so the in-process path exercises the
+  // same (de)coding as the TCP path.
+  const auto bytes = request.Serialize();
+  auto parsed = Request::Deserialize(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  if (!parsed) {
+    return Status::Error(ErrorCode::kDataLoss, "request failed to round-trip");
+  }
+  return handler_.Handle(*parsed);
+}
+
+}  // namespace communix::net

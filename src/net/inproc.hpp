@@ -1,0 +1,22 @@
+// In-process transport: calls the handler directly.
+//
+// Used by Figure 2 (which measures the server's request-processing
+// routines without network I/O), by the agent/client unit tests, and by
+// the examples when a real socket adds nothing.
+#pragma once
+
+#include "net/message.hpp"
+
+namespace communix::net {
+
+class InprocTransport final : public ClientTransport {
+ public:
+  explicit InprocTransport(RequestHandler& handler) : handler_(handler) {}
+
+  Result<Response> Call(const Request& request) override;
+
+ private:
+  RequestHandler& handler_;
+};
+
+}  // namespace communix::net

@@ -1,0 +1,43 @@
+#include "net/message.hpp"
+
+namespace communix::net {
+
+std::vector<std::uint8_t> Request::Serialize() const {
+  BinaryWriter w;
+  w.WriteU8(static_cast<std::uint8_t>(type));
+  w.WriteBytes(std::span<const std::uint8_t>(payload.data(), payload.size()));
+  return w.take();
+}
+
+std::optional<Request> Request::Deserialize(
+    std::span<const std::uint8_t> bytes) {
+  BinaryReader r(bytes);
+  Request req;
+  const std::uint8_t t = r.ReadU8();
+  if (t > static_cast<std::uint8_t>(MsgType::kIssueId)) return std::nullopt;
+  req.type = static_cast<MsgType>(t);
+  req.payload = r.ReadBytes();
+  if (!r.AtEnd()) return std::nullopt;
+  return req;
+}
+
+std::vector<std::uint8_t> Response::Serialize() const {
+  BinaryWriter w;
+  w.WriteU8(static_cast<std::uint8_t>(code));
+  w.WriteString(error);
+  w.WriteBytes(std::span<const std::uint8_t>(payload.data(), payload.size()));
+  return w.take();
+}
+
+std::optional<Response> Response::Deserialize(
+    std::span<const std::uint8_t> bytes) {
+  BinaryReader r(bytes);
+  Response resp;
+  resp.code = static_cast<ErrorCode>(r.ReadU8());
+  resp.error = r.ReadString();
+  resp.payload = r.ReadBytes();
+  if (!r.AtEnd()) return std::nullopt;
+  return resp;
+}
+
+}  // namespace communix::net

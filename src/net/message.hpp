@@ -1,0 +1,65 @@
+// Wire protocol between Communix clients and the Communix server.
+//
+// The paper's server processes two request kinds (§IV-A): ADD(sig) and
+// GET(k) ("send me the signatures from the database starting from index
+// k"). We add ISSUE_ID, the out-of-band step that hands each user their
+// AES-encrypted id (the paper assumes this service exists; §III-C2), and
+// PING for health checks.
+//
+// Framing (both directions): u32 little-endian length, then the payload
+// serialized with BinaryWriter. Requests: u8 type + fields. Responses:
+// u8 status code + error string + payload bytes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "util/serde.hpp"
+#include "util/status.hpp"
+
+namespace communix::net {
+
+enum class MsgType : std::uint8_t {
+  kPing = 0,
+  kAddSignature = 1,   // token (16 bytes) + serialized signature
+  kGetSignatures = 2,  // u64 from_index
+  kIssueId = 3,        // u64 requested user id (test/deploy convenience)
+};
+
+struct Request {
+  MsgType type = MsgType::kPing;
+  std::vector<std::uint8_t> payload;
+
+  std::vector<std::uint8_t> Serialize() const;
+  static std::optional<Request> Deserialize(
+      std::span<const std::uint8_t> bytes);
+};
+
+struct Response {
+  ErrorCode code = ErrorCode::kOk;
+  std::string error;
+  std::vector<std::uint8_t> payload;
+
+  bool ok() const { return code == ErrorCode::kOk; }
+
+  std::vector<std::uint8_t> Serialize() const;
+  static std::optional<Response> Deserialize(
+      std::span<const std::uint8_t> bytes);
+};
+
+/// Server-side request processor (implemented by communix::CommunixServer).
+class RequestHandler {
+ public:
+  virtual ~RequestHandler() = default;
+  virtual Response Handle(const Request& request) = 0;
+};
+
+/// Client-side synchronous transport.
+class ClientTransport {
+ public:
+  virtual ~ClientTransport() = default;
+  virtual Result<Response> Call(const Request& request) = 0;
+};
+
+}  // namespace communix::net

@@ -1,0 +1,234 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.hpp"
+
+namespace communix::net {
+
+namespace {
+
+Status WriteAll(int fd, const std::uint8_t* data, std::size_t len) {
+  std::size_t sent = 0;
+  while (sent < len) {
+    const ssize_t n = ::send(fd, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Error(ErrorCode::kUnavailable,
+                           std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+Status ReadAll(int fd, std::uint8_t* data, std::size_t len) {
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Error(ErrorCode::kUnavailable,
+                           std::string("recv: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::Error(ErrorCode::kUnavailable, "connection closed");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, std::span<const std::uint8_t> body) {
+  std::uint8_t header[4];
+  const std::uint32_t len = static_cast<std::uint32_t>(body.size());
+  for (int i = 0; i < 4; ++i) {
+    header[i] = static_cast<std::uint8_t>(len >> (i * 8));
+  }
+  if (auto s = WriteAll(fd, header, 4); !s.ok()) return s;
+  return WriteAll(fd, body.data(), body.size());
+}
+
+Result<std::vector<std::uint8_t>> ReadFrame(int fd, std::size_t max_size) {
+  std::uint8_t header[4];
+  if (auto s = ReadAll(fd, header, 4); !s.ok()) return s;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(header[i]) << (i * 8);
+  }
+  if (len > max_size) {
+    return Status::Error(ErrorCode::kDataLoss, "frame exceeds size limit");
+  }
+  std::vector<std::uint8_t> body(len);
+  if (len > 0) {
+    if (auto s = ReadAll(fd, body.data(), len); !s.ok()) return s;
+  }
+  return body;
+}
+
+TcpServer::TcpServer(RequestHandler& handler, std::uint16_t port)
+    : handler_(handler), port_(port) {}
+
+TcpServer::~TcpServer() { Stop(); }
+
+Status TcpServer::Start() {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::Error(ErrorCode::kUnavailable,
+                         std::string("socket: ") + std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port_);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    return Status::Error(ErrorCode::kUnavailable,
+                         std::string("bind: ") + std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 1024) < 0) {
+    return Status::Error(ErrorCode::kUnavailable,
+                         std::string("listen: ") + std::strerror(errno));
+  }
+  if (port_ == 0) {
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    port_ = ntohs(bound.sin_port);
+  }
+  running_.store(true);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::Ok();
+}
+
+void TcpServer::AcceptLoop() {
+  while (running_.load()) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (!running_.load()) break;
+      if (errno == EINTR) continue;
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard lock(conns_mu_);
+    conn_fds_.push_back(fd);
+    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void TcpServer::ServeConnection(int fd) {
+  while (running_.load()) {
+    auto frame = ReadFrame(fd, kMaxFrameSize);
+    if (!frame.ok()) break;
+    auto request = Request::Deserialize(std::span<const std::uint8_t>(
+        frame.value().data(), frame.value().size()));
+    Response response;
+    if (!request) {
+      response.code = ErrorCode::kDataLoss;
+      response.error = "malformed request";
+    } else {
+      response = handler_.Handle(*request);
+    }
+    const auto out = response.Serialize();
+    if (auto s = WriteFrame(fd, std::span<const std::uint8_t>(out.data(),
+                                                              out.size()));
+        !s.ok()) {
+      break;
+    }
+  }
+  ::close(fd);
+}
+
+void TcpServer::Stop() {
+  if (!running_.exchange(false)) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  // Unblock accept() and connection reads.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  {
+    std::lock_guard lock(conns_mu_);
+    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::lock_guard lock(conns_mu_);
+  for (auto& t : conn_threads_) {
+    if (t.joinable()) t.join();
+  }
+  conn_threads_.clear();
+  conn_fds_.clear();
+}
+
+TcpClient::~TcpClient() { Close(); }
+
+Status TcpClient::Connect(const std::string& host, std::uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::Error(ErrorCode::kUnavailable,
+                         std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    Close();
+    return Status::Error(ErrorCode::kInvalidArgument, "bad host: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    const Status s = Status::Error(
+        ErrorCode::kUnavailable, std::string("connect: ") + std::strerror(errno));
+    Close();
+    return s;
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return Status::Ok();
+}
+
+void TcpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<Response> TcpClient::Call(const Request& request) {
+  if (fd_ < 0) {
+    return Status::Error(ErrorCode::kFailedPrecondition, "not connected");
+  }
+  const auto out = request.Serialize();
+  if (auto s =
+          WriteFrame(fd_, std::span<const std::uint8_t>(out.data(), out.size()));
+      !s.ok()) {
+    return s;
+  }
+  auto frame = ReadFrame(fd_, kMaxFrameSize);
+  if (!frame.ok()) return frame.status();
+  auto response = Response::Deserialize(std::span<const std::uint8_t>(
+      frame.value().data(), frame.value().size()));
+  if (!response) {
+    return Status::Error(ErrorCode::kDataLoss, "malformed response");
+  }
+  return *response;
+}
+
+}  // namespace communix::net

@@ -1,0 +1,80 @@
+// TCP transport (POSIX sockets) for the end-to-end distribution path.
+//
+// Figure 3 measures the whole signature-distribution pipeline over a real
+// network stack: N client threads issuing "ADD(sig),GET(0)" sequences
+// against the server. This is a minimal length-prefixed RPC over TCP:
+// persistent connections, one in-flight request per connection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/message.hpp"
+
+namespace communix::net {
+
+/// Serves a RequestHandler on a TCP port. Each accepted connection gets a
+/// dedicated thread that loops: read frame -> handle -> write frame.
+class TcpServer {
+ public:
+  /// `port` 0 picks an ephemeral port (see port()).
+  TcpServer(RequestHandler& handler, std::uint16_t port = 0);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  /// Binds, listens and starts the accept loop.
+  Status Start();
+  /// Stops accepting, closes all connections, joins threads.
+  void Stop();
+
+  std::uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  RequestHandler& handler_;
+  std::uint16_t port_;
+  int listen_fd_ = -1;
+  std::atomic<bool> running_{false};
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  std::vector<std::thread> conn_threads_;
+  std::vector<int> conn_fds_;
+};
+
+/// Blocking TCP client; one outstanding request at a time.
+class TcpClient final : public ClientTransport {
+ public:
+  TcpClient() = default;
+  ~TcpClient() override;
+
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  Status Connect(const std::string& host, std::uint16_t port);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  Result<Response> Call(const Request& request) override;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Frame helpers shared by both ends (u32 LE length + body). Exposed for
+/// tests that exercise partial reads and oversized frames.
+Status WriteFrame(int fd, std::span<const std::uint8_t> body);
+Result<std::vector<std::uint8_t>> ReadFrame(int fd, std::size_t max_size);
+
+/// Upper bound on accepted frame size (defensive; a signature is ~1.7 KB,
+/// but GET(0) replies carry whole databases).
+constexpr std::size_t kMaxFrameSize = 256u * 1024u * 1024u;
+
+}  // namespace communix::net

@@ -1,0 +1,102 @@
+#include "sim/apps.hpp"
+
+namespace communix::sim {
+
+using bytecode::EclipseProfile;
+using bytecode::JBossProfile;
+using bytecode::LimewireProfile;
+using bytecode::MySqlJdbcProfile;
+using bytecode::VuzeProfile;
+
+std::vector<TableIIProfile> TableIIProfiles() {
+  std::vector<TableIIProfile> rows;
+
+  // The knob that differentiates rows is the share of each iteration's
+  // work spent inside attacked nested synchronized blocks: request
+  // processing in JBoss/RUBiS and statement execution in JDBCBench are
+  // lock-heavy; Limewire's upload path and Vuze's startup mostly compute
+  // outside locks.
+  {
+    TableIIProfile row;
+    row.app_name = "JBoss";
+    row.benchmark_name = "RUBiS";
+    row.paper_overhead_pct = 40.0;
+    row.app_spec = JBossProfile();
+    row.workload.threads = 8;
+    row.workload.iterations_per_thread = 500;
+    row.workload.sites_used = 8;
+    row.workload.work_outside = 9570;
+    row.workload.work_inside = 1144;
+    row.workload.work_inner = 286;
+    row.workload.alternate_path_fraction = 0.5;
+    row.workload.seed = 1;
+    rows.push_back(std::move(row));
+  }
+  {
+    TableIIProfile row;
+    row.app_name = "MySQL JDBC";
+    row.benchmark_name = "JDBCBench";
+    row.paper_overhead_pct = 38.0;
+    row.app_spec = MySqlJdbcProfile();
+    row.workload.threads = 8;
+    row.workload.iterations_per_thread = 500;
+    row.workload.sites_used = 6;
+    row.workload.work_outside = 10175;
+    row.workload.work_inside = 660;
+    row.workload.work_inner = 165;
+    row.workload.alternate_path_fraction = 0.5;
+    row.workload.seed = 2;
+    rows.push_back(std::move(row));
+  }
+  {
+    TableIIProfile row;
+    row.app_name = "Eclipse";
+    row.benchmark_name = "Startup + Shutdown";
+    row.paper_overhead_pct = 33.0;
+    row.app_spec = EclipseProfile();
+    row.workload.threads = 8;
+    row.workload.iterations_per_thread = 500;
+    row.workload.sites_used = 8;
+    row.workload.work_outside = 10150;
+    row.workload.work_inside = 680;
+    row.workload.work_inner = 170;
+    row.workload.alternate_path_fraction = 0.5;
+    row.workload.seed = 3;
+    rows.push_back(std::move(row));
+  }
+  {
+    TableIIProfile row;
+    row.app_name = "Limewire";
+    row.benchmark_name = "Upload test";
+    row.paper_overhead_pct = 10.0;
+    row.app_spec = LimewireProfile();
+    row.workload.threads = 8;
+    row.workload.iterations_per_thread = 500;
+    row.workload.sites_used = 8;
+    row.workload.work_outside = 10788;
+    row.workload.work_inside = 170;
+    row.workload.work_inner = 42;
+    row.workload.alternate_path_fraction = 0.5;
+    row.workload.seed = 4;
+    rows.push_back(std::move(row));
+  }
+  {
+    TableIIProfile row;
+    row.app_name = "Vuze";
+    row.benchmark_name = "Startup + Shutdown";
+    row.paper_overhead_pct = 8.0;
+    row.app_spec = VuzeProfile();
+    row.workload.threads = 8;
+    row.workload.iterations_per_thread = 500;
+    row.workload.sites_used = 8;
+    row.workload.work_outside = 10835;
+    row.workload.work_inside = 132;
+    row.workload.work_inner = 33;
+    row.workload.alternate_path_fraction = 0.5;
+    row.workload.seed = 5;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace communix::sim

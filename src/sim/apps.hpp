@@ -1,0 +1,31 @@
+// Table II application/benchmark profiles.
+//
+// Each paper row pairs an application with a benchmark ("JBoss / RUBiS",
+// "MySQL JDBC / JDBCBench", ...). We model each as a synthetic app
+// profile plus a contended-workload configuration whose share of work
+// inside attacked nested synchronized blocks reproduces the *ordering* of
+// the paper's worst-case overheads: server-style workloads with hot
+// critical sections (JBoss, MySQL JDBC) suffer most; mostly-unsynchronized
+// workloads (Limewire upload, Vuze startup) barely notice.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bytecode/synthetic.hpp"
+#include "sim/workload.hpp"
+
+namespace communix::sim {
+
+struct TableIIProfile {
+  std::string app_name;        // "JBoss"
+  std::string benchmark_name;  // "RUBiS"
+  double paper_overhead_pct;   // Table II's reported worst-case overhead
+  bytecode::SyntheticSpec app_spec;
+  ContendedConfig workload;
+};
+
+/// The five Table II rows, in paper order.
+std::vector<TableIIProfile> TableIIProfiles();
+
+}  // namespace communix::sim

@@ -1,0 +1,85 @@
+#include "sim/attacker.hpp"
+
+#include "sim/stacks.hpp"
+
+namespace communix::sim {
+
+using bytecode::Program;
+using bytecode::SyntheticApp;
+using dimmunix::CallStack;
+using dimmunix::Frame;
+using dimmunix::Signature;
+using dimmunix::SignatureEntry;
+
+Signature MakeCriticalPathSignature(const SyntheticApp& app,
+                                    std::int32_t site_a, std::int32_t site_b,
+                                    std::size_t outer_depth) {
+  auto make_entry = [&](std::int32_t site) {
+    SignatureEntry e;
+    CallStack outer(CanonicalStackFrames(app, site));
+    outer.TrimToDepth(outer_depth);
+    e.outer = std::move(outer);
+    e.inner = CallStack(CanonicalInnerFrames(app, site));
+    return e;
+  };
+  std::vector<SignatureEntry> entries;
+  entries.push_back(make_entry(site_a));
+  entries.push_back(make_entry(site_b));
+  return WithHashes(app.program, Signature(std::move(entries)));
+}
+
+std::vector<Signature> MakeCriticalPathBatch(
+    const SyntheticApp& app, const std::vector<std::int32_t>& sites,
+    std::size_t count, std::size_t outer_depth) {
+  std::vector<Signature> out;
+  if (sites.size() < 2) return out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::int32_t a = sites[i % sites.size()];
+    const std::int32_t b = sites[(i + 1) % sites.size()];
+    out.push_back(MakeCriticalPathSignature(app, a, b, outer_depth));
+  }
+  return out;
+}
+
+Signature MakeRandomFakeSignature(Rng& rng, std::size_t depth,
+                                  std::size_t threads) {
+  auto random_stack = [&] {
+    std::vector<Frame> frames;
+    frames.reserve(depth);
+    for (std::size_t i = 0; i < depth; ++i) {
+      frames.emplace_back(
+          "evil.Fake" + std::to_string(rng.NextBounded(1'000'000)),
+          "m" + std::to_string(rng.NextBounded(1'000)),
+          static_cast<std::uint32_t>(rng.NextInt(1, 5'000)));
+    }
+    return CallStack(std::move(frames));
+  };
+  std::vector<SignatureEntry> entries;
+  entries.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    SignatureEntry e;
+    e.outer = random_stack();
+    e.inner = random_stack();
+    entries.push_back(std::move(e));
+  }
+  return Signature(std::move(entries));
+}
+
+Signature WithHashes(const Program& program, const Signature& sig) {
+  auto attach = [&](const CallStack& stack) {
+    std::vector<Frame> frames = stack.frames();
+    for (Frame& f : frames) {
+      f.class_hash = program.ClassHashByName(f.class_name);
+    }
+    return CallStack(std::move(frames));
+  };
+  std::vector<SignatureEntry> entries;
+  entries.reserve(sig.num_threads());
+  for (const SignatureEntry& e : sig.entries()) {
+    entries.push_back(SignatureEntry{attach(e.outer), attach(e.inner)});
+  }
+  return Signature(std::move(entries));
+}
+
+}  // namespace communix::sim

@@ -1,0 +1,50 @@
+// Attacker models (§III-C1, §IV-B).
+//
+// Two attack families against Dimmunix via Communix:
+//   * Flooding: manufacture many fake signatures to bloat histories and
+//     pressure the server. Contained by encrypted ids + the 10/day rate
+//     limit + adjacency rejection + the nesting check.
+//   * Slow-down: signatures with *shallow* outer stacks ending in nested
+//     sync blocks on the application's critical path maximize avoidance
+//     serialization. Contained by the depth >= 5 rule; Table II measures
+//     the residual worst case.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bytecode/synthetic.hpp"
+#include "dimmunix/signature.hpp"
+#include "util/rng.hpp"
+
+namespace communix::sim {
+
+/// Worst-case §IV-B signature: a two-thread signature whose outer stacks
+/// are the top `outer_depth` frames of the canonical paths to `site_a`
+/// and `site_b` (both should be nested sites on the critical path) and
+/// whose inner stacks end at the helpers invoked inside those blocks.
+/// Matches real execution flows of the app, so every concurrent entry
+/// into the two blocks triggers avoidance.
+dimmunix::Signature MakeCriticalPathSignature(
+    const bytecode::SyntheticApp& app, std::int32_t site_a,
+    std::int32_t site_b, std::size_t outer_depth = 5);
+
+/// A batch of pairwise critical-path signatures covering `sites`
+/// round-robin (site[0]&site[1], site[1]&site[2], ...), `count` total.
+std::vector<dimmunix::Signature> MakeCriticalPathBatch(
+    const bytecode::SyntheticApp& app, const std::vector<std::int32_t>& sites,
+    std::size_t count, std::size_t outer_depth = 5);
+
+/// A fake signature from random frames that do not exist in any real
+/// application (fails the hash check — flooding fodder).
+dimmunix::Signature MakeRandomFakeSignature(Rng& rng, std::size_t depth = 6,
+                                            std::size_t threads = 2);
+
+/// Copy of `sig` with per-frame class-bytecode hashes from `program`
+/// (frames of unknown classes keep no hash). Attackers know the public
+/// bytecode, so they can attach correct hashes — validation must not rely
+/// on hashes being secret.
+dimmunix::Signature WithHashes(const bytecode::Program& program,
+                               const dimmunix::Signature& sig);
+
+}  // namespace communix::sim

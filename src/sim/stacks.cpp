@@ -1,0 +1,95 @@
+#include "sim/stacks.hpp"
+
+namespace communix::sim {
+
+using bytecode::Instruction;
+using bytecode::Method;
+using bytecode::Opcode;
+using bytecode::Program;
+using bytecode::SyntheticApp;
+using dimmunix::Frame;
+
+namespace {
+
+/// Line of the first kInvoke of `callee` in `method`'s body (0 if none).
+std::uint32_t InvokeLine(const Program& p, bytecode::MethodId method,
+                         bytecode::MethodId callee) {
+  for (const Instruction& insn : p.method(method).body) {
+    if (insn.op == Opcode::kInvoke && insn.operand == callee) {
+      return insn.line;
+    }
+  }
+  return 0;
+}
+
+Frame MethodFrame(const Program& p, bytecode::MethodId method,
+                  std::uint32_t line) {
+  const Method& m = p.method(method);
+  return Frame(p.klass(m.class_id).name, m.name, line);
+}
+
+}  // namespace
+
+Frame SiteFrame(const Program& program, std::int32_t site) {
+  const auto& s = program.lock_site(site);
+  return Frame(program.klass(s.class_id).name, program.method(s.method_id).name,
+               s.line);
+}
+
+std::vector<Frame> CanonicalStackFrames(const SyntheticApp& app,
+                                        std::int32_t site) {
+  const Program& p = app.program;
+  std::vector<Frame> frames;
+
+  const std::int32_t chain_idx =
+      (static_cast<std::size_t>(site) < app.chain_of_site.size())
+          ? app.chain_of_site[site]
+          : -1;
+  const auto& lock_site = p.lock_site(site);
+  if (chain_idx >= 0) {
+    const auto& chain = app.driver_chains[static_cast<std::size_t>(chain_idx)];
+    for (std::size_t d = 0; d < chain.size(); ++d) {
+      const bytecode::MethodId next = (d + 1 < chain.size())
+                                          ? chain[d + 1]
+                                          : lock_site.method_id;
+      frames.push_back(MethodFrame(p, chain[d], InvokeLine(p, chain[d], next)));
+    }
+  }
+  frames.push_back(SiteFrame(p, site));
+  return frames;
+}
+
+std::optional<std::int32_t> FindInnerSite(const SyntheticApp& app,
+                                          std::int32_t site) {
+  const Program& p = app.program;
+  const auto& lock_site = p.lock_site(site);
+  const Method& host = p.method(lock_site.method_id);
+
+  bool inside = false;
+  for (const Instruction& insn : host.body) {
+    if (insn.op == Opcode::kMonitorEnter && insn.operand == site) {
+      inside = true;
+    } else if (insn.op == Opcode::kMonitorExit && insn.operand == site) {
+      inside = false;
+    } else if (inside && insn.op == Opcode::kInvoke && insn.operand >= 0) {
+      // The helper's own monitorenter is its lock site.
+      for (const Instruction& callee_insn : p.method(insn.operand).body) {
+        if (callee_insn.op == Opcode::kMonitorEnter) {
+          return callee_insn.operand;
+        }
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+std::vector<Frame> CanonicalInnerFrames(const SyntheticApp& app,
+                                        std::int32_t site) {
+  std::vector<Frame> frames = CanonicalStackFrames(app, site);
+  if (const auto inner = FindInnerSite(app, site)) {
+    frames.push_back(SiteFrame(app.program, *inner));
+  }
+  return frames;
+}
+
+}  // namespace communix::sim

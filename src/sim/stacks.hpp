@@ -1,0 +1,39 @@
+// Canonical execution stacks for synthetic applications.
+//
+// A generated app's host lock site is reached through its class's driver
+// chain (drive0 -> drive1 -> ... -> hostK). These helpers compute the
+// exact frame sequence that execution path produces, so that (a) workload
+// threads can push those frames and (b) attackers/tests can fabricate
+// signatures that genuinely match runtime flows — the worst case of
+// §IV-B.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "bytecode/synthetic.hpp"
+#include "dimmunix/frame.hpp"
+
+namespace communix::sim {
+
+/// Frames (outermost first) of the canonical path to `site`'s
+/// monitorenter: driver chain frames at their invoke lines, then the host
+/// method frame at the monitorenter line.
+std::vector<dimmunix::Frame> CanonicalStackFrames(
+    const bytecode::SyntheticApp& app, std::int32_t site);
+
+/// The synchronized-helper lock site invoked inside `site`'s block, if
+/// the host is nested.
+std::optional<std::int32_t> FindInnerSite(const bytecode::SyntheticApp& app,
+                                          std::int32_t site);
+
+/// Frame of a lock site's own location (class.method : monitorenter line).
+dimmunix::Frame SiteFrame(const bytecode::Program& program, std::int32_t site);
+
+/// Canonical inner-stack frames for `site`: the canonical outer path plus
+/// the helper frame (if nested); otherwise the outer path itself.
+std::vector<dimmunix::Frame> CanonicalInnerFrames(
+    const bytecode::SyntheticApp& app, std::int32_t site);
+
+}  // namespace communix::sim

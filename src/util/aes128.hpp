@@ -1,0 +1,34 @@
+// AES-128 implemented from scratch (FIPS 197).
+//
+// The Communix server issues each user an *encrypted user id* produced
+// with "AES encryption, with a predefined 128-bit key" (§III-C2). Users
+// attach the opaque encrypted id to every ADD request; the server decrypts
+// it to recover the sender id. We reproduce exactly that construction:
+// single-block ECB over a 16-byte plaintext (the token layout lives in
+// src/communix/ids.hpp). Verified against FIPS-197 vectors in
+// tests/util/aes128_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace communix {
+
+using AesBlock = std::array<std::uint8_t, 16>;
+using AesKey = std::array<std::uint8_t, 16>;
+
+/// AES-128 block cipher with a fixed key (expanded once at construction).
+class Aes128 {
+ public:
+  explicit Aes128(const AesKey& key);
+
+  /// Encrypts / decrypts a single 16-byte block.
+  AesBlock EncryptBlock(const AesBlock& plaintext) const;
+  AesBlock DecryptBlock(const AesBlock& ciphertext) const;
+
+ private:
+  // 11 round keys of 16 bytes each.
+  std::array<std::uint8_t, 176> round_keys_;
+};
+
+}  // namespace communix

@@ -1,0 +1,12 @@
+#include "util/clock.hpp"
+
+#include <thread>
+
+namespace communix {
+
+SystemClock& SystemClock::Instance() {
+  static SystemClock instance;
+  return instance;
+}
+
+}  // namespace communix

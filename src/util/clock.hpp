@@ -1,0 +1,93 @@
+// Injectable time source.
+//
+// Communix has several time-based policies: the client polls the server
+// once per *day*, the server rate-limits each user to 10 signatures per
+// *day*, and Dimmunix's false-positive detector looks for ">10
+// instantiations within 1 second" (§III-C1). Tests and benches must be
+// able to compress days into microseconds, so every component takes a
+// `Clock&` and production code passes `SystemClock::Instance()`.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace communix {
+
+/// Monotonic nanoseconds since an arbitrary epoch.
+using TimePoint = std::int64_t;
+
+constexpr TimePoint kNanosPerSecond = 1'000'000'000LL;
+constexpr TimePoint kNanosPerDay = 86'400LL * kNanosPerSecond;
+
+/// Abstract time source. Implementations must be thread-safe.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual TimePoint Now() = 0;
+  /// Blocks the calling thread for `nanos` of *this clock's* time.
+  virtual void SleepFor(TimePoint nanos) = 0;
+};
+
+/// Wall clock backed by std::chrono::steady_clock.
+class SystemClock final : public Clock {
+ public:
+  TimePoint Now() override {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+  void SleepFor(TimePoint nanos) override {
+    if (nanos > 0) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(nanos));
+    }
+  }
+
+  static SystemClock& Instance();
+};
+
+/// Manually-advanced clock for tests and simulations. `Advance` wakes any
+/// thread sleeping in `SleepFor` whose deadline has passed.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(TimePoint start = 0) : now_(start) {}
+
+  TimePoint Now() override {
+    std::lock_guard lock(mu_);
+    return now_;
+  }
+
+  void SleepFor(TimePoint nanos) override {
+    std::unique_lock lock(mu_);
+    const TimePoint deadline = now_ + nanos;
+    cv_.wait(lock, [&] { return now_ >= deadline || stopped_; });
+  }
+
+  void Advance(TimePoint nanos) {
+    std::lock_guard lock(mu_);
+    now_ += nanos;
+    cv_.notify_all();
+  }
+
+  void AdvanceDays(double days) {
+    Advance(static_cast<TimePoint>(days * static_cast<double>(kNanosPerDay)));
+  }
+
+  /// Releases all sleepers immediately (used at shutdown so background
+  /// daemon threads sleeping on virtual time can exit).
+  void Stop() {
+    std::lock_guard lock(mu_);
+    stopped_ = true;
+    cv_.notify_all();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  TimePoint now_;
+  bool stopped_ = false;
+};
+
+}  // namespace communix

@@ -1,0 +1,49 @@
+// FNV-1a 64-bit hashing: fast, non-cryptographic. Used for hash-table keys
+// (frame identity, signature identity) where SHA-256 would be overkill.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace communix {
+
+constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+constexpr std::uint64_t FnvMix(std::uint64_t hash, std::uint8_t byte) {
+  return (hash ^ byte) * kFnvPrime;
+}
+
+constexpr std::uint64_t Fnv1a(std::string_view data,
+                              std::uint64_t seed = kFnvOffsetBasis) {
+  std::uint64_t h = seed;
+  for (char c : data) h = FnvMix(h, static_cast<std::uint8_t>(c));
+  return h;
+}
+
+inline std::uint64_t Fnv1a(std::span<const std::uint8_t> data,
+                           std::uint64_t seed = kFnvOffsetBasis) {
+  std::uint64_t h = seed;
+  for (std::uint8_t b : data) h = FnvMix(h, b);
+  return h;
+}
+
+/// Mixes a 64-bit value into a running FNV hash (e.g. line numbers).
+constexpr std::uint64_t Fnv1aU64(std::uint64_t value,
+                                 std::uint64_t seed = kFnvOffsetBasis) {
+  std::uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h = FnvMix(h, static_cast<std::uint8_t>(value >> (i * 8)));
+  }
+  return h;
+}
+
+/// Order-dependent combination of two hashes. The first operand is
+/// multiplied into the seed before mixing so that small values do not
+/// collapse into the XOR-symmetric case (HashCombine(1,2) != (2,1)).
+constexpr std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
+  return Fnv1aU64(b, (a ^ kFnvOffsetBasis) * kFnvPrime);
+}
+
+}  // namespace communix

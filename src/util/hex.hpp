@@ -1,0 +1,18 @@
+// Hex encoding/decoding for digests and wire-format debugging.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace communix {
+
+/// Lower-case hex encoding of a byte span.
+std::string HexEncode(std::span<const std::uint8_t> bytes);
+
+/// Decodes lower/upper-case hex; returns nullopt on odd length or bad digit.
+std::optional<std::vector<std::uint8_t>> HexDecode(const std::string& hex);
+
+}  // namespace communix

@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// Communix components (server, client daemon, agent, Dimmunix runtime) log
+// validation decisions and avoidance events. The logger is process-global,
+// thread-safe, and silenced below the configured level so hot paths pay
+// only an atomic load when logging is off.
+#pragma once
+
+#include <atomic>
+#include <sstream>
+#include <string>
+
+namespace communix {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level (default kWarn: tests/benches stay quiet).
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+void Emit(LogLevel level, const std::string& component, const std::string& msg);
+
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* component)
+      : level_(level), component_(component) {}
+  ~LogLine() { Emit(level_, component_, stream_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* component_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace communix
+
+// Usage: CX_LOG(kInfo, "server") << "accepted signature " << id;
+#define CX_LOG(level, component)                                       \
+  if (::communix::LogLevel::level < ::communix::GetLogLevel()) {       \
+  } else                                                               \
+    ::communix::internal::LogLine(::communix::LogLevel::level, component)

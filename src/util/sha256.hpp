@@ -1,0 +1,54 @@
+// SHA-256 implemented from scratch (FIPS 180-4).
+//
+// Communix attaches to every call-stack frame the hash of the bytecode of
+// the class containing the frame (§III-C). The paper does not fix a digest
+// algorithm; we use SHA-256 for collision resistance. Verified against the
+// standard NIST test vectors in tests/util/sha256_test.cpp.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+
+namespace communix {
+
+/// 256-bit digest.
+using Sha256Digest = std::array<std::uint8_t, 32>;
+
+/// Incremental SHA-256. Usage: Update(...) any number of times, Finish().
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(std::span<const std::uint8_t> data);
+  void Update(std::string_view data) {
+    Update(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(data.data()), data.size()));
+  }
+  /// Finalizes and returns the digest. The object must be Reset() before
+  /// further use.
+  Sha256Digest Finish();
+
+  /// One-shot convenience.
+  static Sha256Digest Hash(std::span<const std::uint8_t> data);
+  static Sha256Digest Hash(std::string_view data);
+
+ private:
+  void ProcessBlock(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+};
+
+/// Lower-case hex of the digest (64 chars).
+std::string ToHex(const Sha256Digest& digest);
+
+/// Truncated 64-bit view of a digest, for hash-table keys.
+std::uint64_t DigestPrefix64(const Sha256Digest& digest);
+
+}  // namespace communix

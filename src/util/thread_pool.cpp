@@ -1,0 +1,69 @@
+#include "util/thread_pool.hpp"
+
+namespace communix {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mu_);
+    if (shutting_down_) return false;
+    tasks_.push(std::move(task));
+  }
+  task_cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock lock(mu_);
+  idle_cv_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
+}
+
+void ThreadPool::Shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    if (shutting_down_) {
+      // Already shut down (destructor after explicit Shutdown()).
+      if (workers_.empty()) return;
+    }
+    shutting_down_ = true;
+  }
+  task_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      task_cv_.wait(lock, [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        // shutting_down_ and no work left.
+        return;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop();
+      ++in_flight_;
+    }
+    task();
+    {
+      std::lock_guard lock(mu_);
+      --in_flight_;
+      if (tasks_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace communix

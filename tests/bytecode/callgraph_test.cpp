@@ -1,0 +1,105 @@
+#include "bytecode/callgraph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace communix::bytecode {
+namespace {
+
+/// f -> g -> h; h contains a synchronized block.
+TEST(CallGraphTest, TransitiveSyncReachability) {
+  Program p;
+  const ClassId c = p.AddClass("C");
+  const MethodId f = p.AddMethod(c, "f");
+  const MethodId g = p.AddMethod(c, "g");
+  const MethodId h = p.AddMethod(c, "h");
+  p.Emit(f, {Opcode::kInvoke, g, 1});
+  p.Emit(f, {Opcode::kReturn, -1, 2});
+  p.Emit(g, {Opcode::kInvoke, h, 1});
+  p.Emit(g, {Opcode::kReturn, -1, 2});
+  const std::int32_t s = p.AddLockSite(c, h, 1);
+  p.Emit(h, {Opcode::kMonitorEnter, s, 1});
+  p.Emit(h, {Opcode::kMonitorExit, s, 2});
+  p.Emit(h, {Opcode::kReturn, -1, 3});
+
+  const CallGraph cg(p);
+  EXPECT_TRUE(cg.MayExecuteSync(h));
+  EXPECT_TRUE(cg.MayExecuteSync(g));
+  EXPECT_TRUE(cg.MayExecuteSync(f));
+}
+
+TEST(CallGraphTest, PureComputeDoesNotSync) {
+  Program p;
+  const ClassId c = p.AddClass("C");
+  const MethodId f = p.AddMethod(c, "f");
+  p.Emit(f, {Opcode::kCompute, -1, 1});
+  p.Emit(f, {Opcode::kReturn, -1, 2});
+  EXPECT_FALSE(CallGraph(p).MayExecuteSync(f));
+}
+
+TEST(CallGraphTest, SynchronizedMethodFlagCounts) {
+  Program p;
+  const ClassId c = p.AddClass("C");
+  const MethodId f = p.AddMethod(c, "f", /*is_synchronized=*/true);
+  p.Emit(f, {Opcode::kReturn, -1, 1});
+  EXPECT_TRUE(CallGraph(p).MayExecuteSync(f));
+}
+
+TEST(CallGraphTest, UnanalyzableMethodIsConservativelySync) {
+  Program p;
+  const ClassId c = p.AddClass("C");
+  const MethodId f = p.AddMethod(c, "f");
+  p.mutable_method(f).analyzable = false;
+  p.Emit(f, {Opcode::kCompute, -1, 1});
+  EXPECT_TRUE(CallGraph(p).MayExecuteSync(f))
+      << "methods Soot cannot see must be assumed to synchronize";
+}
+
+TEST(CallGraphTest, RecursionTerminates) {
+  Program p;
+  const ClassId c = p.AddClass("C");
+  const MethodId f = p.AddMethod(c, "f");
+  const MethodId g = p.AddMethod(c, "g");
+  p.Emit(f, {Opcode::kInvoke, g, 1});
+  p.Emit(g, {Opcode::kInvoke, f, 1});  // mutual recursion, no sync
+  const CallGraph cg(p);
+  EXPECT_FALSE(cg.MayExecuteSync(f));
+  EXPECT_FALSE(cg.MayExecuteSync(g));
+}
+
+TEST(CallGraphTest, RecursiveCycleWithSyncPropagates) {
+  Program p;
+  const ClassId c = p.AddClass("C");
+  const MethodId f = p.AddMethod(c, "f");
+  const MethodId g = p.AddMethod(c, "g");
+  p.Emit(f, {Opcode::kInvoke, g, 1});
+  p.Emit(g, {Opcode::kInvoke, f, 1});
+  const std::int32_t s = p.AddLockSite(c, g, 2);
+  p.Emit(g, {Opcode::kMonitorEnter, s, 2});
+  p.Emit(g, {Opcode::kMonitorExit, s, 3});
+  const CallGraph cg(p);
+  EXPECT_TRUE(cg.MayExecuteSync(f));
+  EXPECT_TRUE(cg.MayExecuteSync(g));
+}
+
+TEST(CallGraphTest, CalleesDeduplicated) {
+  Program p;
+  const ClassId c = p.AddClass("C");
+  const MethodId f = p.AddMethod(c, "f");
+  const MethodId g = p.AddMethod(c, "g");
+  p.Emit(f, {Opcode::kInvoke, g, 1});
+  p.Emit(f, {Opcode::kInvoke, g, 2});
+  p.Emit(f, {Opcode::kInvoke, g, 3});
+  EXPECT_EQ(CallGraph(p).callees(f).size(), 1u);
+}
+
+TEST(CallGraphTest, InvalidCalleeIgnored) {
+  Program p;
+  const ClassId c = p.AddClass("C");
+  const MethodId f = p.AddMethod(c, "f");
+  p.Emit(f, {Opcode::kInvoke, 999, 1});  // dangling method id
+  EXPECT_TRUE(CallGraph(p).callees(f).empty());
+  EXPECT_FALSE(CallGraph(p).MayExecuteSync(f));
+}
+
+}  // namespace
+}  // namespace communix::bytecode

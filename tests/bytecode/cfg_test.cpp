@@ -1,0 +1,95 @@
+#include "bytecode/cfg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace communix::bytecode {
+namespace {
+
+class CfgBuilder {
+ public:
+  CfgBuilder() {
+    cid_ = p_.AddClass("C");
+    mid_ = p_.AddMethod(cid_, "f");
+  }
+  void Emit(Opcode op, std::int32_t operand = -1) {
+    p_.Emit(mid_, {op, operand, static_cast<std::uint32_t>(
+                                    p_.method(mid_).body.size() + 1)});
+  }
+  Cfg Build() const { return Cfg(p_, mid_); }
+
+ private:
+  Program p_;
+  ClassId cid_;
+  MethodId mid_;
+};
+
+TEST(CfgTest, StraightLine) {
+  CfgBuilder b;
+  b.Emit(Opcode::kCompute);
+  b.Emit(Opcode::kCompute);
+  b.Emit(Opcode::kReturn);
+  const Cfg cfg = b.Build();
+  ASSERT_EQ(cfg.size(), 3u);
+  EXPECT_EQ(cfg.successors(0), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(cfg.successors(1), (std::vector<std::size_t>{2}));
+  EXPECT_TRUE(cfg.successors(2).empty());
+}
+
+TEST(CfgTest, BranchHasTwoSuccessors) {
+  CfgBuilder b;
+  b.Emit(Opcode::kBranch, 2);  // 0: if -> 2, falls to 1
+  b.Emit(Opcode::kCompute);    // 1
+  b.Emit(Opcode::kReturn);     // 2
+  const Cfg cfg = b.Build();
+  EXPECT_EQ(cfg.successors(0), (std::vector<std::size_t>{1, 2}));
+}
+
+TEST(CfgTest, GotoSkipsFallThrough) {
+  CfgBuilder b;
+  b.Emit(Opcode::kGoto, 2);  // 0 -> 2 only
+  b.Emit(Opcode::kCompute);  // 1 (dead)
+  b.Emit(Opcode::kReturn);   // 2
+  const Cfg cfg = b.Build();
+  EXPECT_EQ(cfg.successors(0), (std::vector<std::size_t>{2}));
+}
+
+TEST(CfgTest, BackEdgeLoop) {
+  CfgBuilder b;
+  b.Emit(Opcode::kCompute);    // 0
+  b.Emit(Opcode::kBranch, 0);  // 1 -> 0 (loop) or fall to 2
+  b.Emit(Opcode::kReturn);     // 2
+  const Cfg cfg = b.Build();
+  EXPECT_EQ(cfg.successors(1), (std::vector<std::size_t>{2, 0}));
+}
+
+TEST(CfgTest, OutOfRangeTargetClampedOut) {
+  CfgBuilder b;
+  b.Emit(Opcode::kGoto, 99);  // malformed target: treated as method exit
+  b.Emit(Opcode::kReturn);
+  const Cfg cfg = b.Build();
+  EXPECT_TRUE(cfg.successors(0).empty());
+}
+
+TEST(CfgTest, NegativeTargetClampedOut) {
+  CfgBuilder b;
+  b.Emit(Opcode::kBranch, -5);
+  b.Emit(Opcode::kReturn);
+  const Cfg cfg = b.Build();
+  EXPECT_EQ(cfg.successors(0), (std::vector<std::size_t>{1}));
+}
+
+TEST(CfgTest, LastInstructionFallsOffEnd) {
+  CfgBuilder b;
+  b.Emit(Opcode::kCompute);  // no return: successor would be out of range
+  const Cfg cfg = b.Build();
+  EXPECT_TRUE(cfg.successors(0).empty());
+}
+
+TEST(CfgTest, EmptyMethod) {
+  CfgBuilder b;
+  const Cfg cfg = b.Build();
+  EXPECT_EQ(cfg.size(), 0u);
+}
+
+}  // namespace
+}  // namespace communix::bytecode

@@ -1,0 +1,172 @@
+#include "bytecode/nesting.hpp"
+
+#include <gtest/gtest.h>
+
+namespace communix::bytecode {
+namespace {
+
+/// Builder for single-class nesting scenarios.
+struct Fixture {
+  Program p;
+  ClassId c;
+  Fixture() : c(p.AddClass("C")) {}
+
+  MethodId Method(const std::string& name) { return p.AddMethod(c, name); }
+  std::int32_t Site(MethodId m, std::uint32_t line) {
+    return p.AddLockSite(c, m, line);
+  }
+};
+
+TEST(NestingTest, DirectlyNestedBlocks) {
+  Fixture f;
+  const MethodId m = f.Method("m");
+  const auto outer = f.Site(m, 1);
+  const auto inner = f.Site(m, 2);
+  f.p.Emit(m, {Opcode::kMonitorEnter, outer, 1});  // 0
+  f.p.Emit(m, {Opcode::kMonitorEnter, inner, 2});  // 1
+  f.p.Emit(m, {Opcode::kMonitorExit, inner, 3});   // 2
+  f.p.Emit(m, {Opcode::kMonitorExit, outer, 4});   // 3
+  f.p.Emit(m, {Opcode::kReturn, -1, 5});
+
+  const NestingAnalysis na(f.p);
+  EXPECT_TRUE(na.IsNested(m, 0)) << "outer block contains a monitorenter";
+  EXPECT_FALSE(na.IsNested(m, 1)) << "inner block closes without nesting";
+  const auto report = na.AnalyzeAll();
+  EXPECT_EQ(report.total, 2u);
+  EXPECT_EQ(report.analyzed, 2u);
+  EXPECT_EQ(report.nested_sites.count(outer), 1u);
+  EXPECT_EQ(report.nested_sites.count(inner), 0u);
+}
+
+TEST(NestingTest, FlatBlockIsNotNested) {
+  Fixture f;
+  const MethodId m = f.Method("m");
+  const auto s = f.Site(m, 1);
+  f.p.Emit(m, {Opcode::kMonitorEnter, s, 1});
+  f.p.Emit(m, {Opcode::kCompute, -1, 2});
+  f.p.Emit(m, {Opcode::kMonitorExit, s, 3});
+  f.p.Emit(m, {Opcode::kReturn, -1, 4});
+  EXPECT_FALSE(NestingAnalysis(f.p).IsNested(m, 0));
+}
+
+TEST(NestingTest, NestedThroughCall) {
+  Fixture f;
+  const MethodId callee = f.Method("syncCallee");
+  const auto callee_site = f.Site(callee, 1);
+  f.p.Emit(callee, {Opcode::kMonitorEnter, callee_site, 1});
+  f.p.Emit(callee, {Opcode::kMonitorExit, callee_site, 2});
+  f.p.Emit(callee, {Opcode::kReturn, -1, 3});
+
+  const MethodId m = f.Method("m");
+  const auto s = f.Site(m, 1);
+  f.p.Emit(m, {Opcode::kMonitorEnter, s, 1});   // 0
+  f.p.Emit(m, {Opcode::kInvoke, callee, 2});    // 1
+  f.p.Emit(m, {Opcode::kMonitorExit, s, 3});    // 2
+  f.p.Emit(m, {Opcode::kReturn, -1, 4});
+  EXPECT_TRUE(NestingAnalysis(f.p).IsNested(m, 0));
+}
+
+TEST(NestingTest, NestedThroughTransitiveCall) {
+  Fixture f;
+  const MethodId leaf = f.Method("leaf");
+  const auto leaf_site = f.Site(leaf, 1);
+  f.p.Emit(leaf, {Opcode::kMonitorEnter, leaf_site, 1});
+  f.p.Emit(leaf, {Opcode::kMonitorExit, leaf_site, 2});
+  const MethodId mid = f.Method("mid");
+  f.p.Emit(mid, {Opcode::kInvoke, leaf, 1});
+  f.p.Emit(mid, {Opcode::kReturn, -1, 2});
+
+  const MethodId m = f.Method("m");
+  const auto s = f.Site(m, 1);
+  f.p.Emit(m, {Opcode::kMonitorEnter, s, 1});
+  f.p.Emit(m, {Opcode::kInvoke, mid, 2});
+  f.p.Emit(m, {Opcode::kMonitorExit, s, 3});
+  EXPECT_TRUE(NestingAnalysis(f.p).IsNested(m, 0));
+}
+
+TEST(NestingTest, CallToPureMethodNotNested) {
+  Fixture f;
+  const MethodId pure = f.Method("pure");
+  f.p.Emit(pure, {Opcode::kCompute, -1, 1});
+  f.p.Emit(pure, {Opcode::kReturn, -1, 2});
+
+  const MethodId m = f.Method("m");
+  const auto s = f.Site(m, 1);
+  f.p.Emit(m, {Opcode::kMonitorEnter, s, 1});
+  f.p.Emit(m, {Opcode::kInvoke, pure, 2});
+  f.p.Emit(m, {Opcode::kMonitorExit, s, 3});
+  EXPECT_FALSE(NestingAnalysis(f.p).IsNested(m, 0));
+}
+
+TEST(NestingTest, CallAfterExitDoesNotCount) {
+  Fixture f;
+  const MethodId sync_callee = f.Method("syncCallee");
+  const auto cs = f.Site(sync_callee, 1);
+  f.p.Emit(sync_callee, {Opcode::kMonitorEnter, cs, 1});
+  f.p.Emit(sync_callee, {Opcode::kMonitorExit, cs, 2});
+
+  const MethodId m = f.Method("m");
+  const auto s = f.Site(m, 1);
+  f.p.Emit(m, {Opcode::kMonitorEnter, s, 1});   // 0
+  f.p.Emit(m, {Opcode::kMonitorExit, s, 2});    // 1: block closes first
+  f.p.Emit(m, {Opcode::kInvoke, sync_callee, 3});
+  f.p.Emit(m, {Opcode::kReturn, -1, 4});
+  EXPECT_FALSE(NestingAnalysis(f.p).IsNested(m, 0))
+      << "the sync call happens after monitorexit on every path";
+}
+
+TEST(NestingTest, BranchOnePathNestedIsNested) {
+  Fixture f;
+  const MethodId m = f.Method("m");
+  const auto s = f.Site(m, 1);
+  const auto inner = f.Site(m, 3);
+  f.p.Emit(m, {Opcode::kMonitorEnter, s, 1});      // 0
+  f.p.Emit(m, {Opcode::kBranch, 4, 2});            // 1: -> 4 or fall to 2
+  f.p.Emit(m, {Opcode::kMonitorEnter, inner, 3});  // 2 (nested path)
+  f.p.Emit(m, {Opcode::kMonitorExit, inner, 3});   // 3
+  f.p.Emit(m, {Opcode::kMonitorExit, s, 4});       // 4
+  f.p.Emit(m, {Opcode::kReturn, -1, 5});           // 5
+  EXPECT_TRUE(NestingAnalysis(f.p).IsNested(m, 0))
+      << "deadlock needs only one feasible nested path";
+}
+
+TEST(NestingTest, LoopInsideBlockTerminates) {
+  Fixture f;
+  const MethodId m = f.Method("m");
+  const auto s = f.Site(m, 1);
+  f.p.Emit(m, {Opcode::kMonitorEnter, s, 1});  // 0
+  f.p.Emit(m, {Opcode::kCompute, -1, 2});      // 1
+  f.p.Emit(m, {Opcode::kBranch, 1, 3});        // 2: loop back to 1
+  f.p.Emit(m, {Opcode::kMonitorExit, s, 4});   // 3
+  f.p.Emit(m, {Opcode::kReturn, -1, 5});
+  EXPECT_FALSE(NestingAnalysis(f.p).IsNested(m, 0));
+}
+
+TEST(NestingTest, UnanalyzableMethodsSkippedButCounted) {
+  Fixture f;
+  const MethodId m = f.Method("m");
+  const auto s = f.Site(m, 1);
+  f.p.Emit(m, {Opcode::kMonitorEnter, s, 1});
+  f.p.Emit(m, {Opcode::kMonitorEnter, f.Site(m, 2), 2});
+  f.p.mutable_method(m).analyzable = false;
+  const auto report = NestingAnalysis(f.p).AnalyzeAll();
+  EXPECT_EQ(report.total, 2u);
+  EXPECT_EQ(report.analyzed, 0u);
+  EXPECT_TRUE(report.nested_sites.empty());
+}
+
+TEST(NestingTest, ExplicitLockOpsAreIgnored) {
+  // §III-C1: Communix does not handle ReentrantLock; explicit ops inside
+  // a block must not make it "nested".
+  Fixture f;
+  const MethodId m = f.Method("m");
+  const auto s = f.Site(m, 1);
+  f.p.Emit(m, {Opcode::kMonitorEnter, s, 1});
+  f.p.Emit(m, {Opcode::kExplicitLock, -1, 2});
+  f.p.Emit(m, {Opcode::kExplicitUnlock, -1, 3});
+  f.p.Emit(m, {Opcode::kMonitorExit, s, 4});
+  EXPECT_FALSE(NestingAnalysis(f.p).IsNested(m, 0));
+}
+
+}  // namespace
+}  // namespace communix::bytecode

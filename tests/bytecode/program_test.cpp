@@ -1,0 +1,111 @@
+#include "bytecode/program.hpp"
+
+#include <gtest/gtest.h>
+
+namespace communix::bytecode {
+namespace {
+
+TEST(ProgramTest, AddAndLookupClassesAndMethods) {
+  Program p;
+  const ClassId c = p.AddClass("app.Main");
+  const MethodId m = p.AddMethod(c, "run");
+  EXPECT_EQ(p.num_classes(), 1u);
+  EXPECT_EQ(p.num_methods(), 1u);
+  EXPECT_EQ(p.klass(c).name, "app.Main");
+  EXPECT_EQ(p.method(m).name, "run");
+  EXPECT_EQ(p.method(m).class_id, c);
+  EXPECT_EQ(p.FindClass("app.Main"), c);
+  EXPECT_EQ(p.FindMethod("app.Main", "run"), m);
+  EXPECT_FALSE(p.FindClass("app.Missing").has_value());
+  EXPECT_FALSE(p.FindMethod("app.Main", "missing").has_value());
+}
+
+TEST(ProgramTest, EmitAppendsInstructions) {
+  Program p;
+  const ClassId c = p.AddClass("C");
+  const MethodId m = p.AddMethod(c, "f");
+  EXPECT_EQ(p.Emit(m, {Opcode::kCompute, -1, 1}), 0u);
+  EXPECT_EQ(p.Emit(m, {Opcode::kReturn, -1, 2}), 1u);
+  EXPECT_EQ(p.method(m).body.size(), 2u);
+}
+
+TEST(ProgramTest, LockSitesRecorded) {
+  Program p;
+  const ClassId c = p.AddClass("C");
+  const MethodId m = p.AddMethod(c, "f");
+  const std::int32_t s = p.AddLockSite(c, m, 17);
+  EXPECT_EQ(p.num_lock_sites(), 1u);
+  EXPECT_EQ(p.lock_site(s).line, 17u);
+  EXPECT_EQ(p.lock_site(s).method_id, m);
+}
+
+TEST(ProgramTest, ClassHashIsDeterministic) {
+  auto build = [] {
+    Program p;
+    const ClassId c = p.AddClass("C");
+    const MethodId m = p.AddMethod(c, "f", true);
+    p.Emit(m, {Opcode::kCompute, -1, 3});
+    return p;
+  };
+  const Program a = build();
+  const Program b = build();
+  EXPECT_EQ(a.ClassHash(0), b.ClassHash(0));
+}
+
+TEST(ProgramTest, ClassHashChangesWithBody) {
+  Program a;
+  Program b;
+  for (Program* p : {&a, &b}) {
+    const ClassId c = p->AddClass("C");
+    p->AddMethod(c, "f");
+  }
+  a.Emit(0, {Opcode::kCompute, -1, 3});
+  b.Emit(0, {Opcode::kCompute, -1, 4});  // different line only
+  EXPECT_NE(a.ClassHash(0), b.ClassHash(0))
+      << "a changed line must change the class bytecode hash";
+}
+
+TEST(ProgramTest, ClassHashChangesWithSyncFlag) {
+  Program a;
+  Program b;
+  a.AddMethod(a.AddClass("C"), "f", false);
+  b.AddMethod(b.AddClass("C"), "f", true);
+  EXPECT_NE(a.ClassHash(0), b.ClassHash(0));
+}
+
+TEST(ProgramTest, ClassHashByName) {
+  Program p;
+  p.AddClass("x.Y");
+  EXPECT_TRUE(p.ClassHashByName("x.Y").has_value());
+  EXPECT_FALSE(p.ClassHashByName("x.Z").has_value());
+}
+
+TEST(ProgramTest, TotalLinesSumsPerMethodMax) {
+  Program p;
+  const ClassId c = p.AddClass("C");
+  const MethodId m1 = p.AddMethod(c, "f");
+  const MethodId m2 = p.AddMethod(c, "g");
+  p.Emit(m1, {Opcode::kCompute, -1, 10});
+  p.Emit(m1, {Opcode::kCompute, -1, 30});
+  p.Emit(m2, {Opcode::kCompute, -1, 5});
+  EXPECT_EQ(p.TotalLines(), 35u);
+}
+
+TEST(ProgramTest, ComputeStatsCountsSyncAndExplicit) {
+  Program p;
+  const ClassId c = p.AddClass("C");
+  const MethodId m1 = p.AddMethod(c, "f", true);  // sync method
+  const MethodId m2 = p.AddMethod(c, "g");
+  const std::int32_t s = p.AddLockSite(c, m2, 2);
+  p.Emit(m2, {Opcode::kMonitorEnter, s, 2});
+  p.Emit(m2, {Opcode::kMonitorExit, s, 3});
+  p.Emit(m2, {Opcode::kExplicitLock, -1, 4});
+  p.Emit(m2, {Opcode::kExplicitUnlock, -1, 5});
+  p.Emit(m1, {Opcode::kReturn, -1, 1});
+  const auto stats = p.ComputeStats();
+  EXPECT_EQ(stats.sync_blocks_and_methods, 2u);  // 1 method + 1 block
+  EXPECT_EQ(stats.explicit_sync_ops, 2u);
+}
+
+}  // namespace
+}  // namespace communix::bytecode

@@ -1,0 +1,130 @@
+#include "bytecode/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bytecode/nesting.hpp"
+
+namespace communix::bytecode {
+namespace {
+
+SyntheticSpec SmallSpec() {
+  SyntheticSpec s;
+  s.name = "tiny";
+  s.target_loc = 20'000;
+  s.sync_blocks = 60;
+  s.analyzable_sync_blocks = 40;
+  s.nested_sync_blocks = 12;
+  s.explicit_sync_ops = 9;
+  s.sync_helpers = 4;
+  s.classes = 10;
+  s.driver_chain_length = 6;
+  s.seed = 3;
+  return s;
+}
+
+TEST(SyntheticTest, StatsMatchSpec) {
+  const auto app = GenerateApp(SmallSpec());
+  const auto stats = app.program.ComputeStats();
+  EXPECT_EQ(stats.sync_blocks_and_methods, 60u);
+  EXPECT_EQ(stats.explicit_sync_ops, 9u);
+  EXPECT_GE(stats.loc, 20'000u);
+  EXPECT_LE(stats.loc, 23'000u) << "LOC should be close to the target";
+}
+
+TEST(SyntheticTest, NestingAnalysisReproducesSpec) {
+  const auto spec = SmallSpec();
+  const auto app = GenerateApp(spec);
+  const auto report = NestingAnalysis(app.program).AnalyzeAll();
+  EXPECT_EQ(report.total, spec.sync_blocks);
+  EXPECT_EQ(report.analyzed, spec.analyzable_sync_blocks);
+  // All nested hosts are nested sites; helpers are not nested.
+  EXPECT_EQ(report.nested_sites.size(), spec.nested_sync_blocks);
+  for (std::int32_t site : app.nested_sites) {
+    EXPECT_EQ(report.nested_sites.count(site), 1u);
+  }
+  for (std::int32_t site : app.non_nested_sites) {
+    EXPECT_EQ(report.nested_sites.count(site), 0u);
+  }
+}
+
+TEST(SyntheticTest, SiteInventoryConsistent) {
+  const auto spec = SmallSpec();
+  const auto app = GenerateApp(spec);
+  EXPECT_EQ(app.nested_sites.size(), spec.nested_sync_blocks);
+  EXPECT_EQ(app.helper_sites.size(), spec.sync_helpers);
+  EXPECT_EQ(app.nested_sites.size() + app.non_nested_sites.size(),
+            spec.analyzable_sync_blocks - spec.sync_helpers);
+  EXPECT_EQ(app.unanalyzable_sites.size(),
+            spec.sync_blocks - spec.analyzable_sync_blocks);
+}
+
+TEST(SyntheticTest, DeterministicForSameSeed) {
+  const auto a = GenerateApp(SmallSpec());
+  const auto b = GenerateApp(SmallSpec());
+  ASSERT_EQ(a.program.num_classes(), b.program.num_classes());
+  for (std::size_t c = 0; c < a.program.num_classes(); ++c) {
+    EXPECT_EQ(a.program.ClassHash(static_cast<ClassId>(c)),
+              b.program.ClassHash(static_cast<ClassId>(c)));
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  auto spec = SmallSpec();
+  const auto a = GenerateApp(spec);
+  spec.seed = 999;
+  const auto b = GenerateApp(spec);
+  EXPECT_NE(a.program.ClassHash(0), b.program.ClassHash(0));
+}
+
+TEST(SyntheticTest, DriverChainsReachSites) {
+  const auto app = GenerateApp(SmallSpec());
+  for (std::int32_t site : app.nested_sites) {
+    ASSERT_LT(static_cast<std::size_t>(site), app.chain_of_site.size());
+    const std::int32_t chain = app.chain_of_site[site];
+    ASSERT_GE(chain, 0);
+    EXPECT_EQ(app.driver_chains[chain].size(), SmallSpec().driver_chain_length);
+  }
+}
+
+TEST(SyntheticTest, RejectsInconsistentSpecs) {
+  SyntheticSpec bad = SmallSpec();
+  bad.analyzable_sync_blocks = bad.sync_blocks + 1;
+  EXPECT_THROW(GenerateApp(bad), std::invalid_argument);
+
+  bad = SmallSpec();
+  bad.nested_sync_blocks = bad.analyzable_sync_blocks;  // no room for helpers
+  EXPECT_THROW(GenerateApp(bad), std::invalid_argument);
+
+  bad = SmallSpec();
+  bad.classes = 0;
+  EXPECT_THROW(GenerateApp(bad), std::invalid_argument);
+
+  bad = SmallSpec();
+  bad.sync_helpers = 0;  // nested hosts need a helper
+  EXPECT_THROW(GenerateApp(bad), std::invalid_argument);
+}
+
+class ProfileTest : public ::testing::TestWithParam<SyntheticSpec> {};
+
+TEST_P(ProfileTest, TableIStatisticsReproduced) {
+  const auto spec = GetParam();
+  const auto app = GenerateApp(spec);
+  const auto stats = app.program.ComputeStats();
+  EXPECT_EQ(stats.sync_blocks_and_methods, spec.sync_blocks);
+  EXPECT_EQ(stats.explicit_sync_ops, spec.explicit_sync_ops);
+  EXPECT_NEAR(static_cast<double>(stats.loc),
+              static_cast<double>(spec.target_loc),
+              static_cast<double>(spec.target_loc) * 0.02);
+  const auto report = NestingAnalysis(app.program).AnalyzeAll();
+  EXPECT_EQ(report.analyzed, spec.analyzable_sync_blocks);
+  EXPECT_EQ(report.nested_sites.size(), spec.nested_sync_blocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperProfiles, ProfileTest,
+                         ::testing::Values(JBossProfile(), LimewireProfile(),
+                                           VuzeProfile(), EclipseProfile(),
+                                           MySqlJdbcProfile()),
+                         [](const auto& info) { return info.param.name == "mysql-jdbc" ? std::string("mysql_jdbc") : info.param.name; });
+
+}  // namespace
+}  // namespace communix::bytecode

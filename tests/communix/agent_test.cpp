@@ -1,0 +1,330 @@
+#include "communix/agent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "bytecode/synthetic.hpp"
+#include "sim/attacker.hpp"
+#include "sim/stacks.hpp"
+#include "util/clock.hpp"
+
+namespace communix {
+namespace {
+
+using bytecode::GenerateApp;
+using bytecode::SyntheticApp;
+using bytecode::SyntheticSpec;
+using dimmunix::CallStack;
+using dimmunix::DimmunixRuntime;
+using dimmunix::Frame;
+using dimmunix::Signature;
+using dimmunix::SignatureEntry;
+using sim::CanonicalInnerFrames;
+using sim::CanonicalStackFrames;
+using sim::MakeCriticalPathSignature;
+using sim::WithHashes;
+
+SyntheticApp TestApp(std::uint64_t seed = 11) {
+  SyntheticSpec spec;
+  spec.name = "agentapp";
+  spec.target_loc = 10'000;
+  spec.sync_blocks = 30;
+  spec.analyzable_sync_blocks = 22;
+  spec.nested_sync_blocks = 8;
+  spec.sync_helpers = 2;
+  spec.classes = 6;
+  spec.driver_chain_length = 8;
+  spec.seed = seed;
+  return GenerateApp(spec);
+}
+
+/// A well-formed signature over two *nested* sites of `app`, with correct
+/// hashes — passes all agent checks.
+Signature ValidSig(const SyntheticApp& app, std::size_t a = 0,
+                   std::size_t b = 1, std::size_t depth = 6) {
+  return MakeCriticalPathSignature(app, app.nested_sites[a],
+                                   app.nested_sites[b], depth);
+}
+
+class AgentTest : public ::testing::Test {
+ protected:
+  AgentTest()
+      : app_(TestApp()), runtime_(clock_), agent_(runtime_, app_.program, repo_) {}
+
+  void Enqueue(const Signature& sig) { repo_.Append({sig.ToBytes()}); }
+
+  VirtualClock clock_;
+  SyntheticApp app_;
+  DimmunixRuntime runtime_;
+  LocalRepository repo_;
+  CommunixAgent agent_;
+};
+
+TEST_F(AgentTest, AcceptsValidSignature) {
+  Enqueue(ValidSig(app_));
+  const auto report = agent_.ProcessNewSignatures();
+  EXPECT_EQ(report.examined, 1u);
+  EXPECT_EQ(report.accepted, 1u);
+  EXPECT_EQ(report.added, 1u);
+  EXPECT_EQ(report.merged, 0u);
+  EXPECT_EQ(runtime_.SnapshotHistory().size(), 1u);
+  EXPECT_EQ(runtime_.SnapshotHistory().record(0).origin,
+            dimmunix::SignatureOrigin::kRemote);
+  EXPECT_EQ(repo_.state(0), SigState::kAccepted);
+}
+
+TEST_F(AgentTest, IncrementalProcessingExaminesOnce) {
+  Enqueue(ValidSig(app_));
+  agent_.ProcessNewSignatures();
+  const auto second = agent_.ProcessNewSignatures();
+  EXPECT_EQ(second.examined, 0u) << "every signature is analyzed only once";
+}
+
+TEST_F(AgentTest, RejectsMissingHashes) {
+  // Same stacks but without attached hashes: top frame fails the check.
+  const Signature raw = MakeCriticalPathSignature(
+      app_, app_.nested_sites[0], app_.nested_sites[1], 6);
+  std::vector<SignatureEntry> entries = raw.entries();
+  for (auto& e : entries) {
+    for (auto* s : {&e.outer, &e.inner}) {
+      for (auto& f : s->mutable_frames()) f.class_hash.reset();
+    }
+  }
+  Enqueue(Signature(std::move(entries)));
+  const auto report = agent_.ProcessNewSignatures();
+  EXPECT_EQ(report.rejected_hash, 1u);
+  EXPECT_EQ(repo_.state(0), SigState::kRejectedHash);
+  EXPECT_TRUE(runtime_.SnapshotHistory().empty());
+}
+
+TEST_F(AgentTest, RejectsWrongVersionHashes) {
+  // Hashes from a *different build* of the same class names.
+  const SyntheticApp other = TestApp(/*seed=*/99);
+  Signature sig = MakeCriticalPathSignature(app_, app_.nested_sites[0],
+                                            app_.nested_sites[1], 6);
+  // Strip and re-attach hashes from the other program (same class names,
+  // different bytecode => different hashes).
+  sig = WithHashes(other.program, sig);
+  Enqueue(sig);
+  const auto report = agent_.ProcessNewSignatures();
+  EXPECT_EQ(report.rejected_hash, 1u);
+}
+
+TEST_F(AgentTest, TrimsStackBelowFirstHashMismatch) {
+  // Replace the hash of a *lower* frame with junk: the agent must keep
+  // the matching top suffix and trim the rest, still accepting.
+  Signature sig = ValidSig(app_);
+  std::vector<SignatureEntry> entries = sig.entries();
+  auto& frames = entries[0].outer.mutable_frames();
+  ASSERT_GE(frames.size(), 6u);
+  frames[0].class_hash = Sha256::Hash("junk");  // bottom frame corrupt
+  const std::size_t original_depth = frames.size();
+  Enqueue(Signature(std::move(entries)));
+
+  const auto report = agent_.ProcessNewSignatures();
+  ASSERT_EQ(report.accepted, 1u);
+  const auto hist = runtime_.SnapshotHistory();
+  ASSERT_EQ(hist.size(), 1u);
+  // Find the trimmed entry: same top, shallower stack.
+  bool found_trimmed = false;
+  for (const auto& e : hist.record(0).sig.entries()) {
+    if (e.outer.depth() == original_depth - 1) found_trimmed = true;
+  }
+  EXPECT_TRUE(found_trimmed);
+}
+
+TEST_F(AgentTest, RejectsShallowOuterStacks) {
+  Enqueue(ValidSig(app_, 0, 1, /*depth=*/4));
+  const auto report = agent_.ProcessNewSignatures();
+  EXPECT_EQ(report.rejected_depth, 1u);
+  EXPECT_EQ(repo_.state(0), SigState::kRejectedDepth);
+}
+
+TEST_F(AgentTest, DepthExactlyFiveAccepted) {
+  Enqueue(ValidSig(app_, 0, 1, /*depth=*/5));
+  const auto report = agent_.ProcessNewSignatures();
+  EXPECT_EQ(report.accepted, 1u);
+}
+
+TEST_F(AgentTest, RejectsNonNestedOuterTops) {
+  // Signature whose outer stacks end at non-nested sites: fails the
+  // nesting check even with perfect hashes.
+  ASSERT_GE(app_.non_nested_sites.size(), 2u);
+  const auto site_a = app_.non_nested_sites[0];
+  const auto site_b = app_.non_nested_sites[1];
+  std::vector<SignatureEntry> entries;
+  for (const auto site : {site_a, site_b}) {
+    SignatureEntry e;
+    CallStack outer(CanonicalStackFrames(app_, site));
+    outer.TrimToDepth(6);
+    e.outer = outer;
+    e.inner = CallStack(CanonicalInnerFrames(app_, site));
+    entries.push_back(std::move(e));
+  }
+  Enqueue(WithHashes(app_.program, Signature(std::move(entries))));
+  const auto report = agent_.ProcessNewSignatures();
+  EXPECT_EQ(report.rejected_nesting, 1u);
+  EXPECT_EQ(repo_.state(0), SigState::kRejectedNesting);
+}
+
+TEST_F(AgentTest, RecheckAfterClassLoadAcceptsNewlyNestedSites) {
+  // Fail the nesting check first, then supply an updated nesting report
+  // that includes the site (modelling newly loaded classes, §III-C3).
+  ASSERT_GE(app_.non_nested_sites.size(), 2u);
+  const auto site_a = app_.non_nested_sites[0];
+  const auto site_b = app_.non_nested_sites[1];
+  std::vector<SignatureEntry> entries;
+  for (const auto site : {site_a, site_b}) {
+    SignatureEntry e;
+    CallStack outer(CanonicalStackFrames(app_, site));
+    outer.TrimToDepth(6);
+    e.outer = outer;
+    e.inner = CallStack(CanonicalInnerFrames(app_, site));
+    entries.push_back(std::move(e));
+  }
+  Enqueue(WithHashes(app_.program, Signature(std::move(entries))));
+  ASSERT_EQ(agent_.ProcessNewSignatures().rejected_nesting, 1u);
+
+  bytecode::NestingReport updated = agent_.nesting_report();
+  updated.nested_sites.insert(site_a);
+  updated.nested_sites.insert(site_b);
+  const auto report = agent_.RecheckNestingRejected(updated);
+  EXPECT_EQ(report.examined, 1u);
+  EXPECT_EQ(report.accepted, 1u);
+  EXPECT_EQ(repo_.state(0), SigState::kAccepted);
+}
+
+TEST_F(AgentTest, RejectsMalformedBytes) {
+  repo_.Append({{0xDE, 0xAD, 0xBE, 0xEF}});
+  const auto report = agent_.ProcessNewSignatures();
+  EXPECT_EQ(report.rejected_malformed, 1u);
+  EXPECT_EQ(repo_.state(0), SigState::kRejectedMalformed);
+}
+
+TEST_F(AgentTest, RandomFakeSignaturesAllRejected) {
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    Enqueue(sim::MakeRandomFakeSignature(rng));
+  }
+  const auto report = agent_.ProcessNewSignatures();
+  EXPECT_EQ(report.examined, 20u);
+  EXPECT_EQ(report.accepted, 0u);
+  EXPECT_EQ(report.rejected_hash, 20u)
+      << "fabricated classes cannot carry matching bytecode hashes";
+}
+
+TEST_F(AgentTest, GeneralizesSameBugIntoOneSignature) {
+  // Two manifestations of the same bug (same tops, different driver
+  // chains below): the agent must merge rather than add.
+  const Signature m1 = ValidSig(app_, 0, 1, 7);
+  // Manifestation 2: shorten the outer stacks differently (depth 6) so
+  // content differs but tops agree.
+  const Signature m2 = ValidSig(app_, 0, 1, 6);
+  ASSERT_EQ(m1.BugKey(), m2.BugKey());
+  ASSERT_NE(m1.ContentId(), m2.ContentId());
+
+  Enqueue(m1);
+  Enqueue(m2);
+  const auto report = agent_.ProcessNewSignatures();
+  EXPECT_EQ(report.accepted, 2u);
+  EXPECT_EQ(report.added, 1u);
+  EXPECT_EQ(report.merged, 1u);
+  const auto hist = runtime_.SnapshotHistory();
+  ASSERT_EQ(hist.size(), 1u);
+  // Merged outer depth = min(7, 6) = 6 (common suffix of same chain).
+  EXPECT_EQ(hist.record(0).sig.MinOuterDepth(), 6u);
+}
+
+TEST_F(AgentTest, RefusesMergeBelowDepthFive) {
+  // Existing history signature whose common suffix with the incoming one
+  // is only the top frame => merge would be depth 1 => must be refused,
+  // and the incoming signature becomes a separate entry.
+  const auto site_a = app_.nested_sites[0];
+  const auto site_b = app_.nested_sites[1];
+
+  auto entry_for = [&](std::int32_t site, const std::string& caller) {
+    SignatureEntry e;
+    std::vector<Frame> frames;
+    for (int i = 0; i < 5; ++i) {
+      frames.emplace_back(caller, "m" + std::to_string(i),
+                          static_cast<std::uint32_t>(i + 1));
+    }
+    frames.push_back(sim::SiteFrame(app_.program, site));
+    e.outer = CallStack(std::move(frames));
+    e.inner = CallStack(CanonicalInnerFrames(app_, site));
+    return e;
+  };
+  // Different fictitious callers => common suffix = top frame only. Use
+  // the app's real class names for hashes on the top frames; the caller
+  // frames have no valid hash, so use the agent with hash check relaxed.
+  CommunixAgent::Options opts;
+  opts.hash_check_enabled = false;
+  CommunixAgent agent(runtime_, app_.program, repo_, opts);
+
+  std::vector<SignatureEntry> e1;
+  e1.push_back(entry_for(site_a, "caller.One"));
+  e1.push_back(entry_for(site_b, "caller.One"));
+  std::vector<SignatureEntry> e2;
+  e2.push_back(entry_for(site_a, "caller.Two"));
+  e2.push_back(entry_for(site_b, "caller.Two"));
+  const Signature m1{std::move(e1)};
+  const Signature m2{std::move(e2)};
+  ASSERT_EQ(m1.BugKey(), m2.BugKey());
+
+  Enqueue(m1);
+  Enqueue(m2);
+  const auto report = agent.ProcessNewSignatures();
+  EXPECT_EQ(report.accepted, 2u);
+  EXPECT_EQ(report.added, 2u) << "merge below depth 5 must be refused";
+  EXPECT_EQ(report.merged, 0u);
+  EXPECT_EQ(runtime_.SnapshotHistory().size(), 2u);
+}
+
+TEST_F(AgentTest, DifferentBugsKeptSeparate) {
+  ASSERT_GE(app_.nested_sites.size(), 4u);
+  Enqueue(ValidSig(app_, 0, 1));
+  Enqueue(ValidSig(app_, 2, 3));
+  const auto report = agent_.ProcessNewSignatures();
+  EXPECT_EQ(report.added, 2u);
+  EXPECT_EQ(runtime_.SnapshotHistory().size(), 2u);
+}
+
+TEST_F(AgentTest, AttackerCapacityBoundedByNestedSites) {
+  // §III-C1: with all checks on, an attacker who can fabricate arbitrary
+  // deep-stacked signatures over *non-nested* sites gets nothing in, and
+  // over nested sites can at most cover the nested-site set.
+  Rng rng(17);
+  std::size_t enqueued = 0;
+  for (std::size_t i = 0; i + 1 < app_.non_nested_sites.size(); i += 2) {
+    std::vector<SignatureEntry> entries;
+    for (const auto site :
+         {app_.non_nested_sites[i], app_.non_nested_sites[i + 1]}) {
+      SignatureEntry e;
+      CallStack outer(CanonicalStackFrames(app_, site));
+      outer.TrimToDepth(6);
+      e.outer = outer;
+      e.inner = CallStack(CanonicalInnerFrames(app_, site));
+      entries.push_back(std::move(e));
+    }
+    Enqueue(WithHashes(app_.program, Signature(std::move(entries))));
+    ++enqueued;
+  }
+  ASSERT_GT(enqueued, 0u);
+  const auto report = agent_.ProcessNewSignatures();
+  EXPECT_EQ(report.accepted, 0u);
+  EXPECT_EQ(report.rejected_nesting, enqueued);
+}
+
+TEST_F(AgentTest, AblationDisablingChecksAdmitsAttacks) {
+  CommunixAgent::Options opts;
+  opts.depth_check_enabled = false;
+  opts.nesting_check_enabled = false;
+  CommunixAgent lax_agent(runtime_, app_.program, repo_, opts);
+  Enqueue(ValidSig(app_, 0, 1, /*depth=*/1));  // shallow: DoS material
+  const auto report = lax_agent.ProcessNewSignatures();
+  EXPECT_EQ(report.accepted, 1u)
+      << "without the checks the attack signature gets in";
+}
+
+}  // namespace
+}  // namespace communix

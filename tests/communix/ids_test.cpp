@@ -1,0 +1,73 @@
+#include "communix/ids.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace communix {
+namespace {
+
+TEST(IdsTest, IssueDecodeRoundTrip) {
+  const IdAuthority auth;
+  for (UserId user : {0ULL, 1ULL, 42ULL, 0xFFFFFFFFFFFFFFFFULL}) {
+    const UserToken token = auth.Issue(user);
+    const auto decoded = auth.Decode(token);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, user);
+  }
+}
+
+TEST(IdsTest, ForgedTokenRejected) {
+  const IdAuthority auth;
+  Rng rng(5);
+  int accepted = 0;
+  for (int i = 0; i < 1000; ++i) {
+    UserToken forged{};
+    for (auto& b : forged) b = static_cast<std::uint8_t>(rng.NextU64());
+    if (auth.Decode(forged).has_value()) ++accepted;
+  }
+  EXPECT_EQ(accepted, 0) << "random blocks must not decode to valid ids";
+}
+
+TEST(IdsTest, TamperedTokenRejected) {
+  const IdAuthority auth;
+  const UserToken token = auth.Issue(77);
+  for (int byte = 0; byte < 16; ++byte) {
+    UserToken tampered = token;
+    tampered[byte] ^= 0x01;
+    EXPECT_FALSE(auth.Decode(tampered).has_value())
+        << "bit flip in byte " << byte << " must invalidate the token";
+  }
+}
+
+TEST(IdsTest, TokensAreOpaque) {
+  // The user id must not be readable from the token without the key.
+  const IdAuthority auth;
+  const UserToken t1 = auth.Issue(1);
+  const UserToken t2 = auth.Issue(2);
+  // Tokens for adjacent ids should differ in many bytes (AES diffusion).
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (t1[i] != t2[i]) ++differing;
+  }
+  EXPECT_GE(differing, 8);
+}
+
+TEST(IdsTest, DifferentKeysIncompatible) {
+  const IdAuthority a;  // default key
+  AesKey other_key{};
+  other_key[3] = 0x99;
+  const IdAuthority b(other_key);
+  const UserToken token = a.Issue(5);
+  EXPECT_FALSE(b.Decode(token).has_value())
+      << "tokens are bound to the server key";
+}
+
+TEST(IdsTest, DeterministicIssuance) {
+  const IdAuthority a;
+  const IdAuthority b;
+  EXPECT_EQ(a.Issue(123), b.Issue(123));
+}
+
+}  // namespace
+}  // namespace communix

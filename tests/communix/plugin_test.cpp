@@ -1,0 +1,117 @@
+#include "communix/plugin.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "bytecode/synthetic.hpp"
+#include "communix/server.hpp"
+#include "net/inproc.hpp"
+#include "sim/workload.hpp"
+#include "util/clock.hpp"
+
+namespace communix {
+namespace {
+
+using dimmunix::DimmunixRuntime;
+using dimmunix::Signature;
+using testutil::ChainStack;
+using testutil::F;
+using testutil::Sig2;
+
+bytecode::SyntheticApp SmallApp() {
+  bytecode::SyntheticSpec spec;
+  spec.name = "plug";
+  spec.target_loc = 5'000;
+  spec.sync_blocks = 20;
+  spec.analyzable_sync_blocks = 15;
+  spec.nested_sync_blocks = 6;
+  spec.sync_helpers = 2;
+  spec.classes = 5;
+  spec.driver_chain_length = 6;
+  return bytecode::GenerateApp(spec);
+}
+
+class PluginTest : public ::testing::Test {
+ protected:
+  PluginTest()
+      : app_(SmallApp()),
+        server_(clock_),
+        transport_(server_),
+        runtime_(clock_),
+        plugin_(runtime_, app_.program, transport_, server_.IssueToken(1)) {}
+
+  VirtualClock clock_;
+  bytecode::SyntheticApp app_;
+  CommunixServer server_;
+  net::InprocTransport transport_;
+  DimmunixRuntime runtime_;
+  CommunixPlugin plugin_;
+};
+
+TEST_F(PluginTest, AttachHashesFillsKnownClasses) {
+  const std::string known = app_.program.klass(0).name;
+  const Signature sig =
+      Sig2(ChainStack(known, 6, F(known, "s1", 10)),
+           ChainStack(known, 6, F(known, "i1", 11)),
+           ChainStack("unknown.Class", 6, F("unknown.Class", "s2", 20)),
+           ChainStack("unknown.Class", 6, F("unknown.Class", "i2", 21)));
+  const Signature hashed = plugin_.AttachHashes(sig);
+  for (const auto& e : hashed.entries()) {
+    for (const auto* stack : {&e.outer, &e.inner}) {
+      for (const auto& f : stack->frames()) {
+        if (f.class_name == known) {
+          ASSERT_TRUE(f.class_hash.has_value());
+          EXPECT_EQ(*f.class_hash, app_.program.ClassHash(0));
+        } else {
+          EXPECT_FALSE(f.class_hash.has_value());
+        }
+      }
+    }
+  }
+}
+
+TEST_F(PluginTest, UploadReachesServer) {
+  const std::string known = app_.program.klass(0).name;
+  const Signature sig = Sig2(ChainStack(known, 6, F(known, "s1", 10)),
+                             ChainStack(known, 6, F(known, "i1", 11)),
+                             ChainStack(known, 6, F(known, "s2", 20)),
+                             ChainStack(known, 6, F(known, "i2", 21)));
+  ASSERT_TRUE(plugin_.UploadSignature(sig).ok());
+  EXPECT_EQ(server_.db_size(), 1u);
+  const auto stats = plugin_.GetStats();
+  EXPECT_EQ(stats.uploads_attempted, 1u);
+  EXPECT_EQ(stats.uploads_accepted, 1u);
+
+  // The stored signature carries the hashes.
+  const auto stored = server_.GetSince(0);
+  const auto back = Signature::FromBytes(
+      std::span<const std::uint8_t>(stored[0].data(), stored[0].size()));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->entries()[0].outer.top().class_hash.has_value());
+}
+
+TEST_F(PluginTest, InstallHooksDetectionToUpload) {
+  plugin_.Install();
+  // Deadlock the runtime: the plugin should auto-upload the signature.
+  const auto result = sim::AbbaWorkload(15).Run(runtime_);
+  ASSERT_TRUE(result.deadlocked);
+  EXPECT_EQ(plugin_.GetStats().uploads_attempted, 1u);
+  EXPECT_EQ(server_.db_size(), 1u);
+}
+
+TEST_F(PluginTest, RejectedUploadCounted) {
+  CommunixPlugin bad_plugin(runtime_, app_.program, transport_,
+                            UserToken{} /* invalid token */);
+  const std::string known = app_.program.klass(0).name;
+  const Signature sig = Sig2(ChainStack(known, 6, F(known, "s1", 10)),
+                             ChainStack(known, 6, F(known, "i1", 11)),
+                             ChainStack(known, 6, F(known, "s2", 20)),
+                             ChainStack(known, 6, F(known, "i2", 21)));
+  const Status s = bad_plugin.UploadSignature(sig);
+  EXPECT_EQ(s.code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(bad_plugin.GetStats().uploads_rejected, 1u);
+  EXPECT_EQ(server_.db_size(), 0u);
+}
+
+}  // namespace
+}  // namespace communix

@@ -1,0 +1,258 @@
+#include "communix/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "../testutil.hpp"
+#include "net/inproc.hpp"
+#include "util/rng.hpp"
+
+namespace communix {
+namespace {
+
+using dimmunix::Signature;
+using testutil::ChainStack;
+using testutil::F;
+using testutil::Sig2;
+
+Signature MakeSig(std::uint32_t salt) {
+  return Sig2(ChainStack("srv.A", 6, F("srv.A", "s1", 100 + salt)),
+              ChainStack("srv.A", 6, F("srv.A", "i1", 200 + salt)),
+              ChainStack("srv.B", 6, F("srv.B", "s2", 300 + salt)),
+              ChainStack("srv.B", 6, F("srv.B", "i2", 400 + salt)));
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  VirtualClock clock_;
+  CommunixServer server_{clock_};
+  UserToken token_ = server_.IssueToken(1);
+};
+
+TEST_F(ServerTest, AcceptsValidSignature) {
+  EXPECT_TRUE(server_.AddSignature(token_, MakeSig(0)).ok());
+  EXPECT_EQ(server_.db_size(), 1u);
+  EXPECT_EQ(server_.GetStats().adds_accepted, 1u);
+}
+
+TEST_F(ServerTest, RejectsForgedToken) {
+  UserToken forged{};
+  forged[0] = 0xAA;
+  const Status s = server_.AddSignature(forged, MakeSig(0));
+  EXPECT_EQ(s.code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(server_.db_size(), 0u);
+  EXPECT_EQ(server_.GetStats().rejected_bad_token, 1u);
+}
+
+TEST_F(ServerTest, RejectsSingleThreadSignature) {
+  std::vector<dimmunix::SignatureEntry> one;
+  one.push_back({ChainStack("x.A", 6, F("x.A", "s", 1)),
+                 ChainStack("x.A", 6, F("x.A", "i", 2))});
+  const Status s = server_.AddSignature(token_, Signature(std::move(one)));
+  EXPECT_EQ(s.code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ServerTest, DeduplicatesContent) {
+  ASSERT_TRUE(server_.AddSignature(token_, MakeSig(0)).ok());
+  const Status s = server_.AddSignature(token_, MakeSig(0));
+  EXPECT_EQ(s.code(), ErrorCode::kAlreadyExists);
+  EXPECT_EQ(server_.db_size(), 1u);
+}
+
+TEST_F(ServerTest, RateLimitTenPerDay) {
+  // Use disjoint top frames per signature so the adjacency check never
+  // fires: salt spacing of 1000 guarantees disjoint line numbers.
+  int accepted = 0;
+  for (int i = 0; i < 15; ++i) {
+    if (server_.AddSignature(token_, MakeSig(1000 * (i + 1))).ok()) {
+      ++accepted;
+    }
+  }
+  EXPECT_EQ(accepted, 10) << "the 11th signature of the day is ignored";
+  EXPECT_EQ(server_.GetStats().rejected_rate_limited, 5u);
+
+  // Next day the quota resets.
+  clock_.AdvanceDays(1.0);
+  EXPECT_TRUE(server_.AddSignature(token_, MakeSig(99'000)).ok());
+}
+
+TEST_F(ServerTest, RateLimitIsPerUser) {
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(server_.AddSignature(token_, MakeSig(1000 * (i + 1))).ok());
+  }
+  EXPECT_FALSE(server_.AddSignature(token_, MakeSig(50'000)).ok());
+  // A different user is unaffected.
+  const UserToken token2 = server_.IssueToken(2);
+  EXPECT_TRUE(server_.AddSignature(token2, MakeSig(60'000)).ok());
+}
+
+TEST_F(ServerTest, RejectsAdjacentSignatureFromSameUser) {
+  // S and S' share the outer top frame of thread 1 but differ elsewhere
+  // => "some but not all" top frames common => adjacent => rejected.
+  const auto shared_top = F("srv.A", "s1", 100);
+  const Signature s1 = Sig2(ChainStack("srv.A", 6, shared_top),
+                            ChainStack("srv.A", 6, F("srv.A", "i1", 200)),
+                            ChainStack("srv.B", 6, F("srv.B", "s2", 300)),
+                            ChainStack("srv.B", 6, F("srv.B", "i2", 400)));
+  const Signature s2 = Sig2(ChainStack("srv.A", 6, shared_top),
+                            ChainStack("srv.A", 6, F("srv.A", "i1", 201)),
+                            ChainStack("srv.C", 6, F("srv.C", "s3", 500)),
+                            ChainStack("srv.C", 6, F("srv.C", "i3", 600)));
+  ASSERT_TRUE(server_.AddSignature(token_, s1).ok());
+  const Status rejected = server_.AddSignature(token_, s2);
+  EXPECT_EQ(rejected.code(), ErrorCode::kPermissionDenied);
+  EXPECT_EQ(server_.GetStats().rejected_adjacent, 1u);
+}
+
+TEST_F(ServerTest, AllowsSameBugDifferentManifestationFromSameUser) {
+  // Identical top frames (same deadlock bug) are NOT "adjacent".
+  const Signature m1 =
+      Sig2(testutil::Stack({F("p.C1", "r", 1), F("srv.A", "s1", 100)}),
+           testutil::Stack({F("p.C1", "r", 2), F("srv.A", "i1", 200)}),
+           testutil::Stack({F("q.C1", "r", 1), F("srv.B", "s2", 300)}),
+           testutil::Stack({F("q.C1", "r", 2), F("srv.B", "i2", 400)}));
+  const Signature m2 =
+      Sig2(testutil::Stack({F("p.C2", "g", 9), F("srv.A", "s1", 100)}),
+           testutil::Stack({F("p.C2", "g", 8), F("srv.A", "i1", 200)}),
+           testutil::Stack({F("q.C2", "g", 7), F("srv.B", "s2", 300)}),
+           testutil::Stack({F("q.C2", "g", 6), F("srv.B", "i2", 400)}));
+  EXPECT_TRUE(server_.AddSignature(token_, m1).ok());
+  EXPECT_TRUE(server_.AddSignature(token_, m2).ok());
+}
+
+TEST_F(ServerTest, AdjacentAllowedFromDifferentUsers) {
+  const UserToken token2 = server_.IssueToken(2);
+  const auto shared_top = F("srv.A", "s1", 100);
+  const Signature s1 = Sig2(ChainStack("srv.A", 6, shared_top),
+                            ChainStack("srv.A", 6, F("srv.A", "i1", 200)),
+                            ChainStack("srv.B", 6, F("srv.B", "s2", 300)),
+                            ChainStack("srv.B", 6, F("srv.B", "i2", 400)));
+  const Signature s2 = Sig2(ChainStack("srv.A", 6, shared_top),
+                            ChainStack("srv.A", 6, F("srv.A", "i1", 201)),
+                            ChainStack("srv.C", 6, F("srv.C", "s3", 500)),
+                            ChainStack("srv.C", 6, F("srv.C", "i3", 600)));
+  ASSERT_TRUE(server_.AddSignature(token_, s1).ok());
+  EXPECT_TRUE(server_.AddSignature(token2, s2).ok())
+      << "the adjacency restriction is per-user (§III-C2)";
+}
+
+TEST_F(ServerTest, AdjacencyCheckCanBeDisabled) {
+  CommunixServer::Options opts;
+  opts.adjacency_check_enabled = false;
+  CommunixServer server(clock_, opts);
+  const UserToken token = server.IssueToken(1);
+  const auto shared_top = F("srv.A", "s1", 100);
+  const Signature s1 = Sig2(ChainStack("srv.A", 6, shared_top),
+                            ChainStack("srv.A", 6, F("srv.A", "i1", 200)),
+                            ChainStack("srv.B", 6, F("srv.B", "s2", 300)),
+                            ChainStack("srv.B", 6, F("srv.B", "i2", 400)));
+  const Signature s2 = Sig2(ChainStack("srv.A", 6, shared_top),
+                            ChainStack("srv.A", 6, F("srv.A", "i1", 201)),
+                            ChainStack("srv.C", 6, F("srv.C", "s3", 500)),
+                            ChainStack("srv.C", 6, F("srv.C", "i3", 600)));
+  ASSERT_TRUE(server.AddSignature(token, s1).ok());
+  EXPECT_TRUE(server.AddSignature(token, s2).ok());
+}
+
+TEST_F(ServerTest, GetSinceReturnsSuffix) {
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(server_.AddSignature(token_, MakeSig(1000 * (i + 1))).ok());
+  }
+  EXPECT_EQ(server_.GetSince(0).size(), 5u);
+  EXPECT_EQ(server_.GetSince(3).size(), 2u);
+  EXPECT_EQ(server_.GetSince(5).size(), 0u);
+  EXPECT_EQ(server_.GetSince(99).size(), 0u);
+  // Returned bytes deserialize back to the accepted signatures.
+  const auto all = server_.GetSince(0);
+  const auto sig = Signature::FromBytes(
+      std::span<const std::uint8_t>(all[0].data(), all[0].size()));
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_EQ(*sig, MakeSig(1000));
+}
+
+TEST_F(ServerTest, WireProtocolAddAndGet) {
+  net::InprocTransport transport(server_);
+
+  // ADD over the wire.
+  BinaryWriter w;
+  w.WriteRaw(std::span<const std::uint8_t>(token_.data(), token_.size()));
+  MakeSig(0).Serialize(w);
+  net::Request add;
+  add.type = net::MsgType::kAddSignature;
+  add.payload = w.take();
+  auto add_result = transport.Call(add);
+  ASSERT_TRUE(add_result.ok());
+  EXPECT_TRUE(add_result.value().ok()) << add_result.value().error;
+
+  // GET(0) over the wire.
+  net::Request get;
+  get.type = net::MsgType::kGetSignatures;
+  BinaryWriter gw;
+  gw.WriteU64(0);
+  get.payload = gw.take();
+  auto get_result = transport.Call(get);
+  ASSERT_TRUE(get_result.ok());
+  BinaryReader r(std::span<const std::uint8_t>(
+      get_result.value().payload.data(), get_result.value().payload.size()));
+  EXPECT_EQ(r.ReadU32(), 1u);
+  const auto bytes = r.ReadBytes();
+  const auto sig = Signature::FromBytes(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  ASSERT_TRUE(sig.has_value());
+  EXPECT_EQ(*sig, MakeSig(0));
+}
+
+TEST_F(ServerTest, WireProtocolIssueId) {
+  net::InprocTransport transport(server_);
+  net::Request req;
+  req.type = net::MsgType::kIssueId;
+  BinaryWriter w;
+  w.WriteU64(42);
+  req.payload = w.take();
+  auto result = transport.Call(req);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().payload.size(), 16u);
+  UserToken token;
+  std::copy(result.value().payload.begin(), result.value().payload.end(),
+            token.begin());
+  EXPECT_EQ(token, server_.IssueToken(42));
+}
+
+TEST_F(ServerTest, WireProtocolRejectsMalformedAdd) {
+  net::InprocTransport transport(server_);
+  net::Request add;
+  add.type = net::MsgType::kAddSignature;
+  add.payload = {1, 2, 3};  // far too short
+  auto result = transport.Call(add);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().code, ErrorCode::kInvalidArgument);
+}
+
+TEST_F(ServerTest, ConcurrentAddsAndGetsAreSafe) {
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> accepted{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      const UserToken tok =
+          server_.IssueToken(static_cast<UserId>(100 + t));
+      for (int i = 0; i < 10; ++i) {
+        if (server_
+                .AddSignature(
+                    tok, MakeSig(static_cast<std::uint32_t>(
+                             100'000 + t * 10'000 + i * 100)))
+                .ok()) {
+          accepted.fetch_add(1);
+        }
+        (void)server_.GetSince(0);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(accepted.load(), kThreads * 10);
+  EXPECT_EQ(server_.db_size(), static_cast<std::uint64_t>(kThreads * 10));
+}
+
+}  // namespace
+}  // namespace communix

@@ -1,0 +1,163 @@
+// Property sweeps over the agent's validation pipeline: for generated
+// applications of varying shapes, correctly-hashed nested-site signatures
+// always pass, and every one-flaw perturbation (corrupt hash, shallow
+// stack, non-nested site, foreign class) is caught by exactly the
+// intended check.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "bytecode/synthetic.hpp"
+#include "communix/agent.hpp"
+#include "communix/server.hpp"
+#include "dimmunix/runtime.hpp"
+#include "sim/attacker.hpp"
+#include "sim/stacks.hpp"
+#include "util/clock.hpp"
+
+namespace communix {
+namespace {
+
+using bytecode::GenerateApp;
+using bytecode::SyntheticApp;
+using bytecode::SyntheticSpec;
+using dimmunix::DimmunixRuntime;
+using dimmunix::Signature;
+using dimmunix::SignatureEntry;
+
+struct Shape {
+  std::size_t sync_blocks;
+  std::size_t analyzable;
+  std::size_t nested;
+  std::size_t chain;
+  std::uint64_t seed;
+};
+
+class ValidationPropertyTest : public ::testing::TestWithParam<Shape> {
+ protected:
+  SyntheticApp MakeApp() const {
+    const Shape& p = GetParam();
+    SyntheticSpec spec;
+    spec.name = "prop";
+    spec.target_loc = 6'000;
+    spec.sync_blocks = p.sync_blocks;
+    spec.analyzable_sync_blocks = p.analyzable;
+    spec.nested_sync_blocks = p.nested;
+    spec.sync_helpers = 2;
+    spec.classes = 5;
+    spec.driver_chain_length = p.chain;
+    spec.seed = p.seed;
+    return GenerateApp(spec);
+  }
+
+  CommunixAgent::Verdict Validate(const SyntheticApp& app, Signature sig) {
+    VirtualClock clock;
+    DimmunixRuntime runtime(clock);
+    LocalRepository repo;
+    CommunixAgent agent(runtime, app.program, repo);
+    return agent.ValidateAndTrim(sig);
+  }
+};
+
+TEST_P(ValidationPropertyTest, EveryNestedPairWithHashesPasses) {
+  const auto app = MakeApp();
+  for (std::size_t i = 0; i + 1 < app.nested_sites.size(); i += 2) {
+    Signature sig = sim::MakeCriticalPathSignature(
+        app, app.nested_sites[i], app.nested_sites[i + 1],
+        std::min<std::size_t>(GetParam().chain, 6));
+    EXPECT_EQ(Validate(app, sig), CommunixAgent::Verdict::kValid)
+        << "pair " << i;
+  }
+}
+
+TEST_P(ValidationPropertyTest, CorruptTopHashAlwaysRejected) {
+  const auto app = MakeApp();
+  Signature sig = sim::MakeCriticalPathSignature(app, app.nested_sites[0],
+                                                 app.nested_sites[1], 6);
+  std::vector<SignatureEntry> entries = sig.entries();
+  entries[0].outer.mutable_frames().back().class_hash =
+      Sha256::Hash("corrupted");
+  EXPECT_EQ(Validate(app, Signature(std::move(entries))),
+            CommunixAgent::Verdict::kRejectedHash);
+}
+
+TEST_P(ValidationPropertyTest, DepthBoundaryIsExactlyFive) {
+  const auto app = MakeApp();
+  for (std::size_t depth = 1; depth <= 6; ++depth) {
+    if (depth > GetParam().chain + 1) break;
+    const Signature sig = sim::MakeCriticalPathSignature(
+        app, app.nested_sites[0], app.nested_sites[1], depth);
+    const auto verdict = Validate(app, sig);
+    if (depth < 5) {
+      EXPECT_EQ(verdict, CommunixAgent::Verdict::kRejectedDepth)
+          << "depth " << depth;
+    } else {
+      EXPECT_EQ(verdict, CommunixAgent::Verdict::kValid) << "depth " << depth;
+    }
+  }
+}
+
+TEST_P(ValidationPropertyTest, NonNestedSitesAlwaysRejected) {
+  const auto app = MakeApp();
+  for (std::size_t i = 0; i + 1 < app.non_nested_sites.size(); i += 3) {
+    std::vector<SignatureEntry> entries;
+    for (const auto site :
+         {app.non_nested_sites[i], app.non_nested_sites[i + 1]}) {
+      SignatureEntry e;
+      dimmunix::CallStack outer(sim::CanonicalStackFrames(app, site));
+      outer.TrimToDepth(6);
+      e.outer = outer;
+      e.inner = dimmunix::CallStack(sim::CanonicalInnerFrames(app, site));
+      entries.push_back(std::move(e));
+    }
+    EXPECT_EQ(Validate(app, sim::WithHashes(app.program,
+                                            Signature(std::move(entries)))),
+              CommunixAgent::Verdict::kRejectedNesting);
+  }
+}
+
+TEST_P(ValidationPropertyTest, ForeignAppSignaturesAlwaysRejected) {
+  const auto app = MakeApp();
+  // Signatures valid for a structurally identical but differently-seeded
+  // build: the hash check must catch every one of them.
+  SyntheticSpec other_spec;
+  other_spec.name = "prop";
+  other_spec.target_loc = 6'000;
+  other_spec.sync_blocks = GetParam().sync_blocks;
+  other_spec.analyzable_sync_blocks = GetParam().analyzable;
+  other_spec.nested_sync_blocks = GetParam().nested;
+  other_spec.sync_helpers = 2;
+  other_spec.classes = 5;
+  other_spec.driver_chain_length = GetParam().chain;
+  other_spec.seed = GetParam().seed + 0x1000;
+  const auto other = GenerateApp(other_spec);
+
+  for (std::size_t i = 0; i + 1 < other.nested_sites.size(); i += 2) {
+    const Signature sig = sim::MakeCriticalPathSignature(
+        other, other.nested_sites[i], other.nested_sites[i + 1], 6);
+    EXPECT_EQ(Validate(app, sig), CommunixAgent::Verdict::kRejectedHash);
+  }
+}
+
+TEST_P(ValidationPropertyTest, ServerAcceptsWhatAgentAccepts) {
+  // Cross-layer consistency: any signature the agent validates is also
+  // acceptable to the server (fresh user, no adjacency conflicts).
+  const auto app = MakeApp();
+  VirtualClock clock;
+  CommunixServer server(clock);
+  const Signature sig = sim::MakeCriticalPathSignature(
+      app, app.nested_sites[0], app.nested_sites[1], 6);
+  ASSERT_EQ(Validate(app, sig), CommunixAgent::Verdict::kValid);
+  EXPECT_TRUE(server.AddSignature(server.IssueToken(1), sig).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ValidationPropertyTest,
+    ::testing::Values(Shape{24, 18, 6, 7, 1}, Shape{40, 30, 10, 8, 2},
+                      Shape{16, 12, 4, 9, 3}, Shape{60, 40, 16, 6, 4},
+                      Shape{30, 20, 8, 11, 5}),
+    [](const auto& info) {
+      return "shape" + std::to_string(info.index);
+    });
+
+}  // namespace
+}  // namespace communix

@@ -1,0 +1,117 @@
+#include "dimmunix/fp_detector.hpp"
+
+#include <gtest/gtest.h>
+
+namespace communix::dimmunix {
+namespace {
+
+constexpr std::uint64_t kSig = 0xABCD;
+
+FpDetector::Options DefaultOpts() { return {}; }
+
+TEST(FpDetectorTest, NotFlaggedWithoutBurst) {
+  // 150 instantiations but spread 1 per 2 seconds: no 1s burst > 10.
+  FpDetector d(DefaultOpts());
+  TimePoint now = 0;
+  bool flagged = false;
+  for (int i = 0; i < 150; ++i) {
+    flagged |= d.RecordInstantiation(kSig, now);
+    now += 2 * kNanosPerSecond;
+  }
+  EXPECT_FALSE(flagged);
+  EXPECT_FALSE(d.IsSuspected(kSig));
+}
+
+TEST(FpDetectorTest, NotFlaggedBelowCountThreshold) {
+  // A strong burst, but fewer than 100 total instantiations.
+  FpDetector d(DefaultOpts());
+  bool flagged = false;
+  for (int i = 0; i < 50; ++i) {
+    flagged |= d.RecordInstantiation(kSig, i * 1'000'000);  // 1ms apart
+  }
+  EXPECT_FALSE(flagged);
+}
+
+TEST(FpDetectorTest, FlaggedWithBurstAndCount) {
+  // Paper rule: >= 100 instantiations, no TP, and one 1-second interval
+  // with more than 10 instantiations.
+  FpDetector d(DefaultOpts());
+  TimePoint now = 0;
+  // 1 burst: 12 instantiations within 100ms.
+  for (int i = 0; i < 12; ++i) {
+    d.RecordInstantiation(kSig, now);
+    now += 8'000'000;
+  }
+  // Then slow drip to 100 total.
+  bool flagged = false;
+  for (int i = 0; i < 88; ++i) {
+    now += 2 * kNanosPerSecond;
+    flagged |= d.RecordInstantiation(kSig, now);
+  }
+  EXPECT_TRUE(flagged);
+  EXPECT_TRUE(d.IsSuspected(kSig));
+}
+
+TEST(FpDetectorTest, FlagFiresExactlyOnce) {
+  FpDetector d(DefaultOpts());
+  int fires = 0;
+  for (int i = 0; i < 300; ++i) {
+    if (d.RecordInstantiation(kSig, i * 1'000'000)) ++fires;
+  }
+  EXPECT_EQ(fires, 1);
+}
+
+TEST(FpDetectorTest, TruePositiveResetsSuspicion) {
+  FpDetector d(DefaultOpts());
+  for (int i = 0; i < 200; ++i) d.RecordInstantiation(kSig, i * 1'000'000);
+  ASSERT_TRUE(d.IsSuspected(kSig));
+  d.RecordTruePositive(kSig);
+  EXPECT_FALSE(d.IsSuspected(kSig));
+  EXPECT_EQ(d.InstantiationCount(kSig), 0u);
+  // Can be flagged again after reset.
+  bool flagged = false;
+  for (int i = 0; i < 200; ++i) {
+    flagged |= d.RecordInstantiation(kSig, kNanosPerDay + i * 1'000'000);
+  }
+  EXPECT_TRUE(flagged);
+}
+
+TEST(FpDetectorTest, SignaturesTrackedIndependently) {
+  FpDetector d(DefaultOpts());
+  for (int i = 0; i < 200; ++i) d.RecordInstantiation(1, i * 1'000'000);
+  EXPECT_TRUE(d.IsSuspected(1));
+  EXPECT_FALSE(d.IsSuspected(2));
+  EXPECT_EQ(d.InstantiationCount(2), 0u);
+}
+
+TEST(FpDetectorTest, ExactlyTenInOneSecondIsNotABurst) {
+  // The paper says "more than 10".
+  FpDetector::Options opts;
+  FpDetector d(opts);
+  TimePoint now = 0;
+  bool flagged = false;
+  for (int round = 0; round < 20; ++round) {
+    // 10 events in one second, then a gap.
+    for (int i = 0; i < 10; ++i) {
+      flagged |= d.RecordInstantiation(kSig, now);
+      now += 50'000'000;  // 50ms
+    }
+    now += 3 * kNanosPerSecond;
+  }
+  EXPECT_FALSE(flagged) << "10 per second is exactly at, not over, threshold";
+}
+
+TEST(FpDetectorTest, CustomThresholds) {
+  FpDetector::Options opts;
+  opts.instantiation_threshold = 5;
+  opts.burst_threshold = 2;
+  FpDetector d(opts);
+  bool flagged = false;
+  for (int i = 0; i < 5; ++i) {
+    flagged |= d.RecordInstantiation(kSig, i * 1'000'000);
+  }
+  EXPECT_TRUE(flagged);
+}
+
+}  // namespace
+}  // namespace communix::dimmunix

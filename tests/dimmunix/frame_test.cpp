@@ -1,0 +1,123 @@
+#include "dimmunix/frame.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+
+namespace communix::dimmunix {
+namespace {
+
+using testutil::F;
+using testutil::Stack;
+
+TEST(FrameTest, EqualityByLocation) {
+  EXPECT_EQ(F("a.B", "m", 3), F("a.B", "m", 3));
+  EXPECT_FALSE(F("a.B", "m", 3) == F("a.B", "m", 4));
+  EXPECT_FALSE(F("a.B", "m", 3) == F("a.B", "n", 3));
+  EXPECT_FALSE(F("a.B", "m", 3) == F("a.C", "m", 3));
+}
+
+TEST(FrameTest, HashIsMetadataNotIdentity) {
+  Frame a = F("a.B", "m", 3);
+  Frame b = F("a.B", "m", 3);
+  b.class_hash = Sha256::Hash("anything");
+  EXPECT_EQ(a, b);
+}
+
+TEST(FrameTest, LocationKeyDistinguishes) {
+  EXPECT_NE(F("a.B", "m", 3).location_key, F("a.B", "m", 4).location_key);
+  EXPECT_NE(F("a.B", "m", 3).location_key, F("a.C", "m", 3).location_key);
+}
+
+TEST(FrameTest, SetLineRequiresRecompute) {
+  Frame f = F("a.B", "m", 3);
+  const auto old_key = f.location_key;
+  f.line = 4;
+  f.RecomputeKey();
+  EXPECT_NE(f.location_key, old_key);
+}
+
+TEST(FrameTest, ToStringFormat) {
+  EXPECT_EQ(F("a.B", "m", 3).ToString(), "a.B.m:3");
+}
+
+TEST(CallStackTest, TopAndDepth) {
+  const CallStack s = Stack({F("c", "bottom", 1), F("c", "top", 2)});
+  EXPECT_EQ(s.depth(), 2u);
+  EXPECT_EQ(s.top().method, "top");
+  EXPECT_EQ(s.TopKey(), F("c", "top", 2).location_key);
+}
+
+TEST(CallStackTest, EmptyStack) {
+  const CallStack s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.TopKey(), 0u);
+  EXPECT_FALSE(s.MatchesSuffixOf(s));
+}
+
+TEST(CallStackTest, SuffixMatching) {
+  const CallStack concrete =
+      Stack({F("c", "a", 1), F("c", "b", 2), F("c", "d", 3)});
+  EXPECT_TRUE(Stack({F("c", "d", 3)}).MatchesSuffixOf(concrete));
+  EXPECT_TRUE(Stack({F("c", "b", 2), F("c", "d", 3)}).MatchesSuffixOf(concrete));
+  EXPECT_TRUE(concrete.MatchesSuffixOf(concrete));
+  EXPECT_FALSE(Stack({F("c", "a", 1)}).MatchesSuffixOf(concrete))
+      << "a non-top frame is not a suffix";
+  EXPECT_FALSE(
+      Stack({F("c", "x", 9), F("c", "d", 3)}).MatchesSuffixOf(concrete));
+  // Deeper abstraction than the concrete stack cannot match.
+  const CallStack deeper = Stack(
+      {F("c", "z", 0), F("c", "a", 1), F("c", "b", 2), F("c", "d", 3)});
+  EXPECT_FALSE(deeper.MatchesSuffixOf(concrete));
+}
+
+TEST(CallStackTest, TrimToDepthKeepsTopFrames) {
+  CallStack s = Stack({F("c", "a", 1), F("c", "b", 2), F("c", "d", 3)});
+  s.TrimToDepth(2);
+  EXPECT_EQ(s.depth(), 2u);
+  EXPECT_EQ(s.frames()[0].method, "b");
+  EXPECT_EQ(s.top().method, "d");
+  s.TrimToDepth(5);  // no-op
+  EXPECT_EQ(s.depth(), 2u);
+}
+
+TEST(CallStackTest, LongestCommonSuffix) {
+  const CallStack a =
+      Stack({F("c", "x", 1), F("c", "b", 2), F("c", "d", 3)});
+  const CallStack b =
+      Stack({F("c", "y", 9), F("c", "b", 2), F("c", "d", 3)});
+  const CallStack lcs = CallStack::LongestCommonSuffix(a, b);
+  EXPECT_EQ(lcs.depth(), 2u);
+  EXPECT_EQ(lcs.frames()[0].method, "b");
+  EXPECT_EQ(lcs.top().method, "d");
+}
+
+TEST(CallStackTest, LongestCommonSuffixProperties) {
+  const CallStack a =
+      Stack({F("c", "x", 1), F("c", "b", 2), F("c", "d", 3)});
+  const CallStack b = Stack({F("c", "b", 2), F("c", "d", 3)});
+  // Commutative (modulo hash metadata, which compares equal by location).
+  EXPECT_EQ(CallStack::LongestCommonSuffix(a, b),
+            CallStack::LongestCommonSuffix(b, a));
+  // Idempotent.
+  EXPECT_EQ(CallStack::LongestCommonSuffix(a, a), a);
+  // Result is a suffix of both.
+  const auto lcs = CallStack::LongestCommonSuffix(a, b);
+  EXPECT_TRUE(lcs.MatchesSuffixOf(a));
+  EXPECT_TRUE(lcs.MatchesSuffixOf(b));
+}
+
+TEST(CallStackTest, LongestCommonSuffixDisjointIsEmpty) {
+  const CallStack a = Stack({F("c", "x", 1)});
+  const CallStack b = Stack({F("c", "y", 2)});
+  EXPECT_TRUE(CallStack::LongestCommonSuffix(a, b).empty());
+}
+
+TEST(CallStackTest, StackKeyOrderDependent) {
+  const CallStack ab = Stack({F("c", "a", 1), F("c", "b", 2)});
+  const CallStack ba = Stack({F("c", "b", 2), F("c", "a", 1)});
+  EXPECT_NE(ab.StackKey(), ba.StackKey());
+}
+
+}  // namespace
+}  // namespace communix::dimmunix

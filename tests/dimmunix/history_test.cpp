@@ -1,0 +1,154 @@
+#include "dimmunix/history.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "../testutil.hpp"
+
+namespace communix::dimmunix {
+namespace {
+
+using testutil::ChainStack;
+using testutil::F;
+using testutil::Sig2;
+
+Signature MakeSig(std::uint32_t salt) {
+  return Sig2(ChainStack("h.A", 6, F("h.A", "s1", 10 + salt)),
+              ChainStack("h.A", 6, F("h.A", "i1", 11 + salt)),
+              ChainStack("h.B", 6, F("h.B", "s2", 20 + salt)),
+              ChainStack("h.B", 6, F("h.B", "i2", 21 + salt)));
+}
+
+TEST(HistoryTest, AddAndDeduplicate) {
+  History h;
+  EXPECT_EQ(h.Add(MakeSig(0), SignatureOrigin::kLocal, 1), 0);
+  EXPECT_EQ(h.Add(MakeSig(1), SignatureOrigin::kRemote, 2), 1);
+  EXPECT_EQ(h.Add(MakeSig(0), SignatureOrigin::kLocal, 3), -1)
+      << "identical content must deduplicate";
+  EXPECT_EQ(h.size(), 2u);
+  EXPECT_TRUE(h.ContainsContent(MakeSig(0).ContentId()));
+}
+
+TEST(HistoryTest, RecordsKeepMetadata) {
+  History h;
+  h.Add(MakeSig(0), SignatureOrigin::kRemote, 77);
+  EXPECT_EQ(h.record(0).origin, SignatureOrigin::kRemote);
+  EXPECT_EQ(h.record(0).added_at, 77);
+  EXPECT_FALSE(h.record(0).disabled);
+}
+
+TEST(HistoryTest, FindByBugKey) {
+  History h;
+  h.Add(MakeSig(0), SignatureOrigin::kLocal, 1);
+  h.Add(MakeSig(5), SignatureOrigin::kLocal, 1);
+  const auto hits = h.FindByBugKey(MakeSig(0).BugKey());
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 0u);
+  EXPECT_TRUE(h.FindByBugKey(12345).empty());
+}
+
+TEST(HistoryTest, CandidatesIndexByOuterTop) {
+  History h;
+  const Signature s = MakeSig(0);
+  h.Add(s, SignatureOrigin::kLocal, 1);
+  for (const auto& e : s.entries()) {
+    const auto* cands = h.CandidatesForTopFrame(e.outer.TopKey());
+    ASSERT_NE(cands, nullptr);
+    ASSERT_EQ(cands->size(), 1u);
+    EXPECT_EQ((*cands)[0].first, 0u);
+  }
+  EXPECT_EQ(h.CandidatesForTopFrame(999), nullptr);
+}
+
+TEST(HistoryTest, DisableRemovesFromIndex) {
+  History h;
+  const Signature s = MakeSig(0);
+  h.Add(s, SignatureOrigin::kLocal, 1);
+  ASSERT_TRUE(h.Disable(s.ContentId()));
+  EXPECT_TRUE(h.record(0).disabled);
+  EXPECT_EQ(h.CandidatesForTopFrame(s.entries()[0].outer.TopKey()), nullptr);
+  ASSERT_TRUE(h.ReEnable(s.ContentId()));
+  EXPECT_NE(h.CandidatesForTopFrame(s.entries()[0].outer.TopKey()), nullptr);
+}
+
+TEST(HistoryTest, DisableUnknownFails) {
+  History h;
+  EXPECT_FALSE(h.Disable(42));
+  EXPECT_FALSE(h.ReEnable(42));
+}
+
+TEST(HistoryTest, ReplaceSwapsContent) {
+  History h;
+  h.Add(MakeSig(0), SignatureOrigin::kLocal, 1);
+  const Signature merged = MakeSig(9);
+  h.Replace(0, merged);
+  EXPECT_EQ(h.record(0).sig, merged);
+  EXPECT_TRUE(h.ContainsContent(merged.ContentId()));
+  EXPECT_FALSE(h.ContainsContent(MakeSig(0).ContentId()));
+  // Index follows the new content.
+  EXPECT_NE(h.CandidatesForTopFrame(merged.entries()[0].outer.TopKey()),
+            nullptr);
+}
+
+TEST(HistoryTest, SaveLoadRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "communix_hist_test.bin")
+          .string();
+  History h;
+  h.Add(MakeSig(0), SignatureOrigin::kLocal, 10);
+  h.Add(MakeSig(1), SignatureOrigin::kRemote, 20);
+  h.Disable(MakeSig(1).ContentId());
+  ASSERT_TRUE(h.SaveToFile(path).ok());
+
+  auto loaded = History::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const History& l = loaded.value();
+  ASSERT_EQ(l.size(), 2u);
+  EXPECT_EQ(l.record(0).sig, MakeSig(0));
+  EXPECT_EQ(l.record(0).origin, SignatureOrigin::kLocal);
+  EXPECT_EQ(l.record(0).added_at, 10);
+  EXPECT_TRUE(l.record(1).disabled);
+  std::remove(path.c_str());
+}
+
+TEST(HistoryTest, LoadMissingFileFails) {
+  auto r = History::LoadFromFile("/nonexistent/path/history.bin");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kNotFound);
+}
+
+TEST(HistoryTest, LoadCorruptFileFails) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "communix_hist_corrupt.bin")
+          .string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("this is not a history file", f);
+    std::fclose(f);
+  }
+  auto r = History::LoadFromFile(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kDataLoss);
+  std::remove(path.c_str());
+}
+
+TEST(HistoryTest, TruncatedFileFails) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "communix_hist_trunc.bin")
+          .string();
+  History h;
+  h.Add(MakeSig(0), SignatureOrigin::kLocal, 1);
+  ASSERT_TRUE(h.SaveToFile(path).ok());
+  // Truncate to half.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  auto r = History::LoadFromFile(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace communix::dimmunix

@@ -1,0 +1,147 @@
+// §III-D merge rule (1): two signatures produced on the *local* machine
+// merge with no depth floor. When the same deadlock bug manifests twice
+// through different code paths, Dimmunix keeps ONE generalized signature
+// (their longest common suffixes) rather than accumulating manifestations.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "dimmunix/runtime.hpp"
+#include "util/clock.hpp"
+
+namespace communix::dimmunix {
+namespace {
+
+/// One AB/BA encounter whose call chain is parameterized by `entry`, so
+/// different encounters produce different manifestations of the same bug
+/// (the lock statements — top frames — stay identical).
+bool Encounter(DimmunixRuntime& rt, const std::string& entry, Monitor& a,
+               Monitor& b) {
+  std::atomic<bool> holds_a{false}, holds_b{false};
+  std::atomic<bool> deadlocked{false};
+
+  auto body = [&](bool first) {
+    auto& ctx = rt.AttachThread("w");
+    const std::string cls = first ? "gen.Left" : "gen.Right";
+    Monitor& mine = first ? a : b;
+    Monitor& theirs = first ? b : a;
+    auto& my_flag = first ? holds_a : holds_b;
+    auto& peer_flag = first ? holds_b : holds_a;
+    {
+      ScopedFrame f1(ctx, cls, entry, 11);       // differs per encounter
+      ScopedFrame f2(ctx, cls, "lockStep", 30);  // identical suffix
+      SyncRegion outer(rt, ctx, mine, 40);
+      if (outer.ok()) {
+        my_flag.store(true);
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(10);
+        while (!peer_flag.load() &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::yield();
+        }
+        SyncRegion inner(rt, ctx, theirs, 50);
+        if (!inner.ok()) deadlocked.store(true);
+        my_flag.store(false);
+      }
+    }
+    rt.DetachThread(ctx);
+  };
+  std::thread t1(body, true), t2(body, false);
+  t1.join();
+  t2.join();
+  return deadlocked.load();
+}
+
+TEST(LocalGeneralizationTest, SecondManifestationMergesInPlace) {
+  VirtualClock clock;
+  DimmunixRuntime::Options opts;
+  opts.avoidance_enabled = false;  // let both manifestations deadlock
+  DimmunixRuntime rt(clock, opts);
+  Monitor a, b;
+
+  bool first = false;
+  for (int i = 0; i < 5 && !first; ++i) {
+    first = Encounter(rt, "entryAlpha", a, b);
+  }
+  ASSERT_TRUE(first);
+  ASSERT_EQ(rt.SnapshotHistory().size(), 1u);
+  const std::size_t depth_before =
+      rt.SnapshotHistory().record(0).sig.MinOuterDepth();
+  EXPECT_EQ(depth_before, 2u) << "[entryAlpha, lockStep]";
+
+  bool second = false;
+  for (int i = 0; i < 5 && !second; ++i) {
+    second = Encounter(rt, "entryBeta", a, b);
+  }
+  ASSERT_TRUE(second);
+
+  // Still ONE signature, now generalized to the common suffix
+  // [lockStep:40] (depth 1 — allowed because both are local).
+  const auto hist = rt.SnapshotHistory();
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist.record(0).sig.MinOuterDepth(), 1u);
+  EXPECT_GE(rt.GetStats().local_generalizations, 1u);
+}
+
+TEST(LocalGeneralizationTest, GeneralizedSignatureCoversBothPaths) {
+  VirtualClock clock;
+  // Learn both manifestations with detection (avoidance off)...
+  DimmunixRuntime::Options learn_opts;
+  learn_opts.avoidance_enabled = false;
+  DimmunixRuntime learner(clock, learn_opts);
+  Monitor a, b;
+  bool d1 = false, d2 = false;
+  for (int i = 0; i < 5 && !d1; ++i) d1 = Encounter(learner, "pathOne", a, b);
+  for (int i = 0; i < 5 && !d2; ++i) d2 = Encounter(learner, "pathTwo", a, b);
+  ASSERT_TRUE(d1);
+  ASSERT_TRUE(d2);
+  const History hist = learner.SnapshotHistory();
+  ASSERT_EQ(hist.size(), 1u);
+
+  // ...then the single generalized signature must protect a fresh
+  // runtime against a *third* path it has never seen.
+  DimmunixRuntime rt(clock);
+  rt.AddSignature(hist.record(0).sig, SignatureOrigin::kLocal);
+  Monitor c, d;
+  bool deadlocked = false;
+  for (int i = 0; i < 5; ++i) {
+    deadlocked |= Encounter(rt, "pathNovel", c, d);
+  }
+  EXPECT_FALSE(deadlocked)
+      << "the generalization covers manifestations nobody has seen yet";
+  EXPECT_GT(rt.GetStats().avoidance_suspensions, 0u);
+}
+
+TEST(LocalGeneralizationTest, RemoteSignaturesAreNotMergedByDetection) {
+  // A remote signature of the same bug must not be generalized by local
+  // detection (the agent's depth-floor rules own that path); the local
+  // manifestation is stored alongside it.
+  VirtualClock clock;
+  DimmunixRuntime::Options opts;
+  opts.avoidance_enabled = false;
+  DimmunixRuntime rt(clock, opts);
+  Monitor a, b;
+
+  // Learn one manifestation in a scratch runtime to obtain a same-bug
+  // signature, then install it as REMOTE in the runtime under test.
+  DimmunixRuntime scratch(clock, opts);
+  bool d = false;
+  for (int i = 0; i < 5 && !d; ++i) d = Encounter(scratch, "entryX", a, b);
+  ASSERT_TRUE(d);
+  rt.AddSignature(scratch.SnapshotHistory().record(0).sig,
+                  SignatureOrigin::kRemote);
+
+  Monitor c2, d2;
+  bool local = false;
+  for (int i = 0; i < 5 && !local; ++i) {
+    local = Encounter(rt, "entryY", c2, d2);
+  }
+  ASSERT_TRUE(local);
+  const auto hist = rt.SnapshotHistory();
+  EXPECT_EQ(hist.size(), 2u) << "remote entry untouched, local one added";
+  EXPECT_EQ(rt.GetStats().local_generalizations, 0u);
+}
+
+}  // namespace
+}  // namespace communix::dimmunix

@@ -1,0 +1,287 @@
+#include "dimmunix/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "../testutil.hpp"
+#include "util/clock.hpp"
+
+namespace communix::dimmunix {
+namespace {
+
+using testutil::F;
+
+class RuntimeTest : public ::testing::Test {
+ protected:
+  VirtualClock clock_;
+};
+
+TEST_F(RuntimeTest, UncontendedAcquireRelease) {
+  DimmunixRuntime rt(clock_);
+  auto& ctx = rt.AttachThread("t");
+  Monitor m;
+  ScopedFrame f(ctx, "a.C", "run", 1);
+  EXPECT_TRUE(rt.Acquire(ctx, m).ok());
+  rt.Release(ctx, m);
+  rt.DetachThread(ctx);
+  const auto stats = rt.GetStats();
+  EXPECT_EQ(stats.acquisitions, 1u);
+  EXPECT_EQ(stats.contended_acquisitions, 0u);
+  EXPECT_EQ(stats.deadlocks_detected, 0u);
+}
+
+TEST_F(RuntimeTest, ReentrantAcquisition) {
+  DimmunixRuntime rt(clock_);
+  auto& ctx = rt.AttachThread("t");
+  Monitor m;
+  ScopedFrame f(ctx, "a.C", "run", 1);
+  ASSERT_TRUE(rt.Acquire(ctx, m).ok());
+  ASSERT_TRUE(rt.Acquire(ctx, m).ok());  // reentrant
+  rt.Release(ctx, m);
+  // Still held after one release.
+  std::atomic<bool> other_got_it{false};
+  std::thread other([&] {
+    auto& octx = rt.AttachThread("other");
+    ScopedFrame of(octx, "a.C", "other", 1);
+    EXPECT_TRUE(rt.Acquire(octx, m).ok());
+    other_got_it.store(true);
+    rt.Release(octx, m);
+    rt.DetachThread(octx);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_FALSE(other_got_it.load()) << "monitor released too early";
+  rt.Release(ctx, m);
+  other.join();
+  EXPECT_TRUE(other_got_it.load());
+  rt.DetachThread(ctx);
+}
+
+TEST_F(RuntimeTest, ContentionBlocksAndHandsOver) {
+  DimmunixRuntime rt(clock_);
+  Monitor m;
+  std::atomic<int> order{0};
+  int first = 0;
+  int second = 0;
+  std::thread t1([&] {
+    auto& ctx = rt.AttachThread("t1");
+    ScopedFrame f(ctx, "a.C", "one", 1);
+    ASSERT_TRUE(rt.Acquire(ctx, m).ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    first = ++order;
+    rt.Release(ctx, m);
+    rt.DetachThread(ctx);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  std::thread t2([&] {
+    auto& ctx = rt.AttachThread("t2");
+    ScopedFrame f(ctx, "a.C", "two", 1);
+    ASSERT_TRUE(rt.Acquire(ctx, m).ok());
+    second = ++order;
+    rt.Release(ctx, m);
+    rt.DetachThread(ctx);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(first, 1);
+  EXPECT_EQ(second, 2);
+  EXPECT_GE(rt.GetStats().contended_acquisitions, 1u);
+}
+
+TEST_F(RuntimeTest, DetectsAbbaDeadlockAndExtractsSignature) {
+  DimmunixRuntime::Options opts;
+  opts.avoidance_enabled = false;  // force the deadlock to happen
+  DimmunixRuntime rt(clock_, opts);
+  Monitor a("A");
+  Monitor b("B");
+  std::atomic<bool> t1_holds_a{false};
+  std::atomic<bool> t2_holds_b{false};
+  std::atomic<int> deadlock_errors{0};
+
+  auto worker = [&](bool is_first) {
+    auto& ctx = rt.AttachThread(is_first ? "t1" : "t2");
+    ScopedFrame fr(ctx, is_first ? "w.One" : "w.Two", "run", 5);
+    Monitor& mine = is_first ? a : b;
+    Monitor& theirs = is_first ? b : a;
+    auto& my_flag = is_first ? t1_holds_a : t2_holds_b;
+    auto& peer_flag = is_first ? t2_holds_b : t1_holds_a;
+
+    ctx.SetLine(10);
+    ASSERT_TRUE(rt.Acquire(ctx, mine).ok());
+    my_flag.store(true);
+    while (!peer_flag.load()) std::this_thread::yield();
+    ctx.SetLine(20);
+    const Status s = rt.Acquire(ctx, theirs);
+    if (s.ok()) {
+      rt.Release(ctx, theirs);
+    } else {
+      EXPECT_EQ(s.code(), ErrorCode::kDeadlock);
+      deadlock_errors.fetch_add(1);
+    }
+    rt.Release(ctx, mine);
+    rt.DetachThread(ctx);
+  };
+
+  std::thread t1(worker, true);
+  std::thread t2(worker, false);
+  t1.join();
+  t2.join();
+
+  EXPECT_EQ(deadlock_errors.load(), 1) << "exactly one victim";
+  const auto stats = rt.GetStats();
+  EXPECT_EQ(stats.deadlocks_detected, 1u);
+  EXPECT_EQ(stats.signatures_learned, 1u);
+
+  const History hist = rt.SnapshotHistory();
+  ASSERT_EQ(hist.size(), 1u);
+  const Signature& sig = hist.record(0).sig;
+  ASSERT_EQ(sig.num_threads(), 2u);
+  // Outer stacks end at line 10 (lock statements), inner at line 20.
+  for (const auto& e : sig.entries()) {
+    EXPECT_EQ(e.outer.top().line, 10u);
+    EXPECT_EQ(e.inner.top().line, 20u);
+    EXPECT_EQ(e.outer.depth(), 1u);
+  }
+  EXPECT_EQ(hist.record(0).origin, SignatureOrigin::kLocal);
+}
+
+TEST_F(RuntimeTest, NewSignatureCallbackFires) {
+  DimmunixRuntime::Options opts;
+  opts.avoidance_enabled = false;
+  DimmunixRuntime rt(clock_, opts);
+  std::atomic<int> callbacks{0};
+  rt.SetNewSignatureCallback([&](const Signature& sig) {
+    EXPECT_EQ(sig.num_threads(), 2u);
+    callbacks.fetch_add(1);
+  });
+
+  Monitor a, b;
+  std::atomic<bool> fa{false}, fb{false};
+  auto worker = [&](bool first) {
+    auto& ctx = rt.AttachThread(first ? "t1" : "t2");
+    ScopedFrame fr(ctx, first ? "x.One" : "x.Two", "run", 1);
+    Monitor& mine = first ? a : b;
+    Monitor& theirs = first ? b : a;
+    auto& my_flag = first ? fa : fb;
+    auto& peer = first ? fb : fa;
+    ctx.SetLine(2);
+    ASSERT_TRUE(rt.Acquire(ctx, mine).ok());
+    my_flag.store(true);
+    while (!peer.load()) std::this_thread::yield();
+    ctx.SetLine(3);
+    const Status s = rt.Acquire(ctx, theirs);
+    if (s.ok()) rt.Release(ctx, theirs);
+    rt.Release(ctx, mine);
+    rt.DetachThread(ctx);
+  };
+  std::thread t1(worker, true), t2(worker, false);
+  t1.join();
+  t2.join();
+  EXPECT_EQ(callbacks.load(), 1);
+}
+
+TEST_F(RuntimeTest, ThreeThreadCycleDetected) {
+  DimmunixRuntime::Options opts;
+  opts.avoidance_enabled = false;
+  DimmunixRuntime rt(clock_, opts);
+  Monitor m0, m1, m2;
+  Monitor* mons[3] = {&m0, &m1, &m2};
+  std::atomic<int> holding{0};
+  std::atomic<int> victims{0};
+
+  auto worker = [&](int i) {
+    auto& ctx = rt.AttachThread("t" + std::to_string(i));
+    ScopedFrame fr(ctx, "cyc.W" + std::to_string(i), "run", 1);
+    ctx.SetLine(10);
+    ASSERT_TRUE(rt.Acquire(ctx, *mons[i]).ok());
+    holding.fetch_add(1);
+    while (holding.load() < 3) std::this_thread::yield();
+    ctx.SetLine(20);
+    const Status s = rt.Acquire(ctx, *mons[(i + 1) % 3]);
+    if (s.ok()) {
+      rt.Release(ctx, *mons[(i + 1) % 3]);
+    } else {
+      victims.fetch_add(1);
+    }
+    rt.Release(ctx, *mons[i]);
+    rt.DetachThread(ctx);
+  };
+  std::thread a(worker, 0), b(worker, 1), c(worker, 2);
+  a.join();
+  b.join();
+  c.join();
+
+  EXPECT_EQ(victims.load(), 1);
+  const History hist = rt.SnapshotHistory();
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist.record(0).sig.num_threads(), 3u);
+}
+
+TEST_F(RuntimeTest, AddSignatureDeduplicates) {
+  DimmunixRuntime rt(clock_);
+  const Signature sig = testutil::Sig2(
+      testutil::ChainStack("r.A", 6, F("r.A", "s", 1)),
+      testutil::ChainStack("r.A", 6, F("r.A", "i", 2)),
+      testutil::ChainStack("r.B", 6, F("r.B", "s", 3)),
+      testutil::ChainStack("r.B", 6, F("r.B", "i", 4)));
+  EXPECT_EQ(rt.AddSignature(sig, SignatureOrigin::kRemote), 0);
+  EXPECT_EQ(rt.AddSignature(sig, SignatureOrigin::kRemote), -1);
+  EXPECT_EQ(rt.SnapshotHistory().size(), 1u);
+}
+
+TEST_F(RuntimeTest, StacksTruncatedToMaxDepth) {
+  DimmunixRuntime::Options opts;
+  opts.max_stack_depth = 4;
+  opts.avoidance_enabled = false;
+  DimmunixRuntime rt(clock_, opts);
+  auto& ctx = rt.AttachThread("t");
+  std::vector<std::unique_ptr<ScopedFrame>> frames;
+  for (int i = 0; i < 10; ++i) {
+    frames.push_back(std::make_unique<ScopedFrame>(
+        ctx, "deep.C", "m" + std::to_string(i),
+        static_cast<std::uint32_t>(i)));
+  }
+  EXPECT_EQ(ctx.CaptureStack(opts.max_stack_depth).depth(), 4u);
+  EXPECT_EQ(ctx.CaptureStack(99).depth(), 10u);
+  frames.clear();
+  rt.DetachThread(ctx);
+}
+
+TEST_F(RuntimeTest, ManyThreadsManyLocksNoFalseDeadlock) {
+  // Stress: threads acquire disjoint monitor pairs in consistent order —
+  // no deadlock must be detected.
+  DimmunixRuntime rt(clock_);
+  constexpr int kThreads = 8;
+  constexpr int kIters = 300;
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  for (int i = 0; i < kThreads; ++i) {
+    monitors.push_back(std::make_unique<Monitor>());
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto& ctx = rt.AttachThread("w" + std::to_string(t));
+      ScopedFrame fr(ctx, "stress.W", "run", 1);
+      for (int i = 0; i < kIters; ++i) {
+        // Consistent global order: lower index first.
+        const int a = t;
+        const int b = (t + 1) % kThreads;
+        Monitor& first = *monitors[std::min(a, b)];
+        Monitor& second = *monitors[std::max(a, b)];
+        ctx.SetLine(static_cast<std::uint32_t>(10));
+        ASSERT_TRUE(rt.Acquire(ctx, first).ok());
+        ctx.SetLine(static_cast<std::uint32_t>(20));
+        ASSERT_TRUE(rt.Acquire(ctx, second).ok());
+        rt.Release(ctx, second);
+        rt.Release(ctx, first);
+      }
+      rt.DetachThread(ctx);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(rt.GetStats().deadlocks_detected, 0u);
+}
+
+}  // namespace
+}  // namespace communix::dimmunix

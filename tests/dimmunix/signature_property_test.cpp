@@ -1,0 +1,171 @@
+// Property-based tests over randomized signatures: serialization is a
+// bijection, canonicalization is permutation-invariant, and merging obeys
+// the suffix/identity laws of §III-D — across many seeds and shapes.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "../testutil.hpp"
+#include "dimmunix/signature.hpp"
+#include "util/rng.hpp"
+#include "util/sha256.hpp"
+
+namespace communix::dimmunix {
+namespace {
+
+using testutil::F;
+
+/// Random signature with `threads` entries; stacks end in per-position
+/// "lock statement" frames derived from the seed, lower frames random.
+Signature RandomSignature(Rng& rng, std::size_t threads,
+                          std::size_t max_depth, bool with_hashes) {
+  std::vector<SignatureEntry> entries;
+  for (std::size_t t = 0; t < threads; ++t) {
+    auto stack = [&](const char* kind) {
+      const std::size_t depth = 1 + rng.NextBounded(max_depth);
+      std::vector<Frame> frames;
+      for (std::size_t d = 0; d + 1 < depth; ++d) {
+        frames.emplace_back(
+            "p.C" + std::to_string(rng.NextBounded(50)),
+            "m" + std::to_string(rng.NextBounded(20)),
+            static_cast<std::uint32_t>(rng.NextInt(1, 400)));
+      }
+      frames.emplace_back("p.Lock" + std::to_string(t), kind,
+                          static_cast<std::uint32_t>(rng.NextInt(1, 50)));
+      if (with_hashes) {
+        for (Frame& f : frames) f.class_hash = Sha256::Hash(f.class_name);
+      }
+      return CallStack(std::move(frames));
+    };
+    entries.push_back(SignatureEntry{stack("outer"), stack("inner")});
+  }
+  return Signature(std::move(entries));
+}
+
+class SignaturePropertyTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(SignaturePropertyTest, SerializationIsABijection) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const std::size_t threads = 2 + rng.NextBounded(3);
+    const Signature sig =
+        RandomSignature(rng, threads, 12, rng.NextBool());
+    const auto bytes = sig.ToBytes();
+    const auto back = Signature::FromBytes(
+        std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, sig);
+    EXPECT_EQ(back->BugKey(), sig.BugKey());
+    EXPECT_EQ(back->ContentId(), sig.ContentId());
+    // Serialize-deserialize-serialize is a fixed point.
+    EXPECT_EQ(back->ToBytes(), bytes);
+  }
+}
+
+TEST_P(SignaturePropertyTest, CanonicalizationIsPermutationInvariant) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const Signature sig = RandomSignature(rng, 3, 8, false);
+    std::vector<SignatureEntry> shuffled = sig.entries();
+    for (std::size_t k = shuffled.size(); k > 1; --k) {
+      std::swap(shuffled[k - 1], shuffled[rng.NextBounded(k)]);
+    }
+    const Signature reordered(std::move(shuffled));
+    EXPECT_EQ(reordered, sig);
+    EXPECT_EQ(reordered.ContentId(), sig.ContentId());
+  }
+}
+
+TEST_P(SignaturePropertyTest, TruncatedBytesNeverParse) {
+  Rng rng(GetParam());
+  const Signature sig = RandomSignature(rng, 2, 10, true);
+  const auto bytes = sig.ToBytes();
+  for (std::size_t keep = 0; keep < bytes.size();
+       keep += 1 + rng.NextBounded(7)) {
+    EXPECT_FALSE(
+        Signature::FromBytes(std::span<const std::uint8_t>(bytes.data(), keep))
+            .has_value())
+        << "keep=" << keep;
+  }
+}
+
+TEST_P(SignaturePropertyTest, MergeLawsHold) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    // Two manifestations of one bug: same per-position top frames,
+    // random shared suffix length, random distinct prefixes.
+    std::vector<SignatureEntry> e1;
+    std::vector<SignatureEntry> e2;
+    for (std::size_t t = 0; t < 2; ++t) {
+      auto shared = [&](const char* kind) {
+        std::vector<Frame> frames;
+        const std::size_t n = 1 + rng.NextBounded(5);
+        for (std::size_t d = 0; d + 1 < n; ++d) {
+          frames.emplace_back("s.C" + std::to_string(t), "shared",
+                              static_cast<std::uint32_t>(100 + d));
+        }
+        frames.emplace_back("s.Top" + std::to_string(t), kind, 7);
+        return frames;
+      };
+      auto with_prefix = [&](std::vector<Frame> suffix, int which) {
+        std::vector<Frame> frames;
+        const std::size_t extra = rng.NextBounded(4);
+        for (std::size_t d = 0; d < extra; ++d) {
+          frames.emplace_back("pre.C" + std::to_string(which),
+                              "m" + std::to_string(d),
+                              static_cast<std::uint32_t>(rng.NextInt(1, 99)));
+        }
+        frames.insert(frames.end(), suffix.begin(), suffix.end());
+        return CallStack(std::move(frames));
+      };
+      const auto outer = shared("outer");
+      const auto inner = shared("inner");
+      e1.push_back({with_prefix(outer, 1), with_prefix(inner, 1)});
+      e2.push_back({with_prefix(outer, 2), with_prefix(inner, 2)});
+    }
+    const Signature m1(std::move(e1));
+    const Signature m2(std::move(e2));
+    ASSERT_EQ(m1.BugKey(), m2.BugKey());
+
+    const auto merged = Signature::Merge(m1, m2, 0);
+    ASSERT_TRUE(merged.has_value());
+    // Identity preserved.
+    EXPECT_EQ(merged->BugKey(), m1.BugKey());
+    // Commutative.
+    const auto merged_rev = Signature::Merge(m2, m1, 0);
+    ASSERT_TRUE(merged_rev.has_value());
+    EXPECT_EQ(*merged, *merged_rev);
+    // The merge is an upper bound (suffix of both inputs, per position).
+    for (std::size_t p = 0; p < merged->entries().size(); ++p) {
+      EXPECT_TRUE(merged->entries()[p].outer.MatchesSuffixOf(
+          m1.entries()[p].outer));
+      EXPECT_TRUE(merged->entries()[p].outer.MatchesSuffixOf(
+          m2.entries()[p].outer));
+    }
+    // Absorbing: merging the merge with either input returns the merge.
+    const auto again = Signature::Merge(*merged, m1, 0);
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(*again, *merged);
+    // Depth never grows.
+    EXPECT_LE(merged->MinOuterDepth(),
+              std::min(m1.MinOuterDepth(), m2.MinOuterDepth()));
+  }
+}
+
+TEST_P(SignaturePropertyTest, DistinctBugsNeverMerge) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const Signature a = RandomSignature(rng, 2, 8, false);
+    const Signature b = RandomSignature(rng, 2, 8, false);
+    if (a.BugKey() == b.BugKey()) continue;  // astronomically unlikely
+    EXPECT_FALSE(Signature::Merge(a, b, 0).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SignaturePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace communix::dimmunix

@@ -1,0 +1,230 @@
+// Full-pipeline test of the collaborative immunity loop (§III-A/B):
+//
+//   node A deadlocks  ->  Dimmunix extracts the signature
+//                      ->  plugin attaches hashes, uploads to the server
+//   node B's client    ->  downloads the new signature into its repo
+//   node B's agent     ->  validates (hash, depth, nesting), installs
+//   node B             ->  runs the same code and never deadlocks.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "bytecode/nesting.hpp"
+#include "bytecode/program.hpp"
+#include "communix/agent.hpp"
+#include "communix/client.hpp"
+#include "communix/plugin.hpp"
+#include "communix/server.hpp"
+#include "dimmunix/runtime.hpp"
+#include "net/inproc.hpp"
+#include "util/clock.hpp"
+
+namespace communix {
+namespace {
+
+using bytecode::Opcode;
+using bytecode::Program;
+using dimmunix::DimmunixRuntime;
+using dimmunix::Monitor;
+using dimmunix::ScopedFrame;
+using dimmunix::ThreadContext;
+
+/// Builds the program model of the deadlocking app: two worker classes,
+/// each with a 5-deep call chain run->a->b->c->step, where step acquires
+/// two monitors in opposite orders (monitorenter at lines 30 and 40 —
+/// directly nested, so the outer site passes the nesting check).
+Program BuildAbbaProgram() {
+  Program p;
+  for (const char* cls : {"app.Worker1", "app.Worker2"}) {
+    const auto cid = p.AddClass(cls);
+    const auto run = p.AddMethod(cid, "run");
+    const auto a = p.AddMethod(cid, "a");
+    const auto b = p.AddMethod(cid, "b");
+    const auto c = p.AddMethod(cid, "c");
+    const auto step = p.AddMethod(cid, "step");
+    p.Emit(run, {Opcode::kInvoke, a, 10});
+    p.Emit(run, {Opcode::kReturn, -1, 11});
+    p.Emit(a, {Opcode::kInvoke, b, 12});
+    p.Emit(a, {Opcode::kReturn, -1, 13});
+    p.Emit(b, {Opcode::kInvoke, c, 14});
+    p.Emit(b, {Opcode::kReturn, -1, 15});
+    p.Emit(c, {Opcode::kInvoke, step, 16});
+    p.Emit(c, {Opcode::kReturn, -1, 17});
+    const auto outer_site = p.AddLockSite(cid, step, 30);
+    const auto inner_site = p.AddLockSite(cid, step, 40);
+    p.Emit(step, {Opcode::kMonitorEnter, outer_site, 30});
+    p.Emit(step, {Opcode::kCompute, -1, 35});
+    p.Emit(step, {Opcode::kMonitorEnter, inner_site, 40});
+    p.Emit(step, {Opcode::kCompute, -1, 42});
+    p.Emit(step, {Opcode::kMonitorExit, inner_site, 45});
+    p.Emit(step, {Opcode::kMonitorExit, outer_site, 50});
+    p.Emit(step, {Opcode::kReturn, -1, 51});
+  }
+  return p;
+}
+
+struct RunResult {
+  bool deadlocked = false;
+  int completed = 0;
+};
+
+/// Runs the two workers with the deep call chains matching the program.
+RunResult RunDeadlockProneApp(DimmunixRuntime& rt, int iterations) {
+  Monitor lock_a("A"), lock_b("B");
+  std::atomic<bool> holds_a{false}, holds_b{false};
+  std::atomic<bool> deadlocked{false};
+  std::atomic<int> completed{0};
+  std::atomic<int> round_token{0};
+
+  auto body = [&](bool first) {
+    auto& ctx = rt.AttachThread(first ? "A" : "B");
+    const std::string cls = first ? "app.Worker1" : "app.Worker2";
+    Monitor& mine = first ? lock_a : lock_b;
+    Monitor& theirs = first ? lock_b : lock_a;
+    auto& my_flag = first ? holds_a : holds_b;
+    auto& peer_flag = first ? holds_b : holds_a;
+
+    for (int i = 0; i < iterations; ++i) {
+      // Rendezvous: both threads enter iteration i together.
+      round_token.fetch_add(1);
+      while (round_token.load() < 2 * (i + 1)) std::this_thread::yield();
+
+      ScopedFrame f1(ctx, cls, "run", 10);
+      ScopedFrame f2(ctx, cls, "a", 12);
+      ScopedFrame f3(ctx, cls, "b", 14);
+      ScopedFrame f4(ctx, cls, "c", 16);
+      ScopedFrame f5(ctx, cls, "step", 30);
+      const Status s1 = rt.Acquire(ctx, mine);
+      if (!s1.ok()) continue;
+      my_flag.store(true);
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
+      while (!peer_flag.load() &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+      ctx.SetLine(40);
+      const Status s2 = rt.Acquire(ctx, theirs);
+      if (s2.ok()) {
+        completed.fetch_add(1);
+        rt.Release(ctx, theirs);
+      } else {
+        deadlocked.store(true);
+      }
+      my_flag.store(false);
+      rt.Release(ctx, mine);
+      ctx.SetLine(30);  // reset lock-statement line for the next round
+    }
+    rt.DetachThread(ctx);
+  };
+
+  std::thread t1(body, true);
+  std::thread t2(body, false);
+  t1.join();
+  t2.join();
+  return {deadlocked.load(), completed.load()};
+}
+
+TEST(EndToEndTest, SignatureTravelsFromVictimToProtectedNode) {
+  VirtualClock clock;
+  const Program app = BuildAbbaProgram();
+  CommunixServer server(clock);
+  net::InprocTransport transport(server);
+
+  // ---- Node A: encounters the deadlock, uploads the signature. ----
+  DimmunixRuntime node_a(clock);
+  CommunixPlugin plugin(node_a, app, transport, server.IssueToken(1));
+  plugin.Install();
+
+  const auto run_a = RunDeadlockProneApp(node_a, 10);
+  EXPECT_TRUE(run_a.deadlocked) << "node A must encounter the deadlock";
+  ASSERT_GE(server.db_size(), 1u) << "plugin should have uploaded";
+  EXPECT_EQ(plugin.GetStats().uploads_accepted, server.db_size());
+
+  // ---- Node B: downloads, validates, becomes immune. ----
+  LocalRepository repo;
+  CommunixClient client(clock, transport, repo);
+  auto poll = client.PollOnce();
+  ASSERT_TRUE(poll.ok());
+  EXPECT_GE(poll.value(), 1u);
+
+  DimmunixRuntime node_b(clock);
+  CommunixAgent agent(node_b, app, repo);
+  const auto report = agent.ProcessNewSignatures();
+  EXPECT_EQ(report.rejected_hash, 0u);
+  EXPECT_EQ(report.rejected_depth, 0u) << "stacks are 5 deep";
+  EXPECT_EQ(report.rejected_nesting, 0u) << "site line 30 is nested";
+  ASSERT_GE(report.accepted, 1u);
+  ASSERT_GE(node_b.SnapshotHistory().size(), 1u);
+
+  const auto run_b = RunDeadlockProneApp(node_b, 10);
+  EXPECT_FALSE(run_b.deadlocked)
+      << "node B is protected without ever deadlocking";
+  EXPECT_EQ(node_b.GetStats().deadlocks_detected, 0u);
+  EXPECT_GT(node_b.GetStats().avoidance_suspensions, 0u);
+  EXPECT_EQ(run_b.completed, 2 * 10);
+}
+
+TEST(EndToEndTest, UploadedSignatureCarriesMatchingHashes) {
+  VirtualClock clock;
+  const Program app = BuildAbbaProgram();
+  CommunixServer server(clock);
+  net::InprocTransport transport(server);
+
+  DimmunixRuntime node_a(clock);
+  CommunixPlugin plugin(node_a, app, transport, server.IssueToken(1));
+  plugin.Install();
+  ASSERT_TRUE(RunDeadlockProneApp(node_a, 10).deadlocked);
+  ASSERT_GE(server.db_size(), 1u);
+
+  const auto stored = server.GetSince(0);
+  const auto sig = dimmunix::Signature::FromBytes(std::span<const std::uint8_t>(
+      stored[0].data(), stored[0].size()));
+  ASSERT_TRUE(sig.has_value());
+  for (const auto& e : sig->entries()) {
+    for (const auto* stack : {&e.outer, &e.inner}) {
+      for (const auto& f : stack->frames()) {
+        ASSERT_TRUE(f.class_hash.has_value());
+        EXPECT_EQ(*f.class_hash, *app.ClassHashByName(f.class_name));
+      }
+    }
+  }
+}
+
+TEST(EndToEndTest, VersionChangeInvalidatesSignature) {
+  // Node B runs a *newer build* (one line moved in Worker1): the hash
+  // check must reject the stale signature rather than install it.
+  VirtualClock clock;
+  const Program app_v1 = BuildAbbaProgram();
+  CommunixServer server(clock);
+  net::InprocTransport transport(server);
+
+  DimmunixRuntime node_a(clock);
+  CommunixPlugin plugin(node_a, app_v1, transport, server.IssueToken(1));
+  plugin.Install();
+  ASSERT_TRUE(RunDeadlockProneApp(node_a, 10).deadlocked);
+  ASSERT_GE(server.db_size(), 1u);
+
+  Program app_v2 = BuildAbbaProgram();
+  // "Patch" both workers: bodies change => class hashes change.
+  for (const char* cls : {"app.Worker1", "app.Worker2"}) {
+    const auto step = app_v2.FindMethod(cls, "step");
+    ASSERT_TRUE(step.has_value());
+    app_v2.Emit(*step, {Opcode::kCompute, -1, 60});
+  }
+
+  LocalRepository repo;
+  CommunixClient client(clock, transport, repo);
+  ASSERT_TRUE(client.PollOnce().ok());
+
+  DimmunixRuntime node_b(clock);
+  CommunixAgent agent(node_b, app_v2, repo);
+  const auto report = agent.ProcessNewSignatures();
+  EXPECT_EQ(report.accepted, 0u);
+  EXPECT_GE(report.rejected_hash, 1u);
+  EXPECT_TRUE(node_b.SnapshotHistory().empty());
+}
+
+}  // namespace
+}  // namespace communix

@@ -1,0 +1,160 @@
+// Generalization across the community (§III-D): different users encounter
+// different manifestations of the same deadlock bug; a downstream node
+// merges them into a single, more general signature that covers both.
+#include <gtest/gtest.h>
+
+#include "bytecode/synthetic.hpp"
+#include "communix/agent.hpp"
+#include "communix/client.hpp"
+#include "communix/server.hpp"
+#include "dimmunix/runtime.hpp"
+#include "net/inproc.hpp"
+#include "sim/attacker.hpp"
+#include "sim/stacks.hpp"
+#include "util/clock.hpp"
+
+namespace communix {
+namespace {
+
+using bytecode::GenerateApp;
+using bytecode::SyntheticApp;
+using bytecode::SyntheticSpec;
+using dimmunix::CallStack;
+using dimmunix::DimmunixRuntime;
+using dimmunix::Frame;
+using dimmunix::Signature;
+using dimmunix::SignatureEntry;
+
+SyntheticApp App() {
+  SyntheticSpec spec;
+  spec.name = "gen";
+  spec.target_loc = 10'000;
+  spec.sync_blocks = 30;
+  spec.analyzable_sync_blocks = 24;
+  spec.nested_sync_blocks = 8;
+  spec.sync_helpers = 2;
+  spec.classes = 6;
+  spec.driver_chain_length = 9;
+  return GenerateApp(spec);
+}
+
+/// A manifestation of the (site_a, site_b) bug whose outer stacks keep
+/// `depth` frames of the canonical path.
+Signature Manifestation(const SyntheticApp& app, std::int32_t site_a,
+                        std::int32_t site_b, std::size_t depth) {
+  return sim::MakeCriticalPathSignature(app, site_a, site_b, depth);
+}
+
+TEST(GeneralizationFlowTest, TwoUsersManifestationsMergeDownstream) {
+  VirtualClock clock;
+  const auto app = App();
+  CommunixServer server(clock);
+  net::InprocTransport transport(server);
+
+  const auto site_a = app.nested_sites[0];
+  const auto site_b = app.nested_sites[1];
+
+  // User 1 and user 2 hit the same bug through different amounts of
+  // shared context (depths 8 and 6 of the same canonical chain).
+  ASSERT_TRUE(server
+                  .AddSignature(server.IssueToken(1),
+                                Manifestation(app, site_a, site_b, 8))
+                  .ok());
+  ASSERT_TRUE(server
+                  .AddSignature(server.IssueToken(2),
+                                Manifestation(app, site_a, site_b, 6))
+                  .ok());
+  EXPECT_EQ(server.db_size(), 2u);
+
+  // Downstream node: downloads both, merges into one signature.
+  LocalRepository repo;
+  CommunixClient client(clock, transport, repo);
+  ASSERT_TRUE(client.PollOnce().ok());
+  ASSERT_EQ(repo.size(), 2u);
+
+  DimmunixRuntime runtime(clock);
+  CommunixAgent agent(runtime, app.program, repo);
+  const auto report = agent.ProcessNewSignatures();
+  EXPECT_EQ(report.accepted, 2u);
+  EXPECT_EQ(report.added, 1u);
+  EXPECT_EQ(report.merged, 1u);
+
+  const auto hist = runtime.SnapshotHistory();
+  ASSERT_EQ(hist.size(), 1u) << "one bug => one generalized signature";
+  // The merged signature is the shorter (more general) abstraction.
+  EXPECT_EQ(hist.record(0).sig.MinOuterDepth(), 6u);
+}
+
+TEST(GeneralizationFlowTest, MergedSignatureCoversBothManifestations) {
+  const auto app = App();
+  const auto site_a = app.nested_sites[2];
+  const auto site_b = app.nested_sites[3];
+  const Signature m1 = Manifestation(app, site_a, site_b, 8);
+  const Signature m2 = Manifestation(app, site_a, site_b, 6);
+  const auto merged = Signature::Merge(m1, m2, 5);
+  ASSERT_TRUE(merged.has_value());
+
+  // Any concrete flow matched by either manifestation is matched by the
+  // generalization.
+  const CallStack flow_a(sim::CanonicalStackFrames(app, site_a));
+  for (const Signature* m : {&m1, &m2}) {
+    for (const auto& e : m->entries()) {
+      if (!e.outer.MatchesSuffixOf(flow_a)) continue;
+      bool merged_matches = false;
+      for (const auto& me : merged->entries()) {
+        if (me.outer.MatchesSuffixOf(flow_a)) merged_matches = true;
+      }
+      EXPECT_TRUE(merged_matches);
+    }
+  }
+}
+
+TEST(GeneralizationFlowTest, RepositoryStaysCompact) {
+  // Many manifestations of few bugs: the history holds one signature per
+  // bug, not one per manifestation — "the role of signature
+  // generalization is to keep few signatures per deadlock bug".
+  VirtualClock clock;
+  const auto app = App();
+  LocalRepository repo;
+  constexpr std::size_t kBugs = 3;
+  constexpr std::size_t kManifestationsPerBug = 4;
+  for (std::size_t b = 0; b < kBugs; ++b) {
+    for (std::size_t m = 0; m < kManifestationsPerBug; ++m) {
+      repo.Append({Manifestation(app, app.nested_sites[2 * b],
+                                 app.nested_sites[2 * b + 1], 5 + m)
+                       .ToBytes()});
+    }
+  }
+  DimmunixRuntime runtime(clock);
+  CommunixAgent agent(runtime, app.program, repo);
+  const auto report = agent.ProcessNewSignatures();
+  EXPECT_EQ(report.accepted, kBugs * kManifestationsPerBug);
+  EXPECT_EQ(runtime.SnapshotHistory().size(), kBugs);
+  EXPECT_EQ(report.merged, kBugs * (kManifestationsPerBug - 1));
+}
+
+TEST(GeneralizationFlowTest, LocalHistoryMergesWithIncomingRemote) {
+  // A node that already learned the bug locally (deep stacks) receives a
+  // remote manifestation: the local entry is generalized in place.
+  VirtualClock clock;
+  const auto app = App();
+  const auto site_a = app.nested_sites[4];
+  const auto site_b = app.nested_sites[5];
+
+  DimmunixRuntime runtime(clock);
+  runtime.AddSignature(Manifestation(app, site_a, site_b, 9),
+                       dimmunix::SignatureOrigin::kLocal);
+
+  LocalRepository repo;
+  repo.Append({Manifestation(app, site_a, site_b, 6).ToBytes()});
+  CommunixAgent agent(runtime, app.program, repo);
+  const auto report = agent.ProcessNewSignatures();
+  EXPECT_EQ(report.merged, 1u);
+  EXPECT_EQ(report.added, 0u);
+  const auto hist = runtime.SnapshotHistory();
+  ASSERT_EQ(hist.size(), 1u);
+  EXPECT_EQ(hist.record(0).sig.MinOuterDepth(), 6u);
+}
+
+}  // namespace
+}  // namespace communix

@@ -1,0 +1,140 @@
+// Multiple distinct deadlock bugs in one application: Dimmunix learns
+// each one as it manifests; Communix distributes all of them; a fresh
+// node becomes immune to every bug at once. This is the Eclipse-plugin
+// scenario from §I ("if the plugin has multiple deadlock bugs, each user
+// has to encounter all these deadlocks" — unless signatures are shared).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <thread>
+
+#include "communix/agent.hpp"
+#include "communix/client.hpp"
+#include "communix/plugin.hpp"
+#include "communix/server.hpp"
+#include "dimmunix/runtime.hpp"
+#include "net/inproc.hpp"
+#include "util/clock.hpp"
+
+namespace communix {
+namespace {
+
+using dimmunix::DimmunixRuntime;
+using dimmunix::Monitor;
+using dimmunix::ScopedFrame;
+using dimmunix::ThreadContext;
+
+/// One AB/BA encounter between two named workers on the given monitors,
+/// with per-bug class names so each bug has its own signature.
+bool EncounterBug(DimmunixRuntime& rt, int bug, Monitor& a, Monitor& b) {
+  std::atomic<bool> holds_a{false}, holds_b{false};
+  std::atomic<bool> deadlocked{false};
+
+  auto body = [&](bool first) {
+    auto& ctx = rt.AttachThread("w");
+    const std::string cls =
+        "plugin.Bug" + std::to_string(bug) + (first ? "A" : "B");
+    Monitor& mine = first ? a : b;
+    Monitor& theirs = first ? b : a;
+    auto& my_flag = first ? holds_a : holds_b;
+    auto& peer_flag = first ? holds_b : holds_a;
+    {
+      ScopedFrame f1(ctx, cls, "run", 10);
+      ScopedFrame f2(ctx, cls, "work", 20);
+      ScopedFrame f3(ctx, cls, "lockStep", 30);
+      dimmunix::SyncRegion outer(rt, ctx, mine, 40);
+      if (outer.ok()) {
+        my_flag.store(true);
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::milliseconds(10);
+        while (!peer_flag.load() &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::yield();
+        }
+        dimmunix::SyncRegion inner(rt, ctx, theirs, 50);
+        if (!inner.ok()) deadlocked.store(true);
+        my_flag.store(false);
+      }
+    }
+    rt.DetachThread(ctx);
+  };
+  std::thread t1(body, true), t2(body, false);
+  t1.join();
+  t2.join();
+  return deadlocked.load();
+}
+
+TEST(MultiBugTest, EachBugLearnedSeparately) {
+  VirtualClock clock;
+  DimmunixRuntime rt(clock);
+  Monitor m1a, m1b, m2a, m2b, m3a, m3b;
+  int deadlocks = 0;
+  // Encounter each bug a few times (timing may spare an encounter).
+  for (int round = 0; round < 4; ++round) {
+    if (EncounterBug(rt, 1, m1a, m1b)) ++deadlocks;
+    if (EncounterBug(rt, 2, m2a, m2b)) ++deadlocks;
+    if (EncounterBug(rt, 3, m3a, m3b)) ++deadlocks;
+  }
+  ASSERT_GT(deadlocks, 0);
+  const auto hist = rt.SnapshotHistory();
+  std::set<std::uint64_t> bugs;
+  for (const auto& rec : hist.records()) bugs.insert(rec.sig.BugKey());
+  EXPECT_GE(bugs.size(), 2u) << "distinct bugs get distinct signatures";
+  EXPECT_LE(bugs.size(), 3u);
+}
+
+TEST(MultiBugTest, FreshNodeImmuneToAllSharedBugs) {
+  VirtualClock clock;
+  CommunixServer::Options sopts;
+  // Three users each hit one bug; quotas are irrelevant here.
+  CommunixServer server(clock, sopts);
+  net::InprocTransport transport(server);
+
+  // Victim nodes: each encounters one distinct bug and uploads it. Use
+  // an empty Program: hash-less frames are fine server-side; the fresh
+  // node disables the hash/nesting checks (its Program model does not
+  // cover these classes) — what we exercise here is multi-bug avoidance.
+  bytecode::Program empty_app;
+  for (int bug = 1; bug <= 3; ++bug) {
+    DimmunixRuntime victim(clock);
+    CommunixPlugin plugin(victim, empty_app, transport,
+                          server.IssueToken(static_cast<UserId>(bug)));
+    plugin.Install();
+    Monitor a, b;
+    bool any = false;
+    for (int round = 0; round < 4 && !any; ++round) {
+      any = EncounterBug(victim, bug, a, b);
+    }
+    ASSERT_TRUE(any) << "bug " << bug << " never manifested";
+  }
+  ASSERT_GE(server.db_size(), 3u);
+
+  // Fresh node: downloads all signatures, installs, never deadlocks.
+  LocalRepository repo;
+  CommunixClient client(clock, transport, repo);
+  ASSERT_TRUE(client.PollOnce().ok());
+
+  DimmunixRuntime fresh(clock);
+  CommunixAgent::Options aopts;
+  aopts.hash_check_enabled = false;
+  aopts.nesting_check_enabled = false;
+  aopts.depth_check_enabled = false;  // stacks here are 3 deep
+  CommunixAgent agent(fresh, empty_app, repo, aopts);
+  const auto report = agent.ProcessNewSignatures();
+  ASSERT_GE(report.accepted, 3u);
+
+  Monitor f1a, f1b, f2a, f2b, f3a, f3b;
+  bool any_deadlock = false;
+  for (int round = 0; round < 3; ++round) {
+    any_deadlock |= EncounterBug(fresh, 1, f1a, f1b);
+    any_deadlock |= EncounterBug(fresh, 2, f2a, f2b);
+    any_deadlock |= EncounterBug(fresh, 3, f3a, f3b);
+  }
+  EXPECT_FALSE(any_deadlock) << "fresh node must be immune to all 3 bugs";
+  EXPECT_EQ(fresh.GetStats().deadlocks_detected, 0u);
+  EXPECT_GT(fresh.GetStats().avoidance_suspensions, 0u);
+}
+
+}  // namespace
+}  // namespace communix

@@ -1,0 +1,139 @@
+// Fault injection on the wire: garbage streams, oversized frames,
+// truncated frames, and abrupt disconnects must never crash or wedge the
+// server — a Communix server faces the open Internet (§III-B).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/tcp.hpp"
+
+namespace communix::net {
+namespace {
+
+class CountingHandler final : public RequestHandler {
+ public:
+  Response Handle(const Request&) override {
+    calls_.fetch_add(1);
+    return Response{};
+  }
+  int calls() const { return calls_.load(); }
+
+ private:
+  std::atomic<int> calls_{0};
+};
+
+/// Raw TCP socket helper (bypasses TcpClient's framing on purpose).
+class RawSocket {
+ public:
+  bool Connect(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+           0;
+  }
+  void Send(const void* data, std::size_t len) {
+    (void)::send(fd_, data, len, MSG_NOSIGNAL);
+  }
+  ~RawSocket() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_ = std::make_unique<TcpServer>(handler_);
+    ASSERT_TRUE(server_->Start().ok());
+  }
+  void TearDown() override { server_->Stop(); }
+
+  /// The liveness probe: a well-formed ping must still round-trip.
+  void ExpectServerAlive() {
+    TcpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server_->port()).ok());
+    Request ping;
+    ping.type = MsgType::kPing;
+    auto result = client.Call(ping);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result.value().ok());
+  }
+
+  CountingHandler handler_;
+  std::unique_ptr<TcpServer> server_;
+};
+
+TEST_F(FaultInjectionTest, GarbageBytesDoNotKillServer) {
+  {
+    RawSocket raw;
+    ASSERT_TRUE(raw.Connect(server_->port()));
+    const char junk[] = "GET / HTTP/1.1\r\nHost: not-our-protocol\r\n\r\n";
+    raw.Send(junk, sizeof(junk));
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  ExpectServerAlive();
+}
+
+TEST_F(FaultInjectionTest, OversizedFrameIsRefused) {
+  {
+    RawSocket raw;
+    ASSERT_TRUE(raw.Connect(server_->port()));
+    // Length prefix far beyond kMaxFrameSize: the connection must be
+    // dropped without the server attempting the allocation.
+    const std::uint8_t header[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+    raw.Send(header, 4);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+  ExpectServerAlive();
+  EXPECT_EQ(handler_.calls(), 1) << "only the liveness ping reached Handle";
+}
+
+TEST_F(FaultInjectionTest, TruncatedFrameThenDisconnect) {
+  {
+    RawSocket raw;
+    ASSERT_TRUE(raw.Connect(server_->port()));
+    // Claim 100 bytes, send 3, vanish.
+    const std::uint8_t header[4] = {100, 0, 0, 0};
+    raw.Send(header, 4);
+    const std::uint8_t partial[3] = {1, 2, 3};
+    raw.Send(partial, 3);
+  }  // RST/FIN mid-frame
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ExpectServerAlive();
+}
+
+TEST_F(FaultInjectionTest, MalformedBodyGetsErrorNotCrash) {
+  RawSocket raw;
+  ASSERT_TRUE(raw.Connect(server_->port()));
+  // Valid frame, body is not a parsable Request (unknown type 0xEE).
+  const std::uint8_t frame[9] = {5, 0, 0, 0, 0xEE, 1, 2, 3, 4};
+  raw.Send(frame, sizeof(frame));
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  ExpectServerAlive();
+  EXPECT_EQ(handler_.calls(), 1) << "malformed body must not reach Handle";
+}
+
+TEST_F(FaultInjectionTest, ManyAbruptDisconnects) {
+  for (int i = 0; i < 30; ++i) {
+    RawSocket raw;
+    ASSERT_TRUE(raw.Connect(server_->port()));
+    const std::uint8_t header[2] = {9, 9};  // half a length prefix
+    raw.Send(header, 2);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ExpectServerAlive();
+}
+
+}  // namespace
+}  // namespace communix::net

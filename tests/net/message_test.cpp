@@ -1,0 +1,88 @@
+#include "net/message.hpp"
+
+#include <gtest/gtest.h>
+
+namespace communix::net {
+namespace {
+
+TEST(MessageTest, RequestRoundTrip) {
+  Request req;
+  req.type = MsgType::kAddSignature;
+  req.payload = {1, 2, 3, 4, 5};
+  const auto bytes = req.Serialize();
+  const auto back = Request::Deserialize(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, MsgType::kAddSignature);
+  EXPECT_EQ(back->payload, req.payload);
+}
+
+TEST(MessageTest, EmptyPayloadRoundTrip) {
+  Request req;
+  req.type = MsgType::kPing;
+  const auto bytes = req.Serialize();
+  const auto back = Request::Deserialize(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->payload.empty());
+}
+
+TEST(MessageTest, RequestRejectsUnknownType) {
+  Request req;
+  req.type = MsgType::kPing;
+  auto bytes = req.Serialize();
+  bytes[0] = 200;  // invalid type
+  EXPECT_FALSE(Request::Deserialize(
+                   std::span<const std::uint8_t>(bytes.data(), bytes.size()))
+                   .has_value());
+}
+
+TEST(MessageTest, RequestRejectsTrailingGarbage) {
+  Request req;
+  req.type = MsgType::kPing;
+  auto bytes = req.Serialize();
+  bytes.push_back(0xEE);
+  EXPECT_FALSE(Request::Deserialize(
+                   std::span<const std::uint8_t>(bytes.data(), bytes.size()))
+                   .has_value());
+}
+
+TEST(MessageTest, ResponseRoundTrip) {
+  Response resp;
+  resp.code = ErrorCode::kPermissionDenied;
+  resp.error = "adjacent signature";
+  resp.payload = {9, 8, 7};
+  const auto bytes = resp.Serialize();
+  const auto back = Response::Deserialize(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->code, ErrorCode::kPermissionDenied);
+  EXPECT_EQ(back->error, "adjacent signature");
+  EXPECT_EQ(back->payload, resp.payload);
+  EXPECT_FALSE(back->ok());
+}
+
+TEST(MessageTest, OkResponse) {
+  Response resp;
+  const auto bytes = resp.Serialize();
+  const auto back = Response::Deserialize(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->ok());
+}
+
+TEST(MessageTest, ResponseRejectsTruncation) {
+  Response resp;
+  resp.error = "some error text";
+  resp.payload = {1, 2, 3};
+  const auto bytes = resp.Serialize();
+  for (std::size_t keep = 0; keep < bytes.size(); ++keep) {
+    EXPECT_FALSE(Response::Deserialize(std::span<const std::uint8_t>(
+                     bytes.data(), keep))
+                     .has_value())
+        << "keep=" << keep;
+  }
+}
+
+}  // namespace
+}  // namespace communix::net

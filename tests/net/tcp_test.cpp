@@ -1,0 +1,182 @@
+#include "net/tcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/inproc.hpp"
+
+namespace communix::net {
+namespace {
+
+/// Echo handler: returns the payload, with the type-dependent behaviour
+/// needed by the tests.
+class EchoHandler final : public RequestHandler {
+ public:
+  Response Handle(const Request& request) override {
+    Response resp;
+    if (request.type == MsgType::kPing) {
+      resp.payload = request.payload;
+    } else {
+      resp.code = ErrorCode::kInvalidArgument;
+      resp.error = "echo handler only supports ping";
+    }
+    calls_.fetch_add(1);
+    return resp;
+  }
+  int calls() const { return calls_.load(); }
+
+ private:
+  std::atomic<int> calls_{0};
+};
+
+TEST(InprocTest, CallInvokesHandler) {
+  EchoHandler handler;
+  InprocTransport transport(handler);
+  Request req;
+  req.type = MsgType::kPing;
+  req.payload = {5, 6, 7};
+  auto result = transport.Call(req);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().ok());
+  EXPECT_EQ(result.value().payload, req.payload);
+  EXPECT_EQ(handler.calls(), 1);
+}
+
+TEST(TcpTest, StartStopLifecycle) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  ASSERT_TRUE(server.Start().ok());
+  EXPECT_GT(server.port(), 0);
+  EXPECT_TRUE(server.running());
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(TcpTest, RequestResponseOverLoopback) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  ASSERT_TRUE(server.Start().ok());
+
+  TcpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  Request req;
+  req.type = MsgType::kPing;
+  req.payload = {1, 2, 3};
+  auto result = client.Call(req);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().payload, req.payload);
+  client.Close();
+  server.Stop();
+}
+
+TEST(TcpTest, MultipleRequestsOnOneConnection) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  ASSERT_TRUE(server.Start().ok());
+  TcpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  for (int i = 0; i < 20; ++i) {
+    Request req;
+    req.type = MsgType::kPing;
+    req.payload = {static_cast<std::uint8_t>(i)};
+    auto result = client.Call(req);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.value().payload[0], static_cast<std::uint8_t>(i));
+  }
+  EXPECT_EQ(handler.calls(), 20);
+  server.Stop();
+}
+
+TEST(TcpTest, ConcurrentClients) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  ASSERT_TRUE(server.Start().ok());
+  constexpr int kClients = 8;
+  constexpr int kCallsEach = 25;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      TcpClient client;
+      if (!client.Connect("127.0.0.1", server.port()).ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < kCallsEach; ++i) {
+        Request req;
+        req.type = MsgType::kPing;
+        req.payload = {static_cast<std::uint8_t>(c),
+                       static_cast<std::uint8_t>(i)};
+        auto result = client.Call(req);
+        if (!result.ok() || result.value().payload != req.payload) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(handler.calls(), kClients * kCallsEach);
+  server.Stop();
+}
+
+TEST(TcpTest, CallWithoutConnectFails) {
+  TcpClient client;
+  Request req;
+  auto result = client.Call(req);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.code(), ErrorCode::kFailedPrecondition);
+}
+
+TEST(TcpTest, ConnectToClosedPortFails) {
+  TcpClient client;
+  // Port 1 on loopback is essentially never listening.
+  EXPECT_FALSE(client.Connect("127.0.0.1", 1).ok());
+}
+
+TEST(TcpTest, ConnectBadAddressFails) {
+  TcpClient client;
+  EXPECT_FALSE(client.Connect("not-an-ip", 80).ok());
+}
+
+TEST(TcpTest, MalformedRequestGetsErrorResponse) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  ASSERT_TRUE(server.Start().ok());
+  TcpClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+  // Send a valid frame whose body is not a valid Request (bad type 0xFF).
+  // We reuse the client's socket via a raw frame through the public
+  // helpers: craft a Request with a legal type, then corrupt it at the
+  // frame level is not exposed; instead send type kIssueId with a short
+  // payload: our echo handler rejects non-ping types.
+  Request req;
+  req.type = MsgType::kIssueId;
+  auto result = client.Call(req);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().ok());
+  server.Stop();
+}
+
+TEST(TcpTest, ServerSurvivesClientDisconnect) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  ASSERT_TRUE(server.Start().ok());
+  {
+    TcpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+    Request req;
+    req.type = MsgType::kPing;
+    ASSERT_TRUE(client.Call(req).ok());
+  }  // client destroyed, connection dropped
+  TcpClient client2;
+  ASSERT_TRUE(client2.Connect("127.0.0.1", server.port()).ok());
+  Request req;
+  req.type = MsgType::kPing;
+  EXPECT_TRUE(client2.Call(req).ok());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace communix::net

@@ -1,0 +1,116 @@
+#include "sim/attacker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/stacks.hpp"
+
+namespace communix::sim {
+namespace {
+
+using bytecode::GenerateApp;
+using bytecode::SyntheticApp;
+using bytecode::SyntheticSpec;
+using dimmunix::CallStack;
+using dimmunix::Signature;
+
+SyntheticApp App() {
+  SyntheticSpec spec;
+  spec.name = "atk";
+  spec.target_loc = 8'000;
+  spec.sync_blocks = 24;
+  spec.analyzable_sync_blocks = 18;
+  spec.nested_sync_blocks = 6;
+  spec.sync_helpers = 2;
+  spec.classes = 4;
+  spec.driver_chain_length = 7;
+  return GenerateApp(spec);
+}
+
+TEST(AttackerTest, CriticalPathSignatureShape) {
+  const auto app = App();
+  const auto sig = MakeCriticalPathSignature(app, app.nested_sites[0],
+                                             app.nested_sites[1], 5);
+  ASSERT_EQ(sig.num_threads(), 2u);
+  EXPECT_EQ(sig.MinOuterDepth(), 5u);
+  // Outer tops are the two nested sites.
+  std::set<std::uint64_t> tops;
+  for (const auto& e : sig.entries()) tops.insert(e.outer.TopKey());
+  EXPECT_EQ(tops.count(
+                SiteFrame(app.program, app.nested_sites[0]).location_key),
+            1u);
+  EXPECT_EQ(tops.count(
+                SiteFrame(app.program, app.nested_sites[1]).location_key),
+            1u);
+}
+
+TEST(AttackerTest, CriticalPathSignatureCarriesValidHashes) {
+  const auto app = App();
+  const auto sig = MakeCriticalPathSignature(app, app.nested_sites[0],
+                                             app.nested_sites[1], 5);
+  for (const auto& e : sig.entries()) {
+    for (const auto* stack : {&e.outer, &e.inner}) {
+      for (const auto& f : stack->frames()) {
+        ASSERT_TRUE(f.class_hash.has_value()) << f.ToString();
+        EXPECT_EQ(*f.class_hash,
+                  *app.program.ClassHashByName(f.class_name));
+      }
+    }
+  }
+}
+
+TEST(AttackerTest, OuterStacksMatchCanonicalFlows) {
+  // The whole point of the worst-case attack: its outer stacks must match
+  // the app's real execution flows.
+  const auto app = App();
+  const auto site = app.nested_sites[0];
+  const auto sig =
+      MakeCriticalPathSignature(app, site, app.nested_sites[1], 5);
+  const CallStack flow(CanonicalStackFrames(app, site));
+  bool matched = false;
+  for (const auto& e : sig.entries()) {
+    if (e.outer.MatchesSuffixOf(flow)) matched = true;
+  }
+  EXPECT_TRUE(matched);
+}
+
+TEST(AttackerTest, BatchCoversSitesRoundRobin) {
+  const auto app = App();
+  const auto batch = MakeCriticalPathBatch(app, app.nested_sites, 20, 5);
+  EXPECT_EQ(batch.size(), 20u);
+  std::set<std::uint64_t> distinct_bugs;
+  for (const auto& sig : batch) distinct_bugs.insert(sig.BugKey());
+  EXPECT_GE(distinct_bugs.size(), app.nested_sites.size() - 1)
+      << "batch should cover many distinct site pairs";
+}
+
+TEST(AttackerTest, BatchNeedsTwoSites) {
+  const auto app = App();
+  EXPECT_TRUE(MakeCriticalPathBatch(app, {app.nested_sites[0]}, 5).empty());
+}
+
+TEST(AttackerTest, RandomFakeSignatureHasRequestedShape) {
+  Rng rng(5);
+  const Signature sig = MakeRandomFakeSignature(rng, 7, 3);
+  EXPECT_EQ(sig.num_threads(), 3u);
+  EXPECT_EQ(sig.MinOuterDepth(), 7u);
+  // Fake frames carry no hashes.
+  EXPECT_FALSE(sig.entries()[0].outer.top().class_hash.has_value());
+}
+
+TEST(AttackerTest, WithHashesLeavesUnknownClassesBare) {
+  const auto app = App();
+  Rng rng(5);
+  const Signature fake = MakeRandomFakeSignature(rng);
+  const Signature hashed = WithHashes(app.program, fake);
+  for (const auto& e : hashed.entries()) {
+    for (const auto& f : e.outer.frames()) {
+      EXPECT_FALSE(f.class_hash.has_value())
+          << "evil.* classes do not exist in the app";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace communix::sim

@@ -1,0 +1,81 @@
+#include "sim/community.hpp"
+
+#include <gtest/gtest.h>
+
+namespace communix::sim {
+namespace {
+
+TEST(CommunityTest, DimmunixAloneMatchesAnalyticalEstimate) {
+  // Paper: t * Nd days for one user to see all manifestations.
+  CommunityParams p;
+  p.num_users = 50;
+  p.num_manifestations = 20;
+  p.mean_days_per_manifestation = 3.0;
+  p.trials = 40;
+  const auto r = SimulateCommunity(p);
+  const double estimate = p.mean_days_per_manifestation * p.num_manifestations;
+  EXPECT_NEAR(r.dimmunix_alone_days, estimate, estimate * 0.15);
+}
+
+TEST(CommunityTest, CommunixScalesInverselyWithUsers) {
+  CommunityParams p;
+  p.num_manifestations = 20;
+  p.mean_days_per_manifestation = 2.0;
+  p.trials = 40;
+
+  p.num_users = 10;
+  const auto r10 = SimulateCommunity(p);
+  p.num_users = 100;
+  const auto r100 = SimulateCommunity(p);
+
+  EXPECT_LT(r100.communix_days, r10.communix_days)
+      << "more users => faster community-wide protection";
+  // Rough inverse scaling: 10x the users should cut the time by several x
+  // (coupon-collector tails soften the exact 10x).
+  EXPECT_GT(r10.communix_days / r100.communix_days, 3.0);
+}
+
+TEST(CommunityTest, SingleUserCommunityNoBenefit) {
+  CommunityParams p;
+  p.num_users = 1;
+  p.num_manifestations = 15;
+  p.trials = 40;
+  const auto r = SimulateCommunity(p);
+  EXPECT_NEAR(r.speedup, 1.0, 0.05)
+      << "with one user, Communix degenerates to Dimmunix";
+}
+
+TEST(CommunityTest, SpeedupGrowsWithCommunity) {
+  CommunityParams p;
+  p.num_manifestations = 25;
+  p.trials = 30;
+  double prev = 0.9;
+  for (int users : {2, 8, 32}) {
+    p.num_users = users;
+    const auto r = SimulateCommunity(p);
+    EXPECT_GT(r.speedup, prev) << "users=" << users;
+    prev = r.speedup;
+  }
+}
+
+TEST(CommunityTest, DeterministicForSeed) {
+  CommunityParams p;
+  p.trials = 10;
+  const auto a = SimulateCommunity(p);
+  const auto b = SimulateCommunity(p);
+  EXPECT_EQ(a.communix_days, b.communix_days);
+  EXPECT_EQ(a.dimmunix_alone_days, b.dimmunix_alone_days);
+}
+
+TEST(CommunityTest, DegenerateParamsClamped) {
+  CommunityParams p;
+  p.num_users = 0;
+  p.num_manifestations = 0;
+  p.trials = 5;
+  const auto r = SimulateCommunity(p);
+  EXPECT_GE(r.dimmunix_alone_days, 0.0);
+  EXPECT_GE(r.communix_days, 0.0);
+}
+
+}  // namespace
+}  // namespace communix::sim

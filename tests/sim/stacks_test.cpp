@@ -1,0 +1,102 @@
+#include "sim/stacks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bytecode/nesting.hpp"
+
+namespace communix::sim {
+namespace {
+
+using bytecode::GenerateApp;
+using bytecode::SyntheticApp;
+using bytecode::SyntheticSpec;
+
+SyntheticApp App() {
+  SyntheticSpec spec;
+  spec.name = "stk";
+  spec.target_loc = 8'000;
+  spec.sync_blocks = 24;
+  spec.analyzable_sync_blocks = 18;
+  spec.nested_sync_blocks = 6;
+  spec.sync_helpers = 2;
+  spec.classes = 4;
+  spec.driver_chain_length = 7;
+  return GenerateApp(spec);
+}
+
+TEST(StacksTest, CanonicalStackEndsAtLockSite) {
+  const auto app = App();
+  for (std::int32_t site : app.nested_sites) {
+    const auto frames = CanonicalStackFrames(app, site);
+    ASSERT_FALSE(frames.empty());
+    const auto& site_info = app.program.lock_site(site);
+    EXPECT_EQ(frames.back().line, site_info.line);
+    EXPECT_EQ(frames.back().method,
+              app.program.method(site_info.method_id).name);
+    EXPECT_EQ(frames.back().class_name,
+              app.program.klass(site_info.class_id).name);
+  }
+}
+
+TEST(StacksTest, CanonicalStackDepthIsChainPlusHost) {
+  const auto app = App();
+  const auto frames = CanonicalStackFrames(app, app.nested_sites[0]);
+  EXPECT_EQ(frames.size(), 7u + 1u);
+}
+
+TEST(StacksTest, DriverFramesCarryInvokeLines) {
+  const auto app = App();
+  const auto frames = CanonicalStackFrames(app, app.nested_sites[0]);
+  // Every driver frame (all but the last) must have a nonzero line: the
+  // line of the invoke that transfers control downward.
+  for (std::size_t i = 0; i + 1 < frames.size(); ++i) {
+    EXPECT_GT(frames[i].line, 0u) << "frame " << i;
+  }
+}
+
+TEST(StacksTest, NestedSiteHasInnerSite) {
+  const auto app = App();
+  for (std::int32_t site : app.nested_sites) {
+    const auto inner = FindInnerSite(app, site);
+    ASSERT_TRUE(inner.has_value());
+    // The inner site belongs to a helper.
+    bool is_helper = false;
+    for (auto h : app.helper_sites) {
+      if (h == *inner) is_helper = true;
+    }
+    EXPECT_TRUE(is_helper);
+  }
+}
+
+TEST(StacksTest, NonNestedSiteHasNoInnerSite) {
+  const auto app = App();
+  for (std::int32_t site : app.non_nested_sites) {
+    EXPECT_FALSE(FindInnerSite(app, site).has_value());
+  }
+}
+
+TEST(StacksTest, InnerFramesExtendOuterFrames) {
+  const auto app = App();
+  const auto site = app.nested_sites[0];
+  const auto outer = CanonicalStackFrames(app, site);
+  const auto inner = CanonicalInnerFrames(app, site);
+  ASSERT_EQ(inner.size(), outer.size() + 1);
+  for (std::size_t i = 0; i < outer.size(); ++i) {
+    EXPECT_EQ(inner[i], outer[i]);
+  }
+  // The extra frame is the helper's lock statement.
+  const auto helper_site = *FindInnerSite(app, site);
+  EXPECT_EQ(inner.back(), SiteFrame(app.program, helper_site));
+}
+
+TEST(StacksTest, SiteFrameMatchesProgramMetadata) {
+  const auto app = App();
+  const auto site = app.helper_sites[0];
+  const auto frame = SiteFrame(app.program, site);
+  const auto& info = app.program.lock_site(site);
+  EXPECT_EQ(frame.line, info.line);
+  EXPECT_EQ(frame.class_name, app.program.klass(info.class_id).name);
+}
+
+}  // namespace
+}  // namespace communix::sim

@@ -1,0 +1,80 @@
+#include "util/aes128.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/hex.hpp"
+#include "util/rng.hpp"
+
+namespace communix {
+namespace {
+
+AesBlock BlockFromHex(const std::string& hex) {
+  const auto bytes = HexDecode(hex);
+  AesBlock b{};
+  std::copy(bytes->begin(), bytes->end(), b.begin());
+  return b;
+}
+
+TEST(Aes128Test, Fips197AppendixB) {
+  // FIPS-197 Appendix B example.
+  const Aes128 aes(BlockFromHex("2b7e151628aed2a6abf7158809cf4f3c"));
+  const AesBlock plain = BlockFromHex("3243f6a8885a308d313198a2e0370734");
+  const AesBlock cipher = aes.EncryptBlock(plain);
+  EXPECT_EQ(HexEncode(std::span<const std::uint8_t>(cipher.data(), 16)),
+            "3925841d02dc09fbdc118597196a0b32");
+  EXPECT_EQ(aes.DecryptBlock(cipher), plain);
+}
+
+TEST(Aes128Test, Fips197AppendixCKat) {
+  // FIPS-197 Appendix C.1 known-answer test.
+  const Aes128 aes(BlockFromHex("000102030405060708090a0b0c0d0e0f"));
+  const AesBlock plain = BlockFromHex("00112233445566778899aabbccddeeff");
+  const AesBlock cipher = aes.EncryptBlock(plain);
+  EXPECT_EQ(HexEncode(std::span<const std::uint8_t>(cipher.data(), 16)),
+            "69c4e0d86a7b0430d8cdb78070b4c55a");
+  EXPECT_EQ(aes.DecryptBlock(cipher), plain);
+}
+
+TEST(Aes128Test, RoundTripRandomBlocks) {
+  Rng rng(123);
+  AesKey key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.NextU64());
+  const Aes128 aes(key);
+  for (int i = 0; i < 200; ++i) {
+    AesBlock plain{};
+    for (auto& b : plain) b = static_cast<std::uint8_t>(rng.NextU64());
+    EXPECT_EQ(aes.DecryptBlock(aes.EncryptBlock(plain)), plain);
+  }
+}
+
+TEST(Aes128Test, DifferentKeysProduceDifferentCiphertexts) {
+  AesKey k1{};
+  AesKey k2{};
+  k2[0] = 1;
+  const AesBlock plain{};
+  EXPECT_NE(Aes128(k1).EncryptBlock(plain), Aes128(k2).EncryptBlock(plain));
+}
+
+TEST(Aes128Test, CiphertextDiffersFromPlaintext) {
+  const Aes128 aes(AesKey{});
+  AesBlock plain{};
+  EXPECT_NE(aes.EncryptBlock(plain), plain);
+}
+
+TEST(Aes128Test, SingleBitKeyChangeAvalanches) {
+  AesKey base{};
+  const AesBlock plain = BlockFromHex("00112233445566778899aabbccddeeff");
+  const AesBlock c0 = Aes128(base).EncryptBlock(plain);
+  base[7] ^= 0x10;
+  const AesBlock c1 = Aes128(base).EncryptBlock(plain);
+  int differing_bytes = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (c0[i] != c1[i]) ++differing_bytes;
+  }
+  EXPECT_GE(differing_bytes, 8) << "weak diffusion";
+}
+
+}  // namespace
+}  // namespace communix

@@ -1,0 +1,84 @@
+#include "util/clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace communix {
+namespace {
+
+TEST(SystemClockTest, Monotonic) {
+  auto& clock = SystemClock::Instance();
+  const TimePoint a = clock.Now();
+  const TimePoint b = clock.Now();
+  EXPECT_LE(a, b);
+}
+
+TEST(SystemClockTest, SleepForAdvances) {
+  auto& clock = SystemClock::Instance();
+  const TimePoint before = clock.Now();
+  clock.SleepFor(2'000'000);  // 2 ms
+  EXPECT_GE(clock.Now() - before, 1'000'000);
+}
+
+TEST(VirtualClockTest, StartsAtGivenTime) {
+  VirtualClock clock(123);
+  EXPECT_EQ(clock.Now(), 123);
+}
+
+TEST(VirtualClockTest, AdvanceMovesTime) {
+  VirtualClock clock;
+  clock.Advance(10);
+  clock.Advance(5);
+  EXPECT_EQ(clock.Now(), 15);
+}
+
+TEST(VirtualClockTest, AdvanceDays) {
+  VirtualClock clock;
+  clock.AdvanceDays(2.0);
+  EXPECT_EQ(clock.Now(), 2 * kNanosPerDay);
+}
+
+TEST(VirtualClockTest, SleeperWakesOnAdvance) {
+  VirtualClock clock;
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    clock.SleepFor(kNanosPerDay);
+    woke.store(true);
+  });
+  // Give the sleeper a moment to block, then release it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(woke.load());
+  clock.AdvanceDays(1.0);
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(VirtualClockTest, StopReleasesSleepers) {
+  VirtualClock clock;
+  std::thread sleeper([&] { clock.SleepFor(kNanosPerDay * 365); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  clock.Stop();
+  sleeper.join();  // would hang if Stop didn't release
+  SUCCEED();
+}
+
+TEST(VirtualClockTest, PartialAdvanceKeepsSleeperBlocked) {
+  VirtualClock clock;
+  std::atomic<bool> woke{false};
+  std::thread sleeper([&] {
+    clock.SleepFor(100);
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  clock.Advance(50);
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(woke.load());
+  clock.Advance(50);
+  sleeper.join();
+  EXPECT_TRUE(woke.load());
+}
+
+}  // namespace
+}  // namespace communix

@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include "util/fnv.hpp"
+#include "util/hex.hpp"
+
+namespace communix {
+namespace {
+
+TEST(HexTest, EncodeDecodeRoundTrip) {
+  const std::vector<std::uint8_t> bytes = {0x00, 0x01, 0xab, 0xff, 0x7f};
+  const std::string hex = HexEncode(std::span<const std::uint8_t>(
+      bytes.data(), bytes.size()));
+  EXPECT_EQ(hex, "0001abff7f");
+  const auto back = HexDecode(hex);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, bytes);
+}
+
+TEST(HexTest, DecodeUppercase) {
+  const auto out = HexDecode("ABCDEF");
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, (std::vector<std::uint8_t>{0xAB, 0xCD, 0xEF}));
+}
+
+TEST(HexTest, DecodeRejectsOddLength) {
+  EXPECT_FALSE(HexDecode("abc").has_value());
+}
+
+TEST(HexTest, DecodeRejectsNonHexDigit) {
+  EXPECT_FALSE(HexDecode("zz").has_value());
+  EXPECT_FALSE(HexDecode("0g").has_value());
+}
+
+TEST(HexTest, EmptyInput) {
+  EXPECT_EQ(HexEncode({}), "");
+  const auto out = HexDecode("");
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(FnvTest, KnownValues) {
+  // Reference FNV-1a 64-bit values.
+  EXPECT_EQ(Fnv1a(""), 0xcbf29ce484222325ULL);
+  EXPECT_EQ(Fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(FnvTest, SeedChaining) {
+  // Hashing "ab" equals hashing "b" seeded with hash("a").
+  EXPECT_EQ(Fnv1a("ab"), Fnv1a("b", Fnv1a("a")));
+}
+
+TEST(FnvTest, U64MixingIsOrderDependent) {
+  EXPECT_NE(HashCombine(1, 2), HashCombine(2, 1));
+}
+
+TEST(FnvTest, DistinctInputsDistinctHashes) {
+  // Not a collision-resistance proof, just a smoke check on our usage
+  // pattern (class.method:line keys).
+  EXPECT_NE(Fnv1a("a.b:1"), Fnv1a("a.b:2"));
+  EXPECT_NE(Fnv1aU64(1, Fnv1a("a.b")), Fnv1aU64(2, Fnv1a("a.b")));
+  EXPECT_NE(Fnv1aU64(10, Fnv1a("x.y")), Fnv1aU64(10, Fnv1a("x.z")));
+}
+
+}  // namespace
+}  // namespace communix

@@ -1,0 +1,109 @@
+#include "util/serde.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace communix {
+namespace {
+
+TEST(SerdeTest, RoundTripScalars) {
+  BinaryWriter w;
+  w.WriteU8(0xAB);
+  w.WriteU16(0xBEEF);
+  w.WriteU32(0xDEADBEEF);
+  w.WriteU64(0x0123456789ABCDEFULL);
+  w.WriteI64(-42);
+  w.WriteDouble(3.14159);
+
+  BinaryReader r(std::span<const std::uint8_t>(w.data().data(), w.size()));
+  EXPECT_EQ(r.ReadU8(), 0xAB);
+  EXPECT_EQ(r.ReadU16(), 0xBEEF);
+  EXPECT_EQ(r.ReadU32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.ReadU64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.ReadI64(), -42);
+  EXPECT_DOUBLE_EQ(r.ReadDouble(), 3.14159);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, RoundTripStringsAndBytes) {
+  BinaryWriter w;
+  w.WriteString("");
+  w.WriteString("hello communix");
+  w.WriteString(std::string("emb\0edded", 9));
+  const std::vector<std::uint8_t> blob = {1, 2, 3, 255, 0, 128};
+  w.WriteBytes(std::span<const std::uint8_t>(blob.data(), blob.size()));
+
+  BinaryReader r(std::span<const std::uint8_t>(w.data().data(), w.size()));
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_EQ(r.ReadString(), "hello communix");
+  EXPECT_EQ(r.ReadString(), std::string("emb\0edded", 9));
+  EXPECT_EQ(r.ReadBytes(), blob);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, LittleEndianLayout) {
+  BinaryWriter w;
+  w.WriteU32(0x04030201);
+  ASSERT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.data()[0], 1);
+  EXPECT_EQ(w.data()[1], 2);
+  EXPECT_EQ(w.data()[2], 3);
+  EXPECT_EQ(w.data()[3], 4);
+}
+
+TEST(SerdeTest, TruncatedReadFailsSafely) {
+  BinaryWriter w;
+  w.WriteU64(7);
+  // Drop the last byte.
+  std::vector<std::uint8_t> bytes(w.data().begin(), w.data().end() - 1);
+  BinaryReader r(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  EXPECT_EQ(r.ReadU64(), 0u);
+  EXPECT_FALSE(r.ok());
+  EXPECT_FALSE(r.AtEnd());
+  // Further reads stay failed and return zero values.
+  EXPECT_EQ(r.ReadU32(), 0u);
+  EXPECT_EQ(r.ReadString(), "");
+}
+
+TEST(SerdeTest, StringLengthBeyondBufferFails) {
+  BinaryWriter w;
+  w.WriteU32(1'000'000);  // claims a huge string, no body
+  BinaryReader r(std::span<const std::uint8_t>(w.data().data(), w.size()));
+  EXPECT_EQ(r.ReadString(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerdeTest, ReadRawExact) {
+  BinaryWriter w;
+  const std::vector<std::uint8_t> raw = {9, 8, 7};
+  w.WriteRaw(std::span<const std::uint8_t>(raw.data(), raw.size()));
+  BinaryReader r(std::span<const std::uint8_t>(w.data().data(), w.size()));
+  EXPECT_EQ(r.ReadRaw(3), raw);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerdeTest, EmptyReaderAtEnd) {
+  BinaryReader r(std::span<const std::uint8_t>{});
+  EXPECT_TRUE(r.AtEnd());
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SerdeTest, FuzzRoundTripRandomSequences) {
+  Rng rng(99);
+  for (int iter = 0; iter < 50; ++iter) {
+    BinaryWriter w;
+    std::vector<std::uint64_t> values;
+    const int n = static_cast<int>(rng.NextInt(1, 30));
+    for (int i = 0; i < n; ++i) {
+      values.push_back(rng.NextU64());
+      w.WriteU64(values.back());
+    }
+    BinaryReader r(std::span<const std::uint8_t>(w.data().data(), w.size()));
+    for (std::uint64_t v : values) EXPECT_EQ(r.ReadU64(), v);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+}  // namespace
+}  // namespace communix

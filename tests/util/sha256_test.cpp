@@ -1,0 +1,92 @@
+#include "util/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace communix {
+namespace {
+
+// NIST / FIPS-180-4 reference vectors.
+struct Vector {
+  std::string input;
+  std::string hex;
+};
+
+class Sha256VectorTest : public ::testing::TestWithParam<Vector> {};
+
+TEST_P(Sha256VectorTest, MatchesReference) {
+  const auto& v = GetParam();
+  EXPECT_EQ(ToHex(Sha256::Hash(v.input)), v.hex);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KnownVectors, Sha256VectorTest,
+    ::testing::Values(
+        Vector{"",
+               "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"},
+        Vector{"abc",
+               "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"},
+        Vector{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+               "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"},
+        Vector{"The quick brown fox jumps over the lazy dog",
+               "d7a8fbb307d7809469ca9abcb0082e4f8d5651e46d3cdb762d02d0bf37c9e592"}));
+
+TEST(Sha256Test, MillionAs) {
+  // FIPS-180-4: 1,000,000 repetitions of 'a'.
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(ToHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalEqualsOneShot) {
+  const std::string data =
+      "communix collaborative deadlock immunity framework test payload";
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    Sha256 h;
+    h.Update(std::string_view(data).substr(0, split));
+    h.Update(std::string_view(data).substr(split));
+    EXPECT_EQ(h.Finish(), Sha256::Hash(data)) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, ResetAllowsReuse) {
+  Sha256 h;
+  h.Update(std::string_view("first"));
+  (void)h.Finish();
+  h.Reset();
+  h.Update(std::string_view("abc"));
+  EXPECT_EQ(ToHex(h.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, DifferentInputsDiffer) {
+  EXPECT_NE(Sha256::Hash("a"), Sha256::Hash("b"));
+  EXPECT_NE(Sha256::Hash(""), Sha256::Hash(std::string(1, '\0')));
+}
+
+TEST(Sha256Test, DigestPrefix64IsBigEndianPrefix) {
+  const auto d = Sha256::Hash("abc");
+  std::uint64_t expect = 0;
+  for (int i = 0; i < 8; ++i) expect = (expect << 8) | d[i];
+  EXPECT_EQ(DigestPrefix64(d), expect);
+  EXPECT_EQ(DigestPrefix64(d) >> 56, 0xbaULL);
+}
+
+TEST(Sha256Test, BlockBoundaryLengths) {
+  // Lengths around the 64-byte block and 56-byte padding boundary.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u, 129u}) {
+    const std::string data(len, 'x');
+    Sha256 a;
+    a.Update(data);
+    const auto one = a.Finish();
+    Sha256 b;
+    for (char c : data) b.Update(std::string_view(&c, 1));
+    EXPECT_EQ(one, b.Finish()) << "len=" << len;
+  }
+}
+
+}  // namespace
+}  // namespace communix

@@ -1,0 +1,67 @@
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace communix {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::Error(ErrorCode::kNotFound, "no such signature");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(s.message(), "no such signature");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such signature");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::Error(ErrorCode::kDeadlock, "a"),
+            Status::Error(ErrorCode::kDeadlock, "b"));
+  EXPECT_FALSE(Status::Error(ErrorCode::kDeadlock, "a") ==
+               Status::Error(ErrorCode::kNotFound, "a"));
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kInternal); ++c) {
+    EXPECT_STRNE(ErrorCodeName(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, ValueConstruction) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(0), 42);
+}
+
+TEST(ResultTest, ErrorConstruction) {
+  Result<int> r(Status::Error(ErrorCode::kUnavailable, "down"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.code(), ErrorCode::kUnavailable);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, TakeMovesValue) {
+  Result<std::string> r(std::string("payload"));
+  const std::string s = r.take();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(ResultTest, NonCopyableValueWorks) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r.value(), 9);
+  auto owned = r.take();
+  EXPECT_EQ(*owned, 9);
+}
+
+}  // namespace
+}  // namespace communix

@@ -1,0 +1,104 @@
+// communix_client — the per-machine Communix client daemon (§III-B).
+//
+// Periodically performs an incremental GET against the server and appends
+// new signatures to a file-backed local repository that agents on this
+// machine inspect at application start.
+//
+//   communix_client [--host H] [--port N] [--repo PATH]
+//                   [--period-seconds S] [--once]
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "communix/client.hpp"
+#include "net/tcp.hpp"
+#include "util/clock.hpp"
+#include "util/logging.hpp"
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 7411;
+  std::string repo_path = "communix_repo.db";
+  long period_seconds = 86'400;  // the paper's once-a-day default
+  bool once = false;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--host") == 0) {
+      host = need_value("--host");
+    } else if (std::strcmp(argv[i], "--port") == 0) {
+      port = static_cast<std::uint16_t>(std::atoi(need_value("--port")));
+    } else if (std::strcmp(argv[i], "--repo") == 0) {
+      repo_path = need_value("--repo");
+    } else if (std::strcmp(argv[i], "--period-seconds") == 0) {
+      period_seconds = std::atol(need_value("--period-seconds"));
+    } else if (std::strcmp(argv[i], "--once") == 0) {
+      once = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--host H] [--port N] [--repo PATH] "
+                   "[--period-seconds S] [--once]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  communix::SetLogLevel(communix::LogLevel::kInfo);
+  communix::LocalRepository repo;
+  if (std::filesystem::exists(repo_path)) {
+    if (auto s = communix::LocalRepository::LoadFromFile(repo_path, repo);
+        !s.ok()) {
+      std::fprintf(stderr, "failed to load %s: %s\n", repo_path.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("repository %s: %zu signatures (next server index %llu)\n",
+              repo_path.c_str(), repo.size(),
+              static_cast<unsigned long long>(repo.next_server_index()));
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  do {
+    communix::net::TcpClient transport;
+    if (auto s = transport.Connect(host, port); !s.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n", s.ToString().c_str());
+    } else {
+      communix::CommunixClient client(communix::SystemClock::Instance(),
+                                      transport, repo);
+      auto fetched = client.PollOnce();
+      if (fetched.ok()) {
+        std::printf("fetched %zu new signature(s); repository now %zu\n",
+                    fetched.value(), repo.size());
+        if (fetched.value() > 0) {
+          if (auto s = repo.SaveToFile(repo_path); !s.ok()) {
+            std::fprintf(stderr, "save failed: %s\n", s.ToString().c_str());
+          }
+        }
+      } else {
+        std::fprintf(stderr, "poll failed: %s\n",
+                     fetched.status().ToString().c_str());
+      }
+    }
+    if (once) break;
+    for (long waited = 0; waited < period_seconds && !g_stop; ++waited) {
+      communix::SystemClock::Instance().SleepFor(1'000'000'000);
+    }
+  } while (!g_stop);
+
+  return 0;
+}

@@ -1,0 +1,102 @@
+// communix_server — the deployable Communix server daemon.
+//
+// Serves ADD/GET/ISSUE_ID over TCP, persisting the signature database to
+// disk on shutdown (SIGINT/SIGTERM) and periodically.
+//
+//   communix_server [--port N] [--db PATH] [--limit PER_USER_PER_DAY]
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+#include "communix/server.hpp"
+#include "net/tcp.hpp"
+#include "util/clock.hpp"
+#include "util/logging.hpp"
+
+namespace {
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 7411;
+  std::string db_path = "communix_server.db";
+  std::size_t limit = 10;
+
+  for (int i = 1; i < argc; ++i) {
+    auto need_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--port") == 0) {
+      port = static_cast<std::uint16_t>(std::atoi(need_value("--port")));
+    } else if (std::strcmp(argv[i], "--db") == 0) {
+      db_path = need_value("--db");
+    } else if (std::strcmp(argv[i], "--limit") == 0) {
+      limit = static_cast<std::size_t>(std::atoi(need_value("--limit")));
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--port N] [--db PATH] [--limit N]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  communix::SetLogLevel(communix::LogLevel::kInfo);
+  communix::CommunixServer::Options options;
+  options.per_user_daily_limit = limit;
+  communix::CommunixServer server(communix::SystemClock::Instance(), options);
+
+  if (std::filesystem::exists(db_path)) {
+    if (auto s = server.LoadFromFile(db_path); !s.ok()) {
+      std::fprintf(stderr, "failed to load %s: %s\n", db_path.c_str(),
+                   s.ToString().c_str());
+      return 1;
+    }
+    std::printf("loaded %llu signatures from %s\n",
+                static_cast<unsigned long long>(server.db_size()),
+                db_path.c_str());
+  }
+
+  communix::net::TcpServer tcp(server, port);
+  if (auto s = tcp.Start(); !s.ok()) {
+    std::fprintf(stderr, "cannot listen on %u: %s\n", port,
+                 s.ToString().c_str());
+    return 1;
+  }
+  std::printf("communix server listening on 127.0.0.1:%u (db: %s, "
+              "limit: %zu/user/day)\n",
+              tcp.port(), db_path.c_str(), limit);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  std::uint64_t last_size = server.db_size();
+  while (!g_stop) {
+    communix::SystemClock::Instance().SleepFor(500'000'000);  // 0.5 s
+    // Periodic checkpoint when the database grew.
+    const std::uint64_t size = server.db_size();
+    if (size != last_size) {
+      if (auto s = server.SaveToFile(db_path); s.ok()) last_size = size;
+    }
+  }
+
+  tcp.Stop();
+  if (auto s = server.SaveToFile(db_path); !s.ok()) {
+    std::fprintf(stderr, "final save failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const auto stats = server.GetStats();
+  std::printf("shut down; %llu signatures persisted; accepted=%llu "
+              "rejected(token/adjacent/rate)=%llu/%llu/%llu\n",
+              static_cast<unsigned long long>(server.db_size()),
+              static_cast<unsigned long long>(stats.adds_accepted),
+              static_cast<unsigned long long>(stats.rejected_bad_token),
+              static_cast<unsigned long long>(stats.rejected_adjacent),
+              static_cast<unsigned long long>(stats.rejected_rate_limited));
+  return 0;
+}

@@ -1,0 +1,122 @@
+// sig_inspect — dump Communix/Dimmunix on-disk artifacts in human form.
+//
+//   sig_inspect history PATH   # a Dimmunix deadlock history
+//   sig_inspect repo PATH      # a Communix local repository
+//
+// Prints one block per signature: bug key, content id, per-thread outer
+// and inner stacks, hash coverage, and (for repositories) the agent's
+// validation state.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "communix/repository.hpp"
+#include "dimmunix/history.hpp"
+#include "dimmunix/signature.hpp"
+
+namespace {
+
+using communix::dimmunix::Signature;
+
+void PrintSignature(const Signature& sig) {
+  std::printf("  bug key:    %016llx\n",
+              static_cast<unsigned long long>(sig.BugKey()));
+  std::printf("  content id: %016llx\n",
+              static_cast<unsigned long long>(sig.ContentId()));
+  std::printf("  threads:    %zu, min outer depth %zu\n", sig.num_threads(),
+              sig.MinOuterDepth());
+  for (std::size_t t = 0; t < sig.num_threads(); ++t) {
+    const auto& e = sig.entries()[t];
+    std::size_t hashed = 0;
+    std::size_t total = 0;
+    for (const auto* stack : {&e.outer, &e.inner}) {
+      for (const auto& f : stack->frames()) {
+        ++total;
+        if (f.class_hash) ++hashed;
+      }
+    }
+    std::printf("  thread %zu (hashes on %zu/%zu frames)\n", t, hashed,
+                total);
+    std::printf("   outer:\n%s", e.outer.ToString().c_str());
+    std::printf("   inner:\n%s", e.inner.ToString().c_str());
+  }
+}
+
+const char* StateName(communix::SigState s) {
+  using communix::SigState;
+  switch (s) {
+    case SigState::kNew: return "new";
+    case SigState::kAccepted: return "accepted";
+    case SigState::kRejectedMalformed: return "rejected (malformed)";
+    case SigState::kRejectedHash: return "rejected (hash mismatch)";
+    case SigState::kRejectedDepth: return "rejected (outer depth < 5)";
+    case SigState::kRejectedNesting: return "rejected (not nested)";
+  }
+  return "?";
+}
+
+int DumpHistory(const std::string& path) {
+  auto loaded = communix::dimmunix::History::LoadFromFile(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(),
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const auto& h = loaded.value();
+  std::printf("deadlock history %s: %zu signature(s)\n\n", path.c_str(),
+              h.size());
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    const auto& rec = h.record(i);
+    std::printf("[%zu] %s%s, added at t=%lld\n", i,
+                rec.origin == communix::dimmunix::SignatureOrigin::kLocal
+                    ? "local"
+                    : "remote",
+                rec.disabled ? ", DISABLED" : "",
+                static_cast<long long>(rec.added_at));
+    PrintSignature(rec.sig);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int DumpRepo(const std::string& path) {
+  communix::LocalRepository repo;
+  if (auto s = communix::LocalRepository::LoadFromFile(path, repo); !s.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), s.ToString().c_str());
+    return 1;
+  }
+  std::printf("local repository %s: %zu signature(s)\n\n", path.c_str(),
+              repo.size());
+  for (std::size_t i = 0; i < repo.size(); ++i) {
+    const auto bytes = repo.bytes(i);
+    std::printf("[%zu] %s, %zu bytes\n", i, StateName(repo.state(i)),
+                bytes.size());
+    const auto sig = Signature::FromBytes(
+        std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+    if (sig) {
+      PrintSignature(*sig);
+    } else {
+      std::printf("  (does not parse as a signature)\n");
+    }
+    std::printf("\n");
+  }
+  const auto counts = repo.GetCounts();
+  std::printf("summary: %zu new, %zu accepted, %zu hash-rejected, "
+              "%zu depth-rejected, %zu nesting-rejected, %zu malformed\n",
+              counts.fresh, counts.accepted, counts.rejected_hash,
+              counts.rejected_depth, counts.rejected_nesting,
+              counts.rejected_malformed);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3 || (std::strcmp(argv[1], "history") != 0 &&
+                    std::strcmp(argv[1], "repo") != 0)) {
+    std::fprintf(stderr, "usage: %s {history|repo} PATH\n", argv[0]);
+    return 2;
+  }
+  return std::strcmp(argv[1], "history") == 0 ? DumpHistory(argv[2])
+                                              : DumpRepo(argv[2]);
+}
