@@ -2,15 +2,19 @@
 //
 // These binaries intentionally do not use google-benchmark's
 // microbenchmark loop: each reproduces one table/figure of the paper and
-// prints the same rows/series the paper reports. google-benchmark is
-// still linked for its utilities and to keep the target layout uniform.
+// prints the same rows/series the paper reports. Each bench can also
+// emit a BENCH_<name>.json series file (BenchJson) so CI records the
+// perf trajectory run over run.
 #pragma once
 
 #include <cstdio>
+#include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "../tests/testutil.hpp"
+#include "communix/store/signature_store.hpp"
 #include "dimmunix/signature.hpp"
 #include "util/rng.hpp"
 
@@ -36,5 +40,75 @@ inline dimmunix::Signature RandomSignature(Rng& rng, std::uint32_t unique) {
 inline void PrintHeader(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
 }
+
+// ---- flag helpers (benches share a tiny --flag / --flag=value syntax) ----
+
+/// True if `arg` is exactly `--name`.
+inline bool FlagIs(const char* arg, const char* name) {
+  return std::strcmp(arg, name) == 0;
+}
+
+/// If `arg` is `--name=value`, stores value and returns true.
+inline bool FlagValue(const char* arg, const char* name, std::string* out) {
+  const std::size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *out = arg + n + 1;
+  return true;
+}
+
+/// Parses the sharded-vs-monolithic comparison knob shared by the server
+/// benches. Exits with usage on an unknown value.
+inline store::Backend ParseBackend(const std::string& value) {
+  if (value == "sharded") return store::Backend::kSharded;
+  if (value == "monolithic") return store::Backend::kMonolithic;
+  std::fprintf(stderr, "unknown backend '%s' (sharded|monolithic)\n",
+               value.c_str());
+  std::exit(2);
+}
+
+inline const char* BackendName(store::Backend backend) {
+  return backend == store::Backend::kSharded ? "sharded" : "monolithic";
+}
+
+// ---- perf-trajectory JSON (BENCH_<name>.json) ----
+
+/// Collects flat rows of numeric fields and writes
+///   {"bench":"<name>","rows":[{"series":"...","k":v,...},...]}
+/// Append rows as the bench runs, WriteToFile at the end.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string bench) : bench_(std::move(bench)) {}
+
+  void AddRow(std::string series,
+              std::vector<std::pair<std::string, double>> fields) {
+    rows_.push_back({std::move(series), std::move(fields)});
+  }
+
+  bool WriteToFile(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\"bench\":\"%s\",\"rows\":[", bench_.c_str());
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      const Row& row = rows_[i];
+      std::fprintf(f, "%s{\"series\":\"%s\"", i == 0 ? "" : ",",
+                   row.series.c_str());
+      for (const auto& [key, value] : row.fields) {
+        std::fprintf(f, ",\"%s\":%.17g", key.c_str(), value);
+      }
+      std::fputc('}', f);
+    }
+    std::fputs("]}\n", f);
+    return std::fclose(f) == 0;
+  }
+
+ private:
+  struct Row {
+    std::string series;
+    std::vector<std::pair<std::string, double>> fields;
+  };
+
+  std::string bench_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace communix::bench

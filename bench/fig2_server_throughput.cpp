@@ -12,6 +12,15 @@
 // measures (server computation). Each session performs one ADD of a
 // random valid signature followed by one GET(0) that iterates the whole
 // database, exactly the paper's worst case.
+//
+// Knobs:
+//   --backend=sharded|monolithic  store backend for the sweep
+//   --compare                     sharded-vs-monolithic ADD throughput at
+//                                 --workers threads (default 8), with and
+//                                 without concurrent GET(0) scan load
+//   --workers=N                   worker threads for --compare
+//   --smoke                       tiny sizes (CI)
+//   --json=PATH                   trajectory file (default BENCH_fig2.json)
 #include <atomic>
 #include <cstdio>
 #include <thread>
@@ -31,6 +40,16 @@ using communix::UserId;
 using communix::UserToken;
 using communix::VirtualClock;
 
+CommunixServer::Options ServerOptions(communix::store::Backend backend) {
+  CommunixServer::Options opts;
+  // The paper's bench streams random signatures from synthetic load
+  // generators; per-user daily quotas are not the measured effect. Use
+  // one user id per session and a high quota.
+  opts.per_user_daily_limit = 1'000'000;
+  opts.store.backend = backend;
+  return opts;
+}
+
 struct Row {
   std::size_t sessions;
   double requests_per_second;
@@ -38,14 +57,9 @@ struct Row {
   std::uint64_t db_size;
 };
 
-Row RunOnce(std::size_t sessions) {
+Row RunSweepPoint(std::size_t sessions, communix::store::Backend backend) {
   VirtualClock clock;  // virtual day never ends: rate limits don't distort
-  CommunixServer::Options opts;
-  // The paper's bench streams random signatures from synthetic load
-  // generators; per-user daily quotas are not the measured effect. Use
-  // one user id per session and a high quota.
-  opts.per_user_daily_limit = 1'000'000;
-  CommunixServer server(clock, opts);
+  CommunixServer server(clock, ServerOptions(backend));
 
   const std::size_t workers =
       std::min<std::size_t>(std::thread::hardware_concurrency() * 4,
@@ -89,23 +103,199 @@ Row RunOnce(std::size_t sessions) {
   return row;
 }
 
+// ---------------------------------------------------------------------------
+// --compare: ADD throughput, sharded vs the single-mutex baseline.
+//
+// Everything except the server call is precomputed (tokens, signatures),
+// so the timed region is the validation pipeline + store itself. One user
+// per ADD, as in the sweep: the contended resource is the store, not one
+// user's quota state. The scan variant interleaves GET(0) database scans
+// the way the paper's sequences do — on the monolithic store those scans
+// hold the reader lock and block every ADD; on the sharded store they
+// are lock-free.
+// ---------------------------------------------------------------------------
+struct CompareResult {
+  double adds_per_second;
+  double seconds;
+  std::uint64_t accepted;
+};
+
+CompareResult RunAddThroughput(communix::store::Backend backend,
+                               std::size_t workers, std::size_t total_adds,
+                               bool with_scans) {
+  VirtualClock clock;
+  CommunixServer server(clock, ServerOptions(backend));
+
+  struct Prepared {
+    UserToken token;
+    communix::dimmunix::Signature sig;
+  };
+  std::vector<std::vector<Prepared>> per_thread(workers);
+  {
+    Rng rng(0xF162);
+    std::size_t next_id = 1;
+    for (std::size_t w = 0; w < workers; ++w) {
+      per_thread[w].reserve(total_adds / workers + 1);
+      for (std::size_t i = w; i < total_adds; i += workers) {
+        Prepared p{
+            server.IssueToken(static_cast<UserId>(next_id)),
+            communix::bench::RandomSignature(
+                rng, static_cast<std::uint32_t>(next_id))};
+        ++next_id;
+        per_thread[w].push_back(std::move(p));
+      }
+    }
+  }
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  Stopwatch watch;
+  for (std::size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([&, w] {
+      std::uint64_t ok = 0;
+      std::uint64_t scanned = 0;
+      std::size_t n = 0;
+      for (const auto& p : per_thread[w]) {
+        if (server.AddSignature(p.token, p.sig).ok()) ++ok;
+        if (with_scans && (++n % 16) == 0) {
+          // One GET(0) scan per 16 ADDs keeps the scan share of total
+          // work bounded while still exercising reader/writer contention.
+          server.VisitSince(0,
+                            [&](std::uint64_t,
+                                const std::vector<std::uint8_t>& bytes) {
+                              scanned += bytes.size();
+                            });
+        }
+      }
+      accepted.fetch_add(ok, std::memory_order_relaxed);
+      (void)scanned;
+    });
+  }
+  for (auto& t : pool) t.join();
+  const double seconds = watch.ElapsedSeconds();
+
+  CompareResult result;
+  result.seconds = seconds;
+  result.accepted = accepted.load();
+  result.adds_per_second = static_cast<double>(total_adds) / seconds;
+  return result;
+}
+
+void RunCompare(std::size_t workers, std::size_t total_adds,
+                communix::bench::BenchJson& json) {
+  communix::bench::PrintHeader(
+      "Sharded store vs single-mutex baseline (ADD throughput, " +
+      std::to_string(workers) + " worker threads)");
+  std::printf("%12s %12s %16s %10s %12s\n", "workload", "backend",
+              "adds/sec", "seconds", "accepted");
+  for (const bool with_scans : {false, true}) {
+    const char* workload = with_scans ? "add+scan" : "add-only";
+    double rate[2] = {0, 0};
+    int i = 0;
+    for (const auto backend : {communix::store::Backend::kMonolithic,
+                               communix::store::Backend::kSharded}) {
+      const CompareResult r =
+          RunAddThroughput(backend, workers, total_adds, with_scans);
+      rate[i++] = r.adds_per_second;
+      std::printf("%12s %12s %16.0f %10.3f %12llu\n", workload,
+                  communix::bench::BackendName(backend), r.adds_per_second,
+                  r.seconds, static_cast<unsigned long long>(r.accepted));
+      json.AddRow("compare",
+                  {{"workers", static_cast<double>(workers)},
+                   {"total_adds", static_cast<double>(total_adds)},
+                   {"with_scans", with_scans ? 1.0 : 0.0},
+                   {"sharded",
+                    backend == communix::store::Backend::kSharded ? 1.0 : 0.0},
+                   {"adds_per_second", r.adds_per_second},
+                   {"seconds", r.seconds}});
+    }
+    std::printf("%12s %12s %15.2fx\n", workload, "speedup",
+                rate[1] / rate[0]);
+    json.AddRow("compare_speedup",
+                {{"workers", static_cast<double>(workers)},
+                 {"with_scans", with_scans ? 1.0 : 0.0},
+                 {"speedup", rate[1] / rate[0]}});
+  }
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool smoke = false;
+  bool compare = false;
+  std::string backend_name = "sharded";
+  std::string workers_value = "8";
+  std::string json_path = "BENCH_fig2.json";
+  for (int i = 1; i < argc; ++i) {
+    std::string value;
+    if (communix::bench::FlagIs(argv[i], "--smoke")) {
+      smoke = true;
+    } else if (communix::bench::FlagIs(argv[i], "--compare")) {
+      compare = true;
+    } else if (communix::bench::FlagValue(argv[i], "--backend",
+                                          &backend_name) ||
+               communix::bench::FlagValue(argv[i], "--workers",
+                                          &workers_value) ||
+               communix::bench::FlagValue(argv[i], "--json", &json_path)) {
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--smoke] [--compare] "
+                   "[--backend=sharded|monolithic] [--workers=N] "
+                   "[--json=PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  const auto backend = communix::bench::ParseBackend(backend_name);
+  char* end = nullptr;
+  const unsigned long workers_parsed =
+      std::strtoul(workers_value.c_str(), &end, 10);
+  if (workers_value.empty() || *end != '\0' || workers_parsed == 0 ||
+      workers_parsed > 1024) {
+    std::fprintf(stderr, "--workers must be an integer in [1, 1024]\n");
+    return 2;
+  }
+  const std::size_t workers = workers_parsed;
+
+  communix::bench::BenchJson json("fig2_server_throughput");
+
   communix::bench::PrintHeader(
-      "Figure 2: Communix server throughput (ADD(sig),GET(0) sequences)");
+      std::string("Figure 2: Communix server throughput "
+                  "(ADD(sig),GET(0) sequences, ") +
+      communix::bench::BackendName(backend) + " store)");
   std::printf("%12s %16s %10s %10s\n", "sessions(k)", "requests/sec",
               "seconds", "db size");
   // The paper sweeps 1k..100k; GET(0) iteration cost is O(db), i.e. the
   // whole experiment is O(N^2) in the sweep point.
-  for (std::size_t thousands : {1, 5, 10, 20, 30, 40, 50, 75, 100}) {
-    const Row row = RunOnce(thousands * 1'000);
+  const std::vector<std::size_t> sweep =
+      smoke ? std::vector<std::size_t>{1, 5}
+            : std::vector<std::size_t>{1, 5, 10, 20, 30, 40, 50, 75, 100};
+  for (std::size_t thousands : sweep) {
+    const Row row = RunSweepPoint(thousands * 1'000, backend);
     std::printf("%12zu %16.0f %10.2f %10llu\n", thousands,
                 row.requests_per_second, row.seconds,
                 static_cast<unsigned long long>(row.db_size));
+    json.AddRow("sweep",
+                {{"sessions", static_cast<double>(row.sessions)},
+                 {"sharded",
+                  backend == communix::store::Backend::kSharded ? 1.0 : 0.0},
+                 {"requests_per_second", row.requests_per_second},
+                 {"seconds", row.seconds},
+                 {"db_size", static_cast<double>(row.db_size)}});
   }
   std::printf(
       "\npaper: scales to ~30k simultaneous sequences, peak ~9,000 req/s,\n"
       "degrading toward 100k as GET(0) iterates an ever-larger database.\n");
+
+  if (compare) {
+    RunCompare(workers, smoke ? 8'000 : 40'000, json);
+  }
+
+  if (!json.WriteToFile(json_path)) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", json_path.c_str());
   return 0;
 }

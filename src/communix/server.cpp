@@ -1,107 +1,86 @@
 #include "communix/server.hpp"
 
-#include <filesystem>
-#include <fstream>
-#include <mutex>
-
-#include "util/logging.hpp"
+#include <algorithm>
 
 namespace communix {
 
 using dimmunix::Signature;
 
 CommunixServer::CommunixServer(Clock& clock, Options options)
-    : clock_(clock), options_(options), authority_(options.server_key) {}
+    : clock_(clock),
+      options_(options),
+      authority_(options.server_key),
+      store_(store::SignatureStore::Create(options.store)) {}
 
-std::unordered_set<std::uint64_t> CommunixServer::TopFrameSet(
-    const Signature& sig) {
-  std::unordered_set<std::uint64_t> tops;
-  for (const auto& e : sig.entries()) {
-    if (!e.outer.empty()) tops.insert(e.outer.TopKey());
-    if (!e.inner.empty()) tops.insert(e.inner.TopKey());
+Status CommunixServer::AddDecoded(UserId user, const Signature& sig) {
+  if (sig.empty() || sig.num_threads() < 2) {
+    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    return Status::Error(ErrorCode::kInvalidArgument,
+                         "signature must involve >= 2 threads");
   }
-  return tops;
-}
 
-bool CommunixServer::Adjacent(const std::unordered_set<std::uint64_t>& a,
-                              const std::unordered_set<std::uint64_t>& b) {
-  // "some (but not all) top frames in common": nonempty intersection and
-  // the sets are not identical.
-  if (a == b) return false;
-  for (std::uint64_t k : a) {
-    if (b.count(k) > 0) return true;
+  const TimePoint now = clock_.Now();
+  const std::int64_t today = now / kNanosPerDay;
+  const auto outcome =
+      store_->Add(user, today, store::TopFrameSet(sig), sig.ContentId(), sig,
+                  now,
+                  store::Limits{options_.per_user_daily_limit,
+                                options_.adjacency_check_enabled});
+  switch (outcome) {
+    case store::AddOutcome::kAccepted:
+      stats_.adds_accepted.fetch_add(1, std::memory_order_relaxed);
+      return Status::Ok();
+    case store::AddOutcome::kDuplicate:
+      stats_.adds_duplicate.fetch_add(1, std::memory_order_relaxed);
+      return Status::Error(ErrorCode::kAlreadyExists, "duplicate signature");
+    case store::AddOutcome::kRateLimited:
+      stats_.rejected_rate_limited.fetch_add(1, std::memory_order_relaxed);
+      return Status::Error(ErrorCode::kResourceExhausted,
+                           "daily signature quota exceeded");
+    case store::AddOutcome::kAdjacent:
+      stats_.rejected_adjacent.fetch_add(1, std::memory_order_relaxed);
+      return Status::Error(
+          ErrorCode::kPermissionDenied,
+          "adjacent to a signature previously sent by this user");
   }
-  return false;
+  return Status::Error(ErrorCode::kInternal, "unreachable add outcome");
 }
 
 Status CommunixServer::AddSignature(const UserToken& token,
                                     const Signature& sig) {
   const auto user = authority_.Decode(token);
   if (!user) {
-    std::unique_lock lock(mu_);
-    ++stats_.rejected_bad_token;
+    stats_.rejected_bad_token.fetch_add(1, std::memory_order_relaxed);
     return Status::Error(ErrorCode::kPermissionDenied, "invalid sender id");
   }
-  if (sig.empty() || sig.num_threads() < 2) {
-    std::unique_lock lock(mu_);
-    ++stats_.rejected_malformed;
-    return Status::Error(ErrorCode::kInvalidArgument,
-                         "signature must involve >= 2 threads");
-  }
+  return AddDecoded(*user, sig);
+}
 
-  const std::int64_t today = clock_.Now() / kNanosPerDay;
-  const auto tops = TopFrameSet(sig);
-
-  std::unique_lock lock(mu_);
-  UserState& state = users_[*user];
-  if (state.day != today) {
-    state.day = today;
-    state.processed_today = 0;
-  }
-  if (state.processed_today >= options_.per_user_daily_limit) {
-    ++stats_.rejected_rate_limited;
-    return Status::Error(ErrorCode::kResourceExhausted,
-                         "daily signature quota exceeded");
-  }
-  ++state.processed_today;
-
-  if (options_.adjacency_check_enabled) {
-    for (const auto& prior : state.accepted_top_sets) {
-      if (Adjacent(prior, tops)) {
-        ++stats_.rejected_adjacent;
-        return Status::Error(
-            ErrorCode::kPermissionDenied,
-            "adjacent to a signature previously sent by this user");
-      }
+std::vector<Status> CommunixServer::AddBatch(
+    const UserToken& token, std::span<const Signature> sigs) {
+  std::vector<Status> out;
+  out.reserve(sigs.size());
+  const auto user = authority_.Decode(token);
+  if (!user) {
+    stats_.rejected_bad_token.fetch_add(sigs.size(),
+                                        std::memory_order_relaxed);
+    for (std::size_t i = 0; i < sigs.size(); ++i) {
+      out.push_back(
+          Status::Error(ErrorCode::kPermissionDenied, "invalid sender id"));
     }
+    return out;
   }
-
-  const std::uint64_t content = sig.ContentId();
-  if (content_ids_.count(content) > 0) {
-    ++stats_.adds_duplicate;
-    return Status::Error(ErrorCode::kAlreadyExists, "duplicate signature");
+  for (const Signature& sig : sigs) {
+    out.push_back(AddDecoded(*user, sig));
   }
-
-  Stored stored;
-  stored.bytes = sig.ToBytes();
-  stored.content_id = content;
-  stored.sender = *user;
-  stored.added_at = clock_.Now();
-  db_.push_back(std::move(stored));
-  content_ids_.insert(content);
-  state.accepted_top_sets.push_back(tops);
-  ++stats_.adds_accepted;
-  return Status::Ok();
+  return out;
 }
 
 void CommunixServer::VisitSince(
     std::uint64_t from,
     const std::function<void(std::uint64_t,
                              const std::vector<std::uint8_t>&)>& fn) const {
-  std::shared_lock lock(mu_);
-  for (std::uint64_t i = from; i < db_.size(); ++i) {
-    fn(i, db_[i].bytes);
-  }
+  store_->VisitRange(from, UINT64_MAX, fn);
 }
 
 std::vector<std::vector<std::uint8_t>> CommunixServer::GetSince(
@@ -113,10 +92,7 @@ std::vector<std::vector<std::uint8_t>> CommunixServer::GetSince(
   return out;
 }
 
-std::uint64_t CommunixServer::db_size() const {
-  std::shared_lock lock(mu_);
-  return db_.size();
-}
+std::uint64_t CommunixServer::db_size() const { return store_->size(); }
 
 net::Response CommunixServer::Handle(const net::Request& request) {
   net::Response resp;
@@ -130,8 +106,7 @@ net::Response CommunixServer::Handle(const net::Request& request) {
       const auto raw_token = r.ReadRaw(16);
       auto sig = Signature::Deserialize(r);
       if (raw_token.size() != 16 || !sig || !r.AtEnd()) {
-        std::unique_lock lock(mu_);
-        ++stats_.rejected_malformed;
+        stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
         resp.code = ErrorCode::kInvalidArgument;
         resp.error = "malformed ADD payload";
         break;
@@ -144,6 +119,46 @@ net::Response CommunixServer::Handle(const net::Request& request) {
       break;
     }
 
+    case net::MsgType::kAddBatch: {
+      BinaryReader r(std::span<const std::uint8_t>(request.payload.data(),
+                                                   request.payload.size()));
+      const auto raw_token = r.ReadRaw(16);
+      const std::uint32_t count = r.ReadU32();
+      std::vector<Signature> sigs;
+      // Every signature needs at least its 4-byte length prefix, so a
+      // count beyond remaining()/4 is malformed — checked before the
+      // reserve so a hostile count can't force a giant allocation.
+      bool ok = raw_token.size() == 16 && r.ok() && count <= r.remaining() / 4;
+      if (ok) sigs.reserve(count);
+      for (std::uint32_t i = 0; ok && i < count; ++i) {
+        const auto bytes = r.ReadBytes();
+        auto sig = Signature::FromBytes(
+            std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+        if (!r.ok() || !sig) {
+          ok = false;
+          break;
+        }
+        sigs.push_back(std::move(*sig));
+      }
+      if (!ok || !r.AtEnd()) {
+        stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+        resp.code = ErrorCode::kInvalidArgument;
+        resp.error = "malformed ADD_BATCH payload";
+        break;
+      }
+      UserToken token;
+      std::copy(raw_token.begin(), raw_token.end(), token.begin());
+      const auto statuses =
+          AddBatch(token, std::span<const Signature>(sigs.data(), sigs.size()));
+      BinaryWriter w;
+      w.WriteU32(static_cast<std::uint32_t>(statuses.size()));
+      for (const Status& s : statuses) {
+        w.WriteU8(static_cast<std::uint8_t>(s.code()));
+      }
+      resp.payload = w.take();
+      break;
+    }
+
     case net::MsgType::kGetSignatures: {
       BinaryReader r(std::span<const std::uint8_t>(request.payload.data(),
                                                    request.payload.size()));
@@ -153,20 +168,20 @@ net::Response CommunixServer::Handle(const net::Request& request) {
         resp.error = "malformed GET payload";
         break;
       }
+      // Pin the reply to the committed length at entry so the count
+      // prefix is exact even while ADDs keep landing.
+      const std::uint64_t size = store_->size();
+      const std::uint32_t count = static_cast<std::uint32_t>(
+          from >= size ? 0 : size - from);
       BinaryWriter w;
-      std::uint32_t count = 0;
-      // Two-pass: count then emit, so the count prefix is exact.
-      {
-        std::shared_lock lock(mu_);
-        count = static_cast<std::uint32_t>(
-            from >= db_.size() ? 0 : db_.size() - from);
-        w.WriteU32(count);
-        for (std::uint64_t i = from; i < db_.size(); ++i) {
-          w.WriteBytes(std::span<const std::uint8_t>(db_[i].bytes.data(),
-                                                     db_[i].bytes.size()));
-        }
-      }
-      gets_served_.fetch_add(1, std::memory_order_relaxed);
+      w.WriteU32(count);
+      store_->VisitRange(
+          from, size,
+          [&](std::uint64_t, const std::vector<std::uint8_t>& bytes) {
+            w.WriteBytes(
+                std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+          });
+      stats_.gets_served.fetch_add(1, std::memory_order_relaxed);
       resp.payload = w.take();
       break;
     }
@@ -188,97 +203,27 @@ net::Response CommunixServer::Handle(const net::Request& request) {
   return resp;
 }
 
-namespace {
-constexpr std::uint32_t kDbMagic = 0x434D5342;  // "CMSB"
-constexpr std::uint32_t kDbVersion = 1;
-}  // namespace
-
 Status CommunixServer::SaveToFile(const std::string& path) const {
-  BinaryWriter w;
-  {
-    std::shared_lock lock(mu_);
-    w.WriteU32(kDbMagic);
-    w.WriteU32(kDbVersion);
-    w.WriteU32(static_cast<std::uint32_t>(db_.size()));
-    for (const Stored& s : db_) {
-      w.WriteU64(s.sender);
-      w.WriteI64(s.added_at);
-      w.WriteBytes(std::span<const std::uint8_t>(s.bytes.data(),
-                                                 s.bytes.size()));
-    }
-  }
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::Error(ErrorCode::kUnavailable, "cannot open " + tmp);
-    }
-    out.write(reinterpret_cast<const char*>(w.data().data()),
-              static_cast<std::streamsize>(w.size()));
-    if (!out) {
-      return Status::Error(ErrorCode::kUnavailable, "short write " + tmp);
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    return Status::Error(ErrorCode::kUnavailable, "rename: " + ec.message());
-  }
-  return Status::Ok();
+  return store_->SaveToFile(path);
 }
 
 Status CommunixServer::LoadFromFile(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return Status::Error(ErrorCode::kNotFound, "cannot open " + path);
-  }
-  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                                  std::istreambuf_iterator<char>());
-  BinaryReader r(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
-  if (r.ReadU32() != kDbMagic || r.ReadU32() != kDbVersion) {
-    return Status::Error(ErrorCode::kDataLoss, "bad server DB header");
-  }
-  const std::uint32_t count = r.ReadU32();
-
-  std::vector<Stored> db;
-  std::unordered_set<std::uint64_t> content_ids;
-  std::unordered_map<UserId, UserState> users;
-  for (std::uint32_t i = 0; i < count; ++i) {
-    Stored s;
-    s.sender = r.ReadU64();
-    s.added_at = r.ReadI64();
-    s.bytes = r.ReadBytes();
-    if (!r.ok()) {
-      return Status::Error(ErrorCode::kDataLoss, "corrupt server DB record");
-    }
-    auto sig = Signature::FromBytes(
-        std::span<const std::uint8_t>(s.bytes.data(), s.bytes.size()));
-    if (!sig) {
-      return Status::Error(ErrorCode::kDataLoss,
-                           "stored signature fails to parse");
-    }
-    s.content_id = sig->ContentId();
-    content_ids.insert(s.content_id);
-    // Rebuild the adjacency state so the per-user restriction keeps
-    // holding across restarts. The daily quota intentionally resets.
-    users[s.sender].accepted_top_sets.push_back(TopFrameSet(*sig));
-    db.push_back(std::move(s));
-  }
-
-  std::unique_lock lock(mu_);
-  db_ = std::move(db);
-  content_ids_ = std::move(content_ids);
-  users_ = std::move(users);
-  return Status::Ok();
+  return store_->LoadFromFile(path);
 }
 
 CommunixServer::Stats CommunixServer::GetStats() const {
   Stats out;
-  {
-    std::shared_lock lock(mu_);
-    out = stats_;
-  }
-  out.gets_served = gets_served_.load(std::memory_order_relaxed);
+  out.adds_accepted = stats_.adds_accepted.load(std::memory_order_relaxed);
+  out.adds_duplicate = stats_.adds_duplicate.load(std::memory_order_relaxed);
+  out.rejected_bad_token =
+      stats_.rejected_bad_token.load(std::memory_order_relaxed);
+  out.rejected_rate_limited =
+      stats_.rejected_rate_limited.load(std::memory_order_relaxed);
+  out.rejected_adjacent =
+      stats_.rejected_adjacent.load(std::memory_order_relaxed);
+  out.rejected_malformed =
+      stats_.rejected_malformed.load(std::memory_order_relaxed);
+  out.gets_served = stats_.gets_served.load(std::memory_order_relaxed);
   return out;
 }
 

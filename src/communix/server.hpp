@@ -14,6 +14,13 @@
 //      hit "adjacent" deadlocks; attackers need this to mass-manufacture
 //      signatures, so adjacent ones are refused (§III-C2).
 //
+// The server itself is a thin, stateless validation pipeline; all state
+// (database, per-user quota/adjacency, dedup, persistence) lives in a
+// store::SignatureStore. The default sharded store lets concurrent ADDs
+// from different users proceed in parallel and serves GET scans without
+// blocking writers; Options.store.backend selects the seed's single-mutex
+// layout for comparison (Figure 2's bench knob).
+//
 // Thread-safety: fully thread-safe; Figure 2 drives Handle()/AddSignature
 // from tens of thousands of logical sessions.
 #pragma once
@@ -21,12 +28,12 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <shared_mutex>
-#include <unordered_map>
-#include <unordered_set>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "communix/ids.hpp"
+#include "communix/store/signature_store.hpp"
 #include "dimmunix/signature.hpp"
 #include "net/message.hpp"
 #include "util/clock.hpp"
@@ -40,6 +47,7 @@ class CommunixServer final : public net::RequestHandler {
     AesKey server_key = kDefaultServerKey;
     std::size_t per_user_daily_limit = 10;
     bool adjacency_check_enabled = true;  // ablation knob (§III-C2 math)
+    store::StoreOptions store;            // backend + shard counts
   };
 
   explicit CommunixServer(Clock& clock) : CommunixServer(clock, Options{}) {}
@@ -52,10 +60,18 @@ class CommunixServer final : public net::RequestHandler {
   /// kAlreadyExists for exact duplicates (idempotent).
   Status AddSignature(const UserToken& token, const dimmunix::Signature& sig);
 
+  /// Batched ADD: validates the token once, then processes the
+  /// signatures in order exactly as N AddSignature calls would
+  /// (per-signature statuses, same stats). One request frame on the wire
+  /// (net::MsgType::kAddBatch) instead of N round trips.
+  std::vector<Status> AddBatch(const UserToken& token,
+                               std::span<const dimmunix::Signature> sigs);
+
   /// GET(k) iteration: visits every stored signature with index >= `from`
-  /// in index order. The network path serializes inside the visitor; the
-  /// Figure-2 bench iterates with a counting visitor, matching the
-  /// paper's "iterating through the entire database".
+  /// in index order. On the sharded store this reads committed entries
+  /// without blocking ADDs; the Figure-2 bench iterates with a counting
+  /// visitor, matching the paper's "iterating through the entire
+  /// database".
   void VisitSince(std::uint64_t from,
                   const std::function<void(std::uint64_t index,
                                            const std::vector<std::uint8_t>&
@@ -73,6 +89,7 @@ class CommunixServer final : public net::RequestHandler {
   /// Persistence: the signature database plus per-user adjacency state
   /// survive server restarts (indexes are implicit in insertion order, so
   /// clients' incremental GET(k) cursors stay valid across restarts).
+  /// Delegates to the store; the on-disk format is backend-independent.
   Status SaveToFile(const std::string& path) const;
   Status LoadFromFile(const std::string& path);
 
@@ -91,37 +108,27 @@ class CommunixServer final : public net::RequestHandler {
   Stats GetStats() const;
 
  private:
-  struct Stored {
-    std::vector<std::uint8_t> bytes;
-    std::uint64_t content_id = 0;
-    UserId sender = 0;
-    TimePoint added_at = 0;
-  };
-  struct UserState {
-    /// Top-frame key sets of this user's accepted signatures (for the
-    /// adjacency check).
-    std::vector<std::unordered_set<std::uint64_t>> accepted_top_sets;
-    std::int64_t day = -1;
-    std::size_t processed_today = 0;
-  };
-
-  static std::unordered_set<std::uint64_t> TopFrameSet(
-      const dimmunix::Signature& sig);
-  static bool Adjacent(const std::unordered_set<std::uint64_t>& a,
-                       const std::unordered_set<std::uint64_t>& b);
+  /// The post-authentication pipeline shared by AddSignature/AddBatch.
+  Status AddDecoded(UserId user, const dimmunix::Signature& sig);
 
   Clock& clock_;
   const Options options_;
   const IdAuthority authority_;
+  const std::unique_ptr<store::SignatureStore> store_;
 
-  mutable std::shared_mutex mu_;
-  std::vector<Stored> db_;
-  std::unordered_set<std::uint64_t> content_ids_;
-  std::unordered_map<UserId, UserState> users_;
-  Stats stats_;
-  /// GETs run under the shared lock; count them separately to avoid a
-  /// write under shared ownership.
-  mutable std::atomic<std::uint64_t> gets_served_{0};
+  /// Per-counter relaxed atomics merged on read: every request path —
+  /// including the rejection paths — bumps its counter without taking
+  /// any lock.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> adds_accepted{0};
+    std::atomic<std::uint64_t> adds_duplicate{0};
+    std::atomic<std::uint64_t> rejected_bad_token{0};
+    std::atomic<std::uint64_t> rejected_rate_limited{0};
+    std::atomic<std::uint64_t> rejected_adjacent{0};
+    std::atomic<std::uint64_t> rejected_malformed{0};
+    std::atomic<std::uint64_t> gets_served{0};
+  };
+  mutable AtomicStats stats_;
 };
 
 }  // namespace communix

@@ -1,0 +1,71 @@
+// Lock-striped content-id dedup set.
+//
+// Exact-duplicate detection (the server's kAlreadyExists path) needs a
+// global membership test, but content ids are uniformly distributed
+// 64-bit hashes, so striping the set N ways keeps the critical section a
+// single unordered_set probe and makes concurrent ADDs of *different*
+// signatures contention-free. TryInsert is atomic per id: exactly one of
+// two racing inserts of the same content id wins, matching the
+// serialization the seed's global lock provided.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+namespace communix::store {
+
+class DedupIndex {
+ public:
+  /// `num_shards` is rounded up to a power of two (min 1).
+  explicit DedupIndex(std::size_t num_shards) {
+    std::size_t n = 1;
+    while (n < num_shards) n <<= 1;
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      shards_.push_back(std::make_unique<Shard>());
+    }
+  }
+
+  DedupIndex(const DedupIndex&) = delete;
+  DedupIndex& operator=(const DedupIndex&) = delete;
+
+  /// Inserts `content_id`; false if it was already present.
+  bool TryInsert(std::uint64_t content_id) {
+    Shard& shard = ShardFor(content_id);
+    std::lock_guard lock(shard.mu);
+    return shard.ids.insert(content_id).second;
+  }
+
+  bool Contains(std::uint64_t content_id) const {
+    const Shard& shard = ShardFor(content_id);
+    std::lock_guard lock(shard.mu);
+    return shard.ids.count(content_id) > 0;
+  }
+
+  /// Drops everything (LoadFromFile path; restart-time only).
+  void Clear() {
+    for (auto& shard : shards_) {
+      std::lock_guard lock(shard->mu);
+      shard->ids.clear();
+    }
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_set<std::uint64_t> ids;
+  };
+
+  Shard& ShardFor(std::uint64_t content_id) const {
+    // Content ids are already hashes; the low bits are uniform enough.
+    return *shards_[static_cast<std::size_t>(content_id) &
+                    (shards_.size() - 1)];
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace communix::store

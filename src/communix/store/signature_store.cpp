@@ -1,0 +1,307 @@
+#include "communix/store/signature_store.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <shared_mutex>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "communix/store/dedup_index.hpp"
+#include "communix/store/signature_log.hpp"
+#include "util/serde.hpp"
+
+namespace communix::store {
+
+TopFrameKeys TopFrameSet(const dimmunix::Signature& sig) {
+  TopFrameKeys tops;
+  for (const auto& e : sig.entries()) {
+    if (!e.outer.empty()) tops.insert(e.outer.TopKey());
+    if (!e.inner.empty()) tops.insert(e.inner.TopKey());
+  }
+  return tops;
+}
+
+bool Adjacent(const TopFrameKeys& a, const TopFrameKeys& b) {
+  if (a == b) return false;
+  for (std::uint64_t k : a) {
+    if (b.count(k) > 0) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Shared §III-C decision procedure.
+//
+// Both backends run exactly this sequence against the caller's locked
+// view of the sender's UserState; only the locking around it differs.
+// Order matters and matches the seed server: the daily quota counts
+// *processed* signatures (so adjacency/duplicate rejections still consume
+// quota), adjacency is checked before dedup, and the commit records the
+// top-frame set only for accepted signatures.
+// ---------------------------------------------------------------------------
+template <typename TryInsertDedup, typename Commit>
+AddOutcome RunAddPipeline(UserState& state, std::int64_t day,
+                          const TopFrameKeys& tops, const Limits& limits,
+                          TryInsertDedup&& try_insert_dedup, Commit&& commit) {
+  if (state.day != day) {
+    state.day = day;
+    state.processed_today = 0;
+  }
+  if (state.processed_today >= limits.per_user_daily_limit) {
+    return AddOutcome::kRateLimited;
+  }
+  ++state.processed_today;
+
+  if (limits.adjacency_check_enabled) {
+    for (const auto& prior : state.accepted_top_sets) {
+      if (Adjacent(prior, tops)) return AddOutcome::kAdjacent;
+    }
+  }
+  if (!try_insert_dedup()) return AddOutcome::kDuplicate;
+  commit();
+  state.accepted_top_sets.push_back(tops);
+  return AddOutcome::kAccepted;
+}
+
+// ---------------------------------------------------------------------------
+// Persistence (format identical to the seed server's SaveToFile).
+// ---------------------------------------------------------------------------
+constexpr std::uint32_t kDbMagic = 0x434D5342;  // "CMSB"
+constexpr std::uint32_t kDbVersion = 1;
+
+struct LoadedRecord {
+  StoredSignature entry;
+  TopFrameKeys tops;
+};
+
+Status WriteDbFile(const std::string& path, const BinaryWriter& w) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::Error(ErrorCode::kUnavailable, "cannot open " + tmp);
+    }
+    out.write(reinterpret_cast<const char*>(w.data().data()),
+              static_cast<std::streamsize>(w.size()));
+    if (!out) {
+      return Status::Error(ErrorCode::kUnavailable, "short write " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::Error(ErrorCode::kUnavailable, "rename: " + ec.message());
+  }
+  return Status::Ok();
+}
+
+void WriteRecord(BinaryWriter& w, const StoredSignature& s) {
+  w.WriteU64(s.sender);
+  w.WriteI64(s.added_at);
+  w.WriteBytes(std::span<const std::uint8_t>(s.bytes.data(), s.bytes.size()));
+}
+
+Status ParseDbFile(const std::string& path, std::vector<LoadedRecord>& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::Error(ErrorCode::kNotFound, "cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  BinaryReader r(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  if (r.ReadU32() != kDbMagic || r.ReadU32() != kDbVersion) {
+    return Status::Error(ErrorCode::kDataLoss, "bad server DB header");
+  }
+  const std::uint32_t count = r.ReadU32();
+  out.clear();
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    LoadedRecord rec;
+    rec.entry.sender = r.ReadU64();
+    rec.entry.added_at = r.ReadI64();
+    rec.entry.bytes = r.ReadBytes();
+    if (!r.ok()) {
+      return Status::Error(ErrorCode::kDataLoss, "corrupt server DB record");
+    }
+    auto sig = dimmunix::Signature::FromBytes(std::span<const std::uint8_t>(
+        rec.entry.bytes.data(), rec.entry.bytes.size()));
+    if (!sig) {
+      return Status::Error(ErrorCode::kDataLoss,
+                           "stored signature fails to parse");
+    }
+    rec.entry.content_id = sig->ContentId();
+    // Rebuild the adjacency state so the per-user restriction keeps
+    // holding across restarts. The daily quota intentionally resets.
+    rec.tops = TopFrameSet(*sig);
+    out.push_back(std::move(rec));
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Monolithic backend: the seed server's storage, verbatim layout. One
+// shared_mutex guards everything; kept as the Figure-2 baseline and as
+// the reference implementation for the equivalence property test.
+// ---------------------------------------------------------------------------
+class MonolithicStore final : public SignatureStore {
+ public:
+  AddOutcome Add(UserId sender, std::int64_t day, const TopFrameKeys& tops,
+                 std::uint64_t content_id, const dimmunix::Signature& sig,
+                 TimePoint added_at, const Limits& limits) override {
+    std::unique_lock lock(mu_);
+    return RunAddPipeline(
+        users_[sender], day, tops, limits,
+        [&] { return content_ids_.insert(content_id).second; },
+        [&] {
+          StoredSignature stored;
+          stored.bytes = sig.ToBytes();
+          stored.content_id = content_id;
+          stored.sender = sender;
+          stored.added_at = added_at;
+          db_.push_back(std::move(stored));
+        });
+  }
+
+  void VisitRange(std::uint64_t from, std::uint64_t upto,
+                  const std::function<void(
+                      std::uint64_t, const std::vector<std::uint8_t>&)>& fn)
+      const override {
+    std::shared_lock lock(mu_);
+    const std::uint64_t n = std::min<std::uint64_t>(upto, db_.size());
+    for (std::uint64_t i = from; i < n; ++i) {
+      fn(i, db_[i].bytes);
+    }
+  }
+
+  std::uint64_t size() const override {
+    std::shared_lock lock(mu_);
+    return db_.size();
+  }
+
+  Status SaveToFile(const std::string& path) const override {
+    BinaryWriter w;
+    {
+      std::shared_lock lock(mu_);
+      w.WriteU32(kDbMagic);
+      w.WriteU32(kDbVersion);
+      w.WriteU32(static_cast<std::uint32_t>(db_.size()));
+      for (const StoredSignature& s : db_) WriteRecord(w, s);
+    }
+    return WriteDbFile(path, w);
+  }
+
+  Status LoadFromFile(const std::string& path) override {
+    std::vector<LoadedRecord> records;
+    if (auto s = ParseDbFile(path, records); !s.ok()) return s;
+    std::unique_lock lock(mu_);
+    db_.clear();
+    content_ids_.clear();
+    users_.clear();
+    for (auto& rec : records) {
+      content_ids_.insert(rec.entry.content_id);
+      users_[rec.entry.sender].accepted_top_sets.push_back(
+          std::move(rec.tops));
+      db_.push_back(std::move(rec.entry));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::vector<StoredSignature> db_;
+  std::unordered_set<std::uint64_t> content_ids_;
+  std::unordered_map<UserId, UserState> users_;
+};
+
+// ---------------------------------------------------------------------------
+// Sharded backend. Lock order: user shard -> dedup shard -> append mutex
+// (strictly nested inside the pipeline, never the other way), so there is
+// no cycle. A duplicate can be reported an instant before the winning
+// append is published to readers — the decisions are still identical to
+// some serialized order, which is all the monolithic lock guaranteed.
+// ---------------------------------------------------------------------------
+class ShardedStore final : public SignatureStore {
+ public:
+  explicit ShardedStore(const StoreOptions& options)
+      : users_(options.user_shards), dedup_(options.dedup_shards) {}
+
+  AddOutcome Add(UserId sender, std::int64_t day, const TopFrameKeys& tops,
+                 std::uint64_t content_id, const dimmunix::Signature& sig,
+                 TimePoint added_at, const Limits& limits) override {
+    return users_.With(sender, [&](UserState& state) {
+      return RunAddPipeline(
+          state, day, tops, limits,
+          [&] { return dedup_.TryInsert(content_id); },
+          [&] {
+            StoredSignature stored;
+            stored.bytes = sig.ToBytes();
+            stored.content_id = content_id;
+            stored.sender = sender;
+            stored.added_at = added_at;
+            log_.Append(std::move(stored));
+          });
+    });
+  }
+
+  void VisitRange(std::uint64_t from, std::uint64_t upto,
+                  const std::function<void(
+                      std::uint64_t, const std::vector<std::uint8_t>&)>& fn)
+      const override {
+    log_.Visit(from, upto, [&](std::uint64_t i, const StoredSignature& s) {
+      fn(i, s.bytes);
+    });
+  }
+
+  std::uint64_t size() const override { return log_.size(); }
+
+  Status SaveToFile(const std::string& path) const override {
+    BinaryWriter w;
+    // The committed prefix is immutable, so no lock is needed: entries
+    // appended after this size() load are simply not part of the save.
+    const std::uint64_t n = log_.size();
+    w.WriteU32(kDbMagic);
+    w.WriteU32(kDbVersion);
+    w.WriteU32(static_cast<std::uint32_t>(n));
+    log_.Visit(0, n, [&](std::uint64_t, const StoredSignature& s) {
+      WriteRecord(w, s);
+    });
+    return WriteDbFile(path, w);
+  }
+
+  Status LoadFromFile(const std::string& path) override {
+    std::vector<LoadedRecord> records;
+    if (auto s = ParseDbFile(path, records); !s.ok()) return s;
+    users_.Clear();
+    dedup_.Clear();
+    std::vector<StoredSignature> entries;
+    entries.reserve(records.size());
+    for (auto& rec : records) {
+      dedup_.TryInsert(rec.entry.content_id);
+      users_.With(rec.entry.sender, [&](UserState& state) {
+        state.accepted_top_sets.push_back(std::move(rec.tops));
+      });
+      entries.push_back(std::move(rec.entry));
+    }
+    log_.Reset(std::move(entries));
+    return Status::Ok();
+  }
+
+ private:
+  SignatureLog log_;
+  UserStateShards users_;
+  DedupIndex dedup_;
+};
+
+}  // namespace
+
+std::unique_ptr<SignatureStore> SignatureStore::Create(
+    const StoreOptions& options) {
+  if (options.backend == Backend::kMonolithic) {
+    return std::make_unique<MonolithicStore>();
+  }
+  return std::make_unique<ShardedStore>(options);
+}
+
+}  // namespace communix::store

@@ -1,0 +1,111 @@
+// Storage layer of the Communix server.
+//
+// The server (communix/server.*) is the validation *pipeline*: it decodes
+// sender tokens, checks signature well-formedness and maps outcomes to
+// wire statuses. Everything stateful — the signature database, the
+// per-user rate-limit/adjacency state, the dedup set and persistence —
+// lives behind this interface.
+//
+// Two backends implement the exact same §III-C decision procedure (the
+// shared pipeline in RunAddPipeline below is the single source of truth,
+// so accept/reject/duplicate outcomes and assigned GET indexes are
+// bit-identical for any serialized order of operations):
+//
+//   kMonolithic — the seed's layout: one shared_mutex over a vector, a
+//     set and a user map. Baseline for the Figure-2 comparison bench.
+//   kSharded    — SignatureLog (lock-free committed reads) +
+//     UserStateShards (per-user lock striping) + DedupIndex. Concurrent
+//     ADDs from different users never contend, and GET scans never block
+//     ADDs.
+//
+// The on-disk format is byte-identical to the seed server's
+// SaveToFile/LoadFromFile, and the two backends share it: a database
+// saved by either loads into the other, and clients' incremental GET(k)
+// cursors stay valid across restarts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "communix/ids.hpp"
+#include "communix/store/user_state_shards.hpp"
+#include "dimmunix/signature.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace communix::store {
+
+/// Union of the top-frame keys of every stack in `sig` (adjacency input).
+TopFrameKeys TopFrameSet(const dimmunix::Signature& sig);
+
+/// "Some (but not all) top frames in common" (§III-C2): nonempty
+/// intersection and the sets are not identical.
+bool Adjacent(const TopFrameKeys& a, const TopFrameKeys& b);
+
+/// Outcome of the store-side ADD decision procedure. The server maps
+/// these to wire statuses; bad-token and malformed rejections happen
+/// before the store is consulted.
+enum class AddOutcome {
+  kAccepted,
+  kDuplicate,
+  kRateLimited,
+  kAdjacent,
+};
+
+/// Knobs of the §III-C checks the store enforces.
+struct Limits {
+  std::size_t per_user_daily_limit = 10;
+  bool adjacency_check_enabled = true;
+};
+
+enum class Backend {
+  kSharded,
+  kMonolithic,
+};
+
+struct StoreOptions {
+  Backend backend = Backend::kSharded;
+  /// Lock stripes for per-user state / the dedup set (sharded backend
+  /// only; rounded up to powers of two).
+  std::size_t user_shards = 16;
+  std::size_t dedup_shards = 16;
+};
+
+class SignatureStore {
+ public:
+  virtual ~SignatureStore() = default;
+
+  /// Runs the stateful part of ADD validation for an already
+  /// authenticated, well-formed signature: day-quota, adjacency, dedup;
+  /// on acceptance commits the signature at the next index. `day` is the
+  /// caller's clock day, `tops` = TopFrameSet(sig), `content_id` =
+  /// sig.ContentId(). The signature is serialized only on acceptance —
+  /// rejection paths never pay for ToBytes().
+  virtual AddOutcome Add(UserId sender, std::int64_t day,
+                         const TopFrameKeys& tops, std::uint64_t content_id,
+                         const dimmunix::Signature& sig, TimePoint added_at,
+                         const Limits& limits) = 0;
+
+  /// Visits serialized signatures with index in [from, min(upto, size()))
+  /// in index order. On the sharded backend this never blocks writers.
+  virtual void VisitRange(
+      std::uint64_t from, std::uint64_t upto,
+      const std::function<void(std::uint64_t index,
+                               const std::vector<std::uint8_t>& sig_bytes)>&
+          fn) const = 0;
+
+  virtual std::uint64_t size() const = 0;
+
+  /// Persistence, format-compatible with the seed server's files.
+  virtual Status SaveToFile(const std::string& path) const = 0;
+  /// Restart-time only (like the seed's whole-db swap): not safe against
+  /// concurrent Add/Visit.
+  virtual Status LoadFromFile(const std::string& path) = 0;
+
+  static std::unique_ptr<SignatureStore> Create(const StoreOptions& options);
+};
+
+}  // namespace communix::store

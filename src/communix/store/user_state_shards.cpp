@@ -1,0 +1,29 @@
+#include "communix/store/user_state_shards.hpp"
+
+namespace communix::store {
+
+namespace {
+std::size_t RoundUpPow2(std::size_t n) {
+  if (n <= 1) return 1;
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+UserStateShards::UserStateShards(std::size_t num_shards) {
+  const std::size_t n = RoundUpPow2(num_shards);
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+void UserStateShards::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard lock(shard->mu);
+    shard->users.clear();
+  }
+}
+
+}  // namespace communix::store

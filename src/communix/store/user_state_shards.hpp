@@ -1,0 +1,78 @@
+// Lock-striped per-user validation state.
+//
+// The rate-limit and adjacency checks (§III-C1, §III-C2) are inherently
+// per-user: two ADDs from different users never need to observe each
+// other's state. The seed serialized them anyway behind the server-wide
+// mutex. Here users hash onto N independent shards (same idiom as lock
+// striping a latency-monitor array with atomics: contention-free unless
+// two requests actually collide on a shard), so concurrent ADDs from
+// different users proceed in parallel.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "communix/ids.hpp"
+
+namespace communix::store {
+
+/// Top-frame key sets of one signature (input to the adjacency check).
+using TopFrameKeys = std::unordered_set<std::uint64_t>;
+
+/// Per-user server-side validation state (§III-C).
+struct UserState {
+  /// Top-frame key sets of this user's accepted signatures.
+  std::vector<TopFrameKeys> accepted_top_sets;
+  std::int64_t day = -1;
+  std::size_t processed_today = 0;
+};
+
+class UserStateShards {
+ public:
+  /// `num_shards` is rounded up to a power of two (min 1).
+  explicit UserStateShards(std::size_t num_shards);
+
+  UserStateShards(const UserStateShards&) = delete;
+  UserStateShards& operator=(const UserStateShards&) = delete;
+
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Runs `fn(UserState&)` for `user` under that user's shard lock,
+  /// creating the state on first touch. Returns fn's result. Callers must
+  /// not re-enter UserStateShards from inside fn (the shard lock is held).
+  template <typename Fn>
+  auto With(UserId user, Fn&& fn) -> decltype(fn(std::declval<UserState&>())) {
+    Shard& shard = *shards_[ShardIndex(user)];
+    std::lock_guard lock(shard.mu);
+    return fn(shard.users[user]);
+  }
+
+  /// Drops all user state (LoadFromFile path; restart-time only).
+  void Clear();
+
+ private:
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<UserId, UserState> users;
+  };
+
+  std::size_t ShardIndex(UserId user) const {
+    // splitmix64 finalizer: user ids are often sequential, so mix before
+    // masking or all of them land in a handful of shards.
+    std::uint64_t x = user;
+    x ^= x >> 30;
+    x *= 0xBF58476D1CE4E5B9ULL;
+    x ^= x >> 27;
+    x *= 0x94D049BB133111EBULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x) & (shards_.size() - 1);
+  }
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace communix::store

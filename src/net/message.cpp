@@ -14,11 +14,43 @@ std::optional<Request> Request::Deserialize(
   BinaryReader r(bytes);
   Request req;
   const std::uint8_t t = r.ReadU8();
-  if (t > static_cast<std::uint8_t>(MsgType::kIssueId)) return std::nullopt;
+  if (t > static_cast<std::uint8_t>(MsgType::kAddBatch)) return std::nullopt;
   req.type = static_cast<MsgType>(t);
   req.payload = r.ReadBytes();
   if (!r.AtEnd()) return std::nullopt;
   return req;
+}
+
+Request BuildAddBatchRequest(
+    std::span<const std::uint8_t> token16,
+    std::span<const std::vector<std::uint8_t>> serialized_sigs) {
+  BinaryWriter w;
+  w.WriteRaw(token16);
+  w.WriteU32(static_cast<std::uint32_t>(serialized_sigs.size()));
+  for (const auto& sig : serialized_sigs) {
+    w.WriteBytes(std::span<const std::uint8_t>(sig.data(), sig.size()));
+  }
+  Request req;
+  req.type = MsgType::kAddBatch;
+  req.payload = w.take();
+  return req;
+}
+
+std::optional<std::vector<ErrorCode>> ParseAddBatchResponse(
+    const Response& resp) {
+  BinaryReader r(
+      std::span<const std::uint8_t>(resp.payload.data(), resp.payload.size()));
+  const std::uint32_t count = r.ReadU32();
+  // One byte per code: a count beyond the remaining payload is malformed
+  // (checked before the reserve so it can't force a giant allocation).
+  if (count > r.remaining()) return std::nullopt;
+  std::vector<ErrorCode> codes;
+  codes.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    codes.push_back(static_cast<ErrorCode>(r.ReadU8()));
+  }
+  if (!r.AtEnd()) return std::nullopt;
+  return codes;
 }
 
 std::vector<std::uint8_t> Response::Serialize() const {

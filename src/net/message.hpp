@@ -25,6 +25,9 @@ enum class MsgType : std::uint8_t {
   kAddSignature = 1,   // token (16 bytes) + serialized signature
   kGetSignatures = 2,  // u64 from_index
   kIssueId = 3,        // u64 requested user id (test/deploy convenience)
+  kAddBatch = 4,       // token (16 bytes) + u32 count + count length-prefixed
+                       // serialized signatures; reply payload is u32 count +
+                       // one status-code byte per signature, in order
 };
 
 struct Request {
@@ -47,6 +50,18 @@ struct Response {
   static std::optional<Response> Deserialize(
       std::span<const std::uint8_t> bytes);
 };
+
+/// Builds a kAddBatch request from a raw 16-byte sender token and the
+/// serialized signatures to upload (client side of the batched pipeline;
+/// the token stays a raw span so this layer needs no crypto types).
+Request BuildAddBatchRequest(
+    std::span<const std::uint8_t> token16,
+    std::span<const std::vector<std::uint8_t>> serialized_sigs);
+
+/// Parses a kAddBatch reply payload into the per-signature status codes,
+/// in upload order. nullopt if the payload is malformed.
+std::optional<std::vector<ErrorCode>> ParseAddBatchResponse(
+    const Response& resp);
 
 /// Server-side request processor (implemented by communix::CommunixServer).
 class RequestHandler {

@@ -1,11 +1,14 @@
 #include "net/tcp.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -46,6 +49,32 @@ Status ReadAll(int fd, std::uint8_t* data, std::size_t len) {
   return Status::Ok();
 }
 
+void SetNonBlocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Pool workers read/write connection sockets with blocking calls; a
+/// peer that stalls mid-frame must cost one worker a bounded time, not
+/// forever (idle connections wait in poll(), so this only fires on a
+/// half-sent frame or a reply the peer refuses to drain).
+constexpr int kConnIoTimeoutSeconds = 30;
+
+void SetIoTimeouts(int fd) {
+  timeval tv{};
+  tv.tv_sec = kConnIoTimeoutSeconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// True when at least one more byte is already buffered on `fd`
+/// (pipelined request behind the one just served).
+bool HasBufferedData(int fd) {
+  std::uint8_t byte = 0;
+  const ssize_t n = ::recv(fd, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+  return n > 0;
+}
+
 }  // namespace
 
 Status WriteFrame(int fd, std::span<const std::uint8_t> body) {
@@ -76,9 +105,16 @@ Result<std::vector<std::uint8_t>> ReadFrame(int fd, std::size_t max_size) {
 }
 
 TcpServer::TcpServer(RequestHandler& handler, std::uint16_t port)
-    : handler_(handler), port_(port) {}
+    : TcpServer(handler, Options{port, 0}) {}
+
+TcpServer::TcpServer(RequestHandler& handler, const Options& options)
+    : handler_(handler), options_(options), port_(options.port) {}
 
 TcpServer::~TcpServer() { Stop(); }
+
+std::size_t TcpServer::worker_threads() const {
+  return pool_ ? pool_->size() : 0;
+}
 
 Status TcpServer::Start() {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -95,12 +131,19 @@ Status TcpServer::Start() {
   addr.sin_port = htons(port_);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
       0) {
-    return Status::Error(ErrorCode::kUnavailable,
-                         std::string("bind: ") + std::strerror(errno));
+    const Status s = Status::Error(
+        ErrorCode::kUnavailable, std::string("bind: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
   }
   if (::listen(listen_fd_, 1024) < 0) {
-    return Status::Error(ErrorCode::kUnavailable,
-                         std::string("listen: ") + std::strerror(errno));
+    const Status s = Status::Error(
+        ErrorCode::kUnavailable,
+        std::string("listen: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
   }
   if (port_ == 0) {
     sockaddr_in bound{};
@@ -108,31 +151,113 @@ Status TcpServer::Start() {
     ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
     port_ = ntohs(bound.sin_port);
   }
+  if (::pipe(wake_pipe_) < 0) {
+    const Status s = Status::Error(
+        ErrorCode::kUnavailable, std::string("pipe: ") + std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return s;
+  }
+  SetNonBlocking(listen_fd_);
+  SetNonBlocking(wake_pipe_[0]);
+  // The write end too: Wake() must fail with EAGAIN on a full pipe (a
+  // pending byte already guarantees a wakeup), never block a worker.
+  SetNonBlocking(wake_pipe_[1]);
+
+  std::size_t workers = options_.worker_threads;
+  if (workers == 0) {
+    workers = std::max<std::size_t>(4, std::thread::hardware_concurrency());
+  }
+  pool_ = std::make_unique<ThreadPool>(workers);
   running_.store(true);
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  poll_thread_ = std::thread([this] { PollLoop(); });
   return Status::Ok();
 }
 
-void TcpServer::AcceptLoop() {
+void TcpServer::Wake() {
+  const std::uint8_t byte = 1;
+  // Best effort: a full pipe already guarantees a pending wakeup.
+  (void)!::write(wake_pipe_[1], &byte, 1);
+}
+
+void TcpServer::PollLoop() {
+  // Connections currently armed for readability. Owned by this thread;
+  // workers hand connections back through pending_rearm_.
+  std::vector<int> idle;
+
   while (running_.load()) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (!running_.load()) break;
+    std::vector<pollfd> fds;
+    fds.reserve(idle.size() + 2);
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    fds.push_back({listen_fd_, POLLIN, 0});
+    for (int fd : idle) fds.push_back({fd, POLLIN, 0});
+
+    if (::poll(fds.data(), fds.size(), -1) < 0) {
       if (errno == EINTR) continue;
       break;
     }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    std::lock_guard lock(conns_mu_);
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back([this, fd] { ServeConnection(fd); });
+    if (!running_.load()) break;
+
+    // The poll set for the next iteration: connections that stayed quiet
+    // this round, plus fresh accepts and worker re-arms.
+    std::vector<int> next_idle;
+    next_idle.reserve(idle.size() + 4);
+
+    if (fds[0].revents != 0) {
+      std::uint8_t drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+      std::vector<int> rearm;
+      std::vector<int> close_list;
+      {
+        std::lock_guard lock(mu_);
+        rearm.swap(pending_rearm_);
+        close_list.swap(pending_close_);
+      }
+      for (int fd : close_list) CloseConn(fd);
+      for (int fd : rearm) next_idle.push_back(fd);
+    }
+
+    if (fds[1].revents != 0) {
+      for (;;) {
+        const int fd = ::accept(listen_fd_, nullptr, nullptr);
+        if (fd < 0) break;  // EAGAIN (drained) or shutdown
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        SetIoTimeouts(fd);
+        {
+          std::lock_guard lock(mu_);
+          conn_fds_.insert(fd);
+        }
+        next_idle.push_back(fd);
+      }
+    }
+
+    // Hand every readable (or hung-up) connection to the pool; it leaves
+    // the poll set until the worker re-arms it, so each connection has at
+    // most one worker and replies stay in request order.
+    for (std::size_t i = 2; i < fds.size(); ++i) {
+      if (fds[i].revents != 0) {
+        const int fd = fds[i].fd;
+        if (!pool_->Submit([this, fd] { ServeReadable(fd); })) {
+          CloseConn(fd);
+        }
+      } else {
+        next_idle.push_back(fds[i].fd);
+      }
+    }
+    idle = std::move(next_idle);
   }
 }
 
-void TcpServer::ServeConnection(int fd) {
-  while (running_.load()) {
+void TcpServer::ServeReadable(int fd) {
+  bool drop = false;
+  do {
     auto frame = ReadFrame(fd, kMaxFrameSize);
-    if (!frame.ok()) break;
+    if (!frame.ok()) {
+      drop = true;
+      break;
+    }
     auto request = Request::Deserialize(std::span<const std::uint8_t>(
         frame.value().data(), frame.value().size()));
     Response response;
@@ -143,13 +268,34 @@ void TcpServer::ServeConnection(int fd) {
       response = handler_.Handle(*request);
     }
     const auto out = response.Serialize();
-    if (auto s = WriteFrame(fd, std::span<const std::uint8_t>(out.data(),
-                                                              out.size()));
+    if (auto s = WriteFrame(
+            fd, std::span<const std::uint8_t>(out.data(), out.size()));
         !s.ok()) {
+      drop = true;
       break;
     }
+    // Keep draining while the client has pipelined more request bytes;
+    // otherwise give the worker back and let poll() watch the socket.
+  } while (HasBufferedData(fd));
+
+  {
+    std::lock_guard lock(mu_);
+    if (drop) {
+      pending_close_.push_back(fd);
+    } else {
+      pending_rearm_.push_back(fd);
+    }
   }
-  ::close(fd);
+  Wake();
+}
+
+void TcpServer::CloseConn(int fd) {
+  bool do_close = false;
+  {
+    std::lock_guard lock(mu_);
+    do_close = conn_fds_.erase(fd) > 0;
+  }
+  if (do_close) ::close(fd);
 }
 
 void TcpServer::Stop() {
@@ -160,21 +306,31 @@ void TcpServer::Stop() {
     }
     return;
   }
-  // Unblock accept() and connection reads.
+  // Unblock accept()/poll() and in-flight connection reads.
   ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  Wake();
+  if (poll_thread_.joinable()) poll_thread_.join();
   {
-    std::lock_guard lock(conns_mu_);
+    std::lock_guard lock(mu_);
     for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::lock_guard lock(conns_mu_);
-  for (auto& t : conn_threads_) {
-    if (t.joinable()) t.join();
+  // Queued/in-flight workers fail their reads fast now; drain them all.
+  pool_->Shutdown();
+
+  std::vector<int> leftovers;
+  {
+    std::lock_guard lock(mu_);
+    leftovers.assign(conn_fds_.begin(), conn_fds_.end());
+    pending_rearm_.clear();
+    pending_close_.clear();
   }
-  conn_threads_.clear();
-  conn_fds_.clear();
+  for (int fd : leftovers) CloseConn(fd);
+
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::close(wake_pipe_[0]);
+  ::close(wake_pipe_[1]);
+  wake_pipe_[0] = wake_pipe_[1] = -1;
 }
 
 TcpClient::~TcpClient() { Close(); }
@@ -211,15 +367,18 @@ void TcpClient::Close() {
   }
 }
 
-Result<Response> TcpClient::Call(const Request& request) {
+Status TcpClient::Send(const Request& request) {
   if (fd_ < 0) {
     return Status::Error(ErrorCode::kFailedPrecondition, "not connected");
   }
   const auto out = request.Serialize();
-  if (auto s =
-          WriteFrame(fd_, std::span<const std::uint8_t>(out.data(), out.size()));
-      !s.ok()) {
-    return s;
+  return WriteFrame(fd_,
+                    std::span<const std::uint8_t>(out.data(), out.size()));
+}
+
+Result<Response> TcpClient::Receive() {
+  if (fd_ < 0) {
+    return Status::Error(ErrorCode::kFailedPrecondition, "not connected");
   }
   auto frame = ReadFrame(fd_, kMaxFrameSize);
   if (!frame.ok()) return frame.status();
@@ -229,6 +388,11 @@ Result<Response> TcpClient::Call(const Request& request) {
     return Status::Error(ErrorCode::kDataLoss, "malformed response");
   }
   return *response;
+}
+
+Result<Response> TcpClient::Call(const Request& request) {
+  if (auto s = Send(request); !s.ok()) return s;
+  return Receive();
 }
 
 }  // namespace communix::net

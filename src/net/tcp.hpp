@@ -2,54 +2,88 @@
 //
 // Figure 3 measures the whole signature-distribution pipeline over a real
 // network stack: N client threads issuing "ADD(sig),GET(0)" sequences
-// against the server. This is a minimal length-prefixed RPC over TCP:
-// persistent connections, one in-flight request per connection.
+// against the server. This is a minimal length-prefixed RPC over TCP with
+// persistent connections.
+//
+// The server multiplexes all connections over a poll(2) dispatcher plus a
+// bounded ThreadPool instead of one dedicated thread per connection:
+// a connection with a readable socket is handed to a pool worker, which
+// drains every fully buffered request frame (pipelining: a client may
+// send many frames before reading any reply; replies come back in order),
+// then re-arms the connection with the dispatcher. 10k mostly idle
+// connections therefore cost 10k fds, not 10k threads.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "net/message.hpp"
+#include "util/thread_pool.hpp"
 
 namespace communix::net {
 
-/// Serves a RequestHandler on a TCP port. Each accepted connection gets a
-/// dedicated thread that loops: read frame -> handle -> write frame.
+/// Serves a RequestHandler on a TCP port.
 class TcpServer {
  public:
-  /// `port` 0 picks an ephemeral port (see port()).
+  struct Options {
+    /// 0 picks an ephemeral port (see port()).
+    std::uint16_t port = 0;
+    /// Pool workers handling request frames; 0 = max(4, hw concurrency).
+    std::size_t worker_threads = 0;
+  };
+
   TcpServer(RequestHandler& handler, std::uint16_t port = 0);
+  TcpServer(RequestHandler& handler, const Options& options);
   ~TcpServer();
 
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  /// Binds, listens and starts the accept loop.
+  /// Binds, listens and starts the dispatcher + worker pool.
   Status Start();
-  /// Stops accepting, closes all connections, joins threads.
+  /// Stops accepting, closes all connections, joins dispatcher + workers.
   void Stop();
 
   std::uint16_t port() const { return port_; }
   bool running() const { return running_.load(); }
+  std::size_t worker_threads() const;
 
  private:
-  void AcceptLoop();
-  void ServeConnection(int fd);
+  void PollLoop();
+  /// Pool task: drain buffered request frames on `fd`, then re-arm it.
+  void ServeReadable(int fd);
+  /// Closes `fd` exactly once (registry-guarded against double close).
+  void CloseConn(int fd);
+  /// Pokes the dispatcher out of poll().
+  void Wake();
 
   RequestHandler& handler_;
+  Options options_;
   std::uint16_t port_;
   int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
   std::atomic<bool> running_{false};
-  std::thread accept_thread_;
-  std::mutex conns_mu_;
-  std::vector<std::thread> conn_threads_;
-  std::vector<int> conn_fds_;
+  std::thread poll_thread_;
+  std::unique_ptr<ThreadPool> pool_;
+
+  std::mutex mu_;
+  /// Every live connection fd (armed or being served); Stop() shuts these
+  /// down to unblock workers mid-read.
+  std::unordered_set<int> conn_fds_;
+  /// Served connections waiting to rejoin the poll set / to be closed.
+  std::vector<int> pending_rearm_;
+  std::vector<int> pending_close_;
 };
 
-/// Blocking TCP client; one outstanding request at a time.
+/// Blocking TCP client. Call() is the one-outstanding-request path;
+/// Send()/Receive() split the round trip so callers can pipeline several
+/// requests on one connection (replies arrive in request order).
 class TcpClient final : public ClientTransport {
  public:
   TcpClient() = default;
@@ -62,6 +96,8 @@ class TcpClient final : public ClientTransport {
   void Close();
   bool connected() const { return fd_ >= 0; }
 
+  Status Send(const Request& request);
+  Result<Response> Receive();
   Result<Response> Call(const Request& request) override;
 
  private:

@@ -229,6 +229,93 @@ TEST_F(ServerTest, WireProtocolRejectsMalformedAdd) {
   EXPECT_EQ(result.value().code, ErrorCode::kInvalidArgument);
 }
 
+TEST_F(ServerTest, AddBatchMatchesSequentialAdds) {
+  const std::vector<Signature> sigs = {MakeSig(1000), MakeSig(2000),
+                                       MakeSig(1000), MakeSig(3000)};
+  const auto statuses = server_.AddBatch(
+      token_, std::span<const Signature>(sigs.data(), sigs.size()));
+  ASSERT_EQ(statuses.size(), 4u);
+  EXPECT_TRUE(statuses[0].ok());
+  EXPECT_TRUE(statuses[1].ok());
+  EXPECT_EQ(statuses[2].code(), ErrorCode::kAlreadyExists);
+  EXPECT_TRUE(statuses[3].ok());
+  EXPECT_EQ(server_.db_size(), 3u);
+  const auto stats = server_.GetStats();
+  EXPECT_EQ(stats.adds_accepted, 3u);
+  EXPECT_EQ(stats.adds_duplicate, 1u);
+}
+
+TEST_F(ServerTest, AddBatchBadTokenRejectsEveryItem) {
+  UserToken forged{};
+  forged[0] = 0xAA;
+  const std::vector<Signature> sigs = {MakeSig(1000), MakeSig(2000)};
+  const auto statuses = server_.AddBatch(
+      forged, std::span<const Signature>(sigs.data(), sigs.size()));
+  ASSERT_EQ(statuses.size(), 2u);
+  for (const Status& s : statuses) {
+    EXPECT_EQ(s.code(), ErrorCode::kPermissionDenied);
+  }
+  EXPECT_EQ(server_.db_size(), 0u);
+  EXPECT_EQ(server_.GetStats().rejected_bad_token, 2u);
+}
+
+TEST_F(ServerTest, WireProtocolAddBatch) {
+  net::InprocTransport transport(server_);
+  std::vector<std::vector<std::uint8_t>> serialized;
+  for (std::uint32_t salt : {1000u, 2000u, 1000u}) {
+    serialized.push_back(MakeSig(salt).ToBytes());
+  }
+  const net::Request req = net::BuildAddBatchRequest(
+      std::span<const std::uint8_t>(token_.data(), token_.size()),
+      std::span<const std::vector<std::uint8_t>>(serialized.data(),
+                                                 serialized.size()));
+  auto result = transport.Call(req);
+  ASSERT_TRUE(result.ok());
+  ASSERT_TRUE(result.value().ok()) << result.value().error;
+  const auto codes = net::ParseAddBatchResponse(result.value());
+  ASSERT_TRUE(codes.has_value());
+  ASSERT_EQ(codes->size(), 3u);
+  EXPECT_EQ((*codes)[0], ErrorCode::kOk);
+  EXPECT_EQ((*codes)[1], ErrorCode::kOk);
+  EXPECT_EQ((*codes)[2], ErrorCode::kAlreadyExists);
+  EXPECT_EQ(server_.db_size(), 2u);
+}
+
+TEST_F(ServerTest, WireProtocolRejectsMalformedAddBatch) {
+  net::InprocTransport transport(server_);
+  // Truncated: claims 2 signatures, carries half of one.
+  BinaryWriter w;
+  w.WriteRaw(std::span<const std::uint8_t>(token_.data(), token_.size()));
+  w.WriteU32(2);
+  w.WriteU32(1000);  // bogus length prefix with no body
+  net::Request req;
+  req.type = net::MsgType::kAddBatch;
+  req.payload = w.take();
+  auto result = transport.Call(req);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(server_.db_size(), 0u);
+  EXPECT_EQ(server_.GetStats().rejected_malformed, 1u);
+}
+
+TEST_F(ServerTest, RejectionPathsAreLockFreeAndCounted) {
+  // Regression for the seed's lock-taking early exits: each rejection
+  // path must bump exactly its own counter.
+  UserToken forged{};
+  forged[7] = 0x11;
+  (void)server_.AddSignature(forged, MakeSig(0));
+
+  std::vector<dimmunix::SignatureEntry> one;
+  one.push_back({ChainStack("x.A", 6, F("x.A", "s", 1)),
+                 ChainStack("x.A", 6, F("x.A", "i", 2))});
+  (void)server_.AddSignature(token_, Signature(std::move(one)));
+
+  const auto stats = server_.GetStats();
+  EXPECT_EQ(stats.rejected_bad_token, 1u);
+  EXPECT_EQ(stats.rejected_malformed, 1u);
+  EXPECT_EQ(stats.adds_accepted, 0u);
+}
+
 TEST_F(ServerTest, ConcurrentAddsAndGetsAreSafe) {
   constexpr int kThreads = 8;
   std::vector<std::thread> threads;

@@ -1,0 +1,206 @@
+// Property test: the sharded and monolithic store backends make
+// bit-identical validation decisions. Random ADD/GET interleavings —
+// including token forgeries, duplicates, adjacency collisions, rate-limit
+// pressure and day rollovers — are applied to servers over every backend
+// configuration; per-op statuses, Stats totals, DB contents and index
+// order must agree regardless of shard count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "../testutil.hpp"
+#include "communix/server.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace communix {
+namespace {
+
+using dimmunix::Signature;
+using testutil::ChainStack;
+using testutil::F;
+using testutil::Sig2;
+
+struct Config {
+  store::Backend backend;
+  std::size_t shards;
+};
+
+std::vector<Config> Configs() {
+  return {{store::Backend::kMonolithic, 0},
+          {store::Backend::kSharded, 1},
+          {store::Backend::kSharded, 4},
+          {store::Backend::kSharded, 16}};
+}
+
+CommunixServer::Options MakeOptions(const Config& config) {
+  CommunixServer::Options opts;
+  opts.store.backend = config.backend;
+  opts.store.user_shards = config.shards;
+  opts.store.dedup_shards = config.shards;
+  return opts;
+}
+
+/// A signature whose top-frame lines come from a small pool, so random
+/// picks collide: same salt twice = exact duplicate, overlapping salts =
+/// adjacent (some-but-not-all shared tops), disjoint salts = accepted.
+Signature PooledSig(std::uint32_t a, std::uint32_t b) {
+  return Sig2(ChainStack("eq.A", 6, F("eq.A", "s", 10 + a)),
+              ChainStack("eq.A", 6, F("eq.A", "i", 500 + a)),
+              ChainStack("eq.B", 6, F("eq.B", "s", 10 + b)),
+              ChainStack("eq.B", 6, F("eq.B", "i", 500 + b)));
+}
+
+bool StatsEqual(const CommunixServer::Stats& x,
+                const CommunixServer::Stats& y) {
+  return x.adds_accepted == y.adds_accepted &&
+         x.adds_duplicate == y.adds_duplicate &&
+         x.rejected_bad_token == y.rejected_bad_token &&
+         x.rejected_rate_limited == y.rejected_rate_limited &&
+         x.rejected_adjacent == y.rejected_adjacent &&
+         x.rejected_malformed == y.rejected_malformed &&
+         x.gets_served == y.gets_served;
+}
+
+TEST(StoreEquivalenceTest, RandomInterleavingsAgreeAcrossShardCounts) {
+  constexpr int kOps = 4'000;
+  constexpr int kUsers = 12;
+  constexpr std::uint32_t kTopPool = 40;
+
+  const auto configs = Configs();
+  std::vector<std::unique_ptr<VirtualClock>> clocks;
+  std::vector<std::unique_ptr<CommunixServer>> servers;
+  for (const Config& config : configs) {
+    auto opts = MakeOptions(config);
+    // A tight quota makes rate-limit rejections common in the mix.
+    opts.per_user_daily_limit = 2;
+    clocks.push_back(std::make_unique<VirtualClock>());
+    servers.push_back(
+        std::make_unique<CommunixServer>(*clocks.back(), opts));
+  }
+
+  Rng rng(0xE0E0);
+  for (int op = 0; op < kOps; ++op) {
+    const std::uint32_t kind = rng.NextBounded(100);
+    if (kind < 70) {
+      // ADD with a pooled signature; occasionally a forged token.
+      const UserId user = 1 + rng.NextBounded(kUsers);
+      const std::uint32_t a = rng.NextBounded(kTopPool);
+      const std::uint32_t b = rng.NextBounded(kTopPool);
+      const bool forge = rng.NextBounded(20) == 0;
+      const Signature sig = PooledSig(a, b);
+      Status first = Status::Ok();
+      for (std::size_t s = 0; s < servers.size(); ++s) {
+        UserToken token = servers[s]->IssueToken(user);
+        if (forge) token[3] ^= 0x5A;
+        const Status got = servers[s]->AddSignature(token, sig);
+        if (s == 0) {
+          first = got;
+        } else {
+          ASSERT_EQ(got.code(), first.code())
+              << "op " << op << " backend " << s;
+        }
+      }
+    } else if (kind < 90) {
+      // GET(k): identical suffix on every backend.
+      const std::uint64_t size = servers[0]->db_size();
+      const std::uint64_t from = size == 0 ? 0 : rng.NextBounded(
+          static_cast<std::uint32_t>(size + 1));
+      const auto expect = servers[0]->GetSince(from);
+      for (std::size_t s = 1; s < servers.size(); ++s) {
+        ASSERT_EQ(servers[s]->GetSince(from), expect) << "op " << op;
+      }
+    } else if (kind < 97) {
+      // Batched ADD of 1-4 pooled signatures.
+      const UserId user = 1 + rng.NextBounded(kUsers);
+      std::vector<Signature> sigs;
+      const std::uint32_t n = 1 + rng.NextBounded(4);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        sigs.push_back(PooledSig(rng.NextBounded(kTopPool),
+                                 rng.NextBounded(kTopPool)));
+      }
+      std::vector<Status> first;
+      for (std::size_t s = 0; s < servers.size(); ++s) {
+        const auto got = servers[s]->AddBatch(
+            servers[s]->IssueToken(user),
+            std::span<const Signature>(sigs.data(), sigs.size()));
+        if (s == 0) {
+          first = got;
+        } else {
+          ASSERT_EQ(got.size(), first.size());
+          for (std::size_t i = 0; i < got.size(); ++i) {
+            ASSERT_EQ(got[i].code(), first[i].code()) << "op " << op;
+          }
+        }
+      }
+    } else {
+      // Day rollover: quotas reset identically.
+      for (auto& clock : clocks) clock->AdvanceDays(1.0);
+    }
+  }
+
+  const auto expect_stats = servers[0]->GetStats();
+  const auto expect_db = servers[0]->GetSince(0);
+  EXPECT_GT(expect_stats.adds_accepted, 0u);
+  EXPECT_GT(expect_stats.adds_duplicate, 0u);
+  EXPECT_GT(expect_stats.rejected_adjacent, 0u);
+  EXPECT_GT(expect_stats.rejected_rate_limited, 0u);
+  EXPECT_GT(expect_stats.rejected_bad_token, 0u);
+  for (std::size_t s = 1; s < servers.size(); ++s) {
+    EXPECT_TRUE(StatsEqual(servers[s]->GetStats(), expect_stats))
+        << "backend " << s;
+    EXPECT_EQ(servers[s]->GetSince(0), expect_db) << "backend " << s;
+  }
+}
+
+TEST(StoreEquivalenceTest, ConcurrentDisjointLoadYieldsIdenticalTotals) {
+  // Under real concurrency the interleaving is nondeterministic, but with
+  // per-user disjoint workloads and globally unique contents the decision
+  // totals are not: every ADD must be accepted on every backend, and the
+  // final databases must hold the same multiset of signatures.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 250;
+
+  std::vector<std::vector<std::vector<std::uint8_t>>> dbs;
+  std::vector<CommunixServer::Stats> stats;
+  for (const Config& config : Configs()) {
+    VirtualClock clock;
+    auto opts = MakeOptions(config);
+    opts.per_user_daily_limit = 1'000'000;
+    CommunixServer server(clock, opts);
+    std::atomic<int> accepted{0};
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        const UserToken token =
+            server.IssueToken(static_cast<UserId>(t + 1));
+        for (int i = 0; i < kPerThread; ++i) {
+          // Disjoint line pools per thread: never adjacent, never dup.
+          const std::uint32_t salt =
+              static_cast<std::uint32_t>(10'000 + t * 100'000 + i * 10);
+          const Signature sig =
+              Sig2(ChainStack("cc.A", 6, F("cc.A", "s", salt)),
+                   ChainStack("cc.A", 6, F("cc.A", "i", salt + 1)),
+                   ChainStack("cc.B", 6, F("cc.B", "s", salt + 2)),
+                   ChainStack("cc.B", 6, F("cc.B", "i", salt + 3)));
+          if (server.AddSignature(token, sig).ok()) accepted.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_EQ(accepted.load(), kThreads * kPerThread);
+
+    auto db = server.GetSince(0);
+    std::sort(db.begin(), db.end());
+    dbs.push_back(std::move(db));
+    stats.push_back(server.GetStats());
+  }
+  for (std::size_t s = 1; s < dbs.size(); ++s) {
+    EXPECT_EQ(dbs[s], dbs[0]) << "backend " << s;
+    EXPECT_TRUE(StatsEqual(stats[s], stats[0])) << "backend " << s;
+  }
+}
+
+}  // namespace
+}  // namespace communix

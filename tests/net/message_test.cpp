@@ -84,5 +84,77 @@ TEST(MessageTest, ResponseRejectsTruncation) {
   }
 }
 
+TEST(MessageTest, AddBatchTypeIsValidOnTheWire) {
+  Request req;
+  req.type = MsgType::kAddBatch;
+  req.payload = {1, 2, 3};
+  const auto bytes = req.Serialize();
+  const auto back = Request::Deserialize(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->type, MsgType::kAddBatch);
+
+  // The next enum slot is still rejected.
+  auto corrupted = bytes;
+  corrupted[0] = static_cast<std::uint8_t>(MsgType::kAddBatch) + 1;
+  EXPECT_FALSE(Request::Deserialize(std::span<const std::uint8_t>(
+                   corrupted.data(), corrupted.size()))
+                   .has_value());
+}
+
+TEST(MessageTest, BuildAddBatchRequestLayout) {
+  const std::vector<std::uint8_t> token(16, 0xAB);
+  const std::vector<std::vector<std::uint8_t>> sigs = {{1, 2, 3}, {}, {9}};
+  const Request req = BuildAddBatchRequest(
+      std::span<const std::uint8_t>(token.data(), token.size()),
+      std::span<const std::vector<std::uint8_t>>(sigs.data(), sigs.size()));
+  EXPECT_EQ(req.type, MsgType::kAddBatch);
+
+  BinaryReader r(std::span<const std::uint8_t>(req.payload.data(),
+                                               req.payload.size()));
+  EXPECT_EQ(r.ReadRaw(16), token);
+  ASSERT_EQ(r.ReadU32(), 3u);
+  EXPECT_EQ(r.ReadBytes(), sigs[0]);
+  EXPECT_EQ(r.ReadBytes(), sigs[1]);
+  EXPECT_EQ(r.ReadBytes(), sigs[2]);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(MessageTest, ParseAddBatchResponseRoundTrip) {
+  Response resp;
+  BinaryWriter w;
+  w.WriteU32(3);
+  w.WriteU8(static_cast<std::uint8_t>(ErrorCode::kOk));
+  w.WriteU8(static_cast<std::uint8_t>(ErrorCode::kAlreadyExists));
+  w.WriteU8(static_cast<std::uint8_t>(ErrorCode::kPermissionDenied));
+  resp.payload = w.take();
+
+  const auto codes = ParseAddBatchResponse(resp);
+  ASSERT_TRUE(codes.has_value());
+  ASSERT_EQ(codes->size(), 3u);
+  EXPECT_EQ((*codes)[0], ErrorCode::kOk);
+  EXPECT_EQ((*codes)[1], ErrorCode::kAlreadyExists);
+  EXPECT_EQ((*codes)[2], ErrorCode::kPermissionDenied);
+}
+
+TEST(MessageTest, ParseAddBatchResponseRejectsTrailingGarbage) {
+  Response resp;
+  BinaryWriter w;
+  w.WriteU32(1);
+  w.WriteU8(0);
+  w.WriteU8(77);  // stray byte
+  resp.payload = w.take();
+  EXPECT_FALSE(ParseAddBatchResponse(resp).has_value());
+}
+
+TEST(MessageTest, ParseAddBatchResponseRejectsTruncation) {
+  Response resp;
+  BinaryWriter w;
+  w.WriteU32(4);
+  w.WriteU8(0);  // claims 4 codes, carries 1
+  resp.payload = w.take();
+  EXPECT_FALSE(ParseAddBatchResponse(resp).has_value());
+}
+
 }  // namespace
 }  // namespace communix::net

@@ -67,7 +67,13 @@ TEST(ContendedWorkloadTest, AttackSignaturesTriggerAvoidance) {
   // Every critical iteration takes the canonical path, so depth-5
   // signatures match deterministically.
   cfg.alternate_path_fraction = 0.0;
-  cfg.iterations_per_thread = 500;
+  // A suspension needs two threads to *overlap* inside an attacked
+  // region. On a single-core host that overlap only comes from the
+  // scheduler preempting a thread mid-region, so make the regions wide
+  // and the run long enough that at least one preemption lands inside.
+  cfg.iterations_per_thread = 5'000;
+  cfg.work_inside = 40;
+  cfg.work_inner = 15;
   ContendedWorkload wl(app, cfg);
   VirtualClock clock;
   DimmunixRuntime::Options opts;

@@ -81,5 +81,90 @@ TEST(ThreadPoolTest, DoubleShutdownIsSafe) {
   SUCCEED();
 }
 
+TEST(ThreadPoolTest, WaitDuringConcurrentSubmits) {
+  // Wait() racing with submitters: every Wait() must return (no wedge),
+  // and once the submitters are done a final Wait() observes every task.
+  ThreadPool pool(4);
+  std::atomic<int> executed{0};
+  std::atomic<int> submitted{0};
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 500;
+
+  std::vector<std::thread> submitters;
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&] {
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        if (pool.Submit([&] { executed.fetch_add(1); })) {
+          submitted.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Interleave Wait() calls with the submissions.
+  for (int i = 0; i < 20; ++i) {
+    pool.Wait();
+  }
+  for (auto& t : submitters) t.join();
+  pool.Wait();
+  EXPECT_EQ(executed.load(), submitted.load());
+  EXPECT_EQ(submitted.load(), kSubmitters * kPerSubmitter);
+}
+
+TEST(ThreadPoolTest, ShutdownDuringConcurrentSubmits) {
+  // Submitters racing with Shutdown(): whatever Submit() accepted must
+  // execute, whatever it refused must not; no crash, no deadlock.
+  for (int round = 0; round < 10; ++round) {
+    ThreadPool pool(2);
+    std::atomic<int> executed{0};
+    std::atomic<int> accepted{0};
+    std::atomic<bool> go{false};
+    constexpr int kSubmitters = 4;
+
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < kSubmitters; ++s) {
+      submitters.emplace_back([&] {
+        while (!go.load()) {
+        }
+        for (int i = 0; i < 200; ++i) {
+          if (pool.Submit([&] { executed.fetch_add(1); })) {
+            accepted.fetch_add(1);
+          }
+        }
+      });
+    }
+    go.store(true);
+    std::this_thread::sleep_for(std::chrono::microseconds(50 * round));
+    pool.Shutdown();
+    for (auto& t : submitters) t.join();
+    EXPECT_EQ(executed.load(), accepted.load()) << "round " << round;
+  }
+}
+
+TEST(ThreadPoolTest, ResubmittingTasksDrainCompletely) {
+  // The pipelined TCP dispatch pattern: a task finishes its slice of work
+  // and re-submits a continuation (the "re-arm"). Chains of continuations
+  // from many logical connections must all run to completion under a
+  // small pool, and Wait() must not return early between links (the
+  // running link is in_flight while it submits the next one).
+  ThreadPool pool(3);
+  constexpr int kConnections = 32;
+  constexpr int kChainLength = 50;
+  std::atomic<int> completed_links{0};
+
+  std::function<void(int)> link = [&](int remaining) {
+    completed_links.fetch_add(1);
+    if (remaining > 1) {
+      // If this Submit were refused the final count would betray it.
+      pool.Submit([&, remaining] { link(remaining - 1); });
+    }
+  };
+  for (int c = 0; c < kConnections; ++c) {
+    ASSERT_TRUE(pool.Submit([&] { link(kChainLength); }));
+  }
+  pool.Wait();
+  EXPECT_EQ(completed_links.load(), kConnections * kChainLength);
+  pool.Shutdown();
+}
+
 }  // namespace
 }  // namespace communix

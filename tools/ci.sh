@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 verify (configure + build + full ctest) followed
+# by the Figure-2 server bench in smoke mode with the sharded-vs-
+# monolithic comparison, recording the perf trajectory in BENCH_fig2.json
+# at the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+cmake -B build -S .
+cmake --build build -j"${JOBS}"
+ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+./build/fig2_server_throughput --smoke --compare --json=BENCH_fig2.json
+echo "ci: wrote $(pwd)/BENCH_fig2.json"
