@@ -97,31 +97,54 @@ CommunixAgent::Verdict CommunixAgent::ValidateAndTrim(Signature& sig) const {
 }
 
 bool CommunixAgent::Generalize(const Signature& sig) {
-  bool merged = false;
+  ScanReport report;
+  InstallBatch({sig}, &report);
+  return report.merged > 0;
+}
+
+void CommunixAgent::InstallBatch(std::vector<Signature> sigs,
+                                 ScanReport* report) {
+  if (sigs.empty()) return;
+  // One WithHistory call = one index republish: the runtime rebuilds and
+  // re-publishes its avoidance index when this returns, so a startup scan
+  // of N signatures costs one rebuild instead of N.
   runtime_.WithHistory([&](dimmunix::History& history) {
-    for (std::size_t idx : history.FindByBugKey(sig.BugKey())) {
-      const auto& rec = history.record(idx);
-      // Merge rule (§III-D): only local+local merges may go below depth
-      // 5; every signature the agent installs is remote, so the result
-      // must keep outer depth >= min_outer_depth — an attacker cannot
-      // exploit generalization to shear stacks down to the top frames.
-      // (Local/local merging happens in Dimmunix itself, not here.)
-      (void)rec.origin;
-      auto result = Signature::Merge(rec.sig, sig, options_.min_outer_depth);
-      if (result) {
-        history.Replace(idx, std::move(*result));
-        merged = true;
-        return;
+    for (Signature& sig : sigs) {
+      bool merged = false;
+      for (std::size_t idx : history.FindByBugKey(sig.BugKey())) {
+        const auto& rec = history.record(idx);
+        // Merge rule (§III-D): only local+local merges may go below depth
+        // 5; every signature the agent installs is remote, so the result
+        // must keep outer depth >= min_outer_depth — an attacker cannot
+        // exploit generalization to shear stacks down to the top frames.
+        // (Local/local merging happens in Dimmunix itself, not here.)
+        (void)rec.origin;
+        auto result = Signature::Merge(rec.sig, sig, options_.min_outer_depth);
+        if (result) {
+          history.Replace(idx, std::move(*result));
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        history.Add(std::move(sig), SignatureOrigin::kRemote,
+                    runtime_.clock().Now());
+      }
+      if (merged) {
+        ++report->merged;
+      } else {
+        ++report->added;
       }
     }
-    history.Add(sig, SignatureOrigin::kRemote,
-                runtime_.clock().Now());
   });
-  return merged;
 }
 
 CommunixAgent::ScanReport CommunixAgent::ProcessState(SigState state) {
   ScanReport report;
+  // Validation needs no history access, so the scan stages accepted
+  // signatures and installs them afterwards in one batch — the runtime's
+  // workload threads see a single index republish, not one per entry.
+  std::vector<Signature> accepted;
   repo_.ForEachInState(state, [&](std::size_t,
                                   const LocalRepository::Entry& entry)
                                   -> SigState {
@@ -149,13 +172,10 @@ CommunixAgent::ScanReport CommunixAgent::ProcessState(SigState state) {
         break;
     }
     ++report.accepted;
-    if (Generalize(*sig)) {
-      ++report.merged;
-    } else {
-      ++report.added;
-    }
+    accepted.push_back(std::move(*sig));
     return SigState::kAccepted;
   });
+  InstallBatch(std::move(accepted), &report);
   return report;
 }
 

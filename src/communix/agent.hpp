@@ -109,6 +109,12 @@ class CommunixAgent {
   /// Returns true if merged, false if added as new.
   bool Generalize(const dimmunix::Signature& sig);
 
+  /// Installs a batch of validated signatures under ONE runtime history
+  /// mutation (one avoidance-index republish), counting merges/adds into
+  /// `report`. Signatures are applied in order, so later batch members
+  /// can merge into earlier ones exactly as sequential installs would.
+  void InstallBatch(std::vector<dimmunix::Signature> sigs, ScanReport* report);
+
   void RebuildNestedKeySet();
 
   dimmunix::DimmunixRuntime& runtime_;

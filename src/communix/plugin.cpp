@@ -12,8 +12,30 @@ using dimmunix::SignatureEntry;
 CommunixPlugin::CommunixPlugin(dimmunix::DimmunixRuntime& runtime,
                                const bytecode::Program& app,
                                net::ClientTransport& transport,
-                               UserToken token)
-    : runtime_(runtime), app_(app), transport_(transport), token_(token) {}
+                               UserToken token, Options options)
+    : runtime_(runtime),
+      app_(app),
+      transport_(transport),
+      token_(token),
+      options_(std::move(options)) {}
+
+bool CommunixPlugin::SyncHistory() {
+  if (options_.history_path.empty()) return false;
+  auto snapshot = runtime_.SnapshotHistoryIfChanged(&last_synced_version_);
+  if (!snapshot) {
+    history_syncs_skipped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const Status s = snapshot->SaveToFile(options_.history_path);
+  if (!s.ok()) {
+    // Roll the cursor back so the next tick retries the save.
+    last_synced_version_ = ~std::uint64_t{0};
+    CX_LOG(kInfo, "plugin") << "history sync failed: " << s.ToString();
+    return false;
+  }
+  history_syncs_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
 
 void CommunixPlugin::Install() {
   runtime_.SetNewSignatureCallback([this](const Signature& sig) {
@@ -72,6 +94,9 @@ CommunixPlugin::Stats CommunixPlugin::GetStats() const {
   s.uploads_accepted = accepted_.load(std::memory_order_relaxed);
   s.uploads_rejected = rejected_.load(std::memory_order_relaxed);
   s.transport_failures = failures_.load(std::memory_order_relaxed);
+  s.history_syncs = history_syncs_.load(std::memory_order_relaxed);
+  s.history_syncs_skipped =
+      history_syncs_skipped_.load(std::memory_order_relaxed);
   return s;
 }
 

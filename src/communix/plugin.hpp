@@ -4,10 +4,14 @@
 // a new deadlock signature, the plugin (1) attaches to every call-stack
 // frame the hash of the bytecode of the class containing that frame and
 // (2) uploads the signature to the Communix server with the user's
-// encrypted id.
+// encrypted id. It also persists the runtime's history periodically;
+// the sync is gated on the runtime's lock-free history version counter,
+// so the periodic tick costs one atomic load — no runtime lock, no deep
+// copy — whenever nothing changed.
 #pragma once
 
 #include <atomic>
+#include <string>
 
 #include "bytecode/program.hpp"
 #include "communix/ids.hpp"
@@ -18,12 +22,23 @@ namespace communix {
 
 class CommunixPlugin {
  public:
+  struct Options {
+    /// Where SyncHistory persists the runtime's history; empty disables
+    /// persistence (SyncHistory becomes a no-op).
+    std::string history_path;
+  };
+
   CommunixPlugin(dimmunix::DimmunixRuntime& runtime,
                  const bytecode::Program& app, net::ClientTransport& transport,
-                 UserToken token);
+                 UserToken token, Options options = {});
 
   /// Registers the upload hook on the runtime's new-signature callback.
   void Install();
+
+  /// Periodic history persistence tick. Copies and saves the history to
+  /// `options.history_path` only if its version moved since the last
+  /// sync; otherwise returns false without stalling the runtime.
+  bool SyncHistory();
 
   /// Returns a copy of `sig` with per-frame class-bytecode hashes attached
   /// (frames whose class is unknown to the app keep no hash; the
@@ -38,6 +53,8 @@ class CommunixPlugin {
     std::uint64_t uploads_accepted = 0;
     std::uint64_t uploads_rejected = 0;
     std::uint64_t transport_failures = 0;
+    std::uint64_t history_syncs = 0;          // SyncHistory calls that saved
+    std::uint64_t history_syncs_skipped = 0;  // ticks with unchanged version
   };
   Stats GetStats() const;
 
@@ -46,11 +63,17 @@ class CommunixPlugin {
   const bytecode::Program& app_;
   net::ClientTransport& transport_;
   const UserToken token_;
+  const Options options_;
 
   std::atomic<std::uint64_t> attempted_{0};
   std::atomic<std::uint64_t> accepted_{0};
   std::atomic<std::uint64_t> rejected_{0};
   std::atomic<std::uint64_t> failures_{0};
+  std::atomic<std::uint64_t> history_syncs_{0};
+  std::atomic<std::uint64_t> history_syncs_skipped_{0};
+  /// History version captured by the last successful SyncHistory; the
+  /// sentinel forces the first tick to persist even an empty history.
+  std::uint64_t last_synced_version_ = ~std::uint64_t{0};
 };
 
 }  // namespace communix

@@ -1,0 +1,23 @@
+#include "dimmunix/avoidance_index.hpp"
+
+namespace communix::dimmunix {
+
+std::shared_ptr<const AvoidanceIndex> AvoidanceIndex::Build(
+    const History& history, std::uint64_t version) {
+  auto index = std::shared_ptr<AvoidanceIndex>(new AvoidanceIndex());
+  index->version_ = version;
+  index->entries_.reserve(history.size());
+  for (const SignatureRecord& rec : history.records()) {
+    if (rec.disabled) continue;
+    const auto ordinal = static_cast<std::uint32_t>(index->entries_.size());
+    const auto& entries = rec.sig.entries();
+    for (std::size_t pos = 0; pos < entries.size(); ++pos) {
+      index->by_outer_top_[entries[pos].outer.TopKey()].push_back(
+          Candidate{ordinal, static_cast<std::uint32_t>(pos)});
+    }
+    index->entries_.push_back(Entry{rec.sig, rec.sig.ContentId()});
+  }
+  return index;
+}
+
+}  // namespace communix::dimmunix

@@ -1,0 +1,77 @@
+// Immutable, snapshot-published avoidance index.
+//
+// The avoidance decision in DimmunixRuntime::Acquire needs one question
+// answered on *every* lock acquisition: "could this call stack's top
+// frame complete an instantiation of any enabled history signature?"
+// For the overwhelming majority of acquisitions the answer is no — the
+// paper's whole deployability argument rests on those acquisitions
+// staying near-native speed. Consulting the History under the runtime
+// mutex made every acquisition pay for the rare positive answer.
+//
+// AvoidanceIndex is the read-optimized projection of the History that
+// the hot path consults instead: the enabled signatures (copies — the
+// index must not dangle when History::Replace reallocates records), a
+// candidates-by-top-frame-key map, and the history version it was built
+// from. An index is immutable after Build; the runtime publishes it via
+// std::atomic<std::shared_ptr<const AvoidanceIndex>> (RCU-style), so
+// readers take a reference-counted snapshot without ever blocking, and
+// every writer (detection-time learning, agent injection, FP
+// auto-disable, Replace merges) rebuilds and re-publishes under the
+// runtime lock. Rebuild cost is O(history), paid only on the rare
+// history mutation; lookup cost is one hash probe.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dimmunix/history.hpp"
+#include "dimmunix/signature.hpp"
+
+namespace communix::dimmunix {
+
+class AvoidanceIndex {
+ public:
+  /// One (signature, outer-stack position) pair whose outer top frame is
+  /// the probed key. `ordinal` indexes into the index's own entry table,
+  /// NOT into History (disabled records are not carried over).
+  struct Candidate {
+    std::uint32_t ordinal;
+    std::uint32_t position;
+  };
+
+  struct Entry {
+    Signature sig;
+    std::uint64_t content_id = 0;
+  };
+
+  /// Builds the index of `history`'s *enabled* signatures, stamped with
+  /// the given history version.
+  static std::shared_ptr<const AvoidanceIndex> Build(const History& history,
+                                                     std::uint64_t version);
+
+  /// Candidates whose outer top frame key is `top_key`; nullptr if none.
+  /// This is the only call the acquisition fast path makes.
+  const std::vector<Candidate>* CandidatesForTopFrame(
+      std::uint64_t top_key) const {
+    auto it = by_outer_top_.find(top_key);
+    if (it == by_outer_top_.end()) return nullptr;
+    return &it->second;
+  }
+
+  const Entry& entry(std::size_t ordinal) const { return entries_[ordinal]; }
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  /// History version this snapshot reflects.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  AvoidanceIndex() = default;
+
+  std::vector<Entry> entries_;
+  std::unordered_map<std::uint64_t, std::vector<Candidate>> by_outer_top_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace communix::dimmunix

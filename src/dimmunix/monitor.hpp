@@ -1,9 +1,25 @@
 // Monitor: the lock abstraction Dimmunix interposes on.
 //
-// Stands in for a Java object monitor (synchronized block/method). All
-// mutable state is guarded by the owning DimmunixRuntime's lock; a Monitor
-// must only be acquired/released through the runtime, which is exactly the
-// interposition point the paper instruments with AspectJ.
+// Stands in for a Java object monitor (synchronized block/method). A
+// Monitor must only be acquired/released through the owning
+// DimmunixRuntime, which is exactly the interposition point the paper
+// instruments with AspectJ.
+//
+// Concurrency protocol (fast-path runtime mode):
+//  * `owner_` is the atomic ownership word. The uncontended fast path
+//    claims it with a CAS nullptr -> ctx and releases it with a store
+//    back to nullptr; the global-lock slow path performs the same CAS
+//    while holding the runtime mutex. Whoever wins the CAS owns the
+//    monitor — there is no other grant mechanism.
+//  * `recursion_` is owned by the current owner thread only. Ownership
+//    hand-over (release-store / CAS-acquire on `owner_`) orders the old
+//    owner's writes before the new owner's accesses.
+//  * `acq_stack_` is written by the owner under its ThreadContext
+//    publication lock (`state_mu_`), *before* `owner_` is cleared on
+//    release. Slow-path scanners read it either (a) under the holder's
+//    `state_mu_` while walking that thread's held-set, or (b) under the
+//    runtime mutex for monitors whose owner is parked in the runtime's
+//    wait loop (parked threads cannot concurrently mutate it).
 #pragma once
 
 #include <atomic>
@@ -37,11 +53,13 @@ class Monitor {
   const std::uint64_t id_;
   const std::string name_;
 
-  // ---- guarded by DimmunixRuntime::mu_ ----
-  ThreadContext* owner_ = nullptr;
+  /// Ownership word; see the protocol comment above.
+  std::atomic<ThreadContext*> owner_{nullptr};
+  /// Reentrancy depth; accessed only by the current owner.
   int recursion_ = 0;
   /// Call stack the owner had when it acquired this monitor — the "outer"
-  /// stack if this monitor ends up in a deadlock cycle.
+  /// stack if this monitor ends up in a deadlock cycle. Guarded by the
+  /// owner's ThreadContext::state_mu_.
   CallStack acq_stack_;
 };
 

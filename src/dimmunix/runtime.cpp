@@ -11,12 +11,16 @@ namespace communix::dimmunix {
 std::atomic<std::uint64_t> Monitor::next_id_{1};
 
 DimmunixRuntime::DimmunixRuntime(Clock& clock, Options options)
-    : clock_(clock), options_(options), fp_detector_(options.fp) {}
+    : clock_(clock), options_(options), fp_detector_(options.fp) {
+  index_locked_ = AvoidanceIndex::Build(history_, 0);
+  index_.store(index_locked_, std::memory_order_release);
+}
 
 DimmunixRuntime::~DimmunixRuntime() = default;
 
 ThreadContext& DimmunixRuntime::AttachThread(std::string name) {
   std::lock_guard lock(mu_);
+  ReapDetachedLocked();
   threads_.push_back(std::unique_ptr<ThreadContext>(
       new ThreadContext(next_thread_id_++, std::move(name))));
   return *threads_.back();
@@ -26,23 +30,82 @@ void DimmunixRuntime::DetachThread(ThreadContext& ctx) {
   std::lock_guard lock(mu_);
   assert(ctx.held_.empty() && "detaching thread still holds monitors");
   assert(ctx.waiting_for_ == nullptr);
-  (void)ctx;  // asserts compile out under NDEBUG
-  // Tombstone rather than erase: other threads' yield_targets_ may still
-  // reference this context until their next recheck.
   ctx.detached_ = true;
+  // ctx may be freed by the reap below; it must not be touched afterwards
+  // (the documented lifetime contract).
+  ReapDetachedLocked();
+}
+
+void DimmunixRuntime::ReapDetachedLocked() {
+  bool any_detached = false;
+  for (const auto& t : threads_) {
+    if (t->detached_) {
+      any_detached = true;
+      break;
+    }
+  }
+  if (!any_detached) return;
+  // A tombstone stays while (a) some live thread's yield_targets_ still
+  // references it (a suspended avoider may hold the pointer across its
+  // sleep) or (b) its owner's ScopedFrame guards have not all unwound
+  // yet — guards destruct after DetachThread in the common RAII pattern,
+  // and their PopFrame must not touch freed memory. Everything else is
+  // reclaimed, so attach/detach churn no longer grows threads_ without
+  // bound.
+  std::unordered_set<const ThreadContext*> referenced;
+  for (const auto& t : threads_) {
+    if (t->detached_) continue;
+    for (const ThreadContext* y : t->yield_targets_) referenced.insert(y);
+  }
+  std::uint64_t reaped = 0;
+  std::erase_if(threads_, [&](const std::unique_ptr<ThreadContext>& t) {
+    if (t->detached_ && referenced.count(t.get()) == 0 &&
+        t->live_frames_.load(std::memory_order_acquire) == 0) {
+      ++reaped;
+      return true;
+    }
+    return false;
+  });
+  stats_.threads_reaped.fetch_add(reaped, std::memory_order_relaxed);
+}
+
+void DimmunixRuntime::RepublishIndexLocked() {
+  const std::uint64_t version = history_version_.fetch_add(1) + 1;
+  index_locked_ = AvoidanceIndex::Build(history_, version);
+  index_.store(index_locked_, std::memory_order_release);
+  stats_.index_republishes.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DimmunixRuntime::PublishAcquisition(ThreadContext& ctx, Monitor& m,
+                                         const CallStack& stack) {
+  std::lock_guard pub(ctx.state_mu_);
+  m.recursion_ = 1;
+  m.acq_stack_ = stack;
+  ctx.held_.push_back(&m);
+}
+
+void DimmunixRuntime::UnpublishAcquisition(ThreadContext& ctx, Monitor& m) {
+  // Runs while `ctx` still owns `m`: scanners holding state_mu_ see the
+  // holding and its stack atomically retracted, and no new owner can
+  // write acq_stack_ until owner_ is cleared afterwards.
+  std::lock_guard pub(ctx.state_mu_);
+  auto it = std::find(ctx.held_.begin(), ctx.held_.end(), &m);
+  if (it != ctx.held_.end()) ctx.held_.erase(it);
+  m.acq_stack_ = CallStack();
+  m.recursion_ = 0;
 }
 
 std::vector<ThreadContext*> DimmunixRuntime::FindImminentInstantiation(
     const ThreadContext& ctx, const Monitor& m, const CallStack& stack,
-    std::uint64_t* matched_content_id) const {
-  const auto* cands = history_.CandidatesForTopFrame(stack.TopKey());
+    const AvoidanceIndex& index, std::uint64_t* matched_content_id) const {
+  const auto* cands = index.CandidatesForTopFrame(stack.TopKey());
   if (cands == nullptr) return {};
 
-  for (const auto& [sig_idx, pos] : *cands) {
-    const SignatureRecord& rec = history_.record(sig_idx);
-    if (rec.disabled) continue;
+  for (const auto& cand : *cands) {
+    const AvoidanceIndex::Entry& rec = index.entry(cand.ordinal);
     const auto& entries = rec.sig.entries();
     const std::size_t n = entries.size();
+    const std::size_t pos = cand.position;
     if (n < 2) continue;
     if (!entries[pos].outer.MatchesSuffixOf(stack)) continue;
 
@@ -54,10 +117,24 @@ std::vector<ThreadContext*> DimmunixRuntime::FindImminentInstantiation(
       for (const auto& uptr : threads_) {
         ThreadContext* u = uptr.get();
         if (u == &ctx || u->detached_) continue;
-        for (Monitor* h : u->held_) {
-          if (h == &m) continue;
-          if (entries[j].outer.MatchesSuffixOf(h->acq_stack_)) {
-            options[j].push_back(Occupant{u, h});
+        {
+          // Sample the thread's published held-set under its publication
+          // lock: fast-path acquisitions are visible here even though
+          // they never took the runtime lock.
+          std::lock_guard pub(u->state_mu_);
+          for (Monitor* h : u->held_) {
+            if (h == &m) continue;
+            if (entries[j].outer.MatchesSuffixOf(h->acq_stack_)) {
+              options[j].push_back(Occupant{u, h});
+            }
+          }
+          // An in-flight fast-path acquisition counts too ("holding or
+          // blocked at"): whether its CAS wins (holding) or loses (about
+          // to block), the thread is at that lock statement with this
+          // stack in every equivalent global-lock serialization.
+          if (u->pending_acquire_ != nullptr && u->pending_acquire_ != &m &&
+              entries[j].outer.MatchesSuffixOf(u->pending_stack_)) {
+            options[j].push_back(Occupant{u, u->pending_acquire_});
           }
         }
         if (u->waiting_for_ != nullptr && u->waiting_for_ != &m &&
@@ -99,7 +176,7 @@ std::vector<ThreadContext*> DimmunixRuntime::FindImminentInstantiation(
 
     if (assign(assign, 0)) {
       if (matched_content_id != nullptr) {
-        *matched_content_id = rec.sig.ContentId();
+        *matched_content_id = rec.content_id;
       }
       return chosen_threads;
     }
@@ -120,8 +197,10 @@ bool DimmunixRuntime::WouldCloseYieldCycle(
     stack.pop_back();
     if (u == &ctx) return true;
     if (!visited.insert(u).second) continue;
-    if (u->waiting_for_ != nullptr && u->waiting_for_->owner_ != nullptr) {
-      stack.push_back(u->waiting_for_->owner_);
+    if (u->waiting_for_ != nullptr) {
+      ThreadContext* owner =
+          u->waiting_for_->owner_.load(std::memory_order_acquire);
+      if (owner != nullptr) stack.push_back(owner);
     }
     if (u->in_avoidance_) {
       for (const ThreadContext* t : u->yield_targets_) stack.push_back(t);
@@ -134,14 +213,14 @@ std::vector<DimmunixRuntime::CycleNode> DimmunixRuntime::FindLockCycle(
     const ThreadContext& ctx, const Monitor& m) const {
   std::vector<CycleNode> chain;
   std::unordered_set<const ThreadContext*> visited;
-  ThreadContext* cur = m.owner_;
+  ThreadContext* cur = m.owner_.load(std::memory_order_acquire);
   while (cur != nullptr) {
     if (cur == &ctx) return chain;
     if (!visited.insert(cur).second) return {};  // cycle not involving ctx
     Monitor* w = cur->waiting_for_;
     if (w == nullptr) return {};
     chain.push_back(CycleNode{cur, w});
-    cur = w->owner_;
+    cur = w->owner_.load(std::memory_order_acquire);
   }
   return {};
 }
@@ -149,6 +228,9 @@ std::vector<DimmunixRuntime::CycleNode> DimmunixRuntime::FindLockCycle(
 Signature DimmunixRuntime::ExtractSignature(
     ThreadContext& /*ctx*/, Monitor& m, const CallStack& inner_of_ctx,
     const std::vector<CycleNode>& chain) const {
+  // Every monitor referenced here is owned by a thread parked in the
+  // runtime's wait loop (the cycle's precondition), so its acq_stack_ is
+  // quiescent and was published before that owner took mu_ to park.
   std::vector<SignatureEntry> entries;
   entries.reserve(chain.size() + 1);
 
@@ -171,39 +253,113 @@ Signature DimmunixRuntime::ExtractSignature(
 }
 
 Status DimmunixRuntime::Acquire(ThreadContext& ctx, Monitor& m) {
+  stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
+
+  if (options_.mode == RuntimeMode::kFastPath) {
+    // Reentrancy: owner_ == &ctx can only be observed by the owner itself
+    // (nobody else stores our context there and only we clear it), so
+    // this read is stable and the recursion bump needs no lock.
+    if (m.owner_.load(std::memory_order_relaxed) == &ctx) {
+      ++m.recursion_;
+      return Status::Ok();
+    }
+    // Snapshot the shadow stack before any locking: it belongs to the
+    // calling thread, and copying it is the most expensive part of an
+    // uncontended acquisition.
+    const CallStack stack = ctx.CaptureStack(options_.max_stack_depth);
+    if (TryFastAcquire(ctx, m, stack)) return Status::Ok();
+    stats_.slow_path_entries.fetch_add(1, std::memory_order_relaxed);
+    return AcquireSlow(ctx, m, stack);
+  }
+
+  const CallStack stack = ctx.CaptureStack(options_.max_stack_depth);
+  stats_.slow_path_entries.fetch_add(1, std::memory_order_relaxed);
+  return AcquireSlow(ctx, m, stack);
+}
+
+bool DimmunixRuntime::TryFastAcquire(ThreadContext& ctx, Monitor& m,
+                                     const CallStack& stack) {
+  if (options_.avoidance_enabled) {
+    const std::shared_ptr<const AvoidanceIndex> index =
+        index_.load(std::memory_order_acquire);
+    if (!index->empty() &&
+        index->CandidatesForTopFrame(stack.TopKey()) != nullptr) {
+      // Some enabled signature has an outer stack ending at this lock
+      // statement: the instantiation check must run under the lock.
+      return false;
+    }
+    // No candidates: no enabled signature gates this acquisition *now*,
+    // so its own avoidance check is a no-op. The acquisition linearizes
+    // at the index load above — a signature published after it behaves
+    // as if installed just after this acquisition's gate was evaluated,
+    // exactly like a global-lock acquisition that ran just before the
+    // install. The pending slot below keeps the other half of that
+    // equivalence: such an acquisition must still be *visible* to every
+    // later instantiation scan.
+  }
+  // Advertise the attempt before claiming ownership: an avoidance scan
+  // that runs between the CAS and the held_-set publication still sees
+  // (monitor, stack) via the pending slot, so there is no window in
+  // which a concurrently installed signature could miss this holder.
+  {
+    std::lock_guard pub(ctx.state_mu_);
+    ctx.pending_acquire_ = &m;
+    ctx.pending_stack_ = stack;
+  }
+  ThreadContext* expected = nullptr;
+  if (!m.owner_.compare_exchange_strong(expected, &ctx,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+    std::lock_guard pub(ctx.state_mu_);
+    ctx.pending_acquire_ = nullptr;
+    return false;  // contended: blocking/detection belongs to the slow path
+  }
+  {
+    std::lock_guard pub(ctx.state_mu_);
+    m.recursion_ = 1;
+    m.acq_stack_ = std::move(ctx.pending_stack_);
+    ctx.held_.push_back(&m);
+    ctx.pending_acquire_ = nullptr;
+  }
+  stats_.fast_path_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Status DimmunixRuntime::AcquireSlow(ThreadContext& ctx, Monitor& m,
+                                    const CallStack& stack) {
   // Callbacks collected under the lock, invoked after unlocking.
   std::vector<std::pair<SignatureCallback, Signature>> pending;
   Status result = Status::Ok();
 
-  // Snapshot the shadow stack before taking the runtime lock: it belongs
-  // to the calling thread, and copying it is the most expensive part of
-  // an uncontended acquisition.
-  const CallStack stack = ctx.CaptureStack(options_.max_stack_depth);
-
   {
     std::unique_lock lock(mu_);
-    ++stats_.acquisitions;
 
-    if (m.owner_ == &ctx) {  // reentrant acquisition
+    if (m.owner_.load(std::memory_order_relaxed) == &ctx) {  // reentrant
       ++m.recursion_;
       return Status::Ok();
     }
 
     // ---- avoidance (§II-A) ----
-    if (options_.avoidance_enabled && !history_.empty()) {
+    if (options_.avoidance_enabled && !index_locked_->empty()) {
       std::unordered_set<std::uint64_t> counted;
       for (;;) {
+        // The version must be sampled before the scan: a fast-path
+        // release between the scan and the park bumps it, and the gated
+        // wait then re-scans instead of sleeping on a stale decision.
+        const std::uint64_t observed = state_version_.load();
         std::uint64_t matched = 0;
-        auto occupants = FindImminentInstantiation(ctx, m, stack, &matched);
+        auto occupants = FindImminentInstantiation(ctx, m, stack,
+                                                   *index_locked_, &matched);
         if (occupants.empty()) break;
         if (WouldCloseYieldCycle(ctx, occupants)) {
-          ++stats_.yield_cycle_overrides;
+          stats_.yield_cycle_overrides.fetch_add(1, std::memory_order_relaxed);
           break;
         }
         if (counted.insert(matched).second) {
-          ++stats_.avoidance_suspensions;
+          stats_.avoidance_suspensions.fetch_add(1, std::memory_order_relaxed);
           if (fp_detector_.RecordInstantiation(matched, clock_.Now())) {
-            ++stats_.false_positives_flagged;
+            stats_.false_positives_flagged.fetch_add(
+                1, std::memory_order_relaxed);
             // Locate the flagged signature for the warning callback.
             for (const SignatureRecord& r : history_.records()) {
               if (r.sig.ContentId() == matched) {
@@ -215,16 +371,26 @@ Status DimmunixRuntime::Acquire(ThreadContext& ctx, Monitor& m) {
             }
             if (options_.auto_disable_false_positives) {
               history_.Disable(matched);
-              NotifyStateChanged();
+              RepublishIndexLocked();
+              NotifyStateChangedLocked();
               // The signature no longer gates anyone; recheck immediately.
               continue;
             }
           }
         }
-        ctx.in_avoidance_ = true;
         ctx.yield_targets_ = std::move(occupants);
-        NotifyStateChanged();  // our state changed; others may recheck
-        WaitForStateChange(lock);
+        if (!ctx.in_avoidance_) {
+          ctx.in_avoidance_ = true;
+          // Our new yield edges may flip another avoider's cycle check;
+          // announce them. The announcement bumps the version, so loop
+          // once more to re-sample it — otherwise our own bump would
+          // satisfy the wait predicate and the park would spin.
+          NotifyStateChangedLocked();
+          continue;
+        }
+        WaitForStateChange(lock, observed);
+      }
+      if (ctx.in_avoidance_) {
         ctx.in_avoidance_ = false;
         ctx.yield_targets_.clear();
       }
@@ -232,16 +398,26 @@ Status DimmunixRuntime::Acquire(ThreadContext& ctx, Monitor& m) {
 
     // ---- blocking + detection (§II-A) ----
     bool counted_contention = false;
-    while (m.owner_ != nullptr) {
+    bool announced = false;
+    bool granted = false;
+    for (;;) {
+      const std::uint64_t observed = state_version_.load();
+      ThreadContext* expected = nullptr;
+      if (m.owner_.compare_exchange_strong(expected, &ctx,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed)) {
+        granted = true;
+        break;
+      }
       if (!counted_contention) {
-        ++stats_.contended_acquisitions;
+        stats_.contended_acquisitions.fetch_add(1, std::memory_order_relaxed);
         counted_contention = true;
       }
       if (options_.detection_enabled) {
         const auto cycle = FindLockCycle(ctx, m);
         if (!cycle.empty()) {
           Signature sig = ExtractSignature(ctx, m, stack, cycle);
-          ++stats_.deadlocks_detected;
+          stats_.deadlocks_detected.fetch_add(1, std::memory_order_relaxed);
           const bool novel_content =
               !history_.ContainsContent(sig.ContentId());
           // §III-D merge rule (1): two signatures produced on the local
@@ -254,14 +430,18 @@ Status DimmunixRuntime::Acquire(ThreadContext& ctx, Monitor& m) {
             if (auto m2 = Signature::Merge(rec.sig, sig, 0)) {
               history_.Replace(i, std::move(*m2));
               merged = true;
-              ++stats_.local_generalizations;
+              stats_.local_generalizations.fetch_add(
+                  1, std::memory_order_relaxed);
               break;
             }
           }
           if (!merged) {
             const int idx =
                 history_.Add(sig, SignatureOrigin::kLocal, clock_.Now());
-            if (idx >= 0) ++stats_.signatures_learned;
+            if (idx >= 0) {
+              stats_.signatures_learned.fetch_add(1,
+                                                  std::memory_order_relaxed);
+            }
           }
           // The plugin uploads every new manifestation (the server and
           // other nodes generalize on their side too).
@@ -274,25 +454,29 @@ Status DimmunixRuntime::Acquire(ThreadContext& ctx, Monitor& m) {
             fp_detector_.RecordTruePositive(
                 history_.record(i).sig.ContentId());
           }
-          NotifyStateChanged();
+          RepublishIndexLocked();
+          NotifyStateChangedLocked();
           result = Status::Error(ErrorCode::kDeadlock,
                                  "deadlock detected; acquisition aborted");
           break;
         }
       }
-      ctx.waiting_for_ = &m;
-      ctx.waiting_stack_ = stack;
-      NotifyStateChanged();  // blocking is a state change others must observe
-      WaitForStateChange(lock);
-      ctx.waiting_for_ = nullptr;
+      if (!announced) {
+        ctx.waiting_for_ = &m;
+        ctx.waiting_stack_ = stack;
+        // Blocking is a state change others must observe; same
+        // announce-then-resample dance as in the avoidance loop.
+        NotifyStateChangedLocked();
+        announced = true;
+        continue;
+      }
+      WaitForStateChange(lock, observed);
     }
+    if (announced) ctx.waiting_for_ = nullptr;
 
-    if (result.ok()) {
-      m.owner_ = &ctx;
-      m.recursion_ = 1;
-      m.acq_stack_ = stack;
-      ctx.held_.push_back(&m);
-      NotifyStateChanged();  // occupancy changed
+    if (granted) {
+      PublishAcquisition(ctx, m, stack);
+      NotifyStateChangedLocked();  // occupancy changed
     }
   }
 
@@ -301,26 +485,61 @@ Status DimmunixRuntime::Acquire(ThreadContext& ctx, Monitor& m) {
 }
 
 void DimmunixRuntime::Release(ThreadContext& ctx, Monitor& m) {
+  if (options_.mode == RuntimeMode::kFastPath) {
+    assert(m.owner_.load(std::memory_order_relaxed) == &ctx &&
+           "release by non-owner");
+    if (m.recursion_ > 1) {  // owner-only field; see Monitor's protocol
+      --m.recursion_;
+      return;
+    }
+    UnpublishAcquisition(ctx, m);
+    // seq_cst on the owner clear, version bump and sleeper probe: if the
+    // probe reads 0, any concurrent would-be sleeper's predicate check is
+    // ordered after our bump and refuses to park (no lost wakeup); if it
+    // reads >0, we take the mutex so the notify cannot land in a waiter's
+    // check-to-park window.
+    m.owner_.store(nullptr);
+    state_version_.fetch_add(1);
+    if (sleepers_.load() > 0) {
+      std::lock_guard lock(mu_);
+      cv_.notify_all();
+    } else {
+      stats_.fast_path_releases.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  ReleaseSlow(ctx, m);
+}
+
+void DimmunixRuntime::ReleaseSlow(ThreadContext& ctx, Monitor& m) {
   std::lock_guard lock(mu_);
-  assert(m.owner_ == &ctx && "release by non-owner");
-  if (--m.recursion_ > 0) return;
-  m.owner_ = nullptr;
-  m.acq_stack_ = CallStack();
-  auto it = std::find(ctx.held_.begin(), ctx.held_.end(), &m);
-  if (it != ctx.held_.end()) ctx.held_.erase(it);
-  NotifyStateChanged();
+  assert(m.owner_.load(std::memory_order_relaxed) == &ctx &&
+         "release by non-owner");
+  if (m.recursion_ > 1) {
+    --m.recursion_;
+    return;
+  }
+  UnpublishAcquisition(ctx, m);
+  m.owner_.store(nullptr, std::memory_order_release);
+  NotifyStateChangedLocked();
 }
 
 int DimmunixRuntime::AddSignature(Signature sig, SignatureOrigin origin) {
   std::lock_guard lock(mu_);
   const int idx = history_.Add(std::move(sig), origin, clock_.Now());
-  if (idx >= 0) ++stats_.signatures_learned;
+  if (idx >= 0) {
+    stats_.signatures_learned.fetch_add(1, std::memory_order_relaxed);
+    RepublishIndexLocked();
+    NotifyStateChangedLocked();
+  }
   return idx;
 }
 
 void DimmunixRuntime::ReplaceSignature(std::size_t index, Signature sig) {
   std::lock_guard lock(mu_);
   history_.Replace(index, std::move(sig));
+  RepublishIndexLocked();
+  NotifyStateChangedLocked();
 }
 
 History DimmunixRuntime::SnapshotHistory() const {
@@ -328,9 +547,26 @@ History DimmunixRuntime::SnapshotHistory() const {
   return history_;
 }
 
+std::optional<History> DimmunixRuntime::SnapshotHistoryIfChanged(
+    std::uint64_t* last_seen) const {
+  if (last_seen != nullptr &&
+      history_version_.load(std::memory_order_acquire) == *last_seen) {
+    return std::nullopt;  // unchanged: no lock, no deep copy
+  }
+  std::lock_guard lock(mu_);
+  if (last_seen != nullptr) {
+    *last_seen = history_version_.load(std::memory_order_relaxed);
+  }
+  return history_;
+}
+
 void DimmunixRuntime::WithHistory(const std::function<void(History&)>& fn) {
   std::lock_guard lock(mu_);
   fn(history_);
+  // The mutation (if any) must reach fast-path readers and may lift the
+  // gate a suspended avoider sleeps on (e.g. Disable): republish + wake.
+  RepublishIndexLocked();
+  NotifyStateChangedLocked();
 }
 
 void DimmunixRuntime::SetNewSignatureCallback(SignatureCallback cb) {
@@ -344,8 +580,37 @@ void DimmunixRuntime::SetFalsePositiveCallback(SignatureCallback cb) {
 }
 
 DimmunixRuntime::Stats DimmunixRuntime::GetStats() const {
+  Stats s;
+  s.acquisitions = stats_.acquisitions.load(std::memory_order_relaxed);
+  s.contended_acquisitions =
+      stats_.contended_acquisitions.load(std::memory_order_relaxed);
+  s.avoidance_suspensions =
+      stats_.avoidance_suspensions.load(std::memory_order_relaxed);
+  s.yield_cycle_overrides =
+      stats_.yield_cycle_overrides.load(std::memory_order_relaxed);
+  s.deadlocks_detected =
+      stats_.deadlocks_detected.load(std::memory_order_relaxed);
+  s.signatures_learned =
+      stats_.signatures_learned.load(std::memory_order_relaxed);
+  s.local_generalizations =
+      stats_.local_generalizations.load(std::memory_order_relaxed);
+  s.false_positives_flagged =
+      stats_.false_positives_flagged.load(std::memory_order_relaxed);
+  s.fast_path_acquisitions =
+      stats_.fast_path_acquisitions.load(std::memory_order_relaxed);
+  s.fast_path_releases =
+      stats_.fast_path_releases.load(std::memory_order_relaxed);
+  s.slow_path_entries =
+      stats_.slow_path_entries.load(std::memory_order_relaxed);
+  s.index_republishes =
+      stats_.index_republishes.load(std::memory_order_relaxed);
+  s.threads_reaped = stats_.threads_reaped.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::size_t DimmunixRuntime::ThreadRecordCount() const {
   std::lock_guard lock(mu_);
-  return stats_;
+  return threads_.size();
 }
 
 }  // namespace communix::dimmunix

@@ -23,19 +23,48 @@
 //    kDeadlock — modelling the paper's "application deadlocks once, user
 //    restarts, and is immune afterwards" without killing the process.
 //
-// Concurrency: one runtime-wide mutex guards all monitor/thread state.
-// This mirrors the centralized avoidance decision of the original system
-// and keeps the instantiation check atomic with the lock grant.
+// Concurrency: two-tier fast-path/slow-path architecture.
+//
+//  * Fast path (RuntimeMode::kFastPath, the default). An acquisition
+//    whose captured stack's top frame has no candidates in the published
+//    AvoidanceIndex — i.e. no enabled signature could possibly gate it —
+//    and whose monitor is free claims ownership with a single CAS and
+//    publishes its holding under the calling thread's own publication
+//    lock, never touching the runtime-wide mutex. Release symmetrically
+//    fast-paths when no waiter or suspended avoider could need waking.
+//    The index is an immutable snapshot republished (RCU-style, via
+//    std::atomic<std::shared_ptr>) by every history writer; readers
+//    never lock. A fast acquisition linearizes at its index load: it
+//    behaves exactly like a global-lock acquisition that ran just before
+//    any concurrently-learned signature was installed.
+//
+//  * Slow path. Candidate hits, contention, reentrancy in global-lock
+//    mode, and detection all take the runtime-wide mutex `mu_`, which
+//    keeps the instantiation check atomic with the lock grant exactly as
+//    in the original centralized design. RuntimeMode::kGlobalLock routes
+//    *every* operation through this path — it is the bit-identical
+//    legacy behavior, kept as the reference for the fast-vs-global
+//    equivalence property test.
+//
+//    Waits are version-gated: every state change bumps `state_version_`,
+//    and sleepers re-check it before parking, so a fast-path release
+//    (which cannot hold `mu_` while a waiter decides to sleep) can never
+//    cause a lost wakeup — if it observes no sleepers after bumping the
+//    version, any concurrent would-be sleeper is guaranteed to observe
+//    the bump and re-scan instead of parking.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <condition_variable>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "dimmunix/avoidance_index.hpp"
 #include "dimmunix/fp_detector.hpp"
 #include "dimmunix/history.hpp"
 #include "dimmunix/monitor.hpp"
@@ -45,6 +74,12 @@
 #include "util/status.hpp"
 
 namespace communix::dimmunix {
+
+/// Which acquisition architecture the runtime uses. kGlobalLock is the
+/// pre-fast-path behavior (one runtime mutex around every operation);
+/// kFastPath adds the lock-free uncontended path. Both make identical
+/// avoidance/detection decisions.
+enum class RuntimeMode { kFastPath, kGlobalLock };
 
 class DimmunixRuntime {
  public:
@@ -57,6 +92,7 @@ class DimmunixRuntime {
     /// immediately (the paper instead warns the user and lets them
     /// decide; tests exercise both policies).
     bool auto_disable_false_positives = false;
+    RuntimeMode mode = RuntimeMode::kFastPath;
     FpDetector::Options fp;
   };
 
@@ -89,7 +125,20 @@ class DimmunixRuntime {
   /// Copies the history (for inspection/persistence without racing the
   /// workload).
   History SnapshotHistory() const;
-  /// Runs `fn` with exclusive access to the history.
+  /// Monotonic counter bumped by every history mutation. Lock-free read;
+  /// pollers compare it against their last-seen value to skip the deep
+  /// copy entirely when nothing changed.
+  std::uint64_t HistoryVersion() const {
+    return history_version_.load(std::memory_order_acquire);
+  }
+  /// Copies the history only if its version differs from `*last_seen`
+  /// (nullopt otherwise, without taking the runtime lock). On copy,
+  /// `*last_seen` is updated to the version the copy reflects.
+  std::optional<History> SnapshotHistoryIfChanged(
+      std::uint64_t* last_seen) const;
+  /// Runs `fn` with exclusive access to the history, then republishes
+  /// the avoidance index — the single mutation entry point writers like
+  /// the Communix agent batch their installs through.
   void WithHistory(const std::function<void(History&)>& fn);
 
   // ---- hooks --------------------------------------------------------------
@@ -112,8 +161,24 @@ class DimmunixRuntime {
     /// merge rule 1) instead of adding a new history entry.
     std::uint64_t local_generalizations = 0;
     std::uint64_t false_positives_flagged = 0;
+    /// Acquisitions completed by the lock-free path (candidate-free top
+    /// frame, uncontended CAS) without touching the runtime mutex.
+    std::uint64_t fast_path_acquisitions = 0;
+    /// Releases that neither took the runtime mutex nor had to wake
+    /// anyone.
+    std::uint64_t fast_path_releases = 0;
+    /// Acquisitions that entered the global-lock slow path (every
+    /// acquisition, in kGlobalLock mode).
+    std::uint64_t slow_path_entries = 0;
+    /// Times the avoidance index was rebuilt and re-published.
+    std::uint64_t index_republishes = 0;
+    /// Tombstoned thread contexts reclaimed.
+    std::uint64_t threads_reaped = 0;
   };
   Stats GetStats() const;
+  /// Number of thread-context records currently retained (live +
+  /// not-yet-reaped tombstones) — introspection for the reap tests.
+  std::size_t ThreadRecordCount() const;
   Clock& clock() { return clock_; }
   const Options& options() const { return options_; }
 
@@ -123,12 +188,38 @@ class DimmunixRuntime {
     const Monitor* lock;
   };
 
+  /// Relaxed-atomic mirror of Stats; rejection-free counting on the fast
+  /// path (same shape as the Communix server's Stats).
+  struct Counters {
+    std::atomic<std::uint64_t> acquisitions{0};
+    std::atomic<std::uint64_t> contended_acquisitions{0};
+    std::atomic<std::uint64_t> avoidance_suspensions{0};
+    std::atomic<std::uint64_t> yield_cycle_overrides{0};
+    std::atomic<std::uint64_t> deadlocks_detected{0};
+    std::atomic<std::uint64_t> signatures_learned{0};
+    std::atomic<std::uint64_t> local_generalizations{0};
+    std::atomic<std::uint64_t> false_positives_flagged{0};
+    std::atomic<std::uint64_t> fast_path_acquisitions{0};
+    std::atomic<std::uint64_t> fast_path_releases{0};
+    std::atomic<std::uint64_t> slow_path_entries{0};
+    std::atomic<std::uint64_t> index_republishes{0};
+    std::atomic<std::uint64_t> threads_reaped{0};
+  };
+
+  /// Candidate-free + uncontended-CAS attempt; true iff the acquisition
+  /// completed without the runtime lock.
+  bool TryFastAcquire(ThreadContext& ctx, Monitor& m, const CallStack& stack);
+  Status AcquireSlow(ThreadContext& ctx, Monitor& m, const CallStack& stack);
+  void ReleaseSlow(ThreadContext& ctx, Monitor& m);
+
   /// If granting (ctx, m, stack) completes an instantiation of an enabled
-  /// history signature, returns the other occupants (and the matched
-  /// signature's content id via `matched`); otherwise empty.
+  /// signature in `index`, returns the other occupants (and the matched
+  /// signature's content id via `matched`); otherwise empty. Caller holds
+  /// mu_; the per-thread held-sets are sampled under their publication
+  /// locks so fast-path holdings are visible.
   std::vector<ThreadContext*> FindImminentInstantiation(
       const ThreadContext& ctx, const Monitor& m, const CallStack& stack,
-      std::uint64_t* matched_content_id) const;
+      const AvoidanceIndex& index, std::uint64_t* matched_content_id) const;
 
   /// True iff suspending `ctx` yielding to `occupants` would close a
   /// cycle of yield + lock-wait edges.
@@ -148,23 +239,46 @@ class DimmunixRuntime {
                              const CallStack& inner_of_ctx,
                              const std::vector<CycleNode>& chain) const;
 
+  /// Rebuilds the avoidance index from history_ and publishes it; bumps
+  /// the history version. Must be called (under mu_) after every history
+  /// mutation.
+  void RepublishIndexLocked();
+
+  /// Grants `m` to `ctx`: records recursion/acq stack/held entry under
+  /// ctx's publication lock. Ownership of `m` must already be claimed.
+  void PublishAcquisition(ThreadContext& ctx, Monitor& m,
+                          const CallStack& stack);
+  /// Reverse of PublishAcquisition; runs before ownership is cleared.
+  void UnpublishAcquisition(ThreadContext& ctx, Monitor& m);
+
+  /// Frees tombstoned contexts no live thread's yield_targets_ reference.
+  void ReapDetachedLocked();
+
   Clock& clock_;
   const Options options_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  /// Threads currently blocked in cv_.wait (guarded by mu_). Broadcasts
-  /// are skipped when nobody sleeps — on the uncontended fast path the
-  /// acquire/release pair then costs one mutex round-trip, no syscalls.
-  std::size_t sleepers_ = 0;
+  /// Threads currently blocked in (or committing to) cv_.wait. Atomic so
+  /// the fast-path release can test it without mu_.
+  std::atomic<std::size_t> sleepers_{0};
+  /// Bumped on every state change a sleeper might be waiting for; the
+  /// version-gated wait protocol above makes fast-path releases safe.
+  std::atomic<std::uint64_t> state_version_{0};
 
-  void NotifyStateChanged() {
-    if (sleepers_ > 0) cv_.notify_all();
+  /// Bumps the state version and wakes sleepers. Caller holds mu_.
+  void NotifyStateChangedLocked() {
+    state_version_.fetch_add(1);
+    if (sleepers_.load() > 0) cv_.notify_all();
   }
-  void WaitForStateChange(std::unique_lock<std::mutex>& lock) {
-    ++sleepers_;
-    cv_.wait(lock);
-    --sleepers_;
+  /// Parks until the state version moves past `observed`. Caller holds
+  /// mu_ and must have loaded `observed` *before* examining the state it
+  /// decided to wait on.
+  void WaitForStateChange(std::unique_lock<std::mutex>& lock,
+                          std::uint64_t observed) {
+    sleepers_.fetch_add(1);
+    cv_.wait(lock, [&] { return state_version_.load() != observed; });
+    sleepers_.fetch_sub(1);
   }
 
   std::vector<std::unique_ptr<ThreadContext>> threads_;  // guarded by mu_
@@ -172,7 +286,14 @@ class DimmunixRuntime {
 
   History history_;        // guarded by mu_
   FpDetector fp_detector_; // guarded by mu_
-  Stats stats_;            // guarded by mu_
+  Counters stats_;         // relaxed atomics, lock-free
+
+  /// Immutable snapshot the lock-free read side consults.
+  std::atomic<std::shared_ptr<const AvoidanceIndex>> index_;
+  /// The same snapshot, readable under mu_ without the atomic round-trip
+  /// (slow path + republish).
+  std::shared_ptr<const AvoidanceIndex> index_locked_;  // guarded by mu_
+  std::atomic<std::uint64_t> history_version_{0};
 
   SignatureCallback new_signature_cb_;   // guarded by mu_ (invoked unlocked)
   SignatureCallback false_positive_cb_;  // guarded by mu_ (invoked unlocked)

@@ -6,9 +6,23 @@
 // `SetLine` models the program counter advancing within the top method.
 // This yields deterministic, portable stacks with the same matching
 // semantics as JVM stack traces.
+//
+// Concurrency: fields fall into three guard classes.
+//  * `stack_` — owning thread only, never shared.
+//  * `held_` (plus the acq_stack_/recursion_ of the monitors in it) —
+//    published state the avoidance scanner must see even for fast-path
+//    acquisitions. Writes happen under this thread's `state_mu_`; the
+//    scanner (which runs under the runtime mutex) takes `state_mu_` per
+//    scanned thread. The fast path therefore only ever touches its own
+//    cache-local lock, never the runtime-wide mutex.
+//  * `waiting_for_`, `waiting_stack_`, `in_avoidance_`, `yield_targets_`,
+//    `detached_` — written exclusively under the runtime mutex (these
+//    only change on the slow path).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -25,9 +39,18 @@ class ThreadContext {
   const std::string& name() const { return name_; }
 
   // ---- shadow stack: called only by the owning thread ----
-  void PushFrame(Frame frame) { stack_.push_back(std::move(frame)); }
+  void PushFrame(Frame frame) {
+    stack_.push_back(std::move(frame));
+    live_frames_.fetch_add(1, std::memory_order_relaxed);
+  }
   void PopFrame() {
-    if (!stack_.empty()) stack_.pop_back();
+    if (!stack_.empty()) {
+      stack_.pop_back();
+      // The release-decrement is the owner's last touch of a popped
+      // frame: once the count hits zero after DetachThread, the runtime
+      // may reclaim this context (see ReapDetachedLocked).
+      live_frames_.fetch_sub(1, std::memory_order_release);
+    }
   }
   /// Updates the line of the top frame (execution advanced within the
   /// current method). No-op on an empty stack.
@@ -57,13 +80,30 @@ class ThreadContext {
   const std::string name_;
 
   std::vector<Frame> stack_;  // owning thread only
+  /// Outstanding shadow-stack frames. ScopedFrame guards routinely pop
+  /// *after* DetachThread (scope exit order), so the reaper must not free
+  /// a tombstoned context until this count has drained to zero.
+  std::atomic<std::size_t> live_frames_{0};
+
+  /// Publication lock for `held_`, the pending-acquisition slot, and the
+  /// acq_stack_ of owned monitors; see the class comment. Uncontended in
+  /// the fast path.
+  mutable std::mutex state_mu_;
+  std::vector<Monitor*> held_;  // monitors currently owned (state_mu_)
+  /// In-flight fast-path acquisition (state_mu_): published *before* the
+  /// ownership CAS so avoidance scans never have a blind window between
+  /// a fast acquirer claiming a monitor and its held_ entry appearing —
+  /// a thread at a lock statement counts as an occupant ("holding or
+  /// blocked at") in every global-lock serialization, so advertising the
+  /// attempt is exactly equivalent.
+  Monitor* pending_acquire_ = nullptr;
+  CallStack pending_stack_;
 
   // ---- guarded by DimmunixRuntime::mu_ ----
   Monitor* waiting_for_ = nullptr;  // blocked on this monitor's owner
   CallStack waiting_stack_;         // stack snapshot at block time
   bool in_avoidance_ = false;       // suspended by the avoidance module
   std::vector<ThreadContext*> yield_targets_;  // occupants we yield to
-  std::vector<Monitor*> held_;                 // monitors currently owned
   bool detached_ = false;
 };
 

@@ -1,6 +1,7 @@
 #include "sim/workload.hpp"
 
 #include <barrier>
+#include <chrono>
 #include <thread>
 #include <unordered_map>
 
@@ -68,7 +69,8 @@ ContendedWorkload::ContendedWorkload(const bytecode::SyntheticApp& app,
   sites_.assign(app_.nested_sites.begin(), app_.nested_sites.begin() + n);
 }
 
-ContendedResult ContendedWorkload::Run(DimmunixRuntime& runtime) const {
+ContendedResult ContendedWorkload::Run(DimmunixRuntime& runtime,
+                                       LatencyMonitors* latency) const {
   // Build rigs + monitors.
   std::vector<SiteRig> rigs(sites_.size());
   std::vector<std::unique_ptr<Monitor>> site_monitors;
@@ -124,22 +126,51 @@ ContendedResult ContendedWorkload::Run(DimmunixRuntime& runtime) const {
                                   rigs.size()];
         const bool alternate = rng.NextBool(config_.alternate_path_fraction);
         FrameSequence path(ctx, alternate ? rig.alt_frames : rig.frames);
-        SyncRegion outer(runtime, ctx,
-                         *site_monitors[static_cast<std::size_t>(
-                             &rig - rigs.data())],
-                         rig.enter_line);
-        if (!outer.ok()) continue;  // deadlock victim: unwind and retry
-        BusyWork(config_.work_inside);
-        if (rig.helper_index >= 0) {
-          ScopedFrame helper(ctx, rig.helper_frame.class_name,
-                             rig.helper_frame.method, rig.helper_line);
-          SyncRegion inner(
-              runtime, ctx,
-              *helper_monitors[static_cast<std::size_t>(rig.helper_index)],
-              rig.helper_line);
-          if (inner.ok()) BusyWork(config_.work_inner);
+        Monitor& outer_mon =
+            *site_monitors[static_cast<std::size_t>(&rig - rigs.data())];
+        auto run_inside = [&] {
+          BusyWork(config_.work_inside);
+          if (rig.helper_index >= 0) {
+            ScopedFrame helper(ctx, rig.helper_frame.class_name,
+                               rig.helper_frame.method, rig.helper_line);
+            SyncRegion inner(
+                runtime, ctx,
+                *helper_monitors[static_cast<std::size_t>(rig.helper_index)],
+                rig.helper_line);
+            if (inner.ok()) BusyWork(config_.work_inner);
+          } else {
+            BusyWork(config_.work_inner);
+          }
+        };
+        if (latency == nullptr) {
+          SyncRegion outer(runtime, ctx, outer_mon, rig.enter_line);
+          if (!outer.ok()) continue;  // deadlock victim: unwind and retry
+          run_inside();
         } else {
-          BusyWork(config_.work_inner);
+          // Explicit acquire/release so each op is timed separately.
+          using std::chrono::steady_clock;
+          using std::chrono::nanoseconds;
+          ctx.SetLine(rig.enter_line);
+          const auto t0 = steady_clock::now();
+          const auto acquired = runtime.Acquire(ctx, outer_mon);
+          const auto t1 = steady_clock::now();
+          latency->Report(
+              LatencyOp::kAcquire,
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<nanoseconds>(t1 - t0).count()));
+          if (!acquired.ok()) continue;
+          run_inside();
+          const auto t2 = steady_clock::now();
+          runtime.Release(ctx, outer_mon);
+          const auto t3 = steady_clock::now();
+          latency->Report(
+              LatencyOp::kRelease,
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<nanoseconds>(t3 - t2).count()));
+          latency->Report(
+              LatencyOp::kCritical,
+              static_cast<std::uint64_t>(
+                  std::chrono::duration_cast<nanoseconds>(t3 - t0).count()));
         }
       }
       runtime.DetachThread(ctx);

@@ -20,6 +20,7 @@
 
 #include "bytecode/synthetic.hpp"
 #include "dimmunix/runtime.hpp"
+#include "util/latency_monitor.hpp"
 #include "util/rng.hpp"
 
 namespace communix::sim {
@@ -58,8 +59,11 @@ class ContendedWorkload {
   ContendedWorkload(const bytecode::SyntheticApp& app, ContendedConfig config);
 
   /// Runs under Dimmunix (whose history the caller may have poisoned with
-  /// attack signatures).
-  ContendedResult Run(dimmunix::DimmunixRuntime& runtime) const;
+  /// attack signatures). When `latency` is non-null, every outer
+  /// Acquire/Release pair is individually timed into it (two steady-clock
+  /// reads per op — leave null for wall-clock overhead measurements).
+  ContendedResult Run(dimmunix::DimmunixRuntime& runtime,
+                      LatencyMonitors* latency = nullptr) const;
 
   /// Same loop on plain std::mutex, no instrumentation — the vanilla
   /// baseline.

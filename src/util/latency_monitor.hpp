@@ -1,0 +1,74 @@
+// Relaxed-atomic per-operation latency monitors.
+//
+// The instrumentation itself must not serialize the code it measures, so
+// each operation class gets two relaxed atomic accumulators (sum of
+// nanoseconds, count); Report() is two uncontended fetch_adds and can be
+// called from any thread on the hottest path. Readers compute means from
+// a racy-but-monotonic snapshot — good enough for benchmark reporting,
+// which is the only consumer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+
+namespace communix {
+
+enum class LatencyOp : std::size_t {
+  kAcquire = 0,  // DimmunixRuntime::Acquire, any path
+  kRelease,      // DimmunixRuntime::Release, any path
+  kCritical,     // whole critical section (acquire..release)
+  kNumOps,
+};
+
+class LatencyMonitors {
+ public:
+  static constexpr std::size_t kNumOps =
+      static_cast<std::size_t>(LatencyOp::kNumOps);
+
+  void Report(LatencyOp op, std::uint64_t nanos) {
+    const auto i = static_cast<std::size_t>(op);
+    sum_nanos_[i].fetch_add(nanos, std::memory_order_relaxed);
+    count_[i].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Count(LatencyOp op) const {
+    return count_[static_cast<std::size_t>(op)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t TotalNanos(LatencyOp op) const {
+    return sum_nanos_[static_cast<std::size_t>(op)].load(
+        std::memory_order_relaxed);
+  }
+  /// Mean nanoseconds per operation; 0 when nothing was reported.
+  double MeanNanos(LatencyOp op) const {
+    const std::uint64_t n = Count(op);
+    return n == 0 ? 0.0 : static_cast<double>(TotalNanos(op)) /
+                              static_cast<double>(n);
+  }
+
+  void Reset() {
+    for (std::size_t i = 0; i < kNumOps; ++i) {
+      sum_nanos_[i].store(0, std::memory_order_relaxed);
+      count_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  void GenerateReport(std::FILE* out) const {
+    static constexpr const char* kNames[kNumOps] = {"acquire", "release",
+                                                    "critical"};
+    for (std::size_t i = 0; i < kNumOps; ++i) {
+      const auto op = static_cast<LatencyOp>(i);
+      if (Count(op) == 0) continue;
+      std::fprintf(out, "%-10s %12llu ops %12.0f ns/op\n", kNames[i],
+                   static_cast<unsigned long long>(Count(op)),
+                   MeanNanos(op));
+    }
+  }
+
+ private:
+  std::atomic<std::uint64_t> sum_nanos_[kNumOps] = {};
+  std::atomic<std::uint64_t> count_[kNumOps] = {};
+};
+
+}  // namespace communix

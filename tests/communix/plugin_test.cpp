@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <filesystem>
+
 #include "../testutil.hpp"
 #include "bytecode/synthetic.hpp"
 #include "communix/server.hpp"
@@ -97,6 +100,43 @@ TEST_F(PluginTest, InstallHooksDetectionToUpload) {
   ASSERT_TRUE(result.deadlocked);
   EXPECT_EQ(plugin_.GetStats().uploads_attempted, 1u);
   EXPECT_EQ(server_.db_size(), 1u);
+}
+
+TEST_F(PluginTest, SyncHistoryOnlyCopiesWhenVersionChanged) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "communix_plugin_sync.bin")
+          .string();
+  CommunixPlugin::Options opts;
+  opts.history_path = path;
+  CommunixPlugin syncing(runtime_, app_.program, transport_,
+                         server_.IssueToken(2), opts);
+
+  // First tick persists even the empty history; a second tick with no
+  // history mutation must skip without locking or copying.
+  EXPECT_TRUE(syncing.SyncHistory());
+  EXPECT_FALSE(syncing.SyncHistory());
+  EXPECT_EQ(syncing.GetStats().history_syncs, 1u);
+  EXPECT_EQ(syncing.GetStats().history_syncs_skipped, 1u);
+
+  // A mutation bumps the runtime's history version: next tick saves.
+  const std::string known = app_.program.klass(0).name;
+  runtime_.AddSignature(Sig2(ChainStack(known, 6, F(known, "s1", 10)),
+                             ChainStack(known, 6, F(known, "i1", 11)),
+                             ChainStack(known, 6, F(known, "s2", 20)),
+                             ChainStack(known, 6, F(known, "i2", 21))),
+                        dimmunix::SignatureOrigin::kRemote);
+  EXPECT_TRUE(syncing.SyncHistory());
+  EXPECT_FALSE(syncing.SyncHistory());
+
+  auto loaded = dimmunix::History::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), 1u);
+  std::remove(path.c_str());
+}
+
+TEST_F(PluginTest, SyncHistoryDisabledWithoutPath) {
+  EXPECT_FALSE(plugin_.SyncHistory());
+  EXPECT_EQ(plugin_.GetStats().history_syncs, 0u);
 }
 
 TEST_F(PluginTest, RejectedUploadCounted) {

@@ -1,0 +1,559 @@
+// Fast-path architecture tests:
+//  * the structural guarantee — uncontended, candidate-free
+//    Acquire/Release cycles never enter the global-lock slow path;
+//  * the equivalence property — RuntimeMode::kFastPath and kGlobalLock
+//    produce identical avoidance/detection outcomes on randomized
+//    workloads (single-threaded traces, scripted suspension scenarios,
+//    and the ABBA immunity lifecycle);
+//  * a multithreaded stress of concurrent fast-path acquire/release vs.
+//    index republish + snapshot polling (run under ThreadSanitizer by
+//    tools/ci.sh --tsan);
+//  * the DetachThread reap regression (threads_ must not grow without
+//    bound under attach/detach churn).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "../testutil.hpp"
+#include "dimmunix/runtime.hpp"
+#include "sim/workload.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace communix::dimmunix {
+namespace {
+
+using sim::AbbaWorkload;
+using testutil::ChainStack;
+using testutil::F;
+using testutil::Sig2;
+
+DimmunixRuntime::Options ModeOptions(RuntimeMode mode) {
+  DimmunixRuntime::Options opts;
+  opts.mode = mode;
+  return opts;
+}
+
+/// An irrelevant signature whose stacks never occur in these workloads.
+Signature UnrelatedSig(std::uint32_t salt) {
+  return Sig2(ChainStack("zz.P", 6, F("zz.P", "s", 1 + salt)),
+              ChainStack("zz.P", 6, F("zz.P", "i", 100 + salt)),
+              ChainStack("zz.Q", 6, F("zz.Q", "s", 2 + salt)),
+              ChainStack("zz.Q", 6, F("zz.Q", "i", 200 + salt)));
+}
+
+// ---------------------------------------------------------------------------
+// Structural guarantee: candidate-free + uncontended => slow path untouched.
+// ---------------------------------------------------------------------------
+
+TEST(FastPathTest, UncontendedCandidateFreeCycleNeverEntersSlowPath) {
+  VirtualClock clock;
+  DimmunixRuntime rt(clock, ModeOptions(RuntimeMode::kFastPath));
+  // A populated (but unrelated) history: the index is non-empty, so the
+  // fast path really is making a candidate lookup, not skipping on empty.
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_GE(rt.AddSignature(UnrelatedSig(i), SignatureOrigin::kRemote), 0);
+  }
+
+  auto& ctx = rt.AttachThread("t");
+  Monitor m;
+  ScopedFrame f(ctx, "app.C", "run", 1);
+  constexpr std::uint64_t kCycles = 200;
+  for (std::uint64_t i = 0; i < kCycles; ++i) {
+    ASSERT_TRUE(rt.Acquire(ctx, m).ok());
+    // One reentrant hop per cycle: also must stay off the slow path.
+    ASSERT_TRUE(rt.Acquire(ctx, m).ok());
+    rt.Release(ctx, m);
+    rt.Release(ctx, m);
+  }
+  rt.DetachThread(ctx);
+
+  const auto stats = rt.GetStats();
+  EXPECT_EQ(stats.slow_path_entries, 0u)
+      << "the structural win must hold even where wall-clock speedups "
+         "don't (single-core container)";
+  EXPECT_EQ(stats.fast_path_acquisitions, kCycles);
+  EXPECT_EQ(stats.fast_path_releases, kCycles);
+  EXPECT_EQ(stats.acquisitions, 2 * kCycles);
+  EXPECT_EQ(stats.contended_acquisitions, 0u);
+}
+
+TEST(FastPathTest, GlobalLockModeRoutesEverythingThroughSlowPath) {
+  VirtualClock clock;
+  DimmunixRuntime rt(clock, ModeOptions(RuntimeMode::kGlobalLock));
+  auto& ctx = rt.AttachThread("t");
+  Monitor m;
+  ScopedFrame f(ctx, "app.C", "run", 1);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(rt.Acquire(ctx, m).ok());
+    rt.Release(ctx, m);
+  }
+  rt.DetachThread(ctx);
+  const auto stats = rt.GetStats();
+  EXPECT_EQ(stats.slow_path_entries, 10u);
+  EXPECT_EQ(stats.fast_path_acquisitions, 0u);
+  EXPECT_EQ(stats.fast_path_releases, 0u);
+}
+
+TEST(FastPathTest, CandidateHitRoutesToSlowPath) {
+  VirtualClock clock;
+  DimmunixRuntime rt(clock, ModeOptions(RuntimeMode::kFastPath));
+  // Signature whose outer top frame IS the acquiring site.
+  rt.AddSignature(Sig2(ChainStack("hit.A", 3, F("hit.A", "sync", 30)),
+                       ChainStack("hit.A", 3, F("hit.A", "in", 31)),
+                       ChainStack("hit.B", 3, F("hit.B", "sync", 40)),
+                       ChainStack("hit.B", 3, F("hit.B", "in", 41))),
+                  SignatureOrigin::kRemote);
+  auto& ctx = rt.AttachThread("t");
+  Monitor m;
+  ScopedFrame f0(ctx, "hit.A", "m0", 1);
+  ScopedFrame f1(ctx, "hit.A", "m1", 2);
+  ScopedFrame top(ctx, "hit.A", "sync", 30);
+  ASSERT_TRUE(rt.Acquire(ctx, m).ok());  // no occupants: grant, but slowly
+  rt.Release(ctx, m);
+  rt.DetachThread(ctx);
+  const auto stats = rt.GetStats();
+  EXPECT_EQ(stats.slow_path_entries, 1u);
+  EXPECT_EQ(stats.fast_path_acquisitions, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence property: randomized single-threaded traces.
+// ---------------------------------------------------------------------------
+
+struct TraceOutcome {
+  std::vector<ErrorCode> statuses;
+  DimmunixRuntime::Stats stats;
+};
+
+/// Runs a deterministic pseudo-random acquire/release/frame trace (seeded
+/// by `seed`) against a runtime in `mode`; the trace mixes candidate-free
+/// and candidate-hitting top frames, reentrancy, and mid-trace index
+/// republishes (AddSignature / Disable / ReEnable).
+TraceOutcome RunRandomTrace(RuntimeMode mode, std::uint64_t seed) {
+  VirtualClock clock;
+  DimmunixRuntime rt(clock, ModeOptions(mode));
+  Rng rng(seed);
+
+  // Random history over a small pool so trace tops sometimes collide.
+  std::vector<std::uint64_t> contents;
+  const std::uint32_t sigs = 1 + rng.NextBounded(3);
+  for (std::uint32_t k = 0; k < sigs; ++k) {
+    const std::uint32_t dep = 1 + rng.NextBounded(3);
+    const Signature sig =
+        Sig2(ChainStack("tr.A", dep, F("tr.A", "sync", 50 + k)),
+             ChainStack("tr.A", dep, F("tr.A", "in", 70 + k)),
+             ChainStack("tr.B", dep, F("tr.B", "sync", 60 + k)),
+             ChainStack("tr.B", dep, F("tr.B", "in", 80 + k)));
+    contents.push_back(sig.ContentId());
+    rt.AddSignature(sig, SignatureOrigin::kRemote);
+  }
+  if (rng.NextBool(0.5)) {
+    const std::uint64_t victim = contents[rng.NextBounded(
+        static_cast<std::uint32_t>(contents.size()))];
+    rt.WithHistory([&](History& h) { h.Disable(victim); });
+  }
+
+  auto& ctx = rt.AttachThread("trace");
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  for (int i = 0; i < 6; ++i) monitors.push_back(std::make_unique<Monitor>());
+  std::vector<int> held(monitors.size(), 0);
+
+  TraceOutcome out;
+  for (int op = 0; op < 400; ++op) {
+    const std::uint32_t kind = rng.NextBounded(100);
+    if (kind < 30) {
+      if (ctx.stack_depth() < 10) {
+        const char* cls = rng.NextBool(0.5) ? "tr.A" : "tr.B";
+        // "sync" methods at pooled lines collide with signature tops.
+        if (rng.NextBool(0.4)) {
+          ctx.PushFrame(F(cls, "sync", 50 + rng.NextBounded(12)));
+        } else {
+          ctx.PushFrame(F(cls, "m" + std::to_string(rng.NextBounded(4)),
+                          1 + rng.NextBounded(8)));
+        }
+      }
+    } else if (kind < 40) {
+      if (ctx.stack_depth() > 1) ctx.PopFrame();
+    } else if (kind < 50) {
+      ctx.SetLine(rng.NextBool(0.5) ? 50 + rng.NextBounded(12)
+                                    : 1 + rng.NextBounded(8));
+    } else if (kind < 55) {
+      // Mid-trace republish: learning/flag churn while the trace runs.
+      if (rng.NextBool(0.5)) {
+        rt.AddSignature(UnrelatedSig(1000 + rng.NextBounded(64)),
+                        SignatureOrigin::kRemote);
+      } else {
+        const std::uint64_t victim = contents[rng.NextBounded(
+            static_cast<std::uint32_t>(contents.size()))];
+        const bool disable = rng.NextBool(0.5);
+        rt.WithHistory([&](History& h) {
+          if (disable) {
+            h.Disable(victim);
+          } else {
+            h.ReEnable(victim);
+          }
+        });
+      }
+    } else if (kind < 80) {
+      if (ctx.stack_depth() == 0) continue;
+      const std::size_t i = rng.NextBounded(
+          static_cast<std::uint32_t>(monitors.size()));
+      const Status s = rt.Acquire(ctx, *monitors[i]);
+      out.statuses.push_back(s.code());
+      if (s.ok()) ++held[i];
+    } else {
+      std::vector<std::size_t> owned;
+      for (std::size_t i = 0; i < held.size(); ++i) {
+        if (held[i] > 0) owned.push_back(i);
+      }
+      if (owned.empty()) continue;
+      const std::size_t i =
+          owned[rng.NextBounded(static_cast<std::uint32_t>(owned.size()))];
+      rt.Release(ctx, *monitors[i]);
+      --held[i];
+    }
+  }
+  for (std::size_t i = 0; i < held.size(); ++i) {
+    while (held[i]-- > 0) rt.Release(ctx, *monitors[i]);
+  }
+  rt.DetachThread(ctx);
+  out.stats = rt.GetStats();
+  return out;
+}
+
+TEST(FastPathEquivalenceTest, RandomTracesProduceIdenticalOutcomes) {
+  for (std::uint64_t seed = 1; seed <= 12; ++seed) {
+    const TraceOutcome fast = RunRandomTrace(RuntimeMode::kFastPath, seed);
+    const TraceOutcome global = RunRandomTrace(RuntimeMode::kGlobalLock, seed);
+    ASSERT_EQ(fast.statuses, global.statuses) << "seed " << seed;
+    EXPECT_EQ(fast.stats.acquisitions, global.stats.acquisitions)
+        << "seed " << seed;
+    EXPECT_EQ(fast.stats.avoidance_suspensions,
+              global.stats.avoidance_suspensions)
+        << "seed " << seed;
+    EXPECT_EQ(fast.stats.deadlocks_detected, global.stats.deadlocks_detected)
+        << "seed " << seed;
+    EXPECT_EQ(fast.stats.signatures_learned, global.stats.signatures_learned)
+        << "seed " << seed;
+    // The trace is single-threaded: nothing can occupy the other
+    // signature positions, so neither mode may ever suspend or detect.
+    EXPECT_EQ(fast.stats.avoidance_suspensions, 0u);
+    EXPECT_EQ(fast.stats.deadlocks_detected, 0u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence property: scripted two-thread suspension scenarios.
+// ---------------------------------------------------------------------------
+
+struct ScenarioParams {
+  std::uint32_t depth;   // signature outer depth
+  bool t1_matches;       // acquirer's stack matches its entry
+  bool t2_matches;       // occupant's stack matches its entry
+  bool enabled;          // signature enabled in the history
+  bool ExpectSuspension() const {
+    return enabled && t1_matches && t2_matches;
+  }
+};
+
+/// Occupant T2 holds monitor B under a stack that (mis)matches the
+/// signature's second entry; acquirer T1 then takes monitor A under a
+/// stack that (mis)matches the first. Iff both match and the signature is
+/// enabled, T1's acquisition completes an imminent instantiation and must
+/// suspend until T2 releases. Fully handshake-sequenced => deterministic.
+DimmunixRuntime::Stats RunSuspensionScenario(RuntimeMode mode,
+                                             const ScenarioParams& p) {
+  VirtualClock clock;
+  DimmunixRuntime rt(clock, ModeOptions(mode));
+  const Signature sig =
+      Sig2(ChainStack("sc.X", p.depth, F("sc.X", "sync", 100)),
+           ChainStack("sc.X", p.depth, F("sc.X", "in", 110)),
+           ChainStack("sc.Y", p.depth, F("sc.Y", "sync", 120)),
+           ChainStack("sc.Y", p.depth, F("sc.Y", "in", 130)));
+  rt.AddSignature(sig, SignatureOrigin::kRemote);
+  if (!p.enabled) {
+    rt.WithHistory([&](History& h) { h.Disable(sig.ContentId()); });
+  }
+
+  Monitor a("A"), b("B");
+  std::atomic<bool> occupant_ready{false};
+  std::atomic<bool> release_b{false};
+  std::atomic<bool> t1_done{false};
+
+  std::thread t2([&] {
+    auto& ctx = rt.AttachThread("occupant");
+    std::vector<std::unique_ptr<ScopedFrame>> frames;
+    for (std::uint32_t i = 0; i + 1 < p.depth; ++i) {
+      frames.push_back(std::make_unique<ScopedFrame>(
+          ctx, "sc.Y", "m" + std::to_string(i), i + 1));
+    }
+    frames.push_back(std::make_unique<ScopedFrame>(
+        ctx, "sc.Y", "sync", p.t2_matches ? 120u : 121u));
+    ASSERT_TRUE(rt.Acquire(ctx, b).ok());
+    occupant_ready.store(true);
+    while (!release_b.load()) std::this_thread::yield();
+    rt.Release(ctx, b);
+    frames.clear();
+    rt.DetachThread(ctx);
+  });
+
+  std::thread t1([&] {
+    while (!occupant_ready.load()) std::this_thread::yield();
+    auto& ctx = rt.AttachThread("acquirer");
+    std::vector<std::unique_ptr<ScopedFrame>> frames;
+    for (std::uint32_t i = 0; i + 1 < p.depth; ++i) {
+      frames.push_back(std::make_unique<ScopedFrame>(
+          ctx, "sc.X", "m" + std::to_string(i), i + 1));
+    }
+    frames.push_back(std::make_unique<ScopedFrame>(
+        ctx, "sc.X", "sync", p.t1_matches ? 100u : 101u));
+    ASSERT_TRUE(rt.Acquire(ctx, a).ok());
+    rt.Release(ctx, a);
+    frames.clear();
+    t1_done.store(true);
+    rt.DetachThread(ctx);
+  });
+
+  // Wait for the scripted outcome, then let the occupant go.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  if (p.ExpectSuspension()) {
+    while (rt.GetStats().avoidance_suspensions == 0 && !t1_done.load()) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ADD_FAILURE() << "expected suspension never observed";
+        break;
+      }
+      std::this_thread::yield();
+    }
+  } else {
+    while (!t1_done.load()) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ADD_FAILURE() << "acquirer stalled without an expected suspension";
+        break;
+      }
+      std::this_thread::yield();
+    }
+  }
+  release_b.store(true);
+  t1.join();
+  t2.join();
+  return rt.GetStats();
+}
+
+TEST(FastPathEquivalenceTest, ScriptedSuspensionScenariosAgree) {
+  Rng rng(0xFA57);
+  std::vector<ScenarioParams> scenarios;
+  // The full deterministic truth table at depth 1...
+  for (const bool t1 : {false, true}) {
+    for (const bool t2 : {false, true}) {
+      for (const bool enabled : {false, true}) {
+        scenarios.push_back(ScenarioParams{1, t1, t2, enabled});
+      }
+    }
+  }
+  // ...plus randomized deeper variants.
+  for (int i = 0; i < 6; ++i) {
+    scenarios.push_back(ScenarioParams{
+        static_cast<std::uint32_t>(2 + rng.NextBounded(3)), rng.NextBool(0.5),
+        rng.NextBool(0.5), rng.NextBool(0.5)});
+  }
+
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const ScenarioParams& p = scenarios[i];
+    const auto fast = RunSuspensionScenario(RuntimeMode::kFastPath, p);
+    const auto global = RunSuspensionScenario(RuntimeMode::kGlobalLock, p);
+    const std::uint64_t expected = p.ExpectSuspension() ? 1u : 0u;
+    EXPECT_EQ(fast.avoidance_suspensions, expected) << "scenario " << i;
+    EXPECT_EQ(global.avoidance_suspensions, expected) << "scenario " << i;
+    EXPECT_EQ(fast.deadlocks_detected, 0u) << "scenario " << i;
+    EXPECT_EQ(global.deadlocks_detected, 0u) << "scenario " << i;
+    EXPECT_EQ(fast.acquisitions, global.acquisitions) << "scenario " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Equivalence property: detection + immunity lifecycle.
+// ---------------------------------------------------------------------------
+
+TEST(FastPathEquivalenceTest, AbbaLifecycleAgreesAcrossModes) {
+  std::vector<History> learned;
+  for (const RuntimeMode mode :
+       {RuntimeMode::kFastPath, RuntimeMode::kGlobalLock}) {
+    VirtualClock clock;
+    DimmunixRuntime rt(clock, ModeOptions(mode));
+    const auto result = AbbaWorkload(/*iterations=*/20).Run(rt);
+    EXPECT_TRUE(result.deadlocked);
+    EXPECT_GE(rt.GetStats().deadlocks_detected, 1u);
+    learned.push_back(rt.SnapshotHistory());
+  }
+  ASSERT_EQ(learned[0].size(), learned[1].size());
+  for (std::size_t i = 0; i < learned[0].size(); ++i) {
+    EXPECT_TRUE(learned[1].ContainsContent(
+        learned[0].record(i).sig.ContentId()))
+        << "modes learned different signatures";
+  }
+
+  // Immunity: the signature learned under one mode protects the other.
+  for (const RuntimeMode mode :
+       {RuntimeMode::kFastPath, RuntimeMode::kGlobalLock}) {
+    VirtualClock clock;
+    DimmunixRuntime rt(clock, ModeOptions(mode));
+    for (const auto& rec : learned[0].records()) {
+      rt.AddSignature(rec.sig, SignatureOrigin::kLocal);
+    }
+    const auto result = AbbaWorkload(/*iterations=*/20).Run(rt);
+    EXPECT_FALSE(result.deadlocked);
+    EXPECT_EQ(rt.GetStats().deadlocks_detected, 0u);
+    EXPECT_GT(rt.GetStats().avoidance_suspensions, 0u);
+    EXPECT_EQ(result.completed_pairs, 2 * 20);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency stress: fast-path traffic vs. index republish (TSAN target).
+// ---------------------------------------------------------------------------
+
+TEST(FastPathStressTest, ConcurrentFastPathVsIndexRepublish) {
+  VirtualClock clock;
+  DimmunixRuntime rt(clock, ModeOptions(RuntimeMode::kFastPath));
+  constexpr int kWorkers = 4;
+  constexpr int kIters = 250;
+  constexpr int kMutations = 120;
+
+  // Disjoint per-worker monitors (uncontended fast path) plus two shared
+  // monitors taken in consistent order (contended slow path).
+  std::vector<std::unique_ptr<Monitor>> own;
+  for (int i = 0; i < kWorkers; ++i) own.push_back(std::make_unique<Monitor>());
+  Monitor shared_lo("lo"), shared_hi("hi");
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWorkers; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(0xBEEF + static_cast<std::uint64_t>(t));
+      for (int cycle = 0; cycle < 3; ++cycle) {  // attach/detach churn
+        auto& ctx = rt.AttachThread("w" + std::to_string(t));
+        ScopedFrame fr(ctx, "st.W", "run", static_cast<std::uint32_t>(t + 1));
+        for (int i = 0; i < kIters; ++i) {
+          ctx.SetLine(1 + rng.NextBounded(6));
+          ASSERT_TRUE(rt.Acquire(ctx, *own[t]).ok());
+          if (rng.NextBool(0.25)) {  // reentrant hop
+            ASSERT_TRUE(rt.Acquire(ctx, *own[t]).ok());
+            rt.Release(ctx, *own[t]);
+          }
+          if (rng.NextBool(0.2)) {  // shared pair, consistent order
+            ctx.SetLine(10);
+            ASSERT_TRUE(rt.Acquire(ctx, shared_lo).ok());
+            ctx.SetLine(20);
+            ASSERT_TRUE(rt.Acquire(ctx, shared_hi).ok());
+            rt.Release(ctx, shared_hi);
+            rt.Release(ctx, shared_lo);
+          }
+          rt.Release(ctx, *own[t]);
+        }
+        rt.DetachThread(ctx);
+      }
+    });
+  }
+  threads.emplace_back([&] {  // index republisher
+    Rng rng(0x1D);
+    std::vector<std::uint64_t> contents;
+    for (int i = 0; i < kMutations; ++i) {
+      const Signature sig = UnrelatedSig(2000 + static_cast<std::uint32_t>(i));
+      contents.push_back(sig.ContentId());
+      rt.AddSignature(sig, SignatureOrigin::kRemote);
+      if (rng.NextBool(0.3)) {
+        const std::uint64_t victim = contents[rng.NextBounded(
+            static_cast<std::uint32_t>(contents.size()))];
+        const bool disable = rng.NextBool(0.5);
+        rt.WithHistory([&](History& h) {
+          if (disable) {
+            h.Disable(victim);
+          } else {
+            h.ReEnable(victim);
+          }
+        });
+      }
+      std::this_thread::yield();
+    }
+  });
+  threads.emplace_back([&] {  // version-gated snapshot poller
+    std::uint64_t last_seen = ~std::uint64_t{0};
+    std::size_t copies = 0;
+    for (int i = 0; i < 200; ++i) {
+      if (rt.SnapshotHistoryIfChanged(&last_seen)) ++copies;
+      (void)rt.GetStats();
+      std::this_thread::yield();
+    }
+    EXPECT_GT(copies, 0u);
+  });
+
+  for (auto& th : threads) th.join();
+
+  const auto stats = rt.GetStats();
+  EXPECT_EQ(stats.deadlocks_detected, 0u);
+  EXPECT_GT(stats.fast_path_acquisitions, 0u);
+  EXPECT_GT(stats.index_republishes, 0u);
+  // Every attach/detach churn cycle left a reapable tombstone.
+  EXPECT_LE(rt.ThreadRecordCount(), static_cast<std::size_t>(kWorkers) + 2);
+}
+
+// ---------------------------------------------------------------------------
+// DetachThread reap regression.
+// ---------------------------------------------------------------------------
+
+TEST(FastPathTest, DetachedContextsAreReaped) {
+  VirtualClock clock;
+  DimmunixRuntime rt(clock);
+  Monitor m;
+  // Guards scoped before detach: each context is reapable immediately,
+  // so the record count stays flat (the pre-fix behavior grew threads_
+  // by one per attach).
+  for (int i = 0; i < 500; ++i) {
+    auto& ctx = rt.AttachThread("churn" + std::to_string(i));
+    {
+      ScopedFrame f(ctx, "r.C", "run", 1);
+      ASSERT_TRUE(rt.Acquire(ctx, m).ok());
+      rt.Release(ctx, m);
+    }
+    rt.DetachThread(ctx);
+  }
+  EXPECT_EQ(rt.ThreadRecordCount(), 0u);
+  EXPECT_GE(rt.GetStats().threads_reaped, 500u);
+
+  // The common RAII pattern — guards destruct AFTER DetachThread — must
+  // also stay bounded: the context lingers only until its frames drain
+  // and the next runtime pass reaps it.
+  for (int i = 0; i < 200; ++i) {
+    auto& ctx = rt.AttachThread("trail" + std::to_string(i));
+    ScopedFrame f(ctx, "r.C", "run", 1);
+    rt.DetachThread(ctx);
+    // `f` pops after detach at scope exit; the next attach reaps.
+  }
+  EXPECT_LE(rt.ThreadRecordCount(), 1u);
+
+  // Concurrent churn stays bounded too.
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 100; ++i) {
+        auto& ctx = rt.AttachThread("cc" + std::to_string(t));
+        ScopedFrame f(ctx, "r.C", "run", 1);
+        rt.DetachThread(ctx);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_LE(rt.ThreadRecordCount(), 4u);
+
+  // A final clean attach/detach sweeps the stragglers.
+  auto& last = rt.AttachThread("sweep");
+  rt.DetachThread(last);
+  EXPECT_EQ(rt.ThreadRecordCount(), 0u);
+}
+
+}  // namespace
+}  // namespace communix::dimmunix

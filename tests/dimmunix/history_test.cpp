@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "../testutil.hpp"
+#include "dimmunix/avoidance_index.hpp"
 
 namespace communix::dimmunix {
 namespace {
@@ -110,6 +111,55 @@ TEST(HistoryTest, SaveLoadRoundTrip) {
   EXPECT_EQ(l.record(0).origin, SignatureOrigin::kLocal);
   EXPECT_EQ(l.record(0).added_at, 10);
   EXPECT_TRUE(l.record(1).disabled);
+  std::remove(path.c_str());
+}
+
+TEST(HistoryTest, RoundTripSurvivesIndexRebuild) {
+  // Save/Load must preserve `disabled` flags and SignatureOrigin, and an
+  // AvoidanceIndex rebuilt from the loaded history must honor them: a
+  // disabled signature contributes no candidates, an enabled one keeps
+  // every (ordinal, position) pair.
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "communix_hist_index.bin")
+          .string();
+  History h;
+  const Signature enabled_sig = MakeSig(0);
+  const Signature disabled_sig = MakeSig(100);
+  h.Add(enabled_sig, SignatureOrigin::kRemote, 5);
+  h.Add(disabled_sig, SignatureOrigin::kLocal, 6);
+  h.Disable(disabled_sig.ContentId());
+  ASSERT_TRUE(h.SaveToFile(path).ok());
+
+  auto loaded = History::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const History& l = loaded.value();
+  ASSERT_EQ(l.size(), 2u);
+  EXPECT_EQ(l.record(0).origin, SignatureOrigin::kRemote);
+  EXPECT_EQ(l.record(1).origin, SignatureOrigin::kLocal);
+  EXPECT_FALSE(l.record(0).disabled);
+  EXPECT_TRUE(l.record(1).disabled);
+
+  const auto index = AvoidanceIndex::Build(l, 7);
+  EXPECT_EQ(index->version(), 7u);
+  ASSERT_EQ(index->size(), 1u) << "disabled signature must not be indexed";
+  EXPECT_EQ(index->entry(0).content_id, enabled_sig.ContentId());
+  for (const auto& e : enabled_sig.entries()) {
+    const auto* cands = index->CandidatesForTopFrame(e.outer.TopKey());
+    ASSERT_NE(cands, nullptr);
+    EXPECT_EQ((*cands)[0].ordinal, 0u);
+  }
+  for (const auto& e : disabled_sig.entries()) {
+    EXPECT_EQ(index->CandidatesForTopFrame(e.outer.TopKey()), nullptr);
+  }
+
+  // Re-enabling after load restores the candidates on the next rebuild.
+  History mutated = l;
+  ASSERT_TRUE(mutated.ReEnable(disabled_sig.ContentId()));
+  const auto rebuilt = AvoidanceIndex::Build(mutated, 8);
+  EXPECT_EQ(rebuilt->size(), 2u);
+  for (const auto& e : disabled_sig.entries()) {
+    EXPECT_NE(rebuilt->CandidatesForTopFrame(e.outer.TopKey()), nullptr);
+  }
   std::remove(path.c_str());
 }
 

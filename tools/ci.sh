@@ -1,16 +1,33 @@
 #!/usr/bin/env bash
-# CI entry point: tier-1 verify (configure + build + full ctest) followed
-# by the Figure-2 server bench in smoke mode with the sharded-vs-
-# monolithic comparison, recording the perf trajectory in BENCH_fig2.json
-# at the repo root.
+# CI entry point.
+#
+# Default: tier-1 verify (configure + build + full ctest) followed by the
+# Figure-2 server bench (sharded-vs-monolithic comparison) and the
+# Table-II overhead bench (fast-path-vs-global-lock comparison), both in
+# smoke mode, recording the perf trajectory in BENCH_fig2.json and
+# BENCH_overhead.json at the repo root.
+#
+# --tsan: ThreadSanitizer build (separate build-tsan dir) running the
+# dimmunix + util test binaries — the concurrency-bearing layers of the
+# client runtime (fast-path publication protocol, thread pool).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 JOBS="$(nproc 2>/dev/null || echo 2)"
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  cmake -B build-tsan -S . -DCOMMUNIX_TSAN=ON
+  cmake --build build-tsan -j"${JOBS}" --target dimmunix_tests util_tests
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/dimmunix_tests
+  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/util_tests
+  echo "ci: tsan clean (dimmunix_tests, util_tests)"
+  exit 0
+fi
 
 cmake -B build -S .
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 
 ./build/fig2_server_throughput --smoke --compare --json=BENCH_fig2.json
-echo "ci: wrote $(pwd)/BENCH_fig2.json"
+./build/table2_dos_overhead --smoke --json=BENCH_overhead.json
+echo "ci: wrote $(pwd)/BENCH_fig2.json and $(pwd)/BENCH_overhead.json"
