@@ -105,9 +105,13 @@ bool CommunixAgent::Generalize(const Signature& sig) {
 void CommunixAgent::InstallBatch(std::vector<Signature> sigs,
                                  ScanReport* report) {
   if (sigs.empty()) return;
-  // One WithHistory call = one index republish: the runtime rebuilds and
-  // re-publishes its avoidance index when this returns, so a startup scan
-  // of N signatures costs one rebuild instead of N.
+  // One WithHistory call = one index republish: the runtime re-publishes
+  // its avoidance index when this returns, so a startup scan of N
+  // signatures costs one republish instead of N — and that republish is
+  // a *delta* rebuild: it still walks the history to renumber the index
+  // structure, but previously-indexed signatures are shared rather than
+  // deep-copied, eliding the stack/string payload copies that dominate
+  // a full build.
   runtime_.WithHistory([&](dimmunix::History& history) {
     for (Signature& sig : sigs) {
       bool merged = false;

@@ -1,21 +1,87 @@
 #include "dimmunix/avoidance_index.hpp"
 
+#include <algorithm>
+
+#include "util/fnv.hpp"
+
 namespace communix::dimmunix {
 
 std::shared_ptr<const AvoidanceIndex> AvoidanceIndex::Build(
     const History& history, std::uint64_t version) {
+  return BuildInternal(history, version, nullptr);
+}
+
+std::shared_ptr<const AvoidanceIndex> AvoidanceIndex::Rebuild(
+    const AvoidanceIndex& prev, const History& history,
+    std::uint64_t version) {
+  return BuildInternal(history, version, &prev);
+}
+
+std::shared_ptr<const AvoidanceIndex> AvoidanceIndex::BuildInternal(
+    const History& history, std::uint64_t version,
+    const AvoidanceIndex* prev) {
   auto index = std::shared_ptr<AvoidanceIndex>(new AvoidanceIndex());
   index->version_ = version;
+  index->built_by_delta_ = prev != nullptr;
   index->entries_.reserve(history.size());
+
+  // Reuse map: content id -> previous snapshot's immutable entry.
+  std::unordered_map<std::uint64_t, std::shared_ptr<const Entry>> reusable;
+  if (prev != nullptr) {
+    reusable.reserve(prev->entries_.size());
+    for (const auto& e : prev->entries_) reusable.emplace(e->content_id, e);
+  }
+
   for (const SignatureRecord& rec : history.records()) {
     if (rec.disabled) continue;
     const auto ordinal = static_cast<std::uint32_t>(index->entries_.size());
-    const auto& entries = rec.sig.entries();
+    std::shared_ptr<const Entry> entry;
+    if (prev != nullptr) {
+      auto it = reusable.find(rec.sig.ContentId());
+      if (it != reusable.end()) {
+        entry = it->second;
+        ++index->entries_reused_;
+      }
+    }
+    if (entry == nullptr) {
+      entry = std::make_shared<const Entry>(
+          Entry{rec.sig, rec.sig.ContentId()});
+      ++index->entries_copied_;
+    }
+    const auto& entries = entry->sig.entries();
     for (std::size_t pos = 0; pos < entries.size(); ++pos) {
-      index->by_outer_top_[entries[pos].outer.TopKey()].push_back(
+      KeySlot& slot = index->by_outer_top_[entries[pos].outer.TopKey()];
+      slot.candidates.push_back(
           Candidate{ordinal, static_cast<std::uint32_t>(pos)});
     }
-    index->entries_.push_back(Entry{rec.sig, rec.sig.ContentId()});
+    index->entries_.push_back(std::move(entry));
+  }
+
+  // Per-key adaptive state: peer buckets + fingerprint, then stats
+  // carry-over from `prev` where the candidate content is unchanged.
+  for (auto& [key, slot] : index->by_outer_top_) {
+    std::uint64_t fp = kFnvOffsetBasis;
+    for (const Candidate& cand : slot.candidates) {
+      const Entry& e = *index->entries_[cand.ordinal];
+      fp = HashCombine(fp, e.content_id);
+      fp = HashCombine(fp, cand.position);
+      const auto& sig_entries = e.sig.entries();
+      for (std::size_t j = 0; j < sig_entries.size(); ++j) {
+        if (j == cand.position) continue;
+        slot.peer_buckets.push_back(
+            OccupancyTable::BucketOf(sig_entries[j].outer.TopKey()));
+      }
+    }
+    std::sort(slot.peer_buckets.begin(), slot.peer_buckets.end());
+    slot.peer_buckets.erase(
+        std::unique(slot.peer_buckets.begin(), slot.peer_buckets.end()),
+        slot.peer_buckets.end());
+    slot.fingerprint = fp;
+    if (prev != nullptr) {
+      const KeySlot* old = prev->SlotForTopFrame(key);
+      if (old != nullptr && old->fingerprint == fp) slot.stats = old->stats;
+    }
+    if (slot.stats == nullptr) slot.stats = std::make_shared<KeyStats>();
   }
   return index;
 }

@@ -1,26 +1,48 @@
-// Immutable, snapshot-published avoidance index.
+// Adaptive, incrementally-maintained avoidance index.
 //
 // The avoidance decision in DimmunixRuntime::Acquire needs one question
 // answered on *every* lock acquisition: "could this call stack's top
 // frame complete an instantiation of any enabled history signature?"
 // For the overwhelming majority of acquisitions the answer is no — the
 // paper's whole deployability argument rests on those acquisitions
-// staying near-native speed. Consulting the History under the runtime
-// mutex made every acquisition pay for the rare positive answer.
+// staying near-native speed.
 //
-// AvoidanceIndex is the read-optimized projection of the History that
-// the hot path consults instead: the enabled signatures (copies — the
-// index must not dangle when History::Replace reallocates records), a
-// candidates-by-top-frame-key map, and the history version it was built
-// from. An index is immutable after Build; the runtime publishes it via
+// AvoidanceIndex is the read-optimized projection of the History the hot
+// path consults: per top-frame key, the (signature, position) candidates
+// whose outer stack ends at that lock statement. A snapshot is immutable
+// after construction and published via
 // std::atomic<std::shared_ptr<const AvoidanceIndex>> (RCU-style), so
-// readers take a reference-counted snapshot without ever blocking, and
-// every writer (detection-time learning, agent injection, FP
-// auto-disable, Replace merges) rebuilds and re-publishes under the
-// runtime lock. Rebuild cost is O(history), paid only on the rare
-// history mutation; lookup cost is one hash probe.
+// readers never block. Two additions over the original PR-2 design:
+//
+//  * Delta rebuilds. Writers no longer deep-copy every signature on each
+//    mutation: Rebuild(prev, history) reuses the previous snapshot's
+//    immutable Entry objects (shared_ptr) for records whose content is
+//    unchanged and copies only the mutated ones, renumbering ordinals.
+//    (The rebuild still walks the history to regenerate the candidate
+//    map and per-key metadata — O(index structure) pointer-level work;
+//    what the delta elides is the signature payload copies, the
+//    dominant cost of a full build.) The runtime interleaves a periodic
+//    full Build as a safety net; a property test asserts delta and full
+//    builds are observationally identical over random mutation
+//    sequences.
+//
+//  * Adaptive per-key state. Each key slot carries the deduplicated
+//    occupancy buckets of its *peer* positions (the top-frame keys of
+//    every other entry of every candidate signature) plus mutable skip/
+//    scan telemetry. The runtime's adaptive gate skips the instantiation
+//    scan when all peer buckets are unoccupied — a candidate signature
+//    can only instantiate if some other thread currently holds or is
+//    blocked at a lock whose stack matches one of the other positions,
+//    and such a stack's top frame hashes into one of those buckets, so
+//    an all-zero read proves the scan would return empty. Telemetry is
+//    carried across delta rebuilds when a key's candidate content is
+//    unchanged (fingerprint match) and reset when it changes — the
+//    "re-arm eagerly" rule for index mutations; occupant-set changes
+//    need no re-arm at all because the gate reads live bucket counters.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
@@ -30,6 +52,49 @@
 #include "dimmunix/signature.hpp"
 
 namespace communix::dimmunix {
+
+/// Striped occupancy counters, keyed by top-frame key. Every published
+/// occupancy (a held monitor's acquisition stack, a fast-path pending
+/// slot, a slow-path block announcement) increments the bucket of its
+/// stack's top-frame key *before* becoming visible to instantiation
+/// scans and decrements it only *after* being retracted, so a zero read
+/// proves no matching occupant is visible (hash collisions only cause
+/// extra scans, never missed ones). Counter ops are seq_cst: if the
+/// adaptive gate's zero-read precedes an occupant's increment in the
+/// total order, the skipped acquisition linearizes before that
+/// occupant's — exactly the serialization the fast path's pending-slot
+/// protocol already grants, so the global-lock reference admits it too.
+class OccupancyTable {
+ public:
+  static constexpr std::size_t kBuckets = 1024;
+
+  /// Bucket of a top-frame key (already FNV-mixed by Frame).
+  static std::uint32_t BucketOf(std::uint64_t top_key) {
+    return static_cast<std::uint32_t>((top_key ^ (top_key >> 32)) &
+                                      (kBuckets - 1));
+  }
+
+  void Enter(std::uint32_t bucket) {
+    counts_[bucket].fetch_add(1, std::memory_order_seq_cst);
+  }
+  void Leave(std::uint32_t bucket) {
+    counts_[bucket].fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  bool AnyOccupied(const std::vector<std::uint32_t>& buckets) const {
+    for (const std::uint32_t b : buckets) {
+      if (counts_[b].load(std::memory_order_seq_cst) != 0) return true;
+    }
+    return false;
+  }
+
+  std::uint32_t Count(std::uint32_t bucket) const {  // introspection/tests
+    return counts_[bucket].load(std::memory_order_seq_cst);
+  }
+
+ private:
+  std::array<std::atomic<std::uint32_t>, kBuckets> counts_{};
+};
 
 class AvoidanceIndex {
  public:
@@ -41,37 +106,91 @@ class AvoidanceIndex {
     std::uint32_t position;
   };
 
+  /// Immutable signature copy shared between successive delta-rebuilt
+  /// snapshots (the index must not dangle when History::Replace
+  /// reallocates records, and delta rebuilds must not re-copy it).
   struct Entry {
     Signature sig;
     std::uint64_t content_id = 0;
   };
 
-  /// Builds the index of `history`'s *enabled* signatures, stamped with
-  /// the given history version.
+  /// Mutable adaptive telemetry for one key. Guarded by the runtime
+  /// mutex (the gate runs only on the slow path); shared across delta
+  /// rebuilds while the key's candidate content is unchanged.
+  struct KeyStats {
+    std::uint64_t scans = 0;           // instantiation scans executed
+    std::uint64_t instantiations = 0;  // scans that found an occupant set
+    /// Gate evaluations that proved the scan empty (no occupied peer
+    /// bucket). Drives the 1-in-N verification sampling; all but the
+    /// sampled evaluations skipped the scan outright.
+    std::uint64_t gate_hits = 0;
+    std::uint64_t verify_scans = 0;    // sampled gate-verification scans
+  };
+
+  struct KeySlot {
+    std::vector<Candidate> candidates;
+    /// Deduplicated occupancy buckets of every other position of every
+    /// candidate signature — the adaptive gate's read set.
+    std::vector<std::uint32_t> peer_buckets;
+    /// Hash of the candidate (content_id, position) sequence; equal
+    /// fingerprints across rebuilds let the slot keep its stats.
+    std::uint64_t fingerprint = 0;
+    std::shared_ptr<KeyStats> stats;
+  };
+
+  /// Builds the index of `history`'s *enabled* signatures from scratch,
+  /// stamped with the given history version.
   static std::shared_ptr<const AvoidanceIndex> Build(const History& history,
                                                      std::uint64_t version);
+
+  /// Delta rebuild: derives the next snapshot from `prev` plus whatever
+  /// mutation `history` now reflects. Entries whose content id survived
+  /// are reused (no signature deep copy); key slots whose candidate
+  /// content is unchanged keep their adaptive stats. Observationally
+  /// identical to Build(history, version).
+  static std::shared_ptr<const AvoidanceIndex> Rebuild(
+      const AvoidanceIndex& prev, const History& history,
+      std::uint64_t version);
 
   /// Candidates whose outer top frame key is `top_key`; nullptr if none.
   /// This is the only call the acquisition fast path makes.
   const std::vector<Candidate>* CandidatesForTopFrame(
       std::uint64_t top_key) const {
+    const KeySlot* slot = SlotForTopFrame(top_key);
+    return slot == nullptr ? nullptr : &slot->candidates;
+  }
+
+  /// Full key slot (candidates + adaptive state); nullptr if none.
+  const KeySlot* SlotForTopFrame(std::uint64_t top_key) const {
     auto it = by_outer_top_.find(top_key);
     if (it == by_outer_top_.end()) return nullptr;
     return &it->second;
   }
 
-  const Entry& entry(std::size_t ordinal) const { return entries_[ordinal]; }
+  const Entry& entry(std::size_t ordinal) const { return *entries_[ordinal]; }
   std::size_t size() const { return entries_.size(); }
   bool empty() const { return entries_.empty(); }
   /// History version this snapshot reflects.
   std::uint64_t version() const { return version_; }
 
+  /// Delta-rebuild provenance (full builds report 0 reused).
+  bool built_by_delta() const { return built_by_delta_; }
+  std::size_t entries_reused() const { return entries_reused_; }
+  std::size_t entries_copied() const { return entries_copied_; }
+
  private:
   AvoidanceIndex() = default;
 
-  std::vector<Entry> entries_;
-  std::unordered_map<std::uint64_t, std::vector<Candidate>> by_outer_top_;
+  static std::shared_ptr<const AvoidanceIndex> BuildInternal(
+      const History& history, std::uint64_t version,
+      const AvoidanceIndex* prev);
+
+  std::vector<std::shared_ptr<const Entry>> entries_;
+  std::unordered_map<std::uint64_t, KeySlot> by_outer_top_;
   std::uint64_t version_ = 0;
+  bool built_by_delta_ = false;
+  std::size_t entries_reused_ = 0;
+  std::size_t entries_copied_ = 0;
 };
 
 }  // namespace communix::dimmunix

@@ -17,7 +17,6 @@ int History::Add(Signature sig, SignatureOrigin origin, TimePoint now) {
   const std::size_t index = records_.size();
   records_.push_back(SignatureRecord{std::move(sig), origin, false, now});
   by_content_.emplace(content, index);
-  IndexRecord(index);
   return static_cast<int>(index);
 }
 
@@ -25,14 +24,12 @@ void History::Replace(std::size_t index, Signature sig) {
   by_content_.erase(records_.at(index).sig.ContentId());
   records_[index].sig = std::move(sig);
   by_content_.emplace(records_[index].sig.ContentId(), index);
-  RebuildIndex();
 }
 
 bool History::Disable(std::uint64_t content_id) {
   auto it = by_content_.find(content_id);
   if (it == by_content_.end()) return false;
   records_[it->second].disabled = true;
-  RebuildIndex();
   return true;
 }
 
@@ -40,7 +37,6 @@ bool History::ReEnable(std::uint64_t content_id) {
   auto it = by_content_.find(content_id);
   if (it == by_content_.end()) return false;
   records_[it->second].disabled = false;
-  RebuildIndex();
   return true;
 }
 
@@ -50,27 +46,6 @@ std::vector<std::size_t> History::FindByBugKey(std::uint64_t bug_key) const {
     if (records_[i].sig.BugKey() == bug_key) out.push_back(i);
   }
   return out;
-}
-
-const std::vector<std::pair<std::size_t, std::size_t>>*
-History::CandidatesForTopFrame(std::uint64_t top_key) const {
-  auto it = by_outer_top_.find(top_key);
-  if (it == by_outer_top_.end()) return nullptr;
-  return &it->second;
-}
-
-void History::IndexRecord(std::size_t index) {
-  const SignatureRecord& rec = records_[index];
-  if (rec.disabled) return;
-  const auto& entries = rec.sig.entries();
-  for (std::size_t pos = 0; pos < entries.size(); ++pos) {
-    by_outer_top_[entries[pos].outer.TopKey()].emplace_back(index, pos);
-  }
-}
-
-void History::RebuildIndex() {
-  by_outer_top_.clear();
-  for (std::size_t i = 0; i < records_.size(); ++i) IndexRecord(i);
 }
 
 Status History::SaveToFile(const std::string& path) const {
@@ -133,7 +108,6 @@ Result<History> History::LoadFromFile(const std::string& path) {
       h.records_[static_cast<std::size_t>(idx)].disabled = true;
     }
   }
-  h.RebuildIndex();
   return h;
 }
 

@@ -8,6 +8,11 @@
 // Thread-safety: History is not internally synchronized; the runtime
 // serializes access under its own lock, and the agent runs at application
 // startup before workload threads exist (mirroring the paper's design).
+//
+// The candidates-by-top-frame projection the avoidance hot path consults
+// lives in AvoidanceIndex (an immutable snapshot delta-rebuilt per
+// mutation), not here — History mutations are O(1)-ish instead of
+// recopying an index per Disable/Replace.
 #pragma once
 
 #include <cstdint>
@@ -58,24 +63,13 @@ class History {
   /// Indexes of signatures with the given bug identity.
   std::vector<std::size_t> FindByBugKey(std::uint64_t bug_key) const;
 
-  /// (index, position) pairs of enabled signatures having an outer stack
-  /// whose top frame key is `top_key` — the avoidance fast path.
-  const std::vector<std::pair<std::size_t, std::size_t>>* CandidatesForTopFrame(
-      std::uint64_t top_key) const;
-
   /// Persistence: versioned binary file.
   Status SaveToFile(const std::string& path) const;
   static Result<History> LoadFromFile(const std::string& path);
 
  private:
-  void IndexRecord(std::size_t index);
-  void RebuildIndex();
-
   std::vector<SignatureRecord> records_;
   std::unordered_map<std::uint64_t, std::size_t> by_content_;
-  std::unordered_map<std::uint64_t,
-                     std::vector<std::pair<std::size_t, std::size_t>>>
-      by_outer_top_;
 };
 
 }  // namespace communix::dimmunix

@@ -61,6 +61,10 @@ class Monitor {
   /// stack if this monitor ends up in a deadlock cycle. Guarded by the
   /// owner's ThreadContext::state_mu_.
   CallStack acq_stack_;
+  /// Occupancy bucket of acq_stack_'s top-frame key, cached at
+  /// acquisition so the release path can decrement the adaptive gate's
+  /// occupancy counter without rehashing. Same guard as acq_stack_.
+  std::uint32_t acq_bucket_ = 0;
 };
 
 }  // namespace communix::dimmunix

@@ -61,26 +61,50 @@ void DimmunixRuntime::ReapDetachedLocked() {
   std::erase_if(threads_, [&](const std::unique_ptr<ThreadContext>& t) {
     if (t->detached_ && referenced.count(t.get()) == 0 &&
         t->live_frames_.load(std::memory_order_acquire) == 0) {
+      // Fold the tombstone's counter shard into the runtime's before the
+      // memory goes away, so GetStats totals stay exact across churn.
+      global_counters_.Absorb(t->counters_);
       ++reaped;
       return true;
     }
     return false;
   });
-  stats_.threads_reaped.fetch_add(reaped, std::memory_order_relaxed);
+  global_counters_.threads_reaped.fetch_add(reaped, std::memory_order_relaxed);
 }
 
 void DimmunixRuntime::RepublishIndexLocked() {
   const std::uint64_t version = history_version_.fetch_add(1) + 1;
-  index_locked_ = AvoidanceIndex::Build(history_, version);
+  const bool full = !options_.delta_index_rebuilds ||
+                    options_.full_rebuild_period == 0 ||
+                    ++republishes_since_full_ >= options_.full_rebuild_period;
+  if (full) {
+    index_locked_ = AvoidanceIndex::Build(history_, version);
+    republishes_since_full_ = 0;
+    global_counters_.index_full_rebuilds.fetch_add(1,
+                                                   std::memory_order_relaxed);
+  } else {
+    index_locked_ =
+        AvoidanceIndex::Rebuild(*index_locked_, history_, version);
+    global_counters_.index_delta_rebuilds.fetch_add(1,
+                                                    std::memory_order_relaxed);
+    global_counters_.index_entries_reused.fetch_add(
+        index_locked_->entries_reused(), std::memory_order_relaxed);
+  }
   index_.store(index_locked_, std::memory_order_release);
-  stats_.index_republishes.fetch_add(1, std::memory_order_relaxed);
+  global_counters_.index_republishes.fetch_add(1, std::memory_order_relaxed);
 }
 
 void DimmunixRuntime::PublishAcquisition(ThreadContext& ctx, Monitor& m,
                                          const CallStack& stack) {
+  const std::uint32_t bucket = OccupancyTable::BucketOf(stack.TopKey());
+  // Occupancy discipline: enter the bucket *before* the holding becomes
+  // visible, leave it only *after* retraction (UnpublishAcquisition) —
+  // a zero bucket must prove no matching occupant is visible.
+  if (options_.avoidance_enabled) occupancy_.Enter(bucket);
   std::lock_guard pub(ctx.state_mu_);
   m.recursion_ = 1;
   m.acq_stack_ = stack;
+  m.acq_bucket_ = bucket;
   ctx.held_.push_back(&m);
 }
 
@@ -88,11 +112,17 @@ void DimmunixRuntime::UnpublishAcquisition(ThreadContext& ctx, Monitor& m) {
   // Runs while `ctx` still owns `m`: scanners holding state_mu_ see the
   // holding and its stack atomically retracted, and no new owner can
   // write acq_stack_ until owner_ is cleared afterwards.
-  std::lock_guard pub(ctx.state_mu_);
-  auto it = std::find(ctx.held_.begin(), ctx.held_.end(), &m);
-  if (it != ctx.held_.end()) ctx.held_.erase(it);
-  m.acq_stack_ = CallStack();
-  m.recursion_ = 0;
+  std::uint32_t bucket;
+  {
+    std::lock_guard pub(ctx.state_mu_);
+    auto it = std::find(ctx.held_.begin(), ctx.held_.end(), &m);
+    if (it != ctx.held_.end()) ctx.held_.erase(it);
+    m.acq_stack_ = CallStack();
+    bucket = m.acq_bucket_;
+    m.acq_bucket_ = 0;
+    m.recursion_ = 0;
+  }
+  if (options_.avoidance_enabled) occupancy_.Leave(bucket);
 }
 
 std::vector<ThreadContext*> DimmunixRuntime::FindImminentInstantiation(
@@ -253,7 +283,7 @@ Signature DimmunixRuntime::ExtractSignature(
 }
 
 Status DimmunixRuntime::Acquire(ThreadContext& ctx, Monitor& m) {
-  stats_.acquisitions.fetch_add(1, std::memory_order_relaxed);
+  ctx.counters_.acquisitions.fetch_add(1, std::memory_order_relaxed);
 
   if (options_.mode == RuntimeMode::kFastPath) {
     // Reentrancy: owner_ == &ctx can only be observed by the owner itself
@@ -268,12 +298,12 @@ Status DimmunixRuntime::Acquire(ThreadContext& ctx, Monitor& m) {
     // uncontended acquisition.
     const CallStack stack = ctx.CaptureStack(options_.max_stack_depth);
     if (TryFastAcquire(ctx, m, stack)) return Status::Ok();
-    stats_.slow_path_entries.fetch_add(1, std::memory_order_relaxed);
+    ctx.counters_.slow_path_entries.fetch_add(1, std::memory_order_relaxed);
     return AcquireSlow(ctx, m, stack);
   }
 
   const CallStack stack = ctx.CaptureStack(options_.max_stack_depth);
-  stats_.slow_path_entries.fetch_add(1, std::memory_order_relaxed);
+  ctx.counters_.slow_path_entries.fetch_add(1, std::memory_order_relaxed);
   return AcquireSlow(ctx, m, stack);
 }
 
@@ -301,6 +331,12 @@ bool DimmunixRuntime::TryFastAcquire(ThreadContext& ctx, Monitor& m,
   // that runs between the CAS and the held_-set publication still sees
   // (monitor, stack) via the pending slot, so there is no window in
   // which a concurrently installed signature could miss this holder.
+  // The occupancy bucket is entered first of all (and left only if the
+  // CAS loses): a zero bucket read by the adaptive gate proves this
+  // thread is not yet a visible occupant, ordering the gated
+  // acquisition before ours in the equivalent serialization.
+  const std::uint32_t bucket = OccupancyTable::BucketOf(stack.TopKey());
+  if (options_.avoidance_enabled) occupancy_.Enter(bucket);
   {
     std::lock_guard pub(ctx.state_mu_);
     ctx.pending_acquire_ = &m;
@@ -310,18 +346,22 @@ bool DimmunixRuntime::TryFastAcquire(ThreadContext& ctx, Monitor& m,
   if (!m.owner_.compare_exchange_strong(expected, &ctx,
                                         std::memory_order_acq_rel,
                                         std::memory_order_relaxed)) {
-    std::lock_guard pub(ctx.state_mu_);
-    ctx.pending_acquire_ = nullptr;
+    {
+      std::lock_guard pub(ctx.state_mu_);
+      ctx.pending_acquire_ = nullptr;
+    }
+    if (options_.avoidance_enabled) occupancy_.Leave(bucket);
     return false;  // contended: blocking/detection belongs to the slow path
   }
   {
     std::lock_guard pub(ctx.state_mu_);
     m.recursion_ = 1;
     m.acq_stack_ = std::move(ctx.pending_stack_);
+    m.acq_bucket_ = bucket;  // the pending entry transfers to the holding
     ctx.held_.push_back(&m);
     ctx.pending_acquire_ = nullptr;
   }
-  stats_.fast_path_acquisitions.fetch_add(1, std::memory_order_relaxed);
+  ctx.counters_.fast_path_acquisitions.fetch_add(1, std::memory_order_relaxed);
   return true;
 }
 
@@ -341,24 +381,66 @@ Status DimmunixRuntime::AcquireSlow(ThreadContext& ctx, Monitor& m,
 
     // ---- avoidance (§II-A) ----
     if (options_.avoidance_enabled && !index_locked_->empty()) {
+      const std::uint64_t top_key = stack.TopKey();
       std::unordered_set<std::uint64_t> counted;
       for (;;) {
         // The version must be sampled before the scan: a fast-path
         // release between the scan and the park bumps it, and the gated
         // wait then re-scans instead of sleeping on a stale decision.
         const std::uint64_t observed = state_version_.load();
+        // Re-probed every iteration: a republish while we slept may have
+        // changed (or emptied) the candidate set for this key.
+        const AvoidanceIndex::KeySlot* slot =
+            index_locked_->SlotForTopFrame(top_key);
+        if (slot == nullptr) break;  // no candidates gate this site
+        // Adaptive gate: if no thread occupies any *other* position of
+        // any candidate signature (all peer buckets zero), the
+        // instantiation scan is provably empty — skip it. Occupant-set
+        // changes re-arm automatically (the gate reads live counters);
+        // index changes re-arm via the republished slot above.
+        bool verifying_skip = false;
+        if (AdaptiveGateEnabled() &&
+            !occupancy_.AnyOccupied(slot->peer_buckets)) {
+          const std::uint64_t hits = ++slot->stats->gate_hits;
+          if (options_.adaptive_verify_sample == 0 ||
+              hits % options_.adaptive_verify_sample != 0) {
+            // scans_skipped counts only scans actually elided, so
+            // scans_skipped + instantiation_scans = candidate-hit gate
+            // evaluations (exact arithmetic for the bench/tests).
+            ctx.counters_.scans_skipped.fetch_add(1,
+                                                  std::memory_order_relaxed);
+            break;
+          }
+          // Sampled self-check: run the scan anyway; if the gate is
+          // right it finds nothing, and if it is wrong we fail safe by
+          // honoring the scan (and count the mismatch).
+          verifying_skip = true;
+          ++slot->stats->verify_scans;
+          ctx.counters_.sampled_verification_scans.fetch_add(
+              1, std::memory_order_relaxed);
+        }
         std::uint64_t matched = 0;
+        ++slot->stats->scans;
+        ctx.counters_.instantiation_scans.fetch_add(1,
+                                                    std::memory_order_relaxed);
         auto occupants = FindImminentInstantiation(ctx, m, stack,
                                                    *index_locked_, &matched);
         if (occupants.empty()) break;
+        ++slot->stats->instantiations;
+        if (verifying_skip) {
+          ctx.counters_.adaptive_gate_mismatches.fetch_add(
+              1, std::memory_order_relaxed);
+        }
         if (WouldCloseYieldCycle(ctx, occupants)) {
-          stats_.yield_cycle_overrides.fetch_add(1, std::memory_order_relaxed);
+          ctx.counters_.yield_cycle_overrides.fetch_add(
+              1, std::memory_order_relaxed);
           break;
         }
         if (counted.insert(matched).second) {
-          stats_.avoidance_suspensions.fetch_add(1, std::memory_order_relaxed);
+          ctx.counters_.avoidance_suspensions.fetch_add(
+              1, std::memory_order_relaxed);
           if (fp_detector_.RecordInstantiation(matched, clock_.Now())) {
-            stats_.false_positives_flagged.fetch_add(
+            ctx.counters_.false_positives_flagged.fetch_add(
                 1, std::memory_order_relaxed);
             // Locate the flagged signature for the warning callback.
             for (const SignatureRecord& r : history_.records()) {
@@ -388,7 +470,7 @@ Status DimmunixRuntime::AcquireSlow(ThreadContext& ctx, Monitor& m,
           NotifyStateChangedLocked();
           continue;
         }
-        WaitForStateChange(lock, observed);
+        WaitForStateChange(ctx, lock, observed);
       }
       if (ctx.in_avoidance_) {
         ctx.in_avoidance_ = false;
@@ -397,6 +479,7 @@ Status DimmunixRuntime::AcquireSlow(ThreadContext& ctx, Monitor& m,
     }
 
     // ---- blocking + detection (§II-A) ----
+    const std::uint32_t self_bucket = OccupancyTable::BucketOf(stack.TopKey());
     bool counted_contention = false;
     bool announced = false;
     bool granted = false;
@@ -410,14 +493,16 @@ Status DimmunixRuntime::AcquireSlow(ThreadContext& ctx, Monitor& m,
         break;
       }
       if (!counted_contention) {
-        stats_.contended_acquisitions.fetch_add(1, std::memory_order_relaxed);
+        ctx.counters_.contended_acquisitions.fetch_add(
+            1, std::memory_order_relaxed);
         counted_contention = true;
       }
       if (options_.detection_enabled) {
         const auto cycle = FindLockCycle(ctx, m);
         if (!cycle.empty()) {
           Signature sig = ExtractSignature(ctx, m, stack, cycle);
-          stats_.deadlocks_detected.fetch_add(1, std::memory_order_relaxed);
+          ctx.counters_.deadlocks_detected.fetch_add(
+              1, std::memory_order_relaxed);
           const bool novel_content =
               !history_.ContainsContent(sig.ContentId());
           // §III-D merge rule (1): two signatures produced on the local
@@ -430,7 +515,7 @@ Status DimmunixRuntime::AcquireSlow(ThreadContext& ctx, Monitor& m,
             if (auto m2 = Signature::Merge(rec.sig, sig, 0)) {
               history_.Replace(i, std::move(*m2));
               merged = true;
-              stats_.local_generalizations.fetch_add(
+              ctx.counters_.local_generalizations.fetch_add(
                   1, std::memory_order_relaxed);
               break;
             }
@@ -439,8 +524,8 @@ Status DimmunixRuntime::AcquireSlow(ThreadContext& ctx, Monitor& m,
             const int idx =
                 history_.Add(sig, SignatureOrigin::kLocal, clock_.Now());
             if (idx >= 0) {
-              stats_.signatures_learned.fetch_add(1,
-                                                  std::memory_order_relaxed);
+              ctx.counters_.signatures_learned.fetch_add(
+                  1, std::memory_order_relaxed);
             }
           }
           // The plugin uploads every new manifestation (the server and
@@ -462,6 +547,11 @@ Status DimmunixRuntime::AcquireSlow(ThreadContext& ctx, Monitor& m,
         }
       }
       if (!announced) {
+        // The block announcement is a published occupancy ("blocked at"
+        // counts toward instantiations): enter the bucket before it
+        // becomes visible. All transitions here run under mu_, so the
+        // adaptive gate (also under mu_) sees them atomically.
+        if (options_.avoidance_enabled) occupancy_.Enter(self_bucket);
         ctx.waiting_for_ = &m;
         ctx.waiting_stack_ = stack;
         // Blocking is a state change others must observe; same
@@ -470,9 +560,12 @@ Status DimmunixRuntime::AcquireSlow(ThreadContext& ctx, Monitor& m,
         announced = true;
         continue;
       }
-      WaitForStateChange(lock, observed);
+      WaitForStateChange(ctx, lock, observed);
     }
-    if (announced) ctx.waiting_for_ = nullptr;
+    if (announced) {
+      ctx.waiting_for_ = nullptr;
+      if (options_.avoidance_enabled) occupancy_.Leave(self_bucket);
+    }
 
     if (granted) {
       PublishAcquisition(ctx, m, stack);
@@ -504,7 +597,7 @@ void DimmunixRuntime::Release(ThreadContext& ctx, Monitor& m) {
       std::lock_guard lock(mu_);
       cv_.notify_all();
     } else {
-      stats_.fast_path_releases.fetch_add(1, std::memory_order_relaxed);
+      ctx.counters_.fast_path_releases.fetch_add(1, std::memory_order_relaxed);
     }
     return;
   }
@@ -528,7 +621,8 @@ int DimmunixRuntime::AddSignature(Signature sig, SignatureOrigin origin) {
   std::lock_guard lock(mu_);
   const int idx = history_.Add(std::move(sig), origin, clock_.Now());
   if (idx >= 0) {
-    stats_.signatures_learned.fetch_add(1, std::memory_order_relaxed);
+    global_counters_.signatures_learned.fetch_add(1,
+                                                  std::memory_order_relaxed);
     RepublishIndexLocked();
     NotifyStateChangedLocked();
   }
@@ -580,31 +674,14 @@ void DimmunixRuntime::SetFalsePositiveCallback(SignatureCallback cb) {
 }
 
 DimmunixRuntime::Stats DimmunixRuntime::GetStats() const {
+  std::lock_guard lock(mu_);
   Stats s;
-  s.acquisitions = stats_.acquisitions.load(std::memory_order_relaxed);
-  s.contended_acquisitions =
-      stats_.contended_acquisitions.load(std::memory_order_relaxed);
-  s.avoidance_suspensions =
-      stats_.avoidance_suspensions.load(std::memory_order_relaxed);
-  s.yield_cycle_overrides =
-      stats_.yield_cycle_overrides.load(std::memory_order_relaxed);
-  s.deadlocks_detected =
-      stats_.deadlocks_detected.load(std::memory_order_relaxed);
-  s.signatures_learned =
-      stats_.signatures_learned.load(std::memory_order_relaxed);
-  s.local_generalizations =
-      stats_.local_generalizations.load(std::memory_order_relaxed);
-  s.false_positives_flagged =
-      stats_.false_positives_flagged.load(std::memory_order_relaxed);
-  s.fast_path_acquisitions =
-      stats_.fast_path_acquisitions.load(std::memory_order_relaxed);
-  s.fast_path_releases =
-      stats_.fast_path_releases.load(std::memory_order_relaxed);
-  s.slow_path_entries =
-      stats_.slow_path_entries.load(std::memory_order_relaxed);
-  s.index_republishes =
-      stats_.index_republishes.load(std::memory_order_relaxed);
-  s.threads_reaped = stats_.threads_reaped.load(std::memory_order_relaxed);
+  global_counters_.AccumulateInto(s);
+  // Per-thread shards: live threads keep counting concurrently (relaxed
+  // reads give a consistent-enough snapshot, as before the sharding);
+  // tombstones are quiescent and still counted until the reap folds them
+  // into the runtime shard.
+  for (const auto& t : threads_) t->counters_.AccumulateInto(s);
   return s;
 }
 

@@ -34,9 +34,22 @@
 //    fast-paths when no waiter or suspended avoider could need waking.
 //    The index is an immutable snapshot republished (RCU-style, via
 //    std::atomic<std::shared_ptr>) by every history writer; readers
-//    never lock. A fast acquisition linearizes at its index load: it
-//    behaves exactly like a global-lock acquisition that ran just before
-//    any concurrently-learned signature was installed.
+//    never lock. Writers publish *delta* rebuilds derived from the
+//    previous snapshot (signature entries are shared, not re-copied)
+//    with a periodic full rebuild as a safety net. A fast acquisition
+//    linearizes at its index load: it behaves exactly like a global-lock
+//    acquisition that ran just before any concurrently-learned signature
+//    was installed.
+//
+//    Candidate hits are additionally gated by the *adaptive* scan gate:
+//    each published occupancy (held monitor, pending fast-path slot,
+//    announced block) counts into a striped per-top-key occupancy table,
+//    and a candidate-hit acquisition runs the instantiation scan only if
+//    some bucket of a *peer* position of one of its candidate signatures
+//    is non-zero. An all-zero read proves the scan would find no
+//    occupant set, so skipping it is decision-identical to the
+//    always-scan kGlobalLock reference (the schedule-harness equivalence
+//    test exercises exactly this claim).
 //
 //  * Slow path. Candidate hits, contention, reentrancy in global-lock
 //    mode, and detection all take the runtime-wide mutex `mu_`, which
@@ -69,6 +82,7 @@
 #include "dimmunix/history.hpp"
 #include "dimmunix/monitor.hpp"
 #include "dimmunix/signature.hpp"
+#include "dimmunix/stats.hpp"
 #include "dimmunix/thread_context.hpp"
 #include "util/clock.hpp"
 #include "util/status.hpp"
@@ -93,6 +107,23 @@ class DimmunixRuntime {
     /// decide; tests exercise both policies).
     bool auto_disable_false_positives = false;
     RuntimeMode mode = RuntimeMode::kFastPath;
+    /// Adaptive scan gate (kFastPath only): candidate-hit sites whose
+    /// candidate signatures have no live occupant in any *other* position
+    /// skip the instantiation scan. Provably decision-identical to the
+    /// always-scan kGlobalLock reference — the gate only elides scans
+    /// that must return empty (see OccupancyTable).
+    bool adaptive_avoidance = true;
+    /// Run a verification scan every Nth gate skip and count any
+    /// disagreement in Stats::adaptive_gate_mismatches (0 disables
+    /// sampling). The runtime fails safe on mismatch: it honors the scan
+    /// result, so even a broken gate cannot admit past the reference.
+    std::uint32_t adaptive_verify_sample = 64;
+    /// Republish the avoidance index by delta rebuild (reusing the
+    /// previous snapshot's entries) instead of a full copy.
+    bool delta_index_rebuilds = true;
+    /// Interleave a from-scratch full rebuild every Nth republish as a
+    /// safety net for long delta chains (0 = always full).
+    std::uint32_t full_rebuild_period = 64;
     FpDetector::Options fp;
   };
 
@@ -150,31 +181,10 @@ class DimmunixRuntime {
   void SetFalsePositiveCallback(SignatureCallback cb);
 
   // ---- introspection --------------------------------------------------
-  struct Stats {
-    std::uint64_t acquisitions = 0;
-    std::uint64_t contended_acquisitions = 0;
-    std::uint64_t avoidance_suspensions = 0;
-    std::uint64_t yield_cycle_overrides = 0;
-    std::uint64_t deadlocks_detected = 0;
-    std::uint64_t signatures_learned = 0;
-    /// Detections that generalized an existing local signature (§III-D
-    /// merge rule 1) instead of adding a new history entry.
-    std::uint64_t local_generalizations = 0;
-    std::uint64_t false_positives_flagged = 0;
-    /// Acquisitions completed by the lock-free path (candidate-free top
-    /// frame, uncontended CAS) without touching the runtime mutex.
-    std::uint64_t fast_path_acquisitions = 0;
-    /// Releases that neither took the runtime mutex nor had to wake
-    /// anyone.
-    std::uint64_t fast_path_releases = 0;
-    /// Acquisitions that entered the global-lock slow path (every
-    /// acquisition, in kGlobalLock mode).
-    std::uint64_t slow_path_entries = 0;
-    /// Times the avoidance index was rebuilt and re-published.
-    std::uint64_t index_republishes = 0;
-    /// Tombstoned thread contexts reclaimed.
-    std::uint64_t threads_reaped = 0;
-  };
+  /// Aggregated snapshot of the per-thread + runtime counter shards (see
+  /// stats.hpp). Kept as a nested alias so call sites read
+  /// DimmunixRuntime::Stats as before the sharding.
+  using Stats = RuntimeStats;
   Stats GetStats() const;
   /// Number of thread-context records currently retained (live +
   /// not-yet-reaped tombstones) — introspection for the reap tests.
@@ -182,28 +192,26 @@ class DimmunixRuntime {
   Clock& clock() { return clock_; }
   const Options& options() const { return options_; }
 
+  // ---- deterministic-schedule test-harness support ----------------------
+  /// Current state version (lock-free). A thread parked at this version
+  /// cannot advance until a writer bumps it.
+  std::uint64_t StateVersionForTest() const {
+    return state_version_.load(std::memory_order_seq_cst);
+  }
+  /// True iff `ctx` sits in the runtime's version-gated wait with no
+  /// pending state change — i.e. it is stably blocked and will not move
+  /// until another thread acts. Used by the schedule harness to decide
+  /// that a dispatched operation has settled as "blocked".
+  bool IsQuiescentlyParkedForTest(const ThreadContext& ctx) const {
+    return ctx.parked_.load(std::memory_order_acquire) &&
+           ctx.park_version_.load(std::memory_order_acquire) ==
+               state_version_.load(std::memory_order_seq_cst);
+  }
+
  private:
   struct Occupant {
     ThreadContext* thread;
     const Monitor* lock;
-  };
-
-  /// Relaxed-atomic mirror of Stats; rejection-free counting on the fast
-  /// path (same shape as the Communix server's Stats).
-  struct Counters {
-    std::atomic<std::uint64_t> acquisitions{0};
-    std::atomic<std::uint64_t> contended_acquisitions{0};
-    std::atomic<std::uint64_t> avoidance_suspensions{0};
-    std::atomic<std::uint64_t> yield_cycle_overrides{0};
-    std::atomic<std::uint64_t> deadlocks_detected{0};
-    std::atomic<std::uint64_t> signatures_learned{0};
-    std::atomic<std::uint64_t> local_generalizations{0};
-    std::atomic<std::uint64_t> false_positives_flagged{0};
-    std::atomic<std::uint64_t> fast_path_acquisitions{0};
-    std::atomic<std::uint64_t> fast_path_releases{0};
-    std::atomic<std::uint64_t> slow_path_entries{0};
-    std::atomic<std::uint64_t> index_republishes{0};
-    std::atomic<std::uint64_t> threads_reaped{0};
   };
 
   /// Candidate-free + uncontended-CAS attempt; true iff the acquisition
@@ -239,10 +247,19 @@ class DimmunixRuntime {
                              const CallStack& inner_of_ctx,
                              const std::vector<CycleNode>& chain) const;
 
-  /// Rebuilds the avoidance index from history_ and publishes it; bumps
-  /// the history version. Must be called (under mu_) after every history
-  /// mutation.
+  /// Republishes the avoidance index after a history mutation and bumps
+  /// the history version. Must be called under mu_. Publishes a delta
+  /// rebuild derived from the previous snapshot (entries reused, key
+  /// stats carried over) except every `full_rebuild_period`-th call,
+  /// which runs the from-scratch full build as a safety net.
   void RepublishIndexLocked();
+
+  /// True iff the adaptive scan gate applies (fast-path mode only; the
+  /// kGlobalLock reference always scans).
+  bool AdaptiveGateEnabled() const {
+    return options_.mode == RuntimeMode::kFastPath &&
+           options_.adaptive_avoidance;
+  }
 
   /// Grants `m` to `ctx`: records recursion/acq stack/held entry under
   /// ctx's publication lock. Ownership of `m` must already be claimed.
@@ -271,13 +288,19 @@ class DimmunixRuntime {
     state_version_.fetch_add(1);
     if (sleepers_.load() > 0) cv_.notify_all();
   }
-  /// Parks until the state version moves past `observed`. Caller holds
-  /// mu_ and must have loaded `observed` *before* examining the state it
-  /// decided to wait on.
-  void WaitForStateChange(std::unique_lock<std::mutex>& lock,
+  /// Parks `ctx` until the state version moves past `observed`. Caller
+  /// holds mu_ and must have loaded `observed` *before* examining the
+  /// state it decided to wait on. Publishes the park through the
+  /// context's parked_/park_version_ pair for the schedule harness.
+  void WaitForStateChange(ThreadContext& ctx,
+                          std::unique_lock<std::mutex>& lock,
                           std::uint64_t observed) {
+    ctx.counters_.wait_rounds.fetch_add(1, std::memory_order_relaxed);
     sleepers_.fetch_add(1);
+    ctx.park_version_.store(observed, std::memory_order_release);
+    ctx.parked_.store(true, std::memory_order_release);
     cv_.wait(lock, [&] { return state_version_.load() != observed; });
+    ctx.parked_.store(false, std::memory_order_release);
     sleepers_.fetch_sub(1);
   }
 
@@ -286,7 +309,18 @@ class DimmunixRuntime {
 
   History history_;        // guarded by mu_
   FpDetector fp_detector_; // guarded by mu_
-  Counters stats_;         // relaxed atomics, lock-free
+  /// Runtime-owned counter shard for events with no acquiring thread
+  /// (republishes, injected signatures, reaping) plus the folded shards
+  /// of reaped contexts. Per-acquisition counting lives in each
+  /// ThreadContext's shard; GetStats sums all of them.
+  StatCounters global_counters_;
+
+  /// Live occupancy per top-frame-key bucket, feeding the adaptive scan
+  /// gate. Maintained for every published occupancy (held monitors,
+  /// fast-path pending slots, slow-path block announcements) whenever
+  /// avoidance is enabled; index-independent, so signatures learned
+  /// later still see occupants that acquired earlier.
+  OccupancyTable occupancy_;
 
   /// Immutable snapshot the lock-free read side consults.
   std::atomic<std::shared_ptr<const AvoidanceIndex>> index_;
@@ -294,6 +328,8 @@ class DimmunixRuntime {
   /// (slow path + republish).
   std::shared_ptr<const AvoidanceIndex> index_locked_;  // guarded by mu_
   std::atomic<std::uint64_t> history_version_{0};
+  /// Republishes since the last full rebuild (guarded by mu_).
+  std::uint32_t republishes_since_full_ = 0;
 
   SignatureCallback new_signature_cb_;   // guarded by mu_ (invoked unlocked)
   SignatureCallback false_positive_cb_;  // guarded by mu_ (invoked unlocked)

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "dimmunix/frame.hpp"
+#include "dimmunix/stats.hpp"
 
 namespace communix::dimmunix {
 
@@ -98,6 +99,19 @@ class ThreadContext {
   /// attempt is exactly equivalent.
   Monitor* pending_acquire_ = nullptr;
   CallStack pending_stack_;
+
+  /// This thread's shard of the runtime statistics; bumped lock-free by
+  /// the owning thread, summed by DimmunixRuntime::GetStats, folded into
+  /// the runtime's shard when the context is reaped.
+  StatCounters counters_;
+
+  /// Park telemetry for the deterministic-schedule test harness: while
+  /// `parked_` is true the thread sits in the runtime's version-gated
+  /// cv wait, and `park_version_` is the state version it decided to
+  /// wait on — if that still equals the current version, the thread
+  /// cannot advance until a writer bumps it (quiescently parked).
+  std::atomic<bool> parked_{false};
+  std::atomic<std::uint64_t> park_version_{0};
 
   // ---- guarded by DimmunixRuntime::mu_ ----
   Monitor* waiting_for_ = nullptr;  // blocked on this monitor's owner

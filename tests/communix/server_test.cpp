@@ -341,5 +341,162 @@ TEST_F(ServerTest, ConcurrentAddsAndGetsAreSafe) {
   EXPECT_EQ(server_.db_size(), static_cast<std::uint64_t>(kThreads * 10));
 }
 
+// ---------------------------------------------------------------------------
+// Malformed kAddBatch wire frames: the parse helpers must reject every
+// truncation/corruption and the server must stay fully alive afterwards.
+// ---------------------------------------------------------------------------
+
+class MalformedBatchTest : public ServerTest {
+ protected:
+  net::Response Send(std::vector<std::uint8_t> payload) {
+    net::Request req;
+    req.type = net::MsgType::kAddBatch;
+    req.payload = std::move(payload);
+    return server_.Handle(req);
+  }
+
+  /// Ping + a fresh valid ADD must still work (no poisoned state).
+  void ExpectServerAlive() {
+    net::Request ping;
+    ping.type = net::MsgType::kPing;
+    EXPECT_TRUE(server_.Handle(ping).ok());
+    EXPECT_TRUE(
+        server_.AddSignature(token_, MakeSig(alive_salt_ += 1000)).ok());
+  }
+
+  std::uint32_t alive_salt_ = 50'000;
+};
+
+TEST_F(MalformedBatchTest, EmptyPayload) {
+  EXPECT_EQ(Send({}).code, ErrorCode::kInvalidArgument);
+  ExpectServerAlive();
+}
+
+TEST_F(MalformedBatchTest, TruncatedToken) {
+  BinaryWriter w;
+  const std::vector<std::uint8_t> half(8, 0xAB);
+  w.WriteRaw(std::span<const std::uint8_t>(half.data(), half.size()));
+  EXPECT_EQ(Send(w.take()).code, ErrorCode::kInvalidArgument);
+  ExpectServerAlive();
+}
+
+TEST_F(MalformedBatchTest, CountWithoutSignatures) {
+  BinaryWriter w;
+  w.WriteRaw(std::span<const std::uint8_t>(token_.data(), token_.size()));
+  w.WriteU32(3);  // promises three signatures, delivers none
+  EXPECT_EQ(Send(w.take()).code, ErrorCode::kInvalidArgument);
+  ExpectServerAlive();
+}
+
+TEST_F(MalformedBatchTest, HostileCountCannotForceAllocation) {
+  BinaryWriter w;
+  w.WriteRaw(std::span<const std::uint8_t>(token_.data(), token_.size()));
+  w.WriteU32(0xFFFFFFFFu);
+  // Must be rejected by the count <= remaining/4 guard, not by running
+  // out of memory on a reserve.
+  EXPECT_EQ(Send(w.take()).code, ErrorCode::kInvalidArgument);
+  ExpectServerAlive();
+}
+
+TEST_F(MalformedBatchTest, TruncatedSignatureBytes) {
+  BinaryWriter w;
+  w.WriteRaw(std::span<const std::uint8_t>(token_.data(), token_.size()));
+  w.WriteU32(1);
+  w.WriteU32(100);  // length prefix promising 100 bytes...
+  w.WriteU8(0x42);  // ...followed by one
+  EXPECT_EQ(Send(w.take()).code, ErrorCode::kInvalidArgument);
+  ExpectServerAlive();
+}
+
+TEST_F(MalformedBatchTest, GarbageSignatureContent) {
+  BinaryWriter w;
+  w.WriteRaw(std::span<const std::uint8_t>(token_.data(), token_.size()));
+  w.WriteU32(1);
+  const std::vector<std::uint8_t> junk = {0xDE, 0xAD, 0xBE, 0xEF, 0x01};
+  w.WriteBytes(std::span<const std::uint8_t>(junk.data(), junk.size()));
+  EXPECT_EQ(Send(w.take()).code, ErrorCode::kInvalidArgument);
+  ExpectServerAlive();
+}
+
+TEST_F(MalformedBatchTest, TrailingGarbageAfterValidBatch) {
+  const std::vector<std::vector<std::uint8_t>> sigs = {
+      MakeSig(1).ToBytes()};
+  net::Request req = net::BuildAddBatchRequest(
+      std::span<const std::uint8_t>(token_.data(), token_.size()),
+      std::span<const std::vector<std::uint8_t>>(sigs.data(), sigs.size()));
+  req.payload.push_back(0x99);
+  EXPECT_EQ(server_.Handle(req).code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(server_.db_size(), 0u) << "no partial install from a bad frame";
+  ExpectServerAlive();
+}
+
+// ---------------------------------------------------------------------------
+// Wire-level GET scans racing concurrent batch appends: every reply must
+// parse completely, carry exactly its count prefix, and contain only
+// fully-committed, deserializable signatures.
+// ---------------------------------------------------------------------------
+
+TEST_F(ServerTest, GetScansRaceConcurrentBatchAppends) {
+  constexpr int kBatches = 40;
+  constexpr int kPerBatch = 5;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> violations{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t last_count = 0;
+      while (!done.load(std::memory_order_acquire)) {
+        net::Request req;
+        req.type = net::MsgType::kGetSignatures;
+        BinaryWriter w;
+        w.WriteU64(0);
+        req.payload = w.take();
+        const net::Response resp = server_.Handle(req);
+        if (!resp.ok()) {
+          violations.fetch_add(1);
+          continue;
+        }
+        BinaryReader pr(std::span<const std::uint8_t>(resp.payload.data(),
+                                                      resp.payload.size()));
+        const std::uint32_t count = pr.ReadU32();
+        std::uint32_t parsed = 0;
+        for (std::uint32_t i = 0; i < count; ++i) {
+          const auto bytes = pr.ReadBytes();
+          if (!pr.ok() ||
+              !Signature::FromBytes(std::span<const std::uint8_t>(
+                  bytes.data(), bytes.size()))) {
+            violations.fetch_add(1);
+            break;
+          }
+          ++parsed;
+        }
+        if (parsed == count && !pr.AtEnd()) violations.fetch_add(1);
+        if (count < last_count) violations.fetch_add(1);  // log is append-only
+        last_count = count;
+      }
+    });
+  }
+
+  std::uint32_t salt = 0;
+  for (int b = 0; b < kBatches; ++b) {
+    // One user per batch so the 10/day rate limit never throttles the
+    // append stream the readers race against.
+    const UserToken tok = server_.IssueToken(static_cast<UserId>(2000 + b));
+    std::vector<Signature> batch;
+    for (int i = 0; i < kPerBatch; ++i) {
+      batch.push_back(MakeSig(200'000 + 100 * salt++));
+    }
+    const auto statuses = server_.AddBatch(
+        tok, std::span<const Signature>(batch.data(), batch.size()));
+    for (const Status& s : statuses) EXPECT_TRUE(s.ok());
+  }
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0u);
+  EXPECT_EQ(server_.db_size(),
+            static_cast<std::uint64_t>(kBatches * kPerBatch));
+}
+
 }  // namespace
 }  // namespace communix

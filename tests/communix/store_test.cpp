@@ -116,6 +116,46 @@ TEST(SignatureLogTest, ConcurrentReadersSeeOnlyCommittedEntries) {
   EXPECT_EQ(log.size(), kTotal);
 }
 
+TEST(SignatureLogTest, IncrementalCursorScansRaceConcurrentAppends) {
+  // The server's GET(k) pattern: readers keep a cursor and scan only the
+  // delta each round while appends land concurrently. Every delta must
+  // be dense, in order, fully committed, and cursors must never observe
+  // the log shrinking.
+  SignatureLog log;
+  constexpr std::uint64_t kTotal = 20'000;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> violations{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      std::uint64_t cursor = 0;
+      for (;;) {
+        const std::uint64_t n = log.size();
+        if (n < cursor) violations.fetch_add(1);
+        std::uint64_t expect = cursor;
+        log.Visit(cursor, n, [&](std::uint64_t i, const StoredSignature& s) {
+          if (i != expect || s.content_id != i || s.bytes != Entry(i).bytes) {
+            violations.fetch_add(1);
+          }
+          ++expect;
+        });
+        if (expect != n) violations.fetch_add(1);
+        cursor = n;
+        if (done.load(std::memory_order_acquire) && cursor == log.size()) {
+          break;
+        }
+        std::this_thread::yield();
+      }
+      EXPECT_EQ(cursor, kTotal);
+    });
+  }
+  for (std::uint64_t i = 0; i < kTotal; ++i) log.Append(Entry(i));
+  done.store(true, std::memory_order_release);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(violations.load(), 0u);
+}
+
 TEST(UserStateShardsTest, ShardCountRoundsUpToPowerOfTwo) {
   EXPECT_EQ(UserStateShards(0).shard_count(), 1u);
   EXPECT_EQ(UserStateShards(1).shard_count(), 1u);

@@ -1,0 +1,126 @@
+// Slow-path wait fairness characterization (ROADMAP: "Slow-path wait
+// fairness").
+//
+// Monitor handoff is *barging*: a release clears owner_ and wakes
+// sleepers, but the monitor is granted by a bare CAS race — a fast-path
+// acquirer that arrives between the owner's release and a woken
+// waiter's re-CAS wins the monitor without ever queueing, and the
+// waiter re-parks. These tests document today's behavior: starvation is
+// possible in principle but bounded in practice because every barger's
+// release bumps the state version and wakes the waiter again, giving it
+// one CAS attempt per barger critical section.
+//
+// If/when a waiter-count bit in the owner word (or another anti-barging
+// protocol) lands, the bounded-starvation assertions below become
+// strict fairness assertions; the wait_rounds telemetry they use is
+// already in place.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "../testutil.hpp"
+#include "dimmunix/runtime.hpp"
+#include "util/clock.hpp"
+
+namespace communix::dimmunix {
+namespace {
+
+TEST(FairnessTest, WokenWaiterIsNotStarvedByFastPathBargers) {
+  VirtualClock clock;
+  DimmunixRuntime rt(clock);
+  Monitor m("contested");
+
+  constexpr int kBargerCycles = 2'000;
+  std::atomic<bool> waiter_blocked{false};
+  std::atomic<bool> waiter_acquired{false};
+  std::atomic<int> barger_cycles_at_acquire{-1};
+  std::atomic<int> barger_cycles{0};
+
+  // Holder: takes the monitor, waits until the waiter is parked on it,
+  // then releases — opening the barging window while the barger loop is
+  // running at full speed.
+  std::thread holder([&] {
+    auto& ctx = rt.AttachThread("holder");
+    {
+      ScopedFrame f(ctx, "fair.H", "run", 1);
+      ASSERT_TRUE(rt.Acquire(ctx, m).ok());
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(10);
+      while (!waiter_blocked.load() &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+      rt.Release(ctx, m);
+    }
+    rt.DetachThread(ctx);
+  });
+
+  // Waiter: blocks on the held monitor via the slow path.
+  std::thread waiter([&] {
+    auto& ctx = rt.AttachThread("waiter");
+    {
+      ScopedFrame f(ctx, "fair.W", "run", 1);
+      std::thread announce([&] {
+        // Flip the flag once this thread has actually parked.
+        const auto deadline =
+            std::chrono::steady_clock::now() + std::chrono::seconds(10);
+        while (rt.GetStats().contended_acquisitions == 0 &&
+               std::chrono::steady_clock::now() < deadline) {
+          std::this_thread::yield();
+        }
+        waiter_blocked.store(true);
+      });
+      ASSERT_TRUE(rt.Acquire(ctx, m).ok());
+      barger_cycles_at_acquire.store(barger_cycles.load());
+      waiter_acquired.store(true);
+      rt.Release(ctx, m);
+      announce.join();
+    }
+    rt.DetachThread(ctx);
+  });
+
+  // Barger: fast-path acquire/release cycles on the same monitor with a
+  // tiny critical section. Each successful cycle while the waiter is
+  // parked is a barge.
+  std::thread barger([&] {
+    auto& ctx = rt.AttachThread("barger");
+    {
+      ScopedFrame f(ctx, "fair.B", "run", 1);
+      while (!waiter_blocked.load()) std::this_thread::yield();
+      for (int i = 0; i < kBargerCycles && !waiter_acquired.load(); ++i) {
+        if (rt.Acquire(ctx, m).ok()) {
+          barger_cycles.fetch_add(1);
+          rt.Release(ctx, m);
+        }
+      }
+    }
+    rt.DetachThread(ctx);
+  });
+
+  holder.join();
+  waiter.join();
+  barger.join();
+
+  // Bounded starvation: the waiter must get the monitor before the
+  // barger exhausts its budget (in practice it wins within a handful of
+  // cycles; the generous bound documents the *absence of unbounded*
+  // starvation, not fairness).
+  EXPECT_TRUE(waiter_acquired.load());
+  EXPECT_LT(barger_cycles_at_acquire.load(), kBargerCycles);
+
+  const auto stats = rt.GetStats();
+  EXPECT_GE(stats.contended_acquisitions, 1u);
+  // Every extra wait round past the first is a lost race against a
+  // barger (or a spurious state change) — wait_rounds also counts the
+  // barger's own slow-path parks when it loses to the waiter, so the
+  // bound is a small multiple of the barger budget. Recorded for the
+  // ROADMAP item; today's protocol gives no tighter bound.
+  EXPECT_LE(stats.wait_rounds,
+            4 * static_cast<std::uint64_t>(kBargerCycles) + 16)
+      << "more re-parks than the barging analysis allows";
+}
+
+}  // namespace
+}  // namespace communix::dimmunix

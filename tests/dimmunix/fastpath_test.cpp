@@ -19,6 +19,7 @@
 
 #include "../testutil.hpp"
 #include "dimmunix/runtime.hpp"
+#include "schedule_harness.hpp"
 #include "sim/workload.hpp"
 #include "util/clock.hpp"
 #include "util/rng.hpp"
@@ -130,12 +131,13 @@ struct TraceOutcome {
 };
 
 /// Runs a deterministic pseudo-random acquire/release/frame trace (seeded
-/// by `seed`) against a runtime in `mode`; the trace mixes candidate-free
-/// and candidate-hitting top frames, reentrancy, and mid-trace index
-/// republishes (AddSignature / Disable / ReEnable).
-TraceOutcome RunRandomTrace(RuntimeMode mode, std::uint64_t seed) {
+/// by `seed`) against a runtime built from `opts`; the trace mixes
+/// candidate-free and candidate-hitting top frames, reentrancy, and
+/// mid-trace index republishes (AddSignature / Disable / ReEnable).
+TraceOutcome RunRandomTrace(const DimmunixRuntime::Options& opts,
+                            std::uint64_t seed) {
   VirtualClock clock;
-  DimmunixRuntime rt(clock, ModeOptions(mode));
+  DimmunixRuntime rt(clock, opts);
   Rng rng(seed);
 
   // Random history over a small pool so trace tops sometimes collide.
@@ -226,152 +228,78 @@ TraceOutcome RunRandomTrace(RuntimeMode mode, std::uint64_t seed) {
 }
 
 TEST(FastPathEquivalenceTest, RandomTracesProduceIdenticalOutcomes) {
+  DimmunixRuntime::Options global = ModeOptions(RuntimeMode::kGlobalLock);
+  DimmunixRuntime::Options fast_plain = ModeOptions(RuntimeMode::kFastPath);
+  fast_plain.adaptive_avoidance = false;
+  const DimmunixRuntime::Options fast_adaptive =
+      ModeOptions(RuntimeMode::kFastPath);  // adaptive gate on by default
   for (std::uint64_t seed = 1; seed <= 12; ++seed) {
-    const TraceOutcome fast = RunRandomTrace(RuntimeMode::kFastPath, seed);
-    const TraceOutcome global = RunRandomTrace(RuntimeMode::kGlobalLock, seed);
-    ASSERT_EQ(fast.statuses, global.statuses) << "seed " << seed;
-    EXPECT_EQ(fast.stats.acquisitions, global.stats.acquisitions)
-        << "seed " << seed;
-    EXPECT_EQ(fast.stats.avoidance_suspensions,
-              global.stats.avoidance_suspensions)
-        << "seed " << seed;
-    EXPECT_EQ(fast.stats.deadlocks_detected, global.stats.deadlocks_detected)
-        << "seed " << seed;
-    EXPECT_EQ(fast.stats.signatures_learned, global.stats.signatures_learned)
-        << "seed " << seed;
+    const TraceOutcome ref = RunRandomTrace(global, seed);
+    for (const auto& [label, opts] :
+         {std::pair<const char*, const DimmunixRuntime::Options&>(
+              "fast", fast_plain),
+          std::pair<const char*, const DimmunixRuntime::Options&>(
+              "adaptive", fast_adaptive)}) {
+      const TraceOutcome got = RunRandomTrace(opts, seed);
+      ASSERT_EQ(got.statuses, ref.statuses) << label << " seed " << seed;
+      EXPECT_EQ(got.stats.acquisitions, ref.stats.acquisitions)
+          << label << " seed " << seed;
+      EXPECT_EQ(got.stats.avoidance_suspensions,
+                ref.stats.avoidance_suspensions)
+          << label << " seed " << seed;
+      EXPECT_EQ(got.stats.deadlocks_detected, ref.stats.deadlocks_detected)
+          << label << " seed " << seed;
+      EXPECT_EQ(got.stats.signatures_learned, ref.stats.signatures_learned)
+          << label << " seed " << seed;
+      EXPECT_EQ(got.stats.adaptive_gate_mismatches, 0u)
+          << label << " seed " << seed;
+    }
     // The trace is single-threaded: nothing can occupy the other
-    // signature positions, so neither mode may ever suspend or detect.
-    EXPECT_EQ(fast.stats.avoidance_suspensions, 0u);
-    EXPECT_EQ(fast.stats.deadlocks_detected, 0u);
+    // signature positions, so no mode may ever suspend or detect.
+    EXPECT_EQ(ref.stats.avoidance_suspensions, 0u);
+    EXPECT_EQ(ref.stats.deadlocks_detected, 0u);
   }
 }
 
 // ---------------------------------------------------------------------------
-// Equivalence property: scripted two-thread suspension scenarios.
+// Equivalence property: scripted two-thread suspension scenarios, driven
+// by the deterministic schedule harness (schedule_harness.hpp). The
+// harness serializes the interleaving, so unlike the PR-2 handshake
+// version these scenarios compare full step traces, not just counters.
+// The exhaustive truth table lives in schedule_harness_test.cpp (the
+// script builder is shared); this suite adds randomized deeper variants.
 // ---------------------------------------------------------------------------
-
-struct ScenarioParams {
-  std::uint32_t depth;   // signature outer depth
-  bool t1_matches;       // acquirer's stack matches its entry
-  bool t2_matches;       // occupant's stack matches its entry
-  bool enabled;          // signature enabled in the history
-  bool ExpectSuspension() const {
-    return enabled && t1_matches && t2_matches;
-  }
-};
-
-/// Occupant T2 holds monitor B under a stack that (mis)matches the
-/// signature's second entry; acquirer T1 then takes monitor A under a
-/// stack that (mis)matches the first. Iff both match and the signature is
-/// enabled, T1's acquisition completes an imminent instantiation and must
-/// suspend until T2 releases. Fully handshake-sequenced => deterministic.
-DimmunixRuntime::Stats RunSuspensionScenario(RuntimeMode mode,
-                                             const ScenarioParams& p) {
-  VirtualClock clock;
-  DimmunixRuntime rt(clock, ModeOptions(mode));
-  const Signature sig =
-      Sig2(ChainStack("sc.X", p.depth, F("sc.X", "sync", 100)),
-           ChainStack("sc.X", p.depth, F("sc.X", "in", 110)),
-           ChainStack("sc.Y", p.depth, F("sc.Y", "sync", 120)),
-           ChainStack("sc.Y", p.depth, F("sc.Y", "in", 130)));
-  rt.AddSignature(sig, SignatureOrigin::kRemote);
-  if (!p.enabled) {
-    rt.WithHistory([&](History& h) { h.Disable(sig.ContentId()); });
-  }
-
-  Monitor a("A"), b("B");
-  std::atomic<bool> occupant_ready{false};
-  std::atomic<bool> release_b{false};
-  std::atomic<bool> t1_done{false};
-
-  std::thread t2([&] {
-    auto& ctx = rt.AttachThread("occupant");
-    std::vector<std::unique_ptr<ScopedFrame>> frames;
-    for (std::uint32_t i = 0; i + 1 < p.depth; ++i) {
-      frames.push_back(std::make_unique<ScopedFrame>(
-          ctx, "sc.Y", "m" + std::to_string(i), i + 1));
-    }
-    frames.push_back(std::make_unique<ScopedFrame>(
-        ctx, "sc.Y", "sync", p.t2_matches ? 120u : 121u));
-    ASSERT_TRUE(rt.Acquire(ctx, b).ok());
-    occupant_ready.store(true);
-    while (!release_b.load()) std::this_thread::yield();
-    rt.Release(ctx, b);
-    frames.clear();
-    rt.DetachThread(ctx);
-  });
-
-  std::thread t1([&] {
-    while (!occupant_ready.load()) std::this_thread::yield();
-    auto& ctx = rt.AttachThread("acquirer");
-    std::vector<std::unique_ptr<ScopedFrame>> frames;
-    for (std::uint32_t i = 0; i + 1 < p.depth; ++i) {
-      frames.push_back(std::make_unique<ScopedFrame>(
-          ctx, "sc.X", "m" + std::to_string(i), i + 1));
-    }
-    frames.push_back(std::make_unique<ScopedFrame>(
-        ctx, "sc.X", "sync", p.t1_matches ? 100u : 101u));
-    ASSERT_TRUE(rt.Acquire(ctx, a).ok());
-    rt.Release(ctx, a);
-    frames.clear();
-    t1_done.store(true);
-    rt.DetachThread(ctx);
-  });
-
-  // Wait for the scripted outcome, then let the occupant go.
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(10);
-  if (p.ExpectSuspension()) {
-    while (rt.GetStats().avoidance_suspensions == 0 && !t1_done.load()) {
-      if (std::chrono::steady_clock::now() >= deadline) {
-        ADD_FAILURE() << "expected suspension never observed";
-        break;
-      }
-      std::this_thread::yield();
-    }
-  } else {
-    while (!t1_done.load()) {
-      if (std::chrono::steady_clock::now() >= deadline) {
-        ADD_FAILURE() << "acquirer stalled without an expected suspension";
-        break;
-      }
-      std::this_thread::yield();
-    }
-  }
-  release_b.store(true);
-  t1.join();
-  t2.join();
-  return rt.GetStats();
-}
 
 TEST(FastPathEquivalenceTest, ScriptedSuspensionScenariosAgree) {
+  namespace sched = communix::dimmunix::schedule;
   Rng rng(0xFA57);
-  std::vector<ScenarioParams> scenarios;
-  // The full deterministic truth table at depth 1...
-  for (const bool t1 : {false, true}) {
-    for (const bool t2 : {false, true}) {
-      for (const bool enabled : {false, true}) {
-        scenarios.push_back(ScenarioParams{1, t1, t2, enabled});
-      }
-    }
-  }
-  // ...plus randomized deeper variants.
-  for (int i = 0; i < 6; ++i) {
-    scenarios.push_back(ScenarioParams{
+  std::vector<sched::OneSidedSuspension> scenarios;
+  for (int i = 0; i < 10; ++i) {
+    scenarios.push_back(sched::OneSidedSuspension{
         static_cast<std::uint32_t>(2 + rng.NextBounded(3)), rng.NextBool(0.5),
         rng.NextBool(0.5), rng.NextBool(0.5)});
   }
 
   for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    const ScenarioParams& p = scenarios[i];
-    const auto fast = RunSuspensionScenario(RuntimeMode::kFastPath, p);
-    const auto global = RunSuspensionScenario(RuntimeMode::kGlobalLock, p);
+    const sched::OneSidedSuspension& p = scenarios[i];
+    const sched::Script script = sched::OneSidedSuspensionScript(p);
+    DimmunixRuntime::Options global = ModeOptions(RuntimeMode::kGlobalLock);
+    global.adaptive_avoidance = false;
+    const sched::RunResult ref = sched::RunSchedule(
+        global, script, sched::OccupantThenAcquirerOrder(p.depth));
+    const sched::RunResult fast =
+        sched::RunSchedule(ModeOptions(RuntimeMode::kFastPath), script,
+                           sched::OccupantThenAcquirerOrder(p.depth));
+    EXPECT_EQ(ref.steps, fast.steps)
+        << "scenario " << i << "\n  ref: " << ref.Trace()
+        << "\n  fast: " << fast.Trace();
     const std::uint64_t expected = p.ExpectSuspension() ? 1u : 0u;
-    EXPECT_EQ(fast.avoidance_suspensions, expected) << "scenario " << i;
-    EXPECT_EQ(global.avoidance_suspensions, expected) << "scenario " << i;
-    EXPECT_EQ(fast.deadlocks_detected, 0u) << "scenario " << i;
-    EXPECT_EQ(global.deadlocks_detected, 0u) << "scenario " << i;
-    EXPECT_EQ(fast.acquisitions, global.acquisitions) << "scenario " << i;
+    EXPECT_EQ(fast.stats.avoidance_suspensions, expected) << "scenario " << i;
+    EXPECT_EQ(ref.stats.avoidance_suspensions, expected) << "scenario " << i;
+    EXPECT_EQ(fast.stats.deadlocks_detected, 0u) << "scenario " << i;
+    EXPECT_EQ(ref.stats.deadlocks_detected, 0u) << "scenario " << i;
+    EXPECT_EQ(fast.stats.acquisitions, ref.stats.acquisitions)
+        << "scenario " << i;
   }
 }
 

@@ -51,16 +51,19 @@ TEST(HistoryTest, FindByBugKey) {
 }
 
 TEST(HistoryTest, CandidatesIndexByOuterTop) {
+  // The candidates-by-top-frame projection lives in AvoidanceIndex (the
+  // runtime's published snapshot), built from the history.
   History h;
   const Signature s = MakeSig(0);
   h.Add(s, SignatureOrigin::kLocal, 1);
+  const auto index = AvoidanceIndex::Build(h, 1);
   for (const auto& e : s.entries()) {
-    const auto* cands = h.CandidatesForTopFrame(e.outer.TopKey());
+    const auto* cands = index->CandidatesForTopFrame(e.outer.TopKey());
     ASSERT_NE(cands, nullptr);
     ASSERT_EQ(cands->size(), 1u);
-    EXPECT_EQ((*cands)[0].first, 0u);
+    EXPECT_EQ((*cands)[0].ordinal, 0u);
   }
-  EXPECT_EQ(h.CandidatesForTopFrame(999), nullptr);
+  EXPECT_EQ(index->CandidatesForTopFrame(999), nullptr);
 }
 
 TEST(HistoryTest, DisableRemovesFromIndex) {
@@ -69,9 +72,13 @@ TEST(HistoryTest, DisableRemovesFromIndex) {
   h.Add(s, SignatureOrigin::kLocal, 1);
   ASSERT_TRUE(h.Disable(s.ContentId()));
   EXPECT_TRUE(h.record(0).disabled);
-  EXPECT_EQ(h.CandidatesForTopFrame(s.entries()[0].outer.TopKey()), nullptr);
+  const auto disabled = AvoidanceIndex::Build(h, 1);
+  EXPECT_EQ(disabled->CandidatesForTopFrame(s.entries()[0].outer.TopKey()),
+            nullptr);
   ASSERT_TRUE(h.ReEnable(s.ContentId()));
-  EXPECT_NE(h.CandidatesForTopFrame(s.entries()[0].outer.TopKey()), nullptr);
+  const auto enabled = AvoidanceIndex::Rebuild(*disabled, h, 2);
+  EXPECT_NE(enabled->CandidatesForTopFrame(s.entries()[0].outer.TopKey()),
+            nullptr);
 }
 
 TEST(HistoryTest, DisableUnknownFails) {
@@ -88,8 +95,9 @@ TEST(HistoryTest, ReplaceSwapsContent) {
   EXPECT_EQ(h.record(0).sig, merged);
   EXPECT_TRUE(h.ContainsContent(merged.ContentId()));
   EXPECT_FALSE(h.ContainsContent(MakeSig(0).ContentId()));
-  // Index follows the new content.
-  EXPECT_NE(h.CandidatesForTopFrame(merged.entries()[0].outer.TopKey()),
+  // A rebuilt index follows the new content.
+  const auto index = AvoidanceIndex::Build(h, 1);
+  EXPECT_NE(index->CandidatesForTopFrame(merged.entries()[0].outer.TopKey()),
             nullptr);
 }
 

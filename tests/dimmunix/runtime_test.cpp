@@ -283,5 +283,59 @@ TEST_F(RuntimeTest, ManyThreadsManyLocksNoFalseDeadlock) {
   EXPECT_EQ(rt.GetStats().deadlocks_detected, 0u);
 }
 
+TEST_F(RuntimeTest, ShardedStatsCountExactlyAcrossThreadsAndReaping) {
+  // Stats counters are sharded per ThreadContext and folded into the
+  // runtime's shard when a tombstone is reaped; the aggregate must stay
+  // exact across concurrent counting and attach/detach churn.
+  DimmunixRuntime rt(clock_);
+  constexpr int kThreads = 4;
+  constexpr int kCycles = 3;
+  constexpr int kIters = 200;
+
+  std::vector<std::unique_ptr<Monitor>> monitors;
+  for (int t = 0; t < kThreads; ++t) {
+    monitors.push_back(std::make_unique<Monitor>());
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int cycle = 0; cycle < kCycles; ++cycle) {
+        auto& ctx = rt.AttachThread("s" + std::to_string(t));
+        {
+          ScopedFrame f(ctx, "st.S", "run", 1);
+          for (int i = 0; i < kIters; ++i) {
+            ASSERT_TRUE(rt.Acquire(ctx, *monitors[t]).ok());
+            ASSERT_TRUE(rt.Acquire(ctx, *monitors[t]).ok());  // reentrant
+            rt.Release(ctx, *monitors[t]);
+            rt.Release(ctx, *monitors[t]);
+          }
+        }
+        rt.DetachThread(ctx);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto mid = rt.GetStats();
+  constexpr std::uint64_t kExpected =
+      static_cast<std::uint64_t>(kThreads) * kCycles * kIters;
+  EXPECT_EQ(mid.acquisitions, 2 * kExpected);
+  EXPECT_EQ(mid.fast_path_acquisitions, kExpected);
+  EXPECT_EQ(mid.contended_acquisitions, 0u);
+  EXPECT_EQ(mid.slow_path_entries, 0u);
+
+  // Force the remaining tombstones through the reaper: the folded shards
+  // must keep the totals identical.
+  auto& sweep = rt.AttachThread("sweep");
+  rt.DetachThread(sweep);
+  EXPECT_EQ(rt.ThreadRecordCount(), 0u);
+  const auto after = rt.GetStats();
+  EXPECT_EQ(after.acquisitions, mid.acquisitions);
+  EXPECT_EQ(after.fast_path_acquisitions, mid.fast_path_acquisitions);
+  EXPECT_EQ(after.fast_path_releases, mid.fast_path_releases);
+  EXPECT_GE(after.threads_reaped,
+            static_cast<std::uint64_t>(kThreads) * kCycles);
+}
+
 }  // namespace
 }  // namespace communix::dimmunix

@@ -1,0 +1,173 @@
+// Deterministic schedule-exploration harness for DimmunixRuntime.
+//
+// The runtime's correctness argument is a *decision* property: for any
+// interleaving, the fast-path architecture (and its adaptive scan gate)
+// must admit and yield exactly the acquisitions the global-lock
+// reference would. Ad-hoc two-thread tests with handshake flags (the
+// PR-2 approach) explore one interleaving each; this harness explores
+// many, deterministically, and replays the *same* interleaving against
+// different runtime configurations so their decision traces can be
+// diffed step by step.
+//
+// Model: a Script gives each logical thread a straight-line program of
+// operations (push/pop shadow frames, acquire/release monitors, mutate
+// the history). The harness runs each logical thread on a real OS
+// thread but serializes them: exactly one operation is dispatched at a
+// time, chosen by a pluggable Chooser (a scripted order or a seeded
+// RNG), and the next dispatch happens only after the system is
+// *settled* — every in-flight operation has either completed or is
+// quiescently parked in the runtime's version-gated wait (the runtime
+// exposes IsQuiescentlyParkedForTest for exactly this). A blocked
+// acquisition stays in flight; the step that unblocks it records its
+// completion. The resulting StepRecord trace is a pure function of
+// (script, chooser, runtime decisions), so two runs with identical
+// decisions produce identical traces.
+//
+// Determinism contract for script authors: dispatching is serialized,
+// but a single step's *internal* wake-chain (suspended avoiders
+// re-scanning, woken waiters racing a CAS) runs under OS scheduling.
+// The harness already defers a second acquire of a monitor that has a
+// blocked acquire in flight; scripts must additionally avoid
+// signatures both of whose sides can be suspended concurrently (use
+// one-sided occupant/acquirer pairs, as GenerateGroupedScript does) —
+// with those two rules every wake-chain converges to a unique settled
+// state and traces are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dimmunix/runtime.hpp"
+
+namespace communix::dimmunix::schedule {
+
+/// One operation of a logical thread's program.
+struct Op {
+  enum class Kind : std::uint8_t {
+    kPushFrame,
+    kPopFrame,
+    kSetLine,
+    kAcquire,
+    kRelease,
+    kAddSignature,      // runtime.AddSignature (history churn)
+    kDisableSignature,  // WithHistory Disable(content_id)
+    kReEnableSignature  // WithHistory ReEnable(content_id)
+  };
+
+  Kind kind = Kind::kPushFrame;
+  Frame frame;                    // kPushFrame
+  std::uint32_t line = 0;         // kSetLine
+  std::size_t monitor = 0;        // kAcquire / kRelease
+  Signature signature;            // kAddSignature
+  std::uint64_t content_id = 0;   // kDisable / kReEnable
+
+  static Op Push(Frame f);
+  static Op Pop();
+  static Op Line(std::uint32_t line);
+  static Op Acquire(std::size_t monitor);
+  static Op Release(std::size_t monitor);
+  static Op AddSig(Signature sig);
+  static Op DisableSig(std::uint64_t content_id);
+  static Op ReEnableSig(std::uint64_t content_id);
+};
+
+struct Script {
+  std::size_t num_monitors = 0;
+  /// Signatures installed (and optionally disabled) before any thread
+  /// runs — the immunized-application starting state.
+  std::vector<Signature> initial_history;
+  std::vector<std::uint64_t> initially_disabled;
+  std::vector<std::vector<Op>> threads;
+};
+
+/// One scheduling decision's observable outcome.
+struct StepRecord {
+  enum class Outcome : std::uint8_t {
+    kCompleted,          // op finished immediately (status ok)
+    kDeadlock,           // acquire returned kDeadlock immediately
+    kBlocked,            // acquire parked (avoidance yield or contention)
+    kSkipped,            // release of a monitor not held (after a
+                         // deadlock-aborted acquire) — deterministic no-op
+    kUnblocked,          // earlier-blocked acquire completed this step
+    kUnblockedDeadlock   // earlier-blocked acquire aborted this step
+  };
+  std::size_t thread = 0;
+  std::size_t op_index = 0;
+  Outcome outcome = Outcome::kCompleted;
+
+  friend bool operator==(const StepRecord&, const StepRecord&) = default;
+};
+
+std::string ToString(const StepRecord& r);
+
+/// Picks the next thread to advance from the (sorted) runnable set.
+using Chooser = std::function<std::size_t(const std::vector<std::size_t>&)>;
+
+/// Seeded pseudo-random chooser — the "schedule exploration" axis.
+Chooser SeededChooser(std::uint64_t seed);
+/// Fixed thread order; entries that are not currently runnable are
+/// skipped (deterministically), falling back to the lowest runnable id
+/// when the order is exhausted.
+Chooser ScriptedChooser(std::vector<std::size_t> order);
+
+struct RunResult {
+  std::vector<StepRecord> steps;
+  DimmunixRuntime::Stats stats;
+  /// Final history as sorted (content_id, disabled) pairs — learned
+  /// signatures must agree across equivalent runs.
+  std::vector<std::pair<std::uint64_t, bool>> final_history;
+  /// True iff the scheduler found threads stuck with no way to advance
+  /// (a runtime liveness bug — never expected).
+  bool stalled = false;
+
+  std::string Trace() const;  // printable, for failure diffs
+};
+
+/// Runs `script` under one interleaving against a fresh runtime built
+/// from `options` (with a VirtualClock). Deterministic given the
+/// determinism contract above.
+RunResult RunSchedule(const DimmunixRuntime::Options& options,
+                      const Script& script, const Chooser& choose);
+
+// ---- shared script-builder helpers ----------------------------------
+
+/// Appends the canonical chain "cls.m0:1 ... cls.m{depth-2}" plus `top`
+/// (depth frames total) / pops `depth` frames.
+void PushChain(std::vector<Op>& ops, const std::string& cls,
+               std::uint32_t depth, const Frame& top);
+void PopChain(std::vector<Op>& ops, std::uint32_t depth);
+
+/// The one-sided suspension scenario both truth-table suites script:
+/// a signature over classes sc.X/sc.Y is planted; thread 0 (occupant)
+/// acquires monitor 1 under a stack matching the signature's sc.Y side
+/// iff `occupant_matches`; thread 1 (acquirer) acquires monitor 0
+/// matching the sc.X side iff `acquirer_matches`. Iff both match and
+/// the signature is enabled when the acquirer arrives, the acquirer
+/// must suspend until the occupant releases.
+struct OneSidedSuspension {
+  std::uint32_t depth = 1;
+  bool acquirer_matches = true;
+  bool occupant_matches = true;
+  bool enabled = true;
+  bool ExpectSuspension() const {
+    return enabled && acquirer_matches && occupant_matches;
+  }
+};
+Script OneSidedSuspensionScript(const OneSidedSuspension& p);
+/// The interleaving under which the suspension is possible: occupant
+/// runs through its acquire, then the acquirer arrives; the chooser's
+/// deterministic fallback drains the rest.
+Chooser OccupantThenAcquirerOrder(std::uint32_t depth);
+
+/// Seeded random script composed of decision-race-free groups over
+/// disjoint monitors/threads: adaptive-gate sites (candidate hit, peers
+/// never occupied), one-sided suspension pairs (occupant holds under a
+/// matching/mismatching stack while an acquirer hits the signature's
+/// other side), ABBA detection pairs (no pre-installed signature), and
+/// a history-churn thread (add/disable/re-enable mid-schedule).
+Script GenerateGroupedScript(std::uint64_t seed);
+
+}  // namespace communix::dimmunix::schedule

@@ -1,0 +1,236 @@
+// Decision-identity property tests over the schedule-exploration
+// harness: for the same script and the same interleaving, the
+// global-lock reference, the fast-path architecture, and the fast path
+// with the adaptive scan gate must produce identical step traces
+// (admit / yield / deadlock decisions), identical learned histories,
+// and identical avoidance/detection counts — the adaptive gate may only
+// elide provably-empty instantiation scans, never change a decision.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "../testutil.hpp"
+#include "schedule_harness.hpp"
+
+namespace communix::dimmunix {
+namespace {
+
+namespace sched = communix::dimmunix::schedule;
+using sched::Op;
+using sched::RunResult;
+using sched::Script;
+using sched::StepRecord;
+using testutil::ChainStack;
+using testutil::F;
+using testutil::Sig2;
+
+DimmunixRuntime::Options GlobalRef() {
+  DimmunixRuntime::Options opts;
+  opts.mode = RuntimeMode::kGlobalLock;
+  opts.adaptive_avoidance = false;
+  return opts;
+}
+
+DimmunixRuntime::Options Fast(bool adaptive) {
+  DimmunixRuntime::Options opts;
+  opts.mode = RuntimeMode::kFastPath;
+  opts.adaptive_avoidance = adaptive;
+  return opts;
+}
+
+void ExpectDecisionIdentical(const RunResult& ref, const RunResult& got,
+                             const std::string& label) {
+  EXPECT_FALSE(ref.stalled) << label;
+  EXPECT_FALSE(got.stalled) << label;
+  EXPECT_EQ(ref.steps, got.steps)
+      << label << "\n  ref: " << ref.Trace() << "\n  got: " << got.Trace();
+  EXPECT_EQ(ref.final_history, got.final_history) << label;
+  EXPECT_EQ(ref.stats.avoidance_suspensions, got.stats.avoidance_suspensions)
+      << label;
+  EXPECT_EQ(ref.stats.yield_cycle_overrides, got.stats.yield_cycle_overrides)
+      << label;
+  EXPECT_EQ(ref.stats.deadlocks_detected, got.stats.deadlocks_detected)
+      << label;
+  EXPECT_EQ(ref.stats.signatures_learned, got.stats.signatures_learned)
+      << label;
+  EXPECT_EQ(ref.stats.acquisitions, got.stats.acquisitions) << label;
+  EXPECT_EQ(got.stats.adaptive_gate_mismatches, 0u) << label;
+}
+
+// ---------------------------------------------------------------------------
+// Randomized schedule exploration (the acceptance-criterion property).
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleEquivalenceTest, RandomGroupedSchedulesAgreeAcrossConfigs) {
+  std::uint64_t total_skips = 0;
+  std::uint64_t total_suspensions = 0;
+  std::uint64_t total_deadlocks = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const Script script = sched::GenerateGroupedScript(seed);
+    for (std::uint64_t sched_seed : {seed * 31 + 1, seed * 31 + 2}) {
+      const RunResult ref = sched::RunSchedule(
+          GlobalRef(), script, sched::SeededChooser(sched_seed));
+      const RunResult fast = sched::RunSchedule(
+          Fast(false), script, sched::SeededChooser(sched_seed));
+      const RunResult adaptive = sched::RunSchedule(
+          Fast(true), script, sched::SeededChooser(sched_seed));
+      const std::string label = "script seed " + std::to_string(seed) +
+                                ", schedule seed " +
+                                std::to_string(sched_seed);
+      ExpectDecisionIdentical(ref, fast, label + " (fast)");
+      ExpectDecisionIdentical(ref, adaptive, label + " (adaptive)");
+      // (Scan *counts* are not compared here: parked avoiders re-scan on
+      // every state-version bump, and the fast path legitimately bumps
+      // less often than the global-lock reference. The gate-skip test
+      // below checks exact scan arithmetic in a wake-free script.)
+      total_skips += adaptive.stats.scans_skipped;
+      total_suspensions += ref.stats.avoidance_suspensions;
+      total_deadlocks += ref.stats.deadlocks_detected;
+    }
+  }
+  // The exploration must actually exercise the interesting machinery.
+  EXPECT_GT(total_skips, 0u) << "no schedule ever hit the adaptive gate";
+  EXPECT_GT(total_suspensions, 0u) << "no schedule ever suspended";
+  EXPECT_GT(total_deadlocks, 0u) << "no schedule ever deadlocked";
+}
+
+// ---------------------------------------------------------------------------
+// Scripted one-sided suspension truth table (script + order shared with
+// fastpath_test via the harness's OneSidedSuspensionScript helper).
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleHarnessTest, ScriptedSuspensionTruthTable) {
+  std::vector<sched::OneSidedSuspension> table;
+  for (const bool acq : {false, true}) {
+    for (const bool occ : {false, true}) {
+      for (const bool enabled : {false, true}) {
+        table.push_back(sched::OneSidedSuspension{1, acq, occ, enabled});
+        table.push_back(sched::OneSidedSuspension{3, acq, occ, enabled});
+      }
+    }
+  }
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const sched::OneSidedSuspension& p = table[i];
+    const Script script = sched::OneSidedSuspensionScript(p);
+    const RunResult ref = sched::RunSchedule(
+        GlobalRef(), script, sched::OccupantThenAcquirerOrder(p.depth));
+    const RunResult fast = sched::RunSchedule(
+        Fast(false), script, sched::OccupantThenAcquirerOrder(p.depth));
+    const RunResult adaptive = sched::RunSchedule(
+        Fast(true), script, sched::OccupantThenAcquirerOrder(p.depth));
+    const std::string label = "truth table row " + std::to_string(i);
+    ExpectDecisionIdentical(ref, fast, label + " (fast)");
+    ExpectDecisionIdentical(ref, adaptive, label + " (adaptive)");
+
+    // The acquirer's acquire is thread 1's op number `depth`.
+    const std::uint64_t expected = p.ExpectSuspension() ? 1u : 0u;
+    EXPECT_EQ(ref.stats.avoidance_suspensions, expected) << label;
+    bool saw_block = false;
+    for (const StepRecord& r : ref.steps) {
+      if (r.thread == 1 && r.op_index == p.depth) {
+        saw_block |= r.outcome == StepRecord::Outcome::kBlocked;
+      }
+    }
+    EXPECT_EQ(saw_block, p.ExpectSuspension()) << label;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scripted ABBA detection.
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleHarnessTest, ScriptedAbbaDetectionIsDeterministic) {
+  Script s;
+  s.num_monitors = 2;
+  s.threads.emplace_back();
+  s.threads[0] = {Op::Push(F("ab.P", "outer", 1)), Op::Acquire(0),
+                  Op::Push(F("ab.P", "inner", 2)), Op::Acquire(1),
+                  Op::Release(1),                  Op::Pop(),
+                  Op::Release(0),                  Op::Pop()};
+  s.threads.emplace_back();
+  s.threads[1] = {Op::Push(F("ab.Q", "outer", 1)), Op::Acquire(1),
+                  Op::Push(F("ab.Q", "inner", 2)), Op::Acquire(0),
+                  Op::Release(0),                  Op::Pop(),
+                  Op::Release(1),                  Op::Pop()};
+
+  // t0 takes A, t1 takes B, t0 blocks on B, t1 closes the cycle on A.
+  auto order = [] {
+    return sched::ScriptedChooser({0, 0, 1, 1, 0, 0, 1, 1});
+  };
+  const RunResult ref = sched::RunSchedule(GlobalRef(), s, order());
+  const RunResult fast = sched::RunSchedule(Fast(false), s, order());
+  const RunResult adaptive = sched::RunSchedule(Fast(true), s, order());
+  ExpectDecisionIdentical(ref, fast, "abba (fast)");
+  ExpectDecisionIdentical(ref, adaptive, "abba (adaptive)");
+
+  EXPECT_EQ(ref.stats.deadlocks_detected, 1u);
+  EXPECT_EQ(ref.stats.signatures_learned, 1u);
+  ASSERT_EQ(ref.final_history.size(), 1u);
+  bool t0_blocked = false, t1_deadlocked = false, t0_unblocked = false;
+  for (const StepRecord& r : ref.steps) {
+    if (r.thread == 0 && r.op_index == 3) {
+      t0_blocked |= r.outcome == StepRecord::Outcome::kBlocked;
+      t0_unblocked |= r.outcome == StepRecord::Outcome::kUnblocked;
+    }
+    if (r.thread == 1 && r.op_index == 3) {
+      t1_deadlocked |= r.outcome == StepRecord::Outcome::kDeadlock;
+    }
+  }
+  EXPECT_TRUE(t0_blocked) << ref.Trace();
+  EXPECT_TRUE(t1_deadlocked) << ref.Trace();
+  EXPECT_TRUE(t0_unblocked) << ref.Trace();
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive gate on a candidate-hit site with no possible occupants.
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleHarnessTest, AdaptiveGateSkipsProvablyEmptyScans) {
+  Script s;
+  s.num_monitors = 1;
+  // The thread's lock statement completes side 1 of the signature; side
+  // 2's site ("gh.Ghost") is never visited, so every scan must be empty.
+  s.initial_history.push_back(
+      Sig2(ChainStack("gs.S", 2, F("gs.S", "sync", 100)),
+           ChainStack("gs.S", 2, F("gs.S", "in", 110)),
+           ChainStack("gh.Ghost", 2, F("gh.Ghost", "sync", 120)),
+           ChainStack("gh.Ghost", 2, F("gh.Ghost", "in", 130))));
+  s.threads.emplace_back();
+  auto& ops = s.threads[0];
+  ops.push_back(Op::Push(F("gs.S", "m0", 1)));
+  ops.push_back(Op::Push(F("gs.S", "sync", 100)));
+  constexpr int kIters = 6;
+  for (int i = 0; i < kIters; ++i) {
+    ops.push_back(Op::Acquire(0));
+    ops.push_back(Op::Release(0));
+  }
+  ops.push_back(Op::Pop());
+  ops.push_back(Op::Pop());
+  // Churn thread: republishes mid-schedule (delta rebuilds + wakeups).
+  s.threads.emplace_back();
+  for (int i = 0; i < 3; ++i) {
+    const auto salt = static_cast<std::uint32_t>(9000 + 10 * i);
+    s.threads[1].push_back(Op::AddSig(
+        Sig2(ChainStack("zz.C", 6, F("zz.C", "s", salt)),
+             ChainStack("zz.C", 6, F("zz.C", "i", salt + 1)),
+             ChainStack("zz.D", 6, F("zz.D", "s", salt + 2)),
+             ChainStack("zz.D", 6, F("zz.D", "i", salt + 3)))));
+  }
+
+  const auto chooser = [] { return sched::SeededChooser(7); };
+  const RunResult ref = sched::RunSchedule(GlobalRef(), s, chooser());
+  const RunResult adaptive = sched::RunSchedule(Fast(true), s, chooser());
+  ExpectDecisionIdentical(ref, adaptive, "gate-skip");
+
+  EXPECT_EQ(adaptive.stats.scans_skipped, static_cast<std::uint64_t>(kIters));
+  EXPECT_EQ(adaptive.stats.instantiation_scans, 0u);
+  EXPECT_EQ(ref.stats.instantiation_scans,
+            static_cast<std::uint64_t>(kIters));
+  EXPECT_EQ(ref.stats.scans_skipped, 0u);
+  EXPECT_GT(adaptive.stats.index_delta_rebuilds, 0u);
+  EXPECT_GT(adaptive.stats.index_entries_reused, 0u);
+}
+
+}  // namespace
+}  // namespace communix::dimmunix

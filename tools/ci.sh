@@ -9,7 +9,12 @@
 #
 # --tsan: ThreadSanitizer build (separate build-tsan dir) running the
 # dimmunix + util test binaries — the concurrency-bearing layers of the
-# client runtime (fast-path publication protocol, thread pool).
+# client runtime (fast-path publication protocol, adaptive occupancy
+# gate, schedule harness, thread pool).
+#
+# --asan: AddressSanitizer build (separate build-asan dir) running the
+# same binaries — lifetime coverage for the context reaper and the
+# entry sharing across delta-rebuilt index snapshots.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -18,9 +23,21 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DCOMMUNIX_TSAN=ON
   cmake --build build-tsan -j"${JOBS}" --target dimmunix_tests util_tests
-  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/dimmunix_tests
-  TSAN_OPTIONS="halt_on_error=1" ./build-tsan/util_tests
+  # tools/tsan.supp scopes out a libstdc++ atomic<shared_ptr> internal
+  # (relaxed spinlock unlock in _Sp_atomic::load) TSAN cannot model.
+  TSAN="halt_on_error=1 suppressions=$(pwd)/tools/tsan.supp"
+  TSAN_OPTIONS="${TSAN}" ./build-tsan/dimmunix_tests
+  TSAN_OPTIONS="${TSAN}" ./build-tsan/util_tests
   echo "ci: tsan clean (dimmunix_tests, util_tests)"
+  exit 0
+fi
+
+if [[ "${1:-}" == "--asan" ]]; then
+  cmake -B build-asan -S . -DCOMMUNIX_ASAN=ON
+  cmake --build build-asan -j"${JOBS}" --target dimmunix_tests util_tests
+  ASAN_OPTIONS="halt_on_error=1" ./build-asan/dimmunix_tests
+  ASAN_OPTIONS="halt_on_error=1" ./build-asan/util_tests
+  echo "ci: asan clean (dimmunix_tests, util_tests)"
   exit 0
 fi
 
