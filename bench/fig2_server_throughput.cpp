@@ -19,15 +19,28 @@
 //                                 --workers threads (default 8), with and
 //                                 without concurrent GET(0) scan load
 //   --workers=N                   worker threads for --compare
+//   --replicas=N                  read-scaling section: GET(0) scans via
+//                                 the failover-aware cluster client over
+//                                 a primary + N log-shipping followers,
+//                                 vs the same scans against the primary
+//                                 alone. On a 1-core host the wall-clock
+//                                 ratio is flat; the structural counters
+//                                 (GETs per node — the primary serves ~0
+//                                 with replicas) are the evidence.
 //   --smoke                       tiny sizes (CI)
 //   --json=PATH                   trajectory file (default BENCH_fig2.json)
 #include <atomic>
 #include <cstdio>
+#include <functional>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "communix/cluster/cluster_client.hpp"
+#include "communix/cluster/log_shipper.hpp"
 #include "communix/server.hpp"
+#include "net/inproc.hpp"
 #include "util/clock.hpp"
 #include "util/stopwatch.hpp"
 
@@ -219,6 +232,132 @@ void RunCompare(std::size_t workers, std::size_t total_adds,
   }
 }
 
+// ---------------------------------------------------------------------------
+// --replicas: GET read fan-out across log-shipping followers.
+//
+// The paper's server degrades as GET(0) iterates an ever-larger database
+// on one node; the cluster tier's answer is serving those scans from
+// replicas. This section preloads the database, replicates it, then
+// times whole-database scans issued through per-worker cluster clients:
+// once against the primary alone, once fanned out across the followers.
+// ---------------------------------------------------------------------------
+void RunReplicaScaling(std::size_t replicas, bool smoke,
+                       communix::bench::BenchJson& json) {
+  namespace cluster = communix::cluster;
+  namespace net = communix::net;
+  const std::size_t preload = smoke ? 400 : 4000;
+  const std::size_t workers = 4;
+  const std::size_t scans_per_worker = smoke ? 25 : 200;
+
+  VirtualClock clock;
+  CommunixServer::Options popts;
+  popts.per_user_daily_limit = 1'000'000;
+  CommunixServer primary(clock, popts);
+  net::InprocTransport primary_inproc(primary);
+
+  CommunixServer::Options fopts = popts;
+  fopts.role = communix::ServerRole::kFollower;
+  std::vector<std::unique_ptr<CommunixServer>> followers;
+  std::vector<std::unique_ptr<net::InprocTransport>> follower_inproc;
+  cluster::LogShipper shipper(primary);
+  for (std::size_t i = 0; i < replicas; ++i) {
+    followers.push_back(std::make_unique<CommunixServer>(clock, fopts));
+    follower_inproc.push_back(
+        std::make_unique<net::InprocTransport>(*followers.back()));
+    shipper.AddFollower("f" + std::to_string(i), *follower_inproc.back());
+  }
+
+  Rng rng(0x5CA1E);
+  for (std::size_t i = 0; i < preload; ++i) {
+    (void)primary.AddSignature(
+        primary.IssueToken(static_cast<UserId>(i + 1)),
+        communix::bench::RandomSignature(rng,
+                                         static_cast<std::uint32_t>(i + 1)));
+  }
+  if (!shipper.PumpUntilSynced()) {
+    std::fprintf(stderr, "replica preload failed to sync\n");
+    return;
+  }
+
+  // Per-worker clients (a shared client would serialize the fan-out on
+  // its own mutex); `with_replicas` toggles whether the followers are in
+  // the endpoint set.
+  const auto timed_scans = [&](bool with_replicas) {
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    std::atomic<std::uint64_t> fetched{0};
+    Stopwatch watch;
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&] {
+        std::vector<cluster::ClusterClient::Endpoint> reps;
+        if (with_replicas) {
+          for (std::size_t i = 0; i < followers.size(); ++i) {
+            reps.push_back(cluster::ClusterClient::Endpoint{
+                "f" + std::to_string(i), follower_inproc[i].get()});
+          }
+        }
+        cluster::ClusterClient client(
+            cluster::ClusterClient::Endpoint{"primary", &primary_inproc},
+            std::move(reps));
+        for (std::size_t g = 0; g < scans_per_worker; ++g) {
+          auto scan = client.FetchSince(0);
+          if (scan.ok()) {
+            fetched.fetch_add(scan.value().size(), std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    const double seconds = watch.ElapsedSeconds();
+    return static_cast<double>(workers * scans_per_worker) / seconds;
+  };
+
+  const std::uint64_t primary_gets_before =
+      primary.GetStats().gets_served;
+  const double single_rate = timed_scans(false);
+  const std::uint64_t primary_gets_single =
+      primary.GetStats().gets_served - primary_gets_before;
+  const double fan_rate = timed_scans(true);
+  const std::uint64_t primary_gets_fan =
+      primary.GetStats().gets_served - primary_gets_before -
+      primary_gets_single;
+
+  communix::bench::PrintHeader(
+      "GET(0) read fan-out: primary alone vs primary + " +
+      std::to_string(replicas) + " log-shipping followers");
+  std::printf("%22s %14s %16s\n", "deployment", "scans/sec", "GETs@primary");
+  std::printf("%22s %14.0f %16llu\n", "single", single_rate,
+              static_cast<unsigned long long>(primary_gets_single));
+  std::printf("%22s %14.0f %16llu\n", "replicated", fan_rate,
+              static_cast<unsigned long long>(primary_gets_fan));
+  json.AddRow("replicas",
+              {{"replicas", static_cast<double>(replicas)},
+               {"db_size", static_cast<double>(primary.db_size())},
+               {"scans", static_cast<double>(workers * scans_per_worker)},
+               {"single_scans_per_second", single_rate},
+               {"cluster_scans_per_second", fan_rate},
+               {"primary_gets_single", static_cast<double>(primary_gets_single)},
+               {"primary_gets_cluster", static_cast<double>(primary_gets_fan)}});
+  for (std::size_t i = 0; i < followers.size(); ++i) {
+    const auto fs = followers[i]->GetStats();
+    const auto ship = shipper.GetFollowerStatus(i);
+    std::printf("%20s%zu %14s %16llu\n", "follower-", i, "",
+                static_cast<unsigned long long>(fs.gets_served));
+    json.AddRow("replicas_follower",
+                {{"replicas", static_cast<double>(replicas)},
+                 {"follower", static_cast<double>(i)},
+                 {"gets_served", static_cast<double>(fs.gets_served)},
+                 {"entries_replicated",
+                  static_cast<double>(fs.repl_entries_applied)},
+                 {"lag", static_cast<double>(ship.lag)}});
+  }
+  std::printf(
+      "\nstructural claim: with replicas, whole-database GET(0) scans are\n"
+      "served by the followers (primary GETs ~0) and balance across them;\n"
+      "wall-clock scaling needs one core per node (this host: %u).\n",
+      std::thread::hardware_concurrency());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -226,6 +365,7 @@ int main(int argc, char** argv) {
   bool compare = false;
   std::string backend_name = "sharded";
   std::string workers_value = "8";
+  std::string replicas_value = "0";
   std::string json_path = "BENCH_fig2.json";
   for (int i = 1; i < argc; ++i) {
     std::string value;
@@ -237,12 +377,14 @@ int main(int argc, char** argv) {
                                           &backend_name) ||
                communix::bench::FlagValue(argv[i], "--workers",
                                           &workers_value) ||
+               communix::bench::FlagValue(argv[i], "--replicas",
+                                          &replicas_value) ||
                communix::bench::FlagValue(argv[i], "--json", &json_path)) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--smoke] [--compare] "
                    "[--backend=sharded|monolithic] [--workers=N] "
-                   "[--json=PATH]\n",
+                   "[--replicas=N] [--json=PATH]\n",
                    argv[0]);
       return 2;
     }
@@ -257,6 +399,14 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::size_t workers = workers_parsed;
+  end = nullptr;
+  const unsigned long replicas_parsed =
+      std::strtoul(replicas_value.c_str(), &end, 10);
+  if (replicas_value.empty() || *end != '\0' || replicas_parsed > 64) {
+    std::fprintf(stderr, "--replicas must be an integer in [0, 64]\n");
+    return 2;
+  }
+  const std::size_t replicas = replicas_parsed;
 
   communix::bench::BenchJson json("fig2_server_throughput");
 
@@ -290,6 +440,10 @@ int main(int argc, char** argv) {
 
   if (compare) {
     RunCompare(workers, smoke ? 8'000 : 40'000, json);
+  }
+
+  if (replicas > 0) {
+    RunReplicaScaling(replicas, smoke, json);
   }
 
   if (!json.WriteToFile(json_path)) {

@@ -5,6 +5,12 @@
 // local repository. The paper uses a once-a-day period ("a high frequency
 // would overload the Communix server") and incremental GETs: only the
 // signatures not yet in the local repository are requested.
+//
+// Against a replicated deployment, hand the daemon a
+// cluster::ClusterClient as its transport: polls then fan out across the
+// follower replicas and fail over on connection loss, and the
+// incremental cursor stays valid on every replica (byte-identical logs —
+// see communix/cluster/). The daemon itself is unchanged.
 #pragma once
 
 #include <atomic>

@@ -1,0 +1,124 @@
+// Failover-aware client transport for a replicated deployment.
+//
+// One logical endpoint over a primary plus N follower replicas:
+//
+//   * Writes (ADD / ADD_BATCH) go to the primary — it alone assigns the
+//     global log order.
+//   * Reads (GET / PING / ISSUE_ID / REPL_PULL probes) fan out
+//     round-robin across the replicas, falling back to the primary, and
+//     fail over on connection loss: a transport error marks the endpoint
+//     down, the next endpoint is tried within the same Call, and a later
+//     success marks it up again (down endpoints are retried last, which
+//     is how they heal after a restart).
+//
+// Cursor stability. GET(k) replies are byte-identical across replicas of
+// the same epoch (the log-shipping invariant), so failing over can never
+// rewrite history — but a lagging replica can answer with a shorter
+// database. The client therefore tracks the highest committed length it
+// has ever observed and, for GET requests that would *regress* below it
+// (a fresh scan answered by a stale replica), retries the remaining
+// endpoints until one covers the known length; replicas whose epoch
+// provably differs from the primary's are skipped for reads outright.
+// Incremental GET(k) cursors built on replies from this client are thus
+// monotone: they never observe index i holding two different byte
+// strings, and never see the stream shrink.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+#include "util/status.hpp"
+
+namespace communix::cluster {
+
+class ClusterClient final : public net::ClientTransport {
+ public:
+  struct Endpoint {
+    std::string name;
+    net::ClientTransport* transport = nullptr;
+  };
+
+  ClusterClient(Endpoint primary, std::vector<Endpoint> replicas);
+
+  ClusterClient(const ClusterClient&) = delete;
+  ClusterClient& operator=(const ClusterClient&) = delete;
+
+  /// Routes one request per the policy above. Transport-level failure is
+  /// returned only when every eligible endpoint failed.
+  Result<net::Response> Call(const net::Request& request) override;
+
+  /// GET(from) convenience: serialized signatures with index >= from, in
+  /// index order (the CommunixClient daemon codepath, minus the repo).
+  Result<std::vector<std::vector<std::uint8_t>>> FetchSince(
+      std::uint64_t from);
+
+  /// Highest committed length any reply has shown this client (the
+  /// monotonic-read floor).
+  std::uint64_t known_log_size() const {
+    return known_log_size_.load(std::memory_order_acquire);
+  }
+
+  struct Stats {
+    std::uint64_t writes_to_primary = 0;
+    std::uint64_t reads_to_replicas = 0;
+    std::uint64_t reads_to_primary = 0;
+    std::uint64_t failovers = 0;          // endpoint marked down mid-call
+    std::uint64_t stale_read_retries = 0; // regressing replies discarded
+    /// Calls that had to settle for a reply below the known length
+    /// (every live endpoint lagged — primary dead and replicas behind).
+    std::uint64_t short_reads = 0;
+    std::uint64_t epoch_skips = 0;        // replicas skipped: epoch mismatch
+  };
+  Stats GetStats() const;
+
+  /// Per-endpoint liveness snapshot (index 0 = primary).
+  std::vector<bool> EndpointUp() const;
+
+ private:
+  struct Slot {
+    Endpoint endpoint;
+    bool down = false;
+    /// Last epoch this endpoint reported (0 = unknown). Probed lazily
+    /// via kReplPull; re-probed after the endpoint comes back up.
+    std::uint64_t epoch = 0;
+  };
+
+  /// Calls `slot` (primary lock dropped during I/O is unnecessary here:
+  /// transports are synchronous and callers already serialize on mu_).
+  Result<net::Response> CallSlotLocked(Slot& slot,
+                                       const net::Request& request);
+
+  /// Ensures slot.epoch is known (kReplPull probe). Best-effort.
+  void ProbeEpochLocked(Slot& slot);
+
+  /// Opportunistic revival: after a successful read, probes one down
+  /// endpoint (round-robin) so a restarted node rejoins the fan-out
+  /// instead of staying excluded forever.
+  void HealOneDownEndpointLocked();
+
+  /// Reply-derived committed length for a GET reply, if parseable.
+  static bool GetCoverage(const net::Request& request,
+                          const net::Response& resp, std::uint64_t* coverage,
+                          std::uint64_t* from, std::uint32_t* count);
+
+  mutable std::mutex mu_;
+  std::vector<Slot> slots_;  // [0] = primary, [1..] = replicas
+  std::size_t rr_ = 0;       // round-robin origin over replicas
+  std::size_t heal_rr_ = 0;  // round-robin origin over down endpoints
+
+  std::atomic<std::uint64_t> known_log_size_{0};
+
+  std::uint64_t writes_to_primary_ = 0;   // guarded by mu_
+  std::uint64_t reads_to_replicas_ = 0;
+  std::uint64_t reads_to_primary_ = 0;
+  std::uint64_t failovers_ = 0;
+  std::uint64_t stale_read_retries_ = 0;
+  std::uint64_t short_reads_ = 0;
+  std::uint64_t epoch_skips_ = 0;
+};
+
+}  // namespace communix::cluster

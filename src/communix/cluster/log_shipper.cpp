@@ -1,0 +1,199 @@
+#include "communix/cluster/log_shipper.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace communix::cluster {
+
+LogShipper::LogShipper(CommunixServer& primary, Options options)
+    : primary_(primary),
+      options_(options),
+      repl_token_(primary.IssueToken(kReplicationPeerId)) {}
+
+LogShipper::~LogShipper() { Stop(); }
+
+std::size_t LogShipper::AddFollower(std::string name,
+                                    net::ClientTransport& transport) {
+  std::lock_guard lock(mu_);
+  Session s;
+  s.name = std::move(name);
+  s.transport = &transport;
+  sessions_.push_back(std::move(s));
+  return sessions_.size() - 1;
+}
+
+std::size_t LogShipper::follower_count() const {
+  std::lock_guard lock(mu_);
+  return sessions_.size();
+}
+
+Status LogShipper::DropSessionLocked(Session& s, Status cause) {
+  // A broken session's cursor is released on the spot: shipping state is
+  // soft, and the re-handshake restores it from the follower's own log.
+  s.cursor.reset();
+  s.pending_reset = false;
+  ++s.drops;
+  CX_LOG(kInfo, "cluster") << "dropped feed to " << s.name << ": "
+                           << cause.ToString();
+  return cause;
+}
+
+Result<std::size_t> LogShipper::ShipOnceLocked(Session& s) {
+  if (!s.cursor.has_value()) {
+    // Anti-entropy handshake: probe the follower's (epoch, length).
+    const net::ReplPullRequest probe{primary_.epoch(), 0, 0};
+    auto called = s.transport->Call(net::BuildReplPullRequest(probe));
+    if (!called.ok()) return DropSessionLocked(s, called.status());
+    const net::Response& resp = called.value();
+    if (!resp.ok()) {
+      return DropSessionLocked(s, Status::Error(resp.code, resp.error));
+    }
+    const auto reply = net::ParseReplPullReply(resp);
+    if (!reply) {
+      return DropSessionLocked(
+          s, Status::Error(ErrorCode::kDataLoss, "bad REPL_PULL reply"));
+    }
+    ++s.handshakes;
+    // Resume only when the follower is a *prefix* of our log: same
+    // epoch AND not ahead of us. A follower that acknowledged more
+    // entries than we hold outran a primary restarted from a stale
+    // snapshot — the logs forked under one epoch, and the only safe
+    // repair is a full rebuild.
+    if (reply->epoch == primary_.epoch() &&
+        reply->log_size <= primary_.db_size()) {
+      s.cursor = reply->log_size;  // resume where the follower stands
+      s.pending_reset = false;
+    } else {
+      s.cursor = 0;  // divergent lineage: restart under our epoch
+      s.pending_reset = true;
+    }
+  }
+
+  const std::uint64_t size = primary_.db_size();
+  if (*s.cursor > size) {
+    // Same fork, seen from a live session: the primary's log shrank
+    // under us (stale-snapshot reload). Rebuild the follower.
+    s.cursor = 0;
+    s.pending_reset = true;
+  }
+  if (*s.cursor >= size && !s.pending_reset) return std::size_t{0};
+
+  net::ReplBatchRequest batch;
+  batch.token.assign(repl_token_.begin(), repl_token_.end());
+  batch.epoch = primary_.epoch();
+  batch.reset = s.pending_reset;
+  batch.from_index = *s.cursor;
+  const std::uint64_t upto =
+      std::min<std::uint64_t>(size, *s.cursor + options_.batch_limit);
+  primary_.VisitEntries(
+      *s.cursor, upto,
+      [&](std::uint64_t, const store::StoredSignature& entry) {
+        batch.entries.push_back(
+            net::ReplEntry{entry.sender, entry.added_at, entry.bytes});
+      });
+
+  auto called = s.transport->Call(net::BuildReplBatchRequest(batch));
+  if (!called.ok()) return DropSessionLocked(s, called.status());
+  const net::Response& resp = called.value();
+  if (!resp.ok()) {
+    // kFailedPrecondition covers follower restarts (epoch changed under
+    // us) and gaps; both heal through a fresh handshake.
+    return DropSessionLocked(s, Status::Error(resp.code, resp.error));
+  }
+  const auto reply = net::ParseReplBatchReply(resp);
+  if (!reply || reply->epoch != batch.epoch ||
+      reply->log_size < batch.from_index) {
+    return DropSessionLocked(
+        s, Status::Error(ErrorCode::kDataLoss, "bad REPL_BATCH reply"));
+  }
+  if (s.pending_reset) {
+    s.pending_reset = false;
+    ++s.resets;
+  }
+  // The follower's committed length is the durable cursor; trusting it
+  // (rather than from_index + count) keeps retransmissions idempotent.
+  const std::uint64_t shipped = reply->log_size - *s.cursor;
+  s.cursor = reply->log_size;
+  s.entries_shipped += shipped;
+  return static_cast<std::size_t>(shipped);
+}
+
+Result<std::size_t> LogShipper::ShipOnce(std::size_t id) {
+  std::lock_guard lock(mu_);
+  return ShipOnceLocked(sessions_.at(id));
+}
+
+std::size_t LogShipper::ShipRound() {
+  std::lock_guard lock(mu_);
+  std::size_t shipped = 0;
+  for (Session& s : sessions_) {
+    auto result = ShipOnceLocked(s);
+    if (result.ok()) shipped += result.value();
+  }
+  return shipped;
+}
+
+bool LogShipper::PumpUntilSynced(std::size_t max_rounds) {
+  for (std::size_t round = 0; round < max_rounds; ++round) {
+    ShipRound();
+    const std::uint64_t size = primary_.db_size();
+    std::lock_guard lock(mu_);
+    const bool synced = std::all_of(
+        sessions_.begin(), sessions_.end(), [&](const Session& s) {
+          return s.cursor.has_value() && !s.pending_reset && *s.cursor >= size;
+        });
+    if (synced) return true;
+  }
+  return false;
+}
+
+void LogShipper::Start() {
+  if (running_.exchange(true)) return;
+  daemon_ = std::thread([this] { DaemonLoop(); });
+}
+
+void LogShipper::Stop() {
+  if (!running_.exchange(false)) return;
+  daemon_cv_.notify_all();
+  if (daemon_.joinable()) daemon_.join();
+}
+
+void LogShipper::DaemonLoop() {
+  std::unique_lock lock(daemon_mu_);
+  while (running_.load()) {
+    lock.unlock();
+    ShipRound();
+    lock.lock();
+    daemon_cv_.wait_for(lock,
+                        std::chrono::milliseconds(options_.ship_period_ms),
+                        [&] { return !running_.load(); });
+  }
+}
+
+LogShipper::FollowerStatus LogShipper::GetFollowerStatus(
+    std::size_t id) const {
+  const std::uint64_t size = primary_.db_size();
+  std::lock_guard lock(mu_);
+  const Session& s = sessions_.at(id);
+  FollowerStatus out;
+  out.name = s.name;
+  out.cursor = s.cursor;
+  out.lag = (s.cursor.has_value() && !s.pending_reset)
+                ? size - std::min<std::uint64_t>(*s.cursor, size)
+                : size;
+  out.entries_shipped = s.entries_shipped;
+  out.handshakes = s.handshakes;
+  out.resets = s.resets;
+  out.drops = s.drops;
+  return out;
+}
+
+std::size_t LogShipper::active_feed_cursors() const {
+  std::lock_guard lock(mu_);
+  return static_cast<std::size_t>(
+      std::count_if(sessions_.begin(), sessions_.end(),
+                    [](const Session& s) { return s.cursor.has_value(); }));
+}
+
+}  // namespace communix::cluster

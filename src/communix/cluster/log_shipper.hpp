@@ -1,0 +1,136 @@
+// Primary-side log shipping (cluster tier).
+//
+// The primary assigns the global log order; the shipper streams its
+// committed SignatureLog entries to each follower over kReplBatch
+// frames, one leased feed cursor per follower. A cursor is only ever
+// (re)established by the anti-entropy handshake — a kReplPull probe that
+// reads the follower's epoch and committed length:
+//
+//   * epoch matches  -> resume shipping from the follower's length
+//     (idempotent: entries the follower already has are never re-applied,
+//     and a batch retransmitted after a lost reply is skipped by the
+//     follower's from_index check);
+//   * epoch differs  -> the follower is on another lineage; the next
+//     batch carries the reset flag, the follower clears its state and
+//     adopts the primary's epoch, and shipping restarts from index 0.
+//
+// Failure discipline: ANY transport or protocol error drops the session —
+// the feed cursor is released immediately (never leaked across a
+// disconnect) and the next round re-handshakes from the follower's own
+// persisted position. Shipping state is therefore always soft: the
+// follower's log is the durable cursor.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "communix/server.hpp"
+#include "net/message.hpp"
+
+namespace communix::cluster {
+
+class LogShipper {
+ public:
+  struct Options {
+    /// Entries per kReplBatch frame (bounds frame size and the latency
+    /// of one shipping step).
+    std::size_t batch_limit = 256;
+    /// Background-loop cadence in real milliseconds (the loop also wakes
+    /// on Stop).
+    std::size_t ship_period_ms = 20;
+  };
+
+  explicit LogShipper(CommunixServer& primary)
+      : LogShipper(primary, Options{}) {}
+  LogShipper(CommunixServer& primary, Options options);
+  ~LogShipper();
+
+  LogShipper(const LogShipper&) = delete;
+  LogShipper& operator=(const LogShipper&) = delete;
+
+  /// Registers a follower endpoint; returns its id. The transport must
+  /// outlive the shipper.
+  std::size_t AddFollower(std::string name, net::ClientTransport& transport);
+  std::size_t follower_count() const;
+
+  /// One shipping step for one follower: handshake if the session has no
+  /// cursor, then at most one kReplBatch. Returns the number of entries
+  /// shipped (0 = follower already caught up), or the error that dropped
+  /// the session.
+  Result<std::size_t> ShipOnce(std::size_t id);
+
+  /// One ShipOnce per follower; per-follower errors are absorbed (the
+  /// dropped session re-handshakes next round). Returns entries shipped.
+  std::size_t ShipRound();
+
+  /// Pumps rounds until every follower acknowledges the primary's
+  /// current committed length (or `max_rounds` pass). False if some
+  /// follower is still behind/unreachable.
+  bool PumpUntilSynced(std::size_t max_rounds = 1000);
+
+  /// Background shipping daemon (ShipRound every ship_period).
+  void Start();
+  void Stop();
+
+  struct FollowerStatus {
+    std::string name;
+    /// Leased feed cursor: next primary index to ship. nullopt = no
+    /// session (never handshaken, or dropped by an error).
+    std::optional<std::uint64_t> cursor;
+    /// Primary entries not yet acknowledged by this follower (computed
+    /// against the primary's current committed length; full lag when no
+    /// session is live).
+    std::uint64_t lag = 0;
+    std::uint64_t entries_shipped = 0;
+    std::uint64_t handshakes = 0;
+    std::uint64_t resets = 0;   // catch-up restarts (epoch mismatch)
+    std::uint64_t drops = 0;    // sessions dropped by an error
+  };
+  FollowerStatus GetFollowerStatus(std::size_t id) const;
+
+  /// Number of live feed cursors. After a replica disconnect this drops
+  /// — the "no leaked cursor" invariant the tests assert.
+  std::size_t active_feed_cursors() const;
+
+ private:
+  struct Session {
+    std::string name;
+    net::ClientTransport* transport = nullptr;
+    std::optional<std::uint64_t> cursor;
+    bool pending_reset = false;
+    std::uint64_t entries_shipped = 0;
+    std::uint64_t handshakes = 0;
+    std::uint64_t resets = 0;
+    std::uint64_t drops = 0;
+  };
+
+  /// Releases the session's cursor (error path). Caller holds mu_.
+  Status DropSessionLocked(Session& s, Status cause);
+
+  Result<std::size_t> ShipOnceLocked(Session& s);
+
+  void DaemonLoop();
+
+  CommunixServer& primary_;
+  const Options options_;
+  /// Credential for the reserved replication principal (followers
+  /// refuse unauthenticated kReplBatch ingest).
+  const UserToken repl_token_;
+
+  mutable std::mutex mu_;
+  std::vector<Session> sessions_;
+
+  std::mutex daemon_mu_;
+  std::condition_variable daemon_cv_;
+  std::atomic<bool> running_{false};
+  std::thread daemon_;
+};
+
+}  // namespace communix::cluster

@@ -23,6 +23,13 @@ namespace communix {
 using UserId = std::uint64_t;
 using UserToken = AesBlock;
 
+/// Reserved principal for intra-cluster replication: kReplBatch frames
+/// must carry the token of this id (minted by the primary's own
+/// IdAuthority — every node of a cluster shares the server key), so a
+/// community member cannot wipe or repopulate a follower. The server
+/// refuses to issue this id over the wire (kIssueId).
+constexpr UserId kReplicationPeerId = ~UserId{0};
+
 /// The paper's "predefined 128-bit key".
 constexpr AesKey kDefaultServerKey = {0xC0, 0x4D, 0x4D, 0x55, 0x4E, 0x49,
                                       0x58, 0x11, 0x20, 0x06, 0x20, 0x11,

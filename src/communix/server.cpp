@@ -48,6 +48,11 @@ Status CommunixServer::AddDecoded(UserId user, const Signature& sig) {
 
 Status CommunixServer::AddSignature(const UserToken& token,
                                     const Signature& sig) {
+  if (options_.role == ServerRole::kFollower) {
+    stats_.rejected_not_primary.fetch_add(1, std::memory_order_relaxed);
+    return Status::Error(ErrorCode::kFailedPrecondition,
+                         "follower replica: ADD goes to the primary");
+  }
   const auto user = authority_.Decode(token);
   if (!user) {
     stats_.rejected_bad_token.fetch_add(1, std::memory_order_relaxed);
@@ -60,6 +65,16 @@ std::vector<Status> CommunixServer::AddBatch(
     const UserToken& token, std::span<const Signature> sigs) {
   std::vector<Status> out;
   out.reserve(sigs.size());
+  if (options_.role == ServerRole::kFollower) {
+    stats_.rejected_not_primary.fetch_add(sigs.size(),
+                                          std::memory_order_relaxed);
+    for (std::size_t i = 0; i < sigs.size(); ++i) {
+      out.push_back(
+          Status::Error(ErrorCode::kFailedPrecondition,
+                        "follower replica: ADD goes to the primary"));
+    }
+    return out;
+  }
   const auto user = authority_.Decode(token);
   if (!user) {
     stats_.rejected_bad_token.fetch_add(sigs.size(),
@@ -93,6 +108,139 @@ std::vector<std::vector<std::uint8_t>> CommunixServer::GetSince(
 }
 
 std::uint64_t CommunixServer::db_size() const { return store_->size(); }
+
+void CommunixServer::VisitEntries(
+    std::uint64_t from, std::uint64_t upto,
+    const std::function<void(std::uint64_t,
+                             const store::StoredSignature&)>& fn) const {
+  store_->VisitEntries(from, upto, fn);
+}
+
+net::Response CommunixServer::HandleReplPull(const net::Request& request) {
+  const auto pull = net::ParseReplPullRequest(request);
+  if (!pull) {
+    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    net::Response resp;
+    resp.code = ErrorCode::kInvalidArgument;
+    resp.error = "malformed REPL_PULL payload";
+    return resp;
+  }
+  // Probes (limit == 0) expose only epoch + length; entry-bearing pulls
+  // ship sender ids and timestamps — data GET deliberately omits — and
+  // therefore require the replication principal's credential.
+  if (pull->limit > 0) {
+    UserToken token;
+    std::copy(pull->token.begin(), pull->token.end(), token.begin());
+    const auto peer = authority_.Decode(token);
+    if (!peer || *peer != kReplicationPeerId) {
+      stats_.rejected_bad_token.fetch_add(1, std::memory_order_relaxed);
+      net::Response resp;
+      resp.code = ErrorCode::kPermissionDenied;
+      resp.error = "entry-bearing REPL_PULL requires the peer credential";
+      return resp;
+    }
+  }
+  net::ReplPullReply reply;
+  reply.epoch = store_->epoch();
+  // Pin the committed length once so start/count/entries are consistent
+  // while ADDs keep landing.
+  reply.log_size = store_->size();
+  // Anti-entropy handshake: a requester on another lineage must restart
+  // from 0 under our epoch — its cursor means nothing in this log.
+  reply.reset = pull->epoch != reply.epoch;
+  reply.start_index =
+      reply.reset ? 0 : std::min<std::uint64_t>(pull->from_index,
+                                                reply.log_size);
+  const std::uint64_t limit =
+      std::min<std::uint64_t>(pull->limit, options_.repl_pull_max_entries);
+  const std::uint64_t upto =
+      std::min<std::uint64_t>(reply.log_size, reply.start_index + limit);
+  store_->VisitEntries(
+      reply.start_index, upto,
+      [&](std::uint64_t, const store::StoredSignature& entry) {
+        reply.entries.push_back(
+            net::ReplEntry{entry.sender, entry.added_at, entry.bytes});
+      });
+  stats_.repl_pulls_served.fetch_add(1, std::memory_order_relaxed);
+  return net::BuildReplPullReply(reply);
+}
+
+net::Response CommunixServer::HandleReplBatch(const net::Request& request) {
+  net::Response resp;
+  if (options_.role != ServerRole::kFollower) {
+    stats_.rejected_not_primary.fetch_add(1, std::memory_order_relaxed);
+    resp.code = ErrorCode::kFailedPrecondition;
+    resp.error = "primary does not ingest REPL_BATCH";
+    return resp;
+  }
+  const auto batch = net::ParseReplBatchRequest(request);
+  if (!batch) {
+    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    resp.code = ErrorCode::kInvalidArgument;
+    resp.error = "malformed REPL_BATCH payload";
+    return resp;
+  }
+  // Ingest is destructive (reset wipes the store), so it requires the
+  // replication principal's token — minted under the shared server key
+  // by the primary, unforgeable to community members.
+  UserToken token;
+  std::copy(batch->token.begin(), batch->token.end(), token.begin());
+  const auto peer = authority_.Decode(token);
+  if (!peer || *peer != kReplicationPeerId) {
+    stats_.rejected_bad_token.fetch_add(1, std::memory_order_relaxed);
+    resp.code = ErrorCode::kPermissionDenied;
+    resp.error = "REPL_BATCH requires the replication peer credential";
+    return resp;
+  }
+  // Full validation happens BEFORE the (destructive) reset: a frame the
+  // server rejects must leave the store untouched.
+  if (batch->reset && batch->from_index != 0) {
+    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    resp.code = ErrorCode::kInvalidArgument;
+    resp.error = "reset batch must restart at index 0";
+    return resp;
+  }
+  if (batch->reset) {
+    store_->ResetForReplication(batch->epoch);
+    stats_.repl_resets.fetch_add(1, std::memory_order_relaxed);
+  } else if (batch->epoch != store_->epoch()) {
+    resp.code = ErrorCode::kFailedPrecondition;
+    resp.error = "epoch mismatch; re-handshake required";
+    return resp;
+  }
+  const std::uint64_t size = store_->size();
+  if (batch->from_index > size) {
+    resp.code = ErrorCode::kFailedPrecondition;
+    resp.error = "replication gap: batch starts past the committed length";
+    return resp;
+  }
+  // Idempotent resume: entries below the committed length were already
+  // applied (a retransmission after a lost reply); skip, apply the rest.
+  const std::uint64_t skip = size - batch->from_index;
+  std::uint64_t applied = 0;
+  for (std::uint64_t i = skip; i < batch->entries.size(); ++i) {
+    const net::ReplEntry& e = batch->entries[i];
+    store::StoredSignature entry;
+    entry.sender = e.sender;
+    entry.added_at = e.added_at;
+    entry.bytes = e.sig_bytes;
+    const Status s =
+        store_->ApplyReplicated(batch->from_index + i, std::move(entry));
+    if (!s.ok()) {
+      resp.code = s.code();
+      resp.error = s.message();
+      return resp;
+    }
+    ++applied;
+  }
+  stats_.repl_batches_applied.fetch_add(1, std::memory_order_relaxed);
+  stats_.repl_entries_applied.fetch_add(applied, std::memory_order_relaxed);
+  stats_.repl_entries_skipped.fetch_add(
+      std::min<std::uint64_t>(skip, batch->entries.size()),
+      std::memory_order_relaxed);
+  return net::BuildReplBatchReply(
+      net::ReplBatchReply{store_->epoch(), store_->size()});
+}
 
 net::Response CommunixServer::Handle(const net::Request& request) {
   net::Response resp;
@@ -168,23 +316,35 @@ net::Response CommunixServer::Handle(const net::Request& request) {
         resp.error = "malformed GET payload";
         break;
       }
-      // Pin the reply to the committed length at entry so the count
-      // prefix is exact even while ADDs keep landing.
+      // Serialize first, then prefix the count actually delivered: the
+      // reply stays self-consistent even if the store is swapped out
+      // between reads (a follower's catch-up reset replaces the whole
+      // log while GETs are in flight — size() and the visit below may
+      // see different logs).
       const std::uint64_t size = store_->size();
-      const std::uint32_t count = static_cast<std::uint32_t>(
-          from >= size ? 0 : size - from);
-      BinaryWriter w;
-      w.WriteU32(count);
+      BinaryWriter entries;
+      std::uint32_t count = 0;
       store_->VisitRange(
           from, size,
           [&](std::uint64_t, const std::vector<std::uint8_t>& bytes) {
-            w.WriteBytes(
+            entries.WriteBytes(
                 std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+            ++count;
           });
+      BinaryWriter w;
+      w.WriteU32(count);
+      w.WriteRaw(std::span<const std::uint8_t>(entries.data().data(),
+                                               entries.size()));
       stats_.gets_served.fetch_add(1, std::memory_order_relaxed);
       resp.payload = w.take();
       break;
     }
+
+    case net::MsgType::kReplPull:
+      return HandleReplPull(request);
+
+    case net::MsgType::kReplBatch:
+      return HandleReplBatch(request);
 
     case net::MsgType::kIssueId: {
       BinaryReader r(std::span<const std::uint8_t>(request.payload.data(),
@@ -193,6 +353,13 @@ net::Response CommunixServer::Handle(const net::Request& request) {
       if (!r.AtEnd()) {
         resp.code = ErrorCode::kInvalidArgument;
         resp.error = "malformed ISSUE_ID payload";
+        break;
+      }
+      if (user == kReplicationPeerId) {
+        // The replication credential authorizes wiping a follower; the
+        // wire convenience must not hand it out.
+        resp.code = ErrorCode::kPermissionDenied;
+        resp.error = "reserved principal";
         break;
       }
       const UserToken token = authority_.Issue(user);
@@ -224,6 +391,17 @@ CommunixServer::Stats CommunixServer::GetStats() const {
   out.rejected_malformed =
       stats_.rejected_malformed.load(std::memory_order_relaxed);
   out.gets_served = stats_.gets_served.load(std::memory_order_relaxed);
+  out.rejected_not_primary =
+      stats_.rejected_not_primary.load(std::memory_order_relaxed);
+  out.repl_pulls_served =
+      stats_.repl_pulls_served.load(std::memory_order_relaxed);
+  out.repl_batches_applied =
+      stats_.repl_batches_applied.load(std::memory_order_relaxed);
+  out.repl_entries_applied =
+      stats_.repl_entries_applied.load(std::memory_order_relaxed);
+  out.repl_entries_skipped =
+      stats_.repl_entries_skipped.load(std::memory_order_relaxed);
+  out.repl_resets = stats_.repl_resets.load(std::memory_order_relaxed);
   return out;
 }
 

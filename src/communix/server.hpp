@@ -16,7 +16,11 @@
 //
 // The server itself is a thin, stateless validation pipeline; all state
 // (database, per-user quota/adjacency, dedup, persistence) lives in a
-// store::SignatureStore. The default sharded store lets concurrent ADDs
+// store::SignatureStore. The cluster tier (communix/cluster/) runs the
+// same class in two roles over the same store interface: a primary, as
+// above, and followers that refuse ADDs and instead ingest the primary's
+// committed log entries via kReplBatch — so any replica serves GET(k)
+// with byte-identical, cursor-stable results. The default sharded store lets concurrent ADDs
 // from different users proceed in parallel and serves GET scans without
 // blocking writers; Options.store.backend selects the seed's single-mutex
 // layout for comparison (Figure 2's bench knob).
@@ -41,6 +45,13 @@
 
 namespace communix {
 
+/// Replication role of a server (cluster tier). A primary accepts ADDs
+/// and assigns the global log order; a follower only ingests committed
+/// entries shipped from the primary (net::MsgType::kReplBatch) and
+/// serves reads. Both roles serve kReplPull (feed reads + anti-entropy
+/// probes), so replicas can be chained.
+enum class ServerRole { kPrimary, kFollower };
+
 class CommunixServer final : public net::RequestHandler {
  public:
   struct Options {
@@ -48,6 +59,10 @@ class CommunixServer final : public net::RequestHandler {
     std::size_t per_user_daily_limit = 10;
     bool adjacency_check_enabled = true;  // ablation knob (§III-C2 math)
     store::StoreOptions store;            // backend + shard counts
+    ServerRole role = ServerRole::kPrimary;
+    /// Upper bound on entries shipped per kReplPull reply (defensive:
+    /// a reply frame stays bounded regardless of the requested limit).
+    std::uint32_t repl_pull_max_entries = 4096;
   };
 
   explicit CommunixServer(Clock& clock) : CommunixServer(clock, Options{}) {}
@@ -82,6 +97,18 @@ class CommunixServer final : public net::RequestHandler {
 
   std::uint64_t db_size() const;
 
+  // ---- replication (cluster tier) ----
+
+  ServerRole role() const { return options_.role; }
+  /// Log lineage id (see store::SignatureStore::epoch).
+  std::uint64_t epoch() const { return store_->epoch(); }
+  /// Committed-entry feed with full metadata — what the log shipper
+  /// reads on the primary. Delegates to the store.
+  void VisitEntries(std::uint64_t from, std::uint64_t upto,
+                    const std::function<void(
+                        std::uint64_t index,
+                        const store::StoredSignature& entry)>& fn) const;
+
   /// Issues the encrypted id for a user (the out-of-band registration the
   /// paper assumes; exposed over the wire for tests and examples).
   UserToken IssueToken(UserId user) const { return authority_.Issue(user); }
@@ -104,12 +131,23 @@ class CommunixServer final : public net::RequestHandler {
     std::uint64_t rejected_adjacent = 0;
     std::uint64_t rejected_malformed = 0;
     std::uint64_t gets_served = 0;
+    /// ADD/ADD_BATCH frames refused because this server is a follower.
+    std::uint64_t rejected_not_primary = 0;
+    std::uint64_t repl_pulls_served = 0;    // kReplPull requests answered
+    std::uint64_t repl_batches_applied = 0; // kReplBatch frames ingested
+    std::uint64_t repl_entries_applied = 0; // entries committed via ingest
+    std::uint64_t repl_entries_skipped = 0; // already-applied (idempotent)
+    std::uint64_t repl_resets = 0;          // catch-up epoch adoptions
   };
   Stats GetStats() const;
 
  private:
   /// The post-authentication pipeline shared by AddSignature/AddBatch.
   Status AddDecoded(UserId user, const dimmunix::Signature& sig);
+
+  /// kReplPull / kReplBatch processing (wire handlers).
+  net::Response HandleReplPull(const net::Request& request);
+  net::Response HandleReplBatch(const net::Request& request);
 
   Clock& clock_;
   const Options options_;
@@ -127,6 +165,12 @@ class CommunixServer final : public net::RequestHandler {
     std::atomic<std::uint64_t> rejected_adjacent{0};
     std::atomic<std::uint64_t> rejected_malformed{0};
     std::atomic<std::uint64_t> gets_served{0};
+    std::atomic<std::uint64_t> rejected_not_primary{0};
+    std::atomic<std::uint64_t> repl_pulls_served{0};
+    std::atomic<std::uint64_t> repl_batches_applied{0};
+    std::atomic<std::uint64_t> repl_entries_applied{0};
+    std::atomic<std::uint64_t> repl_entries_skipped{0};
+    std::atomic<std::uint64_t> repl_resets{0};
   };
   mutable AtomicStats stats_;
 };

@@ -1,7 +1,10 @@
 #include "communix/store/signature_store.hpp"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <mutex>
+#include <random>
 #include <shared_mutex>
 #include <unordered_map>
 #include <unordered_set>
@@ -11,6 +14,19 @@
 #include "util/serde.hpp"
 
 namespace communix::store {
+
+std::uint64_t GenerateEpoch() {
+  // Random high bits (distinct across processes/restarts) + a process
+  // counter (distinct within a process even if the RNG repeats).
+  static std::atomic<std::uint64_t> counter{0};
+  static const std::uint64_t process_salt = [] {
+    std::random_device rd;
+    return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  }();
+  const std::uint64_t e =
+      process_salt ^ (counter.fetch_add(1, std::memory_order_relaxed) + 1);
+  return e == 0 ? 1 : e;
+}
 
 TopFrameKeys TopFrameSet(const dimmunix::Signature& sig) {
   TopFrameKeys tops;
@@ -66,10 +82,13 @@ AddOutcome RunAddPipeline(UserState& state, std::int64_t day,
 }
 
 // ---------------------------------------------------------------------------
-// Persistence (format identical to the seed server's SaveToFile).
+// Persistence. v1 is the seed server's exact format; v2 appends the log
+// epoch (u64) to the header so a follower's lineage survives restarts.
+// Both versions load; saves write v2.
 // ---------------------------------------------------------------------------
 constexpr std::uint32_t kDbMagic = 0x434D5342;  // "CMSB"
-constexpr std::uint32_t kDbVersion = 1;
+constexpr std::uint32_t kDbVersionV1 = 1;
+constexpr std::uint32_t kDbVersion = 2;
 
 struct LoadedRecord {
   StoredSignature entry;
@@ -103,7 +122,10 @@ void WriteRecord(BinaryWriter& w, const StoredSignature& s) {
   w.WriteBytes(std::span<const std::uint8_t>(s.bytes.data(), s.bytes.size()));
 }
 
-Status ParseDbFile(const std::string& path, std::vector<LoadedRecord>& out) {
+/// On success `epoch_out` is the file's epoch; 0 for a v1 file (no
+/// lineage recorded — the caller adopts a fresh one).
+Status ParseDbFile(const std::string& path, std::vector<LoadedRecord>& out,
+                   std::uint64_t* epoch_out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::Error(ErrorCode::kNotFound, "cannot open " + path);
@@ -111,10 +133,17 @@ Status ParseDbFile(const std::string& path, std::vector<LoadedRecord>& out) {
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
   BinaryReader r(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
-  if (r.ReadU32() != kDbMagic || r.ReadU32() != kDbVersion) {
+  const std::uint32_t magic = r.ReadU32();
+  const std::uint32_t version = r.ReadU32();
+  if (magic != kDbMagic ||
+      (version != kDbVersionV1 && version != kDbVersion)) {
     return Status::Error(ErrorCode::kDataLoss, "bad server DB header");
   }
+  *epoch_out = version >= kDbVersion ? r.ReadU64() : 0;
   const std::uint32_t count = r.ReadU32();
+  if (!r.ok()) {
+    return Status::Error(ErrorCode::kDataLoss, "truncated server DB header");
+  }
   out.clear();
   out.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
@@ -140,6 +169,18 @@ Status ParseDbFile(const std::string& path, std::vector<LoadedRecord>& out) {
   return Status::Ok();
 }
 
+/// Validates a replicated entry's signature bytes, filling in
+/// entry.content_id and producing the adjacency top-set. nullopt if the
+/// bytes fail to parse (lineage corruption — the primary only ships
+/// entries it accepted, so these bytes must round-trip).
+std::optional<TopFrameKeys> DecodeReplicatedEntry(StoredSignature& entry) {
+  auto sig = dimmunix::Signature::FromBytes(
+      std::span<const std::uint8_t>(entry.bytes.data(), entry.bytes.size()));
+  if (!sig) return std::nullopt;
+  entry.content_id = sig->ContentId();
+  return TopFrameSet(*sig);
+}
+
 // ---------------------------------------------------------------------------
 // Monolithic backend: the seed server's storage, verbatim layout. One
 // shared_mutex guards everything; kept as the Figure-2 baseline and as
@@ -147,6 +188,9 @@ Status ParseDbFile(const std::string& path, std::vector<LoadedRecord>& out) {
 // ---------------------------------------------------------------------------
 class MonolithicStore final : public SignatureStore {
  public:
+  explicit MonolithicStore(const StoreOptions& options)
+      : epoch_(options.epoch != 0 ? options.epoch : GenerateEpoch()) {}
+
   AddOutcome Add(UserId sender, std::int64_t day, const TopFrameKeys& tops,
                  std::uint64_t content_id, const dimmunix::Signature& sig,
                  TimePoint added_at, const Limits& limits) override {
@@ -180,12 +224,56 @@ class MonolithicStore final : public SignatureStore {
     return db_.size();
   }
 
+  void VisitEntries(std::uint64_t from, std::uint64_t upto,
+                    const std::function<void(
+                        std::uint64_t, const StoredSignature&)>& fn)
+      const override {
+    std::shared_lock lock(mu_);
+    const std::uint64_t n = std::min<std::uint64_t>(upto, db_.size());
+    for (std::uint64_t i = from; i < n; ++i) {
+      fn(i, db_[i]);
+    }
+  }
+
+  std::uint64_t epoch() const override {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  Status ApplyReplicated(std::uint64_t index, StoredSignature entry) override {
+    auto tops = DecodeReplicatedEntry(entry);
+    if (!tops) {
+      return Status::Error(ErrorCode::kDataLoss,
+                           "replicated signature fails to parse");
+    }
+    std::unique_lock lock(mu_);
+    if (index != db_.size()) {
+      return Status::Error(ErrorCode::kFailedPrecondition,
+                           "replication index gap");
+    }
+    if (!content_ids_.insert(entry.content_id).second) {
+      return Status::Error(ErrorCode::kDataLoss,
+                           "replicated entry duplicates the dedup set");
+    }
+    users_[entry.sender].accepted_top_sets.push_back(std::move(*tops));
+    db_.push_back(std::move(entry));
+    return Status::Ok();
+  }
+
+  void ResetForReplication(std::uint64_t new_epoch) override {
+    std::unique_lock lock(mu_);
+    db_.clear();
+    content_ids_.clear();
+    users_.clear();
+    epoch_.store(new_epoch, std::memory_order_release);
+  }
+
   Status SaveToFile(const std::string& path) const override {
     BinaryWriter w;
     {
       std::shared_lock lock(mu_);
       w.WriteU32(kDbMagic);
       w.WriteU32(kDbVersion);
+      w.WriteU64(epoch_.load(std::memory_order_relaxed));
       w.WriteU32(static_cast<std::uint32_t>(db_.size()));
       for (const StoredSignature& s : db_) WriteRecord(w, s);
     }
@@ -194,7 +282,8 @@ class MonolithicStore final : public SignatureStore {
 
   Status LoadFromFile(const std::string& path) override {
     std::vector<LoadedRecord> records;
-    if (auto s = ParseDbFile(path, records); !s.ok()) return s;
+    std::uint64_t file_epoch = 0;
+    if (auto s = ParseDbFile(path, records, &file_epoch); !s.ok()) return s;
     std::unique_lock lock(mu_);
     db_.clear();
     content_ids_.clear();
@@ -205,6 +294,8 @@ class MonolithicStore final : public SignatureStore {
           std::move(rec.tops));
       db_.push_back(std::move(rec.entry));
     }
+    epoch_.store(file_epoch != 0 ? file_epoch : GenerateEpoch(),
+                 std::memory_order_release);
     return Status::Ok();
   }
 
@@ -213,6 +304,7 @@ class MonolithicStore final : public SignatureStore {
   std::vector<StoredSignature> db_;
   std::unordered_set<std::uint64_t> content_ids_;
   std::unordered_map<UserId, UserState> users_;
+  std::atomic<std::uint64_t> epoch_;
 };
 
 // ---------------------------------------------------------------------------
@@ -222,14 +314,25 @@ class MonolithicStore final : public SignatureStore {
 // append is published to readers — the decisions are still identical to
 // some serialized order, which is all the monolithic lock guaranteed.
 // ---------------------------------------------------------------------------
+// The log is published through an atomic shared_ptr (the same RCU
+// pattern as the dimmunix avoidance index): readers snapshot the
+// pointer and walk that log lock-free, so replacing the whole database
+// (ResetForReplication on a live follower, LoadFromFile) installs a
+// fresh log object and simply lets in-flight readers finish against the
+// retired one — no reader ever observes a log being torn down or its
+// indexes being reused.
 class ShardedStore final : public SignatureStore {
  public:
   explicit ShardedStore(const StoreOptions& options)
-      : users_(options.user_shards), dedup_(options.dedup_shards) {}
+      : users_(options.user_shards),
+        dedup_(options.dedup_shards),
+        log_(std::make_shared<SignatureLog>()),
+        epoch_(options.epoch != 0 ? options.epoch : GenerateEpoch()) {}
 
   AddOutcome Add(UserId sender, std::int64_t day, const TopFrameKeys& tops,
                  std::uint64_t content_id, const dimmunix::Signature& sig,
                  TimePoint added_at, const Limits& limits) override {
+    const std::shared_ptr<SignatureLog> log = Log();
     return users_.With(sender, [&](UserState& state) {
       return RunAddPipeline(
           state, day, tops, limits,
@@ -240,7 +343,7 @@ class ShardedStore final : public SignatureStore {
             stored.content_id = content_id;
             stored.sender = sender;
             stored.added_at = added_at;
-            log_.Append(std::move(stored));
+            log->Append(std::move(stored));
           });
     });
   }
@@ -249,22 +352,72 @@ class ShardedStore final : public SignatureStore {
                   const std::function<void(
                       std::uint64_t, const std::vector<std::uint8_t>&)>& fn)
       const override {
-    log_.Visit(from, upto, [&](std::uint64_t i, const StoredSignature& s) {
+    Log()->Visit(from, upto, [&](std::uint64_t i, const StoredSignature& s) {
       fn(i, s.bytes);
     });
   }
 
-  std::uint64_t size() const override { return log_.size(); }
+  std::uint64_t size() const override { return Log()->size(); }
+
+  void VisitEntries(std::uint64_t from, std::uint64_t upto,
+                    const std::function<void(
+                        std::uint64_t, const StoredSignature&)>& fn)
+      const override {
+    Log()->Visit(from, upto, fn);
+  }
+
+  std::uint64_t epoch() const override {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  Status ApplyReplicated(std::uint64_t index, StoredSignature entry) override {
+    auto tops = DecodeReplicatedEntry(entry);
+    if (!tops) {
+      return Status::Error(ErrorCode::kDataLoss,
+                           "replicated signature fails to parse");
+    }
+    // Ingest is ordered (one entry at exactly size()), so serialize it
+    // (also against ResetForReplication); lock-free GET scans stay
+    // concurrent with the log append inside.
+    std::lock_guard ingest(ingest_mu_);
+    const std::shared_ptr<SignatureLog> log = Log();
+    if (index != log->size()) {
+      return Status::Error(ErrorCode::kFailedPrecondition,
+                           "replication index gap");
+    }
+    if (!dedup_.TryInsert(entry.content_id)) {
+      return Status::Error(ErrorCode::kDataLoss,
+                           "replicated entry duplicates the dedup set");
+    }
+    users_.With(entry.sender, [&](UserState& state) {
+      state.accepted_top_sets.push_back(std::move(*tops));
+    });
+    log->Append(std::move(entry));
+    return Status::Ok();
+  }
+
+  void ResetForReplication(std::uint64_t new_epoch) override {
+    std::lock_guard ingest(ingest_mu_);
+    users_.Clear();
+    dedup_.Clear();
+    // Fresh log object: concurrent GET scans keep reading the retired
+    // one (kept alive by their shared_ptr snapshots) to completion.
+    log_.store(std::make_shared<SignatureLog>(), std::memory_order_release);
+    epoch_.store(new_epoch, std::memory_order_release);
+  }
 
   Status SaveToFile(const std::string& path) const override {
     BinaryWriter w;
-    // The committed prefix is immutable, so no lock is needed: entries
-    // appended after this size() load are simply not part of the save.
-    const std::uint64_t n = log_.size();
+    // The snapshot log's committed prefix is immutable, so no lock is
+    // needed: entries appended after this size() load are simply not
+    // part of the save.
+    const std::shared_ptr<SignatureLog> log = Log();
+    const std::uint64_t n = log->size();
     w.WriteU32(kDbMagic);
     w.WriteU32(kDbVersion);
+    w.WriteU64(epoch_.load(std::memory_order_relaxed));
     w.WriteU32(static_cast<std::uint32_t>(n));
-    log_.Visit(0, n, [&](std::uint64_t, const StoredSignature& s) {
+    log->Visit(0, n, [&](std::uint64_t, const StoredSignature& s) {
       WriteRecord(w, s);
     });
     return WriteDbFile(path, w);
@@ -272,7 +425,9 @@ class ShardedStore final : public SignatureStore {
 
   Status LoadFromFile(const std::string& path) override {
     std::vector<LoadedRecord> records;
-    if (auto s = ParseDbFile(path, records); !s.ok()) return s;
+    std::uint64_t file_epoch = 0;
+    if (auto s = ParseDbFile(path, records, &file_epoch); !s.ok()) return s;
+    std::lock_guard ingest(ingest_mu_);
     users_.Clear();
     dedup_.Clear();
     std::vector<StoredSignature> entries;
@@ -284,14 +439,25 @@ class ShardedStore final : public SignatureStore {
       });
       entries.push_back(std::move(rec.entry));
     }
-    log_.Reset(std::move(entries));
+    // Populate a private log, then publish it whole.
+    auto loaded = std::make_shared<SignatureLog>();
+    loaded->Reset(std::move(entries));
+    log_.store(std::move(loaded), std::memory_order_release);
+    epoch_.store(file_epoch != 0 ? file_epoch : GenerateEpoch(),
+                 std::memory_order_release);
     return Status::Ok();
   }
 
  private:
-  SignatureLog log_;
+  std::shared_ptr<SignatureLog> Log() const {
+    return log_.load(std::memory_order_acquire);
+  }
+
   UserStateShards users_;
   DedupIndex dedup_;
+  std::atomic<std::shared_ptr<SignatureLog>> log_;
+  std::mutex ingest_mu_;
+  std::atomic<std::uint64_t> epoch_;
 };
 
 }  // namespace
@@ -299,7 +465,7 @@ class ShardedStore final : public SignatureStore {
 std::unique_ptr<SignatureStore> SignatureStore::Create(
     const StoreOptions& options) {
   if (options.backend == Backend::kMonolithic) {
-    return std::make_unique<MonolithicStore>();
+    return std::make_unique<MonolithicStore>(options);
   }
   return std::make_unique<ShardedStore>(options);
 }

@@ -18,10 +18,12 @@
 //     ADDs from different users never contend, and GET scans never block
 //     ADDs.
 //
-// The on-disk format is byte-identical to the seed server's
-// SaveToFile/LoadFromFile, and the two backends share it: a database
-// saved by either loads into the other, and clients' incremental GET(k)
-// cursors stay valid across restarts.
+// The two backends share the on-disk format: a database saved by either
+// loads into the other, and clients' incremental GET(k) cursors stay
+// valid across restarts. Version 2 of the format appends the log epoch
+// to the v1 header (the replication lineage id, see epoch() below);
+// v1 files — the seed server's exact layout — still load, adopting a
+// fresh epoch.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +33,7 @@
 #include <vector>
 
 #include "communix/ids.hpp"
+#include "communix/store/signature_log.hpp"
 #include "communix/store/user_state_shards.hpp"
 #include "dimmunix/signature.hpp"
 #include "util/clock.hpp"
@@ -72,7 +75,13 @@ struct StoreOptions {
   /// only; rounded up to powers of two).
   std::size_t user_shards = 16;
   std::size_t dedup_shards = 16;
+  /// Log epoch (replication lineage id); 0 generates a fresh
+  /// process-unique nonzero value. Tests pin it for determinism.
+  std::uint64_t epoch = 0;
 };
+
+/// A fresh, process-unique, nonzero log epoch.
+std::uint64_t GenerateEpoch();
 
 class SignatureStore {
  public:
@@ -98,6 +107,42 @@ class SignatureStore {
           fn) const = 0;
 
   virtual std::uint64_t size() const = 0;
+
+  // ---- replication (cluster tier) ---------------------------------------
+
+  /// Incremental committed-entry feed: visits entries with index in
+  /// [from, min(upto, size())) in index order, with the full stored
+  /// metadata (sender, added_at, bytes) replication must ship for the
+  /// follower's log to be byte-identical. Same non-blocking guarantees
+  /// as VisitRange.
+  virtual void VisitEntries(
+      std::uint64_t from, std::uint64_t upto,
+      const std::function<void(std::uint64_t index,
+                               const StoredSignature& entry)>& fn) const = 0;
+
+  /// Log lineage id. Two stores with equal epochs hold byte-identical
+  /// prefixes of the same log; the epoch changes only when the log's
+  /// identity does (ResetForReplication, loading a file of another
+  /// lineage). Lock-free read.
+  virtual std::uint64_t epoch() const = 0;
+
+  /// Follower ingest: commits an entry the primary already accepted, at
+  /// exactly `index` (which must equal size() — replication is ordered).
+  /// Rebuilds the dedup/adjacency state exactly as LoadFromFile does, so
+  /// the follower enforces §III-C if it is ever promoted. Returns
+  /// kFailedPrecondition on an index gap, kDataLoss if the bytes fail to
+  /// parse or duplicate the dedup set (lineage corruption). Safe against
+  /// concurrent reads; ingest itself is serialized internally.
+  virtual Status ApplyReplicated(std::uint64_t index,
+                                 StoredSignature entry) = 0;
+
+  /// Clears the whole store and adopts `new_epoch` — the catch-up path a
+  /// follower takes when its lineage diverged from the primary's. This
+  /// runs on a LIVE follower: it is safe against concurrent reads (the
+  /// sharded backend publishes a fresh log and in-flight scans finish
+  /// against the retired one) and serialized against ApplyReplicated.
+  /// Only concurrent Add is excluded — followers refuse ADDs anyway.
+  virtual void ResetForReplication(std::uint64_t new_epoch) = 0;
 
   /// Persistence, format-compatible with the seed server's files.
   virtual Status SaveToFile(const std::string& path) const = 0;

@@ -1,25 +1,59 @@
 #include "dimmunix/avoidance_index.hpp"
 
 #include <algorithm>
+#include <unordered_set>
 
 #include "util/fnv.hpp"
 
 namespace communix::dimmunix {
 
+std::size_t OccupancyTable::ClampBuckets(std::size_t buckets) {
+  std::size_t width = kMinBuckets;
+  while (width < buckets && width < kMaxBuckets) width <<= 1;
+  return width;
+}
+
+std::size_t OccupancyTable::RecommendedBuckets(std::size_t candidate_keys) {
+  const std::size_t want =
+      std::max(kDefaultBuckets, candidate_keys * 8);
+  return ClampBuckets(want);
+}
+
+OccupancyTable::OccupancyTable(std::size_t buckets)
+    : bucket_count_(ClampBuckets(buckets)),
+      counts_(new std::atomic<std::uint32_t>[bucket_count_]()) {}
+
+void OccupancyTable::Resize(std::size_t buckets) {
+  bucket_count_ = ClampBuckets(buckets);
+  counts_.reset(new std::atomic<std::uint32_t>[bucket_count_]());
+}
+
+std::size_t CountCandidateKeys(const History& history) {
+  std::unordered_set<std::uint64_t> keys;
+  for (const SignatureRecord& rec : history.records()) {
+    if (rec.disabled) continue;
+    for (const SignatureEntry& e : rec.sig.entries()) {
+      keys.insert(e.outer.TopKey());
+    }
+  }
+  return keys.size();
+}
+
 std::shared_ptr<const AvoidanceIndex> AvoidanceIndex::Build(
-    const History& history, std::uint64_t version) {
-  return BuildInternal(history, version, nullptr);
+    const History& history, std::uint64_t version,
+    std::size_t occupancy_buckets) {
+  return BuildInternal(history, version, nullptr, occupancy_buckets);
 }
 
 std::shared_ptr<const AvoidanceIndex> AvoidanceIndex::Rebuild(
     const AvoidanceIndex& prev, const History& history,
-    std::uint64_t version) {
-  return BuildInternal(history, version, &prev);
+    std::uint64_t version, std::size_t occupancy_buckets) {
+  return BuildInternal(history, version, &prev, occupancy_buckets);
 }
 
 std::shared_ptr<const AvoidanceIndex> AvoidanceIndex::BuildInternal(
     const History& history, std::uint64_t version,
-    const AvoidanceIndex* prev) {
+    const AvoidanceIndex* prev, std::size_t occupancy_buckets) {
   auto index = std::shared_ptr<AvoidanceIndex>(new AvoidanceIndex());
   index->version_ = version;
   index->built_by_delta_ = prev != nullptr;
@@ -68,8 +102,8 @@ std::shared_ptr<const AvoidanceIndex> AvoidanceIndex::BuildInternal(
       const auto& sig_entries = e.sig.entries();
       for (std::size_t j = 0; j < sig_entries.size(); ++j) {
         if (j == cand.position) continue;
-        slot.peer_buckets.push_back(
-            OccupancyTable::BucketOf(sig_entries[j].outer.TopKey()));
+        slot.peer_buckets.push_back(OccupancyTable::BucketOf(
+            sig_entries[j].outer.TopKey(), occupancy_buckets));
       }
     }
     std::sort(slot.peer_buckets.begin(), slot.peer_buckets.end());
@@ -82,6 +116,17 @@ std::shared_ptr<const AvoidanceIndex> AvoidanceIndex::BuildInternal(
       if (old != nullptr && old->fingerprint == fp) slot.stats = old->stats;
     }
     if (slot.stats == nullptr) slot.stats = std::make_shared<KeyStats>();
+  }
+
+  // Collision gauge: distinct index keys sharing an occupancy bucket at
+  // this width. Each pair costs lost skips whenever one key is occupied
+  // while the other's gate evaluates.
+  std::unordered_map<std::uint32_t, std::size_t> keys_per_bucket;
+  for (const auto& [key, slot] : index->by_outer_top_) {
+    ++keys_per_bucket[OccupancyTable::BucketOf(key, occupancy_buckets)];
+  }
+  for (const auto& [bucket, n] : keys_per_bucket) {
+    index->key_bucket_collisions_ += n - 1;
   }
   return index;
 }

@@ -64,15 +64,46 @@ namespace communix::dimmunix {
 /// total order, the skipped acquisition linearizes before that
 /// occupant's — exactly the serialization the fast path's pending-slot
 /// protocol already grants, so the global-lock reference admits it too.
+///
+/// The table width is configurable (power of two): collisions between a
+/// signature's peer keys and unrelated hot keys cost skipped skips, so a
+/// busy deployment sizes the table from its candidate-key count
+/// (RecommendedBuckets; the runtime's auto mode applies it at index
+/// build, while resizing is still provably safe). The width is fixed
+/// once occupancies exist — entries cache their bucket index, so a live
+/// resize would orphan them.
 class OccupancyTable {
  public:
-  static constexpr std::size_t kBuckets = 1024;
+  static constexpr std::size_t kDefaultBuckets = 1024;
+  static constexpr std::size_t kMinBuckets = 16;
+  static constexpr std::size_t kMaxBuckets = std::size_t{1} << 20;
 
-  /// Bucket of a top-frame key (already FNV-mixed by Frame).
-  static std::uint32_t BucketOf(std::uint64_t top_key) {
+  /// Rounds `buckets` to the nearest power of two in [kMin, kMax].
+  static std::size_t ClampBuckets(std::size_t buckets);
+
+  /// Width for a deployment whose index holds `candidate_keys` distinct
+  /// top-frame keys: ~8 buckets per key (collision probability per hot
+  /// key ~n/8n), floored at the default width.
+  static std::size_t RecommendedBuckets(std::size_t candidate_keys);
+
+  explicit OccupancyTable(std::size_t buckets = kDefaultBuckets);
+
+  /// Bucket of a top-frame key (already FNV-mixed by Frame) in a table
+  /// of `buckets` slots (power of two).
+  static std::uint32_t BucketOf(std::uint64_t top_key, std::size_t buckets) {
     return static_cast<std::uint32_t>((top_key ^ (top_key >> 32)) &
-                                      (kBuckets - 1));
+                                      (buckets - 1));
   }
+  std::uint32_t Bucket(std::uint64_t top_key) const {
+    return BucketOf(top_key, bucket_count_);
+  }
+  std::size_t bucket_count() const { return bucket_count_; }
+
+  /// Replaces the counter array with a wider one. NOT thread-safe: the
+  /// caller must guarantee no occupancy is live and no thread can
+  /// publish one concurrently (the runtime resizes only while no thread
+  /// is attached, which implies both).
+  void Resize(std::size_t buckets);
 
   void Enter(std::uint32_t bucket) {
     counts_[bucket].fetch_add(1, std::memory_order_seq_cst);
@@ -93,7 +124,8 @@ class OccupancyTable {
   }
 
  private:
-  std::array<std::atomic<std::uint32_t>, kBuckets> counts_{};
+  std::size_t bucket_count_;
+  std::unique_ptr<std::atomic<std::uint32_t>[]> counts_;
 };
 
 class AvoidanceIndex {
@@ -139,9 +171,12 @@ class AvoidanceIndex {
   };
 
   /// Builds the index of `history`'s *enabled* signatures from scratch,
-  /// stamped with the given history version.
-  static std::shared_ptr<const AvoidanceIndex> Build(const History& history,
-                                                     std::uint64_t version);
+  /// stamped with the given history version. `occupancy_buckets` is the
+  /// width of the runtime's OccupancyTable — peer buckets are computed
+  /// against it, so the two must agree.
+  static std::shared_ptr<const AvoidanceIndex> Build(
+      const History& history, std::uint64_t version,
+      std::size_t occupancy_buckets = OccupancyTable::kDefaultBuckets);
 
   /// Delta rebuild: derives the next snapshot from `prev` plus whatever
   /// mutation `history` now reflects. Entries whose content id survived
@@ -150,7 +185,8 @@ class AvoidanceIndex {
   /// identical to Build(history, version).
   static std::shared_ptr<const AvoidanceIndex> Rebuild(
       const AvoidanceIndex& prev, const History& history,
-      std::uint64_t version);
+      std::uint64_t version,
+      std::size_t occupancy_buckets = OccupancyTable::kDefaultBuckets);
 
   /// Candidates whose outer top frame key is `top_key`; nullptr if none.
   /// This is the only call the acquisition fast path makes.
@@ -178,12 +214,21 @@ class AvoidanceIndex {
   std::size_t entries_reused() const { return entries_reused_; }
   std::size_t entries_copied() const { return entries_copied_; }
 
+  /// Distinct top-frame keys in the index (candidate-key count — the
+  /// input to OccupancyTable::RecommendedBuckets).
+  std::size_t key_count() const { return by_outer_top_.size(); }
+  /// Distinct key pairs sharing an occupancy bucket at this build's
+  /// table width — each costs spurious gate hits (lost skips) whenever
+  /// the colliding key is occupied. Surfaced as a Stats gauge; a rising
+  /// value is the signal to widen Options::occupancy_buckets.
+  std::size_t key_bucket_collisions() const { return key_bucket_collisions_; }
+
  private:
   AvoidanceIndex() = default;
 
   static std::shared_ptr<const AvoidanceIndex> BuildInternal(
       const History& history, std::uint64_t version,
-      const AvoidanceIndex* prev);
+      const AvoidanceIndex* prev, std::size_t occupancy_buckets);
 
   std::vector<std::shared_ptr<const Entry>> entries_;
   std::unordered_map<std::uint64_t, KeySlot> by_outer_top_;
@@ -191,6 +236,12 @@ class AvoidanceIndex {
   bool built_by_delta_ = false;
   std::size_t entries_reused_ = 0;
   std::size_t entries_copied_ = 0;
+  std::size_t key_bucket_collisions_ = 0;
 };
+
+/// Distinct outer top-frame keys over `history`'s enabled records — the
+/// candidate-key count the runtime's auto occupancy sizing consults
+/// *before* building the index (the table width feeds the build).
+std::size_t CountCandidateKeys(const History& history);
 
 }  // namespace communix::dimmunix

@@ -11,8 +11,14 @@ namespace communix::dimmunix {
 std::atomic<std::uint64_t> Monitor::next_id_{1};
 
 DimmunixRuntime::DimmunixRuntime(Clock& clock, Options options)
-    : clock_(clock), options_(options), fp_detector_(options.fp) {
-  index_locked_ = AvoidanceIndex::Build(history_, 0);
+    : clock_(clock),
+      options_(options),
+      fp_detector_(options.fp),
+      occupancy_(options.occupancy_buckets == 0
+                     ? OccupancyTable::kDefaultBuckets
+                     : options.occupancy_buckets) {
+  index_locked_ = AvoidanceIndex::Build(history_, 0,
+                                        occupancy_.bucket_count());
   index_.store(index_locked_, std::memory_order_release);
 }
 
@@ -73,18 +79,30 @@ void DimmunixRuntime::ReapDetachedLocked() {
 }
 
 void DimmunixRuntime::RepublishIndexLocked() {
+  // Auto occupancy sizing, applied at index build from the candidate-key
+  // count — but only while no thread has ever attached: with no attached
+  // contexts there are no live occupancies (attach precedes every
+  // Enter), so swapping the counter array cannot orphan an entry. Once a
+  // workload thread exists, the width is frozen.
+  if (options_.avoidance_enabled && options_.occupancy_buckets == 0 &&
+      threads_.empty()) {
+    const std::size_t want =
+        OccupancyTable::RecommendedBuckets(CountCandidateKeys(history_));
+    if (want > occupancy_.bucket_count()) occupancy_.Resize(want);
+  }
   const std::uint64_t version = history_version_.fetch_add(1) + 1;
   const bool full = !options_.delta_index_rebuilds ||
                     options_.full_rebuild_period == 0 ||
                     ++republishes_since_full_ >= options_.full_rebuild_period;
   if (full) {
-    index_locked_ = AvoidanceIndex::Build(history_, version);
+    index_locked_ =
+        AvoidanceIndex::Build(history_, version, occupancy_.bucket_count());
     republishes_since_full_ = 0;
     global_counters_.index_full_rebuilds.fetch_add(1,
                                                    std::memory_order_relaxed);
   } else {
-    index_locked_ =
-        AvoidanceIndex::Rebuild(*index_locked_, history_, version);
+    index_locked_ = AvoidanceIndex::Rebuild(*index_locked_, history_, version,
+                                            occupancy_.bucket_count());
     global_counters_.index_delta_rebuilds.fetch_add(1,
                                                     std::memory_order_relaxed);
     global_counters_.index_entries_reused.fetch_add(
@@ -96,7 +114,7 @@ void DimmunixRuntime::RepublishIndexLocked() {
 
 void DimmunixRuntime::PublishAcquisition(ThreadContext& ctx, Monitor& m,
                                          const CallStack& stack) {
-  const std::uint32_t bucket = OccupancyTable::BucketOf(stack.TopKey());
+  const std::uint32_t bucket = occupancy_.Bucket(stack.TopKey());
   // Occupancy discipline: enter the bucket *before* the holding becomes
   // visible, leave it only *after* retraction (UnpublishAcquisition) —
   // a zero bucket must prove no matching occupant is visible.
@@ -335,7 +353,7 @@ bool DimmunixRuntime::TryFastAcquire(ThreadContext& ctx, Monitor& m,
   // CAS loses): a zero bucket read by the adaptive gate proves this
   // thread is not yet a visible occupant, ordering the gated
   // acquisition before ours in the equivalent serialization.
-  const std::uint32_t bucket = OccupancyTable::BucketOf(stack.TopKey());
+  const std::uint32_t bucket = occupancy_.Bucket(stack.TopKey());
   if (options_.avoidance_enabled) occupancy_.Enter(bucket);
   {
     std::lock_guard pub(ctx.state_mu_);
@@ -479,7 +497,7 @@ Status DimmunixRuntime::AcquireSlow(ThreadContext& ctx, Monitor& m,
     }
 
     // ---- blocking + detection (§II-A) ----
-    const std::uint32_t self_bucket = OccupancyTable::BucketOf(stack.TopKey());
+    const std::uint32_t self_bucket = occupancy_.Bucket(stack.TopKey());
     bool counted_contention = false;
     bool announced = false;
     bool granted = false;
@@ -682,6 +700,10 @@ DimmunixRuntime::Stats DimmunixRuntime::GetStats() const {
   // tombstones are quiescent and still counted until the reap folds them
   // into the runtime shard.
   for (const auto& t : threads_) t->counters_.AccumulateInto(s);
+  // Gauges: current table geometry + the published index's collision
+  // count (not counter shards — they describe state, not events).
+  s.occupancy_buckets = occupancy_.bucket_count();
+  s.occupancy_key_collisions = index_locked_->key_bucket_collisions();
   return s;
 }
 

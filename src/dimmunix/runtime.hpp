@@ -118,6 +118,18 @@ class DimmunixRuntime {
     /// sampling). The runtime fails safe on mismatch: it honors the scan
     /// result, so even a broken gate cannot admit past the reference.
     std::uint32_t adaptive_verify_sample = 64;
+    /// Occupancy-table width (power of two, clamped to
+    /// [OccupancyTable::kMinBuckets, kMaxBuckets]). Collisions between
+    /// index keys cost lost gate skips (Stats::occupancy_key_collisions
+    /// counts them), so busy deployments want ~8 buckets per candidate
+    /// key. 0 = auto: start at the default width and, at each index
+    /// build that happens before any thread has attached (the
+    /// install-persisted-history-at-startup pattern), grow to
+    /// OccupancyTable::RecommendedBuckets(candidate-key count). Once a
+    /// thread is attached the width is frozen — live occupancies cache
+    /// their bucket index, so resizing under them would corrupt the
+    /// zero-read proof.
+    std::size_t occupancy_buckets = 0;
     /// Republish the avoidance index by delta rebuild (reusing the
     /// previous snapshot's entries) instead of a full copy.
     bool delta_index_rebuilds = true;

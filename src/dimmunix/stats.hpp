@@ -63,6 +63,17 @@ struct RuntimeStats {
   std::uint64_t index_entries_reused = 0;
   /// Tombstoned thread contexts reclaimed.
   std::uint64_t threads_reaped = 0;
+
+  // ---- gauges (current state, not counter shards) ----
+
+  /// Occupancy-table width currently in effect (see
+  /// Options::occupancy_buckets; auto mode grows it at index build).
+  std::uint64_t occupancy_buckets = 0;
+  /// Distinct index keys sharing an occupancy bucket in the *current*
+  /// avoidance-index snapshot. Each collision costs lost gate skips
+  /// whenever the colliding key is occupied; a persistently nonzero
+  /// value is the signal to widen the table.
+  std::uint64_t occupancy_key_collisions = 0;
 };
 
 /// One shard of relaxed-atomic counters (same shape as the Communix

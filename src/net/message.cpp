@@ -14,7 +14,7 @@ std::optional<Request> Request::Deserialize(
   BinaryReader r(bytes);
   Request req;
   const std::uint8_t t = r.ReadU8();
-  if (t > static_cast<std::uint8_t>(MsgType::kAddBatch)) return std::nullopt;
+  if (t > static_cast<std::uint8_t>(MsgType::kReplBatch)) return std::nullopt;
   req.type = static_cast<MsgType>(t);
   req.payload = r.ReadBytes();
   if (!r.AtEnd()) return std::nullopt;
@@ -51,6 +51,144 @@ std::optional<std::vector<ErrorCode>> ParseAddBatchResponse(
   }
   if (!r.AtEnd()) return std::nullopt;
   return codes;
+}
+
+namespace {
+
+// Entry list encoding shared by both replication verbs: u32 count, then
+// per entry u64 sender + i64 added_at + length-prefixed signature bytes.
+constexpr std::size_t kMinReplEntryBytes = 8 + 8 + 4;
+
+void WriteReplEntries(BinaryWriter& w, const std::vector<ReplEntry>& entries) {
+  w.WriteU32(static_cast<std::uint32_t>(entries.size()));
+  for (const ReplEntry& e : entries) {
+    w.WriteU64(e.sender);
+    w.WriteI64(e.added_at);
+    w.WriteBytes(
+        std::span<const std::uint8_t>(e.sig_bytes.data(), e.sig_bytes.size()));
+  }
+}
+
+bool ReadReplEntries(BinaryReader& r, std::vector<ReplEntry>& out) {
+  const std::uint32_t count = r.ReadU32();
+  // Checked before the reserve so a hostile count can't force a giant
+  // allocation (same defense as the kAddBatch parser).
+  if (!r.ok() || count > r.remaining() / kMinReplEntryBytes) return false;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ReplEntry e;
+    e.sender = r.ReadU64();
+    e.added_at = r.ReadI64();
+    e.sig_bytes = r.ReadBytes();
+    if (!r.ok()) return false;
+    out.push_back(std::move(e));
+  }
+  return true;
+}
+
+BinaryReader PayloadReader(const std::vector<std::uint8_t>& payload) {
+  return BinaryReader(
+      std::span<const std::uint8_t>(payload.data(), payload.size()));
+}
+
+}  // namespace
+
+Request BuildReplPullRequest(const ReplPullRequest& pull) {
+  BinaryWriter w;
+  w.WriteRaw(
+      std::span<const std::uint8_t>(pull.token.data(), pull.token.size()));
+  w.WriteU64(pull.epoch);
+  w.WriteU64(pull.from_index);
+  w.WriteU32(pull.limit);
+  Request req;
+  req.type = MsgType::kReplPull;
+  req.payload = w.take();
+  return req;
+}
+
+std::optional<ReplPullRequest> ParseReplPullRequest(const Request& req) {
+  if (req.type != MsgType::kReplPull) return std::nullopt;
+  BinaryReader r = PayloadReader(req.payload);
+  ReplPullRequest pull;
+  pull.token = r.ReadRaw(16);
+  if (pull.token.size() != 16) return std::nullopt;
+  pull.epoch = r.ReadU64();
+  pull.from_index = r.ReadU64();
+  pull.limit = r.ReadU32();
+  if (!r.AtEnd()) return std::nullopt;
+  return pull;
+}
+
+Response BuildReplPullReply(const ReplPullReply& reply) {
+  BinaryWriter w;
+  w.WriteU64(reply.epoch);
+  w.WriteU64(reply.log_size);
+  w.WriteU8(reply.reset ? 1 : 0);
+  w.WriteU64(reply.start_index);
+  WriteReplEntries(w, reply.entries);
+  Response resp;
+  resp.payload = w.take();
+  return resp;
+}
+
+std::optional<ReplPullReply> ParseReplPullReply(const Response& resp) {
+  BinaryReader r = PayloadReader(resp.payload);
+  ReplPullReply reply;
+  reply.epoch = r.ReadU64();
+  reply.log_size = r.ReadU64();
+  const std::uint8_t reset = r.ReadU8();
+  if (reset > 1) return std::nullopt;
+  reply.reset = reset != 0;
+  reply.start_index = r.ReadU64();
+  if (!ReadReplEntries(r, reply.entries) || !r.AtEnd()) return std::nullopt;
+  return reply;
+}
+
+Request BuildReplBatchRequest(const ReplBatchRequest& batch) {
+  BinaryWriter w;
+  w.WriteRaw(
+      std::span<const std::uint8_t>(batch.token.data(), batch.token.size()));
+  w.WriteU64(batch.epoch);
+  w.WriteU8(batch.reset ? 1 : 0);
+  w.WriteU64(batch.from_index);
+  WriteReplEntries(w, batch.entries);
+  Request req;
+  req.type = MsgType::kReplBatch;
+  req.payload = w.take();
+  return req;
+}
+
+std::optional<ReplBatchRequest> ParseReplBatchRequest(const Request& req) {
+  if (req.type != MsgType::kReplBatch) return std::nullopt;
+  BinaryReader r = PayloadReader(req.payload);
+  ReplBatchRequest batch;
+  batch.token = r.ReadRaw(16);
+  if (batch.token.size() != 16) return std::nullopt;
+  batch.epoch = r.ReadU64();
+  const std::uint8_t reset = r.ReadU8();
+  if (reset > 1) return std::nullopt;
+  batch.reset = reset != 0;
+  batch.from_index = r.ReadU64();
+  if (!ReadReplEntries(r, batch.entries) || !r.AtEnd()) return std::nullopt;
+  return batch;
+}
+
+Response BuildReplBatchReply(const ReplBatchReply& reply) {
+  BinaryWriter w;
+  w.WriteU64(reply.epoch);
+  w.WriteU64(reply.log_size);
+  Response resp;
+  resp.payload = w.take();
+  return resp;
+}
+
+std::optional<ReplBatchReply> ParseReplBatchReply(const Response& resp) {
+  BinaryReader r = PayloadReader(resp.payload);
+  ReplBatchReply reply;
+  reply.epoch = r.ReadU64();
+  reply.log_size = r.ReadU64();
+  if (!r.AtEnd()) return std::nullopt;
+  return reply;
 }
 
 std::vector<std::uint8_t> Response::Serialize() const {

@@ -28,6 +28,11 @@ enum class MsgType : std::uint8_t {
   kAddBatch = 4,       // token (16 bytes) + u32 count + count length-prefixed
                        // serialized signatures; reply payload is u32 count +
                        // one status-code byte per signature, in order
+  kReplPull = 5,       // replication feed read + anti-entropy handshake:
+                       // requester's epoch, first missing index, entry limit
+                       // (0 = probe only). Served by any role.
+  kReplBatch = 6,      // committed-entry shipment into a follower: epoch,
+                       // reset flag, start index, entries. Follower-only.
 };
 
 struct Request {
@@ -62,6 +67,89 @@ Request BuildAddBatchRequest(
 /// in upload order. nullopt if the payload is malformed.
 std::optional<std::vector<ErrorCode>> ParseAddBatchResponse(
     const Response& resp);
+
+// ---- replication verbs (cluster tier) -------------------------------------
+//
+// Replication ships committed SignatureLog entries with their full store
+// metadata (sender, added_at, serialized signature), so a follower's log
+// — and therefore its GET(k) byte streams, assigned indexes and save
+// files — is byte-identical to the primary's. The epoch identifies a log
+// lineage: entries from different epochs must never be mixed, and the
+// catch-up handshake (a kReplPull probe) detects a mismatch and restarts
+// the follower from index 0 under the primary's epoch.
+
+/// One committed log entry as replication ships it.
+struct ReplEntry {
+  std::uint64_t sender = 0;
+  std::int64_t added_at = 0;
+  std::vector<std::uint8_t> sig_bytes;
+
+  friend bool operator==(const ReplEntry&, const ReplEntry&) = default;
+};
+
+/// kReplPull request: "I am at (epoch, from_index); ship me up to `limit`
+/// entries". limit == 0 is the anti-entropy probe (epoch + length only —
+/// nothing sensitive, so probes need no credential and any client may
+/// send them). Entry-bearing pulls (limit > 0) return the full stored
+/// metadata including each entry's sender id — which GET deliberately
+/// omits — so they require the replication principal's 16-byte `token`,
+/// exactly like kReplBatch.
+struct ReplPullRequest {
+  std::vector<std::uint8_t> token;  // 16 bytes (may be zeros for probes)
+  std::uint64_t epoch = 0;
+  std::uint64_t from_index = 0;
+  std::uint32_t limit = 0;
+
+  ReplPullRequest() : token(16, 0) {}
+  ReplPullRequest(std::uint64_t e, std::uint64_t from, std::uint32_t lim)
+      : token(16, 0), epoch(e), from_index(from), limit(lim) {}
+};
+
+/// kReplPull reply. When the requester's epoch does not match the serving
+/// node's, `reset` is set and any shipped entries restart at index 0 —
+/// the receiver must discard its log and adopt `epoch`.
+struct ReplPullReply {
+  std::uint64_t epoch = 0;
+  std::uint64_t log_size = 0;
+  bool reset = false;
+  std::uint64_t start_index = 0;
+  std::vector<ReplEntry> entries;
+};
+
+/// kReplBatch request: entries [from_index, from_index + entries.size())
+/// of the `epoch` log. `reset` orders the receiver to clear its state and
+/// adopt `epoch` before applying (the catch-up path). `token` is the raw
+/// 16-byte credential of the replication peer (the primary mints it for
+/// the reserved replication principal; the follower verifies it before
+/// touching its store — ingest is destructive, unlike kReplPull which
+/// only reads what GET already serves).
+struct ReplBatchRequest {
+  std::vector<std::uint8_t> token;  // 16 bytes
+  std::uint64_t epoch = 0;
+  bool reset = false;
+  std::uint64_t from_index = 0;
+  std::vector<ReplEntry> entries;
+};
+
+/// kReplBatch reply: the follower's post-apply epoch and committed
+/// length. The shipper resumes its feed cursor from `log_size`, which
+/// makes retransmissions after a lost reply idempotent.
+struct ReplBatchReply {
+  std::uint64_t epoch = 0;
+  std::uint64_t log_size = 0;
+};
+
+Request BuildReplPullRequest(const ReplPullRequest& pull);
+std::optional<ReplPullRequest> ParseReplPullRequest(const Request& req);
+
+Response BuildReplPullReply(const ReplPullReply& reply);
+std::optional<ReplPullReply> ParseReplPullReply(const Response& resp);
+
+Request BuildReplBatchRequest(const ReplBatchRequest& batch);
+std::optional<ReplBatchRequest> ParseReplBatchRequest(const Request& req);
+
+Response BuildReplBatchReply(const ReplBatchReply& reply);
+std::optional<ReplBatchReply> ParseReplBatchReply(const Response& resp);
 
 /// Server-side request processor (implemented by communix::CommunixServer).
 class RequestHandler {

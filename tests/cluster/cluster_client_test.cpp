@@ -1,0 +1,191 @@
+// Failover-aware cluster client: write routing, read fan-out, endpoint
+// failover/healing, the monotonic-read guard, and the kill-primary
+// smoke the CI cluster check runs.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "communix/client.hpp"
+#include "communix/repository.hpp"
+#include "sim/replica_set.hpp"
+#include "util/clock.hpp"
+
+namespace communix {
+namespace {
+
+using dimmunix::Signature;
+using sim::ReplicaSet;
+using sim::ReplicaSetOptions;
+using testutil::ChainStack;
+using testutil::F;
+using testutil::Sig2;
+
+Signature MakeSig(std::uint32_t salt) {
+  return Sig2(ChainStack("cc.A", 6, F("cc.A", "s1", 100 + salt)),
+              ChainStack("cc.A", 6, F("cc.A", "i1", 9100 + salt)),
+              ChainStack("cc.B", 6, F("cc.B", "s2", 20300 + salt)),
+              ChainStack("cc.B", 6, F("cc.B", "i2", 31400 + salt)));
+}
+
+/// ADD through the cluster client (one signature, distinct user).
+Status AddViaClient(ReplicaSet& rs, std::uint32_t salt) {
+  const UserToken token = rs.primary().IssueToken(2000 + salt);
+  net::Request req;
+  req.type = net::MsgType::kAddSignature;
+  BinaryWriter w;
+  w.WriteRaw(std::span<const std::uint8_t>(token.data(), token.size()));
+  const auto bytes = MakeSig(salt).ToBytes();
+  w.WriteRaw(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  req.payload = w.take();
+  auto result = rs.client().Call(req);
+  if (!result.ok()) return result.status();
+  return result.value().ok()
+             ? Status::Ok()
+             : Status::Error(result.value().code, result.value().error);
+}
+
+TEST(ClusterClientTest, WritesGoToPrimaryReadsFanOutToReplicas) {
+  VirtualClock clock;
+  ReplicaSet rs(clock, ReplicaSetOptions{});
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(AddViaClient(rs, i).ok());
+  }
+  EXPECT_EQ(rs.primary().db_size(), 6u);
+  ASSERT_TRUE(rs.PumpUntilSynced());
+  ASSERT_TRUE(rs.FollowersConverged());
+
+  for (int i = 0; i < 10; ++i) {
+    auto fetched = rs.client().FetchSince(0);
+    ASSERT_TRUE(fetched.ok());
+    EXPECT_EQ(fetched.value().size(), 6u);
+    EXPECT_EQ(fetched.value(), rs.primary().GetSince(0));
+  }
+  const auto stats = rs.client().GetStats();
+  EXPECT_EQ(stats.writes_to_primary, 6u);
+  // All database reads were served by replicas, none by the primary —
+  // the read-offload the tier exists for.
+  EXPECT_EQ(stats.reads_to_replicas, 10u);
+  EXPECT_EQ(stats.reads_to_primary, 0u);
+  // And the fan-out balanced them across both followers.
+  EXPECT_EQ(rs.follower(0).GetStats().gets_served, 5u);
+  EXPECT_EQ(rs.follower(1).GetStats().gets_served, 5u);
+}
+
+TEST(ClusterClientTest, LaggingReplicaNeverRegressesAFreshScan) {
+  VirtualClock clock;
+  ReplicaSetOptions opts;
+  opts.followers = 2;
+  ReplicaSet rs(clock, opts);
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(AddViaClient(rs, i).ok());
+  }
+  ASSERT_TRUE(rs.PumpUntilSynced());
+
+  // More ADDs, then replicate them to follower 0 only: follower 1 lags
+  // at 4 on the same lineage — random replication lag, as a client in
+  // the field would see it.
+  for (std::uint32_t i = 4; i < 9; ++i) {
+    ASSERT_TRUE(AddViaClient(rs, i).ok());
+  }
+  ASSERT_TRUE(rs.shipper().ShipOnce(0).ok());
+  ASSERT_EQ(rs.follower(0).db_size(), 9u);
+  ASSERT_EQ(rs.follower(1).db_size(), 4u);
+
+  // Fresh scans must never shrink once 9 entries have been observed:
+  // replies from the lagging follower are discarded and the call retried
+  // on the next endpoint within the same Call.
+  for (int i = 0; i < 6; ++i) {
+    auto scan = rs.client().FetchSince(0);
+    ASSERT_TRUE(scan.ok());
+    EXPECT_EQ(scan.value().size(), 9u);
+  }
+  EXPECT_EQ(rs.client().known_log_size(), 9u);
+  EXPECT_GT(rs.client().GetStats().stale_read_retries, 0u);
+  EXPECT_EQ(rs.client().GetStats().short_reads, 0u);
+
+  // Incremental cursors see no regression either: GET(9) served by any
+  // endpoint legitimately returns nothing new.
+  auto incremental = rs.client().FetchSince(9);
+  ASSERT_TRUE(incremental.ok());
+  EXPECT_TRUE(incremental.value().empty());
+
+  // Once replication catches up, the lagging follower serves fresh
+  // scans again.
+  ASSERT_TRUE(rs.PumpUntilSynced());
+  auto after = rs.client().FetchSince(0);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after.value().size(), 9u);
+}
+
+TEST(ClusterClientTest, DownReplicaFailsOverAndHeals) {
+  VirtualClock clock;
+  ReplicaSet rs(clock, ReplicaSetOptions{});
+  ASSERT_TRUE(AddViaClient(rs, 1).ok());
+  ASSERT_TRUE(rs.PumpUntilSynced());
+
+  rs.SetFollowerDown(0, true);
+  for (int i = 0; i < 4; ++i) {
+    auto fetched = rs.client().FetchSince(0);
+    ASSERT_TRUE(fetched.ok());
+    EXPECT_EQ(fetched.value().size(), 1u);
+  }
+  EXPECT_GT(rs.client().GetStats().failovers, 0u);
+
+  rs.SetFollowerDown(0, false);
+  // Down endpoints are retried last; a later read heals the mark.
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(rs.client().FetchSince(0).ok());
+  }
+  EXPECT_GT(rs.follower(0).GetStats().gets_served, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ClusterSmoke: the CI cluster check (tools/ci.sh, default and --tsan
+// modes). Primary + 2 followers over inproc; kill the primary; reads
+// keep flowing from the followers with no cursor regression.
+// ---------------------------------------------------------------------------
+TEST(ClusterSmoke, KillPrimaryFailover) {
+  VirtualClock clock;
+  ReplicaSetOptions opts;
+  opts.followers = 2;
+  ReplicaSet rs(clock, opts);
+
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(AddViaClient(rs, i).ok());
+  }
+  ASSERT_TRUE(rs.PumpUntilSynced());
+  ASSERT_TRUE(rs.FollowersConverged());
+  const auto reference = rs.primary().GetSince(0);
+
+  // Kill the primary: writes fail, reads keep working byte-identically.
+  rs.SetPrimaryDown(true);
+  EXPECT_EQ(AddViaClient(rs, 99).code(), ErrorCode::kUnavailable);
+  std::uint64_t cursor = 0;
+  std::vector<std::vector<std::uint8_t>> stream;
+  for (int i = 0; i < 10; ++i) {
+    auto fetched = rs.client().FetchSince(cursor);
+    ASSERT_TRUE(fetched.ok());
+    for (auto& sig : fetched.value()) stream.push_back(std::move(sig));
+    cursor = stream.size();
+    ASSERT_LE(cursor, reference.size());  // no phantom entries
+  }
+  EXPECT_EQ(stream, reference);  // byte-identical, cursor-stable
+
+  // The CommunixClient daemon path works unchanged over the cluster.
+  LocalRepository repo;
+  CommunixClient daemon(clock, rs.client(), repo);
+  auto polled = daemon.PollOnce();
+  ASSERT_TRUE(polled.ok());
+  EXPECT_EQ(polled.value(), reference.size());
+
+  // Primary restart: writes resume, replication continues.
+  rs.SetPrimaryDown(false);
+  ASSERT_TRUE(AddViaClient(rs, 100).ok());
+  ASSERT_TRUE(rs.PumpUntilSynced());
+  ASSERT_TRUE(rs.FollowersConverged());
+  auto final_scan = rs.client().FetchSince(0);
+  ASSERT_TRUE(final_scan.ok());
+  EXPECT_EQ(final_scan.value().size(), 9u);
+}
+
+}  // namespace
+}  // namespace communix

@@ -1,0 +1,140 @@
+// Replication equivalence property (the PR's acceptance criterion):
+// a randomized ADD/GET trace against {one server} vs {primary + two
+// followers with random replication lag and endpoints failing mid-trace}
+// yields byte-identical GET(k) streams, identical ADD statuses, and no
+// cursor regression — the log-shipping design's whole point is that a
+// client cannot tell the deployments apart (modulo lag).
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "communix/server.hpp"
+#include "sim/replica_set.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace communix {
+namespace {
+
+using dimmunix::Signature;
+using sim::ReplicaSet;
+using sim::ReplicaSetOptions;
+using testutil::ChainStack;
+using testutil::F;
+using testutil::Sig2;
+
+Signature TraceSig(std::uint32_t salt) {
+  const std::string a = "eq.A" + std::to_string(salt % 7);
+  const std::string b = "eq.B" + std::to_string(salt % 5);
+  return Sig2(ChainStack(a, 6, F(a, "s1", 100 + salt * 4)),
+              ChainStack(a, 6, F(a, "i1", 9100 + salt * 4)),
+              ChainStack(b, 6, F(b, "s2", 20300 + salt * 4)),
+              ChainStack(b, 6, F(b, "i2", 31400 + salt * 4)));
+}
+
+Status AddToCluster(ReplicaSet& rs, const UserToken& token,
+                    const Signature& sig) {
+  net::Request req;
+  req.type = net::MsgType::kAddSignature;
+  BinaryWriter w;
+  w.WriteRaw(std::span<const std::uint8_t>(token.data(), token.size()));
+  const auto bytes = sig.ToBytes();
+  w.WriteRaw(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  req.payload = w.take();
+  auto result = rs.client().Call(req);
+  if (!result.ok()) return result.status();
+  return result.value().ok()
+             ? Status::Ok()
+             : Status::Error(result.value().code, result.value().error);
+}
+
+void RunTrace(std::uint64_t seed) {
+  SCOPED_TRACE("seed=" + std::to_string(seed));
+  Rng rng(seed);
+  VirtualClock clock;
+
+  CommunixServer reference(clock);  // the single-server deployment
+  ReplicaSetOptions opts;
+  opts.followers = 2;
+  ReplicaSet rs(clock, opts);
+
+  // The cluster client's view: an incremental cursor + the bytes it has
+  // accumulated. The invariant under test: `stream` is always exactly
+  // the reference stream's prefix, and it never shrinks.
+  std::vector<std::vector<std::uint8_t>> stream;
+
+  const int kSteps = 400;
+  for (int step = 0; step < kSteps; ++step) {
+    const std::uint32_t action = rng.NextBounded(100);
+    if (action < 40) {
+      // ADD of a (possibly duplicate / quota-busting) signature through
+      // both deployments; statuses must agree exactly.
+      const UserId user = 1 + rng.NextBounded(8);
+      const Signature sig =
+          TraceSig(static_cast<std::uint32_t>(rng.NextBounded(48)));
+      const Status ref = reference.AddSignature(reference.IssueToken(user), sig);
+      const Status clu = AddToCluster(rs, rs.primary().IssueToken(user), sig);
+      ASSERT_EQ(ref.code(), clu.code()) << "step " << step;
+    } else if (action < 60) {
+      // Random replication lag: ship one batch to one random follower.
+      (void)rs.shipper().ShipOnce(rng.NextBounded(2));
+    } else if (action < 80) {
+      // Incremental GET from the client's cursor: whatever arrives must
+      // extend the reference prefix exactly.
+      auto fetched = rs.client().FetchSince(stream.size());
+      ASSERT_TRUE(fetched.ok());
+      const auto ref_all = reference.GetSince(0);
+      for (auto& sig : fetched.value()) {
+        ASSERT_LT(stream.size(), ref_all.size()) << "phantom entry";
+        ASSERT_EQ(sig, ref_all[stream.size()]) << "byte divergence at index "
+                                               << stream.size();
+        stream.push_back(std::move(sig));
+      }
+    } else if (action < 90) {
+      // Fresh scan: must be a prefix of the reference stream at least as
+      // long as anything this client has already observed.
+      auto scan = rs.client().FetchSince(0);
+      ASSERT_TRUE(scan.ok());
+      const auto ref_all = reference.GetSince(0);
+      ASSERT_GE(scan.value().size(), stream.size()) << "cursor regression";
+      ASSERT_LE(scan.value().size(), ref_all.size());
+      for (std::size_t i = 0; i < scan.value().size(); ++i) {
+        ASSERT_EQ(scan.value()[i], ref_all[i]);
+      }
+    } else {
+      // Connection churn mid-trace: drop or restore one follower edge.
+      const std::size_t f = rng.NextBounded(2);
+      rs.SetFollowerDown(f, rng.NextBool(0.5));
+    }
+  }
+
+  // Drain: restore everything, replicate fully, and require exact
+  // convergence — primary, both followers and the client all serve the
+  // reference byte stream.
+  rs.SetFollowerDown(0, false);
+  rs.SetFollowerDown(1, false);
+  ASSERT_TRUE(rs.PumpUntilSynced());
+  ASSERT_TRUE(rs.FollowersConverged());
+  const auto ref_all = reference.GetSince(0);
+  EXPECT_EQ(rs.primary().GetSince(0), ref_all);
+  EXPECT_EQ(rs.follower(0).GetSince(0), ref_all);
+  EXPECT_EQ(rs.follower(1).GetSince(0), ref_all);
+
+  // Kill the primary outright: the drained client keeps serving the
+  // full, byte-identical stream from the followers.
+  rs.SetPrimaryDown(true);
+  auto fetched = rs.client().FetchSince(stream.size());
+  ASSERT_TRUE(fetched.ok());
+  for (auto& sig : fetched.value()) stream.push_back(std::move(sig));
+  EXPECT_EQ(stream, ref_all);
+  EXPECT_EQ(rs.client().GetStats().short_reads, 0u);
+}
+
+TEST(ClusterEquivalenceTest, RandomTracesMatchSingleServerByteForByte) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    RunTrace(seed);
+    if (::testing::Test::HasFatalFailure()) return;
+  }
+}
+
+}  // namespace
+}  // namespace communix

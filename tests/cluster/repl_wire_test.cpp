@@ -1,0 +1,332 @@
+// Replication wire frames: round trips, and — because a primary faces
+// its replicas over the open network — every malformed/truncated
+// kReplPull / kReplBatch frame must be rejected crisply (kInvalidArgument
+// + the malformed counter), never crash, and never touch the store.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "communix/server.hpp"
+#include "net/message.hpp"
+#include "util/clock.hpp"
+#include "util/serde.hpp"
+
+namespace communix {
+namespace {
+
+using dimmunix::Signature;
+using testutil::ChainStack;
+using testutil::F;
+using testutil::Sig2;
+
+Signature MakeSig(std::uint32_t salt) {
+  return Sig2(ChainStack("rw.A", 6, F("rw.A", "s1", 100 + salt)),
+              ChainStack("rw.A", 6, F("rw.A", "i1", 9100 + salt)),
+              ChainStack("rw.B", 6, F("rw.B", "s2", 20300 + salt)),
+              ChainStack("rw.B", 6, F("rw.B", "i2", 31400 + salt)));
+}
+
+TEST(ReplWireTest, PullRequestRoundTrip) {
+  net::ReplPullRequest pull{0xABCDEF01, 42, 17};
+  pull.token.assign(16, 0x17);
+  const net::Request req = net::BuildReplPullRequest(pull);
+  EXPECT_EQ(req.type, net::MsgType::kReplPull);
+  const auto parsed = net::ParseReplPullRequest(req);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->token, pull.token);
+  EXPECT_EQ(parsed->epoch, pull.epoch);
+  EXPECT_EQ(parsed->from_index, pull.from_index);
+  EXPECT_EQ(parsed->limit, pull.limit);
+}
+
+TEST(ReplWireTest, PullReplyRoundTrip) {
+  net::ReplPullReply reply;
+  reply.epoch = 7;
+  reply.log_size = 3;
+  reply.reset = true;
+  reply.start_index = 0;
+  reply.entries.push_back(net::ReplEntry{11, -5, {1, 2, 3}});
+  reply.entries.push_back(net::ReplEntry{12, 99, {}});
+  const net::Response resp = net::BuildReplPullReply(reply);
+  const auto parsed = net::ParseReplPullReply(resp);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->epoch, reply.epoch);
+  EXPECT_EQ(parsed->log_size, reply.log_size);
+  EXPECT_EQ(parsed->reset, reply.reset);
+  EXPECT_EQ(parsed->start_index, reply.start_index);
+  EXPECT_EQ(parsed->entries, reply.entries);
+}
+
+TEST(ReplWireTest, BatchRequestRoundTrip) {
+  net::ReplBatchRequest batch;
+  batch.token.assign(16, 0x42);
+  batch.epoch = 9;
+  batch.reset = false;
+  batch.from_index = 5;
+  batch.entries.push_back(net::ReplEntry{1, 2, {0xAA, 0xBB}});
+  const net::Request req = net::BuildReplBatchRequest(batch);
+  EXPECT_EQ(req.type, net::MsgType::kReplBatch);
+  const auto parsed = net::ParseReplBatchRequest(req);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->token, batch.token);
+  EXPECT_EQ(parsed->epoch, batch.epoch);
+  EXPECT_EQ(parsed->reset, batch.reset);
+  EXPECT_EQ(parsed->from_index, batch.from_index);
+  EXPECT_EQ(parsed->entries, batch.entries);
+}
+
+TEST(ReplWireTest, BatchReplyRoundTrip) {
+  const net::Response resp =
+      net::BuildReplBatchReply(net::ReplBatchReply{21, 1000});
+  const auto parsed = net::ParseReplBatchReply(resp);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->epoch, 21u);
+  EXPECT_EQ(parsed->log_size, 1000u);
+}
+
+// ---------------------------------------------------------------------------
+// kReplPull served end-to-end: entries from a cursor, probe mode, and
+// the anti-entropy reset hint.
+// ---------------------------------------------------------------------------
+
+TEST(ReplPullServingTest, ServesEntriesProbesAndResetHints) {
+  VirtualClock clock;
+  CommunixServer primary(clock);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(primary
+                    .AddSignature(primary.IssueToken(100 + i), MakeSig(i * 9))
+                    .ok());
+  }
+  const UserToken peer = primary.IssueToken(kReplicationPeerId);
+  const auto with_credential = [&](std::uint64_t epoch, std::uint64_t from,
+                                   std::uint32_t limit) {
+    net::ReplPullRequest pull{epoch, from, limit};
+    pull.token.assign(peer.begin(), peer.end());
+    return net::BuildReplPullRequest(pull);
+  };
+
+  // Entry-bearing pulls ship sender ids, so they require the peer
+  // credential; without it they are refused outright.
+  auto denied = primary.Handle(net::BuildReplPullRequest(
+      net::ReplPullRequest{primary.epoch(), 2, 2}));
+  EXPECT_EQ(denied.code, ErrorCode::kPermissionDenied);
+
+  // Same epoch, cursor 2, limit 2: ships entries [2, 4).
+  auto resp = primary.Handle(with_credential(primary.epoch(), 2, 2));
+  ASSERT_TRUE(resp.ok());
+  auto reply = net::ParseReplPullReply(resp);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->epoch, primary.epoch());
+  EXPECT_EQ(reply->log_size, 5u);
+  EXPECT_FALSE(reply->reset);
+  EXPECT_EQ(reply->start_index, 2u);
+  ASSERT_EQ(reply->entries.size(), 2u);
+  EXPECT_EQ(reply->entries[0].sig_bytes, primary.GetSince(2)[0]);
+  EXPECT_EQ(reply->entries[1].sig_bytes, primary.GetSince(2)[1]);
+
+  // Probe mode (limit 0): epoch + length only.
+  resp = primary.Handle(
+      net::BuildReplPullRequest(net::ReplPullRequest{primary.epoch(), 0, 0}));
+  reply = net::ParseReplPullReply(resp);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->log_size, 5u);
+  EXPECT_TRUE(reply->entries.empty());
+
+  // Divergent epoch: reset hint, entries restart at 0 regardless of the
+  // requested cursor.
+  resp = primary.Handle(with_credential(primary.epoch() + 1, 4, 10));
+  reply = net::ParseReplPullReply(resp);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_TRUE(reply->reset);
+  EXPECT_EQ(reply->start_index, 0u);
+  EXPECT_EQ(reply->entries.size(), 5u);
+  EXPECT_EQ(primary.GetStats().repl_pulls_served, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Malformed / truncated frames against a live server.
+// ---------------------------------------------------------------------------
+
+class MalformedReplFrameTest : public ::testing::Test {
+ protected:
+  net::Response Send(net::MsgType type, std::vector<std::uint8_t> payload,
+                     CommunixServer& server) {
+    net::Request req;
+    req.type = type;
+    req.payload = std::move(payload);
+    return server.Handle(req);
+  }
+
+  /// Sends the payload and expects the malformed rejection with no store
+  /// side effects.
+  void ExpectMalformed(net::MsgType type, std::vector<std::uint8_t> payload,
+                       CommunixServer& server) {
+    const auto before = server.GetStats();
+    const std::uint64_t size_before = server.db_size();
+    const net::Response resp = Send(type, std::move(payload), server);
+    EXPECT_EQ(resp.code, ErrorCode::kInvalidArgument);
+    const auto after = server.GetStats();
+    EXPECT_EQ(after.rejected_malformed, before.rejected_malformed + 1);
+    EXPECT_EQ(server.db_size(), size_before);
+  }
+
+  VirtualClock clock_;
+};
+
+CommunixServer::Options FollowerOptions() {
+  CommunixServer::Options opts;
+  opts.role = ServerRole::kFollower;
+  return opts;
+}
+
+TEST_F(MalformedReplFrameTest, TruncatedPullFrames) {
+  CommunixServer primary(clock_);
+  // Every strict prefix of a valid kReplPull payload (token16 + u64 +
+  // u64 + u32 = 36 bytes) is truncated; anything longer is trailing
+  // garbage.
+  const net::Request valid =
+      net::BuildReplPullRequest(net::ReplPullRequest{1, 2, 3});
+  ASSERT_EQ(valid.payload.size(), 36u);  // token16 + u64 + u64 + u32
+  for (std::size_t n = 0; n < valid.payload.size(); ++n) {
+    std::vector<std::uint8_t> cut(valid.payload.begin(),
+                                  valid.payload.begin() + n);
+    ExpectMalformed(net::MsgType::kReplPull, std::move(cut), primary);
+  }
+  std::vector<std::uint8_t> trailing = valid.payload;
+  trailing.push_back(0);
+  ExpectMalformed(net::MsgType::kReplPull, std::move(trailing), primary);
+}
+
+TEST_F(MalformedReplFrameTest, TruncatedBatchFrames) {
+  CommunixServer follower(clock_, FollowerOptions());
+  const UserToken peer = follower.IssueToken(kReplicationPeerId);
+  net::ReplBatchRequest batch;
+  batch.token.assign(peer.begin(), peer.end());
+  batch.epoch = follower.epoch();
+  batch.from_index = 0;
+  batch.entries.push_back(
+      net::ReplEntry{1, 2, MakeSig(0).ToBytes()});
+  const net::Request valid = net::BuildReplBatchRequest(batch);
+  // Chop the frame at every byte boundary: all of them must be rejected
+  // except the full frame.
+  for (std::size_t n = 0; n < valid.payload.size(); ++n) {
+    std::vector<std::uint8_t> cut(valid.payload.begin(),
+                                  valid.payload.begin() + n);
+    ExpectMalformed(net::MsgType::kReplBatch, std::move(cut), follower);
+  }
+  std::vector<std::uint8_t> trailing = valid.payload;
+  trailing.push_back(0);
+  ExpectMalformed(net::MsgType::kReplBatch, std::move(trailing), follower);
+}
+
+TEST_F(MalformedReplFrameTest, HostileEntryCountCannotForceAllocation) {
+  CommunixServer follower(clock_, FollowerOptions());
+  const UserToken peer = follower.IssueToken(kReplicationPeerId);
+  BinaryWriter w;
+  w.WriteRaw(std::span<const std::uint8_t>(peer.data(), peer.size()));
+  w.WriteU64(follower.epoch());
+  w.WriteU8(0);
+  w.WriteU64(0);
+  w.WriteU32(0x7FFFFFFF);  // claims ~2B entries, carries none
+  ExpectMalformed(net::MsgType::kReplBatch, w.take(), follower);
+}
+
+TEST_F(MalformedReplFrameTest, BadResetFlagRejected) {
+  CommunixServer follower(clock_, FollowerOptions());
+  const UserToken peer = follower.IssueToken(kReplicationPeerId);
+  BinaryWriter w;
+  w.WriteRaw(std::span<const std::uint8_t>(peer.data(), peer.size()));
+  w.WriteU64(follower.epoch());
+  w.WriteU8(2);  // flags must be 0 or 1
+  w.WriteU64(0);
+  w.WriteU32(0);
+  ExpectMalformed(net::MsgType::kReplBatch, w.take(), follower);
+}
+
+TEST_F(MalformedReplFrameTest, GarbageSignatureBytesAreDataLoss) {
+  CommunixServer follower(clock_, FollowerOptions());
+  const UserToken peer = follower.IssueToken(kReplicationPeerId);
+  net::ReplBatchRequest batch;
+  batch.token.assign(peer.begin(), peer.end());
+  batch.epoch = follower.epoch();
+  batch.from_index = 0;
+  batch.entries.push_back(net::ReplEntry{1, 2, {0xDE, 0xAD, 0xBE, 0xEF}});
+  const net::Response resp = follower.Handle(net::BuildReplBatchRequest(batch));
+  // The frame itself parses; the entry's signature does not. Nothing is
+  // committed.
+  EXPECT_EQ(resp.code, ErrorCode::kDataLoss);
+  EXPECT_EQ(follower.db_size(), 0u);
+}
+
+TEST_F(MalformedReplFrameTest, PrimaryRefusesBatchIngest) {
+  CommunixServer primary(clock_);
+  const UserToken peer = primary.IssueToken(kReplicationPeerId);
+  net::ReplBatchRequest batch;
+  batch.token.assign(peer.begin(), peer.end());
+  batch.epoch = primary.epoch();
+  batch.from_index = 0;
+  const net::Response resp = primary.Handle(net::BuildReplBatchRequest(batch));
+  EXPECT_EQ(resp.code, ErrorCode::kFailedPrecondition);
+  EXPECT_EQ(primary.GetStats().rejected_not_primary, 1u);
+}
+
+TEST_F(MalformedReplFrameTest, IngestRequiresTheReplicationCredential) {
+  CommunixServer follower(clock_, FollowerOptions());
+  // A structurally valid wipe-and-repopulate frame, but signed with an
+  // ordinary community member's token: refused before the store is
+  // touched (epoch, contents and length all survive).
+  const std::uint64_t epoch_before = follower.epoch();
+  net::ReplBatchRequest batch;
+  const UserToken member = follower.IssueToken(7);
+  batch.token.assign(member.begin(), member.end());
+  batch.epoch = 0xEF11;
+  batch.reset = true;
+  batch.entries.push_back(net::ReplEntry{1, 2, MakeSig(5).ToBytes()});
+  net::Response resp = follower.Handle(net::BuildReplBatchRequest(batch));
+  EXPECT_EQ(resp.code, ErrorCode::kPermissionDenied);
+  EXPECT_EQ(follower.epoch(), epoch_before);
+  EXPECT_EQ(follower.db_size(), 0u);
+  EXPECT_EQ(follower.GetStats().repl_resets, 0u);
+  EXPECT_EQ(follower.GetStats().rejected_bad_token, 1u);
+
+  // A forged (random) token fails the same way.
+  batch.token.assign(16, 0x5A);
+  resp = follower.Handle(net::BuildReplBatchRequest(batch));
+  EXPECT_EQ(resp.code, ErrorCode::kPermissionDenied);
+
+  // The real credential is accepted.
+  const UserToken peer = follower.IssueToken(kReplicationPeerId);
+  batch.token.assign(peer.begin(), peer.end());
+  resp = follower.Handle(net::BuildReplBatchRequest(batch));
+  ASSERT_TRUE(resp.ok()) << resp.error;
+  EXPECT_EQ(follower.epoch(), 0xEF11u);
+  EXPECT_EQ(follower.db_size(), 1u);
+}
+
+TEST_F(MalformedReplFrameTest, WireWillNotIssueTheReplicationPrincipal) {
+  CommunixServer server(clock_);
+  BinaryWriter w;
+  w.WriteU64(kReplicationPeerId);
+  const net::Response resp =
+      Send(net::MsgType::kIssueId, w.take(), server);
+  EXPECT_EQ(resp.code, ErrorCode::kPermissionDenied);
+  EXPECT_TRUE(resp.payload.empty());
+}
+
+TEST_F(MalformedReplFrameTest, FollowerRefusesAdds) {
+  CommunixServer follower(clock_, FollowerOptions());
+  const UserToken token = follower.IssueToken(1);
+  EXPECT_EQ(follower.AddSignature(token, MakeSig(0)).code(),
+            ErrorCode::kFailedPrecondition);
+  const std::vector<Signature> sigs{MakeSig(1), MakeSig(2)};
+  const auto statuses =
+      follower.AddBatch(token, std::span<const Signature>(sigs));
+  ASSERT_EQ(statuses.size(), 2u);
+  for (const Status& s : statuses) {
+    EXPECT_EQ(s.code(), ErrorCode::kFailedPrecondition);
+  }
+  EXPECT_EQ(follower.db_size(), 0u);
+  EXPECT_EQ(follower.GetStats().rejected_not_primary, 3u);
+}
+
+}  // namespace
+}  // namespace communix

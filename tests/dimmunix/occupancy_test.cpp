@@ -1,0 +1,207 @@
+// Occupancy-table sharpness (ROADMAP item closed by this PR): the table
+// width is an Options knob sized from the candidate-key count at index
+// build, the Stats gauge counts key/bucket collisions, and — the point —
+// keys that collide at the default width stop losing gate skips at the
+// wider setting.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "dimmunix/avoidance_index.hpp"
+#include "dimmunix/runtime.hpp"
+#include "util/clock.hpp"
+
+namespace communix::dimmunix {
+namespace {
+
+using testutil::ChainStack;
+using testutil::F;
+using testutil::Sig2;
+
+constexpr std::size_t kNarrow = 64;
+constexpr std::size_t kWide = 1 << 14;
+
+TEST(OccupancyTableTest, RecommendedBucketsScalesWithCandidateKeys) {
+  EXPECT_EQ(OccupancyTable::RecommendedBuckets(0),
+            OccupancyTable::kDefaultBuckets);
+  EXPECT_EQ(OccupancyTable::RecommendedBuckets(100),
+            OccupancyTable::kDefaultBuckets);  // 800 < 1024
+  EXPECT_EQ(OccupancyTable::RecommendedBuckets(200), 2048u);  // 1600 -> 2048
+  EXPECT_GE(OccupancyTable::RecommendedBuckets(1 << 20),
+            OccupancyTable::kMaxBuckets);
+}
+
+TEST(OccupancyTableTest, ClampRoundsToPowerOfTwo) {
+  EXPECT_EQ(OccupancyTable::ClampBuckets(0), OccupancyTable::kMinBuckets);
+  EXPECT_EQ(OccupancyTable::ClampBuckets(1000), 1024u);
+  EXPECT_EQ(OccupancyTable::ClampBuckets(1024), 1024u);
+  EXPECT_EQ(OccupancyTable::ClampBuckets(1025), 2048u);
+}
+
+// ---------------------------------------------------------------------------
+// The collision scenario. Four lock-statement frames:
+//   TA — the gated acquisition's site (signature S1, position 0)
+//   TB — S1's peer site (never actually visited)
+//   TC — signature S2's site, chosen so that bucket(TC) == bucket(TB) at
+//        the narrow width but not at the wide one
+//   TD — S2's peer site
+// An occupant holding a monitor under TC makes S1's gate at TA read a
+// non-zero peer bucket at the narrow width (pure collision — no thread
+// is anywhere near TB), forcing a scan that provably returns empty. At
+// the wide width the same acquisition skips the scan.
+// ---------------------------------------------------------------------------
+struct CollisionFrames {
+  Frame ta, tb, tc, td;
+};
+
+CollisionFrames FindCollidingFrames() {
+  CollisionFrames f{F("oc.A", "sync", 100), F("oc.B", "sync", 200),
+                    F("oc.C", "sync", 1), F("oc.D", "sync", 400)};
+  auto narrow = [](const Frame& fr) {
+    return OccupancyTable::BucketOf(fr.location_key, kNarrow);
+  };
+  auto wide = [](const Frame& fr) {
+    return OccupancyTable::BucketOf(fr.location_key, kWide);
+  };
+  for (std::uint32_t line = 1; line < 200'000; ++line) {
+    f.tc = F("oc.C", "sync", line);
+    const bool collide_narrow = narrow(f.tc) == narrow(f.tb);
+    const bool distinct_wide =
+        wide(f.tc) != wide(f.tb) && wide(f.tc) != wide(f.ta) &&
+        wide(f.tc) != wide(f.td);
+    // Keep the collision surgical: TB/TC share a narrow bucket; every
+    // other pair stays distinct at both widths.
+    const bool others_distinct_narrow =
+        narrow(f.ta) != narrow(f.tb) && narrow(f.ta) != narrow(f.tc) &&
+        narrow(f.ta) != narrow(f.td) && narrow(f.td) != narrow(f.tb) &&
+        narrow(f.td) != narrow(f.tc) &&
+        wide(f.ta) != wide(f.tb) && wide(f.ta) != wide(f.td) &&
+        wide(f.tb) != wide(f.td);
+    if (collide_narrow && distinct_wide && others_distinct_narrow) return f;
+  }
+  ADD_FAILURE() << "no colliding line found";
+  return f;
+}
+
+/// Runs the scenario at the given table width; returns the stats deltas
+/// around the gated acquisition.
+struct GateOutcome {
+  std::uint64_t scans = 0;
+  std::uint64_t skips = 0;
+  std::uint64_t collisions = 0;
+  std::uint64_t buckets = 0;
+};
+
+GateOutcome RunCollisionScenario(std::size_t occupancy_buckets) {
+  const CollisionFrames f = FindCollidingFrames();
+  VirtualClock clock;
+  DimmunixRuntime::Options opts;
+  opts.occupancy_buckets = occupancy_buckets;
+  // Keep sampling out of the arithmetic: every skip is a real skip.
+  opts.adaptive_verify_sample = 0;
+  DimmunixRuntime rt(clock, opts);
+
+  const Signature s1 =
+      Sig2(ChainStack("oc.A", 1, f.ta), ChainStack("oc.A", 1, F("oc.A", "i", 101)),
+           ChainStack("oc.B", 1, f.tb), ChainStack("oc.B", 1, F("oc.B", "i", 201)));
+  const Signature s2 =
+      Sig2(ChainStack("oc.C", 1, f.tc), ChainStack("oc.C", 1, F("oc.C", "i", 301)),
+           ChainStack("oc.D", 1, f.td), ChainStack("oc.D", 1, F("oc.D", "i", 401)));
+  rt.AddSignature(s1, SignatureOrigin::kRemote);
+  rt.AddSignature(s2, SignatureOrigin::kRemote);
+
+  Monitor m_occ("occ"), m_gated("gated");
+  ThreadContext& occupant = rt.AttachThread("occupant");
+  ThreadContext& acquirer = rt.AttachThread("acquirer");
+
+  // Occupant holds m_occ under TC: its bucket is entered for the
+  // holding's lifetime.
+  occupant.PushFrame(f.tc);
+  EXPECT_TRUE(rt.Acquire(occupant, m_occ).ok());
+
+  // The gated acquisition at TA: S1's peer set is {bucket(TB)}, and no
+  // thread is anywhere near TB — the scan, if it runs, must come back
+  // empty (the acquisition is admitted either way; only the *cost*
+  // differs).
+  const auto before = rt.GetStats();
+  acquirer.PushFrame(f.ta);
+  EXPECT_TRUE(rt.Acquire(acquirer, m_gated).ok());
+  const auto after = rt.GetStats();
+
+  rt.Release(acquirer, m_gated);
+  acquirer.PopFrame();
+  rt.Release(occupant, m_occ);
+  occupant.PopFrame();
+  rt.DetachThread(acquirer);
+  rt.DetachThread(occupant);
+
+  GateOutcome out;
+  out.scans = after.instantiation_scans - before.instantiation_scans;
+  out.skips = after.scans_skipped - before.scans_skipped;
+  out.collisions = after.occupancy_key_collisions;
+  out.buckets = after.occupancy_buckets;
+  return out;
+}
+
+TEST(OccupancySharpnessTest, CollidingKeysStopLosingSkipsAtTheWiderSetting) {
+  // Narrow table: TB/TC collide, the occupant's TC entry pollutes TB's
+  // bucket, and the gate loses its skip — the scan runs (and finds
+  // nothing, as the decision-identity argument requires).
+  const GateOutcome narrow = RunCollisionScenario(kNarrow);
+  EXPECT_EQ(narrow.buckets, kNarrow);
+  EXPECT_EQ(narrow.collisions, 1u);  // exactly the engineered TB/TC pair
+  EXPECT_EQ(narrow.scans, 1u);
+  EXPECT_EQ(narrow.skips, 0u);
+
+  // Wide table: same workload, no collision — the skip is back.
+  const GateOutcome wide = RunCollisionScenario(kWide);
+  EXPECT_EQ(wide.buckets, kWide);
+  EXPECT_EQ(wide.collisions, 0u);
+  EXPECT_EQ(wide.scans, 0u);
+  EXPECT_EQ(wide.skips, 1u);
+}
+
+TEST(OccupancySharpnessTest, AutoModeSizesFromCandidateKeysAtIndexBuild) {
+  VirtualClock clock;
+  DimmunixRuntime::Options opts;
+  opts.occupancy_buckets = 0;  // auto
+  DimmunixRuntime rt(clock, opts);
+  EXPECT_EQ(rt.GetStats().occupancy_buckets, OccupancyTable::kDefaultBuckets);
+
+  // Install a persisted-history-sized batch before any thread attaches
+  // (the plugin/agent startup pattern): 150 signatures x 2 distinct keys
+  // -> 300 candidate keys -> 2400 wanted -> 4096 buckets.
+  for (std::uint32_t i = 0; i < 150; ++i) {
+    const std::string a = "auto.A" + std::to_string(i);
+    const std::string b = "auto.B" + std::to_string(i);
+    rt.AddSignature(
+        Sig2(ChainStack(a, 6, F(a, "s", 100)), ChainStack(a, 6, F(a, "i", 200)),
+             ChainStack(b, 6, F(b, "s", 300)), ChainStack(b, 6, F(b, "i", 400))),
+        SignatureOrigin::kRemote);
+  }
+  EXPECT_EQ(rt.GetStats().occupancy_buckets, 4096u);
+
+  // Once a thread attaches, the width freezes — more keys don't resize a
+  // table that may hold live occupancies.
+  ThreadContext& ctx = rt.AttachThread("worker");
+  for (std::uint32_t i = 150; i < 400; ++i) {
+    const std::string a = "auto.A" + std::to_string(i);
+    const std::string b = "auto.B" + std::to_string(i);
+    rt.AddSignature(
+        Sig2(ChainStack(a, 6, F(a, "s", 100)), ChainStack(a, 6, F(a, "i", 200)),
+             ChainStack(b, 6, F(b, "s", 300)), ChainStack(b, 6, F(b, "i", 400))),
+        SignatureOrigin::kRemote);
+  }
+  EXPECT_EQ(rt.GetStats().occupancy_buckets, 4096u);
+
+  // The frozen-but-now-narrow table still works (collisions only cost
+  // scans): a candidate-free acquisition completes on the fast path.
+  Monitor m("free");
+  ctx.PushFrame(F("auto.Free", "sync", 7));
+  EXPECT_TRUE(rt.Acquire(ctx, m).ok());
+  rt.Release(ctx, m);
+  ctx.PopFrame();
+  rt.DetachThread(ctx);
+}
+
+}  // namespace
+}  // namespace communix::dimmunix

@@ -254,7 +254,8 @@ struct Session {
 }  // namespace
 
 RunResult RunSchedule(const DimmunixRuntime::Options& options,
-                      const Script& script, const Chooser& choose) {
+                      const Script& script, const Chooser& choose,
+                      const StepObserver& observe) {
   RunResult result;
   auto session = std::make_unique<Session>(options);
   DimmunixRuntime& rt = session->rt;
@@ -284,6 +285,15 @@ RunResult RunSchedule(const DimmunixRuntime::Options& options,
 
   std::vector<std::size_t> pc(n, 0);
   std::vector<bool> inflight(n, false);
+
+  std::vector<ThreadContext*> contexts;
+  contexts.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    contexts.push_back(workers[t]->ctx.load(std::memory_order_acquire));
+  }
+  auto notify_observer = [&](const StepRecord& step) {
+    if (observe) observe(step, rt, contexts);
+  };
 
   auto settled = [&](std::size_t t) {
     return workers[t]->op_done.load(std::memory_order_acquire) ||
@@ -316,6 +326,7 @@ RunResult RunSchedule(const DimmunixRuntime::Options& options,
           workers[t]->op_deadlocked.load(std::memory_order_relaxed)
               ? StepRecord::Outcome::kUnblockedDeadlock
               : StepRecord::Outcome::kUnblocked});
+      notify_observer(result.steps.back());
       inflight[t] = false;
       ++pc[t];
     }
@@ -392,11 +403,13 @@ RunResult RunSchedule(const DimmunixRuntime::Options& options,
         outcome = StepRecord::Outcome::kSkipped;
       }
       result.steps.push_back(StepRecord{t, pc[t], outcome});
+      notify_observer(result.steps.back());
       inflight[t] = false;
       ++pc[t];
     } else {
       result.steps.push_back(
           StepRecord{t, pc[t], StepRecord::Outcome::kBlocked});
+      notify_observer(result.steps.back());
       // stays in flight; completion recorded by a later step
     }
     record_unblocked();

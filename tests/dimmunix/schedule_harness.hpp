@@ -126,11 +126,22 @@ struct RunResult {
   std::string Trace() const;  // printable, for failure diffs
 };
 
+/// Observation hook: invoked after every recorded step (dispatched ops
+/// and unblock completions alike), once the system has settled. The
+/// contexts vector maps logical thread id -> its ThreadContext, so a
+/// probe can ask the runtime targeted questions mid-schedule (e.g.
+/// IsQuiescentlyParkedForTest / StateVersionForTest — the wakeup-
+/// visibility scenario pins exactly when a parked avoider re-checks).
+using StepObserver =
+    std::function<void(const StepRecord& step, DimmunixRuntime& rt,
+                       const std::vector<ThreadContext*>& contexts)>;
+
 /// Runs `script` under one interleaving against a fresh runtime built
 /// from `options` (with a VirtualClock). Deterministic given the
 /// determinism contract above.
 RunResult RunSchedule(const DimmunixRuntime::Options& options,
-                      const Script& script, const Chooser& choose);
+                      const Script& script, const Chooser& choose,
+                      const StepObserver& observe = nullptr);
 
 // ---- shared script-builder helpers ----------------------------------
 

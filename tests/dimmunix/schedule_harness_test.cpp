@@ -232,5 +232,128 @@ TEST(ScheduleHarnessTest, AdaptiveGateSkipsProvablyEmptyScans) {
   EXPECT_GT(adaptive.stats.index_entries_reused, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Fast-path wakeup visibility (ROADMAP item pinned by this scenario).
+//
+// Fast acquisitions don't bump the state version, so a parked avoider
+// re-checks its yield-cycle override only on the next slow-path event.
+// That is safe — any step that can change the avoider's decision
+// (a block, a yield, a matching holding, a release) goes slow path and
+// bumps — but it means the avoider sleeps straight through a fast
+// critical section that the global-lock reference would have woken it
+// for, and its (override) admission therefore lands at the section's
+// next slow-path event: a one-section admission delay in *re-check*
+// time, with byte-identical decisions.
+//
+// Script: the avoider holds a candidate-free monitor MA and parks at a
+// gated site yielding to the occupant. The occupant then (a) fast-
+// acquires a candidate-free monitor M2 — the fast critical section; the
+// probe pins that the avoider is still quiescently parked at an
+// unchanged state version — and (b) blocks on MA, which bumps, closes
+// the yield cycle occupant->MA->avoider, and admits the avoider via the
+// override, exactly one slow-path event after the section began.
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleHarnessTest, FastCriticalSectionDelaysOverridableAvoiderOneSection) {
+  Script s;
+  s.num_monitors = 4;  // 0 = gated, 1 = occupant's match, 2 = MA, 3 = M2
+  s.initial_history.push_back(
+      Sig2(ChainStack("wv.X", 1, F("wv.X", "sync", 100)),
+           ChainStack("wv.X", 1, F("wv.X", "in", 110)),
+           ChainStack("wv.Y", 1, F("wv.Y", "sync", 120)),
+           ChainStack("wv.Y", 1, F("wv.Y", "in", 130))));
+
+  s.threads.emplace_back();  // thread 0: occupant
+  auto& occ = s.threads[0];
+  occ.push_back(Op::Push(F("wv.Y", "sync", 120)));  // 0
+  occ.push_back(Op::Acquire(1));                    // 1: the matching holding
+  occ.push_back(Op::Push(F("wv.Free", "crit", 10)));  // 2
+  occ.push_back(Op::Acquire(3));  // 3: fast critical section opens
+  occ.push_back(Op::Acquire(2));  // 4: blocks on MA -> override admits avoider
+  occ.push_back(Op::Release(2));  // 5
+  occ.push_back(Op::Release(3));  // 6
+  occ.push_back(Op::Pop());       // 7
+  occ.push_back(Op::Release(1));  // 8
+  occ.push_back(Op::Pop());       // 9
+
+  s.threads.emplace_back();  // thread 1: avoider
+  auto& avo = s.threads[1];
+  avo.push_back(Op::Push(F("wv.Held", "h", 5)));  // 0
+  avo.push_back(Op::Acquire(2));                  // 1: MA (candidate-free)
+  avo.push_back(Op::Push(F("wv.X", "sync", 100)));  // 2
+  avo.push_back(Op::Acquire(0));                  // 3: gated -> parks
+  avo.push_back(Op::Release(0));                  // 4
+  avo.push_back(Op::Release(2));                  // 5: unblocks the occupant
+  avo.push_back(Op::Pop());                       // 6
+  avo.push_back(Op::Pop());                       // 7
+
+  const auto order = [] {
+    return sched::ScriptedChooser(
+        {0, 0, 1, 1, 1, 1, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 0});
+  };
+
+  // Probe: state version + the avoider's park state after (a) the push
+  // that precedes the fast section and (b) the fast acquire itself.
+  struct Sample {
+    std::uint64_t version = 0;
+    bool avoider_parked = false;
+  };
+  struct Samples {
+    Sample before_fast_acquire;  // after occupant op 2 (push)
+    Sample after_fast_acquire;   // after occupant op 3 (acquire M2)
+  };
+  const auto probe_into = [](Samples& out) {
+    return [&out](const StepRecord& step, DimmunixRuntime& rt,
+                  const std::vector<ThreadContext*>& ctxs) {
+      if (step.thread != 0) return;
+      Sample sample{rt.StateVersionForTest(),
+                    rt.IsQuiescentlyParkedForTest(*ctxs[1])};
+      if (step.op_index == 2) out.before_fast_acquire = sample;
+      if (step.op_index == 3) out.after_fast_acquire = sample;
+    };
+  };
+
+  Samples fast_samples;
+  Samples ref_samples;
+  const RunResult fast = sched::RunSchedule(Fast(true), s, order(),
+                                            probe_into(fast_samples));
+  const RunResult ref = sched::RunSchedule(GlobalRef(), s, order(),
+                                           probe_into(ref_samples));
+  ExpectDecisionIdentical(ref, fast, "wakeup-visibility");
+
+  // Both modes: the avoider parked before the fast section and is
+  // admitted by the yield-cycle override, in the same step.
+  EXPECT_EQ(ref.stats.yield_cycle_overrides, 1u);
+  EXPECT_EQ(fast.stats.yield_cycle_overrides, 1u);
+  EXPECT_TRUE(fast_samples.before_fast_acquire.avoider_parked);
+  EXPECT_TRUE(ref_samples.before_fast_acquire.avoider_parked);
+  bool avoider_unblocked_at_block_step = false;
+  for (std::size_t i = 0; i + 1 < ref.steps.size(); ++i) {
+    if (ref.steps[i].thread == 0 && ref.steps[i].op_index == 4 &&
+        ref.steps[i].outcome == StepRecord::Outcome::kBlocked) {
+      avoider_unblocked_at_block_step =
+          ref.steps[i + 1].thread == 1 && ref.steps[i + 1].op_index == 3 &&
+          ref.steps[i + 1].outcome == StepRecord::Outcome::kUnblocked;
+    }
+  }
+  EXPECT_TRUE(avoider_unblocked_at_block_step) << ref.Trace();
+
+  // THE PIN — fast mode: the occupant's fast acquire left the state
+  // version untouched and the avoider asleep (it will not re-check its
+  // override until the next slow-path event).
+  EXPECT_EQ(fast_samples.after_fast_acquire.version,
+            fast_samples.before_fast_acquire.version);
+  EXPECT_TRUE(fast_samples.after_fast_acquire.avoider_parked);
+  EXPECT_GT(fast.stats.fast_path_acquisitions, 0u);
+
+  // Global-lock reference: the same acquire bumped the version and woke
+  // the avoider for a (fruitless) re-check.
+  EXPECT_GT(ref_samples.after_fast_acquire.version,
+            ref_samples.before_fast_acquire.version);
+  EXPECT_TRUE(ref_samples.after_fast_acquire.avoider_parked);
+  EXPECT_EQ(ref.stats.wait_rounds, fast.stats.wait_rounds + 1)
+      << "the elided wakeup is exactly the fast critical section's";
+}
+
 }  // namespace
 }  // namespace communix::dimmunix

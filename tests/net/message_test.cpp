@@ -94,9 +94,13 @@ TEST(MessageTest, AddBatchTypeIsValidOnTheWire) {
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->type, MsgType::kAddBatch);
 
-  // The next enum slot is still rejected.
+  // The replication verbs are valid; the next enum slot is rejected.
   auto corrupted = bytes;
-  corrupted[0] = static_cast<std::uint8_t>(MsgType::kAddBatch) + 1;
+  corrupted[0] = static_cast<std::uint8_t>(MsgType::kReplBatch);
+  EXPECT_TRUE(Request::Deserialize(std::span<const std::uint8_t>(
+                  corrupted.data(), corrupted.size()))
+                  .has_value());
+  corrupted[0] = static_cast<std::uint8_t>(MsgType::kReplBatch) + 1;
   EXPECT_FALSE(Request::Deserialize(std::span<const std::uint8_t>(
                    corrupted.data(), corrupted.size()))
                    .has_value());

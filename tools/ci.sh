@@ -7,10 +7,16 @@
 # smoke mode, recording the perf trajectory in BENCH_fig2.json and
 # BENCH_overhead.json at the repo root.
 #
+# Both the default and --tsan modes additionally run the cluster smoke:
+# a primary + 2 log-shipping followers over inproc transport with a
+# kill-primary failover check (tests/cluster/cluster_client_test.cpp,
+# suite ClusterSmoke).
+#
 # --tsan: ThreadSanitizer build (separate build-tsan dir) running the
-# dimmunix + util test binaries — the concurrency-bearing layers of the
-# client runtime (fast-path publication protocol, adaptive occupancy
-# gate, schedule harness, thread pool).
+# dimmunix + util + cluster test binaries — the concurrency-bearing
+# layers of the client runtime (fast-path publication protocol, adaptive
+# occupancy gate, schedule harness, thread pool) and of the replication
+# tier (feed reads racing ADDs, background shipper).
 #
 # --asan: AddressSanitizer build (separate build-asan dir) running the
 # same binaries — lifetime coverage for the context reaper and the
@@ -22,13 +28,18 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 
 if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DCOMMUNIX_TSAN=ON
-  cmake --build build-tsan -j"${JOBS}" --target dimmunix_tests util_tests
+  cmake --build build-tsan -j"${JOBS}" --target dimmunix_tests util_tests \
+        cluster_tests
   # tools/tsan.supp scopes out a libstdc++ atomic<shared_ptr> internal
   # (relaxed spinlock unlock in _Sp_atomic::load) TSAN cannot model.
   TSAN="halt_on_error=1 suppressions=$(pwd)/tools/tsan.supp"
   TSAN_OPTIONS="${TSAN}" ./build-tsan/dimmunix_tests
   TSAN_OPTIONS="${TSAN}" ./build-tsan/util_tests
-  echo "ci: tsan clean (dimmunix_tests, util_tests)"
+  # Cluster smoke under TSAN: kill-primary failover plus the background
+  # shipper racing ADDs and lock-free feed reads.
+  TSAN_OPTIONS="${TSAN}" ./build-tsan/cluster_tests \
+      --gtest_filter='ClusterSmoke.*:LogShipperTest.BackgroundDaemonShipsConcurrentAdds:LogShipperTest.CatchUpResetUnderConcurrentReadersIsSafe'
+  echo "ci: tsan clean (dimmunix_tests, util_tests, cluster smoke)"
   exit 0
 fi
 
@@ -45,6 +56,11 @@ cmake -B build -S .
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 
-./build/fig2_server_throughput --smoke --compare --json=BENCH_fig2.json
+# Cluster smoke: primary + 2 followers over inproc, kill-primary failover.
+./build/cluster_tests --gtest_filter='ClusterSmoke.*'
+echo "ci: cluster smoke passed (kill-primary failover)"
+
+./build/fig2_server_throughput --smoke --compare --replicas=2 \
+    --json=BENCH_fig2.json
 ./build/table2_dos_overhead --smoke --json=BENCH_overhead.json
 echo "ci: wrote $(pwd)/BENCH_fig2.json and $(pwd)/BENCH_overhead.json"
