@@ -16,18 +16,33 @@ bool IsWrite(net::MsgType type) {
 
 }  // namespace
 
-ClusterClient::ClusterClient(Endpoint primary, std::vector<Endpoint> replicas) {
+ClusterClient::ClusterClient(Endpoint primary, std::vector<Endpoint> replicas,
+                             Options options)
+    : cache_enabled_(options.read_cache_slices > 0),
+      cache_(std::max<std::size_t>(options.read_cache_slices, 1)) {
   slots_.push_back(Slot{std::move(primary), false, 0});
   for (Endpoint& e : replicas) {
     slots_.push_back(Slot{std::move(e), false, 0});
   }
 }
 
+void ClusterClient::InvalidateCacheLocked() {
+  if (!cache_enabled_) return;
+  ++cache_generation_;
+  ++cache_invalidations_;
+}
+
 Result<net::Response> ClusterClient::CallSlotLocked(
     Slot& slot, const net::Request& request) {
   auto result = slot.endpoint.transport->Call(request);
   if (!result.ok()) {
-    if (!slot.down) ++failovers_;  // count down-transitions, not retries
+    if (!slot.down) {
+      ++failovers_;  // count down-transitions, not retries
+      // A failover mid-fetch voids any splice in flight: the endpoint
+      // that built a cached prefix may be gone, and the conservative
+      // move is to rebuild from a full reply.
+      InvalidateCacheLocked();
+    }
     slot.down = true;
     slot.epoch = 0;  // a node that comes back may have a new lineage
   } else if (slot.down) {
@@ -184,14 +199,20 @@ Result<net::Response> ClusterClient::Call(const net::Request& request) {
     // Every live endpoint lagged (primary dead, replicas behind): serve
     // the longest prefix available rather than failing, and record that
     // the monotonic floor was not met. The floor itself is untouched.
+    // The delta-fetch cache is dropped too: a short read means cluster
+    // state is degraded enough that splicing onto cached prefixes is no
+    // longer worth reasoning about.
     ++short_reads_;
+    InvalidateCacheLocked();
     return *best;
   }
   return last_error;
 }
 
-Result<std::vector<std::vector<std::uint8_t>>> ClusterClient::FetchSince(
-    std::uint64_t from) {
+Status ClusterClient::FetchRange(std::uint64_t from,
+                                 std::vector<std::vector<std::uint8_t>>* out,
+                                 std::vector<std::uint8_t>* payload,
+                                 std::uint32_t* count) {
   net::Request request;
   request.type = net::MsgType::kGetSignatures;
   BinaryWriter w;
@@ -205,14 +226,129 @@ Result<std::vector<std::vector<std::uint8_t>>> ClusterClient::FetchSince(
 
   BinaryReader r(std::span<const std::uint8_t>(resp.payload.data(),
                                                resp.payload.size()));
-  const std::uint32_t count = r.ReadU32();
-  std::vector<std::vector<std::uint8_t>> sigs;
-  sigs.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    sigs.push_back(r.ReadBytes());
+  *count = r.ReadU32();
+  for (std::uint32_t i = 0; i < *count; ++i) {
+    out->push_back(r.ReadBytes());
     if (!r.ok()) {
       return Status::Error(ErrorCode::kDataLoss, "corrupt GET reply");
     }
+  }
+  // The slice region is everything after the u32 count — byte-identical
+  // to what any same-epoch replica would serve for [from, from+count).
+  payload->assign(resp.payload.begin() + sizeof(std::uint32_t),
+                  resp.payload.end());
+  return Status::Ok();
+}
+
+Result<std::vector<std::vector<std::uint8_t>>> ClusterClient::FetchSince(
+    std::uint64_t from) {
+  std::vector<std::vector<std::uint8_t>> sigs;
+  std::vector<std::uint8_t> payload;
+  std::uint32_t count = 0;
+
+  if (!cache_enabled_) {
+    if (Status s = FetchRange(from, &sigs, &payload, &count); !s.ok()) {
+      return s;
+    }
+    return sigs;
+  }
+
+  // Probe the cluster's (epoch, length) first. The epoch drives
+  // invalidation — a lineage change means cached indexes name different
+  // bytes — and the length lets an up-to-date poll be answered from the
+  // cache with no data transfer at all.
+  bool probed = false;
+  std::uint64_t probe_size = 0;
+  {
+    auto result = Call(net::BuildReplPullRequest(net::ReplPullRequest{0, 0, 0}));
+    if (result.ok() && result.value().ok()) {
+      if (const auto reply = net::ParseReplPullReply(result.value())) {
+        probed = true;
+        probe_size = reply->log_size;
+        std::lock_guard lock(mu_);
+        if (reply->epoch != cache_epoch_) {
+          if (cache_epoch_ != 0) InvalidateCacheLocked();
+          cache_epoch_ = reply->epoch;
+        }
+      }
+    }
+  }
+
+  std::uint64_t gen = 0;
+  {
+    std::lock_guard lock(mu_);
+    gen = cache_generation_;
+  }
+
+  if (probed) {
+    if (auto slice = cache_.Lookup(gen, from)) {
+      // Monotonic-read floor: the probe may have been answered by a
+      // lagging replica, so its length alone cannot authorize a pure
+      // cache hit — the cached slice must also cover everything this
+      // client has ever shown a caller. A shorter slice delta-fetches,
+      // and the routed GET inside FetchRange re-applies the floor
+      // (retrying lagging endpoints) exactly as an uncached scan would.
+      const std::uint64_t known =
+          known_log_size_.load(std::memory_order_acquire);
+      if (probe_size <= slice->upto && slice->upto >= known) {
+        // Nothing new past the cached prefix: serve the poll without
+        // touching the wire again.
+        BinaryReader r(std::span<const std::uint8_t>(slice->payload.data(),
+                                                     slice->payload.size()));
+        sigs.reserve(slice->count);
+        for (std::uint32_t i = 0; i < slice->count; ++i) {
+          sigs.push_back(r.ReadBytes());
+        }
+        std::lock_guard lock(mu_);
+        ++cache_hits_;
+        return sigs;
+      }
+      // Delta fetch: reuse the cached prefix, transfer only the suffix.
+      sigs.reserve(slice->count);
+      BinaryReader r(std::span<const std::uint8_t>(slice->payload.data(),
+                                                   slice->payload.size()));
+      for (std::uint32_t i = 0; i < slice->count; ++i) {
+        sigs.push_back(r.ReadBytes());
+      }
+      std::vector<std::uint8_t> delta_payload;
+      std::uint32_t delta_count = 0;
+      if (Status s =
+              FetchRange(slice->upto, &sigs, &delta_payload, &delta_count);
+          !s.ok()) {
+        return s;
+      }
+      auto merged = std::make_shared<store::CachedSlice>();
+      merged->from = from;
+      merged->upto = slice->upto + delta_count;
+      merged->count = slice->count + delta_count;
+      merged->payload = slice->payload;
+      merged->payload.insert(merged->payload.end(), delta_payload.begin(),
+                             delta_payload.end());
+      {
+        std::lock_guard lock(mu_);
+        ++cache_hits_;
+        ++cache_delta_fetches_;
+      }
+      // Insert under the generation the prefix was read at: if an
+      // invalidation raced the delta fetch, ReadCache discards this
+      // stale-generation insert on its own.
+      cache_.Insert(gen, std::move(merged));
+      return sigs;
+    }
+  }
+
+  // Cold path: full fetch, then admit the slice (2Q probation decides
+  // whether this cursor is actually hot).
+  if (Status s = FetchRange(from, &sigs, &payload, &count); !s.ok()) {
+    return s;
+  }
+  if (probed && count > 0) {
+    auto slice = std::make_shared<store::CachedSlice>();
+    slice->from = from;
+    slice->upto = from + count;
+    slice->count = count;
+    slice->payload = std::move(payload);
+    cache_.Insert(gen, std::move(slice));
   }
   return sigs;
 }
@@ -227,6 +363,9 @@ ClusterClient::Stats ClusterClient::GetStats() const {
   out.stale_read_retries = stale_read_retries_;
   out.short_reads = short_reads_;
   out.epoch_skips = epoch_skips_;
+  out.cache_hits = cache_hits_;
+  out.cache_delta_fetches = cache_delta_fetches_;
+  out.cache_invalidations = cache_invalidations_;
   return out;
 }
 

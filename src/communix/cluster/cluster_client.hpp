@@ -22,6 +22,18 @@
 // Incremental GET(k) cursors built on replies from this client are thus
 // monotone: they never observe index i holding two different byte
 // strings, and never see the stream shrink.
+//
+// Delta fetching. FetchSince keeps a client-side 2Q cache of decoded
+// reply slices keyed by cursor. A cached fetch first issues a cheap
+// kReplPull probe (epoch + committed length): if the length still
+// matches the cached slice, the reply is served with zero data
+// transfer; if the log grew, only the suffix [cached_upto, size) is
+// fetched and spliced onto the cached prefix — O(new entries), not
+// O(db), per poll. The splice is sound for the same reason failover
+// is: same-epoch replies are byte-identical. The cache is invalidated
+// (generation bump) whenever that reasoning could lapse: the probed
+// epoch changes (compaction / lineage reset), an endpoint goes down
+// mid-call, or a short read was served.
 #pragma once
 
 #include <atomic>
@@ -30,6 +42,7 @@
 #include <string>
 #include <vector>
 
+#include "communix/store/read_cache.hpp"
 #include "net/message.hpp"
 #include "util/status.hpp"
 
@@ -42,7 +55,16 @@ class ClusterClient final : public net::ClientTransport {
     net::ClientTransport* transport = nullptr;
   };
 
-  ClusterClient(Endpoint primary, std::vector<Endpoint> replicas);
+  struct Options {
+    /// FetchSince slice-cache capacity (2Q resident slices); 0 disables
+    /// delta fetching (every FetchSince is a full GET).
+    std::size_t read_cache_slices = 64;
+  };
+
+  ClusterClient(Endpoint primary, std::vector<Endpoint> replicas)
+      : ClusterClient(std::move(primary), std::move(replicas), Options{}) {}
+  ClusterClient(Endpoint primary, std::vector<Endpoint> replicas,
+                Options options);
 
   ClusterClient(const ClusterClient&) = delete;
   ClusterClient& operator=(const ClusterClient&) = delete;
@@ -53,6 +75,8 @@ class ClusterClient final : public net::ClientTransport {
 
   /// GET(from) convenience: serialized signatures with index >= from, in
   /// index order (the CommunixClient daemon codepath, minus the repo).
+  /// Delta-fetching: see the header comment — repeat polls of the same
+  /// cursor cost a probe plus the new suffix, not a full transfer.
   Result<std::vector<std::vector<std::uint8_t>>> FetchSince(
       std::uint64_t from);
 
@@ -72,6 +96,9 @@ class ClusterClient final : public net::ClientTransport {
     /// (every live endpoint lagged — primary dead and replicas behind).
     std::uint64_t short_reads = 0;
     std::uint64_t epoch_skips = 0;        // replicas skipped: epoch mismatch
+    std::uint64_t cache_hits = 0;         // FetchSince served a cached prefix
+    std::uint64_t cache_delta_fetches = 0;  // of which: suffix GET issued
+    std::uint64_t cache_invalidations = 0;  // client-side generation bumps
   };
   Stats GetStats() const;
 
@@ -105,6 +132,17 @@ class ClusterClient final : public net::ClientTransport {
                           const net::Response& resp, std::uint64_t* coverage,
                           std::uint64_t* from, std::uint32_t* count);
 
+  /// Bumps the slice-cache generation (every cached slice dies on its
+  /// next access). Caller holds mu_.
+  void InvalidateCacheLocked();
+
+  /// One routed GET(from) plus reply parse; on success appends the
+  /// decoded signatures to `out` and returns the slice region
+  /// (count-stripped payload) via `payload`/`count`.
+  Status FetchRange(std::uint64_t from,
+                    std::vector<std::vector<std::uint8_t>>* out,
+                    std::vector<std::uint8_t>* payload, std::uint32_t* count);
+
   mutable std::mutex mu_;
   std::vector<Slot> slots_;  // [0] = primary, [1..] = replicas
   std::size_t rr_ = 0;       // round-robin origin over replicas
@@ -119,6 +157,17 @@ class ClusterClient final : public net::ClientTransport {
   std::uint64_t stale_read_retries_ = 0;
   std::uint64_t short_reads_ = 0;
   std::uint64_t epoch_skips_ = 0;
+
+  // ---- FetchSince delta-fetch cache ----
+  const bool cache_enabled_;
+  mutable store::ReadCache cache_;        // internally locked
+  std::uint64_t cache_generation_ = 1;    // guarded by mu_
+  /// Primary lineage the current generation's slices were built under
+  /// (0 = not yet observed).
+  std::uint64_t cache_epoch_ = 0;         // guarded by mu_
+  std::uint64_t cache_hits_ = 0;          // guarded by mu_
+  std::uint64_t cache_delta_fetches_ = 0;
+  std::uint64_t cache_invalidations_ = 0;
 };
 
 }  // namespace communix::cluster

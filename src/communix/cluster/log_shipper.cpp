@@ -39,45 +39,79 @@ Status LogShipper::DropSessionLocked(Session& s, Status cause) {
   return cause;
 }
 
-Result<std::size_t> LogShipper::ShipOnceLocked(Session& s) {
-  if (!s.cursor.has_value()) {
-    // Anti-entropy handshake: probe the follower's (epoch, length).
-    const net::ReplPullRequest probe{primary_.epoch(), 0, 0};
-    auto called = s.transport->Call(net::BuildReplPullRequest(probe));
-    if (!called.ok()) return DropSessionLocked(s, called.status());
-    const net::Response& resp = called.value();
-    if (!resp.ok()) {
-      return DropSessionLocked(s, Status::Error(resp.code, resp.error));
-    }
-    const auto reply = net::ParseReplPullReply(resp);
-    if (!reply) {
-      return DropSessionLocked(
-          s, Status::Error(ErrorCode::kDataLoss, "bad REPL_PULL reply"));
-    }
-    ++s.handshakes;
-    // Resume only when the follower is a *prefix* of our log: same
-    // epoch AND not ahead of us. A follower that acknowledged more
-    // entries than we hold outran a primary restarted from a stale
-    // snapshot — the logs forked under one epoch, and the only safe
-    // repair is a full rebuild.
-    if (reply->epoch == primary_.epoch() &&
-        reply->log_size <= primary_.db_size()) {
-      s.cursor = reply->log_size;  // resume where the follower stands
-      s.pending_reset = false;
-    } else {
-      s.cursor = 0;  // divergent lineage: restart under our epoch
-      s.pending_reset = true;
-    }
+Status LogShipper::HandshakeLocked(Session& s) {
+  // Anti-entropy handshake: probe the follower's (epoch, length).
+  const net::ReplPullRequest probe{primary_.epoch(), 0, 0};
+  auto called = s.transport->Call(net::BuildReplPullRequest(probe));
+  if (!called.ok()) return DropSessionLocked(s, called.status());
+  const net::Response& resp = called.value();
+  if (!resp.ok()) {
+    return DropSessionLocked(s, Status::Error(resp.code, resp.error));
   }
+  const auto reply = net::ParseReplPullReply(resp);
+  if (!reply) {
+    return DropSessionLocked(
+        s, Status::Error(ErrorCode::kDataLoss, "bad REPL_PULL reply"));
+  }
+  ++s.handshakes;
+  // Resume only when the follower is a *prefix* of our log: same
+  // epoch AND not ahead of us. A follower that acknowledged more
+  // entries than we hold outran a primary restarted from a stale
+  // snapshot — the logs forked under one epoch, and the only safe
+  // repair is a full rebuild.
+  if (reply->epoch == primary_.epoch() &&
+      reply->log_size <= primary_.db_size()) {
+    s.cursor = reply->log_size;  // resume where the follower stands
+    s.pending_reset = false;
+  } else {
+    s.cursor = 0;  // divergent lineage: restart under our epoch
+    s.pending_reset = true;
+  }
+  return Status::Ok();
+}
 
+void LogShipper::RefreshCheckpointLocked() {
+  const std::uint64_t epoch = primary_.epoch();
+  const std::uint64_t size = primary_.db_size();
+  if (ckpt_blob_ != nullptr && ckpt_epoch_ == epoch &&
+      size - ckpt_entries_ < options_.checkpoint_lag_threshold) {
+    return;  // cached blob still buys the full bootstrap saving
+  }
+  // One capture serves every follower that needs a rebuild this epoch.
+  ckpt_blob_ = std::make_shared<const std::vector<std::uint8_t>>(
+      primary_.CaptureCheckpointBlob());
+  ckpt_epoch_ = epoch;
+  // Entries appended between the epoch read above and the capture are
+  // simply part of the suffix; undercounting here only refreshes the
+  // blob a little early.
+  ckpt_entries_ = std::min<std::uint64_t>(size, primary_.db_size());
+}
+
+std::optional<LogShipper::PreparedStep> LogShipper::PrepareSendLocked(
+    Session& s) {
   const std::uint64_t size = primary_.db_size();
   if (*s.cursor > size) {
-    // Same fork, seen from a live session: the primary's log shrank
-    // under us (stale-snapshot reload). Rebuild the follower.
+    // Fork seen from a live session: the primary's log shrank under us
+    // (stale-snapshot reload). Rebuild the follower.
     s.cursor = 0;
     s.pending_reset = true;
   }
-  if (*s.cursor >= size && !s.pending_reset) return std::size_t{0};
+  if (*s.cursor >= size && !s.pending_reset) return std::nullopt;
+
+  if (s.pending_reset && options_.checkpoint_lag_threshold > 0 &&
+      size >= options_.checkpoint_lag_threshold) {
+    // Far-behind rebuild: one snapshot blob instead of size/batch_limit
+    // reset batches. The follower replays only the suffix afterwards.
+    RefreshCheckpointLocked();
+    net::CheckpointTransfer ckpt;
+    ckpt.token.assign(repl_token_.begin(), repl_token_.end());
+    ckpt.blob = *ckpt_blob_;
+    PreparedStep step;
+    step.request = net::BuildCheckpointRequest(ckpt);
+    step.epoch = ckpt_epoch_;
+    step.is_checkpoint = true;
+    return step;
+  }
 
   net::ReplBatchRequest batch;
   batch.token.assign(repl_token_.begin(), repl_token_.end());
@@ -92,18 +126,37 @@ Result<std::size_t> LogShipper::ShipOnceLocked(Session& s) {
         batch.entries.push_back(
             net::ReplEntry{entry.sender, entry.added_at, entry.bytes});
       });
+  PreparedStep step;
+  step.request = net::BuildReplBatchRequest(batch);
+  step.epoch = batch.epoch;
+  step.from_index = batch.from_index;
+  step.reset = batch.reset;
+  return step;
+}
 
-  auto called = s.transport->Call(net::BuildReplBatchRequest(batch));
-  if (!called.ok()) return DropSessionLocked(s, called.status());
-  const net::Response& resp = called.value();
+Result<std::size_t> LogShipper::ProcessReplyLocked(Session& s,
+                                                   const PreparedStep& step,
+                                                   const net::Response& resp) {
   if (!resp.ok()) {
     // kFailedPrecondition covers follower restarts (epoch changed under
     // us) and gaps; both heal through a fresh handshake.
     return DropSessionLocked(s, Status::Error(resp.code, resp.error));
   }
   const auto reply = net::ParseReplBatchReply(resp);
-  if (!reply || reply->epoch != batch.epoch ||
-      reply->log_size < batch.from_index) {
+  if (!reply || reply->epoch != step.epoch) {
+    return DropSessionLocked(
+        s, Status::Error(ErrorCode::kDataLoss, "bad shipping reply"));
+  }
+  if (step.is_checkpoint) {
+    // The follower now holds the snapshot; the feed resumes from its
+    // committed length, so only the post-checkpoint suffix replays.
+    s.cursor = reply->log_size;
+    s.pending_reset = false;
+    ++s.resets;
+    ++s.checkpoints_shipped;
+    return std::size_t{0};
+  }
+  if (reply->log_size < step.from_index) {
     return DropSessionLocked(
         s, Status::Error(ErrorCode::kDataLoss, "bad REPL_BATCH reply"));
   }
@@ -119,6 +172,17 @@ Result<std::size_t> LogShipper::ShipOnceLocked(Session& s) {
   return static_cast<std::size_t>(shipped);
 }
 
+Result<std::size_t> LogShipper::ShipOnceLocked(Session& s) {
+  if (!s.cursor.has_value()) {
+    if (Status hs = HandshakeLocked(s); !hs.ok()) return hs;
+  }
+  const auto step = PrepareSendLocked(s);
+  if (!step) return std::size_t{0};  // caught up
+  auto called = s.transport->Call(step->request);
+  if (!called.ok()) return DropSessionLocked(s, called.status());
+  return ProcessReplyLocked(s, *step, called.value());
+}
+
 Result<std::size_t> LogShipper::ShipOnce(std::size_t id) {
   std::lock_guard lock(mu_);
   return ShipOnceLocked(sessions_.at(id));
@@ -127,9 +191,64 @@ Result<std::size_t> LogShipper::ShipOnce(std::size_t id) {
 std::size_t LogShipper::ShipRound() {
   std::lock_guard lock(mu_);
   std::size_t shipped = 0;
-  for (Session& s : sessions_) {
-    auto result = ShipOnceLocked(s);
-    if (result.ok()) shipped += result.value();
+
+  // Phase 1: handshake sessionless followers (rare, synchronous) and
+  // prepare this round's outbound frame for everyone else. Followers on
+  // plain Call transports ship synchronously here.
+  struct Outbound {
+    std::size_t session;
+    PreparedStep step;
+    net::PipelinedClientTransport* transport;
+    bool sent = false;
+  };
+  std::vector<Outbound> pipelined;
+  pipelined.reserve(sessions_.size());
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    Session& s = sessions_[i];
+    if (!s.cursor.has_value() && !HandshakeLocked(s).ok()) continue;
+    auto step = PrepareSendLocked(s);
+    if (!step) continue;  // caught up
+    auto* pipe = dynamic_cast<net::PipelinedClientTransport*>(s.transport);
+    if (pipe == nullptr) {
+      auto called = s.transport->Call(step->request);
+      if (!called.ok()) {
+        (void)DropSessionLocked(s, called.status());
+        continue;
+      }
+      if (auto r = ProcessReplyLocked(s, *step, called.value()); r.ok()) {
+        shipped += r.value();
+      }
+      continue;
+    }
+    pipelined.push_back(Outbound{i, std::move(*step), pipe});
+  }
+
+  // Phase 2: every pipelined frame goes out before any reply is read —
+  // the followers apply their frames concurrently, so the round costs
+  // one round trip plus the slowest apply, not the sum.
+  for (Outbound& out : pipelined) {
+    const Status sent = out.transport->Send(out.step.request);
+    if (!sent.ok()) {
+      (void)DropSessionLocked(sessions_[out.session], sent);
+      continue;
+    }
+    out.sent = true;
+  }
+
+  // Phase 3: collect replies in send order (one outstanding request per
+  // transport, so Receive pairs with this round's Send).
+  for (Outbound& out : pipelined) {
+    if (!out.sent) continue;
+    auto called = out.transport->Receive();
+    if (!called.ok()) {
+      (void)DropSessionLocked(sessions_[out.session], called.status());
+      continue;
+    }
+    if (auto r = ProcessReplyLocked(sessions_[out.session], out.step,
+                                    called.value());
+        r.ok()) {
+      shipped += r.value();
+    }
   }
   return shipped;
 }
@@ -186,6 +305,7 @@ LogShipper::FollowerStatus LogShipper::GetFollowerStatus(
   out.handshakes = s.handshakes;
   out.resets = s.resets;
   out.drops = s.drops;
+  out.checkpoints_shipped = s.checkpoints_shipped;
   return out;
 }
 

@@ -10,9 +10,11 @@
 //     (idempotent: entries the follower already has are never re-applied,
 //     and a batch retransmitted after a lost reply is skipped by the
 //     follower's from_index check);
-//   * epoch differs  -> the follower is on another lineage; the next
-//     batch carries the reset flag, the follower clears its state and
-//     adopts the primary's epoch, and shipping restarts from index 0.
+//   * epoch differs  -> the follower is on another lineage. On a small
+//     primary the next batch carries the reset flag and replay restarts
+//     from index 0; past Options::checkpoint_lag_threshold the rebuild
+//     is served as one kCheckpoint blob (the store's framed v3
+//     snapshot) and only the post-checkpoint log suffix is replayed.
 //
 // Failure discipline: ANY transport or protocol error drops the session —
 // the feed cursor is released immediately (never leaked across a
@@ -45,6 +47,12 @@ class LogShipper {
     /// Background-loop cadence in real milliseconds (the loop also wakes
     /// on Stop).
     std::size_t ship_period_ms = 20;
+    /// Bootstrap-by-checkpoint cutover: a follower that needs a full
+    /// rebuild (divergent lineage) on a primary holding at least this
+    /// many entries receives one kCheckpoint blob and then replays only
+    /// the post-checkpoint suffix, instead of re-ingesting the whole
+    /// database in batch_limit bites. 0 disables (always entry replay).
+    std::size_t checkpoint_lag_threshold = 1024;
   };
 
   explicit LogShipper(CommunixServer& primary)
@@ -61,13 +69,22 @@ class LogShipper {
   std::size_t follower_count() const;
 
   /// One shipping step for one follower: handshake if the session has no
-  /// cursor, then at most one kReplBatch. Returns the number of entries
-  /// shipped (0 = follower already caught up), or the error that dropped
-  /// the session.
+  /// cursor, then at most one frame (kReplBatch, or kCheckpoint for a
+  /// far-behind rebuild). Returns the number of feed entries shipped
+  /// (0 = caught up, or a checkpoint was shipped instead), or the error
+  /// that dropped the session.
   Result<std::size_t> ShipOnce(std::size_t id);
 
-  /// One ShipOnce per follower; per-follower errors are absorbed (the
-  /// dropped session re-handshakes next round). Returns entries shipped.
+  /// One shipping step per follower, pipelined: followers whose
+  /// transport is a net::PipelinedClientTransport get their frames
+  /// sent back-to-back BEFORE any reply is collected, so a round's
+  /// wall-clock is one round trip (plus the slowest follower's apply),
+  /// not the sum over followers — catch-up is O(lag), not
+  /// O(lag × followers), in round-trip terms. Followers on plain Call
+  /// transports are served synchronously in the same round. Handshakes
+  /// (rare: session establishment only) stay synchronous. Per-follower
+  /// errors are absorbed (the dropped session re-handshakes next
+  /// round). Returns feed entries shipped this round.
   std::size_t ShipRound();
 
   /// Pumps rounds until every follower acknowledges the primary's
@@ -92,6 +109,9 @@ class LogShipper {
     std::uint64_t handshakes = 0;
     std::uint64_t resets = 0;   // catch-up restarts (epoch mismatch)
     std::uint64_t drops = 0;    // sessions dropped by an error
+    /// Bootstraps served as one kCheckpoint blob instead of entry
+    /// replay (the snapshot's entries are NOT in entries_shipped).
+    std::uint64_t checkpoints_shipped = 0;
   };
   FollowerStatus GetFollowerStatus(std::size_t id) const;
 
@@ -109,12 +129,47 @@ class LogShipper {
     std::uint64_t handshakes = 0;
     std::uint64_t resets = 0;
     std::uint64_t drops = 0;
+    std::uint64_t checkpoints_shipped = 0;
+  };
+
+  /// One outbound frame prepared for a session, plus what
+  /// ProcessReplyLocked needs to interpret its reply. Both frame kinds
+  /// (kReplBatch, kCheckpoint) answer with a ReplBatchReply.
+  struct PreparedStep {
+    net::Request request;
+    std::uint64_t epoch = 0;  // lineage the frame was built under
+    std::uint64_t from_index = 0;
+    bool reset = false;
+    bool is_checkpoint = false;
   };
 
   /// Releases the session's cursor (error path). Caller holds mu_.
   Status DropSessionLocked(Session& s, Status cause);
 
+  /// Anti-entropy handshake (synchronous kReplPull probe); establishes
+  /// the session's cursor. Caller holds mu_; session has no cursor.
+  Status HandshakeLocked(Session& s);
+
+  /// Builds the session's next outbound frame (checkpoint for a
+  /// far-behind rebuild, else one batch); nullopt when caught up.
+  /// Caller holds mu_; session has a cursor.
+  std::optional<PreparedStep> PrepareSendLocked(Session& s);
+
+  /// Applies the reply of a prepared frame to the session (cursor
+  /// advance, counters) or drops it. Caller holds mu_.
+  Result<std::size_t> ProcessReplyLocked(Session& s, const PreparedStep& step,
+                                         const net::Response& resp);
+
+  /// Prepare + synchronous Call + process (the non-pipelined path and
+  /// ShipOnce). Caller holds mu_.
   Result<std::size_t> ShipOnceLocked(Session& s);
+
+  /// (Re)builds the cached checkpoint blob when the primary's lineage
+  /// changed or the cached snapshot fell a full threshold behind (a
+  /// same-epoch stale blob is usable — the entry feed covers the
+  /// suffix — but a very stale one forfeits the bootstrap saving).
+  /// Caller holds mu_.
+  void RefreshCheckpointLocked();
 
   void DaemonLoop();
 
@@ -126,6 +181,11 @@ class LogShipper {
 
   mutable std::mutex mu_;
   std::vector<Session> sessions_;
+  /// Cached checkpoint blob shared across followers, keyed by the
+  /// (epoch, entry count) it was captured at.
+  std::shared_ptr<const std::vector<std::uint8_t>> ckpt_blob_;
+  std::uint64_t ckpt_epoch_ = 0;
+  std::uint64_t ckpt_entries_ = 0;
 
   std::mutex daemon_mu_;
   std::condition_variable daemon_cv_;

@@ -1,10 +1,24 @@
 #include "communix/server.hpp"
 
 #include <algorithm>
+#include <chrono>
+
+#include "communix/store/checkpoint.hpp"
 
 namespace communix {
 
 using dimmunix::Signature;
+
+namespace {
+
+std::uint64_t NanosSince(std::chrono::steady_clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
 
 CommunixServer::CommunixServer(Clock& clock, Options options)
     : clock_(clock),
@@ -242,6 +256,66 @@ net::Response CommunixServer::HandleReplBatch(const net::Request& request) {
       net::ReplBatchReply{store_->epoch(), store_->size()});
 }
 
+net::Response CommunixServer::HandleCheckpoint(const net::Request& request) {
+  net::Response resp;
+  if (options_.role != ServerRole::kFollower) {
+    stats_.rejected_not_primary.fetch_add(1, std::memory_order_relaxed);
+    resp.code = ErrorCode::kFailedPrecondition;
+    resp.error = "primary does not ingest CHECKPOINT";
+    return resp;
+  }
+  const auto ckpt = net::ParseCheckpointRequest(request);
+  if (!ckpt) {
+    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    resp.code = ErrorCode::kInvalidArgument;
+    resp.error = "malformed CHECKPOINT payload";
+    return resp;
+  }
+  // Installing a snapshot wipes the store — replication-peer credential
+  // required, exactly like kReplBatch ingest.
+  UserToken token;
+  std::copy(ckpt->token.begin(), ckpt->token.end(), token.begin());
+  const auto peer = authority_.Decode(token);
+  if (!peer || *peer != kReplicationPeerId) {
+    stats_.rejected_bad_token.fetch_add(1, std::memory_order_relaxed);
+    resp.code = ErrorCode::kPermissionDenied;
+    resp.error = "CHECKPOINT requires the replication peer credential";
+    return resp;
+  }
+  // The blob is validated IN FULL (framing, checksums, every signature,
+  // duplicate content ids) before the destructive install: a corrupt
+  // checkpoint must leave the follower's store untouched.
+  const auto start = std::chrono::steady_clock::now();
+  store::CheckpointData data;
+  if (const Status s = store::ParseCheckpoint(
+          std::span<const std::uint8_t>(ckpt->blob.data(), ckpt->blob.size()),
+          &data);
+      !s.ok()) {
+    stats_.checkpoints_refused.fetch_add(1, std::memory_order_relaxed);
+    resp.code = s.code();
+    resp.error = s.message();
+    return resp;
+  }
+  if (data.epoch == 0) {
+    // v1 blobs carry no lineage; a bootstrap without an epoch could
+    // never be continued by the entry feed, so refuse it.
+    stats_.checkpoints_refused.fetch_add(1, std::memory_order_relaxed);
+    resp.code = ErrorCode::kInvalidArgument;
+    resp.error = "checkpoint must carry a lineage epoch";
+    return resp;
+  }
+  const std::uint64_t installed = data.records.size();
+  store_->InstallSnapshot(data.epoch, std::move(data.records));
+  get_latency_.Report(kCheckpointInstall, NanosSince(start));
+  stats_.checkpoints_installed.fetch_add(1, std::memory_order_relaxed);
+  stats_.checkpoint_entries_installed.fetch_add(installed,
+                                                std::memory_order_relaxed);
+  // Same reply shape as kReplBatch: the shipper resumes its entry feed
+  // from log_size, so only the post-checkpoint suffix is replayed.
+  return net::BuildReplBatchReply(
+      net::ReplBatchReply{store_->epoch(), store_->size()});
+}
+
 net::Response CommunixServer::Handle(const net::Request& request) {
   net::Response resp;
   switch (request.type) {
@@ -316,25 +390,31 @@ net::Response CommunixServer::Handle(const net::Request& request) {
         resp.error = "malformed GET payload";
         break;
       }
-      // Serialize first, then prefix the count actually delivered: the
+      // Fast path: the store materializes (or serves from its 2Q cache)
+      // the whole count+entries region in one internally consistent
+      // slice — the slice is built against a single log snapshot, so the
       // reply stays self-consistent even if the store is swapped out
-      // between reads (a follower's catch-up reset replaces the whole
-      // log while GETs are in flight — size() and the visit below may
-      // see different logs).
-      const std::uint64_t size = store_->size();
-      BinaryWriter entries;
-      std::uint32_t count = 0;
-      store_->VisitRange(
-          from, size,
-          [&](std::uint64_t, const std::vector<std::uint8_t>& bytes) {
-            entries.WriteBytes(
-                std::span<const std::uint8_t>(bytes.data(), bytes.size()));
-            ++count;
-          });
+      // mid-request (a follower's catch-up reset replaces the whole log
+      // while GETs are in flight).
+      const auto start = std::chrono::steady_clock::now();
+      store::SignatureStore::ReadPath path =
+          store::SignatureStore::ReadPath::kColdScan;
+      const auto slice = store_->ReadSince(from, &path);
       BinaryWriter w;
-      w.WriteU32(count);
-      w.WriteRaw(std::span<const std::uint8_t>(entries.data().data(),
-                                               entries.size()));
+      w.WriteU32(slice->count);
+      w.WriteRaw(std::span<const std::uint8_t>(slice->payload.data(),
+                                               slice->payload.size()));
+      switch (path) {
+        case store::SignatureStore::ReadPath::kCacheHit:
+          get_latency_.Report(kGetCacheHit, NanosSince(start));
+          break;
+        case store::SignatureStore::ReadPath::kCacheExtend:
+          get_latency_.Report(kGetCacheExtend, NanosSince(start));
+          break;
+        case store::SignatureStore::ReadPath::kColdScan:
+          get_latency_.Report(kGetColdScan, NanosSince(start));
+          break;
+      }
       stats_.gets_served.fetch_add(1, std::memory_order_relaxed);
       resp.payload = w.take();
       break;
@@ -345,6 +425,9 @@ net::Response CommunixServer::Handle(const net::Request& request) {
 
     case net::MsgType::kReplBatch:
       return HandleReplBatch(request);
+
+    case net::MsgType::kCheckpoint:
+      return HandleCheckpoint(request);
 
     case net::MsgType::kIssueId: {
       BinaryReader r(std::span<const std::uint8_t>(request.payload.data(),
@@ -378,6 +461,42 @@ Status CommunixServer::LoadFromFile(const std::string& path) {
   return store_->LoadFromFile(path);
 }
 
+std::vector<std::uint8_t> CommunixServer::CaptureCheckpointBlob() const {
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    // Epoch-consistency loop: a lineage change (reset, compaction)
+    // between the epoch read and the snapshot would pair the new log's
+    // entries with the old epoch, so re-read and retry on mismatch.
+    // Epochs are random nonzero ids — recurrence is not a concern.
+    const std::uint64_t e = store_->epoch();
+    std::vector<store::StoredSignature> snapshot = store_->CaptureSnapshot();
+    if (store_->epoch() != e) continue;
+    auto blob = store::SerializeCheckpoint(
+        e, std::span<const store::StoredSignature>(snapshot.data(),
+                                                   snapshot.size()));
+    get_latency_.Report(kCheckpointBuild, NanosSince(start));
+    return blob;
+  }
+}
+
+bool CommunixServer::MarkSuperseded(std::uint64_t index) {
+  return store_->MarkSuperseded(index);
+}
+
+std::uint64_t CommunixServer::superseded_count() const {
+  return store_->superseded_count();
+}
+
+std::uint64_t CommunixServer::Compact() { return store_->Compact(); }
+
+std::uint64_t CommunixServer::read_generation() const {
+  return store_->read_generation();
+}
+
+store::ReadCache::Stats CommunixServer::read_cache_stats() const {
+  return store_->read_cache_stats();
+}
+
 CommunixServer::Stats CommunixServer::GetStats() const {
   Stats out;
   out.adds_accepted = stats_.adds_accepted.load(std::memory_order_relaxed);
@@ -402,6 +521,12 @@ CommunixServer::Stats CommunixServer::GetStats() const {
   out.repl_entries_skipped =
       stats_.repl_entries_skipped.load(std::memory_order_relaxed);
   out.repl_resets = stats_.repl_resets.load(std::memory_order_relaxed);
+  out.checkpoints_installed =
+      stats_.checkpoints_installed.load(std::memory_order_relaxed);
+  out.checkpoint_entries_installed =
+      stats_.checkpoint_entries_installed.load(std::memory_order_relaxed);
+  out.checkpoints_refused =
+      stats_.checkpoints_refused.load(std::memory_order_relaxed);
   return out;
 }
 

@@ -41,6 +41,7 @@
 #include "dimmunix/signature.hpp"
 #include "net/message.hpp"
 #include "util/clock.hpp"
+#include "util/latency_monitor.hpp"
 #include "util/serde.hpp"
 
 namespace communix {
@@ -120,6 +121,39 @@ class CommunixServer final : public net::RequestHandler {
   Status SaveToFile(const std::string& path) const;
   Status LoadFromFile(const std::string& path);
 
+  // ---- read/bootstrap performance tier ----
+
+  /// An epoch-consistent checkpoint blob of this server's store (DB
+  /// format v3) — what the LogShipper sends a far-behind follower via
+  /// net::MsgType::kCheckpoint, and byte-identical to what SaveToFile
+  /// writes. Built from an immutable snapshot; never blocks reads.
+  std::vector<std::uint8_t> CaptureCheckpointBlob() const;
+
+  /// Maintenance: marks entry `index` superseded (ReplaceSignature /
+  /// FP-disable); Compact() later drops marked entries into a fresh
+  /// lineage (new epoch — followers re-bootstrap via anti-entropy,
+  /// client cursors re-anchor via their epoch guard). See
+  /// store::SignatureStore::{MarkSuperseded, Compact}.
+  bool MarkSuperseded(std::uint64_t index);
+  std::uint64_t superseded_count() const;
+  std::uint64_t Compact();
+
+  std::uint64_t read_generation() const;
+  store::ReadCache::Stats read_cache_stats() const;
+
+  /// GET-path latency buckets (relaxed-atomic monitors; see
+  /// util/latency_monitor.hpp — the SNIPPETS-§1 idiom).
+  enum GetLatencyBucket : std::size_t {
+    kGetCacheHit = 0,     // reply slice served straight from the 2Q cache
+    kGetCacheExtend,      // cached prefix + scan of the fresh suffix only
+    kGetColdScan,         // full scan (miss or cache disabled)
+    kCheckpointBuild,     // CaptureCheckpointBlob on the primary
+    kCheckpointInstall,   // kCheckpoint validate + install on a follower
+    kNumGetLatencyBuckets,
+  };
+  using GetLatencyMonitors = LatencyMonitorsT<kNumGetLatencyBuckets>;
+  const GetLatencyMonitors& get_latency() const { return get_latency_; }
+
   // ---- wire protocol ----
   net::Response Handle(const net::Request& request) override;
 
@@ -138,6 +172,9 @@ class CommunixServer final : public net::RequestHandler {
     std::uint64_t repl_entries_applied = 0; // entries committed via ingest
     std::uint64_t repl_entries_skipped = 0; // already-applied (idempotent)
     std::uint64_t repl_resets = 0;          // catch-up epoch adoptions
+    std::uint64_t checkpoints_installed = 0;      // kCheckpoint ingests
+    std::uint64_t checkpoint_entries_installed = 0;  // entries they carried
+    std::uint64_t checkpoints_refused = 0;  // invalid/unauthorized blobs
   };
   Stats GetStats() const;
 
@@ -145,9 +182,10 @@ class CommunixServer final : public net::RequestHandler {
   /// The post-authentication pipeline shared by AddSignature/AddBatch.
   Status AddDecoded(UserId user, const dimmunix::Signature& sig);
 
-  /// kReplPull / kReplBatch processing (wire handlers).
+  /// kReplPull / kReplBatch / kCheckpoint processing (wire handlers).
   net::Response HandleReplPull(const net::Request& request);
   net::Response HandleReplBatch(const net::Request& request);
+  net::Response HandleCheckpoint(const net::Request& request);
 
   Clock& clock_;
   const Options options_;
@@ -171,8 +209,12 @@ class CommunixServer final : public net::RequestHandler {
     std::atomic<std::uint64_t> repl_entries_applied{0};
     std::atomic<std::uint64_t> repl_entries_skipped{0};
     std::atomic<std::uint64_t> repl_resets{0};
+    std::atomic<std::uint64_t> checkpoints_installed{0};
+    std::atomic<std::uint64_t> checkpoint_entries_installed{0};
+    std::atomic<std::uint64_t> checkpoints_refused{0};
   };
   mutable AtomicStats stats_;
+  mutable GetLatencyMonitors get_latency_;
 };
 
 }  // namespace communix

@@ -1,0 +1,75 @@
+// Epoch-consistent store checkpoints (DB format v3).
+//
+// One serialized blob format serves two consumers:
+//
+//   * persistence — SaveToFile/LoadFromFile write and read it, and the
+//     v1 (seed layout) and v2 (+epoch) files still load;
+//   * bootstrap — the LogShipper ships the same blob over the wire
+//     (net::MsgType::kCheckpoint) to a follower whose lineage diverged,
+//     so it installs a snapshot and replays only the log suffix instead
+//     of re-ingesting the whole database entry by entry.
+//
+// v3 layout (little-endian):
+//
+//   header:  u32 magic "CMSB" | u32 version=3 | u64 epoch
+//            u64 total_count  | u32 frame_count
+//            u64 fnv1a(epoch | total_count | frame_count)
+//   frame:   u32 entry_count | u32 payload_len | u64 fnv1a(payload)
+//            payload = entry_count records
+//   record:  u8 flags (bit0: superseded) | u64 sender | i64 added_at
+//            u32 sig_len + sig bytes
+//
+// The framing is what makes a damaged checkpoint *detectably* damaged:
+// the header pins the total entry count up front (truncation at any
+// frame boundary leaves a count shortfall), payload lengths bound every
+// frame (mid-frame truncation fails the bounds-checked reader), the
+// per-frame FNV-1a checksum catches byte corruption, and the header's
+// own checksum covers the metadata the frame checksums don't (a flipped
+// epoch byte must not parse as a valid checkpoint of another lineage). ParseCheckpoint
+// validates ALL of it — including that every signature's bytes round-trip
+// and that no content id repeats — before returning, so a follower can
+// fully vet a blob before wiping its store to install it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "communix/store/signature_log.hpp"
+#include "communix/store/user_state_shards.hpp"
+#include "util/status.hpp"
+
+namespace communix::store {
+
+/// One validated checkpoint entry: the stored signature plus the
+/// adjacency top-set rebuilt from its (verified) bytes.
+struct CheckpointRecord {
+  StoredSignature entry;
+  TopFrameKeys tops;
+};
+
+/// A fully validated, installable snapshot of a store at (epoch, size).
+struct CheckpointData {
+  /// Log lineage the snapshot belongs to; 0 for a v1 file (the seed
+  /// format recorded none — the caller adopts a fresh epoch).
+  std::uint64_t epoch = 0;
+  std::vector<CheckpointRecord> records;
+};
+
+/// Entries per v3 frame (also the truncation-test granularity).
+constexpr std::size_t kCheckpointFrameEntries = 512;
+
+/// Serializes `entries` as a v3 blob. The caller provides an immutable
+/// snapshot (SignatureStore::CaptureSnapshot) — the committed prefix of
+/// a log never mutates, so capture + serialize never blocks readers.
+std::vector<std::uint8_t> SerializeCheckpoint(
+    std::uint64_t epoch, std::span<const StoredSignature> entries);
+
+/// Parses and fully validates a checkpoint/DB blob of any supported
+/// version (v1 seed layout, v2 +epoch, v3 framed). kDataLoss on any
+/// header/frame/checksum/signature/duplicate defect; the out-param is
+/// untouched on failure.
+Status ParseCheckpoint(std::span<const std::uint8_t> bytes,
+                       CheckpointData* out);
+
+}  // namespace communix::store

@@ -33,6 +33,13 @@ struct StoredSignature {
   std::uint64_t content_id = 0;
   UserId sender = 0;
   TimePoint added_at = 0;
+  /// Superseded by ReplaceSignature / FP-disable; compaction drops these.
+  /// Plain bool: meaningful only on *at-rest* copies (checkpoints,
+  /// snapshots, Reset input). The live log never mutates this field in a
+  /// slot readers can see — runtime marks live in atomic side-flags
+  /// (MarkSuperseded/IsSuperseded) precisely so lock-free scans and
+  /// concurrent marks never race on entry memory.
+  bool superseded = false;
 };
 
 class SignatureLog {
@@ -67,14 +74,34 @@ class SignatureLog {
 
   /// Visits committed entries with index in [from, min(upto, size()))
   /// in index order, without taking the writer lock. `upto` lets callers
-  /// pin an exact snapshot length (e.g. for a count-prefixed reply).
+  /// pin an exact snapshot length (e.g. for a count-prefixed reply). The
+  /// segment pointer is chased once per segment, not once per entry, so
+  /// long scans cost one acquire load per kSegmentSize entries.
   void Visit(std::uint64_t from, std::uint64_t upto,
              const std::function<void(std::uint64_t index,
                                       const StoredSignature& entry)>& fn) const;
 
-  /// Replaces the whole log (LoadFromFile path). NOT safe against
-  /// concurrent readers or writers; restart-time only, like the seed's
-  /// whole-db swap under its exclusive lock.
+  /// Marks a committed entry superseded (ReplaceSignature / FP-disable);
+  /// compaction later drops it. The mark lives in an atomic side-flag
+  /// next to the slot — entry bytes are never touched, so lock-free
+  /// scans of the entry race with nothing. Returns true on the first
+  /// mark, false if already marked (idempotent). `index < size()`.
+  bool MarkSuperseded(std::uint64_t index);
+
+  /// Whether MarkSuperseded hit this committed entry (`index < size()`).
+  bool IsSuperseded(std::uint64_t index) const;
+
+  /// Marked-entry count (== number of MarkSuperseded firsts since the
+  /// last Reset, plus entries Reset ingested with `superseded` set).
+  std::uint64_t superseded_count() const {
+    return superseded_.load(std::memory_order_acquire);
+  }
+
+  /// Replaces the whole log (LoadFromFile path), seeding side-flags from
+  /// each entry's `superseded` field. NOT safe against concurrent
+  /// readers or writers; restart-time only, like the seed's whole-db
+  /// swap under its exclusive lock. (Live swaps build a private log and
+  /// publish it through the store's atomic<shared_ptr> instead.)
   void Reset(std::vector<StoredSignature> entries);
 
  private:
@@ -86,6 +113,7 @@ class SignatureLog {
 
   std::mutex append_mu_;
   std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> superseded_{0};
   /// Readers reach segments only through these atomics; the pointer store
   /// happens-before the matching published_ release.
   std::unique_ptr<std::atomic<Segment*>[]> segments_;

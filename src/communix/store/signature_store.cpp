@@ -6,9 +6,11 @@
 #include <mutex>
 #include <random>
 #include <shared_mutex>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
+#include "communix/store/checkpoint.hpp"
 #include "communix/store/dedup_index.hpp"
 #include "communix/store/signature_log.hpp"
 #include "util/serde.hpp"
@@ -82,28 +84,21 @@ AddOutcome RunAddPipeline(UserState& state, std::int64_t day,
 }
 
 // ---------------------------------------------------------------------------
-// Persistence. v1 is the seed server's exact format; v2 appends the log
-// epoch (u64) to the header so a follower's lineage survives restarts.
-// Both versions load; saves write v2.
+// Persistence. The format lives in checkpoint.{hpp,cpp} now — saves
+// write the framed/checksummed v3 layout (which doubles as the wire
+// checkpoint a follower bootstraps from); v1/v2 files still load. This
+// file keeps only the file-I/O shell around it.
 // ---------------------------------------------------------------------------
-constexpr std::uint32_t kDbMagic = 0x434D5342;  // "CMSB"
-constexpr std::uint32_t kDbVersionV1 = 1;
-constexpr std::uint32_t kDbVersion = 2;
-
-struct LoadedRecord {
-  StoredSignature entry;
-  TopFrameKeys tops;
-};
-
-Status WriteDbFile(const std::string& path, const BinaryWriter& w) {
+Status WriteDbFile(const std::string& path,
+                   const std::vector<std::uint8_t>& blob) {
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) {
       return Status::Error(ErrorCode::kUnavailable, "cannot open " + tmp);
     }
-    out.write(reinterpret_cast<const char*>(w.data().data()),
-              static_cast<std::streamsize>(w.size()));
+    out.write(reinterpret_cast<const char*>(blob.data()),
+              static_cast<std::streamsize>(blob.size()));
     if (!out) {
       return Status::Error(ErrorCode::kUnavailable, "short write " + tmp);
     }
@@ -116,57 +111,55 @@ Status WriteDbFile(const std::string& path, const BinaryWriter& w) {
   return Status::Ok();
 }
 
-void WriteRecord(BinaryWriter& w, const StoredSignature& s) {
-  w.WriteU64(s.sender);
-  w.WriteI64(s.added_at);
-  w.WriteBytes(std::span<const std::uint8_t>(s.bytes.data(), s.bytes.size()));
-}
-
-/// On success `epoch_out` is the file's epoch; 0 for a v1 file (no
-/// lineage recorded — the caller adopts a fresh one).
-Status ParseDbFile(const std::string& path, std::vector<LoadedRecord>& out,
-                   std::uint64_t* epoch_out) {
+Status ParseDbFile(const std::string& path, CheckpointData* out) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::Error(ErrorCode::kNotFound, "cannot open " + path);
   }
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
-  BinaryReader r(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
-  const std::uint32_t magic = r.ReadU32();
-  const std::uint32_t version = r.ReadU32();
-  if (magic != kDbMagic ||
-      (version != kDbVersionV1 && version != kDbVersion)) {
-    return Status::Error(ErrorCode::kDataLoss, "bad server DB header");
+  return ParseCheckpoint(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size()), out);
+}
+
+/// Tops of a store-resident entry (accepted or validated at ingest, so
+/// the bytes are known-good; an empty set on the impossible parse
+/// failure just weakens adjacency instead of corrupting anything).
+TopFrameKeys TopsOfEntry(const StoredSignature& entry) {
+  auto sig = dimmunix::Signature::FromBytes(
+      std::span<const std::uint8_t>(entry.bytes.data(), entry.bytes.size()));
+  return sig ? TopFrameSet(*sig) : TopFrameKeys{};
+}
+
+/// Builds the materialized reply slice for [from, n), reusing a cached
+/// prefix when one is supplied (the extension path: only [prefix->upto,
+/// n) is serialized). `serialize(lo, hi, w)` appends the length-prefixed
+/// bytes of entries [lo, hi).
+template <typename SerializeRange>
+std::shared_ptr<const CachedSlice> BuildSlice(
+    std::uint64_t from, std::uint64_t n,
+    std::shared_ptr<const CachedSlice> prefix, SerializeRange&& serialize) {
+  auto slice = std::make_shared<CachedSlice>();
+  slice->from = from;
+  slice->upto = n;
+  slice->count = static_cast<std::uint32_t>(n - from);
+  std::uint64_t scan_from = from;
+  if (prefix != nullptr) {
+    slice->payload = prefix->payload;  // the shared slice stays immutable
+    scan_from = prefix->upto;
   }
-  *epoch_out = version >= kDbVersion ? r.ReadU64() : 0;
-  const std::uint32_t count = r.ReadU32();
-  if (!r.ok()) {
-    return Status::Error(ErrorCode::kDataLoss, "truncated server DB header");
-  }
-  out.clear();
-  out.reserve(count);
-  for (std::uint32_t i = 0; i < count; ++i) {
-    LoadedRecord rec;
-    rec.entry.sender = r.ReadU64();
-    rec.entry.added_at = r.ReadI64();
-    rec.entry.bytes = r.ReadBytes();
-    if (!r.ok()) {
-      return Status::Error(ErrorCode::kDataLoss, "corrupt server DB record");
-    }
-    auto sig = dimmunix::Signature::FromBytes(std::span<const std::uint8_t>(
-        rec.entry.bytes.data(), rec.entry.bytes.size()));
-    if (!sig) {
-      return Status::Error(ErrorCode::kDataLoss,
-                           "stored signature fails to parse");
-    }
-    rec.entry.content_id = sig->ContentId();
-    // Rebuild the adjacency state so the per-user restriction keeps
-    // holding across restarts. The daily quota intentionally resets.
-    rec.tops = TopFrameSet(*sig);
-    out.push_back(std::move(rec));
-  }
-  return Status::Ok();
+  BinaryWriter w;
+  serialize(scan_from, n, w);
+  slice->payload.insert(slice->payload.end(), w.data().begin(),
+                        w.data().end());
+  return slice;
+}
+
+std::shared_ptr<const CachedSlice> EmptySlice(std::uint64_t from) {
+  auto slice = std::make_shared<CachedSlice>();
+  slice->from = from;
+  slice->upto = from;
+  return slice;
 }
 
 /// Validates a replicated entry's signature bytes, filling in
@@ -189,7 +182,9 @@ std::optional<TopFrameKeys> DecodeReplicatedEntry(StoredSignature& entry) {
 class MonolithicStore final : public SignatureStore {
  public:
   explicit MonolithicStore(const StoreOptions& options)
-      : epoch_(options.epoch != 0 ? options.epoch : GenerateEpoch()) {}
+      : cache_(std::max<std::size_t>(options.read_cache_slices, 1)),
+        cache_enabled_(options.read_cache_slices > 0),
+        epoch_(options.epoch != 0 ? options.epoch : GenerateEpoch()) {}
 
   AddOutcome Add(UserId sender, std::int64_t day, const TopFrameKeys& tops,
                  std::uint64_t content_id, const dimmunix::Signature& sig,
@@ -264,39 +259,134 @@ class MonolithicStore final : public SignatureStore {
     db_.clear();
     content_ids_.clear();
     users_.clear();
+    superseded_count_ = 0;
     epoch_.store(new_epoch, std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_release);
   }
 
   Status SaveToFile(const std::string& path) const override {
-    BinaryWriter w;
+    std::vector<StoredSignature> snapshot;
+    std::uint64_t e = 0;
     {
       std::shared_lock lock(mu_);
-      w.WriteU32(kDbMagic);
-      w.WriteU32(kDbVersion);
-      w.WriteU64(epoch_.load(std::memory_order_relaxed));
-      w.WriteU32(static_cast<std::uint32_t>(db_.size()));
-      for (const StoredSignature& s : db_) WriteRecord(w, s);
+      snapshot = db_;
+      e = epoch_.load(std::memory_order_relaxed);
     }
-    return WriteDbFile(path, w);
+    return WriteDbFile(path, SerializeCheckpoint(e, snapshot));
   }
 
   Status LoadFromFile(const std::string& path) override {
-    std::vector<LoadedRecord> records;
-    std::uint64_t file_epoch = 0;
-    if (auto s = ParseDbFile(path, records, &file_epoch); !s.ok()) return s;
+    CheckpointData data;
+    if (auto s = ParseDbFile(path, &data); !s.ok()) return s;
+    InstallSnapshot(data.epoch != 0 ? data.epoch : GenerateEpoch(),
+                    std::move(data.records));
+    return Status::Ok();
+  }
+
+  std::uint64_t read_generation() const override {
+    return generation_.load(std::memory_order_acquire);
+  }
+
+  std::shared_ptr<const CachedSlice> ReadSince(std::uint64_t from,
+                                               ReadPath* path) override {
+    std::shared_lock lock(mu_);
+    const std::uint64_t n = db_.size();
+    if (from >= n) {
+      if (path != nullptr) *path = ReadPath::kCacheHit;
+      return EmptySlice(from);
+    }
+    const std::uint64_t gen = generation_.load(std::memory_order_relaxed);
+    std::shared_ptr<const CachedSlice> prefix;
+    if (cache_enabled_) {
+      if (auto hit = cache_.Lookup(gen, from); hit != nullptr) {
+        if (hit->upto == n) {
+          if (path != nullptr) *path = ReadPath::kCacheHit;
+          return hit;
+        }
+        prefix = std::move(hit);
+      }
+    }
+    if (path != nullptr) {
+      *path = prefix != nullptr ? ReadPath::kCacheExtend : ReadPath::kColdScan;
+    }
+    auto slice = BuildSlice(
+        from, n, std::move(prefix),
+        [&](std::uint64_t lo, std::uint64_t hi, BinaryWriter& w) {
+          for (std::uint64_t i = lo; i < hi; ++i) {
+            w.WriteBytes(std::span<const std::uint8_t>(db_[i].bytes.data(),
+                                                       db_[i].bytes.size()));
+          }
+        });
+    if (cache_enabled_) cache_.Insert(gen, slice);
+    return slice;
+  }
+
+  ReadCache::Stats read_cache_stats() const override {
+    return cache_.GetStats();
+  }
+
+  std::vector<StoredSignature> CaptureSnapshot() const override {
+    std::shared_lock lock(mu_);
+    return db_;
+  }
+
+  void InstallSnapshot(std::uint64_t epoch,
+                       std::vector<CheckpointRecord> records) override {
     std::unique_lock lock(mu_);
     db_.clear();
     content_ids_.clear();
     users_.clear();
+    superseded_count_ = 0;
+    db_.reserve(records.size());
     for (auto& rec : records) {
       content_ids_.insert(rec.entry.content_id);
       users_[rec.entry.sender].accepted_top_sets.push_back(
           std::move(rec.tops));
+      if (rec.entry.superseded) ++superseded_count_;
       db_.push_back(std::move(rec.entry));
     }
-    epoch_.store(file_epoch != 0 ? file_epoch : GenerateEpoch(),
-                 std::memory_order_release);
-    return Status::Ok();
+    epoch_.store(epoch, std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_release);
+  }
+
+  bool MarkSuperseded(std::uint64_t index) override {
+    std::unique_lock lock(mu_);
+    if (index >= db_.size() || db_[index].superseded) return false;
+    db_[index].superseded = true;
+    ++superseded_count_;
+    return true;
+  }
+
+  std::uint64_t superseded_count() const override {
+    std::shared_lock lock(mu_);
+    return superseded_count_;
+  }
+
+  std::uint64_t Compact() override {
+    std::unique_lock lock(mu_);
+    const std::uint64_t before = db_.size();
+    std::vector<StoredSignature> survivors;
+    survivors.reserve(before);
+    for (StoredSignature& s : db_) {
+      if (!s.superseded) survivors.push_back(std::move(s));
+    }
+    const std::uint64_t dropped = before - survivors.size();
+    db_ = std::move(survivors);
+    content_ids_.clear();
+    users_.clear();
+    superseded_count_ = 0;
+    // Derived state is rebuilt from survivors only, so the compacted
+    // store is indistinguishable from one bootstrapped from its own
+    // checkpoint (the invariant the store tests pin). Dropping a
+    // replaced signature's content id deliberately re-opens dedup for
+    // its replacement lineage.
+    for (const StoredSignature& s : db_) {
+      content_ids_.insert(s.content_id);
+      users_[s.sender].accepted_top_sets.push_back(TopsOfEntry(s));
+    }
+    epoch_.store(GenerateEpoch(), std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_release);
+    return dropped;
   }
 
  private:
@@ -304,7 +394,11 @@ class MonolithicStore final : public SignatureStore {
   std::vector<StoredSignature> db_;
   std::unordered_set<std::uint64_t> content_ids_;
   std::unordered_map<UserId, UserState> users_;
+  std::uint64_t superseded_count_ = 0;
+  mutable ReadCache cache_;
+  const bool cache_enabled_;
   std::atomic<std::uint64_t> epoch_;
+  std::atomic<std::uint64_t> generation_{0};
 };
 
 // ---------------------------------------------------------------------------
@@ -327,6 +421,8 @@ class ShardedStore final : public SignatureStore {
       : users_(options.user_shards),
         dedup_(options.dedup_shards),
         log_(std::make_shared<SignatureLog>()),
+        cache_(std::max<std::size_t>(options.read_cache_slices, 1)),
+        cache_enabled_(options.read_cache_slices > 0),
         epoch_(options.epoch != 0 ? options.epoch : GenerateEpoch()) {}
 
   AddOutcome Add(UserId sender, std::int64_t day, const TopFrameKeys& tops,
@@ -402,31 +498,81 @@ class ShardedStore final : public SignatureStore {
     dedup_.Clear();
     // Fresh log object: concurrent GET scans keep reading the retired
     // one (kept alive by their shared_ptr snapshots) to completion.
-    log_.store(std::make_shared<SignatureLog>(), std::memory_order_release);
-    epoch_.store(new_epoch, std::memory_order_release);
+    PublishLogLocked(std::make_shared<SignatureLog>(), new_epoch);
   }
 
   Status SaveToFile(const std::string& path) const override {
-    BinaryWriter w;
     // The snapshot log's committed prefix is immutable, so no lock is
-    // needed: entries appended after this size() load are simply not
-    // part of the save.
-    const std::shared_ptr<SignatureLog> log = Log();
-    const std::uint64_t n = log->size();
-    w.WriteU32(kDbMagic);
-    w.WriteU32(kDbVersion);
-    w.WriteU64(epoch_.load(std::memory_order_relaxed));
-    w.WriteU32(static_cast<std::uint32_t>(n));
-    log->Visit(0, n, [&](std::uint64_t, const StoredSignature& s) {
-      WriteRecord(w, s);
-    });
-    return WriteDbFile(path, w);
+    // needed: entries appended after the size() load inside are simply
+    // not part of the save.
+    return WriteDbFile(
+        path, SerializeCheckpoint(epoch(), CaptureSnapshot()));
   }
 
   Status LoadFromFile(const std::string& path) override {
-    std::vector<LoadedRecord> records;
-    std::uint64_t file_epoch = 0;
-    if (auto s = ParseDbFile(path, records, &file_epoch); !s.ok()) return s;
+    CheckpointData data;
+    if (auto s = ParseDbFile(path, &data); !s.ok()) return s;
+    InstallSnapshot(data.epoch != 0 ? data.epoch : GenerateEpoch(),
+                    std::move(data.records));
+    return Status::Ok();
+  }
+
+  std::uint64_t read_generation() const override { return ReadView().gen; }
+
+  std::shared_ptr<const CachedSlice> ReadSince(std::uint64_t from,
+                                               ReadPath* path) override {
+    const View view = ReadView();
+    const std::uint64_t n = view.log->size();
+    if (from >= n) {
+      if (path != nullptr) *path = ReadPath::kCacheHit;
+      return EmptySlice(from);
+    }
+    std::shared_ptr<const CachedSlice> prefix;
+    if (cache_enabled_) {
+      if (auto hit = cache_.Lookup(view.gen, from); hit != nullptr) {
+        if (hit->upto == n) {
+          if (path != nullptr) *path = ReadPath::kCacheHit;
+          return hit;
+        }
+        prefix = std::move(hit);
+      }
+    }
+    if (path != nullptr) {
+      *path = prefix != nullptr ? ReadPath::kCacheExtend : ReadPath::kColdScan;
+    }
+    auto slice = BuildSlice(
+        from, n, std::move(prefix),
+        [&](std::uint64_t lo, std::uint64_t hi, BinaryWriter& w) {
+          view.log->Visit(lo, hi,
+                          [&](std::uint64_t, const StoredSignature& s) {
+                            w.WriteBytes(std::span<const std::uint8_t>(
+                                s.bytes.data(), s.bytes.size()));
+                          });
+        });
+    // An insert that lost a race with a log swap is rejected by the
+    // cache's generation check — a stale-log slice is never admitted.
+    if (cache_enabled_) cache_.Insert(view.gen, slice);
+    return slice;
+  }
+
+  ReadCache::Stats read_cache_stats() const override {
+    return cache_.GetStats();
+  }
+
+  std::vector<StoredSignature> CaptureSnapshot() const override {
+    const std::shared_ptr<SignatureLog> log = Log();
+    const std::uint64_t n = log->size();
+    std::vector<StoredSignature> snapshot;
+    snapshot.reserve(n);
+    log->Visit(0, n, [&](std::uint64_t i, const StoredSignature& s) {
+      snapshot.push_back(s);
+      snapshot.back().superseded = log->IsSuperseded(i);
+    });
+    return snapshot;
+  }
+
+  void InstallSnapshot(std::uint64_t epoch,
+                       std::vector<CheckpointRecord> records) override {
     std::lock_guard ingest(ingest_mu_);
     users_.Clear();
     dedup_.Clear();
@@ -442,10 +588,46 @@ class ShardedStore final : public SignatureStore {
     // Populate a private log, then publish it whole.
     auto loaded = std::make_shared<SignatureLog>();
     loaded->Reset(std::move(entries));
-    log_.store(std::move(loaded), std::memory_order_release);
-    epoch_.store(file_epoch != 0 ? file_epoch : GenerateEpoch(),
-                 std::memory_order_release);
-    return Status::Ok();
+    PublishLogLocked(std::move(loaded), epoch);
+  }
+
+  bool MarkSuperseded(std::uint64_t index) override {
+    const std::shared_ptr<SignatureLog> log = Log();
+    if (index >= log->size()) return false;
+    return log->MarkSuperseded(index);
+  }
+
+  std::uint64_t superseded_count() const override {
+    return Log()->superseded_count();
+  }
+
+  std::uint64_t Compact() override {
+    std::lock_guard ingest(ingest_mu_);
+    const std::shared_ptr<SignatureLog> log = Log();
+    const std::uint64_t n = log->size();
+    std::vector<StoredSignature> survivors;
+    survivors.reserve(n);
+    log->Visit(0, n, [&](std::uint64_t i, const StoredSignature& s) {
+      if (!log->IsSuperseded(i)) survivors.push_back(s);
+    });
+    const std::uint64_t dropped = n - survivors.size();
+    users_.Clear();
+    dedup_.Clear();
+    // Derived state is rebuilt from survivors only, so the compacted
+    // store is indistinguishable from one bootstrapped from its own
+    // checkpoint (the invariant the store tests pin). Dropping a
+    // replaced signature's content id deliberately re-opens dedup for
+    // its replacement lineage.
+    for (const StoredSignature& s : survivors) {
+      dedup_.TryInsert(s.content_id);
+      users_.With(s.sender, [&](UserState& state) {
+        state.accepted_top_sets.push_back(TopsOfEntry(s));
+      });
+    }
+    auto compacted = std::make_shared<SignatureLog>();
+    compacted->Reset(std::move(survivors));
+    PublishLogLocked(std::move(compacted), GenerateEpoch());
+    return dropped;
   }
 
  private:
@@ -453,11 +635,50 @@ class ShardedStore final : public SignatureStore {
     return log_.load(std::memory_order_acquire);
   }
 
+  /// A consistent (generation, log) pair, seqlock-style: the swap path
+  /// makes the generation odd, stores the log, then makes it even, so a
+  /// reader that saw a torn combination (old generation, new log or
+  /// vice versa) observes either an odd value or two different values
+  /// and retries. Same generation ⟺ same log object.
+  struct View {
+    std::uint64_t gen;
+    std::shared_ptr<SignatureLog> log;
+  };
+  View ReadView() const {
+    for (;;) {
+      const std::uint64_t g1 = gen_.load(std::memory_order_acquire);
+      if ((g1 & 1) != 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      std::shared_ptr<SignatureLog> log = Log();
+      if (gen_.load(std::memory_order_acquire) == g1) {
+        return View{g1, std::move(log)};
+      }
+    }
+  }
+
+  /// Swaps the published log + epoch under the seqlock. Caller holds
+  /// ingest_mu_ (swaps are serialized; the seqlock only shields the
+  /// lock-free readers).
+  void PublishLogLocked(std::shared_ptr<SignatureLog> log,
+                        std::uint64_t new_epoch) {
+    gen_.fetch_add(1, std::memory_order_acq_rel);  // odd: swap in progress
+    log_.store(std::move(log), std::memory_order_release);
+    epoch_.store(new_epoch, std::memory_order_release);
+    gen_.fetch_add(1, std::memory_order_release);  // even: next generation
+  }
+
   UserStateShards users_;
   DedupIndex dedup_;
   std::atomic<std::shared_ptr<SignatureLog>> log_;
   std::mutex ingest_mu_;
+  mutable ReadCache cache_;
+  const bool cache_enabled_;
   std::atomic<std::uint64_t> epoch_;
+  /// Log-identity generation (seqlock word): even when stable, odd
+  /// mid-swap; the *user-visible* generation is the even value.
+  std::atomic<std::uint64_t> gen_{0};
 };
 
 }  // namespace

@@ -20,10 +20,11 @@
 //
 // The two backends share the on-disk format: a database saved by either
 // loads into the other, and clients' incremental GET(k) cursors stay
-// valid across restarts. Version 2 of the format appends the log epoch
-// to the v1 header (the replication lineage id, see epoch() below);
-// v1 files — the seed server's exact layout — still load, adopting a
-// fresh epoch.
+// valid across restarts. Version 3 (checkpoint.hpp) frames and
+// checksums the record stream so the same blob doubles as the wire
+// checkpoint a far-behind follower bootstraps from; v2 (epoch in the
+// header) and v1 (the seed server's exact layout, adopting a fresh
+// epoch on load) still load.
 #pragma once
 
 #include <cstdint>
@@ -33,6 +34,8 @@
 #include <vector>
 
 #include "communix/ids.hpp"
+#include "communix/store/checkpoint.hpp"
+#include "communix/store/read_cache.hpp"
 #include "communix/store/signature_log.hpp"
 #include "communix/store/user_state_shards.hpp"
 #include "dimmunix/signature.hpp"
@@ -78,6 +81,10 @@ struct StoreOptions {
   /// Log epoch (replication lineage id); 0 generates a fresh
   /// process-unique nonzero value. Tests pin it for determinism.
   std::uint64_t epoch = 0;
+  /// Resident slice capacity of the 2Q hot-read cache behind ReadSince
+  /// (read_cache.hpp). 0 disables caching: every ReadSince materializes
+  /// a fresh slice (the cold path the cache exists to avoid).
+  std::size_t read_cache_slices = 64;
 };
 
 /// A fresh, process-unique, nonzero log epoch.
@@ -144,11 +151,78 @@ class SignatureStore {
   /// Only concurrent Add is excluded — followers refuse ADDs anyway.
   virtual void ResetForReplication(std::uint64_t new_epoch) = 0;
 
-  /// Persistence, format-compatible with the seed server's files.
+  /// Persistence. Saves write DB format v3 (checkpoint.hpp: framed,
+  /// checksummed); v1 (seed layout) and v2 (+epoch) files still load.
   virtual Status SaveToFile(const std::string& path) const = 0;
   /// Restart-time only (like the seed's whole-db swap): not safe against
   /// concurrent Add/Visit.
   virtual Status LoadFromFile(const std::string& path) = 0;
+
+  // ---- read/bootstrap performance tier ----------------------------------
+
+  /// Log-identity generation: bumps exactly when the log object the
+  /// store serves reads from is replaced (ResetForReplication,
+  /// LoadFromFile, InstallSnapshot, Compact) — NOT on Append, which only
+  /// extends the same log. The ReadCache keys slices by it, so no slice
+  /// built against a retired log is ever served (the RCU-invalidation
+  /// argument: swap ⇒ new generation ⇒ whole-table clear on first
+  /// access). Lock-free read; always a stable (not mid-swap) value.
+  virtual std::uint64_t read_generation() const = 0;
+
+  /// How a ReadSince was satisfied (the server's GET latency buckets).
+  enum class ReadPath {
+    kCacheHit,     // current slice served as-is, zero entry scans
+    kCacheExtend,  // cached prefix reused, only the new suffix scanned
+    kColdScan,     // full [from, size()) scan (miss or cache disabled)
+  };
+
+  /// Hot GET fast path: the materialized reply slice for entries
+  /// [from, size()) — exactly the length-prefixed serialized-signature
+  /// region a GET reply carries after its count prefix. Consults the 2Q
+  /// cache first; a hit whose upto lags the committed length is extended
+  /// (prefix bytes reused, only [upto, size()) scanned). Never blocks
+  /// writers on the sharded backend. A cursor at or past the committed
+  /// length returns an empty, uncached slice (reported as kCacheHit —
+  /// no entries were scanned). Never nullptr.
+  virtual std::shared_ptr<const CachedSlice> ReadSince(
+      std::uint64_t from, ReadPath* path = nullptr) = 0;
+
+  virtual ReadCache::Stats read_cache_stats() const = 0;
+
+  /// Copy of the committed prefix (entries [0, size()) with superseded
+  /// flags folded in) — the checkpoint input. On the sharded backend this
+  /// reads the immutable committed prefix without blocking writers.
+  virtual std::vector<StoredSignature> CaptureSnapshot() const = 0;
+
+  /// Installs a ParseCheckpoint-validated snapshot, replacing the whole
+  /// store and adopting `epoch` — the bootstrap path a far-behind
+  /// follower takes before replaying only the post-checkpoint log
+  /// suffix via ApplyReplicated. Same liveness contract as
+  /// ResetForReplication: safe against concurrent reads, serialized
+  /// against ingest, concurrent Add excluded.
+  virtual void InstallSnapshot(std::uint64_t epoch,
+                               std::vector<CheckpointRecord> records) = 0;
+
+  /// Marks committed entry `index` superseded (ReplaceSignature /
+  /// FP-disable lineage). Idempotent: true on the first mark, false if
+  /// already marked or out of range. The entry keeps streaming in GETs
+  /// until Compact — marks never perturb live cursors.
+  virtual bool MarkSuperseded(std::uint64_t index) = 0;
+  virtual std::uint64_t superseded_count() const = 0;
+
+  /// Drops every superseded entry, renumbering the survivors into a
+  /// fresh log with a fresh epoch — compaction is a lineage change, and
+  /// deliberately so: client GET cursors are (from + count) positions in
+  /// the entry stream, so dropping entries in place would silently
+  /// corrupt them, while an epoch bump routes both followers (via the
+  /// anti-entropy reset handshake) and clients (via their epoch guard)
+  /// through the existing lineage-change machinery. Equivalent to
+  /// checkpointing the survivors and installing that checkpoint (the
+  /// per-user adjacency state is rebuilt from survivors only), which is
+  /// the invariant the store tests pin. Safe against concurrent reads;
+  /// concurrent Add excluded, like ResetForReplication. Returns the
+  /// number of entries dropped.
+  virtual std::uint64_t Compact() = 0;
 
   static std::unique_ptr<SignatureStore> Create(const StoreOptions& options);
 };

@@ -14,7 +14,7 @@ std::optional<Request> Request::Deserialize(
   BinaryReader r(bytes);
   Request req;
   const std::uint8_t t = r.ReadU8();
-  if (t > static_cast<std::uint8_t>(MsgType::kReplBatch)) return std::nullopt;
+  if (t > static_cast<std::uint8_t>(MsgType::kCheckpoint)) return std::nullopt;
   req.type = static_cast<MsgType>(t);
   req.payload = r.ReadBytes();
   if (!r.AtEnd()) return std::nullopt;
@@ -189,6 +189,29 @@ std::optional<ReplBatchReply> ParseReplBatchReply(const Response& resp) {
   reply.log_size = r.ReadU64();
   if (!r.AtEnd()) return std::nullopt;
   return reply;
+}
+
+Request BuildCheckpointRequest(const CheckpointTransfer& ckpt) {
+  BinaryWriter w;
+  w.WriteRaw(
+      std::span<const std::uint8_t>(ckpt.token.data(), ckpt.token.size()));
+  w.WriteBytes(
+      std::span<const std::uint8_t>(ckpt.blob.data(), ckpt.blob.size()));
+  Request req;
+  req.type = MsgType::kCheckpoint;
+  req.payload = w.take();
+  return req;
+}
+
+std::optional<CheckpointTransfer> ParseCheckpointRequest(const Request& req) {
+  if (req.type != MsgType::kCheckpoint) return std::nullopt;
+  BinaryReader r = PayloadReader(req.payload);
+  CheckpointTransfer ckpt;
+  ckpt.token = r.ReadRaw(16);
+  if (ckpt.token.size() != 16) return std::nullopt;
+  ckpt.blob = r.ReadBytes();
+  if (!r.ok() || !r.AtEnd()) return std::nullopt;
+  return ckpt;
 }
 
 std::vector<std::uint8_t> Response::Serialize() const {

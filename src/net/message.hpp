@@ -33,6 +33,11 @@ enum class MsgType : std::uint8_t {
                        // (0 = probe only). Served by any role.
   kReplBatch = 6,      // committed-entry shipment into a follower: epoch,
                        // reset flag, start index, entries. Follower-only.
+  kCheckpoint = 7,     // whole-store snapshot (DB format v3 blob) into a
+                       // far-behind follower: token + blob. The follower
+                       // validates the blob in full, installs it, and
+                       // replays only the post-checkpoint log suffix via
+                       // kReplBatch. Follower-only.
 };
 
 struct Request {
@@ -151,6 +156,24 @@ std::optional<ReplBatchRequest> ParseReplBatchRequest(const Request& req);
 Response BuildReplBatchReply(const ReplBatchReply& reply);
 std::optional<ReplBatchReply> ParseReplBatchReply(const Response& resp);
 
+/// kCheckpoint request: a serialized store checkpoint (the same framed,
+/// checksummed v3 blob SaveToFile writes) under the primary's epoch.
+/// `token` is the replication principal's credential, like kReplBatch —
+/// installing a snapshot is as destructive as ingest gets. The wire
+/// layer treats the blob as opaque bytes; the store layer
+/// (ParseCheckpoint) owns validation, so corruption anywhere — transport
+/// or disk — fails through one code path. The reply is a ReplBatchReply
+/// (post-install epoch + committed length): the shipper resumes its
+/// entry feed from `log_size`, which is what makes bootstrap cost
+/// "snapshot + suffix" instead of "replay everything".
+struct CheckpointTransfer {
+  std::vector<std::uint8_t> token;  // 16 bytes
+  std::vector<std::uint8_t> blob;   // DB format v3 (checkpoint.hpp)
+};
+
+Request BuildCheckpointRequest(const CheckpointTransfer& ckpt);
+std::optional<CheckpointTransfer> ParseCheckpointRequest(const Request& req);
+
 /// Server-side request processor (implemented by communix::CommunixServer).
 class RequestHandler {
  public:
@@ -163,6 +186,20 @@ class ClientTransport {
  public:
   virtual ~ClientTransport() = default;
   virtual Result<Response> Call(const Request& request) = 0;
+};
+
+/// A transport whose request/response halves can be driven separately,
+/// so one thread can pipeline across several connections: send a request
+/// on every connection first, then collect the replies (Call ≡ Send +
+/// Receive on each). Replies on ONE transport arrive in request order;
+/// interleaving Sends without matching Receives on the same transport is
+/// the caller's bug. The LogShipper uses this to ship one round to all
+/// followers concurrently — catch-up becomes O(lag) instead of
+/// O(lag × followers) in round-trip terms.
+class PipelinedClientTransport : public ClientTransport {
+ public:
+  virtual Status Send(const Request& request) = 0;
+  virtual Result<Response> Receive() = 0;
 };
 
 }  // namespace communix::net

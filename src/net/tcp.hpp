@@ -83,8 +83,11 @@ class TcpServer {
 
 /// Blocking TCP client. Call() is the one-outstanding-request path;
 /// Send()/Receive() split the round trip so callers can pipeline several
-/// requests on one connection (replies arrive in request order).
-class TcpClient final : public ClientTransport {
+/// requests on one connection (replies arrive in request order) — and,
+/// via PipelinedClientTransport, across connections: the LogShipper
+/// fans one shipping round out to every follower before collecting any
+/// reply.
+class TcpClient final : public PipelinedClientTransport {
  public:
   TcpClient() = default;
   ~TcpClient() override;
@@ -96,8 +99,8 @@ class TcpClient final : public ClientTransport {
   void Close();
   bool connected() const { return fd_ >= 0; }
 
-  Status Send(const Request& request);
-  Result<Response> Receive();
+  Status Send(const Request& request) override;
+  Result<Response> Receive() override;
   Result<Response> Call(const Request& request) override;
 
  private:

@@ -31,7 +31,7 @@ ReplicaSet::ReplicaSet(Clock& clock, const ReplicaSetOptions& options) {
 
   client_ = std::make_unique<cluster::ClusterClient>(
       cluster::ClusterClient::Endpoint{"primary", client_to_primary_.get()},
-      std::move(replica_endpoints));
+      std::move(replica_endpoints), options.client);
 }
 
 void ReplicaSet::SetPrimaryDown(bool down) {

@@ -62,6 +62,9 @@ struct ReplicaSetOptions {
   /// left to each store — followers adopt the primary's via catch-up).
   CommunixServer::Options server;
   cluster::LogShipper::Options shipper;
+  /// Client-side knobs (delta-fetch cache on by default; tests that
+  /// assert exact per-request routing set read_cache_slices = 0).
+  cluster::ClusterClient::Options client;
 };
 
 class ReplicaSet {

@@ -6,6 +6,11 @@
 // called from any thread on the hottest path. Readers compute means from
 // a racy-but-monotonic snapshot — good enough for benchmark reporting,
 // which is the only consumer.
+//
+// LatencyMonitorsT<N> is the generic form (any size_t-indexed bucket
+// set — the server GET path uses it for cache-hit / extend / cold-scan /
+// checkpoint buckets); LatencyMonitors keeps the original enum-indexed
+// API the dimmunix runtime and the Table-II bench were built against.
 #pragma once
 
 #include <atomic>
@@ -13,6 +18,51 @@
 #include <cstdio>
 
 namespace communix {
+
+/// N relaxed (sum, count) accumulator pairs indexed by bucket.
+template <std::size_t N>
+class LatencyMonitorsT {
+ public:
+  static constexpr std::size_t kNumOps = N;
+
+  void Report(std::size_t bucket, std::uint64_t nanos) {
+    sum_nanos_[bucket].fetch_add(nanos, std::memory_order_relaxed);
+    count_[bucket].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::uint64_t Count(std::size_t bucket) const {
+    return count_[bucket].load(std::memory_order_relaxed);
+  }
+  std::uint64_t TotalNanos(std::size_t bucket) const {
+    return sum_nanos_[bucket].load(std::memory_order_relaxed);
+  }
+  /// Mean nanoseconds per operation; 0 when nothing was reported.
+  double MeanNanos(std::size_t bucket) const {
+    const std::uint64_t n = Count(bucket);
+    return n == 0 ? 0.0 : static_cast<double>(TotalNanos(bucket)) /
+                              static_cast<double>(n);
+  }
+
+  void Reset() {
+    for (std::size_t i = 0; i < N; ++i) {
+      sum_nanos_[i].store(0, std::memory_order_relaxed);
+      count_[i].store(0, std::memory_order_relaxed);
+    }
+  }
+
+  /// One line per nonempty bucket; `names` has N entries.
+  void GenerateReport(std::FILE* out, const char* const names[N]) const {
+    for (std::size_t i = 0; i < N; ++i) {
+      if (Count(i) == 0) continue;
+      std::fprintf(out, "%-10s %12llu ops %12.0f ns/op\n", names[i],
+                   static_cast<unsigned long long>(Count(i)), MeanNanos(i));
+    }
+  }
+
+ private:
+  std::atomic<std::uint64_t> sum_nanos_[N] = {};
+  std::atomic<std::uint64_t> count_[N] = {};
+};
 
 enum class LatencyOp : std::size_t {
   kAcquire = 0,  // DimmunixRuntime::Acquire, any path
@@ -27,48 +77,30 @@ class LatencyMonitors {
       static_cast<std::size_t>(LatencyOp::kNumOps);
 
   void Report(LatencyOp op, std::uint64_t nanos) {
-    const auto i = static_cast<std::size_t>(op);
-    sum_nanos_[i].fetch_add(nanos, std::memory_order_relaxed);
-    count_[i].fetch_add(1, std::memory_order_relaxed);
+    monitors_.Report(static_cast<std::size_t>(op), nanos);
   }
 
   std::uint64_t Count(LatencyOp op) const {
-    return count_[static_cast<std::size_t>(op)].load(
-        std::memory_order_relaxed);
+    return monitors_.Count(static_cast<std::size_t>(op));
   }
   std::uint64_t TotalNanos(LatencyOp op) const {
-    return sum_nanos_[static_cast<std::size_t>(op)].load(
-        std::memory_order_relaxed);
+    return monitors_.TotalNanos(static_cast<std::size_t>(op));
   }
   /// Mean nanoseconds per operation; 0 when nothing was reported.
   double MeanNanos(LatencyOp op) const {
-    const std::uint64_t n = Count(op);
-    return n == 0 ? 0.0 : static_cast<double>(TotalNanos(op)) /
-                              static_cast<double>(n);
+    return monitors_.MeanNanos(static_cast<std::size_t>(op));
   }
 
-  void Reset() {
-    for (std::size_t i = 0; i < kNumOps; ++i) {
-      sum_nanos_[i].store(0, std::memory_order_relaxed);
-      count_[i].store(0, std::memory_order_relaxed);
-    }
-  }
+  void Reset() { monitors_.Reset(); }
 
   void GenerateReport(std::FILE* out) const {
     static constexpr const char* kNames[kNumOps] = {"acquire", "release",
                                                     "critical"};
-    for (std::size_t i = 0; i < kNumOps; ++i) {
-      const auto op = static_cast<LatencyOp>(i);
-      if (Count(op) == 0) continue;
-      std::fprintf(out, "%-10s %12llu ops %12.0f ns/op\n", kNames[i],
-                   static_cast<unsigned long long>(Count(op)),
-                   MeanNanos(op));
-    }
+    monitors_.GenerateReport(out, kNames);
   }
 
  private:
-  std::atomic<std::uint64_t> sum_nanos_[kNumOps] = {};
-  std::atomic<std::uint64_t> count_[kNumOps] = {};
+  LatencyMonitorsT<kNumOps> monitors_;
 };
 
 }  // namespace communix

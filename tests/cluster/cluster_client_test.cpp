@@ -45,7 +45,11 @@ Status AddViaClient(ReplicaSet& rs, std::uint32_t salt) {
 
 TEST(ClusterClientTest, WritesGoToPrimaryReadsFanOutToReplicas) {
   VirtualClock clock;
-  ReplicaSet rs(clock, ReplicaSetOptions{});
+  ReplicaSetOptions opts;
+  // This test counts exact per-request routing; the delta-fetch cache
+  // would legitimately absorb most of these GETs (see the cache tests).
+  opts.client.read_cache_slices = 0;
+  ReplicaSet rs(clock, opts);
   for (std::uint32_t i = 0; i < 6; ++i) {
     ASSERT_TRUE(AddViaClient(rs, i).ok());
   }
@@ -74,6 +78,8 @@ TEST(ClusterClientTest, LaggingReplicaNeverRegressesAFreshScan) {
   VirtualClock clock;
   ReplicaSetOptions opts;
   opts.followers = 2;
+  // Exact retry accounting below depends on every scan hitting the wire.
+  opts.client.read_cache_slices = 0;
   ReplicaSet rs(clock, opts);
   for (std::uint32_t i = 0; i < 4; ++i) {
     ASSERT_TRUE(AddViaClient(rs, i).ok());
@@ -118,7 +124,11 @@ TEST(ClusterClientTest, LaggingReplicaNeverRegressesAFreshScan) {
 
 TEST(ClusterClientTest, DownReplicaFailsOverAndHeals) {
   VirtualClock clock;
-  ReplicaSet rs(clock, ReplicaSetOptions{});
+  ReplicaSetOptions opts;
+  // Healing is asserted via gets_served on the revived follower; cached
+  // polls would satisfy the reads without ever issuing that GET.
+  opts.client.read_cache_slices = 0;
+  ReplicaSet rs(clock, opts);
   ASSERT_TRUE(AddViaClient(rs, 1).ok());
   ASSERT_TRUE(rs.PumpUntilSynced());
 
@@ -136,6 +146,100 @@ TEST(ClusterClientTest, DownReplicaFailsOverAndHeals) {
     ASSERT_TRUE(rs.client().FetchSince(0).ok());
   }
   EXPECT_GT(rs.follower(0).GetStats().gets_served, 0u);
+}
+
+// ---- FetchSince delta-fetch cache ----
+
+TEST(ClusterClientCacheTest, RepeatPollsServeFromCacheAndDeltaFetch) {
+  VirtualClock clock;
+  ReplicaSet rs(clock, ReplicaSetOptions{});  // cache on by default
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE(AddViaClient(rs, i).ok());
+  }
+  ASSERT_TRUE(rs.PumpUntilSynced());
+  const auto reference = rs.primary().GetSince(0);
+
+  // First poll is the cold fill; every repeat is a probe-only hit.
+  for (int i = 0; i < 10; ++i) {
+    auto fetched = rs.client().FetchSince(0);
+    ASSERT_TRUE(fetched.ok());
+    EXPECT_EQ(fetched.value(), reference);
+  }
+  auto stats = rs.client().GetStats();
+  EXPECT_EQ(stats.cache_hits, 9u);
+  EXPECT_EQ(stats.cache_delta_fetches, 0u) << "nothing grew: no data moved";
+  std::uint64_t gets_on_followers = 0;
+  for (std::size_t f = 0; f < rs.follower_count(); ++f) {
+    gets_on_followers += rs.follower(f).GetStats().gets_served;
+  }
+  EXPECT_EQ(gets_on_followers, 1u) << "only the cold fill hit a GET path";
+
+  // New entries: the next poll transfers ONLY the suffix.
+  for (std::uint32_t i = 6; i < 9; ++i) {
+    ASSERT_TRUE(AddViaClient(rs, i).ok());
+  }
+  ASSERT_TRUE(rs.PumpUntilSynced());
+  auto grown = rs.client().FetchSince(0);
+  ASSERT_TRUE(grown.ok());
+  EXPECT_EQ(grown.value(), rs.primary().GetSince(0));
+  stats = rs.client().GetStats();
+  EXPECT_EQ(stats.cache_delta_fetches, 1u);
+  // And the spliced slice serves the next poll outright.
+  ASSERT_TRUE(rs.client().FetchSince(0).ok());
+  EXPECT_EQ(rs.client().GetStats().cache_delta_fetches, 1u);
+}
+
+TEST(ClusterClientCacheTest, CachedRepliesSurviveFailoverByteIdentically) {
+  VirtualClock clock;
+  ReplicaSetOptions opts;
+  opts.followers = 2;
+  ReplicaSet rs(clock, opts);
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    ASSERT_TRUE(AddViaClient(rs, i).ok());
+  }
+  ASSERT_TRUE(rs.PumpUntilSynced());
+  const auto reference = rs.primary().GetSince(0);
+  ASSERT_TRUE(rs.client().FetchSince(0).ok());  // warm the cache
+
+  // Churn every edge; whatever mix of cached and fresh bytes the client
+  // serves must stay byte-identical to the reference stream.
+  for (int round = 0; round < 3; ++round) {
+    rs.SetFollowerDown(0, true);
+    auto a = rs.client().FetchSince(0);
+    ASSERT_TRUE(a.ok());
+    EXPECT_EQ(a.value(), reference);
+    rs.SetFollowerDown(0, false);
+    rs.SetFollowerDown(1, true);
+    auto b = rs.client().FetchSince(0);
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(b.value(), reference);
+    rs.SetFollowerDown(1, false);
+  }
+  EXPECT_GT(rs.client().GetStats().cache_invalidations, 0u)
+      << "failovers must conservatively drop cached slices";
+}
+
+TEST(ClusterClientCacheTest, LineageChangeInvalidatesCachedSlices) {
+  VirtualClock clock;
+  ReplicaSetOptions opts;
+  opts.followers = 0;  // primary-only: the probe answers from it
+  ReplicaSet rs(clock, opts);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    ASSERT_TRUE(AddViaClient(rs, i).ok());
+  }
+  ASSERT_TRUE(rs.client().FetchSince(0).ok());  // warm: slice upto=5
+
+  // Compaction rewrites the log under a new epoch: the cached slice
+  // must never be spliced with (or served instead of) new-lineage data.
+  ASSERT_TRUE(rs.primary().MarkSuperseded(1));
+  ASSERT_TRUE(rs.primary().MarkSuperseded(3));
+  ASSERT_EQ(rs.primary().Compact(), 2u);
+
+  auto fetched = rs.client().FetchSince(0);
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_EQ(fetched.value(), rs.primary().GetSince(0));
+  EXPECT_EQ(fetched.value().size(), 3u);
+  EXPECT_GT(rs.client().GetStats().cache_invalidations, 0u);
 }
 
 // ---------------------------------------------------------------------------

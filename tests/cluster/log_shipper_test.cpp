@@ -331,6 +331,124 @@ TEST(LogShipperTest, CatchUpResetUnderConcurrentReadersIsSafe) {
   for (auto& t : readers) t.join();
 }
 
+/// Wraps an inproc endpoint as a net::PipelinedClientTransport and
+/// records every Send/Receive/Call into a shared event log — the order
+/// proof for ShipRound's fan-out. Replies are computed at Send time
+/// (the real server applies a frame when it arrives, not when the reply
+/// is read), queued, and handed back by Receive in FIFO order.
+class RecordingPipelinedTransport final
+    : public net::PipelinedClientTransport {
+ public:
+  RecordingPipelinedTransport(std::string name, net::RequestHandler& handler,
+                              std::vector<std::string>& events)
+      : name_(std::move(name)), handler_(handler), events_(events) {}
+
+  Status Send(const net::Request& request) override {
+    events_.push_back("send:" + name_);
+    inflight_.push_back(handler_.Handle(request));
+    return Status::Ok();
+  }
+
+  Result<net::Response> Receive() override {
+    events_.push_back("recv:" + name_);
+    if (inflight_.empty()) {
+      return Status::Error(ErrorCode::kFailedPrecondition, "nothing inflight");
+    }
+    net::Response resp = std::move(inflight_.front());
+    inflight_.erase(inflight_.begin());
+    return resp;
+  }
+
+  Result<net::Response> Call(const net::Request& request) override {
+    events_.push_back("call:" + name_);
+    return handler_.Handle(request);
+  }
+
+ private:
+  std::string name_;
+  net::RequestHandler& handler_;
+  std::vector<std::string>& events_;  // shipper rounds are single-threaded
+  std::vector<net::Response> inflight_;
+};
+
+TEST(LogShipperTest, ShipRoundPipelinesAcrossFollowers) {
+  VirtualClock clock;
+  CommunixServer primary(clock, RoleOptions(ServerRole::kPrimary));
+  CommunixServer f0(clock, RoleOptions(ServerRole::kFollower));
+  CommunixServer f1(clock, RoleOptions(ServerRole::kFollower));
+  std::vector<std::string> events;
+  RecordingPipelinedTransport t0("f0", f0, events);
+  RecordingPipelinedTransport t1("f1", f1, events);
+
+  LogShipper::Options opts;
+  opts.batch_limit = 64;
+  opts.checkpoint_lag_threshold = 0;  // keep this test about batches
+  LogShipper shipper(primary, opts);
+  shipper.AddFollower("f0", t0);
+  shipper.AddFollower("f1", t1);
+  Feed(primary, 20);
+
+  // Round 1 establishes sessions: handshakes are synchronous Calls, but
+  // the data frames themselves must still fan out send-first.
+  const std::size_t shipped1 = shipper.ShipRound();
+  EXPECT_EQ(shipped1, 40u) << "per-round counter: 20 entries x 2 followers";
+  std::vector<std::string> data_events;
+  for (const auto& e : events) {
+    if (e.rfind("call:", 0) != 0) data_events.push_back(e);
+  }
+  EXPECT_EQ(data_events, (std::vector<std::string>{"send:f0", "send:f1",
+                                                   "recv:f0", "recv:f1"}))
+      << "every frame goes out before any reply is read";
+  ExpectIdentical(primary, f0);
+  ExpectIdentical(primary, f1);
+
+  // Steady state: a caught-up round ships nothing and touches no wire.
+  events.clear();
+  EXPECT_EQ(shipper.ShipRound(), 0u);
+  EXPECT_TRUE(events.empty());
+
+  // And each subsequent round is one pipelined (send,send,recv,recv)
+  // exchange with the per-round entry count.
+  Feed(primary, 3, /*salt=*/600);
+  events.clear();
+  EXPECT_EQ(shipper.ShipRound(), 6u);
+  EXPECT_EQ(events, (std::vector<std::string>{"send:f0", "send:f1",
+                                              "recv:f0", "recv:f1"}));
+}
+
+TEST(LogShipperTest, PipelinedSendFailureDropsOnlyThatSession) {
+  VirtualClock clock;
+  CommunixServer primary(clock, RoleOptions(ServerRole::kPrimary));
+  CommunixServer f0(clock, RoleOptions(ServerRole::kFollower));
+  CommunixServer f1(clock, RoleOptions(ServerRole::kFollower));
+  std::vector<std::string> events;
+  RecordingPipelinedTransport t0("f0", f0, events);
+
+  // f1 sits behind a fail point so its Send can be cut mid-round.
+  net::InprocTransport f1_inner(f1);
+  FailPointTransport f1_fail(f1_inner);
+
+  LogShipper::Options opts;
+  opts.checkpoint_lag_threshold = 0;
+  LogShipper shipper(primary, opts);
+  shipper.AddFollower("f0", t0);
+  const std::size_t id1 = shipper.AddFollower("f1", f1_fail);
+  Feed(primary, 6);
+  ASSERT_TRUE(shipper.PumpUntilSynced());
+
+  f1_fail.set_down(true);
+  Feed(primary, 4, /*salt=*/300);
+  const std::size_t shipped = shipper.ShipRound();
+  EXPECT_EQ(shipped, 4u) << "the healthy follower still ships";
+  ExpectIdentical(primary, f0);
+  EXPECT_FALSE(shipper.GetFollowerStatus(id1).cursor.has_value())
+      << "the dead edge released its feed cursor";
+
+  f1_fail.set_down(false);
+  ASSERT_TRUE(shipper.PumpUntilSynced());
+  ExpectIdentical(primary, f1);
+}
+
 TEST(LogShipperTest, BackgroundDaemonShipsConcurrentAdds) {
   VirtualClock clock;
   CommunixServer primary(clock, RoleOptions(ServerRole::kPrimary));

@@ -94,6 +94,12 @@ TEST(FairnessTest, WokenWaiterIsNotStarvedByFastPathBargers) {
           barger_cycles.fetch_add(1);
           rt.Release(ctx, m);
         }
+        // On a one-core host an unbroken loop can burn the whole budget
+        // inside a single scheduling quantum — the parked waiter never
+        // runs at all, and the test measures the OS scheduler instead of
+        // the barging protocol. A periodic yield gives the waiter a
+        // timeslice; the 63 cycles between yields still race its re-CAS.
+        if ((i & 63) == 63) std::this_thread::yield();
       }
     }
     rt.DetachThread(ctx);

@@ -96,11 +96,11 @@ TEST(MessageTest, AddBatchTypeIsValidOnTheWire) {
 
   // The replication verbs are valid; the next enum slot is rejected.
   auto corrupted = bytes;
-  corrupted[0] = static_cast<std::uint8_t>(MsgType::kReplBatch);
+  corrupted[0] = static_cast<std::uint8_t>(MsgType::kCheckpoint);
   EXPECT_TRUE(Request::Deserialize(std::span<const std::uint8_t>(
                   corrupted.data(), corrupted.size()))
                   .has_value());
-  corrupted[0] = static_cast<std::uint8_t>(MsgType::kReplBatch) + 1;
+  corrupted[0] = static_cast<std::uint8_t>(MsgType::kCheckpoint) + 1;
   EXPECT_FALSE(Request::Deserialize(std::span<const std::uint8_t>(
                    corrupted.data(), corrupted.size()))
                    .has_value());

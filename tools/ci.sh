@@ -10,7 +10,10 @@
 # Both the default and --tsan modes additionally run the cluster smoke:
 # a primary + 2 log-shipping followers over inproc transport with a
 # kill-primary failover check (tests/cluster/cluster_client_test.cpp,
-# suite ClusterSmoke).
+# suite ClusterSmoke), plus the store-tier smoke: checkpoint bootstrap
+# of a far-behind follower and the client read cache exercised both on
+# (ClusterClientCacheTest, equivalence trace) and off (the routing tests
+# pin read_cache_slices = 0).
 #
 # --tsan: ThreadSanitizer build (separate build-tsan dir) running the
 # dimmunix + util + cluster test binaries — the concurrency-bearing
@@ -29,17 +32,23 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DCOMMUNIX_TSAN=ON
   cmake --build build-tsan -j"${JOBS}" --target dimmunix_tests util_tests \
-        cluster_tests
+        cluster_tests communix_tests
   # tools/tsan.supp scopes out a libstdc++ atomic<shared_ptr> internal
   # (relaxed spinlock unlock in _Sp_atomic::load) TSAN cannot model.
   TSAN="halt_on_error=1 suppressions=$(pwd)/tools/tsan.supp"
   TSAN_OPTIONS="${TSAN}" ./build-tsan/dimmunix_tests
   TSAN_OPTIONS="${TSAN}" ./build-tsan/util_tests
-  # Cluster smoke under TSAN: kill-primary failover plus the background
-  # shipper racing ADDs and lock-free feed reads.
+  # Store-tier smoke under TSAN: concurrent ReadSince (2Q cache + RCU log
+  # swap) racing ADDs on both backends.
+  TSAN_OPTIONS="${TSAN}" ./build-tsan/communix_tests \
+      --gtest_filter='*ConcurrentReadersAndWritersStayCoherent*'
+  # Cluster smoke under TSAN: kill-primary failover, the background
+  # shipper racing ADDs and lock-free feed reads, checkpoint bootstrap of
+  # a far-behind follower, and the client read cache (on in the cache
+  # suite, off in the routing tests it replaces).
   TSAN_OPTIONS="${TSAN}" ./build-tsan/cluster_tests \
-      --gtest_filter='ClusterSmoke.*:LogShipperTest.BackgroundDaemonShipsConcurrentAdds:LogShipperTest.CatchUpResetUnderConcurrentReadersIsSafe'
-  echo "ci: tsan clean (dimmunix_tests, util_tests, cluster smoke)"
+      --gtest_filter='ClusterSmoke.*:LogShipperTest.BackgroundDaemonShipsConcurrentAdds:LogShipperTest.CatchUpResetUnderConcurrentReadersIsSafe:CheckpointBootstrapTest.*:ClusterClientCacheTest.*'
+  echo "ci: tsan clean (dimmunix_tests, util_tests, store-tier smoke, cluster smoke)"
   exit 0
 fi
 
@@ -56,9 +65,12 @@ cmake -B build -S .
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
 
-# Cluster smoke: primary + 2 followers over inproc, kill-primary failover.
-./build/cluster_tests --gtest_filter='ClusterSmoke.*'
-echo "ci: cluster smoke passed (kill-primary failover)"
+# Cluster smoke: primary + 2 followers over inproc, kill-primary failover,
+# checkpoint bootstrap of a far-behind follower, and the client read cache
+# on (ClusterClientCacheTest) and off (the routing tests pin it off).
+./build/cluster_tests \
+    --gtest_filter='ClusterSmoke.*:CheckpointBootstrapTest.*:ClusterClientCacheTest.*'
+echo "ci: cluster smoke passed (failover, checkpoint bootstrap, read cache)"
 
 ./build/fig2_server_throughput --smoke --compare --replicas=2 \
     --json=BENCH_fig2.json
