@@ -11,14 +11,16 @@ namespace {
 bool IsWrite(net::MsgType type) {
   return type == net::MsgType::kAddSignature ||
          type == net::MsgType::kAddBatch ||
-         type == net::MsgType::kReplBatch;
+         type == net::MsgType::kReplBatch ||
+         type == net::MsgType::kMarkSuperseded;
 }
 
 }  // namespace
 
 ClusterClient::ClusterClient(Endpoint primary, std::vector<Endpoint> replicas,
                              Options options)
-    : cache_enabled_(options.read_cache_slices > 0),
+    : heal_probe_period_(std::max<std::size_t>(options.heal_probe_period, 1)),
+      cache_enabled_(options.read_cache_slices > 0),
       cache_(std::max<std::size_t>(options.read_cache_slices, 1)) {
   slots_.push_back(Slot{std::move(primary), false, 0});
   for (Endpoint& e : replicas) {
@@ -73,6 +75,7 @@ void ClusterClient::HealOneDownEndpointLocked() {
     // Probe the transport directly: a heal attempt against a
     // still-dead node is not a new failover event, and success both
     // clears the mark and refreshes the (possibly new) epoch.
+    ++heal_probes_;
     auto result = slot.endpoint.transport->Call(
         net::BuildReplPullRequest(net::ReplPullRequest{0, 0, 0}));
     if (result.ok() && result.value().ok()) {
@@ -82,6 +85,18 @@ void ClusterClient::HealOneDownEndpointLocked() {
     }
     return;
   }
+}
+
+void ClusterClient::MaybeHealLocked() {
+  bool any_down = false;
+  for (const Slot& s : slots_) any_down = any_down || s.down;
+  if (!any_down) {
+    reads_since_heal_ = 0;
+    return;
+  }
+  if (++reads_since_heal_ < heal_probe_period_) return;
+  reads_since_heal_ = 0;
+  HealOneDownEndpointLocked();
 }
 
 bool ClusterClient::GetCoverage(const net::Request& request,
@@ -191,7 +206,7 @@ Result<net::Response> ClusterClient::Call(const net::Request& request) {
       }
     }
     (idx == 0 ? reads_to_primary_ : reads_to_replicas_) += 1;
-    HealOneDownEndpointLocked();
+    MaybeHealLocked();
     return result;
   }
 
@@ -366,6 +381,7 @@ ClusterClient::Stats ClusterClient::GetStats() const {
   out.cache_hits = cache_hits_;
   out.cache_delta_fetches = cache_delta_fetches_;
   out.cache_invalidations = cache_invalidations_;
+  out.heal_probes = heal_probes_;
   return out;
 }
 

@@ -59,6 +59,12 @@ class ClusterClient final : public net::ClientTransport {
     /// FetchSince slice-cache capacity (2Q resident slices); 0 disables
     /// delta fetching (every FetchSince is a full GET).
     std::size_t read_cache_slices = 64;
+    /// Down-endpoint revival backoff: probe one down endpoint every Kth
+    /// successful read, not every read. Probing a dead node costs a
+    /// connect timeout over TCP, so an unthrottled probe-per-read taxes
+    /// the whole read path for as long as a node stays dead. 1 restores
+    /// the old probe-every-read behavior; 0 is treated as 1.
+    std::size_t heal_probe_period = 8;
   };
 
   ClusterClient(Endpoint primary, std::vector<Endpoint> replicas)
@@ -99,6 +105,9 @@ class ClusterClient final : public net::ClientTransport {
     std::uint64_t cache_hits = 0;         // FetchSince served a cached prefix
     std::uint64_t cache_delta_fetches = 0;  // of which: suffix GET issued
     std::uint64_t cache_invalidations = 0;  // client-side generation bumps
+    /// Revival probes actually sent to down endpoints (throttled by
+    /// Options::heal_probe_period).
+    std::uint64_t heal_probes = 0;
   };
   Stats GetStats() const;
 
@@ -122,10 +131,17 @@ class ClusterClient final : public net::ClientTransport {
   /// Ensures slot.epoch is known (kReplPull probe). Best-effort.
   void ProbeEpochLocked(Slot& slot);
 
-  /// Opportunistic revival: after a successful read, probes one down
-  /// endpoint (round-robin) so a restarted node rejoins the fan-out
-  /// instead of staying excluded forever.
+  /// Opportunistic revival: probes one down endpoint (round-robin) so a
+  /// restarted node rejoins the fan-out instead of staying excluded
+  /// forever. Invoked from the read path every heal_probe_period-th
+  /// successful read (see MaybeHealLocked).
   void HealOneDownEndpointLocked();
+
+  /// Backoff gate in front of HealOneDownEndpointLocked: probes fire on
+  /// every Kth successful read while something is down. The counter only
+  /// advances while a down endpoint exists, so the first probe after a
+  /// failure happens K reads later, then every K — never one per read.
+  void MaybeHealLocked();
 
   /// Reply-derived committed length for a GET reply, if parseable.
   static bool GetCoverage(const net::Request& request,
@@ -143,10 +159,14 @@ class ClusterClient final : public net::ClientTransport {
                     std::vector<std::vector<std::uint8_t>>* out,
                     std::vector<std::uint8_t>* payload, std::uint32_t* count);
 
+  const std::size_t heal_probe_period_;
+
   mutable std::mutex mu_;
   std::vector<Slot> slots_;  // [0] = primary, [1..] = replicas
   std::size_t rr_ = 0;       // round-robin origin over replicas
   std::size_t heal_rr_ = 0;  // round-robin origin over down endpoints
+  std::size_t reads_since_heal_ = 0;  // backoff counter (guarded by mu_)
+  std::uint64_t heal_probes_ = 0;     // guarded by mu_
 
   std::atomic<std::uint64_t> known_log_size_{0};
 

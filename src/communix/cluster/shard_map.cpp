@@ -1,0 +1,154 @@
+#include "communix/cluster/shard_map.hpp"
+
+#include <unordered_set>
+
+#include "util/fnv.hpp"
+
+namespace communix::cluster {
+
+namespace {
+
+/// Rendezvous score of (community, group): both ids are FNV-expanded
+/// before combining so that small consecutive ids (communities 0..N,
+/// groups 1..G — the common case) spread over the full 64-bit range.
+std::uint64_t RendezvousScore(CommunityId community, std::uint64_t group_id) {
+  return HashCombine(Fnv1aU64(community), Fnv1aU64(group_id));
+}
+
+}  // namespace
+
+std::uint64_t ShardMap::GroupFor(CommunityId community) const {
+  for (const auto& [pinned, group] : pins) {
+    if (pinned == community) return group;
+  }
+  std::uint64_t best_group = 0;
+  std::uint64_t best_score = 0;
+  for (std::uint64_t g : group_ids) {
+    const std::uint64_t score = RendezvousScore(community, g);
+    // Ties break toward the larger group id — any deterministic rule
+    // works, as long as every node applies the same one.
+    if (best_group == 0 || score > best_score ||
+        (score == best_score && g > best_group)) {
+      best_group = g;
+      best_score = score;
+    }
+  }
+  return best_group;
+}
+
+bool ShardMap::Valid() const {
+  if (version == 0 || group_ids.empty()) return false;
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t g : group_ids) {
+    if (g == 0 || !seen.insert(g).second) return false;
+  }
+  for (const auto& [community, group] : pins) {
+    (void)community;
+    if (seen.count(group) == 0) return false;
+  }
+  return true;
+}
+
+void ShardMap::Serialize(BinaryWriter& w) const {
+  w.WriteU64(version);
+  w.WriteU32(static_cast<std::uint32_t>(group_ids.size()));
+  for (std::uint64_t g : group_ids) w.WriteU64(g);
+  w.WriteU32(static_cast<std::uint32_t>(pins.size()));
+  for (const auto& [community, group] : pins) {
+    w.WriteU64(community);
+    w.WriteU64(group);
+  }
+}
+
+std::optional<ShardMap> ShardMap::Deserialize(BinaryReader& r) {
+  ShardMap map;
+  map.version = r.ReadU64();
+  const std::uint32_t n_groups = r.ReadU32();
+  // Eight bytes per group id — a hostile count is rejected before the
+  // reserve (the kAddBatch/repl-entry defense).
+  if (!r.ok() || n_groups > r.remaining() / 8) return std::nullopt;
+  map.group_ids.reserve(n_groups);
+  for (std::uint32_t i = 0; i < n_groups; ++i) {
+    map.group_ids.push_back(r.ReadU64());
+  }
+  const std::uint32_t n_pins = r.ReadU32();
+  if (!r.ok() || n_pins > r.remaining() / 16) return std::nullopt;
+  map.pins.reserve(n_pins);
+  for (std::uint32_t i = 0; i < n_pins; ++i) {
+    const CommunityId community = r.ReadU64();
+    const std::uint64_t group = r.ReadU64();
+    map.pins.emplace_back(community, group);
+  }
+  if (!r.ok() || !map.Valid()) return std::nullopt;
+  return map;
+}
+
+net::Request BuildShardMapRequest(std::uint64_t known_version) {
+  BinaryWriter w;
+  w.WriteU64(known_version);
+  net::Request req;
+  req.type = net::MsgType::kShardMap;
+  req.payload = w.take();
+  return req;
+}
+
+std::optional<std::uint64_t> ParseShardMapRequest(const net::Request& req) {
+  if (req.type != net::MsgType::kShardMap) return std::nullopt;
+  BinaryReader r(std::span<const std::uint8_t>(req.payload.data(),
+                                               req.payload.size()));
+  const std::uint64_t known = r.ReadU64();
+  if (!r.ok() || !r.AtEnd()) return std::nullopt;
+  return known;
+}
+
+net::Response BuildShardMapReply(const ShardMapReply& reply) {
+  BinaryWriter w;
+  w.WriteU64(reply.version);
+  w.WriteU8(reply.map.has_value() ? 1 : 0);
+  if (reply.map.has_value()) reply.map->Serialize(w);
+  net::Response resp;
+  resp.payload = w.take();
+  return resp;
+}
+
+std::optional<ShardMapReply> ParseShardMapReply(const net::Response& resp) {
+  BinaryReader r(std::span<const std::uint8_t>(resp.payload.data(),
+                                               resp.payload.size()));
+  ShardMapReply reply;
+  reply.version = r.ReadU64();
+  const std::uint8_t has_map = r.ReadU8();
+  if (!r.ok() || has_map > 1) return std::nullopt;
+  if (has_map != 0) {
+    reply.map = ShardMap::Deserialize(r);
+    if (!reply.map.has_value()) return std::nullopt;
+    // The headline version and the map's must agree — a reply that says
+    // one thing and ships another is corrupt.
+    if (reply.map->version != reply.version) return std::nullopt;
+  }
+  if (!r.AtEnd()) return std::nullopt;
+  return reply;
+}
+
+net::Response BuildWrongGroupResponse(const WrongGroupHint& hint) {
+  BinaryWriter w;
+  w.WriteU64(hint.map_version);
+  w.WriteU64(hint.owner_group);
+  net::Response resp;
+  resp.code = ErrorCode::kWrongGroup;
+  resp.error = "community is owned by another primary group";
+  resp.payload = w.take();
+  return resp;
+}
+
+std::optional<WrongGroupHint> ParseWrongGroupHint(const net::Response& resp) {
+  if (resp.code != ErrorCode::kWrongGroup) return std::nullopt;
+  BinaryReader r(std::span<const std::uint8_t>(resp.payload.data(),
+                                               resp.payload.size()));
+  WrongGroupHint hint;
+  hint.map_version = r.ReadU64();
+  hint.owner_group = r.ReadU64();
+  if (!r.ok() || !r.AtEnd()) return std::nullopt;
+  return hint;
+}
+
+}  // namespace communix::cluster

@@ -1,0 +1,96 @@
+// Versioned community → primary-group shard map (multi-tenant tier).
+//
+// One replicated primary group still serializes every ADD on the planet;
+// the signature namespace, however, is naturally partitioned per
+// application community (ids.hpp encodes the community in the sender's
+// user id). The shard map is the placement function of the routing tier
+// that exploits this:
+//
+//   * Rendezvous (highest-random-weight) hashing over the group ids
+//     assigns every community a home group. Adding or removing a group
+//     moves only the communities that hash to it — no global reshuffle.
+//   * Explicit per-community pins override HRW for hot tenants (isolate
+//     a heavy application on its own group, or drain a group).
+//   * The version makes the map a distributed-agreement-free config:
+//     servers and clients each cache a map and install a replacement
+//     only if its version is strictly newer. A client on a stale map
+//     learns about the new one from the kWrongGroup bounce any
+//     wrongly-routed write receives (the bounce carries the server's
+//     version), refreshes via kShardMap, and retries — no config push,
+//     no lost writes.
+//
+// The map is deliberately tiny and immutable-by-convention: installers
+// copy it behind a shared_ptr (ShardRouter, CommunixServer), so GroupFor
+// runs lock-free on hot paths.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "communix/ids.hpp"
+#include "net/message.hpp"
+#include "util/serde.hpp"
+
+namespace communix::cluster {
+
+struct ShardMap {
+  /// 0 = "no map" (a fresh client). Installs are gated on strictly
+  /// greater versions, so version 0 never displaces anything.
+  std::uint64_t version = 0;
+  /// Ids of the primary groups (nonzero, unique). HRW candidates.
+  std::vector<std::uint64_t> group_ids;
+  /// Pin overrides: community → group id (must name a member of
+  /// group_ids). Consulted before HRW.
+  std::vector<std::pair<CommunityId, std::uint64_t>> pins;
+
+  friend bool operator==(const ShardMap&, const ShardMap&) = default;
+
+  /// Owning group for `community`: its pin if present, else the group
+  /// with the highest rendezvous score. Returns 0 on an empty map.
+  std::uint64_t GroupFor(CommunityId community) const;
+
+  /// Structural validity: nonzero version, at least one group, group ids
+  /// nonzero and unique, every pin names a known group.
+  bool Valid() const;
+
+  void Serialize(BinaryWriter& w) const;
+  /// Parses and validates; nullopt on malformed bytes, hostile counts or
+  /// a map that fails Valid().
+  static std::optional<ShardMap> Deserialize(BinaryReader& r);
+};
+
+// ---- kShardMap wire frames ------------------------------------------------
+//
+// Request: the requester's cached version. Reply: the server's current
+// version, plus the full map only when it is strictly newer than the
+// requester's — the steady-state poll costs 9 payload bytes each way.
+
+struct ShardMapReply {
+  std::uint64_t version = 0;      // server's current version (0 = none)
+  std::optional<ShardMap> map;    // present iff version > known_version
+};
+
+net::Request BuildShardMapRequest(std::uint64_t known_version);
+std::optional<std::uint64_t> ParseShardMapRequest(const net::Request& req);
+
+net::Response BuildShardMapReply(const ShardMapReply& reply);
+std::optional<ShardMapReply> ParseShardMapReply(const net::Response& resp);
+
+// ---- kWrongGroup bounce ---------------------------------------------------
+//
+// A primary that does not own the sender's community under its installed
+// map refuses the write with ErrorCode::kWrongGroup and this hint, so
+// the client can refresh its map (the server's is at least map_version)
+// and retry against owner_group — self-healing without a config push.
+
+struct WrongGroupHint {
+  std::uint64_t map_version = 0;  // the bouncing server's map version
+  std::uint64_t owner_group = 0;  // who owns the community under that map
+};
+
+net::Response BuildWrongGroupResponse(const WrongGroupHint& hint);
+std::optional<WrongGroupHint> ParseWrongGroupHint(const net::Response& resp);
+
+}  // namespace communix::cluster

@@ -23,6 +23,28 @@ namespace communix {
 using UserId = std::uint64_t;
 using UserToken = AesBlock;
 
+/// Tenant / per-application community id (multi-tenant scale-out tier).
+///
+/// The user-id namespace is partitioned per application: the top 16 bits
+/// of a UserId name the community the user belongs to, the low 48 bits
+/// the member within it. Everything — quota state, shard routing, tenant
+/// stats — keys off this split, so a token decode yields both principal
+/// and tenant in one step and the signature wire format is untouched
+/// (signatures carry no app id; the sender id is the tenant authority).
+/// Seed-era user ids (small integers) all land in community 0.
+using CommunityId = std::uint64_t;
+
+constexpr unsigned kCommunityShift = 48;
+constexpr UserId kCommunityMemberMask = (UserId{1} << kCommunityShift) - 1;
+
+constexpr UserId MakeUserId(CommunityId community, std::uint64_t member) {
+  return (community << kCommunityShift) | (member & kCommunityMemberMask);
+}
+
+constexpr CommunityId CommunityOf(UserId user) {
+  return user >> kCommunityShift;
+}
+
 /// Reserved principal for intra-cluster replication: kReplBatch frames
 /// must carry the token of this id (minted by the primary's own
 /// IdAuthority — every node of a cluster shares the server key), so a

@@ -40,6 +40,36 @@ bool CommunixPlugin::SyncHistory() {
   return true;
 }
 
+std::size_t CommunixPlugin::SyncSuperseded() {
+  // Backlog first (ids a failed sync left behind), then the fresh drain.
+  std::vector<std::uint64_t> ids = std::move(superseded_backlog_);
+  superseded_backlog_.clear();
+  for (std::uint64_t id : runtime_.DrainRetiredContentIds()) {
+    ids.push_back(id);
+  }
+  if (ids.empty()) return 0;
+
+  net::MarkSupersededRequest mark;
+  mark.token.assign(token_.begin(), token_.end());
+  mark.content_ids = ids;
+  auto result = transport_.Call(net::BuildMarkSupersededRequest(mark));
+  const bool delivered = result.ok() && result.value().ok();
+  if (!delivered) {
+    // Re-stash: the retirement must eventually reach the server, and the
+    // server-side mark is idempotent, so retrying a possibly-delivered
+    // frame is safe.
+    superseded_backlog_ = std::move(ids);
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  superseded_synced_.fetch_add(mark.content_ids.size(),
+                               std::memory_order_relaxed);
+  if (const auto marked = net::ParseMarkSupersededReply(result.value())) {
+    superseded_marked_.fetch_add(*marked, std::memory_order_relaxed);
+  }
+  return mark.content_ids.size();
+}
+
 void CommunixPlugin::Install() {
   runtime_.SetNewSignatureCallback([this](const Signature& sig) {
     const Status s = UploadSignature(sig);
@@ -100,6 +130,8 @@ CommunixPlugin::Stats CommunixPlugin::GetStats() const {
   s.history_syncs = history_syncs_.load(std::memory_order_relaxed);
   s.history_syncs_skipped =
       history_syncs_skipped_.load(std::memory_order_relaxed);
+  s.superseded_synced = superseded_synced_.load(std::memory_order_relaxed);
+  s.superseded_marked = superseded_marked_.load(std::memory_order_relaxed);
   return s;
 }
 

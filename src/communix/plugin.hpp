@@ -12,6 +12,7 @@
 
 #include <atomic>
 #include <string>
+#include <vector>
 
 #include "bytecode/program.hpp"
 #include "communix/ids.hpp"
@@ -48,6 +49,15 @@ class CommunixPlugin {
   /// Synchronous upload (hook calls this; also usable directly).
   Status UploadSignature(const dimmunix::Signature& sig);
 
+  /// Ships every content id the runtime retired since the last sync
+  /// (generalization replaces, FP auto-disables) to the server in ONE
+  /// kMarkSuperseded frame — one store pass per agent sync instead of a
+  /// round trip per retirement. Returns the number of ids shipped; on
+  /// transport failure the ids are re-stashed for the next tick, so no
+  /// retirement is silently dropped. A tick with nothing to retire costs
+  /// one runtime-lock drain and no wire traffic.
+  std::size_t SyncSuperseded();
+
   struct Stats {
     std::uint64_t uploads_attempted = 0;
     std::uint64_t uploads_accepted = 0;
@@ -55,6 +65,9 @@ class CommunixPlugin {
     std::uint64_t transport_failures = 0;
     std::uint64_t history_syncs = 0;          // SyncHistory calls that saved
     std::uint64_t history_syncs_skipped = 0;  // ticks with unchanged version
+    std::uint64_t superseded_synced = 0;   // retired ids shipped to server
+    std::uint64_t superseded_marked = 0;   // entries the server reported
+                                           // newly marked across syncs
   };
   Stats GetStats() const;
 
@@ -71,6 +84,11 @@ class CommunixPlugin {
   std::atomic<std::uint64_t> failures_{0};
   std::atomic<std::uint64_t> history_syncs_{0};
   std::atomic<std::uint64_t> history_syncs_skipped_{0};
+  std::atomic<std::uint64_t> superseded_synced_{0};
+  std::atomic<std::uint64_t> superseded_marked_{0};
+  /// Retired ids a failed SyncSuperseded left behind (retried first on
+  /// the next tick, ahead of newly drained ids).
+  std::vector<std::uint64_t> superseded_backlog_;
   /// History version captured by the last successful SyncHistory; the
   /// sentinel forces the first tick to persist even an empty history.
   std::uint64_t last_synced_version_ = ~std::uint64_t{0};

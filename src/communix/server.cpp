@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <unordered_set>
 
 #include "communix/store/checkpoint.hpp"
+#include "util/fnv.hpp"
 
 namespace communix {
 
@@ -35,29 +37,76 @@ Status CommunixServer::AddDecoded(UserId user, const Signature& sig) {
 
   const TimePoint now = clock_.Now();
   const std::int64_t today = now / kNanosPerDay;
+  const CommunityId community = CommunityOf(user);
   const auto outcome =
       store_->Add(user, today, store::TopFrameSet(sig), sig.ContentId(), sig,
                   now,
                   store::Limits{options_.per_user_daily_limit,
-                                options_.adjacency_check_enabled});
+                                options_.adjacency_check_enabled,
+                                options_.per_tenant_daily_limit});
   switch (outcome) {
     case store::AddOutcome::kAccepted:
       stats_.adds_accepted.fetch_add(1, std::memory_order_relaxed);
+      BumpTenant(community, TenantOutcome::kAccepted);
       return Status::Ok();
     case store::AddOutcome::kDuplicate:
       stats_.adds_duplicate.fetch_add(1, std::memory_order_relaxed);
+      BumpTenant(community, TenantOutcome::kRejectedOther);
       return Status::Error(ErrorCode::kAlreadyExists, "duplicate signature");
     case store::AddOutcome::kRateLimited:
       stats_.rejected_rate_limited.fetch_add(1, std::memory_order_relaxed);
+      BumpTenant(community, TenantOutcome::kRejectedOther);
       return Status::Error(ErrorCode::kResourceExhausted,
                            "daily signature quota exceeded");
+    case store::AddOutcome::kTenantRateLimited:
+      stats_.rejected_tenant_quota.fetch_add(1, std::memory_order_relaxed);
+      BumpTenant(community, TenantOutcome::kRejectedQuota);
+      return Status::Error(ErrorCode::kResourceExhausted,
+                           "community daily quota exceeded");
     case store::AddOutcome::kAdjacent:
       stats_.rejected_adjacent.fetch_add(1, std::memory_order_relaxed);
+      BumpTenant(community, TenantOutcome::kRejectedOther);
       return Status::Error(
           ErrorCode::kPermissionDenied,
           "adjacent to a signature previously sent by this user");
   }
   return Status::Error(ErrorCode::kInternal, "unreachable add outcome");
+}
+
+std::uint64_t CommunixServer::WrongGroupFor(
+    CommunityId community, cluster::WrongGroupHint* hint) const {
+  if (options_.group_id == 0) return 0;  // standalone: never bounces
+  std::shared_ptr<const cluster::ShardMap> map;
+  {
+    std::lock_guard lock(shard_map_mu_);
+    map = shard_map_;
+  }
+  if (!map) return 0;  // no placement installed yet: accept everything
+  const std::uint64_t owner = map->GroupFor(community);
+  if (owner == options_.group_id) return 0;
+  if (hint != nullptr) {
+    hint->map_version = map->version;
+    hint->owner_group = owner;
+  }
+  return owner;
+}
+
+void CommunixServer::BumpTenant(CommunityId community, TenantOutcome outcome) {
+  TenantStatsStripe& stripe =
+      tenant_stats_[Fnv1aU64(community) % kTenantStatStripes];
+  std::lock_guard lock(stripe.mu);
+  Stats::TenantCounters& c = stripe.counters[community];
+  switch (outcome) {
+    case TenantOutcome::kAccepted:
+      ++c.adds_accepted;
+      break;
+    case TenantOutcome::kRejectedQuota:
+      ++c.adds_rejected_quota;
+      break;
+    case TenantOutcome::kRejectedOther:
+      ++c.adds_rejected_other;
+      break;
+  }
 }
 
 Status CommunixServer::AddSignature(const UserToken& token,
@@ -71,6 +120,11 @@ Status CommunixServer::AddSignature(const UserToken& token,
   if (!user) {
     stats_.rejected_bad_token.fetch_add(1, std::memory_order_relaxed);
     return Status::Error(ErrorCode::kPermissionDenied, "invalid sender id");
+  }
+  if (WrongGroupFor(CommunityOf(*user), nullptr) != 0) {
+    stats_.wrong_group_bounces.fetch_add(1, std::memory_order_relaxed);
+    return Status::Error(ErrorCode::kWrongGroup,
+                         "community is owned by another primary group");
   }
   return AddDecoded(*user, sig);
 }
@@ -96,6 +150,17 @@ std::vector<Status> CommunixServer::AddBatch(
     for (std::size_t i = 0; i < sigs.size(); ++i) {
       out.push_back(
           Status::Error(ErrorCode::kPermissionDenied, "invalid sender id"));
+    }
+    return out;
+  }
+  if (WrongGroupFor(CommunityOf(*user), nullptr) != 0) {
+    // One bounce per frame, not per signature: the whole batch shares the
+    // sender, so it is the frame that is misrouted.
+    stats_.wrong_group_bounces.fetch_add(1, std::memory_order_relaxed);
+    for (std::size_t i = 0; i < sigs.size(); ++i) {
+      out.push_back(
+          Status::Error(ErrorCode::kWrongGroup,
+                        "community is owned by another primary group"));
     }
     return out;
   }
@@ -336,6 +401,15 @@ net::Response CommunixServer::Handle(const net::Request& request) {
       UserToken token;
       std::copy(raw_token.begin(), raw_token.end(), token.begin());
       const Status s = AddSignature(token, *sig);
+      if (s.code() == ErrorCode::kWrongGroup) {
+        // Attach the routing hint so a stale client can refresh + retry
+        // without a config push. (The rare-path re-decode is deliberate:
+        // the common accept path pays nothing for it.)
+        cluster::WrongGroupHint hint;
+        const auto user = authority_.Decode(token);
+        if (user) WrongGroupFor(CommunityOf(*user), &hint);
+        return cluster::BuildWrongGroupResponse(hint);
+      }
       resp.code = s.code();
       resp.error = s.message();
       break;
@@ -372,6 +446,15 @@ net::Response CommunixServer::Handle(const net::Request& request) {
       std::copy(raw_token.begin(), raw_token.end(), token.begin());
       const auto statuses =
           AddBatch(token, std::span<const Signature>(sigs.data(), sigs.size()));
+      if (!statuses.empty() &&
+          statuses.front().code() == ErrorCode::kWrongGroup) {
+        // The whole frame is misrouted (one sender per batch): bounce it
+        // frame-level with the hint instead of N per-status codes.
+        cluster::WrongGroupHint hint;
+        const auto user = authority_.Decode(token);
+        if (user) WrongGroupFor(CommunityOf(*user), &hint);
+        return cluster::BuildWrongGroupResponse(hint);
+      }
       BinaryWriter w;
       w.WriteU32(static_cast<std::uint32_t>(statuses.size()));
       for (const Status& s : statuses) {
@@ -428,6 +511,12 @@ net::Response CommunixServer::Handle(const net::Request& request) {
 
     case net::MsgType::kCheckpoint:
       return HandleCheckpoint(request);
+
+    case net::MsgType::kShardMap:
+      return HandleShardMap(request);
+
+    case net::MsgType::kMarkSuperseded:
+      return HandleMarkSuperseded(request);
 
     case net::MsgType::kIssueId: {
       BinaryReader r(std::span<const std::uint8_t>(request.payload.data(),
@@ -489,6 +578,108 @@ std::uint64_t CommunixServer::superseded_count() const {
 
 std::uint64_t CommunixServer::Compact() { return store_->Compact(); }
 
+std::uint64_t CommunixServer::MarkSupersededByContent(
+    std::span<const std::uint64_t> content_ids) {
+  if (content_ids.empty()) return 0;
+  // One pass over the committed log: entries carry their content id, so
+  // no signature bytes are parsed. Indexes are collected first and
+  // marked after the scan (marks may swap atomic side-flags; keeping the
+  // visit read-only preserves the store's lock-free-scan contract).
+  std::unordered_set<std::uint64_t> wanted(content_ids.begin(),
+                                           content_ids.end());
+  std::vector<std::uint64_t> hits;
+  store_->VisitEntries(
+      0, UINT64_MAX,
+      [&](std::uint64_t index, const store::StoredSignature& entry) {
+        if (wanted.count(entry.content_id) != 0) hits.push_back(index);
+      });
+  std::uint64_t marked = 0;
+  for (std::uint64_t index : hits) {
+    if (store_->MarkSuperseded(index)) ++marked;
+  }
+  return marked;
+}
+
+bool CommunixServer::InstallShardMap(const cluster::ShardMap& map) {
+  if (!map.Valid()) return false;
+  std::lock_guard lock(shard_map_mu_);
+  if (shard_map_ && map.version <= shard_map_->version) return false;
+  shard_map_ = std::make_shared<const cluster::ShardMap>(map);
+  return true;
+}
+
+std::shared_ptr<const cluster::ShardMap> CommunixServer::shard_map() const {
+  std::lock_guard lock(shard_map_mu_);
+  return shard_map_;
+}
+
+std::uint64_t CommunixServer::shard_map_version() const {
+  std::lock_guard lock(shard_map_mu_);
+  return shard_map_ ? shard_map_->version : 0;
+}
+
+net::Response CommunixServer::HandleShardMap(const net::Request& request) {
+  const auto known = cluster::ParseShardMapRequest(request);
+  if (!known) {
+    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    net::Response resp;
+    resp.code = ErrorCode::kInvalidArgument;
+    resp.error = "malformed SHARD_MAP payload";
+    return resp;
+  }
+  // Served by every role (the map is public routing config, not data):
+  // a client can refresh from whatever replica answers fastest.
+  cluster::ShardMapReply reply;
+  const auto map = shard_map();
+  reply.version = map ? map->version : 0;
+  if (map && reply.version > *known) reply.map = *map;
+  stats_.shard_maps_served.fetch_add(1, std::memory_order_relaxed);
+  return cluster::BuildShardMapReply(reply);
+}
+
+net::Response CommunixServer::HandleMarkSuperseded(
+    const net::Request& request) {
+  net::Response resp;
+  if (options_.role == ServerRole::kFollower) {
+    // Marks mutate the primary's log; followers learn about them the
+    // same way they learn everything else — compaction's epoch bump.
+    stats_.rejected_not_primary.fetch_add(1, std::memory_order_relaxed);
+    resp.code = ErrorCode::kFailedPrecondition;
+    resp.error = "follower replica: MARK_SUPERSEDED goes to the primary";
+    return resp;
+  }
+  const auto mark = net::ParseMarkSupersededRequest(request);
+  if (!mark) {
+    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    resp.code = ErrorCode::kInvalidArgument;
+    resp.error = "malformed MARK_SUPERSEDED payload";
+    return resp;
+  }
+  if (mark->content_ids.size() > options_.repl_pull_max_entries) {
+    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    resp.code = ErrorCode::kInvalidArgument;
+    resp.error = "MARK_SUPERSEDED batch too large";
+    return resp;
+  }
+  // Any registered member may retire content (the request carries the
+  // community member's own token, like ADD) — marks only schedule
+  // compaction of entries; they never forge or reorder data.
+  UserToken token;
+  std::copy(mark->token.begin(), mark->token.end(), token.begin());
+  const auto user = authority_.Decode(token);
+  if (!user) {
+    stats_.rejected_bad_token.fetch_add(1, std::memory_order_relaxed);
+    resp.code = ErrorCode::kPermissionDenied;
+    resp.error = "invalid sender id";
+    return resp;
+  }
+  const std::uint64_t marked = MarkSupersededByContent(std::span<
+      const std::uint64_t>(mark->content_ids.data(),
+                           mark->content_ids.size()));
+  stats_.superseded_from_fp.fetch_add(marked, std::memory_order_relaxed);
+  return net::BuildMarkSupersededReply(static_cast<std::uint32_t>(marked));
+}
+
 std::uint64_t CommunixServer::read_generation() const {
   return store_->read_generation();
 }
@@ -527,6 +718,22 @@ CommunixServer::Stats CommunixServer::GetStats() const {
       stats_.checkpoint_entries_installed.load(std::memory_order_relaxed);
   out.checkpoints_refused =
       stats_.checkpoints_refused.load(std::memory_order_relaxed);
+  out.rejected_tenant_quota =
+      stats_.rejected_tenant_quota.load(std::memory_order_relaxed);
+  out.wrong_group_bounces =
+      stats_.wrong_group_bounces.load(std::memory_order_relaxed);
+  out.shard_maps_served =
+      stats_.shard_maps_served.load(std::memory_order_relaxed);
+  out.superseded_from_fp =
+      stats_.superseded_from_fp.load(std::memory_order_relaxed);
+  for (const TenantStatsStripe& stripe : tenant_stats_) {
+    std::lock_guard lock(stripe.mu);
+    for (const auto& [community, counters] : stripe.counters) {
+      out.tenants.emplace_back(community, counters);
+    }
+  }
+  std::sort(out.tenants.begin(), out.tenants.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   return out;
 }
 

@@ -56,12 +56,15 @@ namespace {
 // view of the sender's UserState; only the locking around it differs.
 // Order matters and matches the seed server: the daily quota counts
 // *processed* signatures (so adjacency/duplicate rejections still consume
-// quota), adjacency is checked before dedup, and the commit records the
-// top-frame set only for accepted signatures.
+// quota), the tenant quota is consumed after the personal one (a sybil
+// flood pays per-user budget to probe the tenant limit), adjacency is
+// checked before dedup, and the commit records the top-frame set only
+// for accepted signatures.
 // ---------------------------------------------------------------------------
-template <typename TryInsertDedup, typename Commit>
+template <typename TryConsumeTenant, typename TryInsertDedup, typename Commit>
 AddOutcome RunAddPipeline(UserState& state, std::int64_t day,
                           const TopFrameKeys& tops, const Limits& limits,
+                          TryConsumeTenant&& try_consume_tenant,
                           TryInsertDedup&& try_insert_dedup, Commit&& commit) {
   if (state.day != day) {
     state.day = day;
@@ -72,6 +75,8 @@ AddOutcome RunAddPipeline(UserState& state, std::int64_t day,
   }
   ++state.processed_today;
 
+  if (!try_consume_tenant()) return AddOutcome::kTenantRateLimited;
+
   if (limits.adjacency_check_enabled) {
     for (const auto& prior : state.accepted_top_sets) {
       if (Adjacent(prior, tops)) return AddOutcome::kAdjacent;
@@ -81,6 +86,22 @@ AddOutcome RunAddPipeline(UserState& state, std::int64_t day,
   commit();
   state.accepted_top_sets.push_back(tops);
   return AddOutcome::kAccepted;
+}
+
+/// Tenant-quota consumption against the community's day counter
+/// (a UserState keyed by community id — only the day/processed_today
+/// fields are used). Mirrors the per-user day-reset logic above so both
+/// quotas roll over at the same clock day.
+bool ConsumeTenantQuota(UserState& tenant, std::int64_t day,
+                        const Limits& limits) {
+  if (limits.per_tenant_daily_limit == 0) return true;
+  if (tenant.day != day) {
+    tenant.day = day;
+    tenant.processed_today = 0;
+  }
+  if (tenant.processed_today >= limits.per_tenant_daily_limit) return false;
+  ++tenant.processed_today;
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -192,6 +213,10 @@ class MonolithicStore final : public SignatureStore {
     std::unique_lock lock(mu_);
     return RunAddPipeline(
         users_[sender], day, tops, limits,
+        [&] {
+          return ConsumeTenantQuota(tenants_[CommunityOf(sender)], day,
+                                    limits);
+        },
         [&] { return content_ids_.insert(content_id).second; },
         [&] {
           StoredSignature stored;
@@ -259,6 +284,7 @@ class MonolithicStore final : public SignatureStore {
     db_.clear();
     content_ids_.clear();
     users_.clear();
+    tenants_.clear();
     superseded_count_ = 0;
     epoch_.store(new_epoch, std::memory_order_release);
     generation_.fetch_add(1, std::memory_order_release);
@@ -336,6 +362,7 @@ class MonolithicStore final : public SignatureStore {
     db_.clear();
     content_ids_.clear();
     users_.clear();
+    tenants_.clear();
     superseded_count_ = 0;
     db_.reserve(records.size());
     for (auto& rec : records) {
@@ -374,6 +401,7 @@ class MonolithicStore final : public SignatureStore {
     db_ = std::move(survivors);
     content_ids_.clear();
     users_.clear();
+    tenants_.clear();
     superseded_count_ = 0;
     // Derived state is rebuilt from survivors only, so the compacted
     // store is indistinguishable from one bootstrapped from its own
@@ -394,6 +422,10 @@ class MonolithicStore final : public SignatureStore {
   std::vector<StoredSignature> db_;
   std::unordered_set<std::uint64_t> content_ids_;
   std::unordered_map<UserId, UserState> users_;
+  /// Per-community day quota (only the day/processed_today fields are
+  /// used). Reset wherever users_ is: quota state is runtime-only, like
+  /// the per-user counters.
+  std::unordered_map<CommunityId, UserState> tenants_;
   std::uint64_t superseded_count_ = 0;
   mutable ReadCache cache_;
   const bool cache_enabled_;
@@ -419,6 +451,7 @@ class ShardedStore final : public SignatureStore {
  public:
   explicit ShardedStore(const StoreOptions& options)
       : users_(options.user_shards),
+        tenants_(options.user_shards),
         dedup_(options.dedup_shards),
         log_(std::make_shared<SignatureLog>()),
         cache_(std::max<std::size_t>(options.read_cache_slices, 1)),
@@ -432,6 +465,15 @@ class ShardedStore final : public SignatureStore {
     return users_.With(sender, [&](UserState& state) {
       return RunAddPipeline(
           state, day, tops, limits,
+          [&] {
+            // Nested stripe acquisition across two DISTINCT shard
+            // structures, always user → tenant — no cycle. Different
+            // tenants stripe independently, so the multi-tenant hot
+            // path stays contention-free across communities.
+            return tenants_.With(CommunityOf(sender), [&](UserState& t) {
+              return ConsumeTenantQuota(t, day, limits);
+            });
+          },
           [&] { return dedup_.TryInsert(content_id); },
           [&] {
             StoredSignature stored;
@@ -495,6 +537,7 @@ class ShardedStore final : public SignatureStore {
   void ResetForReplication(std::uint64_t new_epoch) override {
     std::lock_guard ingest(ingest_mu_);
     users_.Clear();
+    tenants_.Clear();
     dedup_.Clear();
     // Fresh log object: concurrent GET scans keep reading the retired
     // one (kept alive by their shared_ptr snapshots) to completion.
@@ -575,6 +618,7 @@ class ShardedStore final : public SignatureStore {
                        std::vector<CheckpointRecord> records) override {
     std::lock_guard ingest(ingest_mu_);
     users_.Clear();
+    tenants_.Clear();
     dedup_.Clear();
     std::vector<StoredSignature> entries;
     entries.reserve(records.size());
@@ -612,6 +656,7 @@ class ShardedStore final : public SignatureStore {
     });
     const std::uint64_t dropped = n - survivors.size();
     users_.Clear();
+    tenants_.Clear();
     dedup_.Clear();
     // Derived state is rebuilt from survivors only, so the compacted
     // store is indistinguishable from one bootstrapped from its own
@@ -670,6 +715,10 @@ class ShardedStore final : public SignatureStore {
   }
 
   UserStateShards users_;
+  /// Per-community day quota, striped independently of users_ (nested
+  /// acquisition in Add is always user → tenant across these two
+  /// distinct structures — no cycle). Cleared wherever users_ is.
+  UserStateShards tenants_;
   DedupIndex dedup_;
   std::atomic<std::shared_ptr<SignatureLog>> log_;
   std::mutex ingest_mu_;

@@ -59,12 +59,22 @@ enum class AddOutcome {
   kDuplicate,
   kRateLimited,
   kAdjacent,
+  /// The sender's *community* exhausted its daily budget (multi-tenant
+  /// quota — see Limits::per_tenant_daily_limit). Distinct from
+  /// kRateLimited so a tenant-wide flood is visible as such in stats.
+  kTenantRateLimited,
 };
 
 /// Knobs of the §III-C checks the store enforces.
 struct Limits {
   std::size_t per_user_daily_limit = 10;
   bool adjacency_check_enabled = true;
+  /// Daily budget of *processed* signatures per community (the tenant
+  /// the sender's user id encodes — ids.hpp CommunityOf). Checked after
+  /// the per-user quota, so a tenant-limited ADD has already consumed
+  /// the sender's personal budget (a sybil flood cannot probe the tenant
+  /// limit for free). 0 disables the check (single-tenant deployments).
+  std::size_t per_tenant_daily_limit = 0;
 };
 
 enum class Backend {

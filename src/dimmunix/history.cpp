@@ -21,14 +21,26 @@ int History::Add(Signature sig, SignatureOrigin origin, TimePoint now) {
 }
 
 void History::Replace(std::size_t index, Signature sig) {
-  by_content_.erase(records_.at(index).sig.ContentId());
+  const std::uint64_t old_content = records_.at(index).sig.ContentId();
+  by_content_.erase(old_content);
   records_[index].sig = std::move(sig);
-  by_content_.emplace(records_[index].sig.ContentId(), index);
+  const std::uint64_t new_content = records_[index].sig.ContentId();
+  by_content_.emplace(new_content, index);
+  // A replace that actually changed the content retires the old id (the
+  // merged/general signature supersedes it server-side too).
+  if (new_content != old_content) {
+    retired_content_ids_.push_back(old_content);
+  }
 }
 
 bool History::Disable(std::uint64_t content_id) {
   auto it = by_content_.find(content_id);
   if (it == by_content_.end()) return false;
+  // Only the false→true transition retires: re-disabling an already
+  // disabled record must not re-enqueue it every FP hit.
+  if (!records_[it->second].disabled) {
+    retired_content_ids_.push_back(content_id);
+  }
   records_[it->second].disabled = true;
   return true;
 }
@@ -38,6 +50,12 @@ bool History::ReEnable(std::uint64_t content_id) {
   if (it == by_content_.end()) return false;
   records_[it->second].disabled = false;
   return true;
+}
+
+std::vector<std::uint64_t> History::TakeRetiredContentIds() {
+  std::vector<std::uint64_t> out;
+  out.swap(retired_content_ids_);
+  return out;
 }
 
 std::vector<std::size_t> History::FindByBugKey(std::uint64_t bug_key) const {

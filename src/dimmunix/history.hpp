@@ -67,9 +67,20 @@ class History {
   Status SaveToFile(const std::string& path) const;
   static Result<History> LoadFromFile(const std::string& path);
 
+  /// Drains the retired-content ledger: content ids this history stopped
+  /// vouching for since the last drain — Replace() records the replaced
+  /// signature's id (generalization superseded it), Disable() records the
+  /// id on a fresh false→true transition (false positive). The agent
+  /// ships one batched kMarkSuperseded frame per sync from this, instead
+  /// of one server pass per event. Load/Add never feed the ledger: only
+  /// in-process retirement does.
+  std::vector<std::uint64_t> TakeRetiredContentIds();
+  std::size_t retired_pending() const { return retired_content_ids_.size(); }
+
  private:
   std::vector<SignatureRecord> records_;
   std::unordered_map<std::uint64_t, std::size_t> by_content_;
+  std::vector<std::uint64_t> retired_content_ids_;
 };
 
 }  // namespace communix::dimmunix

@@ -672,6 +672,13 @@ std::optional<History> DimmunixRuntime::SnapshotHistoryIfChanged(
   return history_;
 }
 
+std::vector<std::uint64_t> DimmunixRuntime::DrainRetiredContentIds() {
+  std::lock_guard lock(mu_);
+  // Pure drain: no index republish — retiring ids changes what the
+  // *server* should keep, not what this process avoids.
+  return history_.TakeRetiredContentIds();
+}
+
 void DimmunixRuntime::WithHistory(const std::function<void(History&)>& fn) {
   std::lock_guard lock(mu_);
   fn(history_);

@@ -183,6 +183,11 @@ class DimmunixRuntime {
   /// the avoidance index — the single mutation entry point writers like
   /// the Communix agent batch their installs through.
   void WithHistory(const std::function<void(History&)>& fn);
+  /// Drains the history's retired-content ledger (content ids whose
+  /// entries were replaced by generalization or auto-disabled as false
+  /// positives since the last drain) — what the plugin batches into one
+  /// kMarkSuperseded frame per sync. See History::TakeRetiredContentIds.
+  std::vector<std::uint64_t> DrainRetiredContentIds();
 
   // ---- hooks --------------------------------------------------------------
   using SignatureCallback = std::function<void(const Signature&)>;

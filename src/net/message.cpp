@@ -14,7 +14,9 @@ std::optional<Request> Request::Deserialize(
   BinaryReader r(bytes);
   Request req;
   const std::uint8_t t = r.ReadU8();
-  if (t > static_cast<std::uint8_t>(MsgType::kCheckpoint)) return std::nullopt;
+  if (t > static_cast<std::uint8_t>(MsgType::kMarkSuperseded)) {
+    return std::nullopt;
+  }
   req.type = static_cast<MsgType>(t);
   req.payload = r.ReadBytes();
   if (!r.AtEnd()) return std::nullopt;
@@ -212,6 +214,53 @@ std::optional<CheckpointTransfer> ParseCheckpointRequest(const Request& req) {
   ckpt.blob = r.ReadBytes();
   if (!r.ok() || !r.AtEnd()) return std::nullopt;
   return ckpt;
+}
+
+Request BuildMarkSupersededRequest(const MarkSupersededRequest& mark) {
+  BinaryWriter w;
+  w.WriteRaw(
+      std::span<const std::uint8_t>(mark.token.data(), mark.token.size()));
+  w.WriteU32(static_cast<std::uint32_t>(mark.content_ids.size()));
+  for (std::uint64_t id : mark.content_ids) w.WriteU64(id);
+  Request req;
+  req.type = MsgType::kMarkSuperseded;
+  req.payload = w.take();
+  return req;
+}
+
+std::optional<MarkSupersededRequest> ParseMarkSupersededRequest(
+    const Request& req) {
+  if (req.type != MsgType::kMarkSuperseded) return std::nullopt;
+  BinaryReader r = PayloadReader(req.payload);
+  MarkSupersededRequest mark;
+  mark.token = r.ReadRaw(16);
+  if (mark.token.size() != 16) return std::nullopt;
+  const std::uint32_t count = r.ReadU32();
+  // Eight bytes per content id: a count beyond the remaining payload is
+  // malformed (checked before the reserve so a hostile count can't force
+  // a giant allocation — same defense as the repl-entry parsers).
+  if (!r.ok() || count > r.remaining() / 8) return std::nullopt;
+  mark.content_ids.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    mark.content_ids.push_back(r.ReadU64());
+  }
+  if (!r.AtEnd()) return std::nullopt;
+  return mark;
+}
+
+Response BuildMarkSupersededReply(std::uint32_t marked) {
+  BinaryWriter w;
+  w.WriteU32(marked);
+  Response resp;
+  resp.payload = w.take();
+  return resp;
+}
+
+std::optional<std::uint32_t> ParseMarkSupersededReply(const Response& resp) {
+  BinaryReader r = PayloadReader(resp.payload);
+  const std::uint32_t marked = r.ReadU32();
+  if (!r.ok() || !r.AtEnd()) return std::nullopt;
+  return marked;
 }
 
 std::vector<std::uint8_t> Response::Serialize() const {

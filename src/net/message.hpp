@@ -38,6 +38,17 @@ enum class MsgType : std::uint8_t {
                        // validates the blob in full, installs it, and
                        // replays only the post-checkpoint log suffix via
                        // kReplBatch. Follower-only.
+  kShardMap = 8,       // routing-tier map fetch: u64 known_version; the
+                       // reply carries the server's current shard map only
+                       // when it is newer (version-gated refresh). Served
+                       // by any role. Frame helpers live in
+                       // communix/cluster/shard_map.hpp — the map is a
+                       // routing-tier type, not a transport one.
+  kMarkSuperseded = 9, // batched supersede marks from the dimmunix
+                       // false-positive / generalization flow: token (16
+                       // bytes) + u32 count + count u64 content ids. The
+                       // server marks every matching entry in ONE store
+                       // pass; Compact() later drops them. Primary-only.
 };
 
 struct Request {
@@ -173,6 +184,27 @@ struct CheckpointTransfer {
 
 Request BuildCheckpointRequest(const CheckpointTransfer& ckpt);
 std::optional<CheckpointTransfer> ParseCheckpointRequest(const Request& req);
+
+/// kMarkSuperseded request: the sender's 16-byte token plus the content
+/// ids of signatures its runtime retired (generalization merges replace
+/// the old content id; the FP detector disables flagged ones). One frame
+/// per plugin sync batches every retirement since the last sync, and the
+/// server marks all matching entries in a single store pass — feeding
+/// compaction without a per-signature round trip. The reply payload is a
+/// u32: how many entries were newly marked.
+struct MarkSupersededRequest {
+  std::vector<std::uint8_t> token;  // 16 bytes
+  std::vector<std::uint64_t> content_ids;
+
+  MarkSupersededRequest() : token(16, 0) {}
+};
+
+Request BuildMarkSupersededRequest(const MarkSupersededRequest& mark);
+std::optional<MarkSupersededRequest> ParseMarkSupersededRequest(
+    const Request& req);
+
+Response BuildMarkSupersededReply(std::uint32_t marked);
+std::optional<std::uint32_t> ParseMarkSupersededReply(const Response& resp);
 
 /// Server-side request processor (implemented by communix::CommunixServer).
 class RequestHandler {

@@ -148,6 +148,54 @@ TEST(ClusterClientTest, DownReplicaFailsOverAndHeals) {
   EXPECT_GT(rs.follower(0).GetStats().gets_served, 0u);
 }
 
+TEST(ClusterClientTest, HealProbesBackOffToEveryKthRead) {
+  VirtualClock clock;
+  ReplicaSetOptions opts;
+  // Single follower makes the probe accounting deterministic: every read
+  // during the outage is served by the primary, in order.
+  opts.followers = 1;
+  opts.client.read_cache_slices = 0;
+  opts.client.heal_probe_period = 4;
+  ReplicaSet rs(clock, opts);
+  ASSERT_TRUE(AddViaClient(rs, 1).ok());
+  ASSERT_TRUE(rs.PumpUntilSynced());
+
+  // All endpoints up: reads never pay a probe.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(rs.client().FetchSince(0).ok());
+  }
+  EXPECT_EQ(rs.client().GetStats().heal_probes, 0u);
+
+  // Read 1 discovers the outage (fails over to the primary) and starts
+  // the backoff counter; reads 2-3 skip the dead endpoint entirely. Only
+  // read 4 pays a probe against it, and read 8 the next one — a dead
+  // node costs one connect attempt per K reads, not one per read.
+  rs.SetFollowerDown(0, true);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(rs.client().FetchSince(0).ok());
+  }
+  EXPECT_EQ(rs.client().GetStats().heal_probes, 0u);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(rs.client().FetchSince(0).ok());
+  }
+  EXPECT_EQ(rs.client().GetStats().heal_probes, 2u);
+
+  // Revive: the 4th read after the last probe heals the endpoint.
+  rs.SetFollowerDown(0, false);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(rs.client().FetchSince(0).ok());
+  }
+  EXPECT_EQ(rs.client().GetStats().heal_probes, 3u);
+
+  // Healed: reads fan back out to the follower and probing stops.
+  const auto served_before = rs.follower(0).GetStats().gets_served;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(rs.client().FetchSince(0).ok());
+  }
+  EXPECT_GT(rs.follower(0).GetStats().gets_served, served_before);
+  EXPECT_EQ(rs.client().GetStats().heal_probes, 3u);
+}
+
 // ---- FetchSince delta-fetch cache ----
 
 TEST(ClusterClientCacheTest, RepeatPollsServeFromCacheAndDeltaFetch) {

@@ -1,0 +1,444 @@
+// Routing-tier wire frames (kShardMap, the kWrongGroup bounce hint, and
+// kMarkSuperseded): round trips, version-gated map suppression, and —
+// because these verbs face the open network like every other — byte-by-
+// byte truncation and hostile-count fuzzing with crisp rejections and no
+// store side effects. Also pins the HRW placement function's contracts:
+// determinism, pin precedence, and minimal movement on group changes.
+#include <gtest/gtest.h>
+
+#include "../testutil.hpp"
+#include "communix/cluster/shard_map.hpp"
+#include "communix/server.hpp"
+#include "net/message.hpp"
+#include "util/clock.hpp"
+#include "util/serde.hpp"
+
+namespace communix {
+namespace {
+
+using cluster::ShardMap;
+using cluster::ShardMapReply;
+using cluster::WrongGroupHint;
+using dimmunix::Signature;
+using testutil::ChainStack;
+using testutil::F;
+using testutil::Sig2;
+
+Signature MakeSig(std::uint32_t salt) {
+  return Sig2(ChainStack("sm.A", 6, F("sm.A", "s1", 100 + salt)),
+              ChainStack("sm.A", 6, F("sm.A", "i1", 9100 + salt)),
+              ChainStack("sm.B", 6, F("sm.B", "s2", 20300 + salt)),
+              ChainStack("sm.B", 6, F("sm.B", "i2", 31400 + salt)));
+}
+
+ShardMap MakeMap(std::uint64_t version, std::size_t groups) {
+  ShardMap map;
+  map.version = version;
+  for (std::size_t g = 1; g <= groups; ++g) map.group_ids.push_back(g);
+  return map;
+}
+
+// ---------------------------------------------------------------------------
+// Placement function.
+// ---------------------------------------------------------------------------
+
+TEST(ShardMapTest, GroupForIsDeterministicAndCoversAllGroups) {
+  const ShardMap map = MakeMap(1, 4);
+  std::size_t hits[5] = {};
+  for (CommunityId c = 0; c < 400; ++c) {
+    const std::uint64_t g = map.GroupFor(c);
+    ASSERT_GE(g, 1u);
+    ASSERT_LE(g, 4u);
+    EXPECT_EQ(g, map.GroupFor(c)) << "placement must be deterministic";
+    ++hits[g];
+  }
+  for (std::size_t g = 1; g <= 4; ++g) {
+    EXPECT_GT(hits[g], 0u) << "HRW should spread communities over group "
+                           << g;
+  }
+}
+
+TEST(ShardMapTest, PinsOverrideHashing) {
+  ShardMap map = MakeMap(1, 3);
+  for (CommunityId c = 0; c < 50; ++c) {
+    map.pins.assign({{c, std::uint64_t{2}}});
+    EXPECT_EQ(map.GroupFor(c), 2u);
+  }
+}
+
+TEST(ShardMapTest, RemovingAGroupOnlyMovesItsCommunities) {
+  const ShardMap before = MakeMap(1, 4);
+  ShardMap after = MakeMap(2, 4);
+  after.group_ids.pop_back();  // drop group 4
+  for (CommunityId c = 0; c < 300; ++c) {
+    if (before.GroupFor(c) != 4) {
+      EXPECT_EQ(after.GroupFor(c), before.GroupFor(c))
+          << "community " << c << " was not on the removed group";
+    } else {
+      EXPECT_NE(after.GroupFor(c), 4u);
+    }
+  }
+}
+
+TEST(ShardMapTest, ValidityRules) {
+  EXPECT_FALSE(ShardMap{}.Valid());             // no version, no groups
+  EXPECT_FALSE(MakeMap(0, 2).Valid());          // version 0
+  EXPECT_TRUE(MakeMap(1, 1).Valid());
+  ShardMap dup = MakeMap(1, 2);
+  dup.group_ids.push_back(2);                   // duplicate id
+  EXPECT_FALSE(dup.Valid());
+  ShardMap zero = MakeMap(1, 1);
+  zero.group_ids.push_back(0);                  // zero id
+  EXPECT_FALSE(zero.Valid());
+  ShardMap bad_pin = MakeMap(1, 2);
+  bad_pin.pins.assign({{7, std::uint64_t{9}}});  // pin to unknown group
+  EXPECT_FALSE(bad_pin.Valid());
+}
+
+// ---------------------------------------------------------------------------
+// Frame round trips.
+// ---------------------------------------------------------------------------
+
+TEST(ShardMapWireTest, RequestRoundTrip) {
+  const net::Request req = cluster::BuildShardMapRequest(42);
+  EXPECT_EQ(req.type, net::MsgType::kShardMap);
+  const auto known = cluster::ParseShardMapRequest(req);
+  ASSERT_TRUE(known.has_value());
+  EXPECT_EQ(*known, 42u);
+}
+
+TEST(ShardMapWireTest, ReplyRoundTripWithMap) {
+  ShardMapReply reply;
+  ShardMap map = MakeMap(7, 3);
+  map.pins.assign({{11, std::uint64_t{2}}, {12, std::uint64_t{3}}});
+  reply.version = 7;
+  reply.map = map;
+  const auto parsed = cluster::ParseShardMapReply(
+      cluster::BuildShardMapReply(reply));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->version, 7u);
+  ASSERT_TRUE(parsed->map.has_value());
+  EXPECT_EQ(*parsed->map, map);
+}
+
+TEST(ShardMapWireTest, ReplyRoundTripVersionOnly) {
+  ShardMapReply reply;
+  reply.version = 9;
+  const auto parsed = cluster::ParseShardMapReply(
+      cluster::BuildShardMapReply(reply));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->version, 9u);
+  EXPECT_FALSE(parsed->map.has_value());
+}
+
+TEST(ShardMapWireTest, ReplyVersionMismatchRejected) {
+  // A reply whose headline version disagrees with the shipped map's is
+  // corrupt and must not parse.
+  ShardMapReply reply;
+  reply.version = 8;
+  reply.map = MakeMap(7, 2);
+  EXPECT_FALSE(cluster::ParseShardMapReply(cluster::BuildShardMapReply(reply))
+                   .has_value());
+}
+
+TEST(ShardMapWireTest, WrongGroupHintRoundTrip) {
+  const net::Response resp =
+      cluster::BuildWrongGroupResponse(WrongGroupHint{5, 3});
+  EXPECT_EQ(resp.code, ErrorCode::kWrongGroup);
+  const auto hint = cluster::ParseWrongGroupHint(resp);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(hint->map_version, 5u);
+  EXPECT_EQ(hint->owner_group, 3u);
+  // A non-bounce response never parses as a hint.
+  EXPECT_FALSE(cluster::ParseWrongGroupHint(net::Response{}).has_value());
+}
+
+TEST(ShardMapWireTest, MarkSupersededRoundTrip) {
+  net::MarkSupersededRequest mark;
+  mark.token.assign(16, 0x5A);
+  mark.content_ids = {1, 0xFFFFFFFFFFFFFFFFull, 42};
+  const net::Request req = net::BuildMarkSupersededRequest(mark);
+  EXPECT_EQ(req.type, net::MsgType::kMarkSuperseded);
+  const auto parsed = net::ParseMarkSupersededRequest(req);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->token, mark.token);
+  EXPECT_EQ(parsed->content_ids, mark.content_ids);
+
+  const auto marked =
+      net::ParseMarkSupersededReply(net::BuildMarkSupersededReply(17));
+  ASSERT_TRUE(marked.has_value());
+  EXPECT_EQ(*marked, 17u);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzing: every-byte truncation, hostile counts, trailing garbage, and
+// the request-verb bound.
+// ---------------------------------------------------------------------------
+
+class MalformedRoutingFrameTest : public ::testing::Test {
+ protected:
+  net::Response Send(net::MsgType type, std::vector<std::uint8_t> payload,
+                     CommunixServer& server) {
+    net::Request req;
+    req.type = type;
+    req.payload = std::move(payload);
+    return server.Handle(req);
+  }
+
+  /// Sends the payload and expects the malformed rejection with no store
+  /// side effects.
+  void ExpectMalformed(net::MsgType type, std::vector<std::uint8_t> payload,
+                       CommunixServer& server) {
+    const auto before = server.GetStats();
+    const std::uint64_t size_before = server.db_size();
+    const net::Response resp = Send(type, std::move(payload), server);
+    EXPECT_EQ(resp.code, ErrorCode::kInvalidArgument);
+    const auto after = server.GetStats();
+    EXPECT_EQ(after.rejected_malformed, before.rejected_malformed + 1);
+    EXPECT_EQ(server.db_size(), size_before);
+    EXPECT_EQ(after.superseded_from_fp, before.superseded_from_fp);
+  }
+
+  VirtualClock clock_;
+};
+
+TEST_F(MalformedRoutingFrameTest, TruncatedShardMapRequests) {
+  CommunixServer server(clock_);
+  const net::Request valid = cluster::BuildShardMapRequest(3);
+  ASSERT_EQ(valid.payload.size(), 8u);  // u64 known_version
+  for (std::size_t n = 0; n < valid.payload.size(); ++n) {
+    ExpectMalformed(
+        net::MsgType::kShardMap,
+        std::vector<std::uint8_t>(valid.payload.begin(),
+                                  valid.payload.begin() + n),
+        server);
+  }
+  std::vector<std::uint8_t> trailing = valid.payload;
+  trailing.push_back(0);
+  ExpectMalformed(net::MsgType::kShardMap, std::move(trailing), server);
+}
+
+TEST_F(MalformedRoutingFrameTest, TruncatedMarkSupersededFrames) {
+  CommunixServer server(clock_);
+  net::MarkSupersededRequest mark;
+  const UserToken token = server.IssueToken(77);
+  mark.token.assign(token.begin(), token.end());
+  mark.content_ids = {123, 456};
+  const net::Request valid = net::BuildMarkSupersededRequest(mark);
+  ASSERT_EQ(valid.payload.size(), 16u + 4u + 2 * 8u);
+  for (std::size_t n = 0; n < valid.payload.size(); ++n) {
+    ExpectMalformed(
+        net::MsgType::kMarkSuperseded,
+        std::vector<std::uint8_t>(valid.payload.begin(),
+                                  valid.payload.begin() + n),
+        server);
+  }
+  std::vector<std::uint8_t> trailing = valid.payload;
+  trailing.push_back(0);
+  ExpectMalformed(net::MsgType::kMarkSuperseded, std::move(trailing), server);
+}
+
+TEST_F(MalformedRoutingFrameTest, HostileCountsRejectedBeforeAllocation) {
+  CommunixServer server(clock_);
+  // kMarkSuperseded claiming 2^32-1 ids in a tiny frame.
+  {
+    BinaryWriter w;
+    const UserToken token = server.IssueToken(77);
+    w.WriteRaw(std::span<const std::uint8_t>(token.data(), token.size()));
+    w.WriteU32(0xFFFFFFFFu);
+    w.WriteU64(1);
+    ExpectMalformed(net::MsgType::kMarkSuperseded, w.take(), server);
+  }
+  // ShardMap::Deserialize with hostile group / pin counts (exercised via
+  // ParseShardMapReply — the path a client feeds server bytes into).
+  {
+    BinaryWriter w;
+    w.WriteU64(1);   // headline version
+    w.WriteU8(1);    // has_map
+    w.WriteU64(1);   // map version
+    w.WriteU32(0xFFFFFFFFu);  // hostile group count
+    net::Response resp;
+    resp.payload = w.take();
+    EXPECT_FALSE(cluster::ParseShardMapReply(resp).has_value());
+  }
+  {
+    BinaryWriter w;
+    w.WriteU64(1);
+    w.WriteU8(1);
+    w.WriteU64(1);
+    w.WriteU32(1);
+    w.WriteU64(1);            // the one group
+    w.WriteU32(0xFFFFFFFFu);  // hostile pin count
+    net::Response resp;
+    resp.payload = w.take();
+    EXPECT_FALSE(cluster::ParseShardMapReply(resp).has_value());
+  }
+  // has_map outside {0, 1}.
+  {
+    BinaryWriter w;
+    w.WriteU64(1);
+    w.WriteU8(2);
+    net::Response resp;
+    resp.payload = w.take();
+    EXPECT_FALSE(cluster::ParseShardMapReply(resp).has_value());
+  }
+}
+
+TEST_F(MalformedRoutingFrameTest, RequestVerbBound) {
+  // kMarkSuperseded (9) is the highest verb: 9 deserializes, 10 doesn't.
+  auto frame = [](std::uint8_t type) {
+    BinaryWriter w;
+    w.WriteU8(type);
+    w.WriteU32(0);
+    return w.take();
+  };
+  EXPECT_TRUE(net::Request::Deserialize(frame(9)).has_value());
+  EXPECT_FALSE(net::Request::Deserialize(frame(10)).has_value());
+}
+
+TEST_F(MalformedRoutingFrameTest, OversizedMarkBatchRejected) {
+  CommunixServer::Options opts;
+  opts.repl_pull_max_entries = 4;
+  CommunixServer server(clock_, opts);
+  net::MarkSupersededRequest mark;
+  const UserToken token = server.IssueToken(77);
+  mark.token.assign(token.begin(), token.end());
+  mark.content_ids.assign(5, 1);  // one past the cap
+  ExpectMalformed(net::MsgType::kMarkSuperseded,
+                  net::BuildMarkSupersededRequest(mark).payload, server);
+}
+
+// ---------------------------------------------------------------------------
+// kShardMap / kMarkSuperseded served end-to-end.
+// ---------------------------------------------------------------------------
+
+TEST(ShardMapServingTest, VersionGatedReplies) {
+  VirtualClock clock;
+  CommunixServer server(clock);
+  // No map installed: version 0, no payload map.
+  auto resp = server.Handle(cluster::BuildShardMapRequest(0));
+  ASSERT_TRUE(resp.ok());
+  auto reply = cluster::ParseShardMapReply(resp);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->version, 0u);
+  EXPECT_FALSE(reply->map.has_value());
+
+  ShardMap map = MakeMap(3, 2);
+  ASSERT_TRUE(server.InstallShardMap(map));
+  EXPECT_EQ(server.shard_map_version(), 3u);
+  // Stale install attempts are refused.
+  EXPECT_FALSE(server.InstallShardMap(MakeMap(3, 2)));
+  EXPECT_FALSE(server.InstallShardMap(MakeMap(2, 2)));
+
+  // A requester behind the server's version gets the full map...
+  reply = cluster::ParseShardMapReply(
+      server.Handle(cluster::BuildShardMapRequest(1)));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->version, 3u);
+  ASSERT_TRUE(reply->map.has_value());
+  EXPECT_EQ(*reply->map, map);
+  // ...an up-to-date one gets the 9-byte version-only reply.
+  reply = cluster::ParseShardMapReply(
+      server.Handle(cluster::BuildShardMapRequest(3)));
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->version, 3u);
+  EXPECT_FALSE(reply->map.has_value());
+  EXPECT_EQ(server.GetStats().shard_maps_served, 3u);
+}
+
+TEST(ShardMapServingTest, WrongGroupBounceCarriesHint) {
+  VirtualClock clock;
+  CommunixServer::Options opts;
+  opts.group_id = 1;
+  CommunixServer server(clock, opts);
+
+  // Before any map: every community is accepted (no bounce).
+  const CommunityId c0 = 5;
+  const UserToken t0 = server.IssueToken(MakeUserId(c0, 1));
+  ASSERT_TRUE(server.AddSignature(t0, MakeSig(0)).ok());
+
+  // Install a map that pins c0 to group 2: ADDs bounce with the hint.
+  ShardMap map = MakeMap(4, 2);
+  map.pins.assign({{c0, std::uint64_t{2}}});
+  ASSERT_TRUE(server.InstallShardMap(map));
+
+  net::Request req;
+  req.type = net::MsgType::kAddSignature;
+  BinaryWriter w;
+  w.WriteRaw(std::span<const std::uint8_t>(t0.data(), t0.size()));
+  const auto bytes = MakeSig(1).ToBytes();
+  w.WriteRaw(std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  req.payload = w.take();
+  const net::Response resp = server.Handle(req);
+  EXPECT_EQ(resp.code, ErrorCode::kWrongGroup);
+  const auto hint = cluster::ParseWrongGroupHint(resp);
+  ASSERT_TRUE(hint.has_value());
+  EXPECT_EQ(hint->map_version, 4u);
+  EXPECT_EQ(hint->owner_group, 2u);
+  EXPECT_EQ(server.db_size(), 1u) << "bounced ADD must not commit";
+  EXPECT_EQ(server.GetStats().wrong_group_bounces, 1u);
+
+  // A community the map assigns here is still accepted; GETs never
+  // bounce (no sender to route by).
+  ShardMap mine = MakeMap(5, 2);
+  mine.pins.assign({{c0, std::uint64_t{1}}});
+  ASSERT_TRUE(server.InstallShardMap(mine));
+  ASSERT_TRUE(server.AddSignature(t0, MakeSig(2)).ok());
+}
+
+TEST(MarkSupersededServingTest, BatchedMarksInOnePass) {
+  VirtualClock clock;
+  CommunixServer server(clock);
+  std::vector<std::uint64_t> content_ids;
+  for (std::uint32_t i = 0; i < 4; ++i) {
+    const Signature sig = MakeSig(i * 7);
+    content_ids.push_back(sig.ContentId());
+    ASSERT_TRUE(server.AddSignature(server.IssueToken(100 + i), sig).ok());
+  }
+
+  // A bad token is refused before any store work.
+  net::MarkSupersededRequest mark;
+  mark.token.assign(16, 0xEE);
+  mark.content_ids = {content_ids[0]};
+  auto resp = server.Handle(net::BuildMarkSupersededRequest(mark));
+  EXPECT_EQ(resp.code, ErrorCode::kPermissionDenied);
+  EXPECT_EQ(server.superseded_count(), 0u);
+
+  // Valid batch: marks ids 0 and 2, ignores an unknown id; the reply
+  // counts newly-marked entries and re-marking is idempotent.
+  const UserToken token = server.IssueToken(500);
+  mark.token.assign(token.begin(), token.end());
+  mark.content_ids = {content_ids[0], content_ids[2], 0xDEADBEEF};
+  resp = server.Handle(net::BuildMarkSupersededRequest(mark));
+  ASSERT_TRUE(resp.ok());
+  auto marked = net::ParseMarkSupersededReply(resp);
+  ASSERT_TRUE(marked.has_value());
+  EXPECT_EQ(*marked, 2u);
+  EXPECT_EQ(server.superseded_count(), 2u);
+  EXPECT_EQ(server.GetStats().superseded_from_fp, 2u);
+
+  resp = server.Handle(net::BuildMarkSupersededRequest(mark));
+  marked = net::ParseMarkSupersededReply(resp);
+  ASSERT_TRUE(marked.has_value());
+  EXPECT_EQ(*marked, 0u) << "re-marking the same content is a no-op";
+
+  // Compaction drops exactly the marked entries.
+  EXPECT_EQ(server.Compact(), 2u);
+  EXPECT_EQ(server.db_size(), 2u);
+}
+
+TEST(MarkSupersededServingTest, FollowerRefusesMarks) {
+  VirtualClock clock;
+  CommunixServer::Options opts;
+  opts.role = ServerRole::kFollower;
+  CommunixServer follower(clock, opts);
+  net::MarkSupersededRequest mark;
+  const UserToken token = follower.IssueToken(1);
+  mark.token.assign(token.begin(), token.end());
+  mark.content_ids = {1};
+  const auto resp = follower.Handle(net::BuildMarkSupersededRequest(mark));
+  EXPECT_EQ(resp.code, ErrorCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace communix

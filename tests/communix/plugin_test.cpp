@@ -139,6 +139,89 @@ TEST_F(PluginTest, SyncHistoryDisabledWithoutPath) {
   EXPECT_EQ(plugin_.GetStats().history_syncs, 0u);
 }
 
+TEST_F(PluginTest, SyncSupersededShipsRetiredIdsInOneFrame) {
+  const std::string known = app_.program.klass(0).name;
+  auto mk = [&](std::uint32_t salt) {
+    return plugin_.AttachHashes(
+        Sig2(ChainStack(known, 6, F(known, "s1", 10 + salt)),
+             ChainStack(known, 6, F(known, "i1", 11 + salt)),
+             ChainStack(known, 6, F(known, "s2", 20 + salt)),
+             ChainStack(known, 6, F(known, "i2", 21 + salt))));
+  };
+  const Signature a = mk(0);
+  const Signature b = mk(100);
+  ASSERT_TRUE(plugin_.UploadSignature(a).ok());
+  ASSERT_TRUE(plugin_.UploadSignature(b).ok());
+  ASSERT_EQ(server_.db_size(), 2u);
+  // Mirror both into the local history, as the agent does after a GET.
+  ASSERT_EQ(runtime_.AddSignature(a, dimmunix::SignatureOrigin::kRemote), 0);
+  ASSERT_EQ(runtime_.AddSignature(b, dimmunix::SignatureOrigin::kRemote), 1);
+
+  EXPECT_EQ(plugin_.SyncSuperseded(), 0u) << "nothing retired: no frame sent";
+
+  // Generalization replaces A and the FP verdict disables B — both
+  // retirements ride ONE kMarkSuperseded frame on the next sync instead
+  // of a server pass each.
+  runtime_.ReplaceSignature(0, mk(500));
+  runtime_.WithHistory([&](dimmunix::History& h) {
+    ASSERT_TRUE(h.Disable(b.ContentId()));
+  });
+  EXPECT_EQ(plugin_.SyncSuperseded(), 2u);
+  const auto pstats = plugin_.GetStats();
+  EXPECT_EQ(pstats.superseded_synced, 2u);
+  EXPECT_EQ(pstats.superseded_marked, 2u);
+
+  // The server flagged both originals and compaction drops them (the
+  // generalized replacement was never uploaded here, so the DB empties).
+  EXPECT_EQ(server_.GetStats().superseded_from_fp, 2u);
+  EXPECT_EQ(server_.Compact(), 2u);
+  EXPECT_EQ(server_.db_size(), 0u);
+
+  // Idempotent tail: the ledger drained, the next sync ships nothing.
+  EXPECT_EQ(plugin_.SyncSuperseded(), 0u);
+}
+
+TEST_F(PluginTest, SyncSupersededRestashesBacklogAcrossOutages) {
+  /// Fails every call while down; delegates otherwise.
+  class FlakyTransport final : public net::ClientTransport {
+   public:
+    explicit FlakyTransport(net::ClientTransport& inner) : inner_(inner) {}
+    Result<net::Response> Call(const net::Request& request) override {
+      if (down) {
+        return Status::Error(ErrorCode::kUnavailable, "connection lost");
+      }
+      return inner_.Call(request);
+    }
+    bool down = false;
+
+   private:
+    net::ClientTransport& inner_;
+  } flaky(transport_);
+  CommunixPlugin plugin(runtime_, app_.program, flaky, server_.IssueToken(3));
+
+  const std::string known = app_.program.klass(0).name;
+  const Signature sig =
+      plugin.AttachHashes(Sig2(ChainStack(known, 6, F(known, "s1", 10)),
+                               ChainStack(known, 6, F(known, "i1", 11)),
+                               ChainStack(known, 6, F(known, "s2", 20)),
+                               ChainStack(known, 6, F(known, "i2", 21))));
+  ASSERT_TRUE(plugin.UploadSignature(sig).ok());
+  ASSERT_EQ(runtime_.AddSignature(sig, dimmunix::SignatureOrigin::kRemote), 0);
+  runtime_.WithHistory([&](dimmunix::History& h) {
+    ASSERT_TRUE(h.Disable(sig.ContentId()));
+  });
+
+  // The outage sync delivers nothing but must not lose the id: it moves
+  // to the backlog and the next healthy sync ships it.
+  flaky.down = true;
+  EXPECT_EQ(plugin.SyncSuperseded(), 0u);
+  EXPECT_EQ(plugin.GetStats().transport_failures, 1u);
+  flaky.down = false;
+  EXPECT_EQ(plugin.SyncSuperseded(), 1u);
+  EXPECT_EQ(plugin.GetStats().superseded_marked, 1u);
+  EXPECT_EQ(server_.Compact(), 1u);
+}
+
 TEST_F(PluginTest, RejectedUploadCounted) {
   CommunixPlugin bad_plugin(runtime_, app_.program, transport_,
                             UserToken{} /* invalid token */);

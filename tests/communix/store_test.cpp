@@ -285,6 +285,56 @@ TEST_P(StoreBackendTest, RateLimitCountsProcessedNotAccepted) {
   EXPECT_EQ(Add(*store, 1, MakeSig(9000), /*day=*/1), AddOutcome::kAccepted);
 }
 
+TEST_P(StoreBackendTest, TenantQuotaCapsTheCommunityAggregate) {
+  auto store = Make();
+  limits_.per_user_daily_limit = 10;
+  limits_.per_tenant_daily_limit = 3;
+  const CommunityId c = 5;
+  // Three distinct members, each far under the personal limit — only the
+  // tenant budget can stop the aggregate (the sybil-flood shape).
+  EXPECT_EQ(Add(*store, MakeUserId(c, 1), MakeSig(0)), AddOutcome::kAccepted);
+  EXPECT_EQ(Add(*store, MakeUserId(c, 2), MakeSig(1000)),
+            AddOutcome::kAccepted);
+  EXPECT_EQ(Add(*store, MakeUserId(c, 3), MakeSig(2000)),
+            AddOutcome::kAccepted);
+  EXPECT_EQ(Add(*store, MakeUserId(c, 4), MakeSig(3000)),
+            AddOutcome::kTenantRateLimited);
+  // A different community is untouched by the exhausted budget...
+  EXPECT_EQ(Add(*store, MakeUserId(c + 1, 1), MakeSig(4000)),
+            AddOutcome::kAccepted);
+  // ...and the tenant budget rolls over with the clock day.
+  EXPECT_EQ(Add(*store, MakeUserId(c, 4), MakeSig(3000), /*day=*/1),
+            AddOutcome::kAccepted);
+}
+
+TEST_P(StoreBackendTest, TenantQuotaCountsProcessedAfterUserQuota) {
+  auto store = Make();
+  limits_.per_user_daily_limit = 1;
+  limits_.per_tenant_daily_limit = 3;
+  const CommunityId c = 9;
+  EXPECT_EQ(Add(*store, MakeUserId(c, 1), MakeSig(0)), AddOutcome::kAccepted);
+  // The personal limit is checked first and rate-limited adds never
+  // reach the tenant counter: member 1's second attempt hears the
+  // personal answer and leaves the tenant pool at 1 of 3.
+  EXPECT_EQ(Add(*store, MakeUserId(c, 1), MakeSig(500)),
+            AddOutcome::kRateLimited);
+  // Duplicates consume tenant budget too (processed, not accepted) —
+  // same §III-C semantics as the per-user counter.
+  EXPECT_EQ(Add(*store, MakeUserId(c, 2), MakeSig(0)), AddOutcome::kDuplicate);
+  EXPECT_EQ(Add(*store, MakeUserId(c, 3), MakeSig(1000)),
+            AddOutcome::kAccepted);
+  EXPECT_EQ(Add(*store, MakeUserId(c, 4), MakeSig(2000)),
+            AddOutcome::kTenantRateLimited);
+  // Zero disables the tenant cap entirely.
+  auto unlimited = Make();
+  limits_.per_tenant_daily_limit = 0;
+  limits_.per_user_daily_limit = 10;
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(Add(*unlimited, MakeUserId(c, 10 + i), MakeSig(5000 + i * 100)),
+              AddOutcome::kAccepted);
+  }
+}
+
 TEST_P(StoreBackendTest, AdjacencyRejectedPerUser) {
   auto store = Make();
   const auto shared_top = F("st.A", "s1", 100);

@@ -101,6 +101,32 @@ TEST(HistoryTest, ReplaceSwapsContent) {
             nullptr);
 }
 
+TEST(HistoryTest, RetiredLedgerRecordsReplaceAndFreshDisable) {
+  History h;
+  h.Add(MakeSig(0), SignatureOrigin::kLocal, 1);
+  h.Add(MakeSig(1), SignatureOrigin::kRemote, 2);
+  EXPECT_EQ(h.retired_pending(), 0u) << "Add never feeds the ledger";
+
+  // Replace retires the replaced content id (generalization superseded
+  // it); Disable retires on the false→true transition only, so marking
+  // an already-disabled signature again succeeds but enqueues nothing.
+  h.Replace(0, MakeSig(9));
+  ASSERT_TRUE(h.Disable(MakeSig(1).ContentId()));
+  EXPECT_TRUE(h.Disable(MakeSig(1).ContentId()));
+  EXPECT_EQ(h.retired_pending(), 2u);
+
+  const auto drained = h.TakeRetiredContentIds();
+  EXPECT_EQ(drained, (std::vector<std::uint64_t>{MakeSig(0).ContentId(),
+                                                 MakeSig(1).ContentId()}));
+  EXPECT_EQ(h.retired_pending(), 0u);
+  EXPECT_TRUE(h.TakeRetiredContentIds().empty()) << "drain is destructive";
+
+  // Replacing with identical content retires nothing — the history still
+  // vouches for those bytes.
+  h.Replace(0, MakeSig(9));
+  EXPECT_EQ(h.retired_pending(), 0u);
+}
+
 TEST(HistoryTest, SaveLoadRoundTrip) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "communix_hist_test.bin")

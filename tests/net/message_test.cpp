@@ -94,13 +94,17 @@ TEST(MessageTest, AddBatchTypeIsValidOnTheWire) {
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->type, MsgType::kAddBatch);
 
-  // The replication verbs are valid; the next enum slot is rejected.
+  // The replication and routing verbs are valid; the next enum slot is
+  // rejected.
   auto corrupted = bytes;
-  corrupted[0] = static_cast<std::uint8_t>(MsgType::kCheckpoint);
-  EXPECT_TRUE(Request::Deserialize(std::span<const std::uint8_t>(
-                  corrupted.data(), corrupted.size()))
-                  .has_value());
-  corrupted[0] = static_cast<std::uint8_t>(MsgType::kCheckpoint) + 1;
+  for (const MsgType valid : {MsgType::kCheckpoint, MsgType::kShardMap,
+                              MsgType::kMarkSuperseded}) {
+    corrupted[0] = static_cast<std::uint8_t>(valid);
+    EXPECT_TRUE(Request::Deserialize(std::span<const std::uint8_t>(
+                    corrupted.data(), corrupted.size()))
+                    .has_value());
+  }
+  corrupted[0] = static_cast<std::uint8_t>(MsgType::kMarkSuperseded) + 1;
   EXPECT_FALSE(Request::Deserialize(std::span<const std::uint8_t>(
                    corrupted.data(), corrupted.size()))
                    .has_value());

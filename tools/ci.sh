@@ -13,7 +13,9 @@
 # suite ClusterSmoke), plus the store-tier smoke: checkpoint bootstrap
 # of a far-behind follower and the client read cache exercised both on
 # (ClusterClientCacheTest, equivalence trace) and off (the routing tests
-# pin read_cache_slices = 0).
+# pin read_cache_slices = 0), and the sharded smoke: 2 community-sharded
+# primary groups (2 followers each) behind the shard-map routing tier
+# with a mid-run map bump (suite ShardedSmoke).
 #
 # --tsan: ThreadSanitizer build (separate build-tsan dir) running the
 # dimmunix + util + cluster test binaries — the concurrency-bearing
@@ -47,8 +49,8 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # a far-behind follower, and the client read cache (on in the cache
   # suite, off in the routing tests it replaces).
   TSAN_OPTIONS="${TSAN}" ./build-tsan/cluster_tests \
-      --gtest_filter='ClusterSmoke.*:LogShipperTest.BackgroundDaemonShipsConcurrentAdds:LogShipperTest.CatchUpResetUnderConcurrentReadersIsSafe:CheckpointBootstrapTest.*:ClusterClientCacheTest.*'
-  echo "ci: tsan clean (dimmunix_tests, util_tests, store-tier smoke, cluster smoke)"
+      --gtest_filter='ClusterSmoke.*:LogShipperTest.BackgroundDaemonShipsConcurrentAdds:LogShipperTest.CatchUpResetUnderConcurrentReadersIsSafe:CheckpointBootstrapTest.*:ClusterClientCacheTest.*:ShardedSmoke.*'
+  echo "ci: tsan clean (dimmunix_tests, util_tests, store-tier smoke, cluster + sharded smoke)"
   exit 0
 fi
 
@@ -68,11 +70,13 @@ ctest --test-dir build --output-on-failure -j"${JOBS}"
 # Cluster smoke: primary + 2 followers over inproc, kill-primary failover,
 # checkpoint bootstrap of a far-behind follower, and the client read cache
 # on (ClusterClientCacheTest) and off (the routing tests pin it off).
+# Sharded smoke: 2 groups x (primary + 2 followers) behind the shard-map
+# routing tier, with a mid-run map bump the client must self-heal from.
 ./build/cluster_tests \
-    --gtest_filter='ClusterSmoke.*:CheckpointBootstrapTest.*:ClusterClientCacheTest.*'
-echo "ci: cluster smoke passed (failover, checkpoint bootstrap, read cache)"
+    --gtest_filter='ClusterSmoke.*:CheckpointBootstrapTest.*:ClusterClientCacheTest.*:ShardedSmoke.*'
+echo "ci: cluster smoke passed (failover, checkpoint bootstrap, read cache, sharded routing)"
 
-./build/fig2_server_throughput --smoke --compare --replicas=2 \
+./build/fig2_server_throughput --smoke --compare --replicas=2 --groups=2 \
     --json=BENCH_fig2.json
 ./build/table2_dos_overhead --smoke --json=BENCH_overhead.json
 echo "ci: wrote $(pwd)/BENCH_fig2.json and $(pwd)/BENCH_overhead.json"
