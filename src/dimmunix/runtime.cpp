@@ -10,6 +10,10 @@ namespace communix::dimmunix {
 
 std::atomic<std::uint64_t> Monitor::next_id_{1};
 
+// The waiter bit lives in bit 0 of the packed owner word.
+static_assert(alignof(ThreadContext) > 1,
+              "ThreadContext must be aligned so Monitor::kWaiterBit is free");
+
 DimmunixRuntime::DimmunixRuntime(Clock& clock, Options options)
     : clock_(clock),
       options_(options),
@@ -246,8 +250,7 @@ bool DimmunixRuntime::WouldCloseYieldCycle(
     if (u == &ctx) return true;
     if (!visited.insert(u).second) continue;
     if (u->waiting_for_ != nullptr) {
-      ThreadContext* owner =
-          u->waiting_for_->owner_.load(std::memory_order_acquire);
+      ThreadContext* owner = u->waiting_for_->owner(std::memory_order_acquire);
       if (owner != nullptr) stack.push_back(owner);
     }
     if (u->in_avoidance_) {
@@ -261,14 +264,19 @@ std::vector<DimmunixRuntime::CycleNode> DimmunixRuntime::FindLockCycle(
     const ThreadContext& ctx, const Monitor& m) const {
   std::vector<CycleNode> chain;
   std::unordered_set<const ThreadContext*> visited;
-  ThreadContext* cur = m.owner_.load(std::memory_order_acquire);
+  // A monitor whose ownership was just handed to a still-parked waiter
+  // is a benign transient here: that owner's waiting_for_ still names
+  // the monitor it now owns, so the walk revisits it and the visited set
+  // cuts the self-loop — no false cycle, and the real edges re-appear
+  // once the waiter wakes and retracts its announcement.
+  ThreadContext* cur = m.owner(std::memory_order_acquire);
   while (cur != nullptr) {
     if (cur == &ctx) return chain;
     if (!visited.insert(cur).second) return {};  // cycle not involving ctx
     Monitor* w = cur->waiting_for_;
     if (w == nullptr) return {};
     chain.push_back(CycleNode{cur, w});
-    cur = w->owner_.load(std::memory_order_acquire);
+    cur = w->owner(std::memory_order_acquire);
   }
   return {};
 }
@@ -304,10 +312,11 @@ Status DimmunixRuntime::Acquire(ThreadContext& ctx, Monitor& m) {
   ctx.counters_.acquisitions.fetch_add(1, std::memory_order_relaxed);
 
   if (options_.mode == RuntimeMode::kFastPath) {
-    // Reentrancy: owner_ == &ctx can only be observed by the owner itself
-    // (nobody else stores our context there and only we clear it), so
-    // this read is stable and the recursion bump needs no lock.
-    if (m.owner_.load(std::memory_order_relaxed) == &ctx) {
+    // Reentrancy: owner == &ctx can only be observed by the owner itself
+    // (nobody hands us a monitor we are not blocked on and only we
+    // release it), so this read is stable and the recursion bump needs no
+    // lock.
+    if (m.owner(std::memory_order_relaxed) == &ctx) {
       ++m.recursion_;
       return Status::Ok();
     }
@@ -360,10 +369,18 @@ bool DimmunixRuntime::TryFastAcquire(ThreadContext& ctx, Monitor& m,
     ctx.pending_acquire_ = &m;
     ctx.pending_stack_ = stack;
   }
-  ThreadContext* expected = nullptr;
-  if (!m.owner_.compare_exchange_strong(expected, &ctx,
-                                        std::memory_order_acq_rel,
-                                        std::memory_order_relaxed)) {
+  std::uintptr_t expected = 0;
+  if (!m.owner_word_.compare_exchange_strong(expected,
+                                             Monitor::Pack(&ctx, false),
+                                             std::memory_order_acq_rel,
+                                             std::memory_order_relaxed)) {
+    if ((expected & Monitor::kWaiterBit) != 0) {
+      // The word carries the waiter bit: parked waiters are queued, the
+      // word never returns to 0 until the queue drains, and this CAS —
+      // which under the barging protocol could have stolen the monitor
+      // the instant a release freed it — is structurally locked out.
+      ctx.counters_.barges_prevented.fetch_add(1, std::memory_order_relaxed);
+    }
     {
       std::lock_guard pub(ctx.state_mu_);
       ctx.pending_acquire_ = nullptr;
@@ -392,7 +409,7 @@ Status DimmunixRuntime::AcquireSlow(ThreadContext& ctx, Monitor& m,
   {
     std::unique_lock lock(mu_);
 
-    if (m.owner_.load(std::memory_order_relaxed) == &ctx) {  // reentrant
+    if (m.owner(std::memory_order_relaxed) == &ctx) {  // reentrant
       ++m.recursion_;
       return Status::Ok();
     }
@@ -503,10 +520,19 @@ Status DimmunixRuntime::AcquireSlow(ThreadContext& ctx, Monitor& m,
     bool granted = false;
     for (;;) {
       const std::uint64_t observed = state_version_.load();
-      ThreadContext* expected = nullptr;
-      if (m.owner_.compare_exchange_strong(expected, &ctx,
-                                           std::memory_order_acq_rel,
-                                           std::memory_order_relaxed)) {
+      // Direct handoff: a releasing owner that saw our queue entry wrote
+      // us straight into the owner word while we were parked. No CAS —
+      // the word already names us (possibly with the waiter bit for the
+      // queue tail behind us).
+      if (m.owner(std::memory_order_acquire) == &ctx) {
+        granted = true;
+        break;
+      }
+      std::uintptr_t free_word = 0;
+      if (m.owner_word_.compare_exchange_strong(free_word,
+                                                Monitor::Pack(&ctx, false),
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_relaxed)) {
         granted = true;
         break;
       }
@@ -568,25 +594,58 @@ Status DimmunixRuntime::AcquireSlow(ThreadContext& ctx, Monitor& m,
         // The block announcement is a published occupancy ("blocked at"
         // counts toward instantiations): enter the bucket before it
         // becomes visible. All transitions here run under mu_, so the
-        // adaptive gate (also under mu_) sees them atomically.
+        // adaptive gate (also under mu_) sees them atomically. The queue
+        // entry makes us a handoff candidate from here on.
         if (options_.avoidance_enabled) occupancy_.Enter(self_bucket);
         ctx.waiting_for_ = &m;
         ctx.waiting_stack_ = stack;
+        m.wait_queue_.push_back(&ctx);
         // Blocking is a state change others must observe; same
         // announce-then-resample dance as in the avoidance loop.
         NotifyStateChangedLocked();
         announced = true;
         continue;
       }
+      // Before parking, make sure the owner word carries the waiter bit:
+      // a release that observes it must hand off instead of storing 0,
+      // which is what keeps a fast-path barger from ever stealing the
+      // monitor while we sleep. If the word goes free mid-flag, do not
+      // park — the next iteration claims it (we hold mu_ throughout, so
+      // only a fast-path claim can race, and losing that race lands us
+      // back here with a non-zero word to flag).
+      std::uintptr_t cur = m.owner_word_.load(std::memory_order_relaxed);
+      bool flagged = false;
+      while (cur != 0) {
+        if ((cur & Monitor::kWaiterBit) != 0 ||
+            m.owner_word_.compare_exchange_weak(cur,
+                                                cur | Monitor::kWaiterBit)) {
+          flagged = true;
+          break;
+        }
+      }
+      if (!flagged) continue;
       WaitForStateChange(ctx, lock, observed);
     }
     if (announced) {
+      // A handoff grant dequeues us on the releasing side; a CAS grant or
+      // a detection abort leaves our queue entry behind — retract it. (A
+      // stale waiter bit is harmless: the next release rewrites the whole
+      // word from the queue state.)
+      auto it = std::find(m.wait_queue_.begin(), m.wait_queue_.end(), &ctx);
+      if (it != m.wait_queue_.end()) m.wait_queue_.erase(it);
       ctx.waiting_for_ = nullptr;
       if (options_.avoidance_enabled) occupancy_.Leave(self_bucket);
     }
 
     if (granted) {
       PublishAcquisition(ctx, m, stack);
+      // Others may still be queued behind us (we claimed by CAS in the
+      // instant before a not-yet-parked waiter flagged the word, or a
+      // handoff left a tail): keep the waiter bit so our own release
+      // hands off rather than barging them.
+      if (!m.wait_queue_.empty()) {
+        m.owner_word_.fetch_or(Monitor::kWaiterBit);
+      }
       NotifyStateChangedLocked();  // occupancy changed
     }
   }
@@ -597,7 +656,7 @@ Status DimmunixRuntime::AcquireSlow(ThreadContext& ctx, Monitor& m,
 
 void DimmunixRuntime::Release(ThreadContext& ctx, Monitor& m) {
   if (options_.mode == RuntimeMode::kFastPath) {
-    assert(m.owner_.load(std::memory_order_relaxed) == &ctx &&
+    assert(m.owner(std::memory_order_relaxed) == &ctx &&
            "release by non-owner");
     if (m.recursion_ > 1) {  // owner-only field; see Monitor's protocol
       --m.recursion_;
@@ -608,15 +667,27 @@ void DimmunixRuntime::Release(ThreadContext& ctx, Monitor& m) {
     // probe reads 0, any concurrent would-be sleeper's predicate check is
     // ordered after our bump and refuses to park (no lost wakeup); if it
     // reads >0, we take the mutex so the notify cannot land in a waiter's
-    // check-to-park window.
-    m.owner_.store(nullptr);
-    state_version_.fetch_add(1);
-    if (sleepers_.load() > 0) {
-      std::lock_guard lock(mu_);
-      cv_.notify_all();
-    } else {
-      ctx.counters_.fast_path_releases.fetch_add(1, std::memory_order_relaxed);
+    // check-to-park window. The clear is a CAS, not a store: it only
+    // frees the word if the waiter bit is clear.
+    std::uintptr_t expected = Monitor::Pack(&ctx, false);
+    if (m.owner_word_.compare_exchange_strong(expected, 0)) {
+      state_version_.fetch_add(1);
+      if (sleepers_.load() > 0) {
+        std::lock_guard lock(mu_);
+        cv_.notify_all();
+      } else {
+        ctx.counters_.fast_path_releases.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      }
+      return;
     }
+    // Waiter bit set: a blocked acquirer is queued (it flags the word
+    // only after enqueueing under mu_, and it parks only after the flag
+    // sticks). Storing 0 here is exactly the barging steal window this
+    // protocol removes — hand the word to a queued waiter instead.
+    std::lock_guard lock(mu_);
+    HandoffLocked(ctx, m);
+    NotifyStateChangedLocked();
     return;
   }
   ReleaseSlow(ctx, m);
@@ -624,15 +695,92 @@ void DimmunixRuntime::Release(ThreadContext& ctx, Monitor& m) {
 
 void DimmunixRuntime::ReleaseSlow(ThreadContext& ctx, Monitor& m) {
   std::lock_guard lock(mu_);
-  assert(m.owner_.load(std::memory_order_relaxed) == &ctx &&
+  assert(m.owner(std::memory_order_relaxed) == &ctx &&
          "release by non-owner");
   if (m.recursion_ > 1) {
     --m.recursion_;
     return;
   }
   UnpublishAcquisition(ctx, m);
-  m.owner_.store(nullptr, std::memory_order_release);
+  HandoffLocked(ctx, m);
   NotifyStateChangedLocked();
+}
+
+void DimmunixRuntime::HandoffLocked(ThreadContext& ctx, Monitor& m) {
+  if (m.wait_queue_.empty()) {
+    // Nobody to hand to (any waiter bit is a leftover from a detection
+    // abort): free the word. seq_cst to pair with the version-gated
+    // sleeper probe, as in the fast release.
+    m.owner_word_.store(0);
+    return;
+  }
+  std::size_t pick = 0;
+  if (wake_order_hook_) {
+    const std::vector<const ThreadContext*> candidates(m.wait_queue_.begin(),
+                                                       m.wait_queue_.end());
+    pick = std::min(wake_order_hook_(candidates), candidates.size() - 1);
+  }
+  ThreadContext* next = m.wait_queue_[pick];
+  m.wait_queue_.erase(m.wait_queue_.begin() +
+                      static_cast<std::ptrdiff_t>(pick));
+  // The winner finds owner == self when it re-checks — no CAS, no window
+  // in which a fast-path claim could slip in. The bit survives iff a
+  // queue tail remains.
+  m.owner_word_.store(Monitor::Pack(next, !m.wait_queue_.empty()));
+  ctx.counters_.handoffs.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DimmunixRuntime::WaitForStateChange(ThreadContext& ctx,
+                                         std::unique_lock<std::mutex>& lock,
+                                         std::uint64_t observed) {
+  ctx.counters_.wait_rounds.fetch_add(1, std::memory_order_relaxed);
+  sleepers_.fetch_add(1);
+  ctx.park_version_.store(observed, std::memory_order_release);
+  ctx.parked_.store(true, std::memory_order_release);
+  parked_order_.push_back(&ctx);
+  // Turnstile: of the parked threads with a stale version, one at a time
+  // (lowest id, or the wake-order hook's pick) is released to re-examine
+  // the world. Each woken thread passes the turn on below; every proceed
+  // path bumps the version, so wake chains drain deterministically
+  // instead of racing on the condition variable.
+  cv_.wait(lock, [&] {
+    return state_version_.load() != observed && IsWakeTurnLocked(ctx);
+  });
+  parked_order_.erase(
+      std::find(parked_order_.begin(), parked_order_.end(), &ctx));
+  ctx.parked_.store(false, std::memory_order_release);
+  sleepers_.fetch_sub(1);
+  // Pass the turn: the next stale sleeper's predicate flips once we drop
+  // mu_ (held until we re-park with a fresh version or leave Acquire).
+  cv_.notify_all();
+}
+
+bool DimmunixRuntime::IsWakeTurnLocked(const ThreadContext& ctx) const {
+  const std::uint64_t version = state_version_.load();
+  std::vector<const ThreadContext*> pending;
+  for (const ThreadContext* p : parked_order_) {
+    if (p->park_version_.load(std::memory_order_relaxed) != version) {
+      pending.push_back(p);
+    }
+  }
+  if (pending.empty()) return false;
+  // Ascending thread id, not park order: ids are assigned at attach, so
+  // the order is identical across runtime modes — re-park churn must not
+  // perturb which thread wins (the equivalence tests pin this).
+  std::sort(pending.begin(), pending.end(),
+            [](const ThreadContext* a, const ThreadContext* b) {
+              return a->id() < b->id();
+            });
+  std::size_t pick = 0;
+  if (wake_order_hook_) {
+    pick = std::min(wake_order_hook_(pending), pending.size() - 1);
+  }
+  return pending[pick] == &ctx;
+}
+
+void DimmunixRuntime::SetWakeOrderHookForTest(WakeOrderHook hook) {
+  std::lock_guard lock(mu_);
+  wake_order_hook_ = std::move(hook);
 }
 
 int DimmunixRuntime::AddSignature(Signature sig, SignatureOrigin origin) {

@@ -65,6 +65,22 @@
 //    cause a lost wakeup — if it observes no sleepers after bumping the
 //    version, any concurrent would-be sleeper is guaranteed to observe
 //    the bump and re-scan instead of parking.
+//
+//  * Fair, deterministic wakeup. Monitor handoff is non-barging: a
+//    blocked acquirer enqueues itself on the monitor's wait queue and
+//    sets the waiter bit in the owner word before every park, and a
+//    release that sees the bit transfers ownership directly to a queued
+//    waiter (FIFO head unless the wake-order test hook picks otherwise)
+//    instead of freeing the word — so a fast-path CAS can never steal a
+//    monitor from a parked waiter (Stats::barges_prevented counts the
+//    turned-away attempts, Stats::handoffs the direct transfers). Wakeups
+//    themselves go through a turnstile: of the parked threads whose
+//    observed version is stale, exactly one at a time (lowest thread id,
+//    or the hook's pick — both deterministic and mode-independent) is
+//    released to re-examine the world, which makes previously racy
+//    multi-waiter wake paths (e.g. both sides of a signature suspended
+//    concurrently) resolve in a reproducible order the schedule harness
+//    can script.
 #pragma once
 
 #include <atomic>
@@ -224,6 +240,16 @@ class DimmunixRuntime {
            ctx.park_version_.load(std::memory_order_acquire) ==
                state_version_.load(std::memory_order_seq_cst);
   }
+  /// Wakeup-ordering hook. Given the candidate set — for a handoff, the
+  /// monitor's wait queue in FIFO arrival order; for the wake turnstile,
+  /// the stale-parked threads in ascending thread-id order — returns the
+  /// index of the candidate that should win (out-of-range clamps to the
+  /// last). Installed by the schedule harness so scripted interleavings
+  /// control which waiter wins; without a hook the defaults (FIFO head /
+  /// lowest id) are themselves deterministic and mode-independent.
+  using WakeOrderHook =
+      std::function<std::size_t(const std::vector<const ThreadContext*>&)>;
+  void SetWakeOrderHookForTest(WakeOrderHook hook);
 
  private:
   struct Occupant {
@@ -305,21 +331,31 @@ class DimmunixRuntime {
     state_version_.fetch_add(1);
     if (sleepers_.load() > 0) cv_.notify_all();
   }
-  /// Parks `ctx` until the state version moves past `observed`. Caller
-  /// holds mu_ and must have loaded `observed` *before* examining the
-  /// state it decided to wait on. Publishes the park through the
-  /// context's parked_/park_version_ pair for the schedule harness.
+  /// Parks `ctx` until the state version moves past `observed` *and* the
+  /// wake turnstile releases it (see IsWakeTurnLocked). Caller holds mu_
+  /// and must have loaded `observed` *before* examining the state it
+  /// decided to wait on. Publishes the park through the context's
+  /// parked_/park_version_ pair for the schedule harness.
   void WaitForStateChange(ThreadContext& ctx,
                           std::unique_lock<std::mutex>& lock,
-                          std::uint64_t observed) {
-    ctx.counters_.wait_rounds.fetch_add(1, std::memory_order_relaxed);
-    sleepers_.fetch_add(1);
-    ctx.park_version_.store(observed, std::memory_order_release);
-    ctx.parked_.store(true, std::memory_order_release);
-    cv_.wait(lock, [&] { return state_version_.load() != observed; });
-    ctx.parked_.store(false, std::memory_order_release);
-    sleepers_.fetch_sub(1);
-  }
+                          std::uint64_t observed);
+  /// True iff `ctx` holds the wake turn: among the parked threads whose
+  /// observed version is stale, it is the lowest-id one (or the
+  /// wake-order hook's pick). Exactly one stale sleeper at a time passes
+  /// this, so wake chains resolve in a deterministic order instead of
+  /// racing on the condition variable. Caller holds mu_.
+  bool IsWakeTurnLocked(const ThreadContext& ctx) const;
+  /// Transfers `m`'s ownership word to a queued waiter (FIFO head or the
+  /// wake-order hook's pick), or stores 0 if the queue is empty. Runs on
+  /// `ctx`'s (the releasing owner's) release path under mu_.
+  void HandoffLocked(ThreadContext& ctx, Monitor& m);
+
+  /// Threads currently parked in WaitForStateChange (membership set for
+  /// the turnstile; the turn order is by thread id, not list position).
+  /// Guarded by mu_.
+  std::vector<ThreadContext*> parked_order_;
+  /// See SetWakeOrderHookForTest. Guarded by mu_.
+  WakeOrderHook wake_order_hook_;
 
   std::vector<std::unique_ptr<ThreadContext>> threads_;  // guarded by mu_
   std::uint64_t next_thread_id_ = 1;

@@ -39,6 +39,15 @@ struct RuntimeStats {
   std::uint64_t slow_path_entries = 0;
   /// Times a thread parked in the runtime's version-gated wait loop.
   std::uint64_t wait_rounds = 0;
+  /// Releases that transferred ownership directly to a queued waiter
+  /// (the waiter bit was set) instead of freeing the owner word.
+  std::uint64_t handoffs = 0;
+  /// Fast-path claim CASes that failed while the waiter bit was set: a
+  /// would-be barger turned away from a monitor with parked waiters. The
+  /// barging protocol could have let such a CAS steal the monitor right
+  /// after a release; direct handoff makes the steal structurally
+  /// impossible (the word never reads free while the queue is non-empty).
+  std::uint64_t barges_prevented = 0;
   /// Full instantiation scans actually executed by the avoidance module.
   std::uint64_t instantiation_scans = 0;
   /// Instantiation scans the adaptive gate actually elided (no thread
@@ -92,6 +101,8 @@ struct StatCounters {
   std::atomic<std::uint64_t> fast_path_releases{0};
   std::atomic<std::uint64_t> slow_path_entries{0};
   std::atomic<std::uint64_t> wait_rounds{0};
+  std::atomic<std::uint64_t> handoffs{0};
+  std::atomic<std::uint64_t> barges_prevented{0};
   std::atomic<std::uint64_t> instantiation_scans{0};
   std::atomic<std::uint64_t> scans_skipped{0};
   std::atomic<std::uint64_t> sampled_verification_scans{0};
@@ -127,6 +138,8 @@ struct StatCounters {
         fast_path_releases.load(std::memory_order_relaxed);
     out.slow_path_entries += slow_path_entries.load(std::memory_order_relaxed);
     out.wait_rounds += wait_rounds.load(std::memory_order_relaxed);
+    out.handoffs += handoffs.load(std::memory_order_relaxed);
+    out.barges_prevented += barges_prevented.load(std::memory_order_relaxed);
     out.instantiation_scans +=
         instantiation_scans.load(std::memory_order_relaxed);
     out.scans_skipped += scans_skipped.load(std::memory_order_relaxed);
@@ -171,6 +184,9 @@ struct StatCounters {
     slow_path_entries.fetch_add(tmp.slow_path_entries,
                                 std::memory_order_relaxed);
     wait_rounds.fetch_add(tmp.wait_rounds, std::memory_order_relaxed);
+    handoffs.fetch_add(tmp.handoffs, std::memory_order_relaxed);
+    barges_prevented.fetch_add(tmp.barges_prevented,
+                               std::memory_order_relaxed);
     instantiation_scans.fetch_add(tmp.instantiation_scans,
                                   std::memory_order_relaxed);
     scans_skipped.fetch_add(tmp.scans_skipped, std::memory_order_relaxed);

@@ -1,11 +1,44 @@
 #include "net/inproc.hpp"
 
+#include <span>
+#include <utility>
+
 namespace communix::net {
 
 Result<Response> InprocTransport::Call(const Request& request) {
   // Round-trip through serialization so the in-process path exercises the
   // same (de)coding as the TCP path.
   const auto bytes = request.Serialize();
+  auto parsed = Request::Deserialize(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  if (!parsed) {
+    return Status::Error(ErrorCode::kDataLoss, "request failed to round-trip");
+  }
+  return handler_.Handle(*parsed);
+}
+
+Result<Response> PipelinedInprocTransport::Call(const Request& request) {
+  if (const Status sent = Send(request); !sent.ok()) return sent;
+  return Receive();
+}
+
+Status PipelinedInprocTransport::Send(const Request& request) {
+  if (event_log_ != nullptr) event_log_->push_back("send " + tag_);
+  inflight_.push_back(request.Serialize());
+  return Status::Ok();
+}
+
+Result<Response> PipelinedInprocTransport::Receive() {
+  if (inflight_.empty()) {
+    return Status::Error(ErrorCode::kFailedPrecondition,
+                         "Receive with no outstanding Send");
+  }
+  if (event_log_ != nullptr) event_log_->push_back("recv " + tag_);
+  const std::vector<std::uint8_t> bytes = std::move(inflight_.front());
+  inflight_.pop_front();
+  // The handler runs at Receive time: frames buffered by a pipelined
+  // round are applied when the caller collects replies, which keeps the
+  // reply-in-request-order contract trivially true in process.
   auto parsed = Request::Deserialize(
       std::span<const std::uint8_t>(bytes.data(), bytes.size()));
   if (!parsed) {

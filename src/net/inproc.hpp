@@ -1,9 +1,14 @@
-// In-process transport: calls the handler directly.
+// In-process transports: calls the handler directly.
 //
 // Used by Figure 2 (which measures the server's request-processing
 // routines without network I/O), by the agent/client unit tests, and by
 // the examples when a real socket adds nothing.
 #pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
 
 #include "net/message.hpp"
 
@@ -17,6 +22,40 @@ class InprocTransport final : public ClientTransport {
 
  private:
   RequestHandler& handler_;
+};
+
+/// Pipelined in-process transport: Send serializes and buffers the
+/// request; Receive pops the oldest buffered frame, runs it through the
+/// handler, and returns the reply — so the split request/response
+/// halves follow the same "replies arrive in request order, one
+/// logical stream per transport" contract as TcpClient, without
+/// sockets. Receive with nothing outstanding is the caller's bug and
+/// fails with kFailedPrecondition.
+///
+/// An optional event log (shared across transports, single-threaded
+/// callers only) records "send <tag>" / "recv <tag>" in call order, so
+/// a test can assert a caller actually pipelined — all Sends issued
+/// before any Receive — rather than degenerating to Call's
+/// send/recv/send/recv interleaving.
+class PipelinedInprocTransport final : public PipelinedClientTransport {
+ public:
+  PipelinedInprocTransport(RequestHandler& handler, std::string tag = "",
+                           std::vector<std::string>* event_log = nullptr)
+      : handler_(handler), tag_(std::move(tag)), event_log_(event_log) {}
+
+  /// Call ≡ Send + Receive (still logs both halves).
+  Result<Response> Call(const Request& request) override;
+  Status Send(const Request& request) override;
+  Result<Response> Receive() override;
+
+  std::size_t outstanding() const { return inflight_.size(); }
+
+ private:
+  RequestHandler& handler_;
+  std::string tag_;
+  std::vector<std::string>* event_log_;
+  /// Serialized frames sent but not yet received (FIFO).
+  std::deque<std::vector<std::uint8_t>> inflight_;
 };
 
 }  // namespace communix::net

@@ -449,6 +449,52 @@ TEST(LogShipperTest, PipelinedSendFailureDropsOnlyThatSession) {
   ExpectIdentical(primary, f1);
 }
 
+TEST(LogShipperTest, ShipRoundPipelinesAcrossPipelinedTransports) {
+  // ShipRound's pipelined path (all Sends before any Receive) used to be
+  // untestable in-process: InprocTransport only implements Call, so the
+  // dynamic_cast in ShipRound always fell back to the synchronous path
+  // and the phase-2/phase-3 split never executed outside a real TCP
+  // deployment. PipelinedInprocTransport records each half's ordering.
+  VirtualClock clock;
+  CommunixServer primary(clock, RoleOptions(ServerRole::kPrimary));
+  CommunixServer f1(clock, RoleOptions(ServerRole::kFollower));
+  CommunixServer f2(clock, RoleOptions(ServerRole::kFollower));
+  Feed(primary, 6);
+
+  std::vector<std::string> events;
+  net::PipelinedInprocTransport t1(f1, "f1", &events);
+  net::PipelinedInprocTransport t2(f2, "f2", &events);
+  LogShipper::Options opts;
+  opts.batch_limit = 3;  // two batch rounds per follower
+  LogShipper shipper(primary, opts);
+  const std::size_t id1 = shipper.AddFollower("f1", t1);
+  const std::size_t id2 = shipper.AddFollower("f2", t2);
+
+  // Round 1 mixes synchronous handshakes (Call = send/recv pairs) with
+  // the first pipelined batch; let it pass, then pin round 2's shape.
+  shipper.ShipRound();
+  events.clear();
+  shipper.ShipRound();
+  EXPECT_EQ(events,
+            (std::vector<std::string>{"send f1", "send f2", "recv f1",
+                                      "recv f2"}))
+      << "ShipRound did not take the pipelined path";
+  EXPECT_EQ(t1.outstanding(), 0u);
+  EXPECT_EQ(t2.outstanding(), 0u);
+
+  ASSERT_TRUE(shipper.PumpUntilSynced());
+  ExpectIdentical(primary, f1);
+  ExpectIdentical(primary, f2);
+  EXPECT_EQ(shipper.GetFollowerStatus(id1).entries_shipped, 6u);
+  EXPECT_EQ(shipper.GetFollowerStatus(id2).entries_shipped, 6u);
+
+  // The split halves enforce their pairing contract.
+  net::PipelinedInprocTransport bare(f1);
+  const auto unpaired = bare.Receive();
+  ASSERT_FALSE(unpaired.ok());
+  EXPECT_EQ(unpaired.status().code(), ErrorCode::kFailedPrecondition);
+}
+
 TEST(LogShipperTest, BackgroundDaemonShipsConcurrentAdds) {
   VirtualClock clock;
   CommunixServer primary(clock, RoleOptions(ServerRole::kPrimary));

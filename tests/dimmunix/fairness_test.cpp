@@ -1,24 +1,28 @@
-// Slow-path wait fairness characterization (ROADMAP: "Slow-path wait
-// fairness").
+// Slow-path wait fairness (ROADMAP: "Fair, deterministic wakeup
+// protocol for the monitor").
 //
-// Monitor handoff is *barging*: a release clears owner_ and wakes
-// sleepers, but the monitor is granted by a bare CAS race — a fast-path
-// acquirer that arrives between the owner's release and a woken
-// waiter's re-CAS wins the monitor without ever queueing, and the
-// waiter re-parks. These tests document today's behavior: starvation is
-// possible in principle but bounded in practice because every barger's
-// release bumps the state version and wakes the waiter again, giving it
-// one CAS attempt per barger critical section.
+// Monitor handoff is *direct*: a blocked acquirer enqueues on the
+// monitor's wait queue and sets the waiter bit in the packed owner word
+// before every park, so a release that sees the bit transfers ownership
+// straight to the queue head instead of clearing the word and letting
+// woken waiters race arriving fast-path acquirers for a bare CAS. The
+// owner word never reads free while a parked waiter is queued — barging
+// past a parked waiter is structurally impossible, not just unlikely.
 //
-// If/when a waiter-count bit in the owner word (or another anti-barging
-// protocol) lands, the bounded-starvation assertions below become
-// strict fairness assertions; the wait_rounds telemetry they use is
-// already in place.
+// These tests assert that protocol *strictly*: once a waiter has
+// parked, zero bargers acquire before it (the pre-handoff revision of
+// this file could only bound starvation by the barger's cycle budget
+// and had to hand-feed the parked waiter timeslices with periodic
+// yields). The wait_rounds telemetry stays, now with a hard small bound
+// instead of a multiple of the barger budget.
 #include <gtest/gtest.h>
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "../testutil.hpp"
 #include "dimmunix/runtime.hpp"
@@ -27,7 +31,31 @@
 namespace communix::dimmunix {
 namespace {
 
-TEST(FairnessTest, WokenWaiterIsNotStarvedByFastPathBargers) {
+using testutil::ChainStack;
+using testutil::F;
+using testutil::Sig2;
+
+/// Spin (yielding) until `pred` holds; asserts it does within 10s.
+template <typename Pred>
+void AwaitOrDie(Pred pred, const char* what) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!pred()) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << what;
+    std::this_thread::yield();
+  }
+}
+
+/// A signature over throwaway classes, salted so every call yields a
+/// distinct content id — history/index churn fuel.
+Signature ChurnSig(std::uint32_t salt) {
+  return Sig2(ChainStack("churn.A", 1, F("churn.A", "sync", 1000 + salt)),
+              ChainStack("churn.A", 1, F("churn.A", "in", 5000 + salt)),
+              ChainStack("churn.B", 1, F("churn.B", "sync", 9000 + salt)),
+              ChainStack("churn.B", 1, F("churn.B", "in", 13000 + salt)));
+}
+
+TEST(FairnessTest, WokenWaiterBeatsEveryLaterBarger) {
   VirtualClock clock;
   DimmunixRuntime rt(clock);
   Monitor m("contested");
@@ -39,37 +67,30 @@ TEST(FairnessTest, WokenWaiterIsNotStarvedByFastPathBargers) {
   std::atomic<int> barger_cycles{0};
 
   // Holder: takes the monitor, waits until the waiter is parked on it,
-  // then releases — opening the barging window while the barger loop is
-  // running at full speed.
+  // then releases — the instant the pre-handoff protocol opened its
+  // steal window.
   std::thread holder([&] {
     auto& ctx = rt.AttachThread("holder");
     {
       ScopedFrame f(ctx, "fair.H", "run", 1);
       ASSERT_TRUE(rt.Acquire(ctx, m).ok());
-      const auto deadline =
-          std::chrono::steady_clock::now() + std::chrono::seconds(10);
-      while (!waiter_blocked.load() &&
-             std::chrono::steady_clock::now() < deadline) {
-        std::this_thread::yield();
-      }
+      AwaitOrDie([&] { return waiter_blocked.load(); },
+                 "waiter never parked");
       rt.Release(ctx, m);
     }
     rt.DetachThread(ctx);
   });
 
-  // Waiter: blocks on the held monitor via the slow path.
+  // Waiter: blocks on the held monitor via the slow path. wait_rounds
+  // only ticks inside the version-gated park, so observing it nonzero
+  // proves the waiter is enqueued with the waiter bit set.
   std::thread waiter([&] {
     auto& ctx = rt.AttachThread("waiter");
     {
       ScopedFrame f(ctx, "fair.W", "run", 1);
       std::thread announce([&] {
-        // Flip the flag once this thread has actually parked.
-        const auto deadline =
-            std::chrono::steady_clock::now() + std::chrono::seconds(10);
-        while (rt.GetStats().contended_acquisitions == 0 &&
-               std::chrono::steady_clock::now() < deadline) {
-          std::this_thread::yield();
-        }
+        AwaitOrDie([&] { return rt.GetStats().wait_rounds >= 1; },
+                   "waiter never reached the parked state");
         waiter_blocked.store(true);
       });
       ASSERT_TRUE(rt.Acquire(ctx, m).ok());
@@ -81,9 +102,12 @@ TEST(FairnessTest, WokenWaiterIsNotStarvedByFastPathBargers) {
     rt.DetachThread(ctx);
   });
 
-  // Barger: fast-path acquire/release cycles on the same monitor with a
-  // tiny critical section. Each successful cycle while the waiter is
-  // parked is a barge.
+  // Barger: starts only after the waiter is provably parked, then
+  // hammers acquire/release. Under direct handoff its fast-path CAS can
+  // never succeed while the waiter is queued — it joins the queue
+  // behind the waiter instead. No periodic yield is needed any more:
+  // the barger cannot spin-starve a parked waiter whose turn is a
+  // direct ownership transfer, even on a one-core host.
   std::thread barger([&] {
     auto& ctx = rt.AttachThread("barger");
     {
@@ -94,12 +118,6 @@ TEST(FairnessTest, WokenWaiterIsNotStarvedByFastPathBargers) {
           barger_cycles.fetch_add(1);
           rt.Release(ctx, m);
         }
-        // On a one-core host an unbroken loop can burn the whole budget
-        // inside a single scheduling quantum — the parked waiter never
-        // runs at all, and the test measures the OS scheduler instead of
-        // the barging protocol. A periodic yield gives the waiter a
-        // timeslice; the 63 cycles between yields still race its re-CAS.
-        if ((i & 63) == 63) std::this_thread::yield();
       }
     }
     rt.DetachThread(ctx);
@@ -109,23 +127,215 @@ TEST(FairnessTest, WokenWaiterIsNotStarvedByFastPathBargers) {
   waiter.join();
   barger.join();
 
-  // Bounded starvation: the waiter must get the monitor before the
-  // barger exhausts its budget (in practice it wins within a handful of
-  // cycles; the generous bound documents the *absence of unbounded*
-  // starvation, not fairness).
+  // Strict fairness: the parked waiter acquired before ANY
+  // later-arriving barger cycle completed — not "within the budget".
   EXPECT_TRUE(waiter_acquired.load());
-  EXPECT_LT(barger_cycles_at_acquire.load(), kBargerCycles);
+  EXPECT_EQ(barger_cycles_at_acquire.load(), 0)
+      << "a barger acquired past a parked waiter";
 
   const auto stats = rt.GetStats();
   EXPECT_GE(stats.contended_acquisitions, 1u);
-  // Every extra wait round past the first is a lost race against a
-  // barger (or a spurious state change) — wait_rounds also counts the
-  // barger's own slow-path parks when it loses to the waiter, so the
-  // bound is a small multiple of the barger budget. Recorded for the
-  // ROADMAP item; today's protocol gives no tighter bound.
-  EXPECT_LE(stats.wait_rounds,
-            4 * static_cast<std::uint64_t>(kBargerCycles) + 16)
-      << "more re-parks than the barging analysis allows";
+  // The holder's release found the waiter queued and handed the monitor
+  // over directly.
+  EXPECT_GE(stats.handoffs, 1u);
+  // wait_rounds telemetry: one park plus a handful of spurious
+  // re-checks. The pre-handoff bound was 4 * kBargerCycles + 16; a
+  // protocol that re-parks per lost CAS race cannot meet this one.
+  EXPECT_LE(stats.wait_rounds, 64u)
+      << "woken waiter re-parked as if races were still possible";
+}
+
+TEST(FairnessTest, FailedFastPathCasWithWaitersCountsBargePrevented) {
+  VirtualClock clock;
+  DimmunixRuntime rt(clock);
+  Monitor m("contested");
+
+  std::atomic<bool> waiter_parked{false};
+  std::atomic<bool> barge_attempted{false};
+
+  std::thread holder([&] {
+    auto& ctx = rt.AttachThread("holder");
+    {
+      ScopedFrame f(ctx, "bp.H", "run", 1);
+      ASSERT_TRUE(rt.Acquire(ctx, m).ok());
+      // Release only after the barger's fast-path CAS has provably
+      // failed against the waiter bit, so the counter check below is
+      // deterministic, not a race we usually win.
+      AwaitOrDie([&] { return rt.GetStats().barges_prevented >= 1; },
+                 "barger's fast CAS never observed the waiter bit");
+      rt.Release(ctx, m);
+    }
+    rt.DetachThread(ctx);
+  });
+
+  std::thread waiter([&] {
+    auto& ctx = rt.AttachThread("waiter");
+    {
+      ScopedFrame f(ctx, "bp.W", "run", 1);
+      std::thread announce([&] {
+        AwaitOrDie([&] { return rt.GetStats().wait_rounds >= 1; },
+                   "waiter never parked");
+        waiter_parked.store(true);
+      });
+      ASSERT_TRUE(rt.Acquire(ctx, m).ok());
+      rt.Release(ctx, m);
+      announce.join();
+    }
+    rt.DetachThread(ctx);
+  });
+
+  std::thread barger([&] {
+    auto& ctx = rt.AttachThread("barger");
+    {
+      ScopedFrame f(ctx, "bp.B", "run", 1);
+      while (!waiter_parked.load()) std::this_thread::yield();
+      // Holder owns, waiter bit set: this acquire's fast CAS must fail
+      // and count a prevented barge, then queue behind the waiter.
+      barge_attempted.store(true);
+      ASSERT_TRUE(rt.Acquire(ctx, m).ok());
+      rt.Release(ctx, m);
+    }
+    rt.DetachThread(ctx);
+  });
+
+  holder.join();
+  waiter.join();
+  barger.join();
+
+  EXPECT_TRUE(barge_attempted.load());
+  const auto stats = rt.GetStats();
+  EXPECT_GE(stats.barges_prevented, 1u);
+  // holder -> waiter, then waiter -> barger (still queued).
+  EXPECT_GE(stats.handoffs, 2u);
+}
+
+// Wake-path stress (part of the CI smoke): many threads contending on
+// one monitor — every release while anyone is parked must hand off, and
+// a history-churn thread keeps republishing the avoidance index (extra
+// version bumps / notifications) while the queue drains. The assertion
+// is completion with the exact acquisition count: a lost wakeup or a
+// dropped queue entry hangs or undercounts.
+TEST(FairnessTest, WakePathStressManyWaitersChurningBargers) {
+  VirtualClock clock;
+  DimmunixRuntime rt(clock);
+  Monitor m("stressed");
+
+  constexpr int kWaiters = 4;
+  constexpr int kWaiterRounds = 100;
+  constexpr int kBargers = 2;
+  constexpr int kBargerRounds = 200;
+  constexpr int kChurnSigs = 40;
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWaiters; ++w) {
+    threads.emplace_back([&, w] {
+      auto& ctx = rt.AttachThread("waiter-" + std::to_string(w));
+      {
+        ScopedFrame f(ctx, "stress.W", "run", 1);
+        for (int i = 0; i < kWaiterRounds; ++i) {
+          ASSERT_TRUE(rt.Acquire(ctx, m).ok());
+          rt.Release(ctx, m);
+        }
+      }
+      rt.DetachThread(ctx);
+    });
+  }
+  for (int b = 0; b < kBargers; ++b) {
+    threads.emplace_back([&, b] {
+      auto& ctx = rt.AttachThread("barger-" + std::to_string(b));
+      {
+        ScopedFrame f(ctx, "stress.B", "run", 1);
+        for (int i = 0; i < kBargerRounds; ++i) {
+          ASSERT_TRUE(rt.Acquire(ctx, m).ok());
+          rt.Release(ctx, m);
+        }
+      }
+      rt.DetachThread(ctx);
+    });
+  }
+  std::thread churn([&] {
+    for (std::uint32_t i = 0; i < kChurnSigs && !done.load(); ++i) {
+      rt.AddSignature(ChurnSig(i), SignatureOrigin::kLocal);
+      std::this_thread::yield();
+    }
+  });
+
+  for (auto& t : threads) t.join();
+  done.store(true);
+  churn.join();
+
+  const auto stats = rt.GetStats();
+  EXPECT_EQ(stats.acquisitions,
+            static_cast<std::uint64_t>(kWaiters) * kWaiterRounds +
+                static_cast<std::uint64_t>(kBargers) * kBargerRounds);
+}
+
+// Regression (lost-wakeup x RCU republish): a handoff that races an
+// avoidance-index republish must still wake the queued waiter. The
+// republish path bumps the state version and notifies on its own; the
+// bug mode is a waiter whose park predicate consumes the republish's
+// version bump, re-parks, and then misses the handoff's. Each round
+// pins the ordering: waiter provably parked, republish storm started,
+// then the release/handoff — completion of every round proves the wake.
+TEST(FairnessTest, HandoffDuringIndexRepublishDoesNotLoseWakeup) {
+  VirtualClock clock;
+  DimmunixRuntime rt(clock);
+  Monitor m("republished");
+
+  constexpr int kRounds = 25;
+  std::uint32_t salt = 0;
+  for (int round = 0; round < kRounds; ++round) {
+    const auto base = rt.GetStats();
+    std::atomic<bool> release_now{false};
+
+    std::thread holder([&] {
+      auto& ctx = rt.AttachThread("holder");
+      {
+        ScopedFrame f(ctx, "rr.H", "run", 1);
+        ASSERT_TRUE(rt.Acquire(ctx, m).ok());
+        AwaitOrDie([&] { return release_now.load(); },
+                   "release gate never opened");
+        rt.Release(ctx, m);
+      }
+      rt.DetachThread(ctx);
+    });
+    // Holder acquired (uncontended) before the waiter starts.
+    AwaitOrDie([&] { return rt.GetStats().acquisitions > base.acquisitions; },
+               "holder never acquired");
+
+    std::thread waiter([&] {
+      auto& ctx = rt.AttachThread("waiter");
+      {
+        ScopedFrame f(ctx, "rr.W", "run", 1);
+        ASSERT_TRUE(rt.Acquire(ctx, m).ok());
+        rt.Release(ctx, m);
+      }
+      rt.DetachThread(ctx);
+    });
+    AwaitOrDie([&] { return rt.GetStats().wait_rounds > base.wait_rounds; },
+               "waiter never parked");
+
+    // Republish storm concurrent with the handoff below.
+    const std::uint32_t base_salt = salt;
+    salt += 8;
+    std::thread republisher([&, base_salt] {
+      for (std::uint32_t i = 0; i < 8; ++i) {
+        rt.AddSignature(ChurnSig(base_salt + i), SignatureOrigin::kLocal);
+      }
+    });
+    release_now.store(true);
+
+    holder.join();
+    waiter.join();
+    republisher.join();
+  }
+
+  const auto stats = rt.GetStats();
+  // Every round's release found the waiter queued: a direct handoff per
+  // round, and the waiter never lost the wakeup (the joins above hang
+  // otherwise).
+  EXPECT_GE(stats.handoffs, static_cast<std::uint64_t>(kRounds));
 }
 
 }  // namespace

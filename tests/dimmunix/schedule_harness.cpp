@@ -4,10 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
+#include <unordered_map>
 
 #include "../testutil.hpp"
 #include "util/clock.hpp"
@@ -255,7 +257,8 @@ struct Session {
 
 RunResult RunSchedule(const DimmunixRuntime::Options& options,
                       const Script& script, const Chooser& choose,
-                      const StepObserver& observe) {
+                      const StepObserver& observe,
+                      const WakeupPolicy& wake_policy) {
   RunResult result;
   auto session = std::make_unique<Session>(options);
   DimmunixRuntime& rt = session->rt;
@@ -295,6 +298,26 @@ RunResult RunSchedule(const DimmunixRuntime::Options& options,
     if (observe) observe(step, rt, contexts);
   };
 
+  if (wake_policy) {
+    // Translate runtime-level candidates (ThreadContext*) into logical
+    // thread ids for the script's policy. The hook runs on worker
+    // threads under the runtime mutex, so it captures by value — the
+    // stalled diagnostic path leaks the session, not this closure.
+    std::unordered_map<const ThreadContext*, std::size_t> logical;
+    for (std::size_t t = 0; t < n; ++t) logical.emplace(contexts[t], t);
+    rt.SetWakeOrderHookForTest(
+        [wake_policy, logical](
+            const std::vector<const ThreadContext*>& candidates) {
+          std::vector<std::size_t> ids;
+          ids.reserve(candidates.size());
+          for (const ThreadContext* c : candidates) {
+            const auto it = logical.find(c);
+            ids.push_back(it == logical.end() ? SIZE_MAX : it->second);
+          }
+          return wake_policy(ids);
+        });
+  }
+
   auto settled = [&](std::size_t t) {
     return workers[t]->op_done.load(std::memory_order_acquire) ||
            rt.IsQuiescentlyParkedForTest(
@@ -333,25 +356,15 @@ RunResult RunSchedule(const DimmunixRuntime::Options& options,
   };
 
   for (;;) {
-    // Runnable: next op exists, thread idle, and (acquire rule) no other
-    // in-flight blocked acquire targets the same monitor — the one
-    // structural restriction that keeps wake-chains race-free.
+    // Runnable: next op exists and the thread is idle. Concurrent
+    // acquires of the same monitor used to be deferred here (woken
+    // waiters raced a CAS, so multi-waiter wakeups were
+    // nondeterministic); direct handoff made them deterministic, so the
+    // restriction is gone and multi-waiter scripts are legal.
     std::vector<std::size_t> runnable;
     for (std::size_t t = 0; t < n; ++t) {
       if (inflight[t] || pc[t] >= script.threads[t].size()) continue;
-      const Op& op = script.threads[t][pc[t]];
-      bool deferred = false;
-      if (op.kind == Op::Kind::kAcquire) {
-        for (std::size_t u = 0; u < n; ++u) {
-          if (u != t && inflight[u] &&
-              script.threads[u][pc[u]].kind == Op::Kind::kAcquire &&
-              script.threads[u][pc[u]].monitor == op.monitor) {
-            deferred = true;
-            break;
-          }
-        }
-      }
-      if (!deferred) runnable.push_back(t);
+      runnable.push_back(t);
     }
 
     if (runnable.empty()) {
@@ -495,6 +508,49 @@ Chooser OccupantThenAcquirerOrder(std::uint32_t depth) {
   return ScriptedChooser(std::move(order));
 }
 
+Script TwoSidedSuspensionScript(std::uint32_t depth) {
+  using testutil::ChainStack;
+  using testutil::F;
+  Script s;
+  s.num_monitors = 4;
+  const std::string x = "ts.X";
+  const std::string y = "ts.Y";
+  const Signature sig =
+      testutil::Sig2(ChainStack(x, depth, F(x, "sync", 300)),
+                     ChainStack(x, depth, F(x, "in", 310)),
+                     ChainStack(y, depth, F(y, "sync", 320)),
+                     ChainStack(y, depth, F(y, "in", 330)));
+  s.initial_history.push_back(sig);
+  // Avoidance would suspend whichever occupant acquires second (it sees
+  // the first occupying the signature's other side), so both sides could
+  // never be occupied at once. Start the signature disabled; thread 4
+  // re-enables it once the occupants hold.
+  s.initially_disabled.push_back(sig.ContentId());
+
+  // Threads 0/1: occupants holding monitors 0/1 under the X/Y stacks.
+  // Threads 2/3: acquirers whose stacks match X/Y, each gated by the
+  // *other* side's occupant.
+  for (int side = 0; side < 2; ++side) {
+    auto& occ = s.threads.emplace_back();
+    const std::string& cls = side == 0 ? x : y;
+    PushChain(occ, cls, depth, F(cls, "sync", side == 0 ? 300u : 320u));
+    occ.push_back(Op::Acquire(static_cast<std::size_t>(side)));
+    occ.push_back(Op::Release(static_cast<std::size_t>(side)));
+    PopChain(occ, depth);
+  }
+  for (int side = 0; side < 2; ++side) {
+    auto& acq = s.threads.emplace_back();
+    const std::string& cls = side == 0 ? x : y;
+    PushChain(acq, cls, depth, F(cls, "sync", side == 0 ? 300u : 320u));
+    acq.push_back(Op::Acquire(static_cast<std::size_t>(2 + side)));
+    acq.push_back(Op::Release(static_cast<std::size_t>(2 + side)));
+    PopChain(acq, depth);
+  }
+  s.threads.emplace_back().push_back(  // thread 4: the enabler
+      Op::ReEnableSig(sig.ContentId()));
+  return s;
+}
+
 // ---------------------------------------------------------------------------
 // Grouped random script generation.
 // ---------------------------------------------------------------------------
@@ -591,6 +647,51 @@ void AddSuspensionGroup(Builder& b, Rng& rng, std::size_t group,
   PopChain(acquirer, depth);
 }
 
+/// Two-sided suspension quad (see TwoSidedSuspensionScript): occupants
+/// hold under both sides of a signature while two acquirers — each
+/// matching one side — hit fresh monitors and yield to the *other*
+/// side's occupant, so both can be suspended at once. Legal in random
+/// scripts since the deterministic wake turnstile: the drain order as
+/// occupants release is fixed by thread ids, not an internal race.
+void AddTwoSidedSuspensionGroup(Builder& b, Rng& rng, std::size_t group) {
+  const std::string x = "g" + std::to_string(group) + ".TX";
+  const std::string y = "g" + std::to_string(group) + ".TY";
+  const std::uint32_t depth =
+      1 + static_cast<std::uint32_t>(rng.NextBounded(3));
+  const Signature sig =
+      Sig2(ChainStack(x, depth, F(x, "sync", 400)),
+           ChainStack(x, depth, F(x, "in", 410)),
+           ChainStack(y, depth, F(y, "sync", 420)),
+           ChainStack(y, depth, F(y, "in", 430)));
+  b.script.initial_history.push_back(sig);
+  // Disabled at start so both occupants can hold at once; a dedicated
+  // enabler thread re-arms the signature at a chooser-picked moment.
+  // Whatever the interleaving — enabled before, between, or after the
+  // acquirers arrive — every outcome is decision-deterministic.
+  b.script.initially_disabled.push_back(sig.ContentId());
+  b.NewThread().push_back(Op::ReEnableSig(sig.ContentId()));
+  for (int side = 0; side < 2; ++side) {
+    const std::string& cls = side == 0 ? x : y;
+    const std::uint32_t line = side == 0 ? 400u : 420u;
+    const std::size_t m = b.NewMonitor();
+    auto& occ = b.NewThread();
+    PushChain(occ, cls, depth, F(cls, "sync", line));
+    occ.push_back(Op::Acquire(m));
+    occ.push_back(Op::Release(m));
+    PopChain(occ, depth);
+  }
+  for (int side = 0; side < 2; ++side) {
+    const std::string& cls = side == 0 ? x : y;
+    const std::uint32_t line = side == 0 ? 400u : 420u;
+    const std::size_t m = b.NewMonitor();
+    auto& acq = b.NewThread();
+    PushChain(acq, cls, depth, F(cls, "sync", line));
+    acq.push_back(Op::Acquire(m));
+    acq.push_back(Op::Release(m));
+    PopChain(acq, depth);
+  }
+}
+
 /// ABBA detection pair: no signature installed; whether a deadlock forms
 /// (and which thread's acquisition aborts) depends purely on the
 /// interleaving, which the Chooser fixes. One round only — a learned
@@ -653,12 +754,15 @@ Script GenerateGroupedScript(std::uint64_t seed) {
   std::uint64_t disable_content = 0;
   const std::size_t groups = 2 + rng.NextBounded(3);
   for (std::size_t g = 0; g < groups; ++g) {
-    switch (rng.NextBounded(3)) {
+    switch (rng.NextBounded(4)) {
       case 0:
         AddGateSkipGroup(b, rng, g);
         break;
       case 1:
         AddSuspensionGroup(b, rng, g, &has_disable_target, &disable_content);
+        break;
+      case 2:
+        AddTwoSidedSuspensionGroup(b, rng, g);
         break;
       default:
         AddAbbaGroup(b, g);

@@ -24,14 +24,17 @@
 // decisions produce identical traces.
 //
 // Determinism contract for script authors: dispatching is serialized,
-// but a single step's *internal* wake-chain (suspended avoiders
-// re-scanning, woken waiters racing a CAS) runs under OS scheduling.
-// The harness already defers a second acquire of a monitor that has a
-// blocked acquire in flight; scripts must additionally avoid
-// signatures both of whose sides can be suspended concurrently (use
-// one-sided occupant/acquirer pairs, as GenerateGroupedScript does) —
-// with those two rules every wake-chain converges to a unique settled
-// state and traces are exactly reproducible.
+// and a single step's *internal* wake-chain is deterministic too — the
+// runtime's wake turnstile releases one stale sleeper at a time in a
+// fixed (lowest-thread-id) order, and monitor release hands ownership
+// directly to a fixed wait-queue pick instead of letting woken waiters
+// race a CAS. Multi-waiter wakeups, concurrent blocked acquires of the
+// same monitor, and signatures both of whose sides suspend concurrently
+// (the "two-sided" shape earlier revisions had to exclude) therefore
+// all converge to a unique settled state: traces are exactly
+// reproducible for ANY script. A run may additionally install a
+// WakeupPolicy to *choose* the wakeup order instead of inheriting the
+// defaults (FIFO handoff / lowest-id turnstile).
 #pragma once
 
 #include <cstdint>
@@ -136,12 +139,24 @@ using StepObserver =
     std::function<void(const StepRecord& step, DimmunixRuntime& rt,
                        const std::vector<ThreadContext*>& contexts)>;
 
+/// Wakeup-ordering policy: receives the *logical thread ids* of the
+/// wakeup candidates — a monitor's wait queue in FIFO arrival order for
+/// a handoff, the stale parked threads in ascending id order for the
+/// wake turnstile — and returns the index of the candidate that should
+/// win (out-of-range clamps to the last). Plumbed into
+/// DimmunixRuntime::SetWakeOrderHookForTest, so a script controls which
+/// waiter wins each wakeup; null keeps the runtime's deterministic
+/// defaults (FIFO head / lowest id).
+using WakeupPolicy =
+    std::function<std::size_t(const std::vector<std::size_t>&)>;
+
 /// Runs `script` under one interleaving against a fresh runtime built
 /// from `options` (with a VirtualClock). Deterministic given the
 /// determinism contract above.
 RunResult RunSchedule(const DimmunixRuntime::Options& options,
                       const Script& script, const Chooser& choose,
-                      const StepObserver& observe = nullptr);
+                      const StepObserver& observe = nullptr,
+                      const WakeupPolicy& wake_policy = nullptr);
 
 // ---- shared script-builder helpers ----------------------------------
 
@@ -173,11 +188,29 @@ Script OneSidedSuspensionScript(const OneSidedSuspension& p);
 /// deterministic fallback drains the rest.
 Chooser OccupantThenAcquirerOrder(std::uint32_t depth);
 
-/// Seeded random script composed of decision-race-free groups over
+/// Two-sided suspension scenario — the shape the pre-handoff harness
+/// had to exclude because its two wakeups raced. A signature over
+/// classes ts.X/ts.Y is planted *disabled* (otherwise avoidance would
+/// suspend the second occupant and both sides could never be occupied
+/// at once); thread 0 (occupant-X) holds monitor 0 under a stack
+/// matching the X side and thread 1 (occupant-Y) holds monitor 1 under
+/// the Y side, then thread 4 re-enables the signature. Thread 2
+/// (acquirer-X, stack matching X) then takes monitor 2 and must yield
+/// to occupant-Y; thread 3 (acquirer-Y, stack matching Y) takes
+/// monitor 3 and must yield to occupant-X — both sides suspended
+/// concurrently. As each occupant releases, the wake turnstile
+/// re-admits the suspended acquirers in a deterministic order (and a
+/// freshly-admitted acquirer becomes the occupant gating the other
+/// side, so the drain order is observable in the trace).
+Script TwoSidedSuspensionScript(std::uint32_t depth = 1);
+
+/// Seeded random script composed of decision-deterministic groups over
 /// disjoint monitors/threads: adaptive-gate sites (candidate hit, peers
 /// never occupied), one-sided suspension pairs (occupant holds under a
 /// matching/mismatching stack while an acquirer hits the signature's
-/// other side), ABBA detection pairs (no pre-installed signature), and
+/// other side), two-sided suspension quads (both sides of a signature
+/// suspended concurrently — legal since the deterministic wake
+/// turnstile), ABBA detection pairs (no pre-installed signature), and
 /// a history-churn thread (add/disable/re-enable mid-schedule).
 Script GenerateGroupedScript(std::uint64_t seed);
 

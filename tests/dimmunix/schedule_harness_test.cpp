@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "../testutil.hpp"
@@ -353,6 +354,158 @@ TEST(ScheduleHarnessTest, FastCriticalSectionDelaysOverridableAvoiderOneSection)
   EXPECT_TRUE(ref_samples.after_fast_acquire.avoider_parked);
   EXPECT_EQ(ref.stats.wait_rounds, fast.stats.wait_rounds + 1)
       << "the elided wakeup is exactly the fast critical section's";
+}
+
+// ---------------------------------------------------------------------------
+// Two-sided suspension: both sides of a signature suspended at once.
+//
+// The pre-handoff determinism contract excluded this shape — the two
+// wakeups raced on the condition variable and the runtime resolved them
+// via OS scheduling. The wake turnstile makes the drain order a fixed
+// function of thread ids, so the same script + chooser must now produce
+// identical traces in every runtime mode, every time.
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleHarnessTest, TwoSidedSuspensionRacesAreDeterministic) {
+  const Script script = sched::TwoSidedSuspensionScript(1);
+  // Both occupants acquire (signature still disabled), the enabler
+  // re-arms it, both acquirers arrive and suspend, then the occupants
+  // release and the turnstile drains the suspended pair.
+  const auto order = [] {
+    return sched::ScriptedChooser({0, 0, 1, 1, 4, 2, 2, 3, 3, 0, 1});
+  };
+  const RunResult ref = sched::RunSchedule(GlobalRef(), script, order());
+  const RunResult fast = sched::RunSchedule(Fast(false), script, order());
+  const RunResult adaptive = sched::RunSchedule(Fast(true), script, order());
+  ExpectDecisionIdentical(ref, fast, "two-sided (fast)");
+  ExpectDecisionIdentical(ref, adaptive, "two-sided (adaptive)");
+
+  // Both acquirers actually suspended concurrently and both completed.
+  EXPECT_EQ(ref.stats.avoidance_suspensions, 2u) << ref.Trace();
+  for (const std::size_t acquirer : {2u, 3u}) {
+    bool blocked = false, unblocked = false;
+    for (const StepRecord& r : ref.steps) {
+      if (r.thread == acquirer && r.op_index == 1) {
+        blocked |= r.outcome == StepRecord::Outcome::kBlocked;
+        unblocked |= r.outcome == StepRecord::Outcome::kUnblocked;
+      }
+    }
+    EXPECT_TRUE(blocked) << "t" << acquirer << ": " << ref.Trace();
+    EXPECT_TRUE(unblocked) << "t" << acquirer << ": " << ref.Trace();
+  }
+
+  // Exact repeatability of the previously-racy shape: same config, same
+  // chooser, same trace — run it a few times.
+  for (int rep = 0; rep < 3; ++rep) {
+    const RunResult again = sched::RunSchedule(Fast(true), script, order());
+    ExpectDecisionIdentical(adaptive, again,
+                            "two-sided repeat " + std::to_string(rep));
+  }
+
+  // And across seeded schedules, not just the scripted one.
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    const RunResult r1 = sched::RunSchedule(GlobalRef(), script,
+                                            sched::SeededChooser(seed));
+    const RunResult r2 = sched::RunSchedule(Fast(true), script,
+                                            sched::SeededChooser(seed));
+    ExpectDecisionIdentical(r1, r2, "two-sided seed " + std::to_string(seed));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Multi-waiter handoff: queue drains FIFO by default, and the wakeup
+// policy picks the winner when installed. (Concurrent blocked acquires
+// of one monitor were illegal in the harness before direct handoff.)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Holder + two waiters contending on one monitor. Ops per thread:
+/// 0 = push, 1 = acquire, 2 = release, 3 = pop.
+Script MultiWaiterScript() {
+  Script s;
+  s.num_monitors = 1;
+  for (int t = 0; t < 3; ++t) {
+    auto& ops = s.threads.emplace_back();
+    ops.push_back(Op::Push(F("mw.T" + std::to_string(t), "sync", 10)));
+    ops.push_back(Op::Acquire(0));
+    ops.push_back(Op::Release(0));
+    ops.push_back(Op::Pop());
+  }
+  return s;
+}
+
+/// Holder acquires, then both waiters block (t1 enqueues before t2);
+/// the fallback drains the releases.
+sched::Chooser MultiWaiterOrder() {
+  return sched::ScriptedChooser({0, 0, 1, 1, 2, 2});
+}
+
+/// Step index at which `thread`'s acquire completed after blocking, or
+/// SIZE_MAX if it never did.
+std::size_t UnblockStep(const RunResult& r, std::size_t thread) {
+  for (std::size_t i = 0; i < r.steps.size(); ++i) {
+    if (r.steps[i].thread == thread && r.steps[i].op_index == 1 &&
+        r.steps[i].outcome == StepRecord::Outcome::kUnblocked) {
+      return i;
+    }
+  }
+  return SIZE_MAX;
+}
+
+}  // namespace
+
+TEST(ScheduleHarnessTest, MultiWaiterHandoffDrainsInFifoOrder) {
+  const Script script = MultiWaiterScript();
+  const RunResult ref =
+      sched::RunSchedule(GlobalRef(), script, MultiWaiterOrder());
+  const RunResult fast =
+      sched::RunSchedule(Fast(true), script, MultiWaiterOrder());
+  ExpectDecisionIdentical(ref, fast, "multi-waiter fifo");
+
+  // t1 blocked before t2, so the holder's release hands off to t1 first.
+  const std::size_t t1_at = UnblockStep(fast, 1);
+  const std::size_t t2_at = UnblockStep(fast, 2);
+  ASSERT_NE(t1_at, SIZE_MAX) << fast.Trace();
+  ASSERT_NE(t2_at, SIZE_MAX) << fast.Trace();
+  EXPECT_LT(t1_at, t2_at) << fast.Trace();
+
+  // Two direct transfers: holder -> t1, t1 -> t2; t2's release finds an
+  // empty queue and frees the word.
+  EXPECT_EQ(fast.stats.handoffs, 2u);
+  EXPECT_EQ(ref.stats.handoffs, 2u);
+}
+
+TEST(ScheduleHarnessTest, WakeupOrderingHookControlsWhichWaiterWins) {
+  const Script script = MultiWaiterScript();
+  // Policy: always pick the *last* candidate — the most recently arrived
+  // waiter wins every handoff, inverting the FIFO default.
+  const sched::WakeupPolicy last_wins =
+      [](const std::vector<std::size_t>& ids) { return ids.size() - 1; };
+
+  const RunResult fast = sched::RunSchedule(Fast(true), script,
+                                            MultiWaiterOrder(), nullptr,
+                                            last_wins);
+  const std::size_t t1_at = UnblockStep(fast, 1);
+  const std::size_t t2_at = UnblockStep(fast, 2);
+  ASSERT_NE(t1_at, SIZE_MAX) << fast.Trace();
+  ASSERT_NE(t2_at, SIZE_MAX) << fast.Trace();
+  EXPECT_LT(t2_at, t1_at) << "policy should invert the FIFO drain order: "
+                          << fast.Trace();
+  EXPECT_EQ(fast.stats.handoffs, 2u);
+
+  // The scripted wakeup order is part of the decision trace: the
+  // reference mode under the same policy produces the identical trace.
+  const RunResult ref = sched::RunSchedule(GlobalRef(), script,
+                                           MultiWaiterOrder(), nullptr,
+                                           last_wins);
+  ExpectDecisionIdentical(ref, fast, "hooked multi-waiter");
+
+  // And it is reproducible.
+  const RunResult again = sched::RunSchedule(Fast(true), script,
+                                             MultiWaiterOrder(), nullptr,
+                                             last_wins);
+  ExpectDecisionIdentical(fast, again, "hooked multi-waiter repeat");
 }
 
 }  // namespace

@@ -17,11 +17,17 @@
 # primary groups (2 followers each) behind the shard-map routing tier
 # with a mid-run map bump (suite ShardedSmoke).
 #
+# The default mode also repeats the monitor wake-path stress (many
+# waiters + churning bargers, handoff racing an RCU index republish)
+# beyond its single ctest pass.
+#
 # --tsan: ThreadSanitizer build (separate build-tsan dir) running the
 # dimmunix + util + cluster test binaries — the concurrency-bearing
-# layers of the client runtime (fast-path publication protocol, adaptive
-# occupancy gate, schedule harness, thread pool) and of the replication
-# tier (feed reads racing ADDs, background shipper).
+# layers of the client runtime (fast-path publication protocol, direct
+# monitor handoff + wake turnstile, adaptive occupancy gate, schedule
+# harness, thread pool) and of the replication tier (feed reads racing
+# ADDs, background shipper) — with a repeated run of the fairness and
+# wakeup-ordering suites on top.
 #
 # --asan: AddressSanitizer build (separate build-asan dir) running the
 # same binaries — lifetime coverage for the context reaper and the
@@ -39,6 +45,14 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # (relaxed spinlock unlock in _Sp_atomic::load) TSAN cannot model.
   TSAN="halt_on_error=1 suppressions=$(pwd)/tools/tsan.supp"
   TSAN_OPTIONS="${TSAN}" ./build-tsan/dimmunix_tests
+  # Wake-path focus under TSAN: the direct-handoff fairness suite (strict
+  # no-barging protocol, wake-path stress, handoff x RCU-republish
+  # regression) and the wakeup-ordering harness scripts (two-sided
+  # suspension drains, hook-selected winners), repeated — the interesting
+  # interleavings are rare in a single pass.
+  TSAN_OPTIONS="${TSAN}" ./build-tsan/dimmunix_tests \
+      --gtest_filter='FairnessTest.*:ScheduleHarnessTest.TwoSidedSuspensionRacesAreDeterministic:ScheduleHarnessTest.MultiWaiterHandoffDrainsInFifoOrder:ScheduleHarnessTest.WakeupOrderingHookControlsWhichWaiterWins' \
+      --gtest_repeat=5
   TSAN_OPTIONS="${TSAN}" ./build-tsan/util_tests
   # Store-tier smoke under TSAN: concurrent ReadSince (2Q cache + RCU log
   # swap) racing ADDs on both backends.
@@ -66,6 +80,15 @@ fi
 cmake -B build -S .
 cmake --build build -j"${JOBS}"
 ctest --test-dir build --output-on-failure -j"${JOBS}"
+
+# Wake-path stress smoke: many waiters + churning bargers on one monitor
+# plus the handoff-during-RCU-republish regression, repeated so a lost
+# wakeup (which hangs) or a dropped queue entry (which undercounts) has
+# many chances to fire.
+./build/dimmunix_tests \
+    --gtest_filter='FairnessTest.WakePathStressManyWaitersChurningBargers:FairnessTest.HandoffDuringIndexRepublishDoesNotLoseWakeup' \
+    --gtest_repeat=10
+echo "ci: wake-path stress smoke passed"
 
 # Cluster smoke: primary + 2 followers over inproc, kill-primary failover,
 # checkpoint bootstrap of a far-behind follower, and the client read cache
