@@ -44,6 +44,9 @@
 //              cutover vs full entry replay
 //   scan_cost  pure GET(0) scan throughput per backend at a fixed db
 //              size — isolates the scan term of the --compare workload
+//   net        repeat GET polls over the real TCP server: zero-copy
+//              reply accounting (reply_bytes_shared vs _copied) and
+//              gather-flush counters from the non-blocking reply path
 #include <atomic>
 #include <cstdio>
 #include <functional>
@@ -57,6 +60,7 @@
 #include "communix/cluster/router.hpp"
 #include "communix/server.hpp"
 #include "net/inproc.hpp"
+#include "net/tcp.hpp"
 #include "sim/replica_set.hpp"
 #include "util/clock.hpp"
 #include "util/serde.hpp"
@@ -732,6 +736,109 @@ void RunScanCost(bool smoke, communix::bench::BenchJson& json) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// net: the zero-copy reply path over the real TCP server.
+//
+// Repeat GET(0) polls at a hot cursor through an actual TcpServer +
+// TcpClient pair: with the 2Q cache on, every poll after the first is a
+// cache hit whose reply carries the cached slice as a shared segment —
+// the server serializes ~4 owned bytes (the count prefix) and hands the
+// rest to the gather flush by reference. The structural evidence is the
+// counter ratio: reply_bytes_shared is the whole feed per poll while
+// reply_bytes_copied stays at the few-byte header, and the non-blocking
+// writer reports its gather flushes (no backpressure, no disconnects on
+// a healthy client).
+// ---------------------------------------------------------------------------
+void RunNetSeries(bool smoke, communix::bench::BenchJson& json) {
+  namespace net = communix::net;
+  const std::size_t preload = smoke ? 400 : 3000;
+  const std::size_t polls = smoke ? 500 : 5000;
+
+  VirtualClock clock;
+  CommunixServer::Options opts;
+  opts.per_user_daily_limit = 1'000'000;
+  opts.store.read_cache_slices = 64;
+  CommunixServer server(clock, opts);
+
+  Rng rng(0x7EC9);
+  for (std::size_t i = 0; i < preload; ++i) {
+    (void)server.AddSignature(
+        server.IssueToken(static_cast<UserId>(i + 1)),
+        communix::bench::RandomSignature(rng,
+                                         static_cast<std::uint32_t>(i + 1)));
+  }
+
+  net::TcpServer tcp(server);
+  if (!tcp.Start().ok()) {
+    std::fprintf(stderr, "net series: TCP server failed to start\n");
+    return;
+  }
+  net::TcpClient client;
+  if (!client.Connect("127.0.0.1", tcp.port()).ok()) {
+    std::fprintf(stderr, "net series: TCP client failed to connect\n");
+    tcp.Stop();
+    return;
+  }
+
+  net::Request get;
+  get.type = net::MsgType::kGetSignatures;
+  communix::BinaryWriter w;
+  w.WriteU64(0);
+  get.payload = w.take();
+
+  std::uint64_t reply_bytes = 0;
+  Stopwatch watch;
+  for (std::size_t p = 0; p < polls; ++p) {
+    auto result = client.Call(get);
+    if (!result.ok() || !result.value().ok()) {
+      std::fprintf(stderr, "net series: GET poll failed\n");
+      tcp.Stop();
+      return;
+    }
+    reply_bytes += result.value().payload.size();
+  }
+  const double seconds = watch.ElapsedSeconds();
+  const double rate = static_cast<double>(polls) / seconds;
+
+  client.Close();
+  const auto ss = server.GetStats();
+  const auto ts = tcp.GetStats();
+  tcp.Stop();
+
+  const double copied_per_poll =
+      static_cast<double>(ss.reply_bytes_copied) / static_cast<double>(polls);
+  const double shared_per_poll =
+      static_cast<double>(ss.reply_bytes_shared) / static_cast<double>(polls);
+
+  communix::bench::PrintHeader(
+      "Network tier: repeat GET polls over TCP, zero-copy replies");
+  std::printf("%10s %12s %14s %14s %14s\n", "polls/sec", "reply KiB",
+              "copied/poll", "shared/poll", "writev_flushes");
+  std::printf("%10.0f %12.1f %14.1f %14.1f %14llu\n", rate,
+              static_cast<double>(reply_bytes) / (polls * 1024.0),
+              copied_per_poll, shared_per_poll,
+              static_cast<unsigned long long>(ts.writev_flushes));
+  json.AddRow("net",
+              {{"db_size", static_cast<double>(server.db_size())},
+               {"polls", static_cast<double>(polls)},
+               {"polls_per_second", rate},
+               {"reply_bytes_copied", static_cast<double>(ss.reply_bytes_copied)},
+               {"reply_bytes_shared", static_cast<double>(ss.reply_bytes_shared)},
+               {"copied_per_poll", copied_per_poll},
+               {"shared_per_poll", shared_per_poll},
+               {"writev_flushes", static_cast<double>(ts.writev_flushes)},
+               {"backpressure_stalls",
+                static_cast<double>(ts.backpressure_stalls)},
+               {"slow_client_disconnects",
+                static_cast<double>(ts.slow_client_disconnects)},
+               {"peak_outbound_queue_bytes",
+                static_cast<double>(ts.peak_outbound_queue_bytes)}});
+  std::printf(
+      "\nstructural claim: cache-hit GET replies copy only the count\n"
+      "prefix (copied/poll ~ bytes, not KiB); the feed itself leaves as\n"
+      "shared segments handed to the gather flush by reference.\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -839,6 +946,7 @@ int main(int argc, char** argv) {
   RunCacheSeries(smoke, json);
   RunBootstrapSeries(smoke, json);
   RunScanCost(smoke, json);
+  RunNetSeries(smoke, json);
 
   if (!json.WriteToFile(json_path)) {
     std::fprintf(stderr, "cannot write %s\n", json_path.c_str());

@@ -382,6 +382,22 @@ net::Response CommunixServer::HandleCheckpoint(const net::Request& request) {
 }
 
 net::Response CommunixServer::Handle(const net::Request& request) {
+  net::Response resp = HandleDispatch(request);
+  // Centralized reply accounting: every verb's reply — including the
+  // early-return repl/shard handlers — lands here exactly once.
+  stats_.reply_bytes_copied.fetch_add(resp.payload.size(),
+                                      std::memory_order_relaxed);
+  std::uint64_t shared = 0;
+  for (const auto& seg : resp.segments) {
+    if (seg != nullptr) shared += seg->size();
+  }
+  if (shared > 0) {
+    stats_.reply_bytes_shared.fetch_add(shared, std::memory_order_relaxed);
+  }
+  return resp;
+}
+
+net::Response CommunixServer::HandleDispatch(const net::Request& request) {
   net::Response resp;
   switch (request.type) {
     case net::MsgType::kPing:
@@ -483,10 +499,19 @@ net::Response CommunixServer::Handle(const net::Request& request) {
       store::SignatureStore::ReadPath path =
           store::SignatureStore::ReadPath::kColdScan;
       const auto slice = store_->ReadSince(from, &path);
+      // Zero-copy reply: only the 4-byte count prefix is owned per
+      // request; the entries region rides as a shared segment aliasing
+      // the cached slice (the aliasing shared_ptr keeps the whole
+      // CachedSlice alive until the last transport flushes it). Repeat
+      // polls of a hot (generation, from) therefore serialize ~16 header
+      // bytes each and share the O(db) rest.
       BinaryWriter w;
       w.WriteU32(slice->count);
-      w.WriteRaw(std::span<const std::uint8_t>(slice->payload.data(),
-                                               slice->payload.size()));
+      if (!slice->payload.empty()) {
+        resp.segments.push_back(
+            std::shared_ptr<const std::vector<std::uint8_t>>(
+                slice, &slice->payload));
+      }
       switch (path) {
         case store::SignatureStore::ReadPath::kCacheHit:
           get_latency_.Report(kGetCacheHit, NanosSince(start));
@@ -701,6 +726,10 @@ CommunixServer::Stats CommunixServer::GetStats() const {
   out.rejected_malformed =
       stats_.rejected_malformed.load(std::memory_order_relaxed);
   out.gets_served = stats_.gets_served.load(std::memory_order_relaxed);
+  out.reply_bytes_copied =
+      stats_.reply_bytes_copied.load(std::memory_order_relaxed);
+  out.reply_bytes_shared =
+      stats_.reply_bytes_shared.load(std::memory_order_relaxed);
   out.rejected_not_primary =
       stats_.rejected_not_primary.load(std::memory_order_relaxed);
   out.repl_pulls_served =

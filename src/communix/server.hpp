@@ -198,6 +198,14 @@ class CommunixServer final : public net::RequestHandler {
     std::uint64_t rejected_adjacent = 0;
     std::uint64_t rejected_malformed = 0;
     std::uint64_t gets_served = 0;
+    /// Reply payload bytes emitted as owned (memcpy'd) bytes vs. as
+    /// zero-copy shared segments, across every Handle() reply. A
+    /// cache-hit GET copies only its ~4-byte count prefix and shares the
+    /// O(db) slice, so under a repeat-poll workload shared ≫ copied —
+    /// the structural proof that the wire tier preserves the 2Q cache's
+    /// sharing instead of re-copying per connection.
+    std::uint64_t reply_bytes_copied = 0;
+    std::uint64_t reply_bytes_shared = 0;
     /// ADD/ADD_BATCH frames refused because this server is a follower.
     std::uint64_t rejected_not_primary = 0;
     std::uint64_t repl_pulls_served = 0;    // kReplPull requests answered
@@ -228,6 +236,11 @@ class CommunixServer final : public net::RequestHandler {
  private:
   /// The post-authentication pipeline shared by AddSignature/AddBatch.
   Status AddDecoded(UserId user, const dimmunix::Signature& sig);
+
+  /// The per-verb switch behind Handle(); the public wrapper adds the
+  /// centralized reply-byte accounting (copied vs. shared) every exit
+  /// path shares.
+  net::Response HandleDispatch(const net::Request& request);
 
   /// kReplPull / kReplBatch / kCheckpoint processing (wire handlers).
   net::Response HandleReplPull(const net::Request& request);
@@ -269,6 +282,8 @@ class CommunixServer final : public net::RequestHandler {
     std::atomic<std::uint64_t> rejected_adjacent{0};
     std::atomic<std::uint64_t> rejected_malformed{0};
     std::atomic<std::uint64_t> gets_served{0};
+    std::atomic<std::uint64_t> reply_bytes_copied{0};
+    std::atomic<std::uint64_t> reply_bytes_shared{0};
     std::atomic<std::uint64_t> rejected_not_primary{0};
     std::atomic<std::uint64_t> repl_pulls_served{0};
     std::atomic<std::uint64_t> repl_batches_applied{0};

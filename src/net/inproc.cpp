@@ -5,6 +5,24 @@
 
 namespace communix::net {
 
+namespace {
+
+// Round-trips a handler reply through its wire encoding, exactly as the
+// TCP path does. This flattens zero-copy segments into the owned payload
+// (the segment/header split is a sender-side representation, not a wire
+// construct), so inproc callers parse the same bytes a TcpClient would.
+Result<Response> RoundTripResponse(const Response& resp) {
+  const auto bytes = resp.Serialize();
+  auto parsed = Response::Deserialize(
+      std::span<const std::uint8_t>(bytes.data(), bytes.size()));
+  if (!parsed) {
+    return Status::Error(ErrorCode::kDataLoss, "response failed to round-trip");
+  }
+  return *std::move(parsed);
+}
+
+}  // namespace
+
 Result<Response> InprocTransport::Call(const Request& request) {
   // Round-trip through serialization so the in-process path exercises the
   // same (de)coding as the TCP path.
@@ -14,7 +32,7 @@ Result<Response> InprocTransport::Call(const Request& request) {
   if (!parsed) {
     return Status::Error(ErrorCode::kDataLoss, "request failed to round-trip");
   }
-  return handler_.Handle(*parsed);
+  return RoundTripResponse(handler_.Handle(*parsed));
 }
 
 Result<Response> PipelinedInprocTransport::Call(const Request& request) {
@@ -44,7 +62,7 @@ Result<Response> PipelinedInprocTransport::Receive() {
   if (!parsed) {
     return Status::Error(ErrorCode::kDataLoss, "request failed to round-trip");
   }
-  return handler_.Handle(*parsed);
+  return RoundTripResponse(handler_.Handle(*parsed));
 }
 
 }  // namespace communix::net

@@ -263,12 +263,44 @@ std::optional<std::uint32_t> ParseMarkSupersededReply(const Response& resp) {
   return marked;
 }
 
-std::vector<std::uint8_t> Response::Serialize() const {
+std::size_t Response::payload_size() const {
+  std::size_t total = payload.size();
+  for (const auto& seg : segments) {
+    if (seg != nullptr) total += seg->size();
+  }
+  return total;
+}
+
+std::vector<std::uint8_t> Response::FlattenedPayload() const {
+  std::vector<std::uint8_t> flat;
+  flat.reserve(payload_size());
+  flat.insert(flat.end(), payload.begin(), payload.end());
+  for (const auto& seg : segments) {
+    if (seg != nullptr) flat.insert(flat.end(), seg->begin(), seg->end());
+  }
+  return flat;
+}
+
+std::vector<std::uint8_t> Response::SerializeHeader() const {
   BinaryWriter w;
   w.WriteU8(static_cast<std::uint8_t>(code));
   w.WriteString(error);
-  w.WriteBytes(std::span<const std::uint8_t>(payload.data(), payload.size()));
+  // Length prefix covers the logical payload (owned prefix + segments);
+  // only the owned prefix follows here. A gather writer appends the
+  // segment bytes verbatim, making the stream byte-identical to
+  // Serialize()'s flat encoding — the receiver can't tell them apart.
+  w.WriteU32(static_cast<std::uint32_t>(payload_size()));
+  w.WriteRaw(std::span<const std::uint8_t>(payload.data(), payload.size()));
   return w.take();
+}
+
+std::vector<std::uint8_t> Response::Serialize() const {
+  std::vector<std::uint8_t> bytes = SerializeHeader();
+  bytes.reserve(bytes.size() + payload_size() - payload.size());
+  for (const auto& seg : segments) {
+    if (seg != nullptr) bytes.insert(bytes.end(), seg->begin(), seg->end());
+  }
+  return bytes;
 }
 
 std::optional<Response> Response::Deserialize(

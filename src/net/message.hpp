@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -63,9 +64,33 @@ struct Request {
 struct Response {
   ErrorCode code = ErrorCode::kOk;
   std::string error;
+  /// Owned header/prefix bytes of the reply payload. For most verbs this
+  /// IS the whole payload; handlers that reply with large cached data put
+  /// only the small per-request prefix here.
   std::vector<std::uint8_t> payload;
+  /// Zero-copy payload tail: shared, immutable byte runs appended (in
+  /// order) after `payload` on the wire. The server GET path aliases the
+  /// 2Q cache's materialized slice here, so a cache hit serializes ~16
+  /// owned header bytes and shares the O(db) rest across every connection
+  /// polling the same (generation, from_index). Segments never cross the
+  /// wire structurally — the logical payload a peer deserializes is
+  /// byte-identical to the flat `payload + segments` concatenation.
+  std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> segments;
 
   bool ok() const { return code == ErrorCode::kOk; }
+
+  /// Total logical payload size: owned prefix + all shared segments.
+  std::size_t payload_size() const;
+
+  /// The logical payload as one owned vector (copies segments — for
+  /// callers that parse a Response without going through a transport).
+  std::vector<std::uint8_t> FlattenedPayload() const;
+
+  /// Serialized reply WITHOUT the segment bytes: u8 code + error string +
+  /// u32 total payload length + the owned `payload` prefix. A gather
+  /// writer emits this header followed by each segment's bytes; the
+  /// result is byte-identical to Serialize().
+  std::vector<std::uint8_t> SerializeHeader() const;
 
   std::vector<std::uint8_t> Serialize() const;
   static std::optional<Response> Deserialize(

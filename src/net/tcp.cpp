@@ -6,11 +6,14 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <deque>
 
 #include "util/logging.hpp"
 
@@ -54,26 +57,12 @@ void SetNonBlocking(int fd) {
   if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
 }
 
-/// Pool workers read/write connection sockets with blocking calls; a
-/// peer that stalls mid-frame must cost one worker a bounded time, not
-/// forever (idle connections wait in poll(), so this only fires on a
-/// half-sent frame or a reply the peer refuses to drain).
-constexpr int kConnIoTimeoutSeconds = 30;
+/// Gather-write width per sendmsg call. Linux caps msg_iovlen at IOV_MAX
+/// (1024); 64 already amortizes the syscall across a large burst.
+constexpr std::size_t kMaxIovPerFlush = 64;
 
-void SetIoTimeouts(int fd) {
-  timeval tv{};
-  tv.tv_sec = kConnIoTimeoutSeconds;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-/// True when at least one more byte is already buffered on `fd`
-/// (pipelined request behind the one just served).
-bool HasBufferedData(int fd) {
-  std::uint8_t byte = 0;
-  const ssize_t n = ::recv(fd, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
-  return n > 0;
-}
+/// recv() scratch size for the worker read loop.
+constexpr std::size_t kReadChunk = 64u * 1024u;
 
 }  // namespace
 
@@ -104,8 +93,36 @@ Result<std::vector<std::uint8_t>> ReadFrame(int fd, std::size_t max_size) {
   return body;
 }
 
+/// One queued outbound byte run: either owned (frame header + reply
+/// prefix) or a shared zero-copy Response segment queued by reference.
+struct OutChunk {
+  std::vector<std::uint8_t> owned;
+  std::shared_ptr<const std::vector<std::uint8_t>> shared;
+  std::size_t offset = 0;
+
+  const std::vector<std::uint8_t>& bytes() const {
+    return shared != nullptr ? *shared : owned;
+  }
+};
+
+struct TcpServer::Conn {
+  int fd = -1;
+  /// Received-but-unparsed bytes (partial frames reassemble here).
+  std::vector<std::uint8_t> inbuf;
+  /// Queued reply bytes awaiting flush.
+  std::deque<OutChunk> outq;
+  /// Total unsent bytes across outq.
+  std::size_t out_bytes = 0;
+  /// outq crossed Options::max_outbound_bytes and has not drained back
+  /// under it; request intake is paused and the stall clock is running.
+  bool over_cap = false;
+  std::chrono::steady_clock::time_point stall_since{};
+  /// Peer half-closed (EOF on read): flush remaining replies, then close.
+  bool close_after_drain = false;
+};
+
 TcpServer::TcpServer(RequestHandler& handler, std::uint16_t port)
-    : TcpServer(handler, Options{port, 0}) {}
+    : TcpServer(handler, Options{.port = port}) {}
 
 TcpServer::TcpServer(RequestHandler& handler, const Options& options)
     : handler_(handler), options_(options), port_(options.port) {}
@@ -114,6 +131,20 @@ TcpServer::~TcpServer() { Stop(); }
 
 std::size_t TcpServer::worker_threads() const {
   return pool_ ? pool_->size() : 0;
+}
+
+TcpServer::Stats TcpServer::GetStats() const {
+  Stats s;
+  s.writev_flushes = stats_.writev_flushes.load(std::memory_order_relaxed);
+  s.backpressure_stalls =
+      stats_.backpressure_stalls.load(std::memory_order_relaxed);
+  s.slow_client_disconnects =
+      stats_.slow_client_disconnects.load(std::memory_order_relaxed);
+  s.peak_outbound_queue_bytes =
+      stats_.peak_outbound_queue_bytes.load(std::memory_order_relaxed);
+  s.wake_pipe_full_wakes =
+      stats_.wake_pipe_full_wakes.load(std::memory_order_relaxed);
+  return s;
 }
 
 Status TcpServer::Start() {
@@ -176,32 +207,79 @@ Status TcpServer::Start() {
 
 void TcpServer::Wake() {
   const std::uint8_t byte = 1;
-  // Best effort: a full pipe already guarantees a pending wakeup.
-  (void)!::write(wake_pipe_[1], &byte, 1);
+  for (;;) {
+    const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+    if (n >= 0) return;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      // Invariant, not best-effort: the pipe is full, so >= 64KiB of wake
+      // bytes are already pending and the dispatcher cannot miss the
+      // wakeup — dropping this byte is level-triggered-safe. Counted so
+      // tests and operators can see the (harmless, but burst-indicating)
+      // condition instead of a discarded write result hiding it.
+      stats_.wake_pipe_full_wakes.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    // EBADF/EPIPE during shutdown teardown is unreachable by
+    // construction (Stop closes the pipe only after joining every
+    // writer); anything else here is a real bug worth logging.
+    CX_LOG(kError, "tcp") << "wake pipe write failed: " << std::strerror(errno);
+    return;
+  }
 }
 
 void TcpServer::PollLoop() {
-  // Connections currently armed for readability. Owned by this thread;
-  // workers hand connections back through pending_rearm_.
-  std::vector<int> idle;
+  using clock = std::chrono::steady_clock;
+  // Connections currently armed with the dispatcher (readable wait when
+  // the outbound queue is empty, writable wait otherwise). Owned by this
+  // thread; workers hand connections back through pending_rearm_.
+  std::vector<int> armed;
+
+  const auto lookup = [this](int fd) -> Conn* {
+    std::lock_guard lock(mu_);
+    auto it = conns_.find(fd);
+    return it != conns_.end() ? it->second.get() : nullptr;
+  };
 
   while (running_.load()) {
     std::vector<pollfd> fds;
-    fds.reserve(idle.size() + 2);
+    fds.reserve(armed.size() + 2);
     fds.push_back({wake_pipe_[0], POLLIN, 0});
     fds.push_back({listen_fd_, POLLIN, 0});
-    for (int fd : idle) fds.push_back({fd, POLLIN, 0});
 
-    if (::poll(fds.data(), fds.size(), -1) < 0) {
+    // Arm each connection for the direction it is waiting on, and bound
+    // the poll timeout by the nearest stall deadline so a reader that
+    // never drains (no POLLOUT, no POLLIN) still gets disconnected.
+    int timeout_ms = -1;
+    const auto now = clock::now();
+    for (int fd : armed) {
+      Conn* c = lookup(fd);
+      if (c == nullptr) continue;
+      const short events =
+          c->outq.empty() ? static_cast<short>(POLLIN)
+                          : static_cast<short>(POLLOUT);
+      fds.push_back({fd, events, 0});
+      if (c->over_cap) {
+        const auto deadline =
+            c->stall_since + std::chrono::milliseconds(options_.stall_deadline_ms);
+        const auto remaining =
+            std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+                .count();
+        const int rem_ms = static_cast<int>(std::max<long long>(0, remaining));
+        timeout_ms = timeout_ms < 0 ? rem_ms : std::min(timeout_ms, rem_ms);
+      }
+    }
+
+    if (::poll(fds.data(), fds.size(), timeout_ms) < 0) {
       if (errno == EINTR) continue;
       break;
     }
     if (!running_.load()) break;
 
-    // The poll set for the next iteration: connections that stayed quiet
-    // this round, plus fresh accepts and worker re-arms.
-    std::vector<int> next_idle;
-    next_idle.reserve(idle.size() + 4);
+    // The poll set for the next iteration: connections that stay parked
+    // here this round, plus fresh accepts and worker re-arms.
+    std::vector<int> next_armed;
+    next_armed.reserve(armed.size() + 4);
 
     if (fds[0].revents != 0) {
       std::uint8_t drain[64];
@@ -215,7 +293,7 @@ void TcpServer::PollLoop() {
         close_list.swap(pending_close_);
       }
       for (int fd : close_list) CloseConn(fd);
-      for (int fd : rearm) next_idle.push_back(fd);
+      for (int fd : rearm) next_armed.push_back(fd);
     }
 
     if (fds[1].revents != 0) {
@@ -224,42 +302,99 @@ void TcpServer::PollLoop() {
         if (fd < 0) break;  // EAGAIN (drained) or shutdown
         const int one = 1;
         ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-        SetIoTimeouts(fd);
+        SetNonBlocking(fd);
         {
           std::lock_guard lock(mu_);
-          conn_fds_.insert(fd);
+          auto conn = std::make_unique<Conn>();
+          conn->fd = fd;
+          conns_.emplace(fd, std::move(conn));
         }
-        next_idle.push_back(fd);
+        next_armed.push_back(fd);
       }
     }
 
-    // Hand every readable (or hung-up) connection to the pool; it leaves
-    // the poll set until the worker re-arms it, so each connection has at
-    // most one worker and replies stay in request order.
+    const auto after_poll = clock::now();
     for (std::size_t i = 2; i < fds.size(); ++i) {
+      const int fd = fds[i].fd;
+      Conn* c = lookup(fd);
+      if (c == nullptr) continue;
+
+      if (!c->outq.empty()) {
+        // Write-armed connection: flush on POLLOUT; anything else with
+        // events set (POLLERR/POLLHUP/POLLNVAL) is a dead peer.
+        if ((fds[i].revents & POLLOUT) != 0) {
+          if (!FlushConn(*c)) {
+            CloseConn(fd);
+            continue;
+          }
+          if (c->outq.empty()) {
+            if (c->close_after_drain) {
+              CloseConn(fd);
+              continue;
+            }
+            // Drained: intake may have been paused at the cap with
+            // complete frames left in inbuf and unread bytes in the
+            // kernel buffer — neither re-raises POLLIN by itself, so
+            // hand the connection to a worker to resume parsing.
+            if (!pool_->Submit([this, fd] { ServeReadable(fd); })) {
+              CloseConn(fd);
+            }
+            continue;
+          }
+        } else if (fds[i].revents != 0) {
+          CloseConn(fd);
+          continue;
+        }
+        // Still write-blocked: enforce the stall deadline.
+        if (c->over_cap &&
+            after_poll - c->stall_since >=
+                std::chrono::milliseconds(options_.stall_deadline_ms)) {
+          stats_.slow_client_disconnects.fetch_add(1,
+                                                   std::memory_order_relaxed);
+          CX_LOG(kWarn, "tcp")
+              << "disconnecting slow reader fd=" << fd << " ("
+              << c->out_bytes << " bytes queued past deadline)";
+          CloseConn(fd);
+          continue;
+        }
+        next_armed.push_back(fd);
+        continue;
+      }
+
+      // Read-armed connection: hand any activity (readable or hung-up)
+      // to the pool; it leaves the poll set until the worker re-arms it,
+      // so each connection has at most one worker and replies stay in
+      // request order.
       if (fds[i].revents != 0) {
-        const int fd = fds[i].fd;
         if (!pool_->Submit([this, fd] { ServeReadable(fd); })) {
           CloseConn(fd);
         }
       } else {
-        next_idle.push_back(fds[i].fd);
+        next_armed.push_back(fd);
       }
     }
-    idle = std::move(next_idle);
+    armed = std::move(next_armed);
   }
 }
 
-void TcpServer::ServeReadable(int fd) {
-  bool drop = false;
-  do {
-    auto frame = ReadFrame(fd, kMaxFrameSize);
-    if (!frame.ok()) {
-      drop = true;
-      break;
+bool TcpServer::ParseFrames(Conn& c) {
+  // Cursor-based scan: one erase of the consumed prefix at the end keeps
+  // a pipelined burst O(bytes), not O(frames × bytes).
+  std::size_t cursor = 0;
+  while (!c.over_cap) {
+    if (c.inbuf.size() - cursor < 4) break;
+    std::uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) {
+      len |= static_cast<std::uint32_t>(c.inbuf[cursor + i]) << (i * 8);
     }
+    if (len > kMaxFrameSize) {
+      if (cursor > 0) c.inbuf.erase(c.inbuf.begin(), c.inbuf.begin() + cursor);
+      return false;  // framing violation: unrecoverable, drop
+    }
+    if (c.inbuf.size() - cursor < 4 + static_cast<std::size_t>(len)) break;
+
     auto request = Request::Deserialize(std::span<const std::uint8_t>(
-        frame.value().data(), frame.value().size()));
+        c.inbuf.data() + cursor + 4, len));
     Response response;
     if (!request) {
       response.code = ErrorCode::kDataLoss;
@@ -267,16 +402,148 @@ void TcpServer::ServeReadable(int fd) {
     } else {
       response = handler_.Handle(*request);
     }
-    const auto out = response.Serialize();
-    if (auto s = WriteFrame(
-            fd, std::span<const std::uint8_t>(out.data(), out.size()));
-        !s.ok()) {
+    EnqueueResponse(c, response);
+    cursor += 4 + static_cast<std::size_t>(len);
+  }
+  if (cursor > 0) c.inbuf.erase(c.inbuf.begin(), c.inbuf.begin() + cursor);
+  return true;
+}
+
+void TcpServer::EnqueueResponse(Conn& c, const Response& response) {
+  // Frame length prefix + serialized header + owned payload prefix
+  // become ONE owned chunk; each zero-copy segment rides behind it by
+  // reference — for a cache-hit GET the copied bytes end this function
+  // at ~16 while the O(db) slice is shared across every polling
+  // connection.
+  const std::vector<std::uint8_t> header = response.SerializeHeader();
+  std::size_t shared_bytes = 0;
+  for (const auto& seg : response.segments) {
+    if (seg != nullptr) shared_bytes += seg->size();
+  }
+  const std::size_t frame_len = header.size() + shared_bytes;
+
+  OutChunk head;
+  head.owned.reserve(4 + header.size());
+  for (int i = 0; i < 4; ++i) {
+    head.owned.push_back(static_cast<std::uint8_t>(frame_len >> (i * 8)));
+  }
+  head.owned.insert(head.owned.end(), header.begin(), header.end());
+  c.outq.push_back(std::move(head));
+  for (const auto& seg : response.segments) {
+    if (seg != nullptr && !seg->empty()) {
+      OutChunk chunk;
+      chunk.shared = seg;
+      c.outq.push_back(std::move(chunk));
+    }
+  }
+  c.out_bytes += 4 + frame_len;
+
+  // High-water mark (monotonic max over all connections).
+  std::uint64_t peak =
+      stats_.peak_outbound_queue_bytes.load(std::memory_order_relaxed);
+  while (peak < c.out_bytes &&
+         !stats_.peak_outbound_queue_bytes.compare_exchange_weak(
+             peak, c.out_bytes, std::memory_order_relaxed)) {
+  }
+
+  if (!c.over_cap && c.out_bytes > options_.max_outbound_bytes) {
+    // The stall clock starts at the cap crossing and is reset ONLY by
+    // draining back under the cap (FlushConn) — partial progress does
+    // not extend the deadline, so a reader that trickles 1 byte per
+    // write cannot evade disconnection.
+    c.over_cap = true;
+    c.stall_since = std::chrono::steady_clock::now();
+    stats_.backpressure_stalls.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+bool TcpServer::FlushConn(Conn& c) {
+  while (!c.outq.empty()) {
+    iovec iov[kMaxIovPerFlush];
+    std::size_t cnt = 0;
+    for (const OutChunk& chunk : c.outq) {
+      if (cnt == kMaxIovPerFlush) break;
+      const std::vector<std::uint8_t>& bytes = chunk.bytes();
+      iov[cnt].iov_base =
+          const_cast<std::uint8_t*>(bytes.data() + chunk.offset);
+      iov[cnt].iov_len = bytes.size() - chunk.offset;
+      ++cnt;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = cnt;
+    const ssize_t n = ::sendmsg(c.fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return true;  // kernel buffer full: POLLOUT will resume the flush
+      }
+      return false;
+    }
+    stats_.writev_flushes.fetch_add(1, std::memory_order_relaxed);
+    c.out_bytes -= static_cast<std::size_t>(n);
+    std::size_t consumed = static_cast<std::size_t>(n);
+    while (consumed > 0) {
+      OutChunk& front = c.outq.front();
+      const std::size_t rem = front.bytes().size() - front.offset;
+      if (consumed >= rem) {
+        consumed -= rem;
+        c.outq.pop_front();
+      } else {
+        front.offset += consumed;
+        consumed = 0;
+      }
+    }
+    if (c.over_cap && c.out_bytes <= options_.max_outbound_bytes) {
+      c.over_cap = false;  // drained under the cap: stall cleared
+    }
+  }
+  return true;
+}
+
+void TcpServer::ServeReadable(int fd) {
+  Conn* c = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    auto it = conns_.find(fd);
+    if (it != conns_.end()) c = it->second.get();
+  }
+  if (c == nullptr) return;  // raced with shutdown teardown
+
+  bool drop = false;
+  for (;;) {
+    if (!ParseFrames(*c)) {
       drop = true;
       break;
     }
-    // Keep draining while the client has pipelined more request bytes;
-    // otherwise give the worker back and let poll() watch the socket.
-  } while (HasBufferedData(fd));
+    if (c->over_cap || c->close_after_drain) {
+      // Backpressure (or peer EOF): stop consuming input. Unread bytes
+      // stay in the kernel buffer, so TCP flow control throttles the
+      // sender; leftover complete frames in inbuf resume after drain.
+      break;
+    }
+    std::uint8_t buf[kReadChunk];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      c->inbuf.insert(c->inbuf.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      // Peer EOF. Replies already queued for this burst still go out
+      // (half-close friendly); the dispatcher closes once drained.
+      c->close_after_drain = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    drop = true;
+    break;
+  }
+
+  // End-of-burst flush: every reply queued above goes out in one gather
+  // write (syscalls per burst, not per reply). Residue re-arms POLLOUT.
+  if (!drop && !c->outq.empty() && !FlushConn(*c)) drop = true;
+  if (!drop && c->close_after_drain && c->outq.empty()) drop = true;
 
   {
     std::lock_guard lock(mu_);
@@ -293,7 +560,7 @@ void TcpServer::CloseConn(int fd) {
   bool do_close = false;
   {
     std::lock_guard lock(mu_);
-    do_close = conn_fds_.erase(fd) > 0;
+    do_close = conns_.erase(fd) > 0;
   }
   if (do_close) ::close(fd);
 }
@@ -306,21 +573,24 @@ void TcpServer::Stop() {
     }
     return;
   }
-  // Unblock accept()/poll() and in-flight connection reads.
+  // Unblock accept()/poll().
   ::shutdown(listen_fd_, SHUT_RDWR);
   Wake();
   if (poll_thread_.joinable()) poll_thread_.join();
   {
     std::lock_guard lock(mu_);
-    for (int fd : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    for (auto& [fd, conn] : conns_) ::shutdown(fd, SHUT_RDWR);
   }
-  // Queued/in-flight workers fail their reads fast now; drain them all.
+  // Queued/in-flight workers see EOF/errors fast now; drain them all.
+  // Conn objects stay alive until the pool is down — workers hold raw
+  // pointers into the registry.
   pool_->Shutdown();
 
   std::vector<int> leftovers;
   {
     std::lock_guard lock(mu_);
-    leftovers.assign(conn_fds_.begin(), conn_fds_.end());
+    leftovers.reserve(conns_.size());
+    for (auto& [fd, conn] : conns_) leftovers.push_back(fd);
     pending_rearm_.clear();
     pending_close_.clear();
   }
@@ -391,6 +661,35 @@ Result<Response> TcpClient::Receive() {
 }
 
 Result<Response> TcpClient::Call(const Request& request) {
+  if (auto s = Send(request); !s.ok()) return s;
+  return Receive();
+}
+
+Status ReconnectingTcpClient::EnsureConnected() {
+  if (client_.connected()) return Status::Ok();
+  if (auto s = client_.Connect(host_, port_); !s.ok()) return s;
+  ++connects_;
+  return Status::Ok();
+}
+
+void ReconnectingTcpClient::Drop() { client_.Close(); }
+
+Status ReconnectingTcpClient::Send(const Request& request) {
+  if (auto s = EnsureConnected(); !s.ok()) return s;
+  const Status s = client_.Send(request);
+  if (!s.ok()) Drop();
+  return s;
+}
+
+Result<Response> ReconnectingTcpClient::Receive() {
+  // No lazy connect here: a Receive with no connection has no matching
+  // Send, which is a caller pairing bug, not a transport hiccup.
+  auto r = client_.Receive();
+  if (!r.ok()) Drop();
+  return r;
+}
+
+Result<Response> ReconnectingTcpClient::Call(const Request& request) {
   if (auto s = Send(request); !s.ok()) return s;
   return Receive();
 }

@@ -8,10 +8,22 @@
 // The server multiplexes all connections over a poll(2) dispatcher plus a
 // bounded ThreadPool instead of one dedicated thread per connection:
 // a connection with a readable socket is handed to a pool worker, which
-// drains every fully buffered request frame (pipelining: a client may
+// parses every fully buffered request frame (pipelining: a client may
 // send many frames before reading any reply; replies come back in order),
-// then re-arms the connection with the dispatcher. 10k mostly idle
-// connections therefore cost 10k fds, not 10k threads.
+// queues the replies, and re-arms the connection with the dispatcher.
+// 10k mostly idle connections therefore cost 10k fds, not 10k threads.
+//
+// Replies never block a worker: each connection carries a non-blocking
+// outbound queue of owned-or-shared byte chunks (zero-copy Response
+// segments are queued by reference), flushed with one gather sendmsg per
+// readable burst. A partial write re-arms the connection for POLLOUT in
+// the dispatcher instead of spinning the worker; while the queue is
+// non-empty the server reads nothing more from that connection, so TCP
+// flow control pushes back on pipelining senders. A connection whose
+// queue exceeds `max_outbound_bytes` and fails to drain back under the
+// cap within `stall_deadline_ms` is a pathological slow reader and gets
+// disconnected — the socket-level analogue of the deadlock-avoidance
+// yield: one bad participant must not pin resources everyone shares.
 #pragma once
 
 #include <atomic>
@@ -20,7 +32,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
-#include <unordered_set>
+#include <unordered_map>
 #include <vector>
 
 #include "net/message.hpp"
@@ -36,6 +48,23 @@ class TcpServer {
     std::uint16_t port = 0;
     /// Pool workers handling request frames; 0 = max(4, hw concurrency).
     std::size_t worker_threads = 0;
+    /// Per-connection outbound queue cap. Crossing it marks the
+    /// connection stalled (backpressure_stalls) and stops request intake
+    /// on it until the queue drains back under the cap.
+    std::size_t max_outbound_bytes = 32u * 1024u * 1024u;
+    /// How long a connection may stay over the queue cap before it is
+    /// disconnected as a pathological slow reader.
+    int stall_deadline_ms = 15'000;
+  };
+
+  /// Structural counters for the non-blocking reply path (monotonic since
+  /// Start; peak_outbound_queue_bytes is a high-water mark).
+  struct Stats {
+    std::uint64_t writev_flushes = 0;         ///< gather sendmsg syscalls
+    std::uint64_t backpressure_stalls = 0;    ///< queue crossed the cap
+    std::uint64_t slow_client_disconnects = 0;
+    std::uint64_t peak_outbound_queue_bytes = 0;
+    std::uint64_t wake_pipe_full_wakes = 0;   ///< Wake() hit a full pipe
   };
 
   TcpServer(RequestHandler& handler, std::uint16_t port = 0);
@@ -53,12 +82,25 @@ class TcpServer {
   std::uint16_t port() const { return port_; }
   bool running() const { return running_.load(); }
   std::size_t worker_threads() const;
+  Stats GetStats() const;
 
  private:
+  struct Conn;
+
   void PollLoop();
-  /// Pool task: drain buffered request frames on `fd`, then re-arm it.
+  /// Pool task: parse buffered request frames on `fd`, queue replies,
+  /// flush once, then re-arm the connection with the dispatcher.
   void ServeReadable(int fd);
-  /// Closes `fd` exactly once (registry-guarded against double close).
+  /// Parses every complete frame in c.inbuf (stops at the queue cap) and
+  /// queues the replies. False = framing violation, drop the connection.
+  bool ParseFrames(Conn& c);
+  /// Queues one reply (frame header + owned prefix as one owned chunk,
+  /// zero-copy segments by reference) and updates cap/stall state.
+  void EnqueueResponse(Conn& c, const Response& response);
+  /// Gather-flushes c.outq until empty or EAGAIN. False = fatal socket
+  /// error (drop the connection); EAGAIN is success with residue.
+  bool FlushConn(Conn& c);
+  /// Closes + forgets `fd` exactly once (registry-guarded).
   void CloseConn(int fd);
   /// Pokes the dispatcher out of poll().
   void Wake();
@@ -72,10 +114,22 @@ class TcpServer {
   std::thread poll_thread_;
   std::unique_ptr<ThreadPool> pool_;
 
+  struct AtomicStats {
+    std::atomic<std::uint64_t> writev_flushes{0};
+    std::atomic<std::uint64_t> backpressure_stalls{0};
+    std::atomic<std::uint64_t> slow_client_disconnects{0};
+    std::atomic<std::uint64_t> peak_outbound_queue_bytes{0};
+    std::atomic<std::uint64_t> wake_pipe_full_wakes{0};
+  };
+  AtomicStats stats_;
+
   std::mutex mu_;
-  /// Every live connection fd (armed or being served); Stop() shuts these
-  /// down to unblock workers mid-read.
-  std::unordered_set<int> conn_fds_;
+  /// Every live connection, keyed by fd. A connection is owned EITHER by
+  /// the poll loop (armed) OR by exactly one worker (being served); the
+  /// handoff through pending_rearm_/pending_close_ under mu_ orders all
+  /// access to its buffers, so Conn itself needs no lock. Stop() destroys
+  /// entries only after the pool has drained.
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
   /// Served connections waiting to rejoin the poll set / to be closed.
   std::vector<int> pending_rearm_;
   std::vector<int> pending_close_;
@@ -105,6 +159,37 @@ class TcpClient final : public PipelinedClientTransport {
 
  private:
   int fd_ = -1;
+};
+
+/// A self-healing PipelinedClientTransport over one TcpClient: every
+/// Send/Call (re)establishes the connection if it is down, and any
+/// transport error tears it down so the NEXT round reconnects from a
+/// clean slate (an errored pipelined connection has unknowable framing
+/// state — resuming on it would desynchronize request/reply pairing).
+/// This is what lets the LogShipper's pipelined ShipRound run over real
+/// processes: a follower restart costs one failed round, then the
+/// shipper reconnects and resumes from the follower's persisted length.
+class ReconnectingTcpClient final : public PipelinedClientTransport {
+ public:
+  ReconnectingTcpClient(std::string host, std::uint16_t port)
+      : host_(std::move(host)), port_(port) {}
+
+  Status Send(const Request& request) override;
+  Result<Response> Receive() override;
+  Result<Response> Call(const Request& request) override;
+
+  bool connected() const { return client_.connected(); }
+  /// Successful connection establishments (first connect counts).
+  std::uint64_t connects() const { return connects_; }
+
+ private:
+  Status EnsureConnected();
+  void Drop();
+
+  std::string host_;
+  std::uint16_t port_;
+  TcpClient client_;
+  std::uint64_t connects_ = 0;
 };
 
 /// Frame helpers shared by both ends (u32 LE length + body). Exposed for

@@ -457,8 +457,12 @@ TEST_F(ServerTest, GetScansRaceConcurrentBatchAppends) {
           violations.fetch_add(1);
           continue;
         }
-        BinaryReader pr(std::span<const std::uint8_t>(resp.payload.data(),
-                                                      resp.payload.size()));
+        // Direct Handle() replies carry the entries region as a
+        // zero-copy segment; flatten before parsing (transports do this
+        // on the wire).
+        const auto flat = resp.FlattenedPayload();
+        BinaryReader pr(
+            std::span<const std::uint8_t>(flat.data(), flat.size()));
         const std::uint32_t count = pr.ReadU32();
         std::uint32_t parsed = 0;
         for (std::uint32_t i = 0; i < count; ++i) {
@@ -497,6 +501,80 @@ TEST_F(ServerTest, GetScansRaceConcurrentBatchAppends) {
   EXPECT_EQ(server_.db_size(),
             static_cast<std::uint64_t>(kBatches * kPerBatch));
 }
+
+// ---------------------------------------------------------------------------
+// Zero-copy reply accounting: a repeat-poll GET workload must serve the
+// entries region as shared segments (aliasing the 2Q cache's slice) and
+// copy only the 4-byte count prefix per request — on BOTH store
+// backends. This is the structural proof that the wire tier preserves
+// the cache's sharing instead of re-memcpying O(db) per connection.
+// ---------------------------------------------------------------------------
+class ZeroCopyReplyTest : public ::testing::TestWithParam<store::Backend> {};
+
+TEST_P(ZeroCopyReplyTest, CacheHitGetsCopyOnlyTheCountPrefix) {
+  VirtualClock clock;
+  CommunixServer::Options opts;
+  opts.per_user_daily_limit = 1000;
+  opts.store.backend = GetParam();
+  opts.store.read_cache_slices = 16;
+  CommunixServer server(clock, opts);
+
+  constexpr std::uint32_t kSigs = 50;
+  for (std::uint32_t i = 0; i < kSigs; ++i) {
+    ASSERT_TRUE(server
+                    .AddSignature(server.IssueToken(7000 + i),
+                                  MakeSig(700'000 + i * 11))
+                    .ok());
+  }
+
+  const auto poll = [&] {
+    net::Request req;
+    req.type = net::MsgType::kGetSignatures;
+    BinaryWriter w;
+    w.WriteU64(0);
+    req.payload = w.take();
+    return server.Handle(req);
+  };
+
+  // First poll materializes the slice; its size calibrates the pin.
+  const net::Response first = poll();
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first.payload.size(), 4u)
+      << "only the u32 count prefix is owned per request";
+  ASSERT_EQ(first.segments.size(), 1u);
+  const std::size_t entry_bytes = first.payload_size() - 4;
+  ASSERT_GT(entry_bytes, 10'000u) << "50 signatures are tens of KB";
+
+  constexpr std::uint64_t kPolls = 100;
+  for (std::uint64_t i = 0; i < kPolls; ++i) {
+    const net::Response resp = poll();
+    ASSERT_TRUE(resp.ok());
+    EXPECT_EQ(resp.payload.size(), 4u);
+  }
+
+  const auto stats = server.GetStats();
+  EXPECT_EQ(stats.gets_served, kPolls + 1);
+  // Exactly 4 copied bytes per GET; everything else rode as a shared
+  // segment. (ADDs went through the direct API, so GETs are the only
+  // Handle() replies in the ledger.)
+  EXPECT_EQ(stats.reply_bytes_copied, 4u * (kPolls + 1));
+  EXPECT_EQ(stats.reply_bytes_shared, entry_bytes * (kPolls + 1));
+  EXPECT_GT(stats.reply_bytes_shared, 100u * stats.reply_bytes_copied)
+      << "shared must dwarf copied under repeat polls";
+
+  // And the flattened bytes are exactly the legacy flat encoding: the
+  // segment split is invisible to every parser.
+  const auto flat = first.FlattenedPayload();
+  BinaryReader r(std::span<const std::uint8_t>(flat.data(), flat.size()));
+  EXPECT_EQ(r.ReadU32(), kSigs);
+  const net::Response again = poll();
+  EXPECT_EQ(again.FlattenedPayload(), flat);
+  EXPECT_EQ(again.Serialize(), first.Serialize());
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, ZeroCopyReplyTest,
+                         ::testing::Values(store::Backend::kSharded,
+                                           store::Backend::kMonolithic));
 
 }  // namespace
 }  // namespace communix

@@ -1,0 +1,257 @@
+// Hostile framing on the buffered non-blocking path: partial-frame
+// reassembly from a 1-byte request trickle, every possible reply
+// truncation as seen by TcpClient::Receive, and pipelined bursts whose
+// replies must coalesce into a handful of gather flushes while staying
+// in request order.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "net/tcp.hpp"
+
+namespace communix::net {
+namespace {
+
+/// Replies with the request's own payload (lets tests pin reply order).
+class EchoHandler final : public RequestHandler {
+ public:
+  Response Handle(const Request& request) override {
+    Response resp;
+    resp.payload = request.payload;
+    return resp;
+  }
+};
+
+class RawSocket {
+ public:
+  bool Connect(std::uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    return ::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+           0;
+  }
+  bool Send(const void* data, std::size_t len) {
+    return ::send(fd_, data, len, MSG_NOSIGNAL) ==
+           static_cast<ssize_t>(len);
+  }
+  bool ReadExact(std::uint8_t* out, std::size_t len) {
+    std::size_t got = 0;
+    while (got < len) {
+      const ssize_t n = ::recv(fd_, out + got, len - got, 0);
+      if (n <= 0) return false;
+      got += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+  ~RawSocket() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+std::vector<std::uint8_t> FrameFor(const Request& req) {
+  const auto body = req.Serialize();
+  std::vector<std::uint8_t> frame;
+  frame.reserve(4 + body.size());
+  const std::uint32_t len = static_cast<std::uint32_t>(body.size());
+  for (int b = 0; b < 4; ++b) {
+    frame.push_back(static_cast<std::uint8_t>(len >> (b * 8)));
+  }
+  frame.insert(frame.end(), body.begin(), body.end());
+  return frame;
+}
+
+Request EchoRequest(std::uint8_t tag) {
+  Request req;
+  req.type = MsgType::kPing;
+  req.payload = {tag, 0x5A, tag};
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// 1-byte request trickle: the server's inbuf must reassemble frames that
+// arrive one byte per segment, across several back-to-back requests.
+// ---------------------------------------------------------------------------
+TEST(FramingTest, OneByteRequestTrickleReassembles) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  ASSERT_TRUE(server.Start().ok());
+
+  RawSocket raw;
+  ASSERT_TRUE(raw.Connect(server.port()));
+  for (std::uint8_t round = 0; round < 3; ++round) {
+    const auto frame = FrameFor(EchoRequest(round));
+    for (const std::uint8_t byte : frame) {
+      ASSERT_TRUE(raw.Send(&byte, 1));
+      // A tiny pause defeats Nagle-coalescing enough that most bytes
+      // really do arrive as separate readable events.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    // The reply must come back complete and parseable.
+    std::uint8_t header[4];
+    ASSERT_TRUE(raw.ReadExact(header, 4));
+    std::uint32_t len = 0;
+    for (int b = 0; b < 4; ++b) {
+      len |= static_cast<std::uint32_t>(header[b]) << (b * 8);
+    }
+    ASSERT_LE(len, 64u);
+    std::vector<std::uint8_t> body(len);
+    ASSERT_TRUE(raw.ReadExact(body.data(), len));
+    const auto resp = Response::Deserialize(
+        std::span<const std::uint8_t>(body.data(), body.size()));
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_TRUE(resp->ok());
+    EXPECT_EQ(resp->payload, (std::vector<std::uint8_t>{round, 0x5A, round}));
+  }
+  server.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Every-byte reply truncation: for every prefix length of a valid reply
+// frame, a server that sends exactly that prefix and closes must surface
+// an error (never a hang, never a bogus Response) from Receive().
+// ---------------------------------------------------------------------------
+TEST(FramingTest, EveryByteReplyTruncationErrorsCleanly) {
+  // A hand-rolled one-shot server per truncation point: accept, swallow
+  // the request frame, emit `cut` bytes of the canned reply, close.
+  Response canned;
+  canned.payload = {1, 2, 3, 4, 5, 6, 7};
+  const auto reply_body = canned.Serialize();
+  std::vector<std::uint8_t> reply_frame;
+  const std::uint32_t rlen = static_cast<std::uint32_t>(reply_body.size());
+  for (int b = 0; b < 4; ++b) {
+    reply_frame.push_back(static_cast<std::uint8_t>(rlen >> (b * 8)));
+  }
+  reply_frame.insert(reply_frame.end(), reply_body.begin(), reply_body.end());
+
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(listen_fd, 0);
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  ASSERT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                   sizeof(addr)),
+            0);
+  ASSERT_EQ(::listen(listen_fd, 16), 0);
+  sockaddr_in bound{};
+  socklen_t blen = sizeof(bound);
+  ASSERT_EQ(::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound),
+                          &blen),
+            0);
+  const std::uint16_t port = ntohs(bound.sin_port);
+
+  for (std::size_t cut = 0; cut < reply_frame.size(); ++cut) {
+    std::thread truncating_server([&] {
+      const int conn = ::accept(listen_fd, nullptr, nullptr);
+      ASSERT_GE(conn, 0);
+      // Swallow the request frame (header + body).
+      std::uint8_t header[4];
+      std::size_t got = 0;
+      while (got < 4) {
+        const ssize_t n = ::recv(conn, header + got, 4 - got, 0);
+        if (n <= 0) break;
+        got += static_cast<std::size_t>(n);
+      }
+      std::uint32_t want = 0;
+      for (int b = 0; b < 4; ++b) {
+        want |= static_cast<std::uint32_t>(header[b]) << (b * 8);
+      }
+      std::vector<std::uint8_t> sink(want);
+      got = 0;
+      while (got < want) {
+        const ssize_t n = ::recv(conn, sink.data() + got, want - got, 0);
+        if (n <= 0) break;
+        got += static_cast<std::size_t>(n);
+      }
+      if (cut > 0) {
+        (void)::send(conn, reply_frame.data(), cut, MSG_NOSIGNAL);
+      }
+      ::close(conn);
+    });
+
+    TcpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", port).ok());
+    Request ping;
+    ping.type = MsgType::kPing;
+    const auto result = client.Call(ping);
+    EXPECT_FALSE(result.ok())
+        << "a reply truncated at byte " << cut << "/" << reply_frame.size()
+        << " must surface as a transport error";
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), ErrorCode::kUnavailable);
+    }
+    truncating_server.join();
+  }
+  ::close(listen_fd);
+
+  // Control: the untruncated frame parses fine through the same path.
+  const auto parsed = Response::Deserialize(std::span<const std::uint8_t>(
+      reply_body.data(), reply_body.size()));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->payload, canned.payload);
+}
+
+// ---------------------------------------------------------------------------
+// Burst coalescing: requests pipelined in ONE send must come back in
+// request order, and their replies must leave in a few gather flushes —
+// not one syscall per reply.
+// ---------------------------------------------------------------------------
+TEST(FramingTest, PipelinedBurstRepliesCoalesceInOrder) {
+  EchoHandler handler;
+  TcpServer server(handler);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr std::uint8_t kBurst = 32;
+  std::vector<std::uint8_t> burst;
+  for (std::uint8_t i = 0; i < kBurst; ++i) {
+    const auto frame = FrameFor(EchoRequest(i));
+    burst.insert(burst.end(), frame.begin(), frame.end());
+  }
+
+  RawSocket raw;
+  ASSERT_TRUE(raw.Connect(server.port()));
+  ASSERT_TRUE(raw.Send(burst.data(), burst.size()));
+
+  for (std::uint8_t i = 0; i < kBurst; ++i) {
+    std::uint8_t header[4];
+    ASSERT_TRUE(raw.ReadExact(header, 4));
+    std::uint32_t len = 0;
+    for (int b = 0; b < 4; ++b) {
+      len |= static_cast<std::uint32_t>(header[b]) << (b * 8);
+    }
+    ASSERT_LE(len, 64u);
+    std::vector<std::uint8_t> body(len);
+    ASSERT_TRUE(raw.ReadExact(body.data(), len));
+    const auto resp = Response::Deserialize(
+        std::span<const std::uint8_t>(body.data(), body.size()));
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->payload, (std::vector<std::uint8_t>{i, 0x5A, i}))
+        << "reply " << static_cast<int>(i) << " out of order";
+  }
+
+  const auto stats = server.GetStats();
+  EXPECT_GE(stats.writev_flushes, 1u);
+  EXPECT_LE(stats.writev_flushes, 8u)
+      << "32 pipelined replies should coalesce into a few gather "
+         "flushes, not one syscall each";
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace communix::net

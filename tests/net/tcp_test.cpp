@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <memory>
 #include <thread>
+#include <vector>
 
 #include "net/inproc.hpp"
 
@@ -273,6 +276,60 @@ TEST(TcpTest, ServerSurvivesClientDisconnect) {
   req.type = MsgType::kPing;
   EXPECT_TRUE(client2.Call(req).ok());
   server.Stop();
+}
+
+/// Open descriptors of this process, via /proc/self/fd.
+std::size_t CountOpenFds() {
+  std::size_t count = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/fd")) {
+    ++count;
+  }
+  // The directory_iterator itself holds one fd while iterating; it is
+  // closed by now, so the count is stable across repeated calls.
+  return count;
+}
+
+TEST(TcpTest, LifecycleLeaksNoFds) {
+  // Warm up lazily-created process state (gtest, stdio, resolver) so the
+  // baseline is honest.
+  {
+    EchoHandler handler;
+    TcpServer server(handler);
+    ASSERT_TRUE(server.Start().ok());
+    TcpClient client;
+    ASSERT_TRUE(client.Connect("127.0.0.1", server.port()).ok());
+    server.Stop();
+  }
+
+  const std::size_t before = CountOpenFds();
+  for (int round = 0; round < 3; ++round) {
+    EchoHandler handler;
+    TcpServer server(handler);
+    ASSERT_TRUE(server.Start().ok());
+    // A mix of cleanly-served, abruptly-dropped, and still-connected
+    // clients: every accepted fd must be released by Stop(), whether
+    // its connection ended before, during, or because of shutdown.
+    std::vector<std::unique_ptr<TcpClient>> open_clients;
+    for (int i = 0; i < 4; ++i) {
+      auto client = std::make_unique<TcpClient>();
+      ASSERT_TRUE(client->Connect("127.0.0.1", server.port()).ok());
+      Request req;
+      req.type = MsgType::kPing;
+      ASSERT_TRUE(client->Call(req).ok());
+      if (i % 2 == 0) {
+        client->Close();  // dropped before shutdown
+      } else {
+        open_clients.push_back(std::move(client));  // alive at Stop()
+      }
+    }
+    server.Stop();
+    open_clients.clear();  // release the client-side fds before counting
+    // listen fd, wake pipe (2), and every accepted conn fd are gone.
+    EXPECT_EQ(CountOpenFds(), before) << "fd leak in lifecycle round "
+                                      << round;
+  }
+  EXPECT_EQ(CountOpenFds(), before);
 }
 
 }  // namespace

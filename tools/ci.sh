@@ -7,7 +7,15 @@
 # smoke mode, recording the perf trajectory in BENCH_fig2.json and
 # BENCH_overhead.json at the repo root.
 #
-# Both the default and --tsan modes additionally run the cluster smoke:
+# Both the default and --tsan modes additionally run the net smoke:
+# slow-client containment (1-byte reader capped + disconnected while
+# healthy clients stay flat on a single-worker server), hostile framing
+# (1-byte request trickle, every-byte reply truncation, pipelined-burst
+# reply coalescing), and the two-process shipper (pipelined ShipRound +
+# SIGTERM/restart recovery against real communix_server daemons over
+# reconnecting TCP transports).
+#
+# Both modes additionally run the cluster smoke:
 # a primary + 2 log-shipping followers over inproc transport with a
 # kill-primary failover check (tests/cluster/cluster_client_test.cpp,
 # suite ClusterSmoke), plus the store-tier smoke: checkpoint bootstrap
@@ -40,7 +48,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DCOMMUNIX_TSAN=ON
   cmake --build build-tsan -j"${JOBS}" --target dimmunix_tests util_tests \
-        cluster_tests communix_tests
+        cluster_tests communix_tests net_tests communix_server
   # tools/tsan.supp scopes out a libstdc++ atomic<shared_ptr> internal
   # (relaxed spinlock unlock in _Sp_atomic::load) TSAN cannot model.
   TSAN="halt_on_error=1 suppressions=$(pwd)/tools/tsan.supp"
@@ -64,7 +72,15 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # suite, off in the routing tests it replaces).
   TSAN_OPTIONS="${TSAN}" ./build-tsan/cluster_tests \
       --gtest_filter='ClusterSmoke.*:LogShipperTest.BackgroundDaemonShipsConcurrentAdds:LogShipperTest.CatchUpResetUnderConcurrentReadersIsSafe:CheckpointBootstrapTest.*:ClusterClientCacheTest.*:ShardedSmoke.*'
-  echo "ci: tsan clean (dimmunix_tests, util_tests, store-tier smoke, cluster + sharded smoke)"
+  # Net smoke under TSAN: the poll-loop/worker conn handoff, the
+  # non-blocking gather flush racing POLLOUT re-arms, slow-client
+  # containment, and the two-process shipper (a TSAN parent driving
+  # TSAN-built communix_server children over real sockets).
+  TSAN_OPTIONS="${TSAN}" ./build-tsan/net_tests \
+      --gtest_filter='SlowClientTest.*:FramingTest.*:TcpTest.*'
+  TSAN_OPTIONS="${TSAN}" ./build-tsan/cluster_tests \
+      --gtest_filter='TwoProcessShipper.*'
+  echo "ci: tsan clean (dimmunix_tests, util_tests, store-tier smoke, cluster + sharded smoke, net smoke)"
   exit 0
 fi
 
@@ -98,6 +114,14 @@ echo "ci: wake-path stress smoke passed"
 ./build/cluster_tests \
     --gtest_filter='ClusterSmoke.*:CheckpointBootstrapTest.*:ClusterClientCacheTest.*:ShardedSmoke.*'
 echo "ci: cluster smoke passed (failover, checkpoint bootstrap, read cache, sharded routing)"
+
+# Net smoke: slow-client containment + hostile framing on the
+# non-blocking reply path, the zero-copy reply accounting on both store
+# backends, and the two-process shipper over real daemons.
+./build/net_tests --gtest_filter='SlowClientTest.*:FramingTest.*'
+./build/communix_tests --gtest_filter='*ZeroCopyReplyTest*'
+./build/cluster_tests --gtest_filter='TwoProcessShipper.*'
+echo "ci: net smoke passed (slow-client containment, framing, zero-copy replies, two-process shipper)"
 
 ./build/fig2_server_throughput --smoke --compare --replicas=2 --groups=2 \
     --json=BENCH_fig2.json

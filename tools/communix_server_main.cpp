@@ -4,6 +4,11 @@
 // disk on shutdown (SIGINT/SIGTERM) and periodically.
 //
 //   communix_server [--port N] [--db PATH] [--limit PER_USER_PER_DAY]
+//                   [--role primary|follower]
+//
+// --role follower starts a replication follower: ADDs are refused and a
+// primary's LogShipper feeds it via kReplBatch/kCheckpoint. The two-
+// process deployment tests drive exactly this binary.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +29,7 @@ int main(int argc, char** argv) {
   std::uint16_t port = 7411;
   std::string db_path = "communix_server.db";
   std::size_t limit = 10;
+  communix::ServerRole role = communix::ServerRole::kPrimary;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) {
@@ -39,9 +45,21 @@ int main(int argc, char** argv) {
       db_path = need_value("--db");
     } else if (std::strcmp(argv[i], "--limit") == 0) {
       limit = static_cast<std::size_t>(std::atoi(need_value("--limit")));
+    } else if (std::strcmp(argv[i], "--role") == 0) {
+      const char* value = need_value("--role");
+      if (std::strcmp(value, "primary") == 0) {
+        role = communix::ServerRole::kPrimary;
+      } else if (std::strcmp(value, "follower") == 0) {
+        role = communix::ServerRole::kFollower;
+      } else {
+        std::fprintf(stderr, "--role must be primary or follower\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--port N] [--db PATH] [--limit N]\n", argv[0]);
+                   "usage: %s [--port N] [--db PATH] [--limit N] "
+                   "[--role primary|follower]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -49,6 +67,7 @@ int main(int argc, char** argv) {
   communix::SetLogLevel(communix::LogLevel::kInfo);
   communix::CommunixServer::Options options;
   options.per_user_daily_limit = limit;
+  options.role = role;
   communix::CommunixServer server(communix::SystemClock::Instance(), options);
 
   if (std::filesystem::exists(db_path)) {
@@ -69,8 +88,13 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("communix server listening on 127.0.0.1:%u (db: %s, "
-              "limit: %zu/user/day)\n",
-              tcp.port(), db_path.c_str(), limit);
+              "limit: %zu/user/day, role: %s)\n",
+              tcp.port(), db_path.c_str(), limit,
+              role == communix::ServerRole::kFollower ? "follower"
+                                                      : "primary");
+  // The deployment harness reads this line through a pipe to learn the
+  // bound port; without the flush it sits in the stdio buffer forever.
+  std::fflush(stdout);
 
   std::signal(SIGINT, OnSignal);
   std::signal(SIGTERM, OnSignal);
