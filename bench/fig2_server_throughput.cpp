@@ -569,14 +569,21 @@ void RunCacheSeries(bool smoke, communix::bench::BenchJson& json) {
     const double seconds = watch.ElapsedSeconds();
     const double rate = static_cast<double>(polls) / seconds;
 
-    const auto cs = server.read_cache_stats();
-    const double lookups = static_cast<double>(cs.hits + cs.misses);
-    const double hit_rate =
-        lookups == 0 ? 0.0 : static_cast<double>(cs.hits) / lookups;
-    const auto& lat = server.get_latency();
-    const double hit_ns = lat.MeanNanos(CommunixServer::kGetCacheHit);
-    const double extend_ns = lat.MeanNanos(CommunixServer::kGetCacheExtend);
-    const double cold_ns = lat.MeanNanos(CommunixServer::kGetColdScan);
+    // Everything below comes out of ONE registry snapshot — the same
+    // surface the kStats verb serves, so the bench numbers and a live
+    // communix_stats scrape can never disagree on definitions.
+    const communix::obs::MetricsSnapshot snap = server.metrics()->Snapshot();
+    const double hits = static_cast<double>(snap.Value("store.cache.hits"));
+    const double misses =
+        static_cast<double>(snap.Value("store.cache.misses"));
+    const double lookups = hits + misses;
+    const double hit_rate = lookups == 0 ? 0.0 : hits / lookups;
+    const auto* hit_h = snap.FindHistogram("server.get.cache_hit_ns");
+    const auto* extend_h = snap.FindHistogram("server.get.cache_extend_ns");
+    const auto* cold_h = snap.FindHistogram("server.get.cold_scan_ns");
+    const double hit_ns = hit_h ? hit_h->MeanNanos() : 0.0;
+    const double extend_ns = extend_h ? extend_h->MeanNanos() : 0.0;
+    const double cold_ns = cold_h ? cold_h->MeanNanos() : 0.0;
 
     std::printf("%8s %10.0f %11.1f%% %10.0f %12.0f %12.0f %12llu\n",
                 cache_on ? "on" : "off", rate, 100.0 * hit_rate, hit_ns,
@@ -588,17 +595,15 @@ void RunCacheSeries(bool smoke, communix::bench::BenchJson& json) {
                  {"polls", static_cast<double>(polls)},
                  {"polls_per_second", rate},
                  {"hit_rate", hit_rate},
-                 {"hits", static_cast<double>(cs.hits)},
-                 {"misses", static_cast<double>(cs.misses)},
+                 {"hits", hits},
+                 {"misses", misses},
                  {"cache_hit_ns", hit_ns},
                  {"cache_extend_ns", extend_ns},
                  {"cold_scan_ns", cold_ns},
                  {"cache_hit_count",
-                  static_cast<double>(
-                      lat.Count(CommunixServer::kGetCacheHit))},
+                  hit_h ? static_cast<double>(hit_h->count) : 0.0},
                  {"cold_scan_count",
-                  static_cast<double>(
-                      lat.Count(CommunixServer::kGetColdScan))}});
+                  cold_h ? static_cast<double>(cold_h->count) : 0.0}});
   }
   std::printf(
       "\nrepeat polls at a hot cursor are O(1) with the cache on (the\n"
@@ -655,26 +660,29 @@ void RunBootstrapSeries(bool smoke, communix::bench::BenchJson& json) {
     }
     const double seconds = watch.ElapsedSeconds();
 
-    const auto fs = follower.GetStats();
-    std::printf("%12s %10.3f %10llu %16llu %18llu\n",
+    // Both sides read from registry snapshots (the kStats surface).
+    const communix::obs::MetricsSnapshot ps = primary.metrics()->Snapshot();
+    const communix::obs::MetricsSnapshot fsn = follower.metrics()->Snapshot();
+    const double replayed =
+        static_cast<double>(fsn.Value("server.repl_entries_applied"));
+    const double ckpt_entries =
+        static_cast<double>(fsn.Value("server.checkpoint_entries_installed"));
+    const auto* build_h = ps.FindHistogram("server.checkpoint.build_ns");
+    const auto* install_h = fsn.FindHistogram("server.checkpoint.install_ns");
+    std::printf("%12s %10.3f %10llu %16.0f %18.0f\n",
                 via_checkpoint ? "checkpoint" : "replay", seconds,
-                static_cast<unsigned long long>(primary.db_size()),
-                static_cast<unsigned long long>(fs.repl_entries_applied),
-                static_cast<unsigned long long>(
-                    fs.checkpoint_entries_installed));
+                static_cast<unsigned long long>(primary.db_size()), replayed,
+                ckpt_entries);
     json.AddRow(
         "bootstrap",
         {{"checkpoint", via_checkpoint ? 1.0 : 0.0},
          {"db_size", static_cast<double>(primary.db_size())},
          {"seconds", seconds},
-         {"entries_replayed", static_cast<double>(fs.repl_entries_applied)},
-         {"checkpoint_entries",
-          static_cast<double>(fs.checkpoint_entries_installed)},
-         {"checkpoint_build_ns",
-          primary.get_latency().MeanNanos(CommunixServer::kCheckpointBuild)},
+         {"entries_replayed", replayed},
+         {"checkpoint_entries", ckpt_entries},
+         {"checkpoint_build_ns", build_h ? build_h->MeanNanos() : 0.0},
          {"checkpoint_install_ns",
-          follower.get_latency().MeanNanos(
-              CommunixServer::kCheckpointInstall)}});
+          install_h ? install_h->MeanNanos() : 0.0}});
   }
   std::printf(
       "\nstructural claim: the snapshot path replays ~0 of the %zu-entry\n"

@@ -393,4 +393,28 @@ std::vector<bool> ClusterClient::EndpointUp() const {
   return up;
 }
 
+obs::ProbeHandle ClusterClient::ExportStats(
+    obs::MetricsRegistry& registry) const {
+  return registry.RegisterProbe([this](obs::ProbeSink& sink) {
+    const Stats s = GetStats();
+    sink.EmitCounter("cluster.client.writes_to_primary", s.writes_to_primary);
+    sink.EmitCounter("cluster.client.reads_to_replicas", s.reads_to_replicas);
+    sink.EmitCounter("cluster.client.reads_to_primary", s.reads_to_primary);
+    sink.EmitCounter("cluster.client.failovers", s.failovers);
+    sink.EmitCounter("cluster.client.stale_read_retries",
+                     s.stale_read_retries);
+    sink.EmitCounter("cluster.client.short_reads", s.short_reads);
+    sink.EmitCounter("cluster.client.epoch_skips", s.epoch_skips);
+    sink.EmitCounter("cluster.client.cache_hits", s.cache_hits);
+    sink.EmitCounter("cluster.client.cache_delta_fetches",
+                     s.cache_delta_fetches);
+    sink.EmitCounter("cluster.client.cache_invalidations",
+                     s.cache_invalidations);
+    sink.EmitCounter("cluster.client.heal_probes", s.heal_probes);
+    std::uint64_t up = 0;
+    for (const bool b : EndpointUp()) up += b ? 1 : 0;
+    sink.EmitGauge("cluster.client.endpoints_up", up);
+  });
+}
+
 }  // namespace communix::cluster

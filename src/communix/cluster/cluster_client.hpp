@@ -44,6 +44,7 @@
 
 #include "communix/store/read_cache.hpp"
 #include "net/message.hpp"
+#include "obs/metrics.hpp"
 #include "util/status.hpp"
 
 namespace communix::cluster {
@@ -110,6 +111,12 @@ class ClusterClient final : public net::ClientTransport {
     std::uint64_t heal_probes = 0;
   };
   Stats GetStats() const;
+
+  /// Registers a snapshot-time probe emitting every GetStats() field as
+  /// a cluster.client.* counter (plus an endpoints-up gauge). Release
+  /// the handle before destroying the client.
+  [[nodiscard]] obs::ProbeHandle ExportStats(
+      obs::MetricsRegistry& registry) const;
 
   /// Per-endpoint liveness snapshot (index 0 = primary).
   std::vector<bool> EndpointUp() const;

@@ -316,4 +316,35 @@ std::size_t LogShipper::active_feed_cursors() const {
                     [](const Session& s) { return s.cursor.has_value(); }));
 }
 
+obs::ProbeHandle LogShipper::ExportStats(obs::MetricsRegistry& registry) const {
+  return registry.RegisterProbe([this](obs::ProbeSink& sink) {
+    const std::uint64_t size = primary_.db_size();
+    std::uint64_t shipped = 0, handshakes = 0, resets = 0, drops = 0;
+    std::uint64_t checkpoints = 0, lag = 0, cursors = 0, followers = 0;
+    {
+      std::lock_guard lock(mu_);
+      followers = sessions_.size();
+      for (const Session& s : sessions_) {
+        shipped += s.entries_shipped;
+        handshakes += s.handshakes;
+        resets += s.resets;
+        drops += s.drops;
+        checkpoints += s.checkpoints_shipped;
+        lag += (s.cursor.has_value() && !s.pending_reset)
+                   ? size - std::min<std::uint64_t>(*s.cursor, size)
+                   : size;
+        if (s.cursor.has_value()) ++cursors;
+      }
+    }
+    sink.EmitCounter("cluster.shipper.entries_shipped", shipped);
+    sink.EmitCounter("cluster.shipper.handshakes", handshakes);
+    sink.EmitCounter("cluster.shipper.resets", resets);
+    sink.EmitCounter("cluster.shipper.drops", drops);
+    sink.EmitCounter("cluster.shipper.checkpoints_shipped", checkpoints);
+    sink.EmitGauge("cluster.shipper.followers", followers);
+    sink.EmitGauge("cluster.shipper.active_feed_cursors", cursors);
+    sink.EmitGauge("cluster.shipper.total_lag", lag);
+  });
+}
+
 }  // namespace communix::cluster

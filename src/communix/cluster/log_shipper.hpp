@@ -119,6 +119,13 @@ class LogShipper {
   /// — the "no leaked cursor" invariant the tests assert.
   std::size_t active_feed_cursors() const;
 
+  /// Registers a snapshot-time probe emitting the shipping aggregates
+  /// (cluster.shipper.*: entries/handshakes/resets/drops/checkpoints
+  /// summed over followers, plus lag and live-cursor gauges). Release
+  /// the handle before destroying the shipper.
+  [[nodiscard]] obs::ProbeHandle ExportStats(
+      obs::MetricsRegistry& registry) const;
+
  private:
   struct Session {
     std::string name;

@@ -39,7 +39,19 @@ std::uint64_t ShardRouter::GroupFor(CommunityId community) const {
 }
 
 MultiGroupClient::MultiGroupClient(std::vector<Group> groups, Options options)
-    : groups_(std::move(groups)), options_(options) {}
+    : groups_(std::move(groups)),
+      options_(options),
+      metrics_(options.metrics ? options.metrics
+                               : std::make_shared<obs::MetricsRegistry>()) {
+  stats_probe_ = metrics_->RegisterProbe([this](obs::ProbeSink& sink) {
+    const Stats s = GetStats();
+    sink.EmitCounter("router.wrong_group_bounces", s.wrong_group_bounces);
+    sink.EmitCounter("router.map_refreshes", s.map_refreshes);
+    sink.EmitCounter("router.map_installs", s.map_installs);
+    sink.EmitCounter("router.routed_without_map", s.routed_without_map);
+    sink.EmitGauge("router.map_version", router_.version());
+  });
+}
 
 ClusterClient* MultiGroupClient::ClientForGroup(std::uint64_t group_id) {
   for (const Group& g : groups_) {
@@ -144,8 +156,8 @@ Result<net::Response> MultiGroupClient::CallFor(CommunityId community,
 
   if (result.ok()) {
     TenantLatency& lat = TenantSlot(community);
-    if (is_add) lat.add.Report(NanosSince(start));
-    if (is_get) lat.get.Report(NanosSince(start));
+    if (is_add) lat.add->Report(NanosSince(start));
+    if (is_get) lat.get->Report(NanosSince(start));
   }
   return result;
 }
@@ -164,7 +176,7 @@ Result<std::vector<std::vector<std::uint8_t>>> MultiGroupClient::FetchSince(
   const auto start = std::chrono::steady_clock::now();
   auto result = client->FetchSince(from);
   if (result.ok()) {
-    TenantSlot(community).get.Report(NanosSince(start));
+    TenantSlot(community).get->Report(NanosSince(start));
   }
   return result;
 }
@@ -179,9 +191,14 @@ net::ClientTransport& MultiGroupClient::TransportFor(CommunityId community) {
 MultiGroupClient::TenantLatency& MultiGroupClient::TenantSlot(
     CommunityId community) {
   std::lock_guard lock(mu_);
-  auto& slot = latency_[community];
-  if (!slot) slot = std::make_unique<TenantLatency>();
-  return *slot;
+  TenantLatency& slot = latency_[community];
+  if (slot.add == nullptr) {
+    const std::string prefix =
+        "router.tenant." + std::to_string(community) + ".";
+    slot.add = metrics_->GetHistogram(prefix + "add_ns");
+    slot.get = metrics_->GetHistogram(prefix + "get_ns");
+  }
+  return slot;
 }
 
 const MultiGroupClient::TenantLatency& MultiGroupClient::TenantLatencyFor(

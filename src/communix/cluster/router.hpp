@@ -41,7 +41,7 @@
 #include "communix/cluster/shard_map.hpp"
 #include "communix/ids.hpp"
 #include "net/message.hpp"
-#include "util/latency_monitor.hpp"
+#include "obs/metrics.hpp"
 #include "util/status.hpp"
 
 namespace communix::cluster {
@@ -78,6 +78,10 @@ class MultiGroupClient {
     /// Each retry is preceded by a map refresh from the bouncing group,
     /// so under any finite sequence of map bumps the loop terminates.
     std::size_t max_bounce_retries = 3;
+    /// Registry receiving the per-tenant histograms
+    /// (router.tenant.<id>.{add,get}_ns) and routing counters
+    /// (router.*); null gives the client a private registry.
+    std::shared_ptr<obs::MetricsRegistry> metrics;
   };
 
   explicit MultiGroupClient(std::vector<Group> groups)
@@ -121,13 +125,21 @@ class MultiGroupClient {
   };
   Stats GetStats() const;
 
-  /// Per-tenant latency distributions (created on first use).
+  /// Per-tenant latency distributions, registry-backed (created on first
+  /// use as router.tenant.<id>.{add,get}_ns — one kStats snapshot shows
+  /// every tenant a client touched). Pointers are stable for the
+  /// registry's lifetime and never null.
   struct TenantLatency {
-    LatencyHistogram add;  // kAddSignature / kAddBatch round trips
-    LatencyHistogram get;  // kGetSignatures / FetchSince round trips
+    obs::Histogram* add = nullptr;  // kAddSignature / kAddBatch round trips
+    obs::Histogram* get = nullptr;  // kGetSignatures / FetchSince round trips
   };
-  /// Snapshot handle; valid for the client's lifetime. Never nullptr.
+  /// Snapshot handle; valid for the client's lifetime.
   const TenantLatency& TenantLatencyFor(CommunityId community);
+
+  /// The registry the client reports into (never null).
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
 
  private:
   class CommunityTransport final : public net::ClientTransport {
@@ -155,13 +167,17 @@ class MultiGroupClient {
 
   const std::vector<Group> groups_;
   const Options options_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
   ShardRouter router_;
 
   mutable std::mutex mu_;  // stats + lazily-built per-community state
   Stats stats_;
   std::unordered_map<CommunityId, std::unique_ptr<CommunityTransport>>
       transports_;
-  std::unordered_map<CommunityId, std::unique_ptr<TenantLatency>> latency_;
+  std::unordered_map<CommunityId, TenantLatency> latency_;
+  /// Snapshot-time export of Stats (router.*); declared after the state
+  /// it reads so it is released first.
+  obs::ProbeHandle stats_probe_;
 };
 
 }  // namespace communix::cluster

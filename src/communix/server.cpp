@@ -26,11 +26,76 @@ CommunixServer::CommunixServer(Clock& clock, Options options)
     : clock_(clock),
       options_(options),
       authority_(options.server_key),
-      store_(store::SignatureStore::Create(options.store)) {}
+      store_(store::SignatureStore::Create(options.store)),
+      metrics_(options.metrics ? options.metrics
+                               : std::make_shared<obs::MetricsRegistry>()) {
+  obs::MetricsRegistry& reg = *metrics_;
+  // ADD outcome counters FIRST, adds_processed after them: snapshot read
+  // order is registration order, which is what keeps
+  // sum(outcomes) <= processed true in every snapshot (obs/metrics.hpp).
+  stats_.adds_accepted = reg.GetCounter("server.adds_accepted");
+  stats_.adds_duplicate = reg.GetCounter("server.adds_duplicate");
+  stats_.rejected_bad_token = reg.GetCounter("server.rejected_bad_token");
+  stats_.rejected_rate_limited =
+      reg.GetCounter("server.rejected_rate_limited");
+  stats_.rejected_adjacent = reg.GetCounter("server.rejected_adjacent");
+  stats_.rejected_malformed = reg.GetCounter("server.rejected_malformed");
+  stats_.rejected_tenant_quota =
+      reg.GetCounter("server.rejected_tenant_quota");
+  stats_.adds_processed = reg.GetCounter("server.adds_processed");
+  stats_.gets_served = reg.GetCounter("server.gets_served");
+  stats_.reply_bytes_copied = reg.GetCounter("server.reply_bytes_copied");
+  stats_.reply_bytes_shared = reg.GetCounter("server.reply_bytes_shared");
+  stats_.rejected_not_primary = reg.GetCounter("server.rejected_not_primary");
+  stats_.repl_pulls_served = reg.GetCounter("server.repl_pulls_served");
+  stats_.repl_batches_applied =
+      reg.GetCounter("server.repl_batches_applied");
+  stats_.repl_entries_applied =
+      reg.GetCounter("server.repl_entries_applied");
+  stats_.repl_entries_skipped =
+      reg.GetCounter("server.repl_entries_skipped");
+  stats_.repl_resets = reg.GetCounter("server.repl_resets");
+  stats_.checkpoints_installed =
+      reg.GetCounter("server.checkpoints_installed");
+  stats_.checkpoint_entries_installed =
+      reg.GetCounter("server.checkpoint_entries_installed");
+  stats_.checkpoints_refused = reg.GetCounter("server.checkpoints_refused");
+  stats_.wrong_group_bounces = reg.GetCounter("server.wrong_group_bounces");
+  stats_.shard_maps_served = reg.GetCounter("server.shard_maps_served");
+  stats_.superseded_from_fp = reg.GetCounter("server.superseded_from_fp");
+  stats_.stats_served = reg.GetCounter("server.stats_served");
+  get_latency_[kGetCacheHit] = reg.GetHistogram("server.get.cache_hit_ns");
+  get_latency_[kGetCacheExtend] =
+      reg.GetHistogram("server.get.cache_extend_ns");
+  get_latency_[kGetColdScan] = reg.GetHistogram("server.get.cold_scan_ns");
+  get_latency_[kCheckpointBuild] =
+      reg.GetHistogram("server.checkpoint.build_ns");
+  get_latency_[kCheckpointInstall] =
+      reg.GetHistogram("server.checkpoint.install_ns");
+  obs::TraceRing::Options trace_opts;
+  trace_opts.slow_threshold_ns = options_.store.slow_request_ns;
+  trace_ring_ = std::make_shared<obs::TraceRing>(trace_opts);
+  store_probe_ = reg.RegisterProbe([this](obs::ProbeSink& sink) {
+    const store::ReadCache::Stats cache = store_->read_cache_stats();
+    sink.EmitCounter("store.cache.hits", cache.hits);
+    sink.EmitCounter("store.cache.misses", cache.misses);
+    sink.EmitCounter("store.cache.admissions", cache.admissions);
+    sink.EmitCounter("store.cache.promotions", cache.promotions);
+    sink.EmitCounter("store.cache.evictions", cache.evictions);
+    sink.EmitCounter("store.cache.invalidations", cache.invalidations);
+    sink.EmitGauge("store.db_size", store_->size());
+    sink.EmitGauge("store.epoch", store_->epoch());
+    sink.EmitGauge("store.superseded", store_->superseded_count());
+  });
+}
 
 Status CommunixServer::AddDecoded(UserId user, const Signature& sig) {
+  // Bumped BEFORE the outcome counters (and before the outcome is even
+  // known): paired with the registration order in the constructor, this
+  // is what makes sum(outcomes) <= adds_processed hold in snapshots.
+  stats_.adds_processed->Add(1);
   if (sig.empty() || sig.num_threads() < 2) {
-    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    stats_.rejected_malformed->Add(1);
     return Status::Error(ErrorCode::kInvalidArgument,
                          "signature must involve >= 2 threads");
   }
@@ -38,33 +103,37 @@ Status CommunixServer::AddDecoded(UserId user, const Signature& sig) {
   const TimePoint now = clock_.Now();
   const std::int64_t today = now / kNanosPerDay;
   const CommunityId community = CommunityOf(user);
-  const auto outcome =
-      store_->Add(user, today, store::TopFrameSet(sig), sig.ContentId(), sig,
-                  now,
-                  store::Limits{options_.per_user_daily_limit,
-                                options_.adjacency_check_enabled,
-                                options_.per_tenant_daily_limit});
+  store::AddOutcome outcome;
+  {
+    obs::StageClock::Scope store_scope(obs::Stage::kStoreOp);
+    outcome =
+        store_->Add(user, today, store::TopFrameSet(sig), sig.ContentId(), sig,
+                    now,
+                    store::Limits{options_.per_user_daily_limit,
+                                  options_.adjacency_check_enabled,
+                                  options_.per_tenant_daily_limit});
+  }
   switch (outcome) {
     case store::AddOutcome::kAccepted:
-      stats_.adds_accepted.fetch_add(1, std::memory_order_relaxed);
+      stats_.adds_accepted->Add(1);
       BumpTenant(community, TenantOutcome::kAccepted);
       return Status::Ok();
     case store::AddOutcome::kDuplicate:
-      stats_.adds_duplicate.fetch_add(1, std::memory_order_relaxed);
+      stats_.adds_duplicate->Add(1);
       BumpTenant(community, TenantOutcome::kRejectedOther);
       return Status::Error(ErrorCode::kAlreadyExists, "duplicate signature");
     case store::AddOutcome::kRateLimited:
-      stats_.rejected_rate_limited.fetch_add(1, std::memory_order_relaxed);
+      stats_.rejected_rate_limited->Add(1);
       BumpTenant(community, TenantOutcome::kRejectedOther);
       return Status::Error(ErrorCode::kResourceExhausted,
                            "daily signature quota exceeded");
     case store::AddOutcome::kTenantRateLimited:
-      stats_.rejected_tenant_quota.fetch_add(1, std::memory_order_relaxed);
+      stats_.rejected_tenant_quota->Add(1);
       BumpTenant(community, TenantOutcome::kRejectedQuota);
       return Status::Error(ErrorCode::kResourceExhausted,
                            "community daily quota exceeded");
     case store::AddOutcome::kAdjacent:
-      stats_.rejected_adjacent.fetch_add(1, std::memory_order_relaxed);
+      stats_.rejected_adjacent->Add(1);
       BumpTenant(community, TenantOutcome::kRejectedOther);
       return Status::Error(
           ErrorCode::kPermissionDenied,
@@ -112,17 +181,17 @@ void CommunixServer::BumpTenant(CommunityId community, TenantOutcome outcome) {
 Status CommunixServer::AddSignature(const UserToken& token,
                                     const Signature& sig) {
   if (options_.role == ServerRole::kFollower) {
-    stats_.rejected_not_primary.fetch_add(1, std::memory_order_relaxed);
+    stats_.rejected_not_primary->Add(1);
     return Status::Error(ErrorCode::kFailedPrecondition,
                          "follower replica: ADD goes to the primary");
   }
   const auto user = authority_.Decode(token);
   if (!user) {
-    stats_.rejected_bad_token.fetch_add(1, std::memory_order_relaxed);
+    stats_.rejected_bad_token->Add(1);
     return Status::Error(ErrorCode::kPermissionDenied, "invalid sender id");
   }
   if (WrongGroupFor(CommunityOf(*user), nullptr) != 0) {
-    stats_.wrong_group_bounces.fetch_add(1, std::memory_order_relaxed);
+    stats_.wrong_group_bounces->Add(1);
     return Status::Error(ErrorCode::kWrongGroup,
                          "community is owned by another primary group");
   }
@@ -134,8 +203,7 @@ std::vector<Status> CommunixServer::AddBatch(
   std::vector<Status> out;
   out.reserve(sigs.size());
   if (options_.role == ServerRole::kFollower) {
-    stats_.rejected_not_primary.fetch_add(sigs.size(),
-                                          std::memory_order_relaxed);
+    stats_.rejected_not_primary->Add(sigs.size());
     for (std::size_t i = 0; i < sigs.size(); ++i) {
       out.push_back(
           Status::Error(ErrorCode::kFailedPrecondition,
@@ -145,8 +213,7 @@ std::vector<Status> CommunixServer::AddBatch(
   }
   const auto user = authority_.Decode(token);
   if (!user) {
-    stats_.rejected_bad_token.fetch_add(sigs.size(),
-                                        std::memory_order_relaxed);
+    stats_.rejected_bad_token->Add(sigs.size());
     for (std::size_t i = 0; i < sigs.size(); ++i) {
       out.push_back(
           Status::Error(ErrorCode::kPermissionDenied, "invalid sender id"));
@@ -156,7 +223,7 @@ std::vector<Status> CommunixServer::AddBatch(
   if (WrongGroupFor(CommunityOf(*user), nullptr) != 0) {
     // One bounce per frame, not per signature: the whole batch shares the
     // sender, so it is the frame that is misrouted.
-    stats_.wrong_group_bounces.fetch_add(1, std::memory_order_relaxed);
+    stats_.wrong_group_bounces->Add(1);
     for (std::size_t i = 0; i < sigs.size(); ++i) {
       out.push_back(
           Status::Error(ErrorCode::kWrongGroup,
@@ -198,7 +265,7 @@ void CommunixServer::VisitEntries(
 net::Response CommunixServer::HandleReplPull(const net::Request& request) {
   const auto pull = net::ParseReplPullRequest(request);
   if (!pull) {
-    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    stats_.rejected_malformed->Add(1);
     net::Response resp;
     resp.code = ErrorCode::kInvalidArgument;
     resp.error = "malformed REPL_PULL payload";
@@ -212,7 +279,7 @@ net::Response CommunixServer::HandleReplPull(const net::Request& request) {
     std::copy(pull->token.begin(), pull->token.end(), token.begin());
     const auto peer = authority_.Decode(token);
     if (!peer || *peer != kReplicationPeerId) {
-      stats_.rejected_bad_token.fetch_add(1, std::memory_order_relaxed);
+      stats_.rejected_bad_token->Add(1);
       net::Response resp;
       resp.code = ErrorCode::kPermissionDenied;
       resp.error = "entry-bearing REPL_PULL requires the peer credential";
@@ -234,27 +301,30 @@ net::Response CommunixServer::HandleReplPull(const net::Request& request) {
       std::min<std::uint64_t>(pull->limit, options_.repl_pull_max_entries);
   const std::uint64_t upto =
       std::min<std::uint64_t>(reply.log_size, reply.start_index + limit);
-  store_->VisitEntries(
-      reply.start_index, upto,
-      [&](std::uint64_t, const store::StoredSignature& entry) {
-        reply.entries.push_back(
-            net::ReplEntry{entry.sender, entry.added_at, entry.bytes});
-      });
-  stats_.repl_pulls_served.fetch_add(1, std::memory_order_relaxed);
+  {
+    obs::StageClock::Scope store_scope(obs::Stage::kStoreOp);
+    store_->VisitEntries(
+        reply.start_index, upto,
+        [&](std::uint64_t, const store::StoredSignature& entry) {
+          reply.entries.push_back(
+              net::ReplEntry{entry.sender, entry.added_at, entry.bytes});
+        });
+  }
+  stats_.repl_pulls_served->Add(1);
   return net::BuildReplPullReply(reply);
 }
 
 net::Response CommunixServer::HandleReplBatch(const net::Request& request) {
   net::Response resp;
   if (options_.role != ServerRole::kFollower) {
-    stats_.rejected_not_primary.fetch_add(1, std::memory_order_relaxed);
+    stats_.rejected_not_primary->Add(1);
     resp.code = ErrorCode::kFailedPrecondition;
     resp.error = "primary does not ingest REPL_BATCH";
     return resp;
   }
   const auto batch = net::ParseReplBatchRequest(request);
   if (!batch) {
-    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    stats_.rejected_malformed->Add(1);
     resp.code = ErrorCode::kInvalidArgument;
     resp.error = "malformed REPL_BATCH payload";
     return resp;
@@ -266,7 +336,7 @@ net::Response CommunixServer::HandleReplBatch(const net::Request& request) {
   std::copy(batch->token.begin(), batch->token.end(), token.begin());
   const auto peer = authority_.Decode(token);
   if (!peer || *peer != kReplicationPeerId) {
-    stats_.rejected_bad_token.fetch_add(1, std::memory_order_relaxed);
+    stats_.rejected_bad_token->Add(1);
     resp.code = ErrorCode::kPermissionDenied;
     resp.error = "REPL_BATCH requires the replication peer credential";
     return resp;
@@ -274,14 +344,14 @@ net::Response CommunixServer::HandleReplBatch(const net::Request& request) {
   // Full validation happens BEFORE the (destructive) reset: a frame the
   // server rejects must leave the store untouched.
   if (batch->reset && batch->from_index != 0) {
-    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    stats_.rejected_malformed->Add(1);
     resp.code = ErrorCode::kInvalidArgument;
     resp.error = "reset batch must restart at index 0";
     return resp;
   }
   if (batch->reset) {
     store_->ResetForReplication(batch->epoch);
-    stats_.repl_resets.fetch_add(1, std::memory_order_relaxed);
+    stats_.repl_resets->Add(1);
   } else if (batch->epoch != store_->epoch()) {
     resp.code = ErrorCode::kFailedPrecondition;
     resp.error = "epoch mismatch; re-handshake required";
@@ -297,26 +367,28 @@ net::Response CommunixServer::HandleReplBatch(const net::Request& request) {
   // applied (a retransmission after a lost reply); skip, apply the rest.
   const std::uint64_t skip = size - batch->from_index;
   std::uint64_t applied = 0;
-  for (std::uint64_t i = skip; i < batch->entries.size(); ++i) {
-    const net::ReplEntry& e = batch->entries[i];
-    store::StoredSignature entry;
-    entry.sender = e.sender;
-    entry.added_at = e.added_at;
-    entry.bytes = e.sig_bytes;
-    const Status s =
-        store_->ApplyReplicated(batch->from_index + i, std::move(entry));
-    if (!s.ok()) {
-      resp.code = s.code();
-      resp.error = s.message();
-      return resp;
+  {
+    obs::StageClock::Scope store_scope(obs::Stage::kStoreOp);
+    for (std::uint64_t i = skip; i < batch->entries.size(); ++i) {
+      const net::ReplEntry& e = batch->entries[i];
+      store::StoredSignature entry;
+      entry.sender = e.sender;
+      entry.added_at = e.added_at;
+      entry.bytes = e.sig_bytes;
+      const Status s =
+          store_->ApplyReplicated(batch->from_index + i, std::move(entry));
+      if (!s.ok()) {
+        resp.code = s.code();
+        resp.error = s.message();
+        return resp;
+      }
+      ++applied;
     }
-    ++applied;
   }
-  stats_.repl_batches_applied.fetch_add(1, std::memory_order_relaxed);
-  stats_.repl_entries_applied.fetch_add(applied, std::memory_order_relaxed);
-  stats_.repl_entries_skipped.fetch_add(
-      std::min<std::uint64_t>(skip, batch->entries.size()),
-      std::memory_order_relaxed);
+  stats_.repl_batches_applied->Add(1);
+  stats_.repl_entries_applied->Add(applied);
+  stats_.repl_entries_skipped->Add(
+      std::min<std::uint64_t>(skip, batch->entries.size()));
   return net::BuildReplBatchReply(
       net::ReplBatchReply{store_->epoch(), store_->size()});
 }
@@ -324,14 +396,14 @@ net::Response CommunixServer::HandleReplBatch(const net::Request& request) {
 net::Response CommunixServer::HandleCheckpoint(const net::Request& request) {
   net::Response resp;
   if (options_.role != ServerRole::kFollower) {
-    stats_.rejected_not_primary.fetch_add(1, std::memory_order_relaxed);
+    stats_.rejected_not_primary->Add(1);
     resp.code = ErrorCode::kFailedPrecondition;
     resp.error = "primary does not ingest CHECKPOINT";
     return resp;
   }
   const auto ckpt = net::ParseCheckpointRequest(request);
   if (!ckpt) {
-    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    stats_.rejected_malformed->Add(1);
     resp.code = ErrorCode::kInvalidArgument;
     resp.error = "malformed CHECKPOINT payload";
     return resp;
@@ -342,7 +414,7 @@ net::Response CommunixServer::HandleCheckpoint(const net::Request& request) {
   std::copy(ckpt->token.begin(), ckpt->token.end(), token.begin());
   const auto peer = authority_.Decode(token);
   if (!peer || *peer != kReplicationPeerId) {
-    stats_.rejected_bad_token.fetch_add(1, std::memory_order_relaxed);
+    stats_.rejected_bad_token->Add(1);
     resp.code = ErrorCode::kPermissionDenied;
     resp.error = "CHECKPOINT requires the replication peer credential";
     return resp;
@@ -356,7 +428,7 @@ net::Response CommunixServer::HandleCheckpoint(const net::Request& request) {
           std::span<const std::uint8_t>(ckpt->blob.data(), ckpt->blob.size()),
           &data);
       !s.ok()) {
-    stats_.checkpoints_refused.fetch_add(1, std::memory_order_relaxed);
+    stats_.checkpoints_refused->Add(1);
     resp.code = s.code();
     resp.error = s.message();
     return resp;
@@ -364,17 +436,19 @@ net::Response CommunixServer::HandleCheckpoint(const net::Request& request) {
   if (data.epoch == 0) {
     // v1 blobs carry no lineage; a bootstrap without an epoch could
     // never be continued by the entry feed, so refuse it.
-    stats_.checkpoints_refused.fetch_add(1, std::memory_order_relaxed);
+    stats_.checkpoints_refused->Add(1);
     resp.code = ErrorCode::kInvalidArgument;
     resp.error = "checkpoint must carry a lineage epoch";
     return resp;
   }
   const std::uint64_t installed = data.records.size();
-  store_->InstallSnapshot(data.epoch, std::move(data.records));
-  get_latency_.Report(kCheckpointInstall, NanosSince(start));
-  stats_.checkpoints_installed.fetch_add(1, std::memory_order_relaxed);
-  stats_.checkpoint_entries_installed.fetch_add(installed,
-                                                std::memory_order_relaxed);
+  {
+    obs::StageClock::Scope store_scope(obs::Stage::kStoreOp);
+    store_->InstallSnapshot(data.epoch, std::move(data.records));
+  }
+  get_latency_[kCheckpointInstall]->Report(NanosSince(start));
+  stats_.checkpoints_installed->Add(1);
+  stats_.checkpoint_entries_installed->Add(installed);
   // Same reply shape as kReplBatch: the shipper resumes its entry feed
   // from log_size, so only the post-checkpoint suffix is replayed.
   return net::BuildReplBatchReply(
@@ -382,18 +456,64 @@ net::Response CommunixServer::HandleCheckpoint(const net::Request& request) {
 }
 
 net::Response CommunixServer::Handle(const net::Request& request) {
+  const std::uint64_t start_unix_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  const auto dispatch_start = std::chrono::steady_clock::now();
+  obs::StageClock::Reset();
   net::Response resp = HandleDispatch(request);
   // Centralized reply accounting: every verb's reply — including the
   // early-return repl/shard handlers — lands here exactly once.
-  stats_.reply_bytes_copied.fetch_add(resp.payload.size(),
-                                      std::memory_order_relaxed);
+  stats_.reply_bytes_copied->Add(resp.payload.size());
   std::uint64_t shared = 0;
   for (const auto& seg : resp.segments) {
     if (seg != nullptr) shared += seg->size();
   }
   if (shared > 0) {
-    stats_.reply_bytes_shared.fetch_add(shared, std::memory_order_relaxed);
+    stats_.reply_bytes_shared->Add(shared);
   }
+  // kStats itself is not traced: a monitoring poll must never evict the
+  // slow requests it came to read.
+  if (request.type == net::MsgType::kStats) return resp;
+  const auto dispatch_end = std::chrono::steady_clock::now();
+  obs::TraceRecord rec;
+  rec.verb = static_cast<std::uint8_t>(request.type);
+  rec.status = static_cast<std::uint8_t>(resp.code);
+  rec.start_unix_ns = start_unix_ns;
+  if (request.timing.valid) {
+    // Pre-handler stages stamped by the TCP tier. An inproc/test caller
+    // that never set them reports zeros there, which is also true.
+    const auto delta = [](std::chrono::steady_clock::time_point a,
+                          std::chrono::steady_clock::time_point b) {
+      return b > a ? static_cast<std::uint64_t>(
+                         std::chrono::duration_cast<std::chrono::nanoseconds>(
+                             b - a)
+                             .count())
+                   : 0;
+    };
+    rec.stage_ns[static_cast<std::size_t>(obs::Stage::kAccept)] =
+        delta(request.timing.readable_at, request.timing.worker_start);
+    rec.stage_ns[static_cast<std::size_t>(obs::Stage::kQueueWait)] =
+        delta(request.timing.worker_start, request.timing.parse_start);
+    rec.stage_ns[static_cast<std::size_t>(obs::Stage::kParse)] =
+        delta(request.timing.parse_start, request.timing.parse_done);
+  }
+  const std::uint64_t dispatch_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(dispatch_end -
+                                                           dispatch_start)
+          .count());
+  const std::uint64_t store_ns =
+      obs::StageClock::Accumulated(obs::Stage::kStoreOp);
+  rec.stage_ns[static_cast<std::size_t>(obs::Stage::kStoreOp)] = store_ns;
+  // Everything in the handler that wasn't the store: reply building,
+  // token decode, tenant accounting.
+  rec.stage_ns[static_cast<std::size_t>(obs::Stage::kSerialize)] =
+      dispatch_ns > store_ns ? dispatch_ns - store_ns : 0;
+  // The flush stage completes after we return; PendingTrace publishes
+  // the record once the TCP tier drains the reply (or is torn down).
+  resp.trace =
+      std::make_shared<obs::PendingTrace>(trace_ring_, rec, dispatch_end);
   return resp;
 }
 
@@ -409,7 +529,7 @@ net::Response CommunixServer::HandleDispatch(const net::Request& request) {
       const auto raw_token = r.ReadRaw(16);
       auto sig = Signature::Deserialize(r);
       if (raw_token.size() != 16 || !sig || !r.AtEnd()) {
-        stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+        stats_.rejected_malformed->Add(1);
         resp.code = ErrorCode::kInvalidArgument;
         resp.error = "malformed ADD payload";
         break;
@@ -453,7 +573,7 @@ net::Response CommunixServer::HandleDispatch(const net::Request& request) {
         sigs.push_back(std::move(*sig));
       }
       if (!ok || !r.AtEnd()) {
-        stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+        stats_.rejected_malformed->Add(1);
         resp.code = ErrorCode::kInvalidArgument;
         resp.error = "malformed ADD_BATCH payload";
         break;
@@ -498,7 +618,11 @@ net::Response CommunixServer::HandleDispatch(const net::Request& request) {
       const auto start = std::chrono::steady_clock::now();
       store::SignatureStore::ReadPath path =
           store::SignatureStore::ReadPath::kColdScan;
-      const auto slice = store_->ReadSince(from, &path);
+      std::shared_ptr<const store::CachedSlice> slice;
+      {
+        obs::StageClock::Scope store_scope(obs::Stage::kStoreOp);
+        slice = store_->ReadSince(from, &path);
+      }
       // Zero-copy reply: only the 4-byte count prefix is owned per
       // request; the entries region rides as a shared segment aliasing
       // the cached slice (the aliasing shared_ptr keeps the whole
@@ -514,16 +638,16 @@ net::Response CommunixServer::HandleDispatch(const net::Request& request) {
       }
       switch (path) {
         case store::SignatureStore::ReadPath::kCacheHit:
-          get_latency_.Report(kGetCacheHit, NanosSince(start));
+          get_latency_[kGetCacheHit]->Report(NanosSince(start));
           break;
         case store::SignatureStore::ReadPath::kCacheExtend:
-          get_latency_.Report(kGetCacheExtend, NanosSince(start));
+          get_latency_[kGetCacheExtend]->Report(NanosSince(start));
           break;
         case store::SignatureStore::ReadPath::kColdScan:
-          get_latency_.Report(kGetColdScan, NanosSince(start));
+          get_latency_[kGetColdScan]->Report(NanosSince(start));
           break;
       }
-      stats_.gets_served.fetch_add(1, std::memory_order_relaxed);
+      stats_.gets_served->Add(1);
       resp.payload = w.take();
       break;
     }
@@ -542,6 +666,9 @@ net::Response CommunixServer::HandleDispatch(const net::Request& request) {
 
     case net::MsgType::kMarkSuperseded:
       return HandleMarkSuperseded(request);
+
+    case net::MsgType::kStats:
+      return HandleStats(request);
 
     case net::MsgType::kIssueId: {
       BinaryReader r(std::span<const std::uint8_t>(request.payload.data(),
@@ -588,7 +715,7 @@ std::vector<std::uint8_t> CommunixServer::CaptureCheckpointBlob() const {
     auto blob = store::SerializeCheckpoint(
         e, std::span<const store::StoredSignature>(snapshot.data(),
                                                    snapshot.size()));
-    get_latency_.Report(kCheckpointBuild, NanosSince(start));
+    get_latency_[kCheckpointBuild]->Report(NanosSince(start));
     return blob;
   }
 }
@@ -646,7 +773,7 @@ std::uint64_t CommunixServer::shard_map_version() const {
 net::Response CommunixServer::HandleShardMap(const net::Request& request) {
   const auto known = cluster::ParseShardMapRequest(request);
   if (!known) {
-    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    stats_.rejected_malformed->Add(1);
     net::Response resp;
     resp.code = ErrorCode::kInvalidArgument;
     resp.error = "malformed SHARD_MAP payload";
@@ -658,7 +785,7 @@ net::Response CommunixServer::HandleShardMap(const net::Request& request) {
   const auto map = shard_map();
   reply.version = map ? map->version : 0;
   if (map && reply.version > *known) reply.map = *map;
-  stats_.shard_maps_served.fetch_add(1, std::memory_order_relaxed);
+  stats_.shard_maps_served->Add(1);
   return cluster::BuildShardMapReply(reply);
 }
 
@@ -668,20 +795,20 @@ net::Response CommunixServer::HandleMarkSuperseded(
   if (options_.role == ServerRole::kFollower) {
     // Marks mutate the primary's log; followers learn about them the
     // same way they learn everything else — compaction's epoch bump.
-    stats_.rejected_not_primary.fetch_add(1, std::memory_order_relaxed);
+    stats_.rejected_not_primary->Add(1);
     resp.code = ErrorCode::kFailedPrecondition;
     resp.error = "follower replica: MARK_SUPERSEDED goes to the primary";
     return resp;
   }
   const auto mark = net::ParseMarkSupersededRequest(request);
   if (!mark) {
-    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    stats_.rejected_malformed->Add(1);
     resp.code = ErrorCode::kInvalidArgument;
     resp.error = "malformed MARK_SUPERSEDED payload";
     return resp;
   }
   if (mark->content_ids.size() > options_.repl_pull_max_entries) {
-    stats_.rejected_malformed.fetch_add(1, std::memory_order_relaxed);
+    stats_.rejected_malformed->Add(1);
     resp.code = ErrorCode::kInvalidArgument;
     resp.error = "MARK_SUPERSEDED batch too large";
     return resp;
@@ -693,7 +820,7 @@ net::Response CommunixServer::HandleMarkSuperseded(
   std::copy(mark->token.begin(), mark->token.end(), token.begin());
   const auto user = authority_.Decode(token);
   if (!user) {
-    stats_.rejected_bad_token.fetch_add(1, std::memory_order_relaxed);
+    stats_.rejected_bad_token->Add(1);
     resp.code = ErrorCode::kPermissionDenied;
     resp.error = "invalid sender id";
     return resp;
@@ -701,8 +828,35 @@ net::Response CommunixServer::HandleMarkSuperseded(
   const std::uint64_t marked = MarkSupersededByContent(std::span<
       const std::uint64_t>(mark->content_ids.data(),
                            mark->content_ids.size()));
-  stats_.superseded_from_fp.fetch_add(marked, std::memory_order_relaxed);
+  stats_.superseded_from_fp->Add(marked);
   return net::BuildMarkSupersededReply(static_cast<std::uint32_t>(marked));
+}
+
+net::Response CommunixServer::HandleStats(const net::Request& request) {
+  const auto stats_req = net::ParseStatsRequest(request);
+  if (!stats_req) {
+    stats_.rejected_malformed->Add(1);
+    net::Response resp;
+    resp.code = ErrorCode::kInvalidArgument;
+    resp.error = "malformed STATS payload";
+    return resp;
+  }
+  // Served by every role: introspection is read-only and carries no
+  // community data, so any replica can answer (like kShardMap).
+  obs::MetricsSnapshot snap;
+  if (stats_req->include_metrics) {
+    snap = metrics_->Snapshot();
+  } else {
+    snap.captured_unix_ns = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+  }
+  if (stats_req->include_traces && stats_req->max_traces > 0) {
+    snap.traces = trace_ring_->RecentSlow(stats_req->max_traces);
+  }
+  stats_.stats_served->Add(1);
+  return net::BuildStatsReply(snap);
 }
 
 std::uint64_t CommunixServer::read_generation() const {
@@ -715,46 +869,34 @@ store::ReadCache::Stats CommunixServer::read_cache_stats() const {
 
 CommunixServer::Stats CommunixServer::GetStats() const {
   Stats out;
-  out.adds_accepted = stats_.adds_accepted.load(std::memory_order_relaxed);
-  out.adds_duplicate = stats_.adds_duplicate.load(std::memory_order_relaxed);
-  out.rejected_bad_token =
-      stats_.rejected_bad_token.load(std::memory_order_relaxed);
-  out.rejected_rate_limited =
-      stats_.rejected_rate_limited.load(std::memory_order_relaxed);
-  out.rejected_adjacent =
-      stats_.rejected_adjacent.load(std::memory_order_relaxed);
-  out.rejected_malformed =
-      stats_.rejected_malformed.load(std::memory_order_relaxed);
-  out.gets_served = stats_.gets_served.load(std::memory_order_relaxed);
-  out.reply_bytes_copied =
-      stats_.reply_bytes_copied.load(std::memory_order_relaxed);
-  out.reply_bytes_shared =
-      stats_.reply_bytes_shared.load(std::memory_order_relaxed);
-  out.rejected_not_primary =
-      stats_.rejected_not_primary.load(std::memory_order_relaxed);
-  out.repl_pulls_served =
-      stats_.repl_pulls_served.load(std::memory_order_relaxed);
-  out.repl_batches_applied =
-      stats_.repl_batches_applied.load(std::memory_order_relaxed);
-  out.repl_entries_applied =
-      stats_.repl_entries_applied.load(std::memory_order_relaxed);
-  out.repl_entries_skipped =
-      stats_.repl_entries_skipped.load(std::memory_order_relaxed);
-  out.repl_resets = stats_.repl_resets.load(std::memory_order_relaxed);
-  out.checkpoints_installed =
-      stats_.checkpoints_installed.load(std::memory_order_relaxed);
+  // Read order mirrors the registry's tearing contract: outcome counters
+  // first, the adds_processed total last, so sum(outcomes) <= total holds
+  // in this struct too.
+  out.adds_accepted = stats_.adds_accepted->Value();
+  out.adds_duplicate = stats_.adds_duplicate->Value();
+  out.rejected_bad_token = stats_.rejected_bad_token->Value();
+  out.rejected_rate_limited = stats_.rejected_rate_limited->Value();
+  out.rejected_adjacent = stats_.rejected_adjacent->Value();
+  out.rejected_malformed = stats_.rejected_malformed->Value();
+  out.gets_served = stats_.gets_served->Value();
+  out.reply_bytes_copied = stats_.reply_bytes_copied->Value();
+  out.reply_bytes_shared = stats_.reply_bytes_shared->Value();
+  out.rejected_not_primary = stats_.rejected_not_primary->Value();
+  out.repl_pulls_served = stats_.repl_pulls_served->Value();
+  out.repl_batches_applied = stats_.repl_batches_applied->Value();
+  out.repl_entries_applied = stats_.repl_entries_applied->Value();
+  out.repl_entries_skipped = stats_.repl_entries_skipped->Value();
+  out.repl_resets = stats_.repl_resets->Value();
+  out.checkpoints_installed = stats_.checkpoints_installed->Value();
   out.checkpoint_entries_installed =
-      stats_.checkpoint_entries_installed.load(std::memory_order_relaxed);
-  out.checkpoints_refused =
-      stats_.checkpoints_refused.load(std::memory_order_relaxed);
-  out.rejected_tenant_quota =
-      stats_.rejected_tenant_quota.load(std::memory_order_relaxed);
-  out.wrong_group_bounces =
-      stats_.wrong_group_bounces.load(std::memory_order_relaxed);
-  out.shard_maps_served =
-      stats_.shard_maps_served.load(std::memory_order_relaxed);
-  out.superseded_from_fp =
-      stats_.superseded_from_fp.load(std::memory_order_relaxed);
+      stats_.checkpoint_entries_installed->Value();
+  out.checkpoints_refused = stats_.checkpoints_refused->Value();
+  out.rejected_tenant_quota = stats_.rejected_tenant_quota->Value();
+  out.wrong_group_bounces = stats_.wrong_group_bounces->Value();
+  out.shard_maps_served = stats_.shard_maps_served->Value();
+  out.superseded_from_fp = stats_.superseded_from_fp->Value();
+  out.stats_served = stats_.stats_served->Value();
+  out.adds_processed = stats_.adds_processed->Value();
   for (const TenantStatsStripe& stripe : tenant_stats_) {
     std::lock_guard lock(stripe.mu);
     for (const auto& [community, counters] : stripe.counters) {

@@ -44,8 +44,9 @@
 #include "communix/store/signature_store.hpp"
 #include "dimmunix/signature.hpp"
 #include "net/message.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/clock.hpp"
-#include "util/latency_monitor.hpp"
 #include "util/serde.hpp"
 
 namespace communix {
@@ -77,6 +78,12 @@ class CommunixServer final : public net::RequestHandler {
     /// Contains a tenant-wide flood: one community exhausting its budget
     /// cannot consume the group's capacity for co-located tenants.
     std::size_t per_tenant_daily_limit = 0;
+    /// Registry every server counter/histogram lives in (obs tier). A
+    /// deployment shares one registry across its co-located components
+    /// (server, TCP tier, shipper, runtime) so one kStats snapshot
+    /// covers the whole process; when null the server creates a private
+    /// one. The slow-request trace threshold is store.slow_request_ns.
+    std::shared_ptr<obs::MetricsRegistry> metrics;
   };
 
   explicit CommunixServer(Clock& clock) : CommunixServer(clock, Options{}) {}
@@ -174,8 +181,10 @@ class CommunixServer final : public net::RequestHandler {
   std::uint64_t read_generation() const;
   store::ReadCache::Stats read_cache_stats() const;
 
-  /// GET-path latency buckets (relaxed-atomic monitors; see
-  /// util/latency_monitor.hpp — the SNIPPETS-§1 idiom).
+  /// GET-path latency buckets, kept as registry histograms
+  /// ("server.get.*_ns" / "server.checkpoint.*_ns") so kStats serves
+  /// them remotely; get_latency() resolves a bucket for in-process
+  /// callers (fig2, the bootstrap tests).
   enum GetLatencyBucket : std::size_t {
     kGetCacheHit = 0,     // reply slice served straight from the 2Q cache
     kGetCacheExtend,      // cached prefix + scan of the fresh suffix only
@@ -184,13 +193,33 @@ class CommunixServer final : public net::RequestHandler {
     kCheckpointInstall,   // kCheckpoint validate + install on a follower
     kNumGetLatencyBuckets,
   };
-  using GetLatencyMonitors = LatencyMonitorsT<kNumGetLatencyBuckets>;
-  const GetLatencyMonitors& get_latency() const { return get_latency_; }
+  const obs::Histogram& get_latency(GetLatencyBucket bucket) const {
+    return *get_latency_[bucket];
+  }
+
+  // ---- observability ----
+
+  /// The registry this server's counters live in (Options::metrics, or
+  /// the private one created when none was supplied). Never null.
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
+  /// Per-stage trace ring every handled request lands in (obs tier);
+  /// slow threshold = Options::store.slow_request_ns. Never null.
+  const std::shared_ptr<obs::TraceRing>& trace_ring() const {
+    return trace_ring_;
+  }
 
   // ---- wire protocol ----
   net::Response Handle(const net::Request& request) override;
 
   struct Stats {
+    /// ADD requests that reached the post-authentication pipeline
+    /// (bumped BEFORE the outcome is known). In every snapshot,
+    /// accepted + duplicate + rate_limited + tenant_quota + adjacent
+    /// <= adds_processed — the registry's ordering contract
+    /// (obs/metrics.hpp) makes that hold even mid-traffic.
+    std::uint64_t adds_processed = 0;
     std::uint64_t adds_accepted = 0;
     std::uint64_t adds_duplicate = 0;
     std::uint64_t rejected_bad_token = 0;
@@ -222,6 +251,7 @@ class CommunixServer final : public net::RequestHandler {
     std::uint64_t shard_maps_served = 0;      // kShardMap requests answered
     std::uint64_t superseded_from_fp = 0;     // entries retired via
                                               // kMarkSuperseded batches
+    std::uint64_t stats_served = 0;           // kStats requests answered
     /// Per-community ADD accounting (sorted by community id). Populated
     /// lazily — only communities that sent at least one ADD appear.
     struct TenantCounters {
@@ -247,9 +277,10 @@ class CommunixServer final : public net::RequestHandler {
   net::Response HandleReplBatch(const net::Request& request);
   net::Response HandleCheckpoint(const net::Request& request);
 
-  /// kShardMap / kMarkSuperseded processing (wire handlers).
+  /// kShardMap / kMarkSuperseded / kStats processing (wire handlers).
   net::Response HandleShardMap(const net::Request& request);
   net::Response HandleMarkSuperseded(const net::Request& request);
+  net::Response HandleStats(const net::Request& request);
 
   /// Nonzero = the group that owns `community` under the installed map is
   /// not this one (the kWrongGroup bounce case); the returned hint names
@@ -271,35 +302,44 @@ class CommunixServer final : public net::RequestHandler {
   const IdAuthority authority_;
   const std::unique_ptr<store::SignatureStore> store_;
 
-  /// Per-counter relaxed atomics merged on read: every request path —
-  /// including the rejection paths — bumps its counter without taking
-  /// any lock.
-  struct AtomicStats {
-    std::atomic<std::uint64_t> adds_accepted{0};
-    std::atomic<std::uint64_t> adds_duplicate{0};
-    std::atomic<std::uint64_t> rejected_bad_token{0};
-    std::atomic<std::uint64_t> rejected_rate_limited{0};
-    std::atomic<std::uint64_t> rejected_adjacent{0};
-    std::atomic<std::uint64_t> rejected_malformed{0};
-    std::atomic<std::uint64_t> gets_served{0};
-    std::atomic<std::uint64_t> reply_bytes_copied{0};
-    std::atomic<std::uint64_t> reply_bytes_shared{0};
-    std::atomic<std::uint64_t> rejected_not_primary{0};
-    std::atomic<std::uint64_t> repl_pulls_served{0};
-    std::atomic<std::uint64_t> repl_batches_applied{0};
-    std::atomic<std::uint64_t> repl_entries_applied{0};
-    std::atomic<std::uint64_t> repl_entries_skipped{0};
-    std::atomic<std::uint64_t> repl_resets{0};
-    std::atomic<std::uint64_t> checkpoints_installed{0};
-    std::atomic<std::uint64_t> checkpoint_entries_installed{0};
-    std::atomic<std::uint64_t> checkpoints_refused{0};
-    std::atomic<std::uint64_t> rejected_tenant_quota{0};
-    std::atomic<std::uint64_t> wrong_group_bounces{0};
-    std::atomic<std::uint64_t> shard_maps_served{0};
-    std::atomic<std::uint64_t> superseded_from_fp{0};
+  /// Registry-backed counters, resolved once at construction: every
+  /// request path — including the rejection paths — bumps its counter
+  /// via the registry's sharded lock-free hot path. The ADD outcome
+  /// counters are registered BEFORE adds_processed so that snapshots
+  /// preserve sum(outcomes) <= processed (see obs/metrics.hpp).
+  struct Counters {
+    obs::Counter* adds_accepted = nullptr;
+    obs::Counter* adds_duplicate = nullptr;
+    obs::Counter* rejected_bad_token = nullptr;
+    obs::Counter* rejected_rate_limited = nullptr;
+    obs::Counter* rejected_adjacent = nullptr;
+    obs::Counter* rejected_malformed = nullptr;
+    obs::Counter* rejected_tenant_quota = nullptr;
+    obs::Counter* adds_processed = nullptr;
+    obs::Counter* gets_served = nullptr;
+    obs::Counter* reply_bytes_copied = nullptr;
+    obs::Counter* reply_bytes_shared = nullptr;
+    obs::Counter* rejected_not_primary = nullptr;
+    obs::Counter* repl_pulls_served = nullptr;
+    obs::Counter* repl_batches_applied = nullptr;
+    obs::Counter* repl_entries_applied = nullptr;
+    obs::Counter* repl_entries_skipped = nullptr;
+    obs::Counter* repl_resets = nullptr;
+    obs::Counter* checkpoints_installed = nullptr;
+    obs::Counter* checkpoint_entries_installed = nullptr;
+    obs::Counter* checkpoints_refused = nullptr;
+    obs::Counter* wrong_group_bounces = nullptr;
+    obs::Counter* shard_maps_served = nullptr;
+    obs::Counter* superseded_from_fp = nullptr;
+    obs::Counter* stats_served = nullptr;
   };
-  mutable AtomicStats stats_;
-  mutable GetLatencyMonitors get_latency_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  Counters stats_;
+  std::array<obs::Histogram*, kNumGetLatencyBuckets> get_latency_{};
+  std::shared_ptr<obs::TraceRing> trace_ring_;
+  /// Snapshot-time export of the store/cache tier (2Q counters, db
+  /// size, epoch) — state the store aggregates itself.
+  obs::ProbeHandle store_probe_;
 
   /// Installed shard map. Reads copy the shared_ptr under a short mutex
   /// hold (a pointer copy — the map itself is immutable once installed);

@@ -95,6 +95,10 @@ struct StoreOptions {
   /// (read_cache.hpp). 0 disables caching: every ReadSince materializes
   /// a fresh slice (the cold path the cache exists to avoid).
   std::size_t read_cache_slices = 64;
+  /// Requests whose total stage time is >= this are kept in the server's
+  /// slow-trace ring and logged (obs/trace.hpp). 0 disables slow-request
+  /// tracing (the all-requests ring still fills).
+  std::uint64_t slow_request_ns = 0;
 };
 
 /// A fresh, process-unique, nonzero log epoch.

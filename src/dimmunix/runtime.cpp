@@ -867,4 +867,41 @@ std::size_t DimmunixRuntime::ThreadRecordCount() const {
   return threads_.size();
 }
 
+obs::ProbeHandle DimmunixRuntime::ExportStats(obs::MetricsRegistry& registry,
+                                              std::string prefix) const {
+  return registry.RegisterProbe([this, prefix = std::move(prefix)](
+                                    obs::ProbeSink& sink) {
+    const Stats s = GetStats();
+    const auto c = [&](const char* name, std::uint64_t v) {
+      sink.EmitCounter(prefix + "." + name, v);
+    };
+    c("acquisitions", s.acquisitions);
+    c("contended_acquisitions", s.contended_acquisitions);
+    c("avoidance_suspensions", s.avoidance_suspensions);
+    c("yield_cycle_overrides", s.yield_cycle_overrides);
+    c("deadlocks_detected", s.deadlocks_detected);
+    c("signatures_learned", s.signatures_learned);
+    c("local_generalizations", s.local_generalizations);
+    c("false_positives_flagged", s.false_positives_flagged);
+    c("fast_path_acquisitions", s.fast_path_acquisitions);
+    c("fast_path_releases", s.fast_path_releases);
+    c("slow_path_entries", s.slow_path_entries);
+    c("wait_rounds", s.wait_rounds);
+    c("handoffs", s.handoffs);
+    c("barges_prevented", s.barges_prevented);
+    c("instantiation_scans", s.instantiation_scans);
+    c("scans_skipped", s.scans_skipped);
+    c("sampled_verification_scans", s.sampled_verification_scans);
+    c("adaptive_gate_mismatches", s.adaptive_gate_mismatches);
+    c("index_republishes", s.index_republishes);
+    c("index_delta_rebuilds", s.index_delta_rebuilds);
+    c("index_full_rebuilds", s.index_full_rebuilds);
+    c("index_entries_reused", s.index_entries_reused);
+    c("threads_reaped", s.threads_reaped);
+    sink.EmitGauge(prefix + ".occupancy_buckets", s.occupancy_buckets);
+    sink.EmitGauge(prefix + ".occupancy_key_collisions",
+                   s.occupancy_key_collisions);
+  });
+}
+
 }  // namespace communix::dimmunix

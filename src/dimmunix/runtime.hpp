@@ -100,6 +100,7 @@
 #include "dimmunix/signature.hpp"
 #include "dimmunix/stats.hpp"
 #include "dimmunix/thread_context.hpp"
+#include "obs/metrics.hpp"
 #include "util/clock.hpp"
 #include "util/status.hpp"
 
@@ -219,6 +220,13 @@ class DimmunixRuntime {
   /// DimmunixRuntime::Stats as before the sharding.
   using Stats = RuntimeStats;
   Stats GetStats() const;
+  /// Registers a snapshot-time probe on `registry` that emits every
+  /// GetStats() field under `<prefix>.` (counters; the occupancy fields
+  /// as gauges) — the runtime tier's rows of the unified kStats
+  /// snapshot. Release (or drop) the handle before destroying the
+  /// runtime.
+  [[nodiscard]] obs::ProbeHandle ExportStats(
+      obs::MetricsRegistry& registry, std::string prefix = "dimmunix") const;
   /// Number of thread-context records currently retained (live +
   /// not-yet-reaped tombstones) — introspection for the reap tests.
   std::size_t ThreadRecordCount() const;

@@ -14,7 +14,7 @@ std::optional<Request> Request::Deserialize(
   BinaryReader r(bytes);
   Request req;
   const std::uint8_t t = r.ReadU8();
-  if (t > static_cast<std::uint8_t>(MsgType::kMarkSuperseded)) {
+  if (t > static_cast<std::uint8_t>(MsgType::kStats)) {
     return std::nullopt;
   }
   req.type = static_cast<MsgType>(t);
@@ -261,6 +261,155 @@ std::optional<std::uint32_t> ParseMarkSupersededReply(const Response& resp) {
   const std::uint32_t marked = r.ReadU32();
   if (!r.ok() || !r.AtEnd()) return std::nullopt;
   return marked;
+}
+
+Request BuildStatsRequest(const StatsRequest& stats) {
+  BinaryWriter w;
+  std::uint8_t flags = 0;
+  if (stats.include_metrics) flags |= 1;
+  if (stats.include_traces) flags |= 2;
+  w.WriteU8(flags);
+  w.WriteU32(stats.max_traces);
+  Request req;
+  req.type = MsgType::kStats;
+  req.payload = w.take();
+  return req;
+}
+
+std::optional<StatsRequest> ParseStatsRequest(const Request& req) {
+  if (req.type != MsgType::kStats) return std::nullopt;
+  BinaryReader r = PayloadReader(req.payload);
+  const std::uint8_t flags = r.ReadU8();
+  if (flags > 3) return std::nullopt;  // reserved bits must be zero
+  StatsRequest stats;
+  stats.include_metrics = (flags & 1) != 0;
+  stats.include_traces = (flags & 2) != 0;
+  stats.max_traces = r.ReadU32();
+  if (!r.AtEnd()) return std::nullopt;
+  return stats;
+}
+
+namespace {
+
+// Per-entry floor sizes for the kStats reply lists: used to reject a
+// hostile count before it can size a reserve (same defense as the
+// repl-entry parsers).
+constexpr std::size_t kMinNamedU64Bytes = 4 + 8;          // name len + value
+constexpr std::size_t kMinHistogramBytes = 4 + 8 + 8 + 4; // name + count +
+                                                          // sum + bucket count
+constexpr std::size_t kTraceBytes = 1 + 1 + 8 + 8 + 6 * 8;
+
+void WriteNamedU64s(
+    BinaryWriter& w,
+    const std::vector<std::pair<std::string, std::uint64_t>>& kvs) {
+  w.WriteU32(static_cast<std::uint32_t>(kvs.size()));
+  for (const auto& [name, value] : kvs) {
+    w.WriteString(name);
+    w.WriteU64(value);
+  }
+}
+
+bool ReadNamedU64s(BinaryReader& r,
+                   std::vector<std::pair<std::string, std::uint64_t>>& out) {
+  const std::uint32_t count = r.ReadU32();
+  if (!r.ok() || count > r.remaining() / kMinNamedU64Bytes) return false;
+  out.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    std::string name = r.ReadString();
+    const std::uint64_t value = r.ReadU64();
+    if (!r.ok()) return false;
+    out.emplace_back(std::move(name), value);
+  }
+  return true;
+}
+
+}  // namespace
+
+Response BuildStatsReply(const obs::MetricsSnapshot& snap) {
+  BinaryWriter w;
+  w.WriteU32(snap.version);
+  w.WriteU64(snap.captured_unix_ns);
+  WriteNamedU64s(w, snap.counters);
+  WriteNamedU64s(w, snap.gauges);
+  w.WriteU32(static_cast<std::uint32_t>(snap.histograms.size()));
+  for (const auto& [name, h] : snap.histograms) {
+    w.WriteString(name);
+    w.WriteU64(h.count);
+    w.WriteU64(h.sum_ns);
+    std::uint32_t nonzero = 0;
+    for (const auto b : h.buckets) nonzero += b != 0 ? 1 : 0;
+    w.WriteU32(nonzero);
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      w.WriteU8(static_cast<std::uint8_t>(i));
+      w.WriteU64(h.buckets[i]);
+    }
+  }
+  w.WriteU32(static_cast<std::uint32_t>(snap.traces.size()));
+  for (const auto& t : snap.traces) {
+    w.WriteU8(t.verb);
+    w.WriteU8(t.status);
+    w.WriteU64(t.start_unix_ns);
+    w.WriteU64(t.total_ns);
+    for (const auto ns : t.stage_ns) w.WriteU64(ns);
+  }
+  Response resp;
+  resp.payload = w.take();
+  return resp;
+}
+
+std::optional<obs::MetricsSnapshot> ParseStatsReply(const Response& resp) {
+  BinaryReader r = PayloadReader(resp.payload);
+  obs::MetricsSnapshot snap;
+  snap.version = r.ReadU32();
+  if (!r.ok() || snap.version == 0 || snap.version > obs::kSnapshotVersion) {
+    return std::nullopt;
+  }
+  snap.captured_unix_ns = r.ReadU64();
+  if (!ReadNamedU64s(r, snap.counters)) return std::nullopt;
+  if (!ReadNamedU64s(r, snap.gauges)) return std::nullopt;
+  const std::uint32_t n_hist = r.ReadU32();
+  if (!r.ok() || n_hist > r.remaining() / kMinHistogramBytes) {
+    return std::nullopt;
+  }
+  snap.histograms.reserve(n_hist);
+  for (std::uint32_t i = 0; i < n_hist; ++i) {
+    std::string name = r.ReadString();
+    obs::HistogramSnapshot h;
+    h.count = r.ReadU64();
+    h.sum_ns = r.ReadU64();
+    const std::uint32_t nonzero = r.ReadU32();
+    // 9 bytes per (index, count) pair; also bounded by the bucket count
+    // itself, so duplicate-index spam can't inflate the list.
+    if (!r.ok() || nonzero > obs::kHistogramBuckets ||
+        nonzero > r.remaining() / 9) {
+      return std::nullopt;
+    }
+    for (std::uint32_t b = 0; b < nonzero; ++b) {
+      const std::uint8_t idx = r.ReadU8();
+      const std::uint64_t cnt = r.ReadU64();
+      if (!r.ok() || idx >= obs::kHistogramBuckets || cnt == 0) {
+        return std::nullopt;
+      }
+      h.buckets[idx] = cnt;
+    }
+    snap.histograms.emplace_back(std::move(name), h);
+  }
+  const std::uint32_t n_traces = r.ReadU32();
+  if (!r.ok() || n_traces > r.remaining() / kTraceBytes) return std::nullopt;
+  snap.traces.reserve(n_traces);
+  for (std::uint32_t i = 0; i < n_traces; ++i) {
+    obs::TraceRecord t;
+    t.verb = r.ReadU8();
+    t.status = r.ReadU8();
+    t.start_unix_ns = r.ReadU64();
+    t.total_ns = r.ReadU64();
+    for (auto& ns : t.stage_ns) ns = r.ReadU64();
+    if (!r.ok()) return std::nullopt;
+    snap.traces.push_back(t);
+  }
+  if (!r.AtEnd()) return std::nullopt;
+  return snap;
 }
 
 std::size_t Response::payload_size() const {

@@ -11,11 +11,13 @@
 // u8 status code + error string + payload bytes.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/serde.hpp"
 #include "util/status.hpp"
 
@@ -50,11 +52,33 @@ enum class MsgType : std::uint8_t {
                        // bytes) + u32 count + count u64 content ids. The
                        // server marks every matching entry in ONE store
                        // pass; Compact() later drops them. Primary-only.
+  kStats = 10,         // introspection: u8 flags (bit0 = metrics, bit1 =
+                       // slow traces) + u32 max_traces; the reply is a
+                       // versioned registry snapshot (counters, gauges,
+                       // histograms) plus the most recent slow-request
+                       // traces. Read-only and served by any role — this
+                       // is what failure detectors, rebalancers and the
+                       // communix_stats CLI scrape. Helpers:
+                       // BuildStatsRequest / ParseStatsReply below.
+};
+
+/// Transport-side timestamps for request-stage tracing (obs/trace.hpp).
+/// Never serialized — the TCP tier stamps them on the in-memory Request
+/// it hands the handler, which derives the accept / queue-wait / parse
+/// stages. `valid` stays false on transports that don't trace (inproc).
+struct RequestTiming {
+  bool valid = false;
+  std::chrono::steady_clock::time_point readable_at{};   // poll saw data
+  std::chrono::steady_clock::time_point worker_start{};  // worker picked up
+  std::chrono::steady_clock::time_point parse_start{};
+  std::chrono::steady_clock::time_point parse_done{};
 };
 
 struct Request {
   MsgType type = MsgType::kPing;
   std::vector<std::uint8_t> payload;
+  /// Not part of the wire format (Serialize/Deserialize ignore it).
+  RequestTiming timing;
 
   std::vector<std::uint8_t> Serialize() const;
   static std::optional<Request> Deserialize(
@@ -76,6 +100,11 @@ struct Response {
   /// wire structurally — the logical payload a peer deserializes is
   /// byte-identical to the flat `payload + segments` concatenation.
   std::vector<std::shared_ptr<const std::vector<std::uint8_t>>> segments;
+  /// Stage-trace carrier, not part of the wire format: the handler
+  /// attaches it, the TCP flush path calls CompleteFlush when the
+  /// reply's last chunk drains, and the destructor publishes the record
+  /// to the server's trace ring exactly once (see obs/trace.hpp).
+  std::shared_ptr<obs::PendingTrace> trace;
 
   bool ok() const { return code == ErrorCode::kOk; }
 
@@ -230,6 +259,31 @@ std::optional<MarkSupersededRequest> ParseMarkSupersededRequest(
 
 Response BuildMarkSupersededReply(std::uint32_t marked);
 std::optional<std::uint32_t> ParseMarkSupersededReply(const Response& resp);
+
+// ---- introspection verb (observability tier) ------------------------------
+
+/// kStats request: which parts of the snapshot to serve. Bounded like
+/// every other verb — max_traces is clamped server-side by the ring
+/// capacity, so a hostile value can't size an allocation.
+struct StatsRequest {
+  bool include_metrics = true;
+  bool include_traces = false;
+  std::uint32_t max_traces = 0;
+
+  friend bool operator==(const StatsRequest&, const StatsRequest&) = default;
+};
+
+Request BuildStatsRequest(const StatsRequest& stats);
+std::optional<StatsRequest> ParseStatsRequest(const Request& req);
+
+/// kStats reply payload: u32 snapshot version + u64 captured_unix_ns +
+/// counters (u32 count, {string, u64}) + gauges (same) + histograms
+/// (u32 count, {string, u64 count, u64 sum_ns, u32 nonzero buckets,
+/// {u8 index, u64 count}}) + traces (u32 count, {u8 verb, u8 status,
+/// u64 start_unix_ns, u64 total_ns, 6 x u64 stage_ns}). Every count is
+/// validated against the remaining bytes before any reserve.
+Response BuildStatsReply(const obs::MetricsSnapshot& snap);
+std::optional<obs::MetricsSnapshot> ParseStatsReply(const Response& resp);
 
 /// Server-side request processor (implemented by communix::CommunixServer).
 class RequestHandler {

@@ -99,6 +99,10 @@ struct OutChunk {
   std::vector<std::uint8_t> owned;
   std::shared_ptr<const std::vector<std::uint8_t>> shared;
   std::size_t offset = 0;
+  /// Set on a reply's LAST chunk: completing this chunk completes the
+  /// reply's flush stage (obs/trace.hpp). Dropped (publishing the trace
+  /// with whatever was stamped) if the connection dies mid-flush.
+  std::shared_ptr<obs::PendingTrace> trace;
 
   const std::vector<std::uint8_t>& bytes() const {
     return shared != nullptr ? *shared : owned;
@@ -119,13 +123,36 @@ struct TcpServer::Conn {
   std::chrono::steady_clock::time_point stall_since{};
   /// Peer half-closed (EOF on read): flush remaining replies, then close.
   bool close_after_drain = false;
+  /// Trace stamps for the current service pass: when the dispatcher saw
+  /// the socket readable and when the worker picked it up. Written by
+  /// the thread owning the connection (poll loop then worker — the
+  /// pending_rearm_ handoff orders them, like every other Conn field).
+  std::chrono::steady_clock::time_point readable_at{};
+  std::chrono::steady_clock::time_point worker_start{};
 };
 
 TcpServer::TcpServer(RequestHandler& handler, std::uint16_t port)
-    : TcpServer(handler, Options{.port = port}) {}
+    : TcpServer(handler, [port] {
+        Options o;
+        o.port = port;
+        return o;
+      }()) {}
 
 TcpServer::TcpServer(RequestHandler& handler, const Options& options)
-    : handler_(handler), options_(options), port_(options.port) {}
+    : handler_(handler),
+      options_(options),
+      port_(options.port),
+      metrics_(options.metrics ? options.metrics
+                               : std::make_shared<obs::MetricsRegistry>()) {
+  stats_.writev_flushes = metrics_->GetCounter("net.writev_flushes");
+  stats_.backpressure_stalls = metrics_->GetCounter("net.backpressure_stalls");
+  stats_.slow_client_disconnects =
+      metrics_->GetCounter("net.slow_client_disconnects");
+  stats_.peak_outbound_queue_bytes =
+      metrics_->GetGauge("net.peak_outbound_queue_bytes");
+  stats_.wake_pipe_full_wakes =
+      metrics_->GetCounter("net.wake_pipe_full_wakes");
+}
 
 TcpServer::~TcpServer() { Stop(); }
 
@@ -135,15 +162,11 @@ std::size_t TcpServer::worker_threads() const {
 
 TcpServer::Stats TcpServer::GetStats() const {
   Stats s;
-  s.writev_flushes = stats_.writev_flushes.load(std::memory_order_relaxed);
-  s.backpressure_stalls =
-      stats_.backpressure_stalls.load(std::memory_order_relaxed);
-  s.slow_client_disconnects =
-      stats_.slow_client_disconnects.load(std::memory_order_relaxed);
-  s.peak_outbound_queue_bytes =
-      stats_.peak_outbound_queue_bytes.load(std::memory_order_relaxed);
-  s.wake_pipe_full_wakes =
-      stats_.wake_pipe_full_wakes.load(std::memory_order_relaxed);
+  s.writev_flushes = stats_.writev_flushes->Value();
+  s.backpressure_stalls = stats_.backpressure_stalls->Value();
+  s.slow_client_disconnects = stats_.slow_client_disconnects->Value();
+  s.peak_outbound_queue_bytes = stats_.peak_outbound_queue_bytes->Value();
+  s.wake_pipe_full_wakes = stats_.wake_pipe_full_wakes->Value();
   return s;
 }
 
@@ -217,7 +240,7 @@ void TcpServer::Wake() {
       // wakeup — dropping this byte is level-triggered-safe. Counted so
       // tests and operators can see the (harmless, but burst-indicating)
       // condition instead of a discarded write result hiding it.
-      stats_.wake_pipe_full_wakes.fetch_add(1, std::memory_order_relaxed);
+      stats_.wake_pipe_full_wakes->Add(1);
       return;
     }
     // EBADF/EPIPE during shutdown teardown is unreachable by
@@ -336,6 +359,7 @@ void TcpServer::PollLoop() {
             // complete frames left in inbuf and unread bytes in the
             // kernel buffer — neither re-raises POLLIN by itself, so
             // hand the connection to a worker to resume parsing.
+            c->readable_at = after_poll;
             if (!pool_->Submit([this, fd] { ServeReadable(fd); })) {
               CloseConn(fd);
             }
@@ -349,8 +373,7 @@ void TcpServer::PollLoop() {
         if (c->over_cap &&
             after_poll - c->stall_since >=
                 std::chrono::milliseconds(options_.stall_deadline_ms)) {
-          stats_.slow_client_disconnects.fetch_add(1,
-                                                   std::memory_order_relaxed);
+          stats_.slow_client_disconnects->Add(1);
           CX_LOG(kWarn, "tcp")
               << "disconnecting slow reader fd=" << fd << " ("
               << c->out_bytes << " bytes queued past deadline)";
@@ -366,6 +389,7 @@ void TcpServer::PollLoop() {
       // so each connection has at most one worker and replies stay in
       // request order.
       if (fds[i].revents != 0) {
+        c->readable_at = after_poll;
         if (!pool_->Submit([this, fd] { ServeReadable(fd); })) {
           CloseConn(fd);
         }
@@ -393,6 +417,7 @@ bool TcpServer::ParseFrames(Conn& c) {
     }
     if (c.inbuf.size() - cursor < 4 + static_cast<std::size_t>(len)) break;
 
+    const auto parse_start = std::chrono::steady_clock::now();
     auto request = Request::Deserialize(std::span<const std::uint8_t>(
         c.inbuf.data() + cursor + 4, len));
     Response response;
@@ -400,6 +425,14 @@ bool TcpServer::ParseFrames(Conn& c) {
       response.code = ErrorCode::kDataLoss;
       response.error = "malformed request";
     } else {
+      // Stage stamps for the handler's trace record: dispatcher handoff
+      // (readable_at -> worker_start), queue wait behind earlier frames
+      // of this burst (worker_start -> parse_start), and the parse.
+      request->timing.valid = true;
+      request->timing.readable_at = c.readable_at;
+      request->timing.worker_start = c.worker_start;
+      request->timing.parse_start = parse_start;
+      request->timing.parse_done = std::chrono::steady_clock::now();
       response = handler_.Handle(*request);
     }
     EnqueueResponse(c, response);
@@ -436,15 +469,15 @@ void TcpServer::EnqueueResponse(Conn& c, const Response& response) {
       c.outq.push_back(std::move(chunk));
     }
   }
+  // The trace completes when the reply's FINAL byte run drains, so it
+  // rides the last chunk (the shared tail for a zero-copy GET).
+  if (response.trace != nullptr) {
+    c.outq.back().trace = response.trace;
+  }
   c.out_bytes += 4 + frame_len;
 
   // High-water mark (monotonic max over all connections).
-  std::uint64_t peak =
-      stats_.peak_outbound_queue_bytes.load(std::memory_order_relaxed);
-  while (peak < c.out_bytes &&
-         !stats_.peak_outbound_queue_bytes.compare_exchange_weak(
-             peak, c.out_bytes, std::memory_order_relaxed)) {
-  }
+  stats_.peak_outbound_queue_bytes->UpdateMax(c.out_bytes);
 
   if (!c.over_cap && c.out_bytes > options_.max_outbound_bytes) {
     // The stall clock starts at the cap crossing and is reset ONLY by
@@ -453,7 +486,7 @@ void TcpServer::EnqueueResponse(Conn& c, const Response& response) {
     // write cannot evade disconnection.
     c.over_cap = true;
     c.stall_since = std::chrono::steady_clock::now();
-    stats_.backpressure_stalls.fetch_add(1, std::memory_order_relaxed);
+    stats_.backpressure_stalls->Add(1);
   }
 }
 
@@ -480,7 +513,7 @@ bool TcpServer::FlushConn(Conn& c) {
       }
       return false;
     }
-    stats_.writev_flushes.fetch_add(1, std::memory_order_relaxed);
+    stats_.writev_flushes->Add(1);
     c.out_bytes -= static_cast<std::size_t>(n);
     std::size_t consumed = static_cast<std::size_t>(n);
     while (consumed > 0) {
@@ -488,6 +521,11 @@ bool TcpServer::FlushConn(Conn& c) {
       const std::size_t rem = front.bytes().size() - front.offset;
       if (consumed >= rem) {
         consumed -= rem;
+        if (front.trace != nullptr) {
+          // Reply fully handed to the kernel: stamp the flush stage; the
+          // pop below releases the PendingTrace, publishing the record.
+          front.trace->CompleteFlush();
+        }
         c.outq.pop_front();
       } else {
         front.offset += consumed;
@@ -509,6 +547,7 @@ void TcpServer::ServeReadable(int fd) {
     if (it != conns_.end()) c = it->second.get();
   }
   if (c == nullptr) return;  // raced with shutdown teardown
+  c->worker_start = std::chrono::steady_clock::now();
 
   bool drop = false;
   for (;;) {

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "net/message.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 namespace communix::net {
@@ -55,6 +56,10 @@ class TcpServer {
     /// How long a connection may stay over the queue cap before it is
     /// disconnected as a pathological slow reader.
     int stall_deadline_ms = 15'000;
+    /// Registry receiving the transport's counters (net.*). Share one
+    /// with the server handler so a single kStats snapshot covers both
+    /// tiers; null gives the transport a private registry.
+    std::shared_ptr<obs::MetricsRegistry> metrics;
   };
 
   /// Structural counters for the non-blocking reply path (monotonic since
@@ -83,6 +88,10 @@ class TcpServer {
   bool running() const { return running_.load(); }
   std::size_t worker_threads() const;
   Stats GetStats() const;
+  /// The registry the transport reports into (never null).
+  const std::shared_ptr<obs::MetricsRegistry>& metrics() const {
+    return metrics_;
+  }
 
  private:
   struct Conn;
@@ -114,14 +123,17 @@ class TcpServer {
   std::thread poll_thread_;
   std::unique_ptr<ThreadPool> pool_;
 
-  struct AtomicStats {
-    std::atomic<std::uint64_t> writev_flushes{0};
-    std::atomic<std::uint64_t> backpressure_stalls{0};
-    std::atomic<std::uint64_t> slow_client_disconnects{0};
-    std::atomic<std::uint64_t> peak_outbound_queue_bytes{0};
-    std::atomic<std::uint64_t> wake_pipe_full_wakes{0};
+  /// Registry-owned counters (pointers stable for the registry's life;
+  /// the registry outlives the server via metrics_).
+  struct Counters {
+    obs::Counter* writev_flushes = nullptr;
+    obs::Counter* backpressure_stalls = nullptr;
+    obs::Counter* slow_client_disconnects = nullptr;
+    obs::Gauge* peak_outbound_queue_bytes = nullptr;  // high-water mark
+    obs::Counter* wake_pipe_full_wakes = nullptr;
   };
-  AtomicStats stats_;
+  std::shared_ptr<obs::MetricsRegistry> metrics_;
+  Counters stats_;
 
   std::mutex mu_;
   /// Every live connection, keyed by fd. A connection is owned EITHER by

@@ -1,0 +1,158 @@
+#include "obs/metrics.hpp"
+
+#include <chrono>
+#include <tuple>
+
+namespace communix::obs {
+
+std::size_t Counter::ShardIndex() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed) % kCounterShards;
+  return slot;
+}
+
+std::uint64_t HistogramSnapshot::ApproxQuantile(double q) const {
+  if (count == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const std::uint64_t rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    seen += buckets[i];
+    if (seen > rank) {
+      return i + 1 >= kHistogramBuckets
+                 ? UINT64_MAX
+                 : (std::uint64_t{1} << (i + 1)) - 1;
+    }
+  }
+  return UINT64_MAX;
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    snap.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  snap.sum_ns = sum_ns_.load(std::memory_order_relaxed);
+  snap.count = count_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+bool MetricsSnapshot::Has(std::string_view name) const {
+  for (const auto& [k, v] : counters) {
+    if (k == name) return true;
+  }
+  for (const auto& [k, v] : gauges) {
+    if (k == name) return true;
+  }
+  return false;
+}
+
+std::uint64_t MetricsSnapshot::Value(std::string_view name) const {
+  for (const auto& [k, v] : counters) {
+    if (k == name) return v;
+  }
+  for (const auto& [k, v] : gauges) {
+    if (k == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::FindHistogram(
+    std::string_view name) const {
+  for (const auto& [k, v] : histograms) {
+    if (k == name) return &v;
+  }
+  return nullptr;
+}
+
+void ProbeHandle::Release() {
+  if (id_ == 0) return;
+  if (const auto table = table_.lock()) {
+    std::lock_guard<std::mutex> lock(table->mu);
+    table->probes.erase(id_);
+  }
+  id_ = 0;
+  table_.reset();
+}
+
+MetricsRegistry::MetricsRegistry()
+    : probes_(std::make_shared<detail::ProbeTable>()) {}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = counter_index_.find(std::string(name));
+  if (it != counter_index_.end()) return it->second;
+  auto& entry = counters_.emplace_back(std::piecewise_construct,
+                                       std::forward_as_tuple(name),
+                                       std::forward_as_tuple());
+  counter_index_.emplace(entry.first, &entry.second);
+  return &entry.second;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = gauge_index_.find(std::string(name));
+  if (it != gauge_index_.end()) return it->second;
+  auto& entry = gauges_.emplace_back(std::piecewise_construct,
+                                     std::forward_as_tuple(name),
+                                     std::forward_as_tuple());
+  gauge_index_.emplace(entry.first, &entry.second);
+  return &entry.second;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = histogram_index_.find(std::string(name));
+  if (it != histogram_index_.end()) return it->second;
+  auto& entry = histograms_.emplace_back(std::piecewise_construct,
+                                         std::forward_as_tuple(name),
+                                         std::forward_as_tuple());
+  histogram_index_.emplace(entry.first, &entry.second);
+  return &entry.second;
+}
+
+ProbeHandle MetricsRegistry::RegisterProbe(ProbeFn fn) {
+  ProbeHandle handle;
+  std::lock_guard<std::mutex> lock(probes_->mu);
+  const std::uint64_t id = probes_->next_id++;
+  probes_->probes.emplace(id, std::move(fn));
+  handle.table_ = probes_;
+  handle.id_ = id;
+  return handle;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.captured_unix_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Registration order IS read order — the cross-counter invariant
+    // protocol (header comment) depends on it.
+    snap.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_) {
+      snap.counters.emplace_back(name, c.Value());
+    }
+    snap.gauges.reserve(gauges_.size());
+    for (const auto& [name, g] : gauges_) {
+      snap.gauges.emplace_back(name, g.Value());
+    }
+    snap.histograms.reserve(histograms_.size());
+    for (const auto& [name, h] : histograms_) {
+      snap.histograms.emplace_back(name, h.Snapshot());
+    }
+  }
+  {
+    ProbeSink sink(snap);
+    std::lock_guard<std::mutex> lock(probes_->mu);
+    for (const auto& [id, fn] : probes_->probes) fn(sink);
+  }
+  return snap;
+}
+
+}  // namespace communix::obs

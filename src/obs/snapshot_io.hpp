@@ -1,0 +1,38 @@
+// Offline formats for a MetricsSnapshot: JSON (what communix_stats
+// --json emits and sig_inspect --stats reads back) and the human text
+// rendering shared by both tools.
+//
+// The JSON layout is fixed and minimal:
+//
+//   {
+//     "version": 1,
+//     "captured_unix_ns": ...,
+//     "counters":   {"name": value, ...},
+//     "gauges":     {"name": value, ...},
+//     "histograms": {"name": {"count": c, "sum_ns": s,
+//                             "buckets": [[index, count], ...]}, ...},
+//     "traces": [{"verb": v, "status": s, "start_unix_ns": t,
+//                 "total_ns": n, "stages": [ns, ns, ns, ns, ns, ns]}]
+//   }
+//
+// SnapshotFromJson is a parser for exactly this shape (plus whitespace),
+// not a general JSON library — hostile inputs fail to nullopt, they are
+// never trusted.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace communix::obs {
+
+std::string SnapshotToJson(const MetricsSnapshot& snap);
+std::optional<MetricsSnapshot> SnapshotFromJson(std::string_view json);
+
+/// Pretty text rendering: counters/gauges aligned, histograms as
+/// count/mean/p50/p99, traces as per-stage breakdown lines.
+std::string RenderSnapshotText(const MetricsSnapshot& snap);
+
+}  // namespace communix::obs

@@ -1,0 +1,143 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace communix::obs {
+namespace {
+
+thread_local std::array<std::uint64_t, kNumStages> g_stage_acc{};
+
+std::uint64_t NanosSince(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
+/// Newest-first copy of a ring whose write cursor is `next` and whose
+/// total push count is `count` (the ring holds min(count, size) records).
+std::vector<TraceRecord> CopyNewestFirst(const std::vector<TraceRecord>& ring,
+                                         std::size_t next,
+                                         std::uint64_t count, std::size_t n) {
+  const std::size_t held =
+      static_cast<std::size_t>(std::min<std::uint64_t>(count, ring.size()));
+  std::vector<TraceRecord> out;
+  out.reserve(std::min(n, held));
+  for (std::size_t i = 0; i < held && out.size() < n; ++i) {
+    // next points at the oldest slot (the one about to be overwritten);
+    // next-1 is the newest.
+    const std::size_t idx = (next + ring.size() - 1 - i) % ring.size();
+    out.push_back(ring[idx]);
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* StageName(Stage stage) {
+  switch (stage) {
+    case Stage::kAccept:
+      return "accept";
+    case Stage::kQueueWait:
+      return "queue_wait";
+    case Stage::kParse:
+      return "parse";
+    case Stage::kStoreOp:
+      return "store_op";
+    case Stage::kSerialize:
+      return "serialize";
+    case Stage::kFlush:
+      return "flush";
+  }
+  return "?";
+}
+
+TraceRing::TraceRing(Options options) : options_(options) {
+  all_.resize(std::max<std::size_t>(options_.capacity, 1));
+  slow_.resize(std::max<std::size_t>(options_.slow_capacity, 1));
+}
+
+void TraceRing::Push(const TraceRecord& rec) {
+  bool log_slow = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    all_[all_next_] = rec;
+    all_next_ = (all_next_ + 1) % all_.size();
+    ++pushed_;
+    if (options_.slow_threshold_ns != 0 &&
+        rec.total_ns >= options_.slow_threshold_ns) {
+      slow_[slow_next_] = rec;
+      slow_next_ = (slow_next_ + 1) % slow_.size();
+      ++slow_total_;
+      log_slow = true;
+    }
+  }
+  if (log_slow) {
+    CX_LOG(kWarn, "obs") << "slow request: verb=" << int(rec.verb)
+                         << " total_ns=" << rec.total_ns << " accept="
+                         << rec.stage_ns[std::size_t(Stage::kAccept)]
+                         << " queue_wait="
+                         << rec.stage_ns[std::size_t(Stage::kQueueWait)]
+                         << " parse="
+                         << rec.stage_ns[std::size_t(Stage::kParse)]
+                         << " store_op="
+                         << rec.stage_ns[std::size_t(Stage::kStoreOp)]
+                         << " serialize="
+                         << rec.stage_ns[std::size_t(Stage::kSerialize)]
+                         << " flush="
+                         << rec.stage_ns[std::size_t(Stage::kFlush)];
+  }
+}
+
+std::vector<TraceRecord> TraceRing::Recent(std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CopyNewestFirst(all_, all_next_, pushed_, n);
+}
+
+std::vector<TraceRecord> TraceRing::RecentSlow(std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CopyNewestFirst(slow_, slow_next_, slow_total_, n);
+}
+
+std::uint64_t TraceRing::pushed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pushed_;
+}
+
+std::uint64_t TraceRing::slow_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_total_;
+}
+
+void StageClock::Reset() { g_stage_acc.fill(0); }
+
+std::uint64_t StageClock::Accumulated(Stage stage) {
+  return g_stage_acc[static_cast<std::size_t>(stage)];
+}
+
+StageClock::Scope::~Scope() {
+  g_stage_acc[static_cast<std::size_t>(stage_)] += NanosSince(t0_);
+}
+
+PendingTrace::~PendingTrace() {
+  if (!flushed_) {
+    // Torn-down connection or a transport with no flush phase: publish
+    // with whatever the handler recorded (flush stays 0).
+    rec_.total_ns = 0;
+    for (const auto ns : rec_.stage_ns) rec_.total_ns += ns;
+  }
+  if (ring_) ring_->Push(rec_);
+}
+
+void PendingTrace::CompleteFlush() {
+  if (flushed_) return;
+  flushed_ = true;
+  rec_.stage_ns[static_cast<std::size_t>(Stage::kFlush)] =
+      NanosSince(enqueued_at_);
+  rec_.total_ns = 0;
+  for (const auto ns : rec_.stage_ns) rec_.total_ns += ns;
+}
+
+}  // namespace communix::obs

@@ -285,15 +285,15 @@ TEST_F(MalformedRoutingFrameTest, HostileCountsRejectedBeforeAllocation) {
 }
 
 TEST_F(MalformedRoutingFrameTest, RequestVerbBound) {
-  // kMarkSuperseded (9) is the highest verb: 9 deserializes, 10 doesn't.
+  // kStats (10) is the highest verb: 10 deserializes, 11 doesn't.
   auto frame = [](std::uint8_t type) {
     BinaryWriter w;
     w.WriteU8(type);
     w.WriteU32(0);
     return w.take();
   };
-  EXPECT_TRUE(net::Request::Deserialize(frame(9)).has_value());
-  EXPECT_FALSE(net::Request::Deserialize(frame(10)).has_value());
+  EXPECT_TRUE(net::Request::Deserialize(frame(10)).has_value());
+  EXPECT_FALSE(net::Request::Deserialize(frame(11)).has_value());
 }
 
 TEST_F(MalformedRoutingFrameTest, OversizedMarkBatchRejected) {

@@ -240,7 +240,7 @@ TEST(ShardedSmoke, TwoGroupsTwoFollowersWithMidRunMapBump) {
   EXPECT_EQ(sd.client().map_version(), 2u);
 
   // Per-tenant latency monitors saw the traffic.
-  EXPECT_GT(sd.client().TenantLatencyFor(moved).add.TotalCount(), 0u);
+  EXPECT_GT(sd.client().TenantLatencyFor(moved).add->TotalCount(), 0u);
 
   // Full replication convergence across both groups, then reads through
   // the sharded client observe each group's committed stream.

@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+#include <vector>
 
 #include "../testutil.hpp"
 #include "net/inproc.hpp"
@@ -575,6 +577,54 @@ TEST_P(ZeroCopyReplyTest, CacheHitGetsCopyOnlyTheCountPrefix) {
 INSTANTIATE_TEST_SUITE_P(BothBackends, ZeroCopyReplyTest,
                          ::testing::Values(store::Backend::kSharded,
                                            store::Backend::kMonolithic));
+
+// GetStats (and the kStats snapshot behind it) must never tear the ADD
+// ledger: every snapshot satisfies sum(outcome counters) <=
+// adds_processed, even while writers are mid-flight between bumping the
+// total and bumping the outcome. The server guarantees this by bumping
+// adds_processed first on the write side and reading it last on the
+// read side (see the ordering note in obs/metrics.hpp).
+TEST(ServerStatsTearingTest, OutcomesNeverExceedAddsProcessed) {
+  VirtualClock clock;
+  CommunixServer server(clock);
+  const UserToken token = server.IssueToken(1);
+  const Signature sig = MakeSig(0);
+
+  // Seed the one accept sequentially (on a single-core host the writer
+  // threads may not be scheduled at all before the reader finishes, so
+  // the accept must not depend on them running). Every subsequent call
+  // lands in a deterministic AddDecoded outcome (duplicate or, once the
+  // daily quota charges attempts, rate-limited) — cheap, valid churn
+  // that exercises exactly the total-then-outcome write protocol.
+  ASSERT_TRUE(server.AddSignature(token, sig).ok());
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        (void)server.AddSignature(token, sig);
+      }
+    });
+  }
+
+  auto outcome_sum = [](const CommunixServer::Stats& s) {
+    return s.adds_accepted + s.adds_duplicate + s.rejected_rate_limited +
+           s.rejected_tenant_quota + s.rejected_adjacent +
+           s.rejected_malformed;
+  };
+  for (int i = 0; i < 300; ++i) {
+    const auto s = server.GetStats();
+    EXPECT_LE(outcome_sum(s), s.adds_processed)
+        << "snapshot " << i << " observed an outcome without its total";
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
+
+  const auto final_stats = server.GetStats();
+  EXPECT_EQ(outcome_sum(final_stats), final_stats.adds_processed)
+      << "quiesced: the ledger balances exactly";
+  EXPECT_EQ(final_stats.adds_accepted, 1u);
+}
 
 }  // namespace
 }  // namespace communix

@@ -232,8 +232,8 @@ TEST(DosContainmentTest, ShardedFloodIsContainedToTheVictimGroup) {
 
   // Per-tenant latency monitors: the flood pays its own latency bill;
   // print both p99s so CI logs show the isolation.
-  const auto& victim_lat = sd.client().TenantLatencyFor(victim).add;
-  const auto& bystander_lat = sd.client().TenantLatencyFor(bystander).add;
+  const auto& victim_lat = *sd.client().TenantLatencyFor(victim).add;
+  const auto& bystander_lat = *sd.client().TenantLatencyFor(bystander).add;
   EXPECT_EQ(victim_lat.TotalCount(), 80u);
   EXPECT_EQ(bystander_lat.TotalCount(), bystander_sent);
   std::cout << "[sharded-flood] victim ADD p99 <= " << victim_lat.ApproxP99()

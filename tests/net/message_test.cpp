@@ -94,17 +94,17 @@ TEST(MessageTest, AddBatchTypeIsValidOnTheWire) {
   ASSERT_TRUE(back.has_value());
   EXPECT_EQ(back->type, MsgType::kAddBatch);
 
-  // The replication and routing verbs are valid; the next enum slot is
-  // rejected.
+  // The replication, routing and introspection verbs are valid; the
+  // next enum slot is rejected.
   auto corrupted = bytes;
   for (const MsgType valid : {MsgType::kCheckpoint, MsgType::kShardMap,
-                              MsgType::kMarkSuperseded}) {
+                              MsgType::kMarkSuperseded, MsgType::kStats}) {
     corrupted[0] = static_cast<std::uint8_t>(valid);
     EXPECT_TRUE(Request::Deserialize(std::span<const std::uint8_t>(
                     corrupted.data(), corrupted.size()))
                     .has_value());
   }
-  corrupted[0] = static_cast<std::uint8_t>(MsgType::kMarkSuperseded) + 1;
+  corrupted[0] = static_cast<std::uint8_t>(MsgType::kStats) + 1;
   EXPECT_FALSE(Request::Deserialize(std::span<const std::uint8_t>(
                    corrupted.data(), corrupted.size()))
                    .has_value());

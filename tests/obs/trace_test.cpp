@@ -1,0 +1,133 @@
+// Request-stage tracing: ring wrap and newest-first reads, the slow
+// threshold, the thread-local StageClock, and PendingTrace's
+// publish-exactly-once contract (including the torn-flush path).
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+namespace communix::obs {
+namespace {
+
+TraceRecord Rec(std::uint64_t total) {
+  TraceRecord r;
+  r.verb = 2;
+  r.total_ns = total;
+  r.stage_ns[static_cast<std::size_t>(Stage::kStoreOp)] = total;
+  return r;
+}
+
+TEST(StageNameTest, CoversEveryStage) {
+  EXPECT_STREQ(StageName(Stage::kAccept), "accept");
+  EXPECT_STREQ(StageName(Stage::kQueueWait), "queue_wait");
+  EXPECT_STREQ(StageName(Stage::kParse), "parse");
+  EXPECT_STREQ(StageName(Stage::kStoreOp), "store_op");
+  EXPECT_STREQ(StageName(Stage::kSerialize), "serialize");
+  EXPECT_STREQ(StageName(Stage::kFlush), "flush");
+}
+
+TEST(TraceRingTest, RecentIsNewestFirstAndWraps) {
+  TraceRing::Options options;
+  options.capacity = 4;
+  TraceRing ring(options);
+  EXPECT_TRUE(ring.Recent(10).empty());
+  for (std::uint64_t i = 1; i <= 6; ++i) ring.Push(Rec(i));
+  EXPECT_EQ(ring.pushed(), 6u);
+  const auto recent = ring.Recent(10);
+  ASSERT_EQ(recent.size(), 4u) << "ring holds only the newest capacity";
+  EXPECT_EQ(recent[0].total_ns, 6u);
+  EXPECT_EQ(recent[1].total_ns, 5u);
+  EXPECT_EQ(recent[2].total_ns, 4u);
+  EXPECT_EQ(recent[3].total_ns, 3u);
+  EXPECT_EQ(ring.Recent(2).size(), 2u);
+  EXPECT_EQ(ring.Recent(2)[0].total_ns, 6u);
+}
+
+TEST(TraceRingTest, SlowThresholdSplitsTheRings) {
+  TraceRing::Options options;
+  options.slow_threshold_ns = 100;
+  options.slow_capacity = 2;
+  TraceRing ring(options);
+  ring.Push(Rec(99));
+  ring.Push(Rec(100));  // >= threshold counts as slow
+  ring.Push(Rec(500));
+  ring.Push(Rec(1));
+  ring.Push(Rec(700));
+  EXPECT_EQ(ring.pushed(), 5u);
+  EXPECT_EQ(ring.slow_total(), 3u);
+  const auto slow = ring.RecentSlow(10);
+  ASSERT_EQ(slow.size(), 2u) << "slow ring wrapped at its own capacity";
+  EXPECT_EQ(slow[0].total_ns, 700u);
+  EXPECT_EQ(slow[1].total_ns, 500u);
+}
+
+TEST(TraceRingTest, ZeroThresholdDisablesTheSlowPath) {
+  TraceRing ring;  // default threshold 0
+  ring.Push(Rec(UINT64_MAX));
+  EXPECT_EQ(ring.slow_total(), 0u);
+  EXPECT_TRUE(ring.RecentSlow(10).empty());
+}
+
+TEST(StageClockTest, ScopesAccumulatePerStagePerThread) {
+  StageClock::Reset();
+  EXPECT_EQ(StageClock::Accumulated(Stage::kStoreOp), 0u);
+  {
+    StageClock::Scope scope(Stage::kStoreOp);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  {
+    StageClock::Scope scope(Stage::kStoreOp);  // accumulates, not replaces
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  const std::uint64_t store = StageClock::Accumulated(Stage::kStoreOp);
+  EXPECT_GE(store, 4'000'000u);
+  EXPECT_EQ(StageClock::Accumulated(Stage::kParse), 0u)
+      << "other stages untouched";
+
+  // The accumulator is thread-local: a fresh thread starts from zero.
+  std::thread([] {
+    EXPECT_EQ(StageClock::Accumulated(Stage::kStoreOp), 0u);
+  }).join();
+  EXPECT_EQ(StageClock::Accumulated(Stage::kStoreOp), store);
+  StageClock::Reset();
+  EXPECT_EQ(StageClock::Accumulated(Stage::kStoreOp), 0u);
+}
+
+TEST(PendingTraceTest, PublishesOnceWithFlushStamped) {
+  auto ring = std::make_shared<TraceRing>();
+  TraceRecord rec = Rec(50);
+  {
+    // enqueued_at in the past guarantees a nonzero flush duration.
+    PendingTrace trace(ring, rec,
+                       std::chrono::steady_clock::now() -
+                           std::chrono::milliseconds(5));
+    trace.CompleteFlush();
+    trace.CompleteFlush();  // idempotent: still one record
+  }
+  EXPECT_EQ(ring->pushed(), 1u);
+  const auto recent = ring->Recent(1);
+  ASSERT_EQ(recent.size(), 1u);
+  const std::uint64_t flush =
+      recent[0].stage_ns[static_cast<std::size_t>(Stage::kFlush)];
+  EXPECT_GE(flush, 5'000'000u);
+  EXPECT_EQ(recent[0].total_ns, 50u + flush)
+      << "total re-derived from the stages after the flush stamp";
+}
+
+TEST(PendingTraceTest, TornFlushPublishesWithFlushZero) {
+  auto ring = std::make_shared<TraceRing>();
+  { PendingTrace trace(ring, Rec(50), std::chrono::steady_clock::now()); }
+  EXPECT_EQ(ring->pushed(), 1u)
+      << "a trace dropped mid-flush still publishes";
+  const auto recent = ring->Recent(1);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].stage_ns[static_cast<std::size_t>(Stage::kFlush)], 0u);
+  EXPECT_EQ(recent[0].total_ns, 50u);
+}
+
+}  // namespace
+}  // namespace communix::obs

@@ -48,7 +48,7 @@ JOBS="$(nproc 2>/dev/null || echo 2)"
 if [[ "${1:-}" == "--tsan" ]]; then
   cmake -B build-tsan -S . -DCOMMUNIX_TSAN=ON
   cmake --build build-tsan -j"${JOBS}" --target dimmunix_tests util_tests \
-        cluster_tests communix_tests net_tests communix_server
+        cluster_tests communix_tests net_tests communix_server communix_stats
   # tools/tsan.supp scopes out a libstdc++ atomic<shared_ptr> internal
   # (relaxed spinlock unlock in _Sp_atomic::load) TSAN cannot model.
   TSAN="halt_on_error=1 suppressions=$(pwd)/tools/tsan.supp"
@@ -78,9 +78,13 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # TSAN-built communix_server children over real sockets).
   TSAN_OPTIONS="${TSAN}" ./build-tsan/net_tests \
       --gtest_filter='SlowClientTest.*:FramingTest.*:TcpTest.*'
+  # Two-process shipper plus the observability scrape: StatsScrape drives
+  # ADDs at a real primary, polls the follower's kStats snapshot until
+  # replication catches up, and runs the communix_stats CLI (popen'd from
+  # the TSAN parent against TSAN-built daemons) over both processes.
   TSAN_OPTIONS="${TSAN}" ./build-tsan/cluster_tests \
-      --gtest_filter='TwoProcessShipper.*'
-  echo "ci: tsan clean (dimmunix_tests, util_tests, store-tier smoke, cluster + sharded smoke, net smoke)"
+      --gtest_filter='TwoProcessShipper.*:StatsScrape.*'
+  echo "ci: tsan clean (dimmunix_tests, util_tests, store-tier smoke, cluster + sharded smoke, net smoke, stats scrape)"
   exit 0
 fi
 
@@ -120,8 +124,79 @@ echo "ci: cluster smoke passed (failover, checkpoint bootstrap, read cache, shar
 # backends, and the two-process shipper over real daemons.
 ./build/net_tests --gtest_filter='SlowClientTest.*:FramingTest.*'
 ./build/communix_tests --gtest_filter='*ZeroCopyReplyTest*'
-./build/cluster_tests --gtest_filter='TwoProcessShipper.*'
-echo "ci: net smoke passed (slow-client containment, framing, zero-copy replies, two-process shipper)"
+./build/cluster_tests --gtest_filter='TwoProcessShipper.*:StatsScrape.*'
+echo "ci: net smoke passed (slow-client containment, framing, zero-copy replies, two-process shipper, stats scrape)"
+
+# Observability smoke: a live two-process deployment (primary shipping to
+# one follower) scraped over the kStats wire verb with the communix_stats
+# CLI — key counters from the runtime/serving/net tiers must be non-zero,
+# and the replication ledger must agree across the two processes
+# (follower entries_applied == primary entries_shipped).
+OBS_DIR="$(mktemp -d)"
+OBS_PIDS=""
+obs_cleanup() {
+  # shellcheck disable=SC2086
+  [[ -n "${OBS_PIDS}" ]] && kill ${OBS_PIDS} 2>/dev/null || true
+  rm -rf "${OBS_DIR}"
+}
+trap obs_cleanup EXIT
+
+obs_wait_port() {  # obs_wait_port LOGFILE -> sets OBS_PORT
+  local log="$1"
+  for _ in $(seq 1 100); do
+    OBS_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' \
+        "${log}" | head -1)"
+    [[ -n "${OBS_PORT}" ]] && return 0
+    sleep 0.1
+  done
+  echo "ci: daemon never reported its port (${log})"
+  cat "${log}"
+  return 1
+}
+
+./build/communix_server --port 0 --db "${OBS_DIR}/follower.db" \
+    --role follower > "${OBS_DIR}/follower.log" 2>&1 &
+OBS_PIDS="$!"
+obs_wait_port "${OBS_DIR}/follower.log"
+OBS_FPORT="${OBS_PORT}"
+./build/communix_server --port 0 --db "${OBS_DIR}/primary.db" \
+    --follower "127.0.0.1:${OBS_FPORT}" > "${OBS_DIR}/primary.log" 2>&1 &
+OBS_PIDS="${OBS_PIDS} $!"
+obs_wait_port "${OBS_DIR}/primary.log"
+OBS_PPORT="${OBS_PORT}"
+
+# One real client poll so the serving tier has traffic to account for.
+./build/communix_client --host 127.0.0.1 --port "${OBS_PPORT}" \
+    --repo "${OBS_DIR}/repo.db" --once
+
+obs_get() { ./build/communix_stats "127.0.0.1:$1" --get "$2"; }
+obs_nonzero() {
+  local v
+  v="$(obs_get "$1" "$2")"
+  if [[ -z "${v}" || "${v}" -eq 0 ]]; then
+    echo "ci: expected $2 > 0 on port $1, got '${v}'"
+    exit 1
+  fi
+}
+obs_nonzero "${OBS_PPORT}" dimmunix.acquisitions   # runtime self-check
+obs_nonzero "${OBS_PPORT}" server.gets_served      # the client poll
+obs_nonzero "${OBS_PPORT}" net.writev_flushes      # replies flushed
+obs_nonzero "${OBS_FPORT}" dimmunix.acquisitions
+SHIPPED="$(obs_get "${OBS_PPORT}" cluster.shipper.entries_shipped)"
+APPLIED="$(obs_get "${OBS_FPORT}" server.repl_entries_applied)"
+if [[ "${SHIPPED}" != "${APPLIED}" ]]; then
+  echo "ci: replication ledger split: primary shipped ${SHIPPED}," \
+       "follower applied ${APPLIED}"
+  exit 1
+fi
+# The JSON snapshot round-trips through the offline renderer.
+./build/communix_stats "127.0.0.1:${OBS_PPORT}" --json --traces 4 \
+    > "${OBS_DIR}/snapshot.json"
+./build/sig_inspect stats "${OBS_DIR}/snapshot.json" > /dev/null
+obs_cleanup
+trap - EXIT
+echo "ci: observability smoke passed (kStats scrape of both daemons," \
+     "ledger ${SHIPPED}==${APPLIED}, JSON snapshot re-rendered)"
 
 ./build/fig2_server_throughput --smoke --compare --replicas=2 --groups=2 \
     --json=BENCH_fig2.json

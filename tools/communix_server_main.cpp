@@ -4,25 +4,71 @@
 // disk on shutdown (SIGINT/SIGTERM) and periodically.
 //
 //   communix_server [--port N] [--db PATH] [--limit PER_USER_PER_DAY]
-//                   [--role primary|follower]
+//                   [--role primary|follower] [--follower HOST:PORT]...
+//                   [--slow-ns N]
 //
 // --role follower starts a replication follower: ADDs are refused and a
 // primary's LogShipper feeds it via kReplBatch/kCheckpoint. The two-
 // process deployment tests drive exactly this binary.
+//
+// --follower HOST:PORT (primary only, repeatable) runs the LogShipper
+// inside this daemon against the named follower endpoint(s), so a
+// two-process deployment needs no external shipping driver and the
+// primary's kStats snapshot carries the cluster.shipper.* rows.
+//
+// --slow-ns N arms slow-request tracing: requests whose stage total
+// reaches N nanoseconds are logged and served via the kStats trace
+// sub-query (tools/communix_stats --traces).
+//
+// Every tier of the process — dimmunix runtime, server, store/cache,
+// cluster shipper, TCP transport — reports into ONE metrics registry,
+// so a single kStats scrape (the new wire verb) sees the whole process.
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
 
+#include "communix/cluster/log_shipper.hpp"
 #include "communix/server.hpp"
+#include "dimmunix/runtime.hpp"
 #include "net/tcp.hpp"
+#include "obs/metrics.hpp"
 #include "util/clock.hpp"
 #include "util/logging.hpp"
 
 namespace {
+
 volatile std::sig_atomic_t g_stop = 0;
 void OnSignal(int) { g_stop = 1; }
+
+bool SplitHostPort(const std::string& spec, std::string* host,
+                   std::uint16_t* port) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    return false;
+  }
+  *host = spec.substr(0, colon);
+  const int p = std::atoi(spec.c_str() + colon + 1);
+  if (p <= 0 || p > 65535) return false;
+  *port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+/// Attach/acquire/release/detach once so the runtime tier's counters are
+/// live (nonzero) in the daemon's snapshot — a startup self-check that
+/// the instrumentation path works in this binary, not just in tests.
+void ExerciseRuntime(communix::dimmunix::DimmunixRuntime& runtime) {
+  auto& ctx = runtime.AttachThread("startup-selfcheck");
+  communix::dimmunix::Monitor m("selfcheck");
+  if (runtime.Acquire(ctx, m).ok()) runtime.Release(ctx, m);
+  runtime.DetachThread(ctx);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -30,6 +76,8 @@ int main(int argc, char** argv) {
   std::string db_path = "communix_server.db";
   std::size_t limit = 10;
   communix::ServerRole role = communix::ServerRole::kPrimary;
+  std::vector<std::string> follower_specs;
+  std::uint64_t slow_ns = 0;
 
   for (int i = 1; i < argc; ++i) {
     auto need_value = [&](const char* flag) {
@@ -45,6 +93,11 @@ int main(int argc, char** argv) {
       db_path = need_value("--db");
     } else if (std::strcmp(argv[i], "--limit") == 0) {
       limit = static_cast<std::size_t>(std::atoi(need_value("--limit")));
+    } else if (std::strcmp(argv[i], "--follower") == 0) {
+      follower_specs.emplace_back(need_value("--follower"));
+    } else if (std::strcmp(argv[i], "--slow-ns") == 0) {
+      slow_ns = static_cast<std::uint64_t>(
+          std::strtoull(need_value("--slow-ns"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--role") == 0) {
       const char* value = need_value("--role");
       if (std::strcmp(value, "primary") == 0) {
@@ -58,17 +111,39 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: %s [--port N] [--db PATH] [--limit N] "
-                   "[--role primary|follower]\n",
+                   "[--role primary|follower] [--follower HOST:PORT]... "
+                   "[--slow-ns N]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (!follower_specs.empty() && role != communix::ServerRole::kPrimary) {
+    std::fprintf(stderr, "--follower is a primary-side flag\n");
+    return 2;
+  }
 
   communix::SetLogLevel(communix::LogLevel::kInfo);
+
+  // One registry for the whole process: server, store probe, transport,
+  // shipper and runtime all report here; kStats serves its snapshot.
+  auto metrics = std::make_shared<communix::obs::MetricsRegistry>();
+
   communix::CommunixServer::Options options;
   options.per_user_daily_limit = limit;
   options.role = role;
+  options.metrics = metrics;
+  options.store.slow_request_ns = slow_ns;
   communix::CommunixServer server(communix::SystemClock::Instance(), options);
+
+  // The runtime tier: the daemon carries a DimmunixRuntime (the paper's
+  // client-side immunity engine) so its counters appear in the same
+  // snapshot. Probe handle released before the runtime dies (declaration
+  // order below).
+  communix::dimmunix::DimmunixRuntime runtime(
+      communix::SystemClock::Instance());
+  const communix::obs::ProbeHandle runtime_probe =
+      runtime.ExportStats(*metrics);
+  ExerciseRuntime(runtime);
 
   if (std::filesystem::exists(db_path)) {
     if (auto s = server.LoadFromFile(db_path); !s.ok()) {
@@ -81,12 +156,41 @@ int main(int argc, char** argv) {
                 db_path.c_str());
   }
 
-  communix::net::TcpServer tcp(server, port);
+  communix::net::TcpServer::Options tcp_options;
+  tcp_options.port = port;
+  tcp_options.metrics = metrics;
+  communix::net::TcpServer tcp(server, tcp_options);
   if (auto s = tcp.Start(); !s.ok()) {
     std::fprintf(stderr, "cannot listen on %u: %s\n", port,
                  s.ToString().c_str());
     return 1;
   }
+
+  // In-daemon shipping: transports must outlive the shipper; the probe
+  // handle must be released before the shipper (reverse declaration
+  // order of these locals handles both).
+  std::vector<std::unique_ptr<communix::net::ReconnectingTcpClient>>
+      follower_clients;
+  std::optional<communix::cluster::LogShipper> shipper;
+  communix::obs::ProbeHandle shipper_probe;
+  if (!follower_specs.empty()) {
+    shipper.emplace(server);
+    for (const std::string& spec : follower_specs) {
+      std::string host;
+      std::uint16_t fport = 0;
+      if (!SplitHostPort(spec, &host, &fport)) {
+        std::fprintf(stderr, "--follower expects HOST:PORT, got %s\n",
+                     spec.c_str());
+        return 2;
+      }
+      follower_clients.push_back(
+          std::make_unique<communix::net::ReconnectingTcpClient>(host, fport));
+      shipper->AddFollower(spec, *follower_clients.back());
+    }
+    shipper_probe = shipper->ExportStats(*metrics);
+    shipper->Start();
+  }
+
   std::printf("communix server listening on 127.0.0.1:%u (db: %s, "
               "limit: %zu/user/day, role: %s)\n",
               tcp.port(), db_path.c_str(), limit,
@@ -109,6 +213,10 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (shipper.has_value()) {
+    shipper_probe.Release();
+    shipper->Stop();
+  }
   tcp.Stop();
   if (auto s = server.SaveToFile(db_path); !s.ok()) {
     std::fprintf(stderr, "final save failed: %s\n", s.ToString().c_str());

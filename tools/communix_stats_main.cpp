@@ -1,0 +1,113 @@
+// communix_stats — scrape a live endpoint's unified metrics snapshot.
+//
+//   communix_stats HOST:PORT [--json] [--traces N] [--get NAME]
+//
+// Issues one kStats request (any role answers) and renders the reply:
+// default is the aligned text form; --json emits the snapshot's JSON
+// encoding (the same format tools/sig_inspect --stats reads back);
+// --traces N also requests the N most recent slow-request traces;
+// --get NAME prints exactly one counter/gauge value (for shell checks:
+//   test "$(communix_stats $ep --get server.adds_accepted)" -gt 0).
+//
+// Exit status: 0 on a served snapshot, 1 on transport/protocol errors,
+// 3 when --get names a key the snapshot does not carry.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "net/message.hpp"
+#include "net/tcp.hpp"
+#include "obs/snapshot_io.hpp"
+
+namespace {
+
+bool SplitHostPort(const std::string& spec, std::string* host,
+                   std::uint16_t* port) {
+  const auto colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= spec.size()) {
+    return false;
+  }
+  *host = spec.substr(0, colon);
+  const int p = std::atoi(spec.c_str() + colon + 1);
+  if (p <= 0 || p > 65535) return false;
+  *port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s HOST:PORT [--json] [--traces N] [--get NAME]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  std::string host;
+  std::uint16_t port = 0;
+  if (!SplitHostPort(argv[1], &host, &port)) return Usage(argv[0]);
+
+  bool json = false;
+  std::uint32_t traces = 0;
+  std::string get_key;
+  for (int i = 2; i < argc; ++i) {
+    auto need_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--traces") == 0) {
+      traces = static_cast<std::uint32_t>(std::atoi(need_value("--traces")));
+    } else if (std::strcmp(argv[i], "--get") == 0) {
+      get_key = need_value("--get");
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+
+  communix::net::StatsRequest stats_req;
+  stats_req.include_metrics = true;
+  stats_req.include_traces = traces > 0;
+  stats_req.max_traces = traces;
+
+  communix::net::ReconnectingTcpClient client(host, port);
+  auto result = client.Call(communix::net::BuildStatsRequest(stats_req));
+  if (!result.ok()) {
+    std::fprintf(stderr, "call failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  if (!result.value().ok()) {
+    std::fprintf(stderr, "server refused: %s\n",
+                 result.value().error.c_str());
+    return 1;
+  }
+  const auto snap = communix::net::ParseStatsReply(result.value());
+  if (!snap) {
+    std::fprintf(stderr, "malformed kStats reply\n");
+    return 1;
+  }
+
+  if (!get_key.empty()) {
+    if (!snap->Has(get_key)) {
+      std::fprintf(stderr, "no such counter/gauge: %s\n", get_key.c_str());
+      return 3;
+    }
+    std::printf("%llu\n",
+                static_cast<unsigned long long>(snap->Value(get_key)));
+    return 0;
+  }
+  if (json) {
+    std::fputs(communix::obs::SnapshotToJson(*snap).c_str(), stdout);
+  } else {
+    std::fputs(communix::obs::RenderSnapshotText(*snap).c_str(), stdout);
+  }
+  return 0;
+}

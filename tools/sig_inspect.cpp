@@ -2,17 +2,23 @@
 //
 //   sig_inspect history PATH   # a Dimmunix deadlock history
 //   sig_inspect repo PATH      # a Communix local repository
+//   sig_inspect stats PATH     # a saved metrics snapshot (JSON, as
+//                              # emitted by `communix_stats --json`)
 //
 // Prints one block per signature: bug key, content id, per-thread outer
 // and inner stacks, hash coverage, and (for repositories) the agent's
-// validation state.
+// validation state. `stats` re-renders a scraped snapshot in the
+// aligned text form, so saved scrapes diff like live ones.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 
 #include "communix/repository.hpp"
 #include "dimmunix/history.hpp"
 #include "dimmunix/signature.hpp"
+#include "obs/snapshot_io.hpp"
 
 namespace {
 
@@ -109,14 +115,35 @@ int DumpRepo(const std::string& path) {
   return 0;
 }
 
+int DumpStats(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto snap = communix::obs::SnapshotFromJson(buf.str());
+  if (!snap) {
+    std::fprintf(stderr, "%s: not a metrics snapshot (expected the JSON "
+                 "communix_stats --json emits)\n",
+                 path.c_str());
+    return 1;
+  }
+  std::fputs(communix::obs::RenderSnapshotText(*snap).c_str(), stdout);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc != 3 || (std::strcmp(argv[1], "history") != 0 &&
-                    std::strcmp(argv[1], "repo") != 0)) {
-    std::fprintf(stderr, "usage: %s {history|repo} PATH\n", argv[0]);
+                    std::strcmp(argv[1], "repo") != 0 &&
+                    std::strcmp(argv[1], "stats") != 0)) {
+    std::fprintf(stderr, "usage: %s {history|repo|stats} PATH\n", argv[0]);
     return 2;
   }
+  if (std::strcmp(argv[1], "stats") == 0) return DumpStats(argv[2]);
   return std::strcmp(argv[1], "history") == 0 ? DumpHistory(argv[2])
                                               : DumpRepo(argv[2]);
 }
